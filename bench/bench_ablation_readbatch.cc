@@ -1,0 +1,97 @@
+// Ablation A6: collector read-batch size and poll interval — the two
+// tuning knobs DESIGN.md calls out for the Detection step.
+//
+// Larger ChangeLog read batches amortize the fixed read cost (and, in
+// batched resolution modes, the fid2path call), at the price of higher
+// per-event detection latency when the system is lightly loaded; the
+// poll interval bounds idle-time detection latency directly. Both
+// effects are measured here: drain throughput on a saturated backlog,
+// and detection latency p50 on a trickle workload.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "lustre/client.h"
+#include "monitor/monitor.h"
+
+namespace sdci::bench {
+namespace {
+
+struct Sample {
+  double drain_rate = 0;
+  VirtualDuration trickle_p50{};
+};
+
+Sample RunWith(size_t read_batch, VirtualDuration poll_interval) {
+  const auto profile = lustre::TestbedProfile::Iota();
+  Sample sample;
+  {
+    // Saturated: drain a pre-staged backlog.
+    Env env(profile);
+    const uint64_t backlog = BuildBacklog(env.fs, 48, 150);
+    msgq::Context context;
+    monitor::MonitorConfig config;
+    config.collector.read_batch = read_batch;
+    config.collector.poll_interval = poll_interval;
+    config.collector.resolve_mode = monitor::ResolveMode::kBatched;
+    monitor::Monitor mon(env.fs, profile, env.authority, context, config);
+    const VirtualTime start = env.authority.Now();
+    mon.Start();
+    while (mon.Stats().aggregator.published < backlog) {
+      env.authority.SleepFor(Millis(10));
+    }
+    sample.drain_rate = RatePerSecond(backlog, env.authority.Now() - start);
+    mon.Stop();
+  }
+  {
+    // Trickle: one create every 20 virtual ms; detection latency is set
+    // by the poll interval, not the batch size.
+    Env env(profile);
+    msgq::Context context;
+    monitor::MonitorConfig config;
+    config.collector.read_batch = read_batch;
+    config.collector.poll_interval = poll_interval;
+    config.collector.resolve_mode = monitor::ResolveMode::kBatched;
+    monitor::Monitor mon(env.fs, profile, env.authority, context, config);
+    mon.Start();
+    lustre::Client client(env.fs, profile, env.authority);
+    for (int i = 0; i < 60; ++i) {
+      (void)client.Create("/trickle" + std::to_string(i));
+      client.FlushDelay();
+      env.authority.SleepFor(Millis(20));
+    }
+    while (mon.Stats().aggregator.published < 60) {
+      env.authority.SleepFor(Millis(10));
+    }
+    sample.trickle_p50 = mon.collector(0).detection_latency().Quantile(0.5);
+    mon.Stop();
+  }
+  return sample;
+}
+
+}  // namespace
+}  // namespace sdci::bench
+
+int main() {
+  using namespace sdci;
+  using namespace sdci::bench;
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"read batch", "poll interval", "drain ev/s", "trickle detect p50"});
+  for (const size_t batch : {16u, 64u, 256u, 1024u}) {
+    const auto sample = RunWith(batch, Millis(50));
+    rows.push_back({std::to_string(batch), "50 ms", F0(sample.drain_rate),
+                    FormatDuration(sample.trickle_p50)});
+  }
+  for (const int64_t poll_ms : {5, 200}) {
+    const auto sample = RunWith(256, Millis(poll_ms));
+    rows.push_back({"256", std::to_string(poll_ms) + " ms", F0(sample.drain_rate),
+                    FormatDuration(sample.trickle_p50)});
+  }
+  PrintTable("A6: collector read-batch and poll-interval tuning (Iota)", rows);
+  std::printf(
+      "\nShape: drain throughput rises with batch size (fixed read + batched\n"
+      "fid2path costs amortize) and is insensitive to the poll interval;\n"
+      "trickle detection latency tracks the poll interval and is\n"
+      "insensitive to batch size.\n");
+  return 0;
+}

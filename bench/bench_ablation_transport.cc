@@ -1,0 +1,107 @@
+// Ablation A3 (future work: "exploring and evaluating different message
+// passing techniques between the collection and aggregation points").
+//
+// Compares, at a fixed backlog on Iota with batched+cached resolution (so
+// transport cost is not masked by fid2path):
+//   - PUB/SUB vs PUSH/PULL between collectors and the aggregator,
+//   - events-per-message batching (1 / 16 / 128),
+//   - slow-consumer high-water-mark policy on the public stream
+//     (drop-newest vs block), reporting delivered vs dropped.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "monitor/consumer.h"
+#include "monitor/monitor.h"
+
+namespace sdci::bench {
+namespace {
+
+double RunTransport(monitor::CollectTransport transport, size_t publish_batch,
+                    uint64_t* events_out = nullptr) {
+  const auto profile = lustre::TestbedProfile::Iota();
+  Env env(profile);
+  const uint64_t backlog = BuildBacklog(env.fs, 48, 200);
+
+  msgq::Context context;
+  monitor::MonitorConfig config;
+  config.SetTransport(transport);
+  config.collector.resolve_mode = monitor::ResolveMode::kBatchedCached;
+  config.collector.publish_batch = publish_batch;
+  config.collector.poll_interval = Millis(5);
+  monitor::Monitor mon(env.fs, profile, env.authority, context, config);
+
+  const VirtualTime start = env.authority.Now();
+  mon.Start();
+  while (mon.Stats().aggregator.published < backlog) {
+    env.authority.SleepFor(Millis(10));
+  }
+  const VirtualDuration elapsed = env.authority.Now() - start;
+  mon.Stop();
+  if (events_out != nullptr) *events_out = backlog;
+  return RatePerSecond(backlog, elapsed);
+}
+
+}  // namespace
+}  // namespace sdci::bench
+
+int main() {
+  using namespace sdci;
+  using namespace sdci::bench;
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"transport", "events/message", "drain ev/s"});
+  for (const auto transport :
+       {monitor::CollectTransport::kPubSub, monitor::CollectTransport::kPushPull}) {
+    for (const size_t batch : {1u, 16u, 128u}) {
+      const double rate = RunTransport(transport, batch);
+      rows.push_back(
+          {transport == monitor::CollectTransport::kPubSub ? "PUB/SUB" : "PUSH/PULL",
+           std::to_string(batch), F0(rate)});
+    }
+  }
+  PrintTable("A3: collector->aggregator message passing techniques", rows);
+
+  // Slow-consumer HWM policies on the aggregator's public stream.
+  {
+    const auto profile = lustre::TestbedProfile::Iota();
+    std::vector<std::vector<std::string>> hwm_rows;
+    hwm_rows.push_back({"HWM policy", "delivered", "dropped at socket"});
+    for (const auto policy : {msgq::HwmPolicy::kDropNewest, msgq::HwmPolicy::kBlock}) {
+      Env env(profile);
+      const uint64_t backlog = BuildBacklog(env.fs, 24, 120);
+      msgq::Context context;
+      monitor::MonitorConfig config;
+      config.collector.resolve_mode = monitor::ResolveMode::kBatchedCached;
+      config.collector.poll_interval = Millis(5);
+      monitor::Monitor mon(env.fs, profile, env.authority, context, config);
+      // A consumer with a tiny socket buffer that drains slowly.
+      monitor::EventSubscriber consumer(context, config.aggregator.publish_endpoint,
+                                        "fsevent.", 64, policy);
+      mon.Start();
+      uint64_t delivered = 0;
+      while (true) {
+        auto event = consumer.NextFor(std::chrono::milliseconds(2));
+        if (event.ok()) {
+          ++delivered;
+          env.authority.SleepFor(Micros(400));  // slow handler
+          if (delivered + consumer.dropped_at_socket() >= backlog) break;
+        } else if (mon.Stats().aggregator.published >= backlog &&
+                   consumer.TryNext() == std::nullopt) {
+          break;
+        }
+      }
+      consumer.Close();  // unblock the publisher before joining the monitor
+      mon.Stop();
+      hwm_rows.push_back(
+          {policy == msgq::HwmPolicy::kDropNewest ? "drop-newest (ZMQ PUB)" : "block",
+           std::to_string(delivered), std::to_string(consumer.dropped_at_socket())});
+    }
+    PrintTable("A3b: slow consumer at HWM=64 on the public stream", hwm_rows);
+  }
+  std::printf(
+      "\nShape: message batching amortizes per-message cost; PUSH/PULL and\n"
+      "PUB/SUB are equivalent for a single aggregator; a slow consumer\n"
+      "either loses events (drop) or backpressures the pipeline (block) —\n"
+      "the fault-tolerance argument for the aggregator's historic API.\n");
+  return 0;
+}

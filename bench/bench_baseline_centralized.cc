@@ -1,0 +1,87 @@
+// Ablation A4 (future work: "comparing performance against Robinhood in
+// production settings"): hierarchical monitor vs a Robinhood-style
+// centralized collector.
+//
+// Both consume the same 4-MDS backlog. The centralized baseline is one
+// client sequentially extracting from each MDS and resolving paths
+// itself; the hierarchical monitor runs one concurrent Collector per MDS.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "monitor/centralized.h"
+#include "monitor/monitor.h"
+
+namespace sdci::bench {
+namespace {
+
+constexpr size_t kDirs = 64;
+constexpr size_t kFilesPerDir = 120;
+
+lustre::FileSystemConfig SpreadConfig(const lustre::TestbedProfile& profile) {
+  auto config = lustre::FileSystemConfig::FromProfile(profile);
+  config.dir_placement = lustre::DirPlacement::kRoundRobin;
+  return config;
+}
+
+double RunHierarchical(const lustre::TestbedProfile& profile) {
+  Env env(profile);
+  lustre::FileSystem fs(SpreadConfig(profile), env.authority);
+  const uint64_t backlog = BuildBacklog(fs, kDirs, kFilesPerDir);
+  msgq::Context context;
+  monitor::MonitorConfig config;
+  config.collector.resolve_mode = monitor::ResolveMode::kPerEvent;
+  config.collector.poll_interval = Millis(5);
+  monitor::Monitor mon(fs, profile, env.authority, context, config);
+  const VirtualTime start = env.authority.Now();
+  mon.Start();
+  while (mon.Stats().aggregator.published < backlog) {
+    env.authority.SleepFor(Millis(20));
+  }
+  const VirtualDuration elapsed = env.authority.Now() - start;
+  mon.Stop();
+  return RatePerSecond(backlog, elapsed);
+}
+
+double RunCentralized(const lustre::TestbedProfile& profile) {
+  Env env(profile);
+  lustre::FileSystem fs(SpreadConfig(profile), env.authority);
+  const uint64_t backlog = BuildBacklog(fs, kDirs, kFilesPerDir);
+  monitor::CentralizedCollector central(fs, profile, env.authority);
+  const VirtualTime start = env.authority.Now();
+  central.Start();
+  while (central.Stats().stored < backlog) {
+    env.authority.SleepFor(Millis(20));
+  }
+  const VirtualDuration elapsed = env.authority.Now() - start;
+  central.Stop();
+  return RatePerSecond(backlog, elapsed);
+}
+
+}  // namespace
+}  // namespace sdci::bench
+
+int main() {
+  using namespace sdci;
+  using namespace sdci::bench;
+
+  const auto profile = [&] {
+    auto p = lustre::TestbedProfile::Iota();
+    p.mds_count = 4;
+    return p;
+  }();
+
+  const double central = RunCentralized(profile);
+  const double hierarchical = RunHierarchical(profile);
+
+  PrintTable("A4: centralized (Robinhood-style) vs hierarchical collection "
+             "(4 MDS, backlog drain)",
+             {{"approach", "drain ev/s", "speedup"},
+              {"centralized, sequential", F0(central), "1.00x"},
+              {"hierarchical, 1 collector/MDS", F0(hierarchical),
+               F2(central > 0 ? hierarchical / central : 0) + "x"}});
+  std::printf(
+      "\nShape: the single sequential client is bounded by one resolver\n"
+      "pipeline regardless of MDS count; per-MDS collectors scale with the\n"
+      "metadata servers, which is the design argument of Section 2.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation A5: the Section 3 analysis of why targeted monitoring
+// (inotify/Watchdog) cannot scale to site-wide policies.
+//
+// Measures, as a function of directory count: inotify setup time (the
+// recursive crawl installing one watch per directory), pinned kernel
+// memory (1 KiB per watch, 524,288 watch default cap), and the
+// crawl-and-diff polling baseline's per-scan cost — against the Lustre
+// monitor, whose startup cost is independent of namespace size.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "monitor/inotify_sim.h"
+#include "monitor/monitor.h"
+#include "monitor/polling_monitor.h"
+
+namespace sdci::bench {
+namespace {
+
+void BuildTree(lustre::FileSystem& fs, size_t dirs, size_t files_per_dir) {
+  (void)fs.MkdirAll("/site");
+  for (size_t d = 0; d < dirs; ++d) {
+    const std::string dir = strings::Format("/site/p{}/d{}", d % 97, d);
+    (void)fs.MkdirAll(dir);
+    for (size_t i = 0; i < files_per_dir; ++i) {
+      (void)fs.Create(strings::Format("{}/f{}.dat", dir, i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdci::bench
+
+int main() {
+  using namespace sdci;
+  using namespace sdci::bench;
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"directories", "inotify setup", "watch memory", "poll scan time",
+                  "monitor startup"});
+
+  for (const size_t dirs : {1000u, 10000u, 50000u}) {
+    const auto profile = lustre::TestbedProfile::Iota();
+    Env env(profile, /*dilation=*/60.0);  // pure-crawl workload: dilate harder
+    BuildTree(env.fs, dirs, 4);
+
+    monitor::InotifyMonitor inotify(env.fs, env.authority);
+    const auto setup = inotify.Watch("/site");
+
+    monitor::PollingMonitor poller(env.fs, env.authority);
+    monitor::PollingScanStats scan_stats;
+    (void)poller.Scan(&scan_stats);  // baseline scan
+    (void)poller.Scan(&scan_stats);  // steady-state scan cost
+
+    // The Lustre monitor "setup": construct + start; no crawl involved.
+    msgq::Context context;
+    monitor::MonitorConfig config;
+    const VirtualTime t0 = env.authority.Now();
+    monitor::Monitor mon(env.fs, profile, env.authority, context, config);
+    mon.Start();
+    const VirtualDuration monitor_startup = env.authority.Now() - t0;
+    mon.Stop();
+
+    rows.push_back({strings::WithCommas(dirs),
+                    setup.ok() ? FormatDuration(setup->setup_time) : "FAILED",
+                    setup.ok() ? strings::HumanBytes(setup->kernel_memory_bytes) : "-",
+                    FormatDuration(scan_stats.scan_time),
+                    FormatDuration(monitor_startup)});
+  }
+  PrintTable("A5: targeted monitoring cost vs namespace size", rows);
+
+  // The watch-limit wall: a subtree larger than max_user_watches.
+  {
+    const auto profile = lustre::TestbedProfile::Iota();
+    Env env(profile);
+    BuildTree(env.fs, 3000, 0);
+    monitor::InotifyConfig small;
+    small.max_watches = 2048;  // scaled-down fs.inotify.max_user_watches
+    monitor::InotifyMonitor inotify(env.fs, env.authority, small);
+    const auto setup = inotify.Watch("/site");
+    std::printf(
+        "\nWatch-limit wall: crawling 3,000 directories with a %llu-watch\n"
+        "budget -> %s (installed %zu watches before failing).\n"
+        "At the real default (524,288 watches x 1 KiB) inotify pins %s of\n"
+        "kernel memory; the ChangeLog monitor needs none of it.\n",
+        static_cast<unsigned long long>(small.max_watches),
+        setup.ok() ? "ok" : setup.status().ToString().c_str(), inotify.WatchCount(),
+        strings::HumanBytes(524288ull * 1024).c_str());
+  }
+  return 0;
+}

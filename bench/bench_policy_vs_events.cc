@@ -1,0 +1,185 @@
+// Ablation A7: batch policy runs (Robinhood's model) vs event-driven
+// enforcement (Ripple over the Lustre monitor) for a purge policy.
+//
+// Both enforce "no *.tmp files under /scratch" on the same namespace and
+// the same stream of violations. Compared:
+//   - enforcement work per period (batch pays a full namespace crawl every
+//     run, events pay per change);
+//   - violation dwell time (how long a .tmp file lives before removal):
+//     batch = up to one period; events = the monitor's detection latency.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "lustre/client.h"
+#include "monitor/consumer.h"
+#include "monitor/monitor.h"
+#include "monitor/policy_engine.h"
+
+namespace sdci::bench {
+namespace {
+
+constexpr size_t kBackgroundDirs = 40;
+constexpr size_t kFilesPerDir = 100;   // 4k resident files to crawl past
+constexpr int kViolations = 60;
+
+// Seeds the namespace with innocent resident files.
+void SeedNamespace(lustre::FileSystem& fs) {
+  for (size_t d = 0; d < kBackgroundDirs; ++d) {
+    const std::string dir = strings::Format("/scratch/u{}", d);
+    (void)fs.MkdirAll(dir);
+    for (size_t i = 0; i < kFilesPerDir; ++i) {
+      (void)fs.Create(strings::Format("{}/keep{}.dat", dir, i));
+    }
+  }
+}
+
+struct Outcome {
+  double crawl_or_monitor_seconds = 0;  // enforcement cost over the window
+  double mean_dwell_ms = 0;             // violation lifetime
+  size_t purged = 0;
+};
+
+Outcome RunBatch(VirtualDuration period, int runs) {
+  const auto profile = lustre::TestbedProfile::Iota();
+  Env env(profile);
+  SeedNamespace(env.fs);
+  lustre::Client client(env.fs, profile, env.authority);
+  monitor::BatchPolicyEngine engine(env.fs, env.authority);
+  monitor::BatchPolicy policy;
+  policy.id = "purge-tmp";
+  policy.predicate.path_glob = Glob("/scratch/**");
+  policy.predicate.name_suffix = ".tmp";
+  policy.action = monitor::PolicyAction::kPurge;
+
+  Outcome outcome;
+  double dwell_ms_total = 0;
+  int violation_id = 0;
+  for (int run = 0; run < runs; ++run) {
+    // Violations appear spread across the period.
+    std::vector<VirtualTime> created_at;
+    for (int v = 0; v < kViolations / runs; ++v) {
+      (void)client.Create(strings::Format("/scratch/u{}/junk{}.tmp",
+                                          violation_id % kBackgroundDirs,
+                                          violation_id));
+      ++violation_id;
+      created_at.push_back(env.authority.Now());
+      client.FlushDelay();
+      env.authority.SleepFor(period / (kViolations / runs));
+    }
+    const auto report = engine.Run(policy);
+    outcome.crawl_or_monitor_seconds += ToSecondsF(report.scan_time);
+    outcome.purged += report.actions_applied;
+    const VirtualTime purge_time = env.authority.Now();
+    for (const VirtualTime t : created_at) {
+      dwell_ms_total += ToSecondsF(purge_time - t) * 1000.0;
+    }
+  }
+  outcome.mean_dwell_ms =
+      violation_id == 0 ? 0 : dwell_ms_total / static_cast<double>(violation_id);
+  return outcome;
+}
+
+Outcome RunEventDriven(VirtualDuration window) {
+  const auto profile = lustre::TestbedProfile::Iota();
+  Env env(profile);
+  SeedNamespace(env.fs);
+
+  msgq::Context context;
+  monitor::MonitorConfig config;
+  config.collector.resolve_mode = monitor::ResolveMode::kBatchedCached;
+  config.collector.poll_interval = Millis(20);
+  monitor::Monitor mon(env.fs, profile, env.authority, context, config);
+  monitor::EventSubscriber consumer(context, config.aggregator.publish_endpoint,
+                                    "fsevent.CREAT", 1u << 16,
+                                    msgq::HwmPolicy::kBlock);
+  mon.Start();
+  // Let the monitor absorb the seeding burst.
+  uint64_t appended = 0;
+  for (size_t m = 0; m < env.fs.MdsCount(); ++m) {
+    appended += env.fs.Mds(m).changelog().TotalAppended();
+  }
+  while (mon.Stats().aggregator.published < appended) {
+    env.authority.SleepFor(Millis(20));
+  }
+  while (consumer.TryNext().has_value()) {
+  }
+
+  lustre::Client client(env.fs, profile, env.authority);
+  Outcome outcome;
+  double dwell_ms_total = 0;
+  const VirtualTime start = env.authority.Now();
+  std::map<std::string, VirtualTime> created_at;
+  for (int v = 0; v < kViolations; ++v) {
+    const std::string path =
+        strings::Format("/scratch/u{}/junk{}.tmp", v % kBackgroundDirs, v);
+    (void)client.Create(path);
+    client.FlushDelay();
+    created_at[path] = env.authority.Now();
+    env.authority.SleepFor(window / kViolations);
+    // Drain any pending events; purge matching ones (the Ripple agent's
+    // filter + delete action, inlined).
+    while (auto event = consumer.TryNext()) {
+      if (strings::EndsWith(event->name, ".tmp") && !event->path.empty()) {
+        if (env.fs.Unlink(event->path).ok()) {
+          ++outcome.purged;
+          dwell_ms_total +=
+              ToSecondsF(env.authority.Now() - created_at[event->path]) * 1000.0;
+        }
+      }
+    }
+  }
+  // Final drain.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (outcome.purged < static_cast<size_t>(kViolations) &&
+         std::chrono::steady_clock::now() < deadline) {
+    auto event = consumer.NextFor(std::chrono::milliseconds(10));
+    if (!event.ok()) continue;
+    if (strings::EndsWith(event->name, ".tmp") && !event->path.empty() &&
+        env.fs.Unlink(event->path).ok()) {
+      ++outcome.purged;
+      dwell_ms_total +=
+          ToSecondsF(env.authority.Now() - created_at[event->path]) * 1000.0;
+    }
+  }
+  // Enforcement cost: the collector pipeline time spent on this window's
+  // events (not the namespace size).
+  outcome.crawl_or_monitor_seconds =
+      ToSecondsF(env.authority.Now() - start);  // wall window, for reference
+  mon.Stop();
+  outcome.mean_dwell_ms = dwell_ms_total / static_cast<double>(outcome.purged);
+  return outcome;
+}
+
+}  // namespace
+}  // namespace sdci::bench
+
+int main() {
+  using namespace sdci;
+  using namespace sdci::bench;
+
+  const auto batch_hourly = RunBatch(Seconds(2.0), 2);   // "periodic scans"
+  const auto batch_rapid = RunBatch(Seconds(0.5), 8);    // aggressive period
+  const auto event_driven = RunEventDriven(Seconds(4.0));
+
+  PrintTable(
+      "A7: batch policy runs (Robinhood model) vs event-driven (Ripple)",
+      {{"approach", "purged", "mean dwell", "crawl cost (virtual s)"},
+       {"batch, long period", std::to_string(batch_hourly.purged),
+        F0(batch_hourly.mean_dwell_ms) + " ms",
+        F2(batch_hourly.crawl_or_monitor_seconds)},
+       {"batch, short period", std::to_string(batch_rapid.purged),
+        F0(batch_rapid.mean_dwell_ms) + " ms",
+        F2(batch_rapid.crawl_or_monitor_seconds)},
+       {"event-driven (monitor)", std::to_string(event_driven.purged),
+        F0(event_driven.mean_dwell_ms) + " ms", "no crawl"}});
+
+  std::printf(
+      "\nShape: batch enforcement trades crawl cost against dwell time —\n"
+      "shorter periods purge sooner but crawl the whole namespace more\n"
+      "often (cost scales with resident files, here %zu). The event-driven\n"
+      "path purges within the monitor's detection latency at cost\n"
+      "proportional to the change rate.\n",
+      kBackgroundDirs * kFilesPerDir);
+  return 0;
+}

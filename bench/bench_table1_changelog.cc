@@ -1,0 +1,36 @@
+// Reproduces Table 1: A Sample ChangeLog Record.
+//
+// Performs the same operations the paper's sample shows (CREAT of
+// data1.txt, MKDIR of DataDir, UNLNK of data1.txt) and dumps the resulting
+// ChangeLog records in Lustre's dump format.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "lustre/client.h"
+
+int main() {
+  using namespace sdci;
+  using namespace sdci::bench;
+
+  Env env(lustre::TestbedProfile::Aws());
+  lustre::Client client(env.fs, env.profile, env.authority);
+
+  (void)client.Create("/data1.txt");
+  (void)client.Mkdir("/DataDir");
+  (void)client.Unlink("/data1.txt");
+
+  std::printf("=== Table 1: Sample ChangeLog records (MDT0) ===\n");
+  std::printf("%-6s %-8s %-14s %-10s %-5s %s\n", "ID", "Type", "Timestamp",
+              "Datestamp", "Flags", "Target/Parent/Name");
+  std::vector<lustre::ChangeLogRecord> records;
+  env.fs.Mds(0).changelog().ReadFrom(1, 100, records);
+  for (const auto& record : records) {
+    std::printf("%s\n", record.Render().c_str());
+  }
+  std::printf(
+      "\nPaper layout: 13106 01CREAT 20:15:37.1138 2017.09.06 0x0 "
+      "t=[0x200000402:0xa046:0x0] p=[0x200000007:0x1:0x0] data1.txt\n"
+      "Shape: CREAT then MKDIR then UNLNK; UNLNK carries flag 0x1 (last\n"
+      "link); parent of root-level entries is the root FID.\n");
+  return 0;
+}

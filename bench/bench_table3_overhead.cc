@@ -1,0 +1,96 @@
+// Reproduces Table 3: Maximum Monitor Resource Utilization.
+//
+// Runs the Iota throughput experiment while sampling the resource usage of
+// the Collector, the Aggregator and a consuming Ripple-agent-style
+// process. CPU% is modeled busy time over elapsed time; memory is the
+// peak retained footprint (the aggregator's is dominated by its local
+// event store, as the paper observes).
+//
+// Paper: Collector 6.667% / 281.6 MB; Aggregator 0.059% / 217.6 MB;
+//        Consumer 0.02% / 12.8 MB.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "monitor/consumer.h"
+#include "monitor/monitor.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace sdci;
+  using namespace sdci::bench;
+
+  const auto profile = lustre::TestbedProfile::Iota();
+  Env env(profile);
+  msgq::Context context;
+
+  monitor::MonitorConfig config;
+  config.collector.resolve_mode = monitor::ResolveMode::kPerEvent;
+  config.aggregator.store_capacity = 5000000;   // the paper kept every event
+  config.collector.local_store_capacity = 5000000;  // collectors did too
+  monitor::Monitor mon(env.fs, profile, env.authority, context, config);
+  monitor::EventSubscriber consumer(context, config.aggregator.publish_endpoint,
+                                    "fsevent.", 1u << 20, msgq::HwmPolicy::kBlock);
+  mon.Start();
+
+  // Consumer thread: drains the stream, charging a tiny per-event cost.
+  std::atomic<bool> stop_consumer{false};
+  DelayBudget consumer_budget(env.authority);
+  std::atomic<uint64_t> consumed{0};
+  std::atomic<uint64_t> consumer_bytes{0};
+  std::jthread consumer_thread([&] {
+    while (!stop_consumer.load(std::memory_order_relaxed)) {
+      auto event = consumer.NextFor(std::chrono::milliseconds(5));
+      if (!event.ok()) continue;
+      consumer_budget.Charge(profile.consumer_cpu_per_event);  // rule filter check
+      consumed.fetch_add(1, std::memory_order_relaxed);
+      consumer_bytes.fetch_add(event->ApproxBytes(), std::memory_order_relaxed);
+    }
+  });
+
+  const VirtualTime start = env.authority.Now();
+  workload::EventGenerator gen(env.fs, profile, env.authority);
+  (void)gen.Prepare();
+  const auto report = gen.RunMixedFor(Seconds(5.0));
+  const VirtualDuration elapsed = env.authority.Now() - start;
+
+  const auto usage = mon.Usage(elapsed);
+  stop_consumer.store(true);
+  consumer_thread.join();
+  mon.Stop();
+
+  // Consumer usage: modeled busy time + a small fixed process footprint
+  // (it retains nothing; its memory is interpreter/runtime overhead).
+  const double consumer_cpu =
+      100.0 * ToSecondsF(consumer_budget.TotalCharged()) / ToSecondsF(elapsed);
+  const double consumer_mem_mb = 4.0;
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"component", "CPU (%)", "pipeline (%)", "Memory (MB)", "paper CPU",
+                  "paper MB"});
+  for (const auto& component : usage) {
+    const bool is_collector = component.component.rfind("collector", 0) == 0;
+    // Iota has 4 MDS but the experiment drives MDT0 only; skip idle rows.
+    if (is_collector && component.cpu_percent < 0.001) continue;
+    rows.push_back(
+        {component.component, F2(component.cpu_percent),
+         F1(component.pipeline_busy_percent),
+         F1(static_cast<double>(component.peak_memory_bytes) / (1024 * 1024)),
+         is_collector ? "6.667" : "0.059", is_collector ? "281.6" : "217.6"});
+  }
+  rows.push_back(
+      {"consumer", F2(consumer_cpu), "-", F1(consumer_mem_mb), "0.02", "12.8"});
+  PrintTable("Table 3: Maximum Monitor Resource Utilization", rows);
+  std::printf(
+      "\nMemory scales with events retained: the paper's run kept minutes of\n"
+      "events (~280 MB); this window retains ~%llu events. Per-event store\n"
+      "cost is what the shape check asserts.\n",
+      static_cast<unsigned long long>(consumed.load()));
+
+  std::printf(
+      "\nGenerated %llu events at %.0f ev/s; consumer received %llu.\n"
+      "Shape: collector CPU >> aggregator CPU >> consumer CPU; the\n"
+      "aggregator footprint is dominated by the local event store.\n",
+      static_cast<unsigned long long>(report.events), report.events_per_second,
+      static_cast<unsigned long long>(consumed.load()));
+  return 0;
+}

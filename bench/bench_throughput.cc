@@ -1,0 +1,158 @@
+// Reproduces the Section 5.2 "Event Throughput" experiment.
+//
+// The event generator loads the file system with the combined workload
+// while the monitor extracts records from the ChangeLog, resolves paths
+// (per-event fid2path — the deployed configuration), and reports events
+// to a listening consumer. Reported numbers:
+//   - generation rate (events/s journaled),
+//   - monitor throughput during the loaded window (events/s delivered),
+//   - the per-stage pipeline breakdown showing the processing stage is
+//     the bottleneck,
+//   - the no-loss check: after the backlog drains, every extracted event
+//     was delivered.
+//
+// Paper: AWS 1053 of 1366 generated (77.1%); Iota 8162 of 9593 (-14.91%).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "monitor/consumer.h"
+#include "monitor/monitor.h"
+#include "workload/generator.h"
+
+namespace sdci::bench {
+namespace {
+
+struct ThroughputResult {
+  double generated_rate = 0;
+  double monitor_rate = 0;
+  double fraction = 0;
+  uint64_t generated = 0;
+  uint64_t delivered_during_window = 0;
+  uint64_t extracted_total = 0;
+  uint64_t delivered_total = 0;
+  double fid2path_share = 0;  // fraction of collector busy time
+  std::string detect_p50;
+  std::string detect_p99;
+  std::string deliver_p99;
+};
+
+ThroughputResult RunOne(const lustre::TestbedProfile& profile,
+                        VirtualDuration window) {
+  Env env(profile);
+  msgq::Context context;
+
+  monitor::MonitorConfig config;
+  config.collector.resolve_mode = monitor::ResolveMode::kPerEvent;
+  config.collector.poll_interval = Millis(20);
+  monitor::Monitor mon(env.fs, profile, env.authority, context, config);
+  monitor::EventSubscriber consumer(context, config.aggregator.publish_endpoint,
+                                    "fsevent.", 1u << 20, msgq::HwmPolicy::kBlock);
+  mon.Start();
+
+  // Let the monitor absorb the staging burst before the window opens, and
+  // take baseline counters so only window events are measured.
+  uint64_t published_baseline = 0;
+  uint64_t extracted_baseline = 0;
+  workload::GeneratorConfig gen_config;
+  gen_config.before_window = [&] {
+    for (int i = 0; i < 400; ++i) {
+      env.authority.SleepFor(Millis(50));
+      const auto stats = mon.Stats();
+      uint64_t appended = 0;
+      for (size_t m = 0; m < env.fs.MdsCount(); ++m) {
+        appended += env.fs.Mds(m).changelog().TotalAppended();
+      }
+      if (stats.aggregator.published == appended) break;
+    }
+    const auto stats = mon.Stats();
+    published_baseline = stats.aggregator.published;
+    extracted_baseline = stats.total_extracted;
+  };
+  workload::EventGenerator gen(env.fs, profile, env.authority, gen_config);
+  (void)gen.Prepare();
+  const auto report = gen.RunMixedFor(window);
+
+  // Snapshot delivery at the moment generation stops.
+  const uint64_t delivered_at_window =
+      mon.Stats().aggregator.published - published_baseline;
+
+  // Let the monitor drain its backlog, then verify no loss.
+  for (int i = 0; i < 400; ++i) {
+    env.authority.SleepFor(Millis(50));
+    const auto stats = mon.Stats();
+    if (stats.total_extracted == stats.aggregator.published &&
+        stats.total_extracted - extracted_baseline >= report.events) {
+      break;
+    }
+  }
+  mon.Stop();
+
+  const auto stats = mon.Stats();
+  ThroughputResult result;
+  result.generated = report.events;
+  result.generated_rate = report.events_per_second;
+  result.delivered_during_window = delivered_at_window;
+  result.monitor_rate = RatePerSecond(delivered_at_window, report.elapsed);
+  result.fraction =
+      result.generated_rate <= 0 ? 0 : result.monitor_rate / result.generated_rate;
+  result.extracted_total = stats.total_extracted - extracted_baseline;
+  result.delivered_total = stats.aggregator.published - published_baseline;
+  // Processing share: fid2path calls x per-call latency vs collector busy.
+  uint64_t fid2path_calls = 0;
+  for (const auto& c : stats.collectors) fid2path_calls += c.fid2path_calls;
+  const double resolve_time =
+      static_cast<double>(fid2path_calls) * ToSecondsF(profile.fid2path_latency);
+  const double read_time = static_cast<double>(stats.total_extracted) *
+                           ToSecondsF(profile.changelog_read_per_record);
+  const double publish_time =
+      static_cast<double>(stats.total_reported) / 16.0 *
+      ToSecondsF(profile.collector_publish_latency);
+  const double total_stage = resolve_time + read_time + publish_time;
+  result.fid2path_share = total_stage <= 0 ? 0 : resolve_time / total_stage;
+  const auto& detect = mon.collector(0).detection_latency();
+  result.detect_p50 = FormatDuration(detect.Quantile(0.5));
+  result.detect_p99 = FormatDuration(detect.Quantile(0.99));
+  result.deliver_p99 = FormatDuration(mon.aggregator().delivery_latency().Quantile(0.99));
+  return result;
+}
+
+}  // namespace
+}  // namespace sdci::bench
+
+int main() {
+  using namespace sdci;
+  using namespace sdci::bench;
+
+  const auto aws = RunOne(lustre::TestbedProfile::Aws(), Seconds(5.0));
+  const auto iota = RunOne(lustre::TestbedProfile::Iota(), Seconds(5.0));
+
+  PrintTable(
+      "Section 5.2: Event throughput (per-event fid2path, 1 MDS)",
+      {{"testbed", "generated ev/s", "monitor ev/s", "fraction", "paper"},
+       {"AWS", F0(aws.generated_rate), F0(aws.monitor_rate),
+        F2(aws.fraction * 100) + "%", "1053/1366 = 77.1%"},
+       {"Iota", F0(iota.generated_rate), F0(iota.monitor_rate),
+        F2(iota.fraction * 100) + "%", "8162/9593 = 85.1%"}});
+
+  PrintTable(
+      "Pipeline breakdown and loss check",
+      {{"testbed", "extracted", "delivered", "lost", "fid2path share of stage cost"},
+       {"AWS", std::to_string(aws.extracted_total), std::to_string(aws.delivered_total),
+        std::to_string(aws.extracted_total - aws.delivered_total),
+        F1(aws.fid2path_share * 100) + "%"},
+       {"Iota", std::to_string(iota.extracted_total),
+        std::to_string(iota.delivered_total),
+        std::to_string(iota.extracted_total - iota.delivered_total),
+        F1(iota.fid2path_share * 100) + "%"}});
+
+  PrintTable("Event latency through the saturated pipeline (virtual time)",
+             {{"testbed", "detect p50", "detect p99", "deliver p99"},
+              {"AWS", aws.detect_p50, aws.detect_p99, aws.deliver_p99},
+              {"Iota", iota.detect_p50, iota.detect_p99, iota.deliver_p99}});
+
+  std::printf(
+      "\nShape: monitor trails generation (bottleneck = per-event path\n"
+      "resolution), gap larger on AWS; zero events lost once processed;\n"
+      "latencies grow with the backlog (the pipeline runs saturated).\n");
+  return 0;
+}

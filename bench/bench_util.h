@@ -1,0 +1,125 @@
+// Shared helpers for the reproduction harnesses: aligned table printing,
+// CSV output, and the standard experiment environment (virtual-time
+// authority + file system built from a testbed profile).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/strings.h"
+#include "lustre/filesystem.h"
+#include "lustre/profile.h"
+
+namespace sdci::bench {
+
+// Prints an aligned table: header row then data rows.
+inline void PrintTable(const std::string& title,
+                       const std::vector<std::vector<std::string>>& rows) {
+  if (!title.empty()) std::printf("\n=== %s ===\n", title.c_str());
+  if (rows.empty()) return;
+  std::vector<size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::string line;
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      std::string cell = rows[r][i];
+      cell.resize(widths[i], ' ');
+      line += cell;
+      if (i + 1 < rows[r].size()) line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+    if (r == 0) {
+      std::string rule(line.size(), '-');
+      std::printf("%s\n", rule.c_str());
+    }
+  }
+  std::fflush(stdout);
+}
+
+inline std::string F0(double v) { return strings::Fixed(v, 0); }
+inline std::string F1(double v) { return strings::Fixed(v, 1); }
+inline std::string F2(double v) { return strings::Fixed(v, 2); }
+
+// Writes `content` to `path` (best effort; reports to stdout).
+inline void WriteFileOrWarn(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("(could not write %s)\n", path.c_str());
+    return;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// The standard experiment environment. Dilation is chosen per testbed so
+// that dilated per-operation latencies stay well above scheduler noise
+// (fast testbeds need lower dilation); override with the SDCI_DILATION
+// environment variable (e.g. =1 for real time).
+struct Env {
+  explicit Env(const lustre::TestbedProfile& testbed_profile, double dilation = 0)
+      : profile(testbed_profile),
+        authority(DilationFromEnv(dilation > 0 ? dilation : DefaultDilation(profile))),
+        fs(lustre::FileSystemConfig::FromProfile(profile), authority) {}
+
+  static double DefaultDilation(const lustre::TestbedProfile& profile) {
+    // Keep the fastest modeled op >= ~25us of real time.
+    const double fastest = std::min(
+        {ToSecondsF(profile.op.unlink), ToSecondsF(profile.op.write),
+         ToSecondsF(profile.fid2path_latency)});
+    if (fastest <= 0) return 100.0;
+    return std::max(1.0, fastest / 25e-6);
+  }
+
+  static double DilationFromEnv(double fallback) {
+    const char* env = std::getenv("SDCI_DILATION");
+    if (env != nullptr) {
+      const double v = std::atof(env);
+      if (v > 0) return v;
+    }
+    return fallback;
+  }
+
+  lustre::TestbedProfile profile;
+  TimeAuthority authority;
+  lustre::FileSystem fs;
+};
+
+// Builds a pre-staged event backlog: `files_per_dir` files in each of
+// `dirs` directories under /backlog (uncosted direct FS calls), each also
+// written once, producing CREAT + MTIME records. With round-robin DNE
+// placement the records spread across every MDS. Returns the number of
+// changelog records appended.
+inline uint64_t BuildBacklog(lustre::FileSystem& fs, size_t dirs, size_t files_per_dir) {
+  uint64_t before = 0;
+  for (size_t m = 0; m < fs.MdsCount(); ++m) {
+    before += fs.Mds(m).changelog().TotalAppended();
+  }
+  (void)fs.MkdirAll("/backlog");
+  for (size_t d = 0; d < dirs; ++d) {
+    const std::string dir = strings::Format("/backlog/d{}", d);
+    (void)fs.Mkdir(dir);
+    for (size_t i = 0; i < files_per_dir; ++i) {
+      const std::string path = strings::Format("{}/f{}.dat", dir, i);
+      (void)fs.Create(path);
+      (void)fs.WriteFile(path, 4096 + i);
+    }
+  }
+  uint64_t after = 0;
+  for (size_t m = 0; m < fs.MdsCount(); ++m) {
+    after += fs.Mds(m).changelog().TotalAppended();
+  }
+  return after - before;
+}
+
+}  // namespace sdci::bench

@@ -1,0 +1,128 @@
+// Beamline pipeline: the paper's motivating scenario — "when files appear
+// in a specific directory of their laboratory machine they are
+// automatically analyzed and the results replicated to their personal
+// device".
+//
+// Two storage systems (the facility's Lustre store and a personal
+// laptop), two chained rules:
+//   1. detector writes scan_NNN.raw  -> run the analysis container, which
+//      emits scan_NNN.h5 next to it;
+//   2. a new .h5                     -> Globus-style transfer to the
+//      laptop's ~/results.
+//
+//   $ ./beamline_pipeline
+#include <cstdio>
+#include <thread>
+
+#include "common/strings.h"
+#include "lustre/client.h"
+#include "monitor/monitor.h"
+#include "ripple/agent.h"
+#include "ripple/cloud.h"
+
+using namespace sdci;
+
+int main() {
+  TimeAuthority authority(40.0);
+  const auto hpc_profile = lustre::TestbedProfile::Iota();
+  lustre::FileSystem beamline(lustre::FileSystemConfig::FromProfile(hpc_profile),
+                              authority);
+  // The laptop: a single-disk personal device.
+  auto laptop_profile = lustre::TestbedProfile::Laptop();
+  lustre::FileSystem laptop(lustre::FileSystemConfig::FromProfile(laptop_profile),
+                            authority);
+
+  msgq::Context context;
+  monitor::MonitorConfig mon_config;
+  mon_config.collector.resolve_mode = monitor::ResolveMode::kBatchedCached;
+  monitor::Monitor mon(beamline, hpc_profile, authority, context, mon_config);
+  mon.Start();
+
+  ripple::CloudService cloud(authority);
+  cloud.Start();
+  ripple::EndpointRegistry endpoints;
+  endpoints.Register("beamline", beamline);
+  endpoints.Register("laptop", laptop);
+
+  ripple::AgentConfig agent_config;
+  agent_config.name = "beamline";
+  ripple::Agent agent(agent_config, beamline, cloud, endpoints, authority);
+  agent.AttachSource(std::make_unique<monitor::EventSubscriber>(
+      context, mon_config.aggregator.publish_endpoint));
+  // The "analysis container": reads the raw file, writes the reduced .h5.
+  agent.RegisterExecutor(
+      ripple::ActionType::kLocalCommand,
+      std::make_unique<ripple::LocalCommandExecutor>(
+          [](const ripple::ActionContext& ctx, const std::string& command,
+             const monitor::FsEvent& event) -> Status {
+            std::printf("  [analysis] %s\n", command.c_str());
+            auto stat = ctx.storage->Stat(event.path);
+            if (!stat.ok()) return stat.status();
+            std::string out = event.path;
+            out.replace(out.rfind(".raw"), 4, ".h5");
+            auto created = ctx.storage->Create(out);
+            if (!created.ok()) return created.status();
+            return ctx.storage->WriteFile(out, stat->attrs.size / 8);  // reduction
+          }));
+  agent.Start();
+
+  const char* kRules[] = {
+      R"({"id": "tomo-reconstruct",
+          "trigger": {"events": ["created"], "path": "/aps/2-BM/**", "suffix": ".raw"},
+          "action": {"type": "local_command", "agent": "beamline",
+                     "params": {"command": "tomopy recon {path}"}}})",
+      R"({"id": "ship-results-home",
+          "trigger": {"events": ["created"], "path": "/aps/2-BM/**", "suffix": ".h5"},
+          "action": {"type": "transfer", "agent": "beamline",
+                     "params": {"destination_endpoint": "laptop",
+                                "destination_dir": "/home/alice/results",
+                                "bandwidth_mbps": 400}}})",
+  };
+  for (const char* text : kRules) {
+    auto rule = ripple::Rule::Parse(text);
+    if (!rule.ok()) {
+      std::fprintf(stderr, "bad rule: %s\n", rule.status().ToString().c_str());
+      return 1;
+    }
+    (void)cloud.RegisterRule(*rule);
+  }
+
+  // The detector takes three scans.
+  lustre::Client detector(beamline, hpc_profile, authority);
+  (void)detector.MkdirAll("/aps/2-BM/run42");
+  constexpr int kScans = 3;
+  for (int i = 0; i < kScans; ++i) {
+    const std::string path = strings::Format("/aps/2-BM/run42/scan_{}.raw", i);
+    (void)detector.Create(path);
+    (void)detector.WriteFile(path, 64ull << 20);  // 64 MiB raw frames
+  }
+  detector.FlushDelay();
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  const auto all_home = [&] {
+    for (int i = 0; i < kScans; ++i) {
+      if (!laptop.Stat(strings::Format("/home/alice/results/scan_{}.h5", i)).ok()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (!all_home() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  agent.Stop();
+  cloud.Stop();
+  mon.Stop();
+
+  std::printf("\nLaptop contents:\n");
+  (void)laptop.Walk("/home/alice/results",
+                    [](const std::string& path, const lustre::StatInfo& info) {
+                      if (info.type == lustre::NodeType::kFile) {
+                        std::printf("  %-40s %s\n", path.c_str(),
+                                    strings::HumanBytes(info.attrs.size).c_str());
+                      }
+                    });
+  std::printf("Actions executed on the beamline agent: %llu (analyses + transfers)\n",
+              static_cast<unsigned long long>(agent.Stats().actions_executed));
+  return all_home() ? 0 : 1;
+}

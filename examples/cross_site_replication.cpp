@@ -1,0 +1,133 @@
+// Cross-site federation: two monitored Lustre systems under one Ripple
+// cloud. New experiment data at the APS is replicated to NERSC; NERSC's
+// own monitor sees the replica arrive and catalogs it (emails the data
+// manager). Demonstrates several monitors coexisting on distinct
+// endpoints and rules chaining ACROSS sites.
+//
+//   $ ./cross_site_replication
+#include <cstdio>
+#include <thread>
+
+#include "common/strings.h"
+#include "lustre/client.h"
+#include "monitor/monitor.h"
+#include "ripple/agent.h"
+#include "ripple/cloud.h"
+
+using namespace sdci;
+
+namespace {
+
+// One site's stack: a file system, its monitor (on site-unique msgq
+// endpoints) and a Ripple agent consuming the site stream.
+struct Site {
+  Site(const std::string& site_name, const lustre::TestbedProfile& profile,
+       const TimeAuthority& authority, msgq::Context& context,
+       ripple::CloudService& cloud, ripple::EndpointRegistry& endpoints)
+      : name(site_name),
+        fs(lustre::FileSystemConfig::FromProfile(profile), authority) {
+    endpoints.Register(name, fs);
+    config.SetCollectEndpoint("inproc://" + name + ".collect");
+    config.aggregator.publish_endpoint = "inproc://" + name + ".events";
+    config.aggregator.api_endpoint = "inproc://" + name + ".api";
+    config.collector.resolve_mode = monitor::ResolveMode::kBatchedCached;
+    mon = std::make_unique<monitor::Monitor>(fs, profile, authority, context, config);
+    ripple::AgentConfig agent_config;
+    agent_config.name = name;
+    agent = std::make_unique<ripple::Agent>(agent_config, fs, cloud, endpoints,
+                                            authority);
+    agent->AttachSource(std::make_unique<monitor::EventSubscriber>(
+        context, config.aggregator.publish_endpoint));
+  }
+
+  void Start() {
+    mon->Start();
+    agent->Start();
+  }
+  void Stop() {
+    agent->Stop();
+    mon->Stop();
+  }
+
+  std::string name;
+  lustre::FileSystem fs;
+  monitor::MonitorConfig config;
+  std::unique_ptr<monitor::Monitor> mon;
+  std::unique_ptr<ripple::Agent> agent;
+};
+
+}  // namespace
+
+int main() {
+  TimeAuthority authority(40.0);
+  msgq::Context context;
+  ripple::CloudService cloud(authority);
+  cloud.Start();
+  ripple::EndpointRegistry endpoints;
+
+  Site aps("aps", lustre::TestbedProfile::Iota(), authority, context, cloud, endpoints);
+  Site nersc("nersc", lustre::TestbedProfile::Iota(), authority, context, cloud,
+             endpoints);
+  aps.Start();
+  nersc.Start();
+
+  // Rule 1 (watch APS, execute at APS): replicate finished datasets.
+  // Rule 2 (watch NERSC, execute at NERSC): catalog arrivals.
+  const char* kRules[] = {
+      R"({"id": "aps-to-nersc",
+          "trigger": {"events": ["created"], "path": "/data/export/**",
+                      "suffix": ".h5"},
+          "action": {"type": "transfer", "agent": "aps",
+                     "params": {"destination_endpoint": "nersc",
+                                "destination_dir": "/global/incoming/aps"}},
+          "watch_agent": "aps"})",
+      R"({"id": "nersc-catalog",
+          "trigger": {"events": ["created"], "path": "/global/incoming/**",
+                      "suffix": ".h5"},
+          "action": {"type": "email", "agent": "nersc",
+                     "params": {"to": "data-manager@nersc.gov",
+                                "subject": "catalog {name}"}},
+          "watch_agent": "nersc"})",
+  };
+  for (const char* text : kRules) {
+    auto rule = ripple::Rule::Parse(text);
+    if (!rule.ok()) {
+      std::fprintf(stderr, "bad rule: %s\n", rule.status().ToString().c_str());
+      return 1;
+    }
+    (void)cloud.RegisterRule(*rule);
+  }
+
+  // The beamline exports three datasets.
+  lustre::Client beamline(aps.fs, lustre::TestbedProfile::Iota(), authority);
+  (void)beamline.MkdirAll("/data/export/run7");
+  for (int i = 0; i < 3; ++i) {
+    const std::string path = strings::Format("/data/export/run7/ds{}.h5", i);
+    (void)beamline.Create(path);
+    (void)beamline.WriteFile(path, 16ull << 20);
+  }
+  beamline.FlushDelay();
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (nersc.agent->outbox().Count() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  aps.Stop();
+  nersc.Stop();
+  cloud.Stop();
+
+  std::printf("NERSC incoming tree:\n");
+  (void)nersc.fs.Walk("/global/incoming",
+                      [](const std::string& path, const lustre::StatInfo& info) {
+                        if (info.type == lustre::NodeType::kFile) {
+                          std::printf("  %-40s %s\n", path.c_str(),
+                                      strings::HumanBytes(info.attrs.size).c_str());
+                        }
+                      });
+  std::printf("Catalog notifications at NERSC: %zu\n", nersc.agent->outbox().Count());
+  for (const auto& mail : nersc.agent->outbox().Messages()) {
+    std::printf("  -> %s: %s\n", mail.to.c_str(), mail.subject.c_str());
+  }
+  return nersc.agent->outbox().Count() == 3 ? 0 : 1;
+}

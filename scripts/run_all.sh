@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, then regenerates every
+# table/figure reproduction. SDCI_DILATION=<x> overrides virtual-time
+# dilation for the benchmarks (1 = real time).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for bench in build/bench/bench_*; do
+  [ -x "$bench" ] && [ -f "$bench" ] || continue
+  echo
+  echo "##### $(basename "$bench")"
+  "$bench"
+done

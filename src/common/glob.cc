@@ -1,0 +1,163 @@
+#include "common/glob.h"
+
+#include <vector>
+
+namespace sdci {
+namespace {
+
+// Pattern token: a literal character, '?', '*', '**', or a character class
+// (stored as the [begin, end) range of the class body inside the pattern).
+struct Token {
+  enum class Kind { kChar, kAny, kStar, kGlobstar, kClass };
+  Kind kind = Kind::kChar;
+  char ch = 0;
+  size_t class_begin = 0;
+  size_t class_end = 0;
+  bool class_negate = false;
+};
+
+// Parses a character class starting at pattern[i] ('['). On success sets
+// `token` and returns the index past ']'; returns npos for an unterminated
+// class (caller treats '[' as a literal).
+size_t ParseClass(std::string_view pattern, size_t i, Token& token) {
+  size_t j = i + 1;
+  bool negate = false;
+  if (j < pattern.size() && (pattern[j] == '!' || pattern[j] == '^')) {
+    negate = true;
+    ++j;
+  }
+  const size_t body_begin = j;
+  bool first = true;
+  while (j < pattern.size() && (pattern[j] != ']' || first)) {
+    first = false;
+    ++j;
+  }
+  if (j >= pattern.size()) return std::string_view::npos;
+  token.kind = Token::Kind::kClass;
+  token.class_begin = body_begin;
+  token.class_end = j;
+  token.class_negate = negate;
+  return j + 1;
+}
+
+bool ClassContains(std::string_view pattern, const Token& token, char c) {
+  size_t i = token.class_begin;
+  bool matched = false;
+  while (i < token.class_end) {
+    if (i + 2 < token.class_end && pattern[i + 1] == '-') {
+      if (pattern[i] <= c && c <= pattern[i + 2]) matched = true;
+      i += 3;
+    } else {
+      if (pattern[i] == c) matched = true;
+      ++i;
+    }
+  }
+  return matched != token.class_negate;
+}
+
+std::vector<Token> Tokenize(std::string_view pattern) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < pattern.size()) {
+    const char c = pattern[i];
+    Token token;
+    switch (c) {
+      case '*': {
+        // Runs of consecutive stars: any run containing >= 2 stars can
+        // cross '/' (gitignore semantics for "**").
+        size_t run = 0;
+        while (i < pattern.size() && pattern[i] == '*') {
+          ++run;
+          ++i;
+        }
+        token.kind = run >= 2 ? Token::Kind::kGlobstar : Token::Kind::kStar;
+        tokens.push_back(token);
+        continue;
+      }
+      case '?':
+        token.kind = Token::Kind::kAny;
+        ++i;
+        break;
+      case '[': {
+        const size_t next = ParseClass(pattern, i, token);
+        if (next == std::string_view::npos) {
+          token.kind = Token::Kind::kChar;
+          token.ch = '[';
+          ++i;
+        } else {
+          i = next;
+        }
+        break;
+      }
+      default:
+        token.kind = Token::Kind::kChar;
+        token.ch = c;
+        ++i;
+        break;
+    }
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Glob::Glob(std::string pattern) : pattern_(std::move(pattern)) {}
+
+bool Glob::Matches(std::string_view path) const noexcept {
+  return GlobMatch(pattern_, path);
+}
+
+bool GlobMatch(std::string_view pattern, std::string_view path) noexcept {
+  const std::vector<Token> tokens = Tokenize(pattern);
+  const size_t n = path.size();
+  // Row-by-row dynamic program: prev[j] = "tokens consumed so far can
+  // match path[0..j)". Linear in pattern tokens x path length; immune to
+  // the backtracking unsoundness of two-pointer matchers when '*' and
+  // '**' interleave.
+  std::vector<char> prev(n + 1, 0);
+  std::vector<char> cur(n + 1, 0);
+  prev[0] = 1;
+  for (const Token& token : tokens) {
+    switch (token.kind) {
+      case Token::Kind::kStar:
+        // Matches any (possibly empty) run without '/'.
+        cur[0] = prev[0];
+        for (size_t j = 1; j <= n; ++j) {
+          cur[j] = prev[j] || (cur[j - 1] && path[j - 1] != '/') ? 1 : 0;
+        }
+        break;
+      case Token::Kind::kGlobstar:
+        cur[0] = prev[0];
+        for (size_t j = 1; j <= n; ++j) {
+          cur[j] = (prev[j] || cur[j - 1]) ? 1 : 0;
+        }
+        break;
+      case Token::Kind::kAny:
+        cur[0] = 0;
+        for (size_t j = 1; j <= n; ++j) {
+          cur[j] = (prev[j - 1] && path[j - 1] != '/') ? 1 : 0;
+        }
+        break;
+      case Token::Kind::kChar:
+        cur[0] = 0;
+        for (size_t j = 1; j <= n; ++j) {
+          cur[j] = (prev[j - 1] && path[j - 1] == token.ch) ? 1 : 0;
+        }
+        break;
+      case Token::Kind::kClass:
+        cur[0] = 0;
+        for (size_t j = 1; j <= n; ++j) {
+          cur[j] = (prev[j - 1] && path[j - 1] != '/' &&
+                    ClassContains(pattern, token, path[j - 1]))
+                       ? 1
+                       : 0;
+        }
+        break;
+    }
+    prev.swap(cur);
+  }
+  return prev[n] != 0;
+}
+
+}  // namespace sdci

@@ -1,0 +1,32 @@
+// Path glob matching for Ripple rule triggers.
+//
+// Supported syntax (gitignore-flavoured):
+//   *      matches any run of characters except '/'
+//   ?      matches a single character except '/'
+//   **     matches any run of characters including '/'
+//   [abc]  character class; [a-z] ranges; [!abc] negation
+// Matching is anchored: the whole path must match the whole pattern.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sdci {
+
+// Compiled glob pattern. Cheap to copy; matching is O(pattern * path) with
+// the classic two-pointer backtracking algorithm (no exponential blowup).
+class Glob {
+ public:
+  explicit Glob(std::string pattern);
+
+  [[nodiscard]] bool Matches(std::string_view path) const noexcept;
+  [[nodiscard]] const std::string& pattern() const noexcept { return pattern_; }
+
+ private:
+  std::string pattern_;
+};
+
+// One-shot convenience.
+bool GlobMatch(std::string_view pattern, std::string_view path) noexcept;
+
+}  // namespace sdci

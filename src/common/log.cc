@@ -1,0 +1,47 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace sdci::log {
+namespace {
+
+std::atomic<Level> g_min_level{Level::kWarn};
+std::mutex g_write_mutex;
+
+const char* LevelTag(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DBG";
+    case Level::kInfo:
+      return "INF";
+    case Level::kWarn:
+      return "WRN";
+    case Level::kError:
+      return "ERR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "???";
+}
+
+}  // namespace
+
+void SetMinLevel(Level level) noexcept { g_min_level.store(level, std::memory_order_relaxed); }
+
+Level MinLevel() noexcept { return g_min_level.load(std::memory_order_relaxed); }
+
+void Write(Level level, std::string_view component, std::string_view message) {
+  if (level < MinLevel()) return;
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  const std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%lld.%03lld %s %.*s] %.*s\n",
+               static_cast<long long>(ms / 1000), static_cast<long long>(ms % 1000),
+               LevelTag(level), static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace sdci::log

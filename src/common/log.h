@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// Components log through free functions tagged with a component name:
+//   log::Info("collector.0", "drained {} records", n);
+// The global minimum level defaults to kWarn so tests and benchmarks stay
+// quiet; examples raise it to kInfo. Thread-safe (a single mutex serializes
+// writes; logging is never on a modeled hot path).
+#pragma once
+
+#include <string_view>
+
+#include "common/strings.h"
+
+namespace sdci::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Sets the global minimum level; messages below it are discarded.
+void SetMinLevel(Level level) noexcept;
+Level MinLevel() noexcept;
+
+// Core sink; prefer the level-named helpers below.
+void Write(Level level, std::string_view component, std::string_view message);
+
+template <typename... Args>
+void Debug(std::string_view component, std::string_view fmt, const Args&... args) {
+  if (MinLevel() <= Level::kDebug) {
+    Write(Level::kDebug, component, strings::Format(fmt, args...));
+  }
+}
+
+template <typename... Args>
+void Info(std::string_view component, std::string_view fmt, const Args&... args) {
+  if (MinLevel() <= Level::kInfo) {
+    Write(Level::kInfo, component, strings::Format(fmt, args...));
+  }
+}
+
+template <typename... Args>
+void Warn(std::string_view component, std::string_view fmt, const Args&... args) {
+  if (MinLevel() <= Level::kWarn) {
+    Write(Level::kWarn, component, strings::Format(fmt, args...));
+  }
+}
+
+template <typename... Args>
+void Error(std::string_view component, std::string_view fmt, const Args&... args) {
+  if (MinLevel() <= Level::kError) {
+    Write(Level::kError, component, strings::Format(fmt, args...));
+  }
+}
+
+}  // namespace sdci::log

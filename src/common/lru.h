@@ -1,0 +1,104 @@
+// A classic LRU cache (hash map + intrusive recency list).
+//
+// Used by the monitor's cached fid2path resolver — the optimization the
+// paper proposes ("temporarily cache path mappings to minimize the number
+// of invocations").
+//
+// Threading contract: Get/Put/Erase/Clear must be called from ONE thread
+// (the owner); the statistics accessors (size, hits, misses, evictions,
+// HitRate) are safe to read concurrently from other threads — they are
+// what monitoring surfaces poll.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace sdci {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Returns the value and refreshes recency, or nullopt on miss.
+  std::optional<V> Get(const K& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  // Inserts or refreshes; evicts the least recently used entry when full.
+  void Put(const K& key, V value) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (index_.size() >= capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      size_.fetch_add(1, std::memory_order_relaxed);
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+  }
+
+  // Removes a key if present. Returns whether it was present.
+  bool Erase(const K& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  void Clear() {
+    order_.clear();
+    index_.clear();
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double HitRate() const noexcept {
+    const uint64_t h = hits();
+    const uint64_t total = h + misses();
+    return total == 0 ? 0.0 : static_cast<double>(h) / static_cast<double>(total);
+  }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<K, V>> order_;  // front = most recent
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash> index_;
+  std::atomic<size_t> size_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace sdci

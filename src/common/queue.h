@@ -1,0 +1,127 @@
+// Bounded, blocking MPMC queue used as the backbone of sockets, the
+// aggregator pipeline and the Ripple cloud service.
+//
+// Semantics:
+//  - Push blocks when full (backpressure) unless TryPush is used.
+//  - Pop blocks when empty; PopFor supports timeouts.
+//  - Close() wakes all waiters; pushes fail with kClosed, pops drain the
+//    remaining items and then fail with kClosed. This makes shutdown of
+//    pipeline stages deterministic (Core Guidelines CP.24: no detached
+//    threads waiting forever).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace sdci {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks until there is room or the queue is closed.
+  Status Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return ClosedError("queue closed");
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return OkStatus();
+  }
+
+  // Non-blocking push; fails with kResourceExhausted when full.
+  Status TryPush(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return ClosedError("queue closed");
+      if (items_.size() >= capacity_) return ResourceExhaustedError("queue full");
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return OkStatus();
+  }
+
+  // Blocks until an item is available; drains remaining items after Close.
+  Result<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return ClosedError("queue closed");
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Pop with a real-time timeout. kTimedOut when nothing arrived in time.
+  Result<T> PopFor(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); })) {
+      return TimedOutError("queue pop timed out");
+    }
+    if (items_.empty()) return ClosedError("queue closed");
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::optional<T> out;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  // Closes the queue: wakes all waiters. Items already queued remain
+  // poppable; new pushes fail.
+  void Close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace sdci

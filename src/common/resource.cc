@@ -1,0 +1,20 @@
+#include "common/resource.h"
+
+#include "common/strings.h"
+
+namespace sdci {
+
+double BusyMeter::CpuPercent(VirtualDuration elapsed) const noexcept {
+  const double e = ToSecondsF(elapsed);
+  if (e <= 0.0) return 0.0;
+  return 100.0 * ToSecondsF(Busy()) / e;
+}
+
+std::string ResourceUsage::ToString() const {
+  return strings::Format("{}: cpu={}% pipeline={}% mem={}", component,
+                         strings::Fixed(cpu_percent, 3),
+                         strings::Fixed(pipeline_busy_percent, 1),
+                         strings::HumanBytes(peak_memory_bytes));
+}
+
+}  // namespace sdci

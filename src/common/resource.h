@@ -1,0 +1,74 @@
+// Resource accounting for Table 3 (monitor overhead).
+//
+// Two complementary mechanisms:
+//  - MemoryAccountant: components charge the bytes they retain (event
+//    stores, queues, caches). This models the paper's observation that the
+//    monitor's footprint is dominated by the aggregator's local store.
+//  - BusyMeter: components charge the virtual time they spend doing work;
+//    CPU% = busy / elapsed in virtual time, matching how the paper reports
+//    peak CPU utilization per process.
+// Both are thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/stats.h"
+
+namespace sdci {
+
+// Tracks retained bytes with a peak watermark.
+class MemoryAccountant {
+ public:
+  void Charge(uint64_t bytes) noexcept { gauge_.Add(static_cast<int64_t>(bytes)); }
+  void Release(uint64_t bytes) noexcept { gauge_.Add(-static_cast<int64_t>(bytes)); }
+
+  [[nodiscard]] uint64_t CurrentBytes() const noexcept {
+    const int64_t v = gauge_.Get();
+    return v < 0 ? 0 : static_cast<uint64_t>(v);
+  }
+  [[nodiscard]] uint64_t PeakBytes() const noexcept {
+    const int64_t v = gauge_.Peak();
+    return v < 0 ? 0 : static_cast<uint64_t>(v);
+  }
+
+ private:
+  Gauge gauge_;
+};
+
+// Accumulates busy virtual time for one component.
+class BusyMeter {
+ public:
+  void Charge(VirtualDuration d) noexcept {
+    if (d > VirtualDuration::zero()) busy_ns_.Add(static_cast<uint64_t>(d.count()));
+  }
+
+  [[nodiscard]] VirtualDuration Busy() const noexcept {
+    return VirtualDuration(static_cast<int64_t>(busy_ns_.Get()));
+  }
+
+  // Percent of `elapsed` spent busy (0..100+; >100 means multiple threads).
+  [[nodiscard]] double CpuPercent(VirtualDuration elapsed) const noexcept;
+
+ private:
+  Counter busy_ns_;
+};
+
+// Snapshot of one component's resource usage, as reported in Table 3.
+//
+// cpu_percent is modeled *process CPU* (the paper's metric): per-event CPU
+// work times event count over elapsed time. pipeline_busy_percent is the
+// fraction of time the component's pipeline was occupied by modeled
+// latencies (fid2path RPCs are mostly wait, so this is much larger than
+// CPU at saturation).
+struct ResourceUsage {
+  std::string component;
+  double cpu_percent = 0;
+  double pipeline_busy_percent = 0;
+  uint64_t peak_memory_bytes = 0;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+}  // namespace sdci

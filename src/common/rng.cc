@@ -1,0 +1,139 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace sdci {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+uint64_t SplitMix64::Next() noexcept {
+  state_ += 0x9E3779B97f4A7C15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.Next();
+}
+
+uint64_t Rng::NextU64() noexcept {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) noexcept {
+  assert(bound > 0);
+  // Rejection sampling: discard the biased tail.
+  const uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) noexcept {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() noexcept {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) noexcept { return NextDouble() < p; }
+
+double Rng::NextExponential(double mean) noexcept {
+  assert(mean > 0);
+  double u = NextDouble();
+  if (u >= 1.0) u = 0.9999999999999999;
+  return -mean * std::log1p(-u);
+}
+
+double Rng::NextNormal(double mean, double stddev) noexcept {
+  // Box-Muller; one value per call keeps the generator stateless w.r.t. pairs.
+  double u1 = NextDouble();
+  const double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 1e-300;
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Jitter(double value, double frac) noexcept {
+  return value * (1.0 + frac * (2.0 * NextDouble() - 1.0));
+}
+
+std::string Rng::NextString(size_t n) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out += kAlphabet[NextBelow(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  assert(total > 0.0);
+  double pick = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Split() noexcept { return Rng(NextU64()); }
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n == 0 ? 1 : n),
+      theta_(theta),
+      alpha_(theta >= 1.0 ? 0.0 : 1.0 / (1.0 - theta)),
+      zetan_(Zeta(n_, theta)),
+      eta_((1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta)) /
+           (1.0 - Zeta(2, theta) / zetan_)) {}
+
+uint64_t ZipfGenerator::Next(Rng& rng) const noexcept {
+  if (theta_ == 0.0) return rng.NextBelow(n_);
+  // Gray's algorithm, as popularized by the YCSB generator.
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  if (theta_ >= 1.0) {
+    // Fall back to inverse-CDF walk for theta >= 1 (rare in our configs).
+    double sum = 0.0;
+    for (uint64_t i = 0; i < n_; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+      if (sum >= uz) return i;
+    }
+    return n_ - 1;
+  }
+  const auto rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+}  // namespace sdci

@@ -1,0 +1,88 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component takes an explicit seed; two runs with the same
+// seed produce the same traces. SplitMix64 seeds Xoshiro256**, the main
+// generator (fast, well-distributed, 64-bit output).
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdci {
+
+// SplitMix64: used to expand a single seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) noexcept : state_(seed) {}
+  uint64_t Next() noexcept;
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256** by Blackman & Vigna — public-domain reference algorithm.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) noexcept;
+
+  // Uniform 64-bit value.
+  uint64_t NextU64() noexcept;
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  // avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound) noexcept;
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) noexcept;
+
+  // Uniform double in [0, 1).
+  double NextDouble() noexcept;
+
+  // Bernoulli with probability p.
+  bool NextBool(double p) noexcept;
+
+  // Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean) noexcept;
+
+  // Normal via Box-Muller.
+  double NextNormal(double mean, double stddev) noexcept;
+
+  // Lognormal-ish positive jitter: value * (1 +/- up to `frac`), uniform.
+  double Jitter(double value, double frac) noexcept;
+
+  // Random lowercase-alnum string of length n.
+  std::string NextString(size_t n);
+
+  // Picks an index weighted by `weights` (non-negative, not all zero).
+  size_t NextWeighted(const std::vector<double>& weights) noexcept;
+
+  // Splits off an independent generator (seeded from this one).
+  Rng Split() noexcept;
+
+ private:
+  std::array<uint64_t, 4> s_;
+};
+
+// Zipf(θ) sampler over [0, n). θ=0 is uniform; θ≈0.99 is the classic
+// YCSB-style skew. Precomputes the harmonic normalizer once.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  // Samples a rank in [0, n), rank 0 most popular.
+  uint64_t Next(Rng& rng) const noexcept;
+
+  [[nodiscard]] uint64_t n() const noexcept { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace sdci

@@ -1,0 +1,4 @@
+// serde is header-only; this translation unit exists so the library always
+// has at least one object file per header group and to host future
+// out-of-line helpers.
+#include "common/serde.h"

@@ -1,0 +1,87 @@
+// Compact binary serialization for message payloads.
+//
+// Fixed little-endian integers, varint-free (payloads are small and the
+// format must be trivially auditable). Readers are bounds-checked and fail
+// with Status instead of UB on truncated input.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sdci {
+
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU32(uint32_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutDouble(double v) { PutFixed(&v, sizeof(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  // Length-prefixed (u32) byte string.
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  [[nodiscard]] const std::string& Data() const noexcept { return buf_; }
+  [[nodiscard]] std::string Take() noexcept { return std::move(buf_); }
+  [[nodiscard]] size_t Size() const noexcept { return buf_.size(); }
+
+ private:
+  void PutFixed(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8() { return GetFixed<uint8_t>(); }
+  Result<uint16_t> GetU16() { return GetFixed<uint16_t>(); }
+  Result<uint32_t> GetU32() { return GetFixed<uint32_t>(); }
+  Result<uint64_t> GetU64() { return GetFixed<uint64_t>(); }
+  Result<int64_t> GetI64() { return GetFixed<int64_t>(); }
+  Result<double> GetDouble() { return GetFixed<double>(); }
+  Result<bool> GetBool() {
+    auto v = GetU8();
+    if (!v.ok()) return v.status();
+    return *v != 0;
+  }
+
+  Result<std::string> GetString() {
+    auto len = GetU32();
+    if (!len.ok()) return len.status();
+    if (pos_ + *len > data_.size()) return OutOfRangeError("truncated string");
+    std::string out(data_.substr(pos_, *len));
+    pos_ += *len;
+    return out;
+  }
+
+  [[nodiscard]] bool AtEnd() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] size_t Remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  Result<T> GetFixed() {
+    if (pos_ + sizeof(T) > data_.size()) return OutOfRangeError("truncated field");
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sdci

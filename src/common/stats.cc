@@ -1,0 +1,143 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace sdci {
+
+void Gauge::Add(int64_t delta) noexcept {
+  const int64_t v = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  BumpPeak(v);
+}
+
+void Gauge::Set(int64_t v) noexcept {
+  value_.store(v, std::memory_order_relaxed);
+  BumpPeak(v);
+}
+
+void Gauge::BumpPeak(int64_t v) noexcept {
+  int64_t prev = peak_.load(std::memory_order_relaxed);
+  while (v > prev && !peak_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::LatencyHistogram() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+size_t LatencyHistogram::BucketFor(int64_t ns) noexcept {
+  if (ns < 1000) return 0;  // sub-microsecond
+  // Bucket i covers [2^(i-1), 2^i) microseconds, i in [1, kBuckets).
+  const auto us = static_cast<uint64_t>(ns / 1000);
+  const size_t bit = 64 - static_cast<size_t>(__builtin_clzll(us));
+  return bit >= kBuckets ? kBuckets - 1 : bit;
+}
+
+int64_t LatencyHistogram::BucketUpper(size_t i) noexcept {
+  if (i == 0) return 1000;
+  const uint64_t us = 1ull << i;
+  return static_cast<int64_t>(us * 1000ull);
+}
+
+void LatencyHistogram::Record(VirtualDuration d) noexcept {
+  const int64_t ns = d.count() < 0 ? 0 : d.count();
+  counts_[BucketFor(ns)].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  int64_t prev = max_ns_.load(std::memory_order_relaxed);
+  while (ns > prev && !max_ns_.compare_exchange_weak(prev, ns, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::Count() const noexcept {
+  return total_.load(std::memory_order_relaxed);
+}
+
+VirtualDuration LatencyHistogram::Quantile(double q) const noexcept {
+  const uint64_t total = Count();
+  if (total == 0) return VirtualDuration::zero();
+  const auto target = static_cast<uint64_t>(q * static_cast<double>(total));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i].load(std::memory_order_relaxed);
+    if (seen > target) return VirtualDuration(BucketUpper(i));
+  }
+  return VirtualDuration(max_ns_.load(std::memory_order_relaxed));
+}
+
+VirtualDuration LatencyHistogram::Mean() const noexcept {
+  const uint64_t total = Count();
+  if (total == 0) return VirtualDuration::zero();
+  return VirtualDuration(sum_ns_.load(std::memory_order_relaxed) /
+                         static_cast<int64_t>(total));
+}
+
+VirtualDuration LatencyHistogram::Max() const noexcept {
+  return VirtualDuration(max_ns_.load(std::memory_order_relaxed));
+}
+
+std::string LatencyHistogram::Summary() const {
+  return strings::Format("count={} mean={} p50={} p99={} max={}", Count(),
+                         FormatDuration(Mean()), FormatDuration(Quantile(0.5)),
+                         FormatDuration(Quantile(0.99)), FormatDuration(Max()));
+}
+
+double RatePerSecond(uint64_t count, VirtualDuration elapsed) noexcept {
+  const double secs = ToSecondsF(elapsed);
+  if (secs <= 0.0) return 0.0;
+  return static_cast<double>(count) / secs;
+}
+
+SampleStats Describe(std::vector<double> samples) {
+  SampleStats out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0;
+  for (const double s : samples) sum += s;
+  out.mean = sum / static_cast<double>(samples.size());
+  double var = 0;
+  for (const double s : samples) var += (s - out.mean) * (s - out.mean);
+  out.stddev = std::sqrt(var / static_cast<double>(samples.size()));
+  out.min = samples.front();
+  out.max = samples.back();
+  const auto at = [&](double q) {
+    const auto idx = static_cast<size_t>(q * static_cast<double>(samples.size() - 1));
+    return samples[idx];
+  };
+  out.p50 = at(0.50);
+  out.p90 = at(0.90);
+  out.p99 = at(0.99);
+  return out;
+}
+
+void MetricSet::Set(const std::string& name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  values_[name] = value;
+}
+
+double MetricSet::Get(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = values_.find(name);
+  assert(it != values_.end());
+  return it->second;
+}
+
+bool MetricSet::Has(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return values_.count(name) > 0;
+}
+
+std::string MetricSet::ToString() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, value] : values_) {
+    if (!out.empty()) out += " ";
+    out += strings::Format("{}={}", name, value);
+  }
+  return out;
+}
+
+}  // namespace sdci

@@ -1,0 +1,105 @@
+// Measurement primitives: counters, rate meters, histograms and summaries.
+//
+// Components expose their internals through these types so tests and
+// benchmark harnesses can assert on behaviour (events extracted, processed,
+// dropped, stage latencies) without reaching into private state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace sdci {
+
+// Monotonic event counter, safe for concurrent increments.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] uint64_t Get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Tracks a gauge with its high-water mark (e.g. queue depth, memory bytes).
+class Gauge {
+ public:
+  void Add(int64_t delta) noexcept;
+  void Set(int64_t v) noexcept;
+  [[nodiscard]] int64_t Get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int64_t Peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void BumpPeak(int64_t v) noexcept;
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+// Fixed-boundary latency histogram with exponential buckets covering
+// 1us..~17min; records in virtual nanoseconds. Thread-safe.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(VirtualDuration d) noexcept;
+
+  [[nodiscard]] uint64_t Count() const noexcept;
+  // Approximate quantile (q in [0,1]) via bucket interpolation.
+  [[nodiscard]] VirtualDuration Quantile(double q) const noexcept;
+  [[nodiscard]] VirtualDuration Mean() const noexcept;
+  [[nodiscard]] VirtualDuration Max() const noexcept;
+
+  // "count=N mean=... p50=... p99=... max=..."
+  [[nodiscard]] std::string Summary() const;
+
+ private:
+  static constexpr size_t kBuckets = 64;
+  [[nodiscard]] static size_t BucketFor(int64_t ns) noexcept;
+  [[nodiscard]] static int64_t BucketUpper(size_t i) noexcept;
+
+  std::atomic<uint64_t> counts_[kBuckets];
+  std::atomic<uint64_t> total_{0};
+  std::atomic<int64_t> sum_ns_{0};
+  std::atomic<int64_t> max_ns_{0};
+};
+
+// Converts a count over a virtual interval into events/second.
+double RatePerSecond(uint64_t count, VirtualDuration elapsed) noexcept;
+
+// Simple descriptive statistics over a sample vector.
+struct SampleStats {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+SampleStats Describe(std::vector<double> samples);
+
+// Named scalar metrics bag used by benches to print labelled result rows.
+class MetricSet {
+ public:
+  void Set(const std::string& name, double value);
+  [[nodiscard]] double Get(const std::string& name) const;
+  [[nodiscard]] bool Has(const std::string& name) const;
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, double> values_;
+};
+
+}  // namespace sdci

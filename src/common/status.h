@@ -1,0 +1,126 @@
+// Status and Result<T>: lightweight error propagation without exceptions.
+//
+// Fallible operations in sdci return either a Status (when there is no
+// payload) or a Result<T> (a value-or-Status union, in the spirit of
+// absl::StatusOr). Exceptions are reserved for programming errors and
+// unrecoverable construction failures.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sdci {
+
+// Canonical error space, loosely following the gRPC/absl canonical codes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kResourceExhausted,
+  kUnavailable,
+  kTimedOut,
+  kClosed,     // endpoint/queue has been shut down
+  kInternal,
+};
+
+// Human-readable name of a status code, e.g. "NOT_FOUND".
+std::string_view StatusCodeName(StatusCode code) noexcept;
+
+// A success-or-error value. Cheap to copy on the success path (no message
+// allocation), explicit about failure causes otherwise.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() noexcept : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  // "OK" or "NOT_FOUND: no such path".
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors mirroring the code names.
+Status OkStatus() noexcept;
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
+Status TimedOutError(std::string message);
+Status ClosedError(std::string message);
+Status InternalError(std::string message);
+
+// A value of type T or a non-OK Status explaining why there is no value.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit conversions keep call sites readable:
+  //   Result<int> F() { if (bad) return NotFoundError("x"); return 42; }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  // Status of the operation; OkStatus() when a value is present.
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  // Precondition: ok().
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  [[nodiscard]] T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+  [[nodiscard]] const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+}  // namespace sdci

@@ -1,0 +1,85 @@
+// Small string utilities used across sdci: splitting, joining, trimming,
+// case mapping, numeric parsing and a printf-free "{}" formatter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdci::strings {
+
+// Splits `s` on `sep`. Empty fields are preserved: Split(",a,", ',') yields
+// {"", "a", ""}. Splitting an empty string yields {""}.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Splits and drops empty fields: SplitSkipEmpty("/a//b/", '/') -> {"a","b"}.
+std::vector<std::string> SplitSkipEmpty(std::string_view s, char sep);
+
+// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix) noexcept;
+bool EndsWith(std::string_view s, std::string_view suffix) noexcept;
+
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+// Parses a base-10 (or 0x-prefixed base-16) unsigned integer. Returns
+// nullopt on any non-numeric content or overflow.
+std::optional<uint64_t> ParseUint64(std::string_view s);
+std::optional<int64_t> ParseInt64(std::string_view s);
+std::optional<double> ParseDouble(std::string_view s);
+
+// Renders `v` as 0x-prefixed lowercase hex (no leading zeros), like Lustre
+// FID rendering: HexU64(0xa046) == "0xa046".
+std::string HexU64(uint64_t v);
+
+// Minimal "{}" formatter: Format("a={} b={}", 1, "x") == "a=1 b=x".
+// Unmatched "{}" placeholders are left verbatim; extra arguments are
+// appended space-separated (so mistakes are visible, not silent).
+namespace internal {
+inline void AppendAll(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void AppendAll(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << ' ' << v;
+  AppendAll(os, rest...);
+}
+
+inline std::string FormatImpl(std::string_view fmt) { return std::string(fmt); }
+
+template <typename T, typename... Rest>
+std::string FormatImpl(std::string_view fmt, const T& v, const Rest&... rest) {
+  const size_t pos = fmt.find("{}");
+  if (pos == std::string_view::npos) {
+    std::ostringstream os;
+    os << fmt;
+    AppendAll(os, v, rest...);
+    return os.str();
+  }
+  std::ostringstream os;
+  os << fmt.substr(0, pos) << v;
+  return os.str() + FormatImpl(fmt.substr(pos + 2), rest...);
+}
+}  // namespace internal
+
+template <typename... Args>
+std::string Format(std::string_view fmt, const Args&... args) {
+  return internal::FormatImpl(fmt, args...);
+}
+
+// Formats with fixed decimal places, e.g. Fixed(3.14159, 2) == "3.14".
+std::string Fixed(double v, int places);
+
+// Human-readable byte size, e.g. "1.5 MiB".
+std::string HumanBytes(uint64_t bytes);
+
+// Human-readable count with thousands separators, e.g. "3,600,000".
+std::string WithCommas(uint64_t v);
+
+}  // namespace sdci::strings

@@ -1,0 +1,91 @@
+#include "lustre/client.h"
+
+namespace sdci::lustre {
+
+Client::Client(FileSystem& fs, const TestbedProfile& profile,
+               const TimeAuthority& authority, uint64_t seed)
+    : fs_(&fs), profile_(profile), budget_(authority), rng_(seed) {}
+
+void Client::Charge(VirtualDuration mean) {
+  if (mean <= VirtualDuration::zero()) return;
+  const double jittered =
+      rng_.Jitter(static_cast<double>(mean.count()), profile_.op.jitter_frac);
+  budget_.Charge(VirtualDuration(static_cast<int64_t>(jittered)));
+}
+
+Result<Fid> Client::Create(std::string_view path, uint32_t mode, uint32_t uid) {
+  Charge(profile_.op.create);
+  return fs_->Create(path, mode, uid);
+}
+
+Result<Fid> Client::Mkdir(std::string_view path, uint32_t mode, uint32_t uid) {
+  Charge(profile_.op.mkdir);
+  return fs_->Mkdir(path, mode, uid);
+}
+
+Status Client::MkdirAll(std::string_view path, uint32_t mode, uint32_t uid) {
+  // Cost ~ one mkdir per missing component; FileSystem handles idempotence.
+  Charge(profile_.op.mkdir);
+  return fs_->MkdirAll(path, mode, uid);
+}
+
+Status Client::WriteFile(std::string_view path, uint64_t new_size) {
+  Charge(profile_.op.write);
+  return fs_->WriteFile(path, new_size);
+}
+
+Status Client::SetAttr(std::string_view path, const SetAttrRequest& request) {
+  Charge(profile_.op.setattr);
+  return fs_->SetAttr(path, request);
+}
+
+Status Client::Truncate(std::string_view path, uint64_t new_size) {
+  Charge(profile_.op.setattr);
+  return fs_->Truncate(path, new_size);
+}
+
+Status Client::SetXattr(std::string_view path, std::string_view name,
+                        std::string value) {
+  Charge(profile_.op.setattr);
+  return fs_->SetXattr(path, name, std::move(value));
+}
+
+Status Client::Unlink(std::string_view path) {
+  Charge(profile_.op.unlink);
+  return fs_->Unlink(path);
+}
+
+Status Client::Rmdir(std::string_view path) {
+  Charge(profile_.op.rmdir);
+  return fs_->Rmdir(path);
+}
+
+Status Client::Rename(std::string_view from, std::string_view to) {
+  Charge(profile_.op.rename);
+  return fs_->Rename(from, to);
+}
+
+Result<Fid> Client::Symlink(std::string_view target, std::string_view link_path) {
+  Charge(profile_.op.create);
+  return fs_->Symlink(target, link_path);
+}
+
+Status Client::Hardlink(std::string_view existing, std::string_view new_path) {
+  Charge(profile_.op.create);
+  return fs_->Hardlink(existing, new_path);
+}
+
+Result<StatInfo> Client::Stat(std::string_view path) {
+  Charge(profile_.op.stat);
+  return fs_->Stat(path);
+}
+
+Result<std::vector<DirEntry>> Client::ReadDir(std::string_view path) {
+  auto entries = fs_->ReadDir(path);
+  if (entries.ok()) {
+    Charge(profile_.op.readdir_per_entry * static_cast<int64_t>(entries->size() + 1));
+  }
+  return entries;
+}
+
+}  // namespace sdci::lustre

@@ -1,0 +1,64 @@
+// A Lustre client mount: the costed interface workloads drive.
+//
+// FileSystem methods are instantaneous bookkeeping; Client wraps them with
+// the testbed's per-operation latency model (mean + jitter), charged to a
+// DelayBudget in virtual time. One Client models one client-node stream:
+// it must be driven from a single thread (create several Clients for
+// concurrent streams, as the paper's generator does with multiple nodes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "lustre/filesystem.h"
+#include "lustre/profile.h"
+
+namespace sdci::lustre {
+
+class Client {
+ public:
+  // `fs` and `authority` must outlive the client.
+  Client(FileSystem& fs, const TestbedProfile& profile, const TimeAuthority& authority,
+         uint64_t seed = 1);
+
+  Result<Fid> Create(std::string_view path, uint32_t mode = 0644, uint32_t uid = 0);
+  Result<Fid> Mkdir(std::string_view path, uint32_t mode = 0755, uint32_t uid = 0);
+  Status MkdirAll(std::string_view path, uint32_t mode = 0755, uint32_t uid = 0);
+  Status WriteFile(std::string_view path, uint64_t new_size);
+  Status SetAttr(std::string_view path, const SetAttrRequest& request);
+  Status Truncate(std::string_view path, uint64_t new_size);
+  Status SetXattr(std::string_view path, std::string_view name, std::string value);
+  Status Unlink(std::string_view path);
+  Status Rmdir(std::string_view path);
+  Status Rename(std::string_view from, std::string_view to);
+  Result<Fid> Symlink(std::string_view target, std::string_view link_path);
+  Status Hardlink(std::string_view existing, std::string_view new_path);
+  Result<StatInfo> Stat(std::string_view path);
+  Result<std::vector<DirEntry>> ReadDir(std::string_view path);
+
+  // Pays off any latency debt accumulated by recent operations. Call at
+  // the end of a burst so measured intervals include all modeled time.
+  void FlushDelay() { budget_.Flush(); }
+
+  // Total modeled time charged by this client so far.
+  [[nodiscard]] VirtualDuration TotalCharged() const noexcept {
+    return budget_.TotalCharged();
+  }
+
+  [[nodiscard]] FileSystem& fs() noexcept { return *fs_; }
+  [[nodiscard]] const TestbedProfile& profile() const noexcept { return profile_; }
+
+ private:
+  void Charge(VirtualDuration mean);
+
+  FileSystem* fs_;
+  TestbedProfile profile_;
+  DelayBudget budget_;
+  Rng rng_;
+};
+
+}  // namespace sdci::lustre

@@ -1,0 +1,91 @@
+// Lustre File Identifiers (FIDs).
+//
+// A FID is the cluster-wide stable identity of a file or directory:
+// [sequence : object id : version], rendered exactly as Lustre prints them,
+// e.g. "[0x200000402:0xa046:0x0]" (see the paper's Table 1). Sequence
+// ranges are allocated per metadata target (MDT), which lets any component
+// map a FID back to the MDT that owns the inode — the property the
+// monitor's distributed fid2path resolution relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sdci::lustre {
+
+struct Fid {
+  uint64_t seq = 0;
+  uint32_t oid = 0;
+  uint32_t ver = 0;
+
+  // The well-known root FID (Lustre's FID_SEQ_ROOT object).
+  static constexpr Fid Root() noexcept { return Fid{0x200000007ull, 0x1, 0x0}; }
+  // The invalid/zero FID.
+  static constexpr Fid Zero() noexcept { return Fid{}; }
+
+  [[nodiscard]] bool IsZero() const noexcept { return seq == 0 && oid == 0 && ver == 0; }
+  [[nodiscard]] bool IsRoot() const noexcept { return *this == Root(); }
+
+  // Renders as "[0x200000402:0xa046:0x0]".
+  [[nodiscard]] std::string ToString() const;
+
+  // Parses the bracketed form produced by ToString (whitespace-tolerant,
+  // optional "t=" / "p=" prefix as seen in changelog dumps).
+  static Result<Fid> Parse(std::string_view text);
+
+  friend constexpr bool operator==(const Fid& a, const Fid& b) noexcept {
+    return a.seq == b.seq && a.oid == b.oid && a.ver == b.ver;
+  }
+  friend constexpr bool operator!=(const Fid& a, const Fid& b) noexcept {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const Fid& a, const Fid& b) noexcept {
+    if (a.seq != b.seq) return a.seq < b.seq;
+    if (a.oid != b.oid) return a.oid < b.oid;
+    return a.ver < b.ver;
+  }
+};
+
+struct FidHash {
+  size_t operator()(const Fid& f) const noexcept {
+    // splitmix-style mix of the three words.
+    uint64_t x = f.seq * 0x9E3779B97F4A7C15ull + f.oid;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x += f.ver;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+// Per-MDT FID sequence layout. MDT i allocates from sequence
+// kFidSeqBase + i * kFidSeqStride; normal allocations never collide with
+// the root FID's reserved sequence.
+inline constexpr uint64_t kFidSeqBase = 0x200000400ull;
+inline constexpr uint64_t kFidSeqStride = 0x10000ull;
+
+// Returns the MDT index that owns `fid`, or -1 for reserved/foreign FIDs
+// (the root FID maps to MDT 0).
+int MdtIndexOfFid(const Fid& fid) noexcept;
+
+// Allocates monotonically increasing FIDs within one MDT's sequence range.
+// Thread-compatible (callers hold the owning MDS lock).
+class FidAllocator {
+ public:
+  explicit FidAllocator(int mdt_index) noexcept;
+
+  Fid Next() noexcept;
+
+  [[nodiscard]] uint64_t allocated() const noexcept { return count_; }
+
+ private:
+  uint64_t seq_;
+  uint32_t next_oid_ = 2;  // oid 1 is reserved (root uses it)
+  uint64_t count_ = 0;
+};
+
+}  // namespace sdci::lustre

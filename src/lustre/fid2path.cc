@@ -1,0 +1,69 @@
+#include "lustre/fid2path.h"
+
+namespace sdci::lustre {
+
+Fid2PathService::Fid2PathService(const FileSystem& fs, const TestbedProfile& profile)
+    : fs_(&fs), profile_(profile) {}
+
+Result<std::string> Fid2PathService::Resolve(const Fid& fid, DelayBudget& budget) const {
+  calls_.Add();
+  budget.Charge(profile_.fid2path_latency);
+  auto path = fs_->FidToPath(fid);
+  if (path.ok()) {
+    resolved_.Add();
+  } else {
+    failures_.Add();
+  }
+  return path;
+}
+
+Result<std::vector<std::string>> Fid2PathService::ResolveBatch(
+    std::span<const Fid> fids, DelayBudget& budget) const {
+  if (fids.empty()) return InvalidArgumentError("empty fid batch");
+  calls_.Add();
+  budget.Charge(profile_.fid2path_batch_base +
+                profile_.fid2path_batch_per_item * static_cast<int64_t>(fids.size()));
+  std::vector<std::string> out;
+  out.reserve(fids.size());
+  for (const Fid& fid : fids) {
+    auto path = fs_->FidToPath(fid);
+    if (path.ok()) {
+      resolved_.Add();
+      out.push_back(std::move(path.value()));
+    } else {
+      failures_.Add();
+      out.emplace_back();
+    }
+  }
+  return out;
+}
+
+CachedPathResolver::CachedPathResolver(const Fid2PathService& service, size_t capacity)
+    : service_(&service), cache_(capacity) {}
+
+Result<std::string> CachedPathResolver::ResolveParent(const Fid& parent,
+                                                      DelayBudget& budget) {
+  if (auto hit = cache_.Get(parent)) return std::move(*hit);
+  auto path = service_->Resolve(parent, budget);
+  if (path.ok()) cache_.Put(parent, path.value());
+  return path;
+}
+
+std::optional<std::string> CachedPathResolver::Peek(const Fid& parent) {
+  return cache_.Get(parent);
+}
+
+void CachedPathResolver::Prime(const Fid& dir, std::string path) {
+  cache_.Put(dir, std::move(path));
+}
+
+void CachedPathResolver::Invalidate(const Fid& dir) { cache_.Erase(dir); }
+
+void CachedPathResolver::Clear() { cache_.Clear(); }
+
+uint64_t CachedPathResolver::ApproxBytes() const noexcept {
+  // Entry = Fid key + list/map node overhead + a typical path string.
+  return cache_.size() * (sizeof(Fid) + 96 + 64);
+}
+
+}  // namespace sdci::lustre

@@ -1,0 +1,89 @@
+// Costed FID-to-path resolution: the monitor's bottleneck primitive.
+//
+// The paper finds the monitor's throughput is limited by "the repetitive
+// use of the d2path tool when resolving an event's absolute path" and
+// proposes (a) batching resolutions and (b) caching path mappings. This
+// service exposes all three modes so the ablation benchmark (A1) can
+// compare them:
+//   - Resolve:       one costed call per FID (the paper's deployed mode);
+//   - ResolveBatch:  one costed call for N FIDs (amortized);
+// CachedPathResolver layers an LRU of parent-directory paths on top.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/lru.h"
+#include "common/resource.h"
+#include "common/status.h"
+#include "lustre/filesystem.h"
+#include "lustre/profile.h"
+
+namespace sdci::lustre {
+
+class Fid2PathService {
+ public:
+  Fid2PathService(const FileSystem& fs, const TestbedProfile& profile);
+
+  // Resolves one FID, charging the per-call latency to `budget`.
+  Result<std::string> Resolve(const Fid& fid, DelayBudget& budget) const;
+
+  // Resolves a batch with amortized cost: batch_base + n * batch_per_item.
+  // Individual failures yield empty strings in the result (and are counted);
+  // the call itself only fails on an empty input.
+  Result<std::vector<std::string>> ResolveBatch(std::span<const Fid> fids,
+                                                DelayBudget& budget) const;
+
+  [[nodiscard]] uint64_t calls() const noexcept { return calls_.Get(); }
+  [[nodiscard]] uint64_t resolved() const noexcept { return resolved_.Get(); }
+  [[nodiscard]] uint64_t failures() const noexcept { return failures_.Get(); }
+
+ private:
+  const FileSystem* fs_;
+  TestbedProfile profile_;
+  mutable Counter calls_;
+  mutable Counter resolved_;
+  mutable Counter failures_;
+};
+
+// LRU-cached resolver keyed by parent FID (events share parents heavily,
+// which is what makes the paper's proposed cache effective). Resolution of
+// an event path = cached parent path + "/" + record name. Not thread-safe;
+// each Collector owns one.
+class CachedPathResolver {
+ public:
+  CachedPathResolver(const Fid2PathService& service, size_t capacity);
+
+  // Resolves the absolute path of directory `parent`, consulting the cache
+  // first. Misses fall through to the costed service.
+  Result<std::string> ResolveParent(const Fid& parent, DelayBudget& budget);
+
+  // Cache-only probe: no fallback, no cost. Counts toward hit/miss stats.
+  std::optional<std::string> Peek(const Fid& parent);
+
+  // Primes the cache (e.g. from a MKDIR event whose path was just built).
+  void Prime(const Fid& dir, std::string path);
+
+  // Invalidates a directory whose path may have changed (RENME/RMDIR).
+  void Invalidate(const Fid& dir);
+
+  // Drops everything (wholesale namespace changes).
+  void Clear();
+
+  [[nodiscard]] double HitRate() const noexcept { return cache_.HitRate(); }
+  [[nodiscard]] uint64_t hits() const noexcept { return cache_.hits(); }
+  [[nodiscard]] uint64_t misses() const noexcept { return cache_.misses(); }
+  [[nodiscard]] size_t size() const noexcept { return cache_.size(); }
+
+  // Approximate retained bytes (cache entries), for Table 3 accounting.
+  [[nodiscard]] uint64_t ApproxBytes() const noexcept;
+
+ private:
+  const Fid2PathService* service_;
+  LruCache<Fid, std::string, FidHash> cache_;
+};
+
+}  // namespace sdci::lustre

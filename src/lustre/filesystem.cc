@@ -1,0 +1,590 @@
+#include "lustre/filesystem.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "common/strings.h"
+
+namespace sdci::lustre {
+
+FileSystemConfig FileSystemConfig::FromProfile(const TestbedProfile& profile) {
+  FileSystemConfig c;
+  c.mds_count = profile.mds_count;
+  c.ost_count = profile.ost_count;
+  c.ost_capacity_bytes = profile.ost_capacity_bytes;
+  c.default_stripe_count = profile.default_stripe_count;
+  c.stripe_size = profile.stripe_size;
+  return c;
+}
+
+namespace {
+FileSystemConfig Normalize(FileSystemConfig config) {
+  // record_open_close implies the corresponding mask bits.
+  if (config.record_open_close) {
+    config.changelog_mask |= MaskOf(ChangeLogType::kOpen) | MaskOf(ChangeLogType::kClose);
+  }
+  return config;
+}
+}  // namespace
+
+FileSystem::FileSystem(FileSystemConfig config, const TimeAuthority& authority)
+    : config_(Normalize(config)),
+      authority_(&authority),
+      osts_(config.ost_count == 0 ? 1 : config.ost_count, config.ost_capacity_bytes) {
+  const uint32_t mds_count = config_.mds_count == 0 ? 1 : config_.mds_count;
+  mds_.reserve(mds_count);
+  for (uint32_t i = 0; i < mds_count; ++i) {
+    mds_.push_back(std::make_unique<MetadataServer>(static_cast<int>(i)));
+  }
+  // Install the root directory on MDT 0.
+  Inode root;
+  root.fid = Fid::Root();
+  root.type = NodeType::kDirectory;
+  root.attrs.mode = 0755;
+  root.nlink = 2;
+  mds_[0]->inodes_.emplace(root.fid, std::move(root));
+}
+
+Result<std::vector<std::string>> FileSystem::SplitPath(std::string_view path) {
+  if (path.empty() || path.front() != '/') {
+    return InvalidArgumentError("path must be absolute: " + std::string(path));
+  }
+  std::vector<std::string> parts;
+  for (auto& part : strings::Split(path.substr(1), '/')) {
+    if (part.empty()) continue;  // tolerate duplicate or trailing slashes
+    if (part == "." || part == "..") {
+      return InvalidArgumentError("path may not contain '.' or '..'");
+    }
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+Inode* FileSystem::FindLocked(const Fid& fid) {
+  const int mdt = MdtIndexOfFid(fid);
+  if (mdt < 0 || static_cast<size_t>(mdt) >= mds_.size()) return nullptr;
+  auto& table = mds_[static_cast<size_t>(mdt)]->inodes_;
+  const auto it = table.find(fid);
+  return it == table.end() ? nullptr : &it->second;
+}
+
+const Inode* FileSystem::FindLocked(const Fid& fid) const {
+  return const_cast<FileSystem*>(this)->FindLocked(fid);
+}
+
+Result<FileSystem::Resolved> FileSystem::ResolveLocked(std::string_view path,
+                                                       bool want_parent_only) {
+  auto parts = SplitPath(path);
+  if (!parts.ok()) return parts.status();
+  Inode* node = FindLocked(Fid::Root());
+  Inode* parent = nullptr;
+  assert(node != nullptr);
+  std::string leaf;
+  for (size_t i = 0; i < parts->size(); ++i) {
+    const std::string& name = (*parts)[i];
+    if (!node->IsDir()) {
+      return NotFoundError("not a directory on path: " + std::string(path));
+    }
+    const bool last = i + 1 == parts->size();
+    const auto it = node->children.find(name);
+    if (it == node->children.end()) {
+      if (last && want_parent_only) {
+        return Resolved{nullptr, node, name};
+      }
+      return NotFoundError("no such entry: " + std::string(path));
+    }
+    parent = node;
+    node = FindLocked(it->second);
+    if (node == nullptr) {
+      return InternalError("dangling entry " + name + " in " + std::string(path));
+    }
+    leaf = name;
+  }
+  if (parts->empty()) {
+    return Resolved{node, nullptr, ""};  // the root itself
+  }
+  return Resolved{node, parent, leaf};
+}
+
+Result<const Inode*> FileSystem::ResolveExistingLocked(std::string_view path) const {
+  auto r = const_cast<FileSystem*>(this)->ResolveLocked(path);
+  if (!r.ok()) return r.status();
+  return const_cast<const Inode*>(r->inode);
+}
+
+int FileSystem::PlaceDirectoryLocked(const Inode& parent, std::string_view name) {
+  switch (config_.dir_placement) {
+    case DirPlacement::kInheritParent:
+      return MdtIndexOfFid(parent.fid) < 0 ? 0 : MdtIndexOfFid(parent.fid);
+    case DirPlacement::kRoundRobin: {
+      const int mdt = static_cast<int>(rr_dir_cursor_);
+      rr_dir_cursor_ = (rr_dir_cursor_ + 1) % static_cast<uint32_t>(mds_.size());
+      return mdt;
+    }
+    case DirPlacement::kHashName: {
+      uint64_t h = 1469598103934665603ull;
+      for (const char c : name) h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+      return static_cast<int>(h % mds_.size());
+    }
+  }
+  return 0;
+}
+
+MetadataServer& FileSystem::HomeOfLocked(const Fid& fid) {
+  int mdt = MdtIndexOfFid(fid);
+  if (mdt < 0 || static_cast<size_t>(mdt) >= mds_.size()) mdt = 0;
+  return *mds_[static_cast<size_t>(mdt)];
+}
+
+void FileSystem::JournalLocked(int mdt, ChangeLogType type, uint32_t flags,
+                               const Fid& target, const Fid& parent, std::string name,
+                               const Fid& source_parent, std::string source_name) {
+  if ((config_.changelog_mask & MaskOf(type)) == 0) return;  // masked out
+  ChangeLogRecord record;
+  record.type = type;
+  record.time = authority_->Now();
+  record.flags = flags;
+  record.target = target;
+  record.parent = parent;
+  record.name = std::move(name);
+  record.source_parent = source_parent;
+  record.source_name = std::move(source_name);
+  auto& server = *mds_[static_cast<size_t>(mdt)];
+  server.changelog_.Append(std::move(record));
+  server.ops_.Add();
+}
+
+Result<Fid> FileSystem::Create(std::string_view path, uint32_t mode, uint32_t uid) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto r = ResolveLocked(path, /*want_parent_only=*/true);
+  if (!r.ok()) return r.status();
+  if (r->inode != nullptr) return AlreadyExistsError("exists: " + std::string(path));
+  Inode* parent = r->parent;
+  // File inodes live on the MDT owning the parent directory.
+  MetadataServer& home = HomeOfLocked(parent->fid);
+  Inode node;
+  node.fid = home.fids_.Next();
+  node.type = NodeType::kFile;
+  node.attrs.mode = mode;
+  node.attrs.uid = uid;
+  node.attrs.mtime = node.attrs.ctime = node.attrs.atime = authority_->Now();
+  node.links.push_back(ParentLink{parent->fid, r->leaf});
+  node.layout = osts_.AllocateLayout(config_.default_stripe_count, config_.stripe_size);
+  const Fid fid = node.fid;
+  home.inodes_.emplace(fid, std::move(node));
+  parent->children.emplace(r->leaf, fid);
+  parent->attrs.mtime = authority_->Now();
+  JournalLocked(home.index(), ChangeLogType::kCreate, 0, fid, parent->fid, r->leaf);
+  if (config_.record_open_close) {
+    JournalLocked(home.index(), ChangeLogType::kClose, 0, fid, parent->fid, r->leaf);
+  }
+  return fid;
+}
+
+Result<Fid> FileSystem::Mkdir(std::string_view path, uint32_t mode, uint32_t uid) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto r = ResolveLocked(path, /*want_parent_only=*/true);
+  if (!r.ok()) return r.status();
+  if (r->inode != nullptr) return AlreadyExistsError("exists: " + std::string(path));
+  Inode* parent = r->parent;
+  const int mdt = PlaceDirectoryLocked(*parent, r->leaf);
+  MetadataServer& home = *mds_[static_cast<size_t>(mdt)];
+  Inode node;
+  node.fid = home.fids_.Next();
+  node.type = NodeType::kDirectory;
+  node.attrs.mode = mode;
+  node.attrs.uid = uid;
+  node.attrs.mtime = node.attrs.ctime = authority_->Now();
+  node.nlink = 2;
+  node.links.push_back(ParentLink{parent->fid, r->leaf});
+  const Fid fid = node.fid;
+  home.inodes_.emplace(fid, std::move(node));
+  parent->children.emplace(r->leaf, fid);
+  parent->nlink += 1;
+  parent->attrs.mtime = authority_->Now();
+  // The MKDIR record lands on the MDT that performed the namespace change:
+  // the parent's MDT (remote directories additionally journal on their own
+  // MDT in real Lustre; the parent record is the one monitors consume).
+  JournalLocked(HomeOfLocked(parent->fid).index(), ChangeLogType::kMkdir, 0, fid,
+                parent->fid, r->leaf);
+  return fid;
+}
+
+Status FileSystem::MkdirAll(std::string_view path, uint32_t mode, uint32_t uid) {
+  auto parts = SplitPath(path);
+  if (!parts.ok()) return parts.status();
+  std::string prefix;
+  for (const auto& part : *parts) {
+    prefix += "/";
+    prefix += part;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      auto existing = ResolveLocked(prefix);
+      if (existing.ok()) {
+        if (!existing->inode->IsDir()) {
+          return FailedPreconditionError("not a directory: " + prefix);
+        }
+        continue;
+      }
+    }
+    auto made = Mkdir(prefix, mode, uid);
+    if (!made.ok() && made.status().code() != StatusCode::kAlreadyExists) {
+      return made.status();
+    }
+  }
+  return OkStatus();
+}
+
+Status FileSystem::WriteFile(std::string_view path, uint64_t new_size) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto r = ResolveLocked(path);
+  if (!r.ok()) return r.status();
+  Inode* node = r->inode;
+  if (!node->IsFile()) return FailedPreconditionError("not a file: " + std::string(path));
+  osts_.SetFileSize(node->layout, node->attrs.size, new_size);
+  node->attrs.size = new_size;
+  node->attrs.mtime = authority_->Now();
+  const Fid parent_fid = node->links.empty() ? Fid::Zero() : node->links.front().parent;
+  const int mdt = HomeOfLocked(node->fid).index();
+  JournalLocked(mdt, ChangeLogType::kMtime, 0, node->fid, parent_fid, r->leaf);
+  if (config_.record_open_close) {
+    JournalLocked(mdt, ChangeLogType::kClose, 0, node->fid, parent_fid, r->leaf);
+  }
+  return OkStatus();
+}
+
+Status FileSystem::SetAttr(std::string_view path, const SetAttrRequest& request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto r = ResolveLocked(path);
+  if (!r.ok()) return r.status();
+  Inode* node = r->inode;
+  if (request.mode) node->attrs.mode = *request.mode;
+  if (request.uid) node->attrs.uid = *request.uid;
+  if (request.gid) node->attrs.gid = *request.gid;
+  if (request.mtime) node->attrs.mtime = *request.mtime;
+  node->attrs.ctime = authority_->Now();
+  const Fid parent_fid = node->links.empty() ? Fid::Zero() : node->links.front().parent;
+  JournalLocked(HomeOfLocked(node->fid).index(), ChangeLogType::kSetattr, 0, node->fid,
+                parent_fid, r->leaf);
+  return OkStatus();
+}
+
+Status FileSystem::Truncate(std::string_view path, uint64_t new_size) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto r = ResolveLocked(path);
+  if (!r.ok()) return r.status();
+  Inode* node = r->inode;
+  if (!node->IsFile()) return FailedPreconditionError("not a file: " + std::string(path));
+  osts_.SetFileSize(node->layout, node->attrs.size, new_size);
+  node->attrs.size = new_size;
+  node->attrs.mtime = authority_->Now();
+  const Fid parent_fid = node->links.empty() ? Fid::Zero() : node->links.front().parent;
+  JournalLocked(HomeOfLocked(node->fid).index(), ChangeLogType::kTruncate, 0,
+                node->fid, parent_fid, r->leaf);
+  return OkStatus();
+}
+
+Status FileSystem::SetXattr(std::string_view path, std::string_view name,
+                            std::string value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto r = ResolveLocked(path);
+  if (!r.ok()) return r.status();
+  Inode* node = r->inode;
+  node->xattrs.insert_or_assign(std::string(name), std::move(value));
+  node->attrs.ctime = authority_->Now();
+  const Fid parent_fid = node->links.empty() ? Fid::Zero() : node->links.front().parent;
+  JournalLocked(HomeOfLocked(node->fid).index(), ChangeLogType::kXattr, 0, node->fid,
+                parent_fid, r->leaf);
+  return OkStatus();
+}
+
+Result<std::string> FileSystem::GetXattr(std::string_view path,
+                                         std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto node = ResolveExistingLocked(path);
+  if (!node.ok()) return node.status();
+  const auto it = (*node)->xattrs.find(std::string(name));
+  if (it == (*node)->xattrs.end()) {
+    return NotFoundError("no such xattr: " + std::string(name));
+  }
+  return it->second;
+}
+
+Status FileSystem::UnlinkLocked(Inode& parent, const std::string& leaf, Inode& node) {
+  parent.children.erase(leaf);
+  parent.attrs.mtime = authority_->Now();
+  const auto link_it = std::find(node.links.begin(), node.links.end(),
+                                 ParentLink{parent.fid, leaf});
+  if (link_it != node.links.end()) node.links.erase(link_it);
+  node.nlink = node.nlink > 0 ? node.nlink - 1 : 0;
+  const bool last = node.nlink == 0;
+  if (last) {
+    if (node.IsFile()) osts_.ReleaseLayout(node.layout, node.attrs.size);
+    HomeOfLocked(node.fid).inodes_.erase(node.fid);  // invalidates `node`
+  }
+  return OkStatus();
+}
+
+Status FileSystem::Unlink(std::string_view path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto r = ResolveLocked(path);
+  if (!r.ok()) return r.status();
+  Inode* node = r->inode;
+  if (node->IsDir()) return FailedPreconditionError("is a directory: " + std::string(path));
+  const Fid target = node->fid;
+  const Fid parent_fid = r->parent->fid;
+  const bool last = node->nlink <= 1;
+  const Status s = UnlinkLocked(*r->parent, r->leaf, *node);
+  if (!s.ok()) return s;
+  JournalLocked(HomeOfLocked(parent_fid).index(), ChangeLogType::kUnlink,
+                last ? kFlagLastUnlink : 0, target, parent_fid, r->leaf);
+  return OkStatus();
+}
+
+Status FileSystem::Rmdir(std::string_view path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto r = ResolveLocked(path);
+  if (!r.ok()) return r.status();
+  Inode* node = r->inode;
+  if (node == nullptr || r->parent == nullptr) {
+    return FailedPreconditionError("cannot remove root");
+  }
+  if (!node->IsDir()) return FailedPreconditionError("not a directory: " + std::string(path));
+  if (!node->children.empty()) {
+    return FailedPreconditionError("directory not empty: " + std::string(path));
+  }
+  const Fid target = node->fid;
+  const Fid parent_fid = r->parent->fid;
+  r->parent->children.erase(r->leaf);
+  r->parent->nlink -= 1;
+  r->parent->attrs.mtime = authority_->Now();
+  HomeOfLocked(target).inodes_.erase(target);
+  JournalLocked(HomeOfLocked(parent_fid).index(), ChangeLogType::kRmdir,
+                kFlagLastUnlink, target, parent_fid, r->leaf);
+  return OkStatus();
+}
+
+Status FileSystem::Rename(std::string_view from, std::string_view to) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto src = ResolveLocked(from);
+  if (!src.ok()) return src.status();
+  if (src->parent == nullptr) return FailedPreconditionError("cannot rename root");
+  auto dst = ResolveLocked(to, /*want_parent_only=*/true);
+  if (!dst.ok()) return dst.status();
+  if (dst->inode != nullptr) {
+    return AlreadyExistsError("rename target exists: " + std::string(to));
+  }
+  Inode* node = src->inode;
+  Inode* src_parent = src->parent;
+  Inode* dst_parent = dst->parent;
+  if (node->IsDir()) {
+    // Reject moving a directory beneath itself.
+    for (const Inode* p = dst_parent; p != nullptr && !p->fid.IsRoot();) {
+      if (p->fid == node->fid) {
+        return InvalidArgumentError("cannot move directory under itself");
+      }
+      p = p->links.empty() ? nullptr : FindLocked(p->links.front().parent);
+    }
+  }
+  src_parent->children.erase(src->leaf);
+  dst_parent->children.emplace(dst->leaf, node->fid);
+  if (node->IsDir()) {
+    src_parent->nlink -= 1;
+    dst_parent->nlink += 1;
+  }
+  const auto link_it = std::find(node->links.begin(), node->links.end(),
+                                 ParentLink{src_parent->fid, src->leaf});
+  if (link_it != node->links.end()) {
+    *link_it = ParentLink{dst_parent->fid, dst->leaf};
+  } else {
+    node->links.push_back(ParentLink{dst_parent->fid, dst->leaf});
+  }
+  src_parent->attrs.mtime = dst_parent->attrs.mtime = authority_->Now();
+  const int src_mdt = HomeOfLocked(src_parent->fid).index();
+  const int dst_mdt = HomeOfLocked(dst_parent->fid).index();
+  JournalLocked(src_mdt, ChangeLogType::kRename, 0, node->fid, dst_parent->fid,
+                dst->leaf, src_parent->fid, src->leaf);
+  if (dst_mdt != src_mdt) {
+    JournalLocked(dst_mdt, ChangeLogType::kRenameTo, 0, node->fid, dst_parent->fid,
+                  dst->leaf, src_parent->fid, src->leaf);
+  }
+  return OkStatus();
+}
+
+Result<Fid> FileSystem::Symlink(std::string_view target, std::string_view link_path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto r = ResolveLocked(link_path, /*want_parent_only=*/true);
+  if (!r.ok()) return r.status();
+  if (r->inode != nullptr) return AlreadyExistsError("exists: " + std::string(link_path));
+  Inode* parent = r->parent;
+  MetadataServer& home = HomeOfLocked(parent->fid);
+  Inode node;
+  node.fid = home.fids_.Next();
+  node.type = NodeType::kSymlink;
+  node.symlink_target = std::string(target);
+  node.attrs.mtime = node.attrs.ctime = authority_->Now();
+  node.links.push_back(ParentLink{parent->fid, r->leaf});
+  const Fid fid = node.fid;
+  home.inodes_.emplace(fid, std::move(node));
+  parent->children.emplace(r->leaf, fid);
+  JournalLocked(home.index(), ChangeLogType::kSoftlink, 0, fid, parent->fid, r->leaf);
+  return fid;
+}
+
+Status FileSystem::Hardlink(std::string_view existing, std::string_view new_path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto src = ResolveLocked(existing);
+  if (!src.ok()) return src.status();
+  if (!src->inode->IsFile()) {
+    return FailedPreconditionError("hard links require a regular file");
+  }
+  auto dst = ResolveLocked(new_path, /*want_parent_only=*/true);
+  if (!dst.ok()) return dst.status();
+  if (dst->inode != nullptr) return AlreadyExistsError("exists: " + std::string(new_path));
+  Inode* node = src->inode;
+  Inode* parent = dst->parent;
+  parent->children.emplace(dst->leaf, node->fid);
+  node->links.push_back(ParentLink{parent->fid, dst->leaf});
+  node->nlink += 1;
+  JournalLocked(HomeOfLocked(parent->fid).index(), ChangeLogType::kHardlink, 0,
+                node->fid, parent->fid, dst->leaf);
+  return OkStatus();
+}
+
+Result<StatInfo> FileSystem::Stat(std::string_view path) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto node = ResolveExistingLocked(path);
+  if (!node.ok()) return node.status();
+  StatInfo info;
+  info.fid = (*node)->fid;
+  info.type = (*node)->type;
+  info.attrs = (*node)->attrs;
+  info.nlink = (*node)->nlink;
+  return info;
+}
+
+Result<std::vector<DirEntry>> FileSystem::ReadDir(std::string_view path) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto node = ResolveExistingLocked(path);
+  if (!node.ok()) return node.status();
+  if (!(*node)->IsDir()) return FailedPreconditionError("not a directory: " + std::string(path));
+  std::vector<DirEntry> entries;
+  entries.reserve((*node)->children.size());
+  for (const auto& [name, fid] : (*node)->children) {
+    const Inode* child = FindLocked(fid);
+    entries.push_back(DirEntry{name, fid, child == nullptr ? NodeType::kFile : child->type});
+  }
+  return entries;
+}
+
+Result<Fid> FileSystem::Lookup(std::string_view path) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto node = ResolveExistingLocked(path);
+  if (!node.ok()) return node.status();
+  return (*node)->fid;
+}
+
+Result<std::string> FileSystem::FidToPath(const Fid& fid) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fid.IsRoot()) return std::string("/");
+  const Inode* node = FindLocked(fid);
+  if (node == nullptr) return NotFoundError("no such fid: " + fid.ToString());
+  std::vector<std::string_view> parts;
+  const Inode* cur = node;
+  // Walk linkEA back-pointers to the root. Depth is bounded by tree height;
+  // a corrupt cycle would be a bug, so cap defensively.
+  for (int depth = 0; depth < 4096; ++depth) {
+    if (cur->fid.IsRoot()) {
+      std::string out;
+      for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+        out += '/';
+        out += *it;
+      }
+      return out.empty() ? std::string("/") : out;
+    }
+    if (cur->links.empty()) return NotFoundError("orphaned fid: " + fid.ToString());
+    const ParentLink& link = cur->links.front();
+    parts.push_back(link.name);
+    const Inode* parent = FindLocked(link.parent);
+    if (parent == nullptr) return InternalError("broken linkEA at " + cur->fid.ToString());
+    cur = parent;
+  }
+  return InternalError("linkEA cycle at " + fid.ToString());
+}
+
+Status FileSystem::Walk(
+    std::string_view path,
+    const std::function<void(const std::string&, const StatInfo&)>& visit) const {
+  // Collect a consistent snapshot under the lock, then visit outside it so
+  // callbacks may call back into the file system.
+  struct Item {
+    std::string path;
+    StatInfo info;
+  };
+  std::vector<Item> items;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto root = ResolveExistingLocked(path);
+    if (!root.ok()) return root.status();
+    std::deque<std::pair<std::string, const Inode*>> queue;
+    const std::string root_path =
+        path == "/" ? "" : std::string(strings::Trim(path));
+    queue.emplace_back(root_path, *root);
+    while (!queue.empty()) {
+      auto [prefix, node] = queue.front();
+      queue.pop_front();
+      StatInfo info;
+      info.fid = node->fid;
+      info.type = node->type;
+      info.attrs = node->attrs;
+      info.nlink = node->nlink;
+      items.push_back(Item{prefix.empty() ? "/" : prefix, info});
+      if (node->IsDir()) {
+        for (const auto& [name, fid] : node->children) {
+          const Inode* child = FindLocked(fid);
+          if (child != nullptr) queue.emplace_back(prefix + "/" + name, child);
+        }
+      }
+    }
+  }
+  for (const auto& item : items) visit(item.path, item.info);
+  return OkStatus();
+}
+
+uint64_t FileSystem::TotalInodes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& server : mds_) total += server->inodes_.size();
+  return total;
+}
+
+FileSystem::UsageInfo FileSystem::Usage() const {
+  UsageInfo info;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& server : mds_) {
+      info.inodes += server->inodes_.size();
+      for (const auto& [fid, inode] : server->inodes_) {
+        if (inode.IsDir()) {
+          ++info.directories;
+        } else {
+          ++info.files;
+        }
+      }
+    }
+  }
+  info.used_bytes = osts_.TotalUsedBytes();
+  for (const auto& ost : osts_.Stats()) info.capacity_bytes += ost.capacity_bytes;
+  return info;
+}
+
+std::vector<size_t> FileSystem::InodesPerMds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<size_t> counts;
+  counts.reserve(mds_.size());
+  for (const auto& server : mds_) counts.push_back(server->inodes_.size());
+  return counts;
+}
+
+}  // namespace sdci::lustre

@@ -1,0 +1,227 @@
+// The simulated Lustre file system: a namespace sharded over metadata
+// servers (MDS), each journaling its mutations into its own ChangeLog.
+//
+// This is the substrate standing in for a real Lustre cluster (see
+// DESIGN.md). It reproduces the three interfaces the paper's monitor
+// depends on — per-MDT ChangeLogs, fid2path, changelog_clear — plus enough
+// of the rest of a parallel FS (DNE directory placement, OST striping,
+// hardlinks, renames) for the evaluation workloads to be realistic.
+//
+// Concurrency: one filesystem-wide mutex guards the namespace; ChangeLogs
+// have their own locks so monitor Collectors tail them without contending
+// with metadata operations. Operation *latency* is modeled by Client, not
+// here — FileSystem methods are instantaneous bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "lustre/changelog.h"
+#include "lustre/fid.h"
+#include "lustre/inode.h"
+#include "lustre/ost.h"
+#include "lustre/profile.h"
+
+namespace sdci::lustre {
+
+// How new directories are distributed over MDTs (Lustre DNE).
+enum class DirPlacement {
+  kInheritParent,  // default Lustre behaviour: child dir on parent's MDT
+  kRoundRobin,     // DNE auto-striping: spread new dirs round-robin
+  kHashName,       // place by hash of the directory name
+};
+
+// Bitmask over ChangeLogType, mirroring Lustre's `changelog_mask` setting:
+// only record types whose bit is set are journaled.
+using ChangeLogMask = uint32_t;
+constexpr ChangeLogMask MaskOf(ChangeLogType type) noexcept {
+  return 1u << static_cast<uint32_t>(type);
+}
+inline constexpr ChangeLogMask kFullChangeLogMask = 0xFFFFFFFFu;
+// Lustre's default mask excludes OPEN/CLOSE and pure-time records.
+inline constexpr ChangeLogMask kDefaultChangeLogMask =
+    kFullChangeLogMask & ~MaskOf(ChangeLogType::kOpen) &
+    ~MaskOf(ChangeLogType::kClose) & ~MaskOf(ChangeLogType::kAtime);
+
+struct FileSystemConfig {
+  uint32_t mds_count = 1;
+  uint32_t ost_count = 1;
+  uint64_t ost_capacity_bytes = 1ull << 40;
+  uint32_t default_stripe_count = 1;
+  uint32_t stripe_size = 1u << 20;
+  DirPlacement dir_placement = DirPlacement::kInheritParent;
+  bool record_open_close = false;  // journal OPEN/CLOSE records
+  ChangeLogMask changelog_mask = kDefaultChangeLogMask;
+
+  // Builds the cluster shape from a testbed profile.
+  static FileSystemConfig FromProfile(const TestbedProfile& profile);
+};
+
+// One metadata server: an inode table shard plus its ChangeLog.
+class MetadataServer {
+ public:
+  explicit MetadataServer(int index)
+      : index_(index), changelog_(index), fids_(index) {}
+
+  [[nodiscard]] int index() const noexcept { return index_; }
+  [[nodiscard]] ChangeLog& changelog() noexcept { return changelog_; }
+  [[nodiscard]] const ChangeLog& changelog() const noexcept { return changelog_; }
+  [[nodiscard]] uint64_t op_count() const noexcept { return ops_.Get(); }
+
+ private:
+  friend class FileSystem;
+
+  const int index_;
+  ChangeLog changelog_;
+  FidAllocator fids_;
+  Counter ops_;
+  // Guarded by FileSystem::mutex_.
+  std::unordered_map<Fid, Inode, FidHash> inodes_;
+};
+
+struct StatInfo {
+  Fid fid;
+  NodeType type = NodeType::kFile;
+  InodeAttrs attrs;
+  uint32_t nlink = 1;
+};
+
+struct DirEntry {
+  std::string name;
+  Fid fid;
+  NodeType type = NodeType::kFile;
+};
+
+// Attribute-change request; unset fields are left unchanged.
+struct SetAttrRequest {
+  std::optional<uint32_t> mode;
+  std::optional<uint32_t> uid;
+  std::optional<uint32_t> gid;
+  std::optional<VirtualTime> mtime;
+};
+
+class FileSystem {
+ public:
+  FileSystem(FileSystemConfig config, const TimeAuthority& authority);
+
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  // --- Namespace operations (absolute paths, '/' separated) ---
+
+  // Creates a regular file; parent directory must exist. Journals CREAT.
+  Result<Fid> Create(std::string_view path, uint32_t mode = 0644, uint32_t uid = 0);
+
+  // Creates a directory. Journals MKDIR.
+  Result<Fid> Mkdir(std::string_view path, uint32_t mode = 0755, uint32_t uid = 0);
+
+  // Creates every missing directory along `path`.
+  Status MkdirAll(std::string_view path, uint32_t mode = 0755, uint32_t uid = 0);
+
+  // Sets a file's size (a data write), updating OST usage and mtime.
+  // Journals MTIME (+CLOSE when record_open_close).
+  Status WriteFile(std::string_view path, uint64_t new_size);
+
+  // Changes attributes. Journals SATTR.
+  Status SetAttr(std::string_view path, const SetAttrRequest& request);
+
+  // Truncates a file to `new_size`. Journals TRUNC.
+  Status Truncate(std::string_view path, uint64_t new_size);
+
+  // Sets an extended attribute. Journals XATTR (value is not journaled,
+  // matching Lustre, which records only that an xattr changed).
+  Status SetXattr(std::string_view path, std::string_view name, std::string value);
+  Result<std::string> GetXattr(std::string_view path, std::string_view name) const;
+
+  // Removes a file or symlink link. Journals UNLNK (flag 0x1 on last link).
+  Status Unlink(std::string_view path);
+
+  // Removes an empty directory. Journals RMDIR.
+  Status Rmdir(std::string_view path);
+
+  // Renames a file or directory. Journals RENME on the source parent's
+  // MDT, plus RNMTO on the target parent's MDT when they differ.
+  Status Rename(std::string_view from, std::string_view to);
+
+  // Creates a symlink at `link_path` pointing to `target`. Journals SLINK.
+  Result<Fid> Symlink(std::string_view target, std::string_view link_path);
+
+  // Adds a hard link to an existing file. Journals HLINK.
+  Status Hardlink(std::string_view existing, std::string_view new_path);
+
+  // --- Queries (no changelog records) ---
+
+  Result<StatInfo> Stat(std::string_view path) const;
+  Result<std::vector<DirEntry>> ReadDir(std::string_view path) const;
+  Result<Fid> Lookup(std::string_view path) const;
+
+  // Resolves a FID to an absolute path via linkEA back-pointers (the
+  // mechanism behind Lustre's fid2path). Uncosted; Fid2PathService adds
+  // the latency model.
+  Result<std::string> FidToPath(const Fid& fid) const;
+
+  // Depth-first walk rooted at `path`; callback receives (path, stat).
+  // Used by crawler-based baselines (polling monitor, inotify setup).
+  Status Walk(std::string_view path,
+              const std::function<void(const std::string&, const StatInfo&)>& visit) const;
+
+  // --- Cluster access ---
+
+  [[nodiscard]] size_t MdsCount() const noexcept { return mds_.size(); }
+  [[nodiscard]] MetadataServer& Mds(size_t i) noexcept { return *mds_[i]; }
+  [[nodiscard]] const MetadataServer& Mds(size_t i) const noexcept { return *mds_[i]; }
+  [[nodiscard]] ObjectStorage& Osts() noexcept { return osts_; }
+  [[nodiscard]] uint64_t TotalInodes() const;
+  // Inode count of each MDS shard (index -> count), under the FS lock.
+  [[nodiscard]] std::vector<size_t> InodesPerMds() const;
+
+  // statfs-style usage summary.
+  struct UsageInfo {
+    uint64_t inodes = 0;
+    uint64_t files = 0;
+    uint64_t directories = 0;
+    uint64_t used_bytes = 0;
+    uint64_t capacity_bytes = 0;
+  };
+  [[nodiscard]] UsageInfo Usage() const;
+  [[nodiscard]] const FileSystemConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Resolved {
+    Inode* inode = nullptr;
+    Inode* parent = nullptr;  // null for root
+    std::string leaf;
+  };
+
+  // All *Locked helpers require mutex_ held.
+  Inode* FindLocked(const Fid& fid);
+  const Inode* FindLocked(const Fid& fid) const;
+  Result<Resolved> ResolveLocked(std::string_view path, bool want_parent_only = false);
+  Result<const Inode*> ResolveExistingLocked(std::string_view path) const;
+  int PlaceDirectoryLocked(const Inode& parent, std::string_view name);
+  MetadataServer& HomeOfLocked(const Fid& fid);
+  void JournalLocked(int mdt, ChangeLogType type, uint32_t flags, const Fid& target,
+                     const Fid& parent, std::string name,
+                     const Fid& source_parent = Fid::Zero(),
+                     std::string source_name = {});
+  Status UnlinkLocked(Inode& parent, const std::string& leaf, Inode& node);
+  static Result<std::vector<std::string>> SplitPath(std::string_view path);
+
+  const FileSystemConfig config_;
+  const TimeAuthority* authority_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<MetadataServer>> mds_;
+  ObjectStorage osts_;
+  uint32_t rr_dir_cursor_ = 0;
+};
+
+}  // namespace sdci::lustre

@@ -1,0 +1,84 @@
+// Inode model for the simulated Lustre namespace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "lustre/fid.h"
+
+namespace sdci::lustre {
+
+enum class NodeType : uint8_t { kFile, kDirectory, kSymlink };
+
+struct InodeAttrs {
+  uint64_t size = 0;
+  uint32_t mode = 0644;
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+  VirtualTime atime{};
+  VirtualTime mtime{};
+  VirtualTime ctime{};
+};
+
+// One entry of a file's stripe layout: which OST holds which object.
+struct StripeObject {
+  uint32_t ost_index = 0;
+  uint64_t object_id = 0;
+};
+
+struct FileLayout {
+  uint32_t stripe_size = 1u << 20;  // bytes per stripe
+  std::vector<StripeObject> stripes;
+};
+
+// A parent link, mirroring Lustre's linkEA xattr: every inode knows the
+// directory entries that reference it, which is what makes fid2path work.
+struct ParentLink {
+  Fid parent;
+  std::string name;
+
+  friend bool operator==(const ParentLink& a, const ParentLink& b) {
+    return a.parent == b.parent && a.name == b.name;
+  }
+};
+
+struct Inode {
+  Fid fid;
+  NodeType type = NodeType::kFile;
+  InodeAttrs attrs;
+  uint32_t nlink = 1;
+
+  // linkEA: every (parent, name) entry pointing at this inode.
+  std::vector<ParentLink> links;
+
+  // Directory contents (empty for files). Name -> child FID.
+  std::map<std::string, Fid> children;
+
+  // Symlink target (empty otherwise).
+  std::string symlink_target;
+
+  // Extended attributes (user.* etc.).
+  std::map<std::string, std::string> xattrs;
+
+  // File data layout (files only).
+  FileLayout layout;
+
+  [[nodiscard]] bool IsDir() const noexcept { return type == NodeType::kDirectory; }
+  [[nodiscard]] bool IsFile() const noexcept { return type == NodeType::kFile; }
+
+  [[nodiscard]] size_t ApproxBytes() const noexcept {
+    size_t n = sizeof(Inode) + symlink_target.capacity();
+    for (const auto& link : links) n += sizeof(ParentLink) + link.name.capacity();
+    for (const auto& [child_name, child_fid] : children) {
+      (void)child_fid;
+      n += child_name.capacity() + sizeof(Fid) + 48;
+    }
+    n += layout.stripes.size() * sizeof(StripeObject);
+    return n;
+  }
+};
+
+}  // namespace sdci::lustre

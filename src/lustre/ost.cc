@@ -1,0 +1,85 @@
+#include "lustre/ost.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sdci::lustre {
+
+ObjectStorage::ObjectStorage(uint32_t ost_count, uint64_t capacity_bytes) {
+  assert(ost_count > 0);
+  osts_.resize(ost_count);
+  for (uint32_t i = 0; i < ost_count; ++i) {
+    osts_[i].index = i;
+    osts_[i].capacity_bytes = capacity_bytes;
+  }
+}
+
+FileLayout ObjectStorage::AllocateLayout(uint32_t stripe_count, uint32_t stripe_size) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  FileLayout layout;
+  layout.stripe_size = stripe_size == 0 ? (1u << 20) : stripe_size;
+  const auto n = std::max<uint32_t>(
+      1, std::min<uint32_t>(stripe_count, static_cast<uint32_t>(osts_.size())));
+  layout.stripes.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t ost = rr_cursor_;
+    rr_cursor_ = (rr_cursor_ + 1) % static_cast<uint32_t>(osts_.size());
+    layout.stripes.push_back(StripeObject{ost, next_object_id_++});
+    osts_[ost].objects += 1;
+  }
+  return layout;
+}
+
+uint64_t ObjectStorage::StripePortion(uint64_t size, uint32_t i, uint32_t n,
+                                      uint32_t stripe_size) noexcept {
+  if (n == 0) return 0;
+  const uint64_t full_rounds = size / (static_cast<uint64_t>(stripe_size) * n);
+  const uint64_t rem = size % (static_cast<uint64_t>(stripe_size) * n);
+  uint64_t portion = full_rounds * stripe_size;
+  const uint64_t rem_start = static_cast<uint64_t>(i) * stripe_size;
+  if (rem > rem_start) {
+    portion += std::min<uint64_t>(stripe_size, rem - rem_start);
+  }
+  return portion;
+}
+
+void ObjectStorage::SetFileSize(const FileLayout& layout, uint64_t old_size,
+                                uint64_t new_size) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto n = static_cast<uint32_t>(layout.stripes.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t before = StripePortion(old_size, i, n, layout.stripe_size);
+    const uint64_t after = StripePortion(new_size, i, n, layout.stripe_size);
+    auto& ost = osts_[layout.stripes[i].ost_index];
+    ost.used_bytes = ost.used_bytes + after - before;  // wraps only on misuse
+  }
+}
+
+void ObjectStorage::ReleaseLayout(const FileLayout& layout, uint64_t size) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto n = static_cast<uint32_t>(layout.stripes.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    auto& ost = osts_[layout.stripes[i].ost_index];
+    const uint64_t portion = StripePortion(size, i, n, layout.stripe_size);
+    ost.used_bytes -= std::min(ost.used_bytes, portion);
+    if (ost.objects > 0) ost.objects -= 1;
+  }
+}
+
+std::vector<OstStats> ObjectStorage::Stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return osts_;
+}
+
+uint64_t ObjectStorage::TotalUsedBytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& ost : osts_) total += ost.used_bytes;
+  return total;
+}
+
+uint32_t ObjectStorage::ost_count() const noexcept {
+  return static_cast<uint32_t>(osts_.size());
+}
+
+}  // namespace sdci::lustre

@@ -1,0 +1,61 @@
+// Object storage targets (OSTs) and their hosting servers (OSS).
+//
+// The monitor never touches the data plane, but the file system the
+// evaluation drives is a real parallel FS: file creation allocates striped
+// objects across OSTs, writes land on the owning OSTs and free-space
+// accounting feeds the examples (e.g. purge policies triggered by usage).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lustre/fid.h"
+#include "lustre/inode.h"
+
+namespace sdci::lustre {
+
+struct OstStats {
+  uint32_t index = 0;
+  uint64_t capacity_bytes = 0;
+  uint64_t used_bytes = 0;
+  uint64_t objects = 0;
+};
+
+// The cluster's object storage: a set of OSTs with round-robin allocation
+// (Lustre's default QOS allocator degenerates to round-robin when targets
+// are balanced). Thread-safe.
+class ObjectStorage {
+ public:
+  // `ost_count` targets of `capacity_bytes` each.
+  ObjectStorage(uint32_t ost_count, uint64_t capacity_bytes);
+
+  // Allocates `stripe_count` objects for a new file, round-robin starting
+  // from an internal cursor. stripe_count is clamped to the OST count.
+  FileLayout AllocateLayout(uint32_t stripe_count, uint32_t stripe_size);
+
+  // Accounts `new_size` for the file, distributing bytes across its
+  // stripes in stripe_size chunks (RAID-0 layout arithmetic).
+  void SetFileSize(const FileLayout& layout, uint64_t old_size, uint64_t new_size);
+
+  // Releases a deleted file's objects and bytes.
+  void ReleaseLayout(const FileLayout& layout, uint64_t size);
+
+  [[nodiscard]] std::vector<OstStats> Stats() const;
+  [[nodiscard]] uint64_t TotalUsedBytes() const;
+  [[nodiscard]] uint32_t ost_count() const noexcept;
+
+ private:
+  // Bytes of `size` that land on stripe `i` of `n` with `stripe_size` chunks.
+  static uint64_t StripePortion(uint64_t size, uint32_t i, uint32_t n,
+                                uint32_t stripe_size) noexcept;
+
+  mutable std::mutex mutex_;
+  std::vector<OstStats> osts_;
+  uint64_t next_object_id_ = 1;
+  uint32_t rr_cursor_ = 0;
+};
+
+}  // namespace sdci::lustre

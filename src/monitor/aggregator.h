@@ -1,0 +1,109 @@
+// Aggregator: the monitor's fan-in, publication and history service.
+//
+// Receives processed events from every Collector, assigns a global
+// sequence, and — on separate threads, as in the paper ("the Aggregator is
+// multi-threaded") — publishes each event to all subscribed consumers and
+// appends it to the rotating EventStore. A REQ/REP API serves historic
+// events so a consumer that crashed can recover its gap.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/queue.h"
+#include "common/resource.h"
+#include "lustre/profile.h"
+#include "monitor/collector.h"
+#include "monitor/event.h"
+#include "monitor/event_store.h"
+#include "msgq/context.h"
+
+namespace sdci::monitor {
+
+struct AggregatorConfig {
+  std::string collect_endpoint = "inproc://monitor.collect";
+  std::string publish_endpoint = "inproc://monitor.events";
+  std::string api_endpoint = "inproc://monitor.api";
+  CollectTransport transport = CollectTransport::kPubSub;
+  size_t store_capacity = 200000;  // rotating catalog, in events
+  size_t internal_queue = 65536;   // depth of the publish/store hand-off
+  size_t ingest_hwm = 65536;       // collector->aggregator socket depth
+};
+
+struct AggregatorStats {
+  uint64_t received = 0;   // events ingested from collectors
+  uint64_t published = 0;  // events fanned out to subscribers
+  uint64_t stored = 0;     // events appended to the catalog
+  uint64_t decode_errors = 0;
+};
+
+class Aggregator {
+ public:
+  Aggregator(const lustre::TestbedProfile& profile, const TimeAuthority& authority,
+             msgq::Context& context, AggregatorConfig config);
+  ~Aggregator();
+
+  Aggregator(const Aggregator&) = delete;
+  Aggregator& operator=(const Aggregator&) = delete;
+
+  // Starts ingest, publish, store and API threads. Idempotent.
+  void Start();
+
+  // Drains in-flight events, then stops and joins all threads.
+  void Stop();
+
+  [[nodiscard]] AggregatorStats Stats() const;
+  [[nodiscard]] const EventStore& store() const noexcept { return store_; }
+  [[nodiscard]] ResourceUsage Usage(VirtualDuration elapsed) const;
+
+  // Sequence that will be assigned to the next ingested event.
+  [[nodiscard]] uint64_t NextSeq() const noexcept {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+
+  // Delivery latency: virtual time from a record being journaled on its
+  // MDS to its event reaching subscribers.
+  [[nodiscard]] const LatencyHistogram& delivery_latency() const noexcept {
+    return delivery_latency_;
+  }
+
+ private:
+  void IngestLoop(const std::stop_token& stop);
+  void PublishLoop();
+  void StoreLoop();
+  void ApiLoop(const std::stop_token& stop);
+  void HandleApiRequest(msgq::Request& request);
+
+  lustre::TestbedProfile profile_;
+  const TimeAuthority* authority_;
+  AggregatorConfig config_;
+
+  std::shared_ptr<msgq::SubSocket> sub_;
+  std::shared_ptr<msgq::PullSocket> pull_;
+  std::shared_ptr<msgq::PubSocket> pub_;
+  std::shared_ptr<msgq::RepSocket> rep_;
+
+  EventStore store_;
+  BoundedQueue<FsEvent> publish_queue_;
+  BoundedQueue<FsEvent> store_queue_;
+
+  DelayBudget ingest_budget_;
+  DelayBudget publish_budget_;
+
+  std::atomic<uint64_t> next_seq_{1};
+  std::atomic<uint64_t> received_{0};
+  std::atomic<uint64_t> published_{0};
+  std::atomic<uint64_t> decode_errors_{0};
+  LatencyHistogram delivery_latency_;
+
+  std::jthread ingest_thread_;
+  std::jthread publish_thread_;
+  std::jthread store_thread_;
+  std::jthread api_thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace sdci::monitor

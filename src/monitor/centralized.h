@@ -1,0 +1,77 @@
+// CentralizedCollector: the Robinhood-style baseline.
+//
+// "Robinhood employs a centralized approach to collecting and aggregating
+// data events from Lustre file systems, where metadata is sequentially
+// extracted from each metadata server by a single client." One thread
+// visits every MDS in turn, drains its ChangeLog, resolves paths and
+// appends to a central database. Benchmark A4 compares this with the
+// hierarchical monitor (one concurrent Collector per MDS).
+#pragma once
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "lustre/fid2path.h"
+#include "lustre/filesystem.h"
+#include "lustre/profile.h"
+#include "monitor/event.h"
+#include "monitor/event_store.h"
+
+namespace sdci::monitor {
+
+struct CentralizedConfig {
+  size_t read_batch = 256;
+  VirtualDuration poll_interval = Millis(50);
+  size_t store_capacity = 200000;
+  bool purge = true;
+};
+
+struct CentralizedStats {
+  uint64_t extracted = 0;
+  uint64_t processed = 0;
+  uint64_t stored = 0;
+};
+
+class CentralizedCollector {
+ public:
+  CentralizedCollector(lustre::FileSystem& fs, const lustre::TestbedProfile& profile,
+                       const TimeAuthority& authority, CentralizedConfig config = {});
+  ~CentralizedCollector();
+
+  CentralizedCollector(const CentralizedCollector&) = delete;
+  CentralizedCollector& operator=(const CentralizedCollector&) = delete;
+
+  void Start();
+  void Stop();
+
+  // One sequential pass over all MDS (for synchronous use). Returns the
+  // number of events stored.
+  size_t DrainOnce();
+
+  [[nodiscard]] CentralizedStats Stats() const;
+  [[nodiscard]] const EventStore& store() const noexcept { return store_; }
+
+ private:
+  void Run(const std::stop_token& stop);
+  size_t DrainMds(size_t mdt);
+
+  lustre::FileSystem* fs_;
+  lustre::TestbedProfile profile_;
+  const TimeAuthority* authority_;
+  CentralizedConfig config_;
+  lustre::Fid2PathService fid2path_;
+  DelayBudget budget_;
+  EventStore store_;
+  std::vector<lustre::ConsumerId> consumer_ids_;
+  std::vector<uint64_t> next_index_;
+  std::atomic<uint64_t> extracted_{0};
+  std::atomic<uint64_t> processed_{0};
+  uint64_t next_seq_ = 1;
+  std::jthread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace sdci::monitor

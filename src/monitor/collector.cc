@@ -1,0 +1,346 @@
+#include "monitor/collector.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace sdci::monitor {
+
+std::string_view ResolveModeName(ResolveMode mode) noexcept {
+  switch (mode) {
+    case ResolveMode::kPerEvent:
+      return "per-event";
+    case ResolveMode::kBatched:
+      return "batched";
+    case ResolveMode::kCached:
+      return "cached";
+    case ResolveMode::kBatchedCached:
+      return "batched+cached";
+  }
+  return "?";
+}
+
+Collector::Collector(lustre::FileSystem& fs, int mdt_index,
+                     const lustre::TestbedProfile& profile,
+                     const TimeAuthority& authority, msgq::Context& context,
+                     CollectorConfig config)
+    : fs_(&fs),
+      mdt_index_(mdt_index),
+      profile_(profile),
+      authority_(&authority),
+      config_(std::move(config)),
+      fid2path_(fs, profile),
+      cache_(fid2path_, config_.cache_capacity),
+      budget_(authority) {
+  if (config_.local_store_capacity > 0) {
+    local_store_ = std::make_unique<EventStore>(config_.local_store_capacity);
+  }
+  consumer_id_ = fs_->Mds(static_cast<size_t>(mdt_index_)).changelog().RegisterConsumer();
+  if (config_.transport == CollectTransport::kPubSub) {
+    pub_ = context.CreatePub(config_.collect_endpoint);
+  } else {
+    push_ = context.CreatePush(config_.collect_endpoint);
+  }
+  // Resume from the oldest retained record (a restarted collector re-reads
+  // anything it had not cleared yet — at-least-once hand-off).
+  const uint64_t first = fs_->Mds(static_cast<size_t>(mdt_index_)).changelog().FirstIndex();
+  next_index_ = first == 0 ? 1 : first;
+}
+
+Collector::~Collector() {
+  Stop();
+  (void)fs_->Mds(static_cast<size_t>(mdt_index_)).changelog().DeregisterConsumer(consumer_id_);
+}
+
+void Collector::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::jthread([this](const std::stop_token& stop) { Run(stop); });
+}
+
+void Collector::Stop() {
+  if (!running_.exchange(false)) return;
+  thread_.request_stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Collector::Run(const std::stop_token& stop) {
+  log::Debug(strings::Format("collector.{}", mdt_index_), "started ({} mode)",
+             ResolveModeName(config_.resolve_mode));
+  std::vector<lustre::ChangeLogRecord> records;
+  while (!stop.stop_requested()) {
+    records.clear();
+    if (ProcessBatch(records) == 0) {
+      budget_.Flush();
+      authority_->SleepFor(config_.poll_interval);
+    }
+  }
+  // Final drain so Stop() never abandons already-journaled records that
+  // fit in one batch (tests rely on deterministic flush).
+  records.clear();
+  ProcessBatch(records);
+  budget_.Flush();
+}
+
+size_t Collector::DrainOnce() {
+  const uint64_t reported_before = reported_.load(std::memory_order_relaxed);
+  std::vector<lustre::ChangeLogRecord> records;
+  while (true) {
+    records.clear();
+    if (ProcessBatch(records) == 0) break;
+  }
+  budget_.Flush();
+  return reported_.load(std::memory_order_relaxed) - reported_before;
+}
+
+size_t Collector::ProcessBatch(std::vector<lustre::ChangeLogRecord>& records) {
+  auto& changelog = fs_->Mds(static_cast<size_t>(mdt_index_)).changelog();
+  // Detection: extract new records (costed per read call + per record).
+  const size_t n = changelog.ReadFrom(next_index_, config_.read_batch, records);
+  budget_.Charge(profile_.changelog_read_base +
+                 profile_.changelog_read_per_record * static_cast<int64_t>(n));
+  if (n == 0) return 0;
+  extracted_.fetch_add(n, std::memory_order_relaxed);
+  const uint64_t batch_first = records.front().index;
+  const uint64_t last_index = records.back().index;
+  next_index_ = last_index + 1;
+
+  // Filter push-down: drop masked-out record types before the costly
+  // processing step.
+  size_t filtered_now = 0;
+  if (config_.report_mask != lustre::kFullChangeLogMask) {
+    const auto masked_out = [&](const lustre::ChangeLogRecord& record) {
+      return (config_.report_mask & lustre::MaskOf(record.type)) == 0;
+    };
+    const size_t before = records.size();
+    records.erase(std::remove_if(records.begin(), records.end(), masked_out),
+                  records.end());
+    filtered_now = before - records.size();
+    filtered_.fetch_add(filtered_now, std::memory_order_relaxed);
+  }
+
+  // Processing: resolve FIDs into absolute paths.
+  std::vector<FsEvent> events;
+  events.reserve(records.size());
+  ResolvePaths(records, events);
+  processed_.fetch_add(events.size(), std::memory_order_relaxed);
+
+  // Aggregation hand-off. A failed hand-off (no aggregator accepting on
+  // the endpoint) must not lose events: rewind the cursor so the batch is
+  // re-read on the next pass, and skip the purge.
+  if (!Report(events)) {
+    next_index_ = batch_first;
+    // The batch will be re-extracted; undo its counters.
+    extracted_.fetch_sub(n, std::memory_order_relaxed);
+    filtered_.fetch_sub(filtered_now, std::memory_order_relaxed);
+    processed_.fetch_sub(events.size(), std::memory_order_relaxed);
+    return 0;  // treat as idle: back off before retrying
+  }
+
+  // Purge consumed records so the ChangeLog does not accumulate stale
+  // entries (the collector's pointer makes this safe).
+  if (config_.purge) {
+    budget_.Charge(profile_.changelog_clear_latency);
+    if (changelog.Clear(consumer_id_, last_index).ok()) {
+      last_cleared_.store(last_index, std::memory_order_relaxed);
+    }
+  }
+  // Extracted count (not reported count): an all-filtered batch still
+  // means the log had records, so the caller should not back off.
+  return n;
+}
+
+void Collector::ResolvePaths(std::vector<lustre::ChangeLogRecord>& records,
+                             std::vector<FsEvent>& events) {
+  const bool batched = config_.resolve_mode == ResolveMode::kBatched ||
+                       config_.resolve_mode == ResolveMode::kBatchedCached;
+  // Batched modes pre-resolve the batch's *unique* parent directories with
+  // one amortized fid2path call; kBatchedCached further strips out parents
+  // already cached, so only cold parents pay the call at all.
+  std::unordered_map<lustre::Fid, std::string, lustre::FidHash> parent_paths;
+  if (batched) {
+    std::vector<lustre::Fid> cold;
+    for (const auto& record : records) {
+      if (parent_paths.count(record.parent) > 0) continue;
+      if (config_.resolve_mode == ResolveMode::kBatchedCached) {
+        if (auto hit = cache_.Peek(record.parent)) {
+          parent_paths.emplace(record.parent, std::move(*hit));
+          continue;
+        }
+      }
+      parent_paths.emplace(record.parent, std::string());
+      cold.push_back(record.parent);
+    }
+    if (!cold.empty()) {
+      auto resolved = fid2path_.ResolveBatch(cold, budget_);
+      if (resolved.ok()) {
+        for (size_t i = 0; i < cold.size(); ++i) {
+          parent_paths[cold[i]] = (*resolved)[i];
+          if (config_.resolve_mode == ResolveMode::kBatchedCached &&
+              !(*resolved)[i].empty()) {
+            cache_.Prime(cold[i], (*resolved)[i]);
+          }
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    const lustre::ChangeLogRecord& record = records[i];
+    FsEvent event;
+    event.mdt_index = mdt_index_;
+    event.record_index = record.index;
+    event.type = record.type;
+    event.time = record.time;
+    event.flags = record.flags;
+    event.name = record.name;
+    event.target_fid = record.target;
+    event.parent_fid = record.parent;
+
+    std::string parent_path;
+    bool resolved = false;
+    switch (config_.resolve_mode) {
+      case ResolveMode::kPerEvent: {
+        auto path = fid2path_.Resolve(record.parent, budget_);
+        if (path.ok()) {
+          parent_path = std::move(path.value());
+          resolved = true;
+        }
+        break;
+      }
+      case ResolveMode::kCached: {
+        auto path = cache_.ResolveParent(record.parent, budget_);
+        if (path.ok()) {
+          parent_path = std::move(path.value());
+          resolved = true;
+        }
+        break;
+      }
+      case ResolveMode::kBatched:
+      case ResolveMode::kBatchedCached: {
+        const auto it = parent_paths.find(record.parent);
+        if (it != parent_paths.end() && !it->second.empty()) {
+          parent_path = it->second;
+          resolved = true;
+        }
+        break;
+      }
+    }
+
+    if (resolved) {
+      event.path = parent_path == "/" ? "/" + record.name : parent_path + "/" + record.name;
+      if (record.type == lustre::ChangeLogType::kRename) {
+        // Resolve the rename source through the same machinery (best
+        // effort; the source parent may itself have moved).
+        auto src = config_.resolve_mode == ResolveMode::kCached ||
+                           config_.resolve_mode == ResolveMode::kBatchedCached
+                       ? cache_.ResolveParent(record.source_parent, budget_)
+                       : fid2path_.Resolve(record.source_parent, budget_);
+        if (src.ok()) {
+          event.source_path = *src == "/" ? "/" + record.source_name
+                                          : *src + "/" + record.source_name;
+        }
+      }
+    } else {
+      // Path resolution can legitimately fail: the parent may already be
+      // deleted by the time the record is processed. The event is still
+      // reported, carrying its FIDs.
+      resolve_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    MaintainCache(event);
+    if (local_store_ != nullptr) local_store_->Append(event);
+    events.push_back(std::move(event));
+  }
+}
+
+void Collector::MaintainCache(const FsEvent& event) {
+  if (config_.resolve_mode != ResolveMode::kCached &&
+      config_.resolve_mode != ResolveMode::kBatchedCached) {
+    return;
+  }
+  switch (event.type) {
+    case lustre::ChangeLogType::kMkdir:
+      // Prime: the new directory's path is already known.
+      if (!event.path.empty()) cache_.Prime(event.target_fid, event.path);
+      break;
+    case lustre::ChangeLogType::kRename:
+    case lustre::ChangeLogType::kRenameTo:
+    case lustre::ChangeLogType::kRmdir:
+      // The target directory's cached path is stale (or gone). A rename
+      // also invalidates every descendant; dropping just the target keeps
+      // the common case cheap — descendants re-resolve on next miss
+      // because we key by parent FID and stale entries are detected by
+      // the periodic full resolution below. For strict correctness the
+      // cached modes clear the whole cache on directory renames.
+      if (event.type == lustre::ChangeLogType::kRmdir) {
+        cache_.Invalidate(event.target_fid);
+      } else {
+        cache_.Clear();
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+bool Collector::Report(std::vector<FsEvent>& events) {
+  // Aggregation hand-off: serialize in publish_batch-sized messages. The
+  // collect endpoint carries exactly one aggregator; "nobody accepted"
+  // means it is absent (or its queue dropped us) and the batch must be
+  // retried rather than purged.
+  const size_t batch = std::max<size_t>(1, config_.publish_batch);
+  std::vector<FsEvent> chunk;
+  for (size_t start = 0; start < events.size(); start += batch) {
+    const size_t end = std::min(events.size(), start + batch);
+    chunk.assign(events.begin() + static_cast<ptrdiff_t>(start),
+                 events.begin() + static_cast<ptrdiff_t>(end));
+    msgq::Message message(strings::Format("collect.mdt{}", mdt_index_),
+                          EncodeEventBatch(chunk));
+    budget_.Charge(profile_.collector_publish_latency);
+    const VirtualTime now = authority_->Now();
+    for (const FsEvent& event : chunk) {
+      detection_latency_.Record(now - event.time);
+    }
+    if (pub_ != nullptr) {
+      if (pub_->Publish(std::move(message)) == 0) return false;
+    } else if (push_ != nullptr) {
+      // Blocks if the aggregator is saturated (backpressure); fails only
+      // when no PULL socket is bound at all.
+      if (!push_->Push(std::move(message)).ok()) return false;
+    }
+    reported_.fetch_add(end - start, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+CollectorStats Collector::Stats() const {
+  CollectorStats stats;
+  stats.extracted = extracted_.load(std::memory_order_relaxed);
+  stats.filtered = filtered_.load(std::memory_order_relaxed);
+  stats.processed = processed_.load(std::memory_order_relaxed);
+  stats.reported = reported_.load(std::memory_order_relaxed);
+  stats.resolve_failures = resolve_failures_.load(std::memory_order_relaxed);
+  stats.fid2path_calls = fid2path_.calls();
+  stats.cache_hit_rate = cache_.HitRate();
+  stats.last_cleared_index = last_cleared_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+ResourceUsage Collector::Usage(VirtualDuration elapsed) const {
+  ResourceUsage usage;
+  usage.component = strings::Format("collector.{}", mdt_index_);
+  const double span = ToSecondsF(elapsed);
+  const double processed = static_cast<double>(processed_.load(std::memory_order_relaxed));
+  const double cpu_s = processed * ToSecondsF(profile_.collector_cpu_per_event);
+  usage.cpu_percent = span <= 0 ? 0 : 100.0 * cpu_s / span;
+  usage.pipeline_busy_percent =
+      span <= 0 ? 0 : 100.0 * ToSecondsF(budget_.TotalCharged()) / span;
+  usage.peak_memory_bytes =
+      (local_store_ != nullptr ? local_store_->memory().PeakBytes() : 0) +
+      cache_.ApproxBytes() + config_.read_batch * sizeof(lustre::ChangeLogRecord) +
+      (1u << 20);  // fixed process overhead (buffers, sockets)
+  return usage;
+}
+
+}  // namespace sdci::monitor

@@ -1,0 +1,98 @@
+#include "monitor/consumer.h"
+
+#include <algorithm>
+
+namespace sdci::monitor {
+
+EventSubscriber::EventSubscriber(msgq::Context& context,
+                                 const std::string& publish_endpoint,
+                                 std::string topic_prefix, size_t hwm,
+                                 msgq::HwmPolicy policy)
+    : sub_(context.CreateSub(publish_endpoint, hwm, policy)) {
+  sub_->Subscribe(std::move(topic_prefix));
+}
+
+Result<FsEvent> EventSubscriber::Decode(Result<msgq::Message> message) {
+  if (!message.ok()) return message.status();
+  auto events = DecodeEventBatch(message->payload);
+  if (!events.ok()) return events.status();
+  if (events->empty()) return NotFoundError("empty event batch");
+  // Queue extras (oldest-first) for subsequent Next() calls.
+  FsEvent first = std::move(events->front());
+  for (size_t i = events->size(); i > 1; --i) {
+    pending_.push_back(std::move((*events)[i - 1]));
+  }
+  ++received_;
+  return first;
+}
+
+Result<FsEvent> EventSubscriber::Next() {
+  if (!pending_.empty()) {
+    FsEvent event = std::move(pending_.back());
+    pending_.pop_back();
+    ++received_;
+    return event;
+  }
+  return Decode(sub_->Receive());
+}
+
+Result<FsEvent> EventSubscriber::NextFor(std::chrono::nanoseconds timeout) {
+  if (!pending_.empty()) {
+    FsEvent event = std::move(pending_.back());
+    pending_.pop_back();
+    ++received_;
+    return event;
+  }
+  return Decode(sub_->ReceiveFor(timeout));
+}
+
+std::optional<FsEvent> EventSubscriber::TryNext() {
+  auto event = NextFor(std::chrono::nanoseconds(0));
+  if (!event.ok()) return std::nullopt;
+  return std::move(event.value());
+}
+
+void EventSubscriber::Close() { sub_->Close(); }
+
+HistoryClient::HistoryClient(msgq::Context& context, const std::string& api_endpoint)
+    : req_(context.CreateReq(api_endpoint)) {}
+
+Result<HistoryClient::Page> HistoryClient::Issue(const json::Value& query,
+                                                 std::chrono::nanoseconds timeout) {
+  auto reply = req_->RequestReply(msgq::Message("api.query", query.Dump()), timeout);
+  if (!reply.ok()) return reply.status();
+  auto parsed = json::Parse(reply->payload);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->Has("error")) return InternalError(parsed->GetString("error"));
+  Page page;
+  page.first_available = static_cast<uint64_t>(parsed->GetInt("first_available"));
+  page.last_seq = static_cast<uint64_t>(parsed->GetInt("last_seq"));
+  const json::Value& events = (*parsed)["events"];
+  if (events.is_array()) {
+    for (const json::Value& item : events.AsArray()) {
+      auto event = FsEvent::FromJson(item);
+      if (!event.ok()) return event.status();
+      page.events.push_back(std::move(event.value()));
+    }
+  }
+  return page;
+}
+
+Result<HistoryClient::Page> HistoryClient::Fetch(uint64_t from_seq, size_t max,
+                                                 std::chrono::nanoseconds timeout) {
+  json::Object query;
+  query["from_seq"] = json::Value(from_seq);
+  query["max"] = json::Value(static_cast<uint64_t>(max));
+  return Issue(json::Value(std::move(query)), timeout);
+}
+
+Result<HistoryClient::Page> HistoryClient::FetchTimeRange(
+    VirtualTime from, VirtualTime to, size_t max, std::chrono::nanoseconds timeout) {
+  json::Object query;
+  query["from_time_ns"] = json::Value(from.count());
+  query["to_time_ns"] = json::Value(to.count());
+  query["max"] = json::Value(static_cast<uint64_t>(max));
+  return Issue(json::Value(std::move(query)), timeout);
+}
+
+}  // namespace sdci::monitor

@@ -1,0 +1,72 @@
+// Consumer-side helpers: the subscriber API Ripple agents (and any other
+// external service) use to receive the monitor's event stream, plus the
+// client for the Aggregator's historic-events API.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "monitor/event.h"
+#include "msgq/context.h"
+
+namespace sdci::monitor {
+
+// Live event stream subscriber.
+class EventSubscriber {
+ public:
+  // Subscribes to `topic_prefix` on the aggregator's publish endpoint
+  // ("fsevent." receives everything; "fsevent.CREAT" filters creates).
+  EventSubscriber(msgq::Context& context, const std::string& publish_endpoint,
+                  std::string topic_prefix = "fsevent.", size_t hwm = 65536,
+                  msgq::HwmPolicy policy = msgq::HwmPolicy::kDropNewest);
+
+  // Next event (blocking / with timeout / non-blocking).
+  Result<FsEvent> Next();
+  Result<FsEvent> NextFor(std::chrono::nanoseconds timeout);
+  std::optional<FsEvent> TryNext();
+
+  // Stops receiving (wakes any blocked Next()).
+  void Close();
+
+  [[nodiscard]] uint64_t received() const noexcept { return received_; }
+  [[nodiscard]] uint64_t dropped_at_socket() const { return sub_->dropped(); }
+
+ private:
+  Result<FsEvent> Decode(Result<msgq::Message> message);
+
+  std::shared_ptr<msgq::SubSocket> sub_;
+  std::vector<FsEvent> pending_;  // events from a multi-event message
+  uint64_t received_ = 0;
+};
+
+// Historic-events API client ("an API to retrieve recent events in order
+// to provide fault tolerance").
+class HistoryClient {
+ public:
+  HistoryClient(msgq::Context& context, const std::string& api_endpoint);
+
+  struct Page {
+    uint64_t first_available = 0;  // oldest seq still retained
+    uint64_t last_seq = 0;
+    std::vector<FsEvent> events;
+  };
+
+  // Fetches events with global_seq >= from_seq (up to max).
+  Result<Page> Fetch(uint64_t from_seq, size_t max,
+                     std::chrono::nanoseconds timeout = std::chrono::seconds(5));
+
+  // Fetches events with virtual time in [from, to).
+  Result<Page> FetchTimeRange(VirtualTime from, VirtualTime to, size_t max,
+                              std::chrono::nanoseconds timeout = std::chrono::seconds(5));
+
+ private:
+  Result<Page> Issue(const json::Value& query, std::chrono::nanoseconds timeout);
+
+  std::shared_ptr<msgq::ReqSocket> req_;
+};
+
+}  // namespace sdci::monitor

@@ -1,0 +1,155 @@
+#include "monitor/event.h"
+
+#include "common/serde.h"
+#include "common/strings.h"
+
+namespace sdci::monitor {
+
+std::string FsEvent::ToString() const {
+  std::string out = strings::Format("{} {}", lustre::ChangeLogTypeName(type),
+                                    path.empty() ? ("<" + target_fid.ToString() + ">") : path);
+  if (type == lustre::ChangeLogType::kRename && !source_path.empty()) {
+    out += " from " + source_path;
+  }
+  return out;
+}
+
+json::Value FsEvent::ToJson() const {
+  json::Object obj;
+  obj["mdt"] = json::Value(static_cast<int64_t>(mdt_index));
+  obj["index"] = json::Value(static_cast<int64_t>(record_index));
+  obj["seq"] = json::Value(static_cast<int64_t>(global_seq));
+  obj["type"] = json::Value(std::string(lustre::ChangeLogTypeName(type)));
+  obj["time_ns"] = json::Value(static_cast<int64_t>(time.count()));
+  obj["flags"] = json::Value(static_cast<int64_t>(flags));
+  obj["path"] = json::Value(path);
+  obj["name"] = json::Value(name);
+  if (!source_path.empty()) obj["source_path"] = json::Value(source_path);
+  obj["target_fid"] = json::Value(target_fid.ToString());
+  obj["parent_fid"] = json::Value(parent_fid.ToString());
+  return json::Value(std::move(obj));
+}
+
+Result<FsEvent> FsEvent::FromJson(const json::Value& value) {
+  if (!value.is_object()) return InvalidArgumentError("event must be a JSON object");
+  FsEvent event;
+  event.mdt_index = static_cast<int>(value.GetInt("mdt"));
+  event.record_index = static_cast<uint64_t>(value.GetInt("index"));
+  event.global_seq = static_cast<uint64_t>(value.GetInt("seq"));
+  auto type = lustre::ParseChangeLogType(value.GetString("type", "MARK"));
+  if (!type.ok()) return type.status();
+  event.type = *type;
+  event.time = VirtualTime(value.GetInt("time_ns"));
+  event.flags = static_cast<uint32_t>(value.GetInt("flags"));
+  event.path = value.GetString("path");
+  event.name = value.GetString("name");
+  event.source_path = value.GetString("source_path");
+  auto target = lustre::Fid::Parse(value.GetString("target_fid", "[0x0:0x0:0x0]"));
+  if (!target.ok()) return target.status();
+  event.target_fid = *target;
+  auto parent = lustre::Fid::Parse(value.GetString("parent_fid", "[0x0:0x0:0x0]"));
+  if (!parent.ok()) return parent.status();
+  event.parent_fid = *parent;
+  return event;
+}
+
+namespace {
+
+constexpr uint16_t kCodecVersion = 1;
+
+void EncodeOne(BinaryWriter& writer, const FsEvent& event) {
+  writer.PutU32(static_cast<uint32_t>(event.mdt_index));
+  writer.PutU64(event.record_index);
+  writer.PutU64(event.global_seq);
+  writer.PutU8(static_cast<uint8_t>(event.type));
+  writer.PutI64(event.time.count());
+  writer.PutU32(event.flags);
+  writer.PutString(event.path);
+  writer.PutString(event.name);
+  writer.PutString(event.source_path);
+  writer.PutU64(event.target_fid.seq);
+  writer.PutU32(event.target_fid.oid);
+  writer.PutU32(event.target_fid.ver);
+  writer.PutU64(event.parent_fid.seq);
+  writer.PutU32(event.parent_fid.oid);
+  writer.PutU32(event.parent_fid.ver);
+}
+
+Result<FsEvent> DecodeOne(BinaryReader& reader) {
+  FsEvent event;
+#define SDCI_READ_OR_RETURN(field, expr) \
+  {                                      \
+    auto parsed = (expr);                \
+    if (!parsed.ok()) return parsed.status(); \
+    field = std::move(parsed.value());   \
+  }
+  uint32_t mdt = 0;
+  SDCI_READ_OR_RETURN(mdt, reader.GetU32());
+  event.mdt_index = static_cast<int>(mdt);
+  SDCI_READ_OR_RETURN(event.record_index, reader.GetU64());
+  SDCI_READ_OR_RETURN(event.global_seq, reader.GetU64());
+  uint8_t type = 0;
+  SDCI_READ_OR_RETURN(type, reader.GetU8());
+  if (type > static_cast<uint8_t>(lustre::ChangeLogType::kAtime)) {
+    return InvalidArgumentError("invalid event type byte");
+  }
+  event.type = static_cast<lustre::ChangeLogType>(type);
+  int64_t time_ns = 0;
+  SDCI_READ_OR_RETURN(time_ns, reader.GetI64());
+  event.time = VirtualTime(time_ns);
+  SDCI_READ_OR_RETURN(event.flags, reader.GetU32());
+  SDCI_READ_OR_RETURN(event.path, reader.GetString());
+  SDCI_READ_OR_RETURN(event.name, reader.GetString());
+  SDCI_READ_OR_RETURN(event.source_path, reader.GetString());
+  SDCI_READ_OR_RETURN(event.target_fid.seq, reader.GetU64());
+  SDCI_READ_OR_RETURN(event.target_fid.oid, reader.GetU32());
+  SDCI_READ_OR_RETURN(event.target_fid.ver, reader.GetU32());
+  SDCI_READ_OR_RETURN(event.parent_fid.seq, reader.GetU64());
+  SDCI_READ_OR_RETURN(event.parent_fid.oid, reader.GetU32());
+  SDCI_READ_OR_RETURN(event.parent_fid.ver, reader.GetU32());
+#undef SDCI_READ_OR_RETURN
+  return event;
+}
+
+}  // namespace
+
+std::string EncodeEventBatch(const std::vector<FsEvent>& events) {
+  BinaryWriter writer;
+  writer.PutU16(kCodecVersion);
+  writer.PutU32(static_cast<uint32_t>(events.size()));
+  for (const FsEvent& event : events) EncodeOne(writer, event);
+  return writer.Take();
+}
+
+Result<std::vector<FsEvent>> DecodeEventBatch(std::string_view payload) {
+  BinaryReader reader(payload);
+  auto version = reader.GetU16();
+  if (!version.ok()) return version.status();
+  if (*version != kCodecVersion) {
+    return InvalidArgumentError(strings::Format("unknown codec version {}", *version));
+  }
+  auto count = reader.GetU32();
+  if (!count.ok()) return count.status();
+  // A record is >= ~77 bytes encoded; a count claiming more events than
+  // the payload could possibly hold is hostile (reserving it unvalidated
+  // would be an allocation bomb).
+  constexpr size_t kMinEncodedEvent = 64;
+  if (*count > reader.Remaining() / kMinEncodedEvent + 1) {
+    return InvalidArgumentError("event count exceeds payload capacity");
+  }
+  std::vector<FsEvent> events;
+  events.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto event = DecodeOne(reader);
+    if (!event.ok()) return event.status();
+    events.push_back(std::move(event.value()));
+  }
+  if (!reader.AtEnd()) return InvalidArgumentError("trailing bytes in event batch");
+  return events;
+}
+
+std::string EventTopic(const FsEvent& event) {
+  return "fsevent." + std::string(lustre::ChangeLogTypeName(event.type));
+}
+
+}  // namespace sdci::monitor

@@ -1,0 +1,57 @@
+// FsEvent: a processed file-system event as consumed by Ripple agents.
+//
+// The Collector turns raw ChangeLog records — which identify files by FID —
+// into events carrying user-friendly absolute paths (the paper's
+// "Processing" step). Events travel Collector → Aggregator → consumers as
+// msgq messages; both a compact binary codec (the wire format) and a JSON
+// codec (the historic-events API) are provided.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "lustre/changelog.h"
+#include "lustre/fid.h"
+
+namespace sdci::monitor {
+
+struct FsEvent {
+  // Provenance.
+  int mdt_index = 0;            // MDT whose ChangeLog produced the event
+  uint64_t record_index = 0;    // per-MDT changelog index
+  uint64_t global_seq = 0;      // assigned by the Aggregator
+
+  // Payload.
+  lustre::ChangeLogType type = lustre::ChangeLogType::kMark;
+  VirtualTime time{};
+  uint32_t flags = 0;
+  std::string path;         // absolute path of the target ("" if unresolved)
+  std::string name;         // entry name within the parent
+  std::string source_path;  // rename source ("" otherwise)
+  lustre::Fid target_fid;
+  lustre::Fid parent_fid;
+
+  [[nodiscard]] size_t ApproxBytes() const noexcept {
+    return sizeof(FsEvent) + path.capacity() + name.capacity() + source_path.capacity();
+  }
+
+  // One-line human form, e.g. "CREAT /proj/data/run1.h5".
+  [[nodiscard]] std::string ToString() const;
+
+  [[nodiscard]] json::Value ToJson() const;
+  static Result<FsEvent> FromJson(const json::Value& value);
+};
+
+// Binary wire codec. A message payload holds one batch (>= 1 event).
+std::string EncodeEventBatch(const std::vector<FsEvent>& events);
+Result<std::vector<FsEvent>> DecodeEventBatch(std::string_view payload);
+
+// Topic used on the aggregator's public stream for one event, e.g.
+// "fsevent.CREAT". Consumers can prefix-filter on "fsevent." or a type.
+std::string EventTopic(const FsEvent& event);
+
+}  // namespace sdci::monitor

@@ -1,0 +1,68 @@
+#include "monitor/event_store.h"
+
+#include <algorithm>
+
+namespace sdci::monitor {
+
+EventStore::EventStore(size_t max_events) : max_events_(max_events == 0 ? 1 : max_events) {}
+
+void EventStore::Append(FsEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  memory_.Charge(event.ApproxBytes());
+  events_.push_back(std::move(event));
+  ++total_appended_;
+  while (events_.size() > max_events_) {
+    memory_.Release(events_.front().ApproxBytes());
+    events_.pop_front();
+  }
+}
+
+std::vector<FsEvent> EventStore::Query(uint64_t from_seq, size_t max,
+                                       uint64_t* first_available) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (first_available != nullptr) {
+    *first_available = events_.empty() ? 0 : events_.front().global_seq;
+  }
+  std::vector<FsEvent> out;
+  // global_seq is monotone: binary search for the first match.
+  const auto begin = std::lower_bound(
+      events_.begin(), events_.end(), from_seq,
+      [](const FsEvent& e, uint64_t seq) { return e.global_seq < seq; });
+  for (auto it = begin; it != events_.end() && out.size() < max; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<FsEvent> EventStore::QueryTimeRange(VirtualTime from, VirtualTime to,
+                                                size_t max) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FsEvent> out;
+  for (const FsEvent& event : events_) {
+    if (out.size() >= max) break;
+    if (event.time >= from && event.time < to) out.push_back(event);
+  }
+  return out;
+}
+
+uint64_t EventStore::FirstSeq() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.empty() ? 0 : events_.front().global_seq;
+}
+
+uint64_t EventStore::LastSeq() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.empty() ? 0 : events_.back().global_seq;
+}
+
+size_t EventStore::Size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+uint64_t EventStore::TotalAppended() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_appended_;
+}
+
+}  // namespace sdci::monitor

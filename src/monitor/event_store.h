@@ -1,0 +1,52 @@
+// Rotating event catalog kept by the Aggregator.
+//
+// "The monitor also maintains a rotating catalog of events and an API to
+// retrieve recent events in order to provide fault tolerance." Bounded by
+// a max event count; the oldest events rotate out. Query by global
+// sequence lets a consumer that crashed re-fetch everything it missed, as
+// long as it comes back before its gap rotates out.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/resource.h"
+#include "monitor/event.h"
+
+namespace sdci::monitor {
+
+class EventStore {
+ public:
+  explicit EventStore(size_t max_events);
+
+  void Append(FsEvent event);
+
+  // Events with global_seq >= from_seq, oldest first, up to max. Events
+  // older than the rotation window are gone; `first_available` (if given)
+  // reports the oldest retained sequence so callers can detect gaps.
+  [[nodiscard]] std::vector<FsEvent> Query(uint64_t from_seq, size_t max,
+                                           uint64_t* first_available = nullptr) const;
+
+  // Events with time in [from, to), up to max.
+  [[nodiscard]] std::vector<FsEvent> QueryTimeRange(VirtualTime from, VirtualTime to,
+                                                    size_t max) const;
+
+  [[nodiscard]] uint64_t FirstSeq() const;  // 0 when empty
+  [[nodiscard]] uint64_t LastSeq() const;   // 0 when empty
+  [[nodiscard]] size_t Size() const;
+  [[nodiscard]] uint64_t TotalAppended() const;
+  [[nodiscard]] size_t max_events() const noexcept { return max_events_; }
+
+  [[nodiscard]] const MemoryAccountant& memory() const noexcept { return memory_; }
+
+ private:
+  const size_t max_events_;
+  mutable std::mutex mutex_;
+  std::deque<FsEvent> events_;  // ordered by global_seq
+  uint64_t total_appended_ = 0;
+  MemoryAccountant memory_;
+};
+
+}  // namespace sdci::monitor

@@ -1,0 +1,93 @@
+#include "monitor/inotify_sim.h"
+
+#include "common/strings.h"
+
+namespace sdci::monitor {
+
+InotifyMonitor::InotifyMonitor(lustre::FileSystem& fs, const TimeAuthority& authority,
+                               InotifyConfig config)
+    : fs_(&fs),
+      authority_(&authority),
+      config_(config),
+      fid2path_(fs, lustre::TestbedProfile::Test()),
+      budget_(authority) {
+  next_index_.resize(fs.MdsCount(), 1);
+  // Start the cursors at the current tail: inotify only sees the future.
+  for (size_t i = 0; i < fs.MdsCount(); ++i) {
+    next_index_[i] = fs.Mds(i).changelog().LastIndex() + 1;
+  }
+}
+
+Result<InotifySetupStats> InotifyMonitor::Watch(const std::string& path, bool recursive) {
+  InotifySetupStats stats;
+  Status budget_exhausted = OkStatus();
+  const Status walked = fs_->Walk(
+      path, [&](const std::string& entry_path, const lustre::StatInfo& info) {
+        ++stats.entries_crawled;
+        budget_.Charge(config_.crawl_per_entry);
+        if (!budget_exhausted.ok()) return;
+        if (info.type != lustre::NodeType::kDirectory) return;
+        if (!recursive && entry_path != path) return;
+        if (watched_fids_.size() >= config_.max_watches) {
+          budget_exhausted = ResourceExhaustedError(strings::Format(
+              "inotify watch limit {} reached while crawling {}",
+              config_.max_watches, path));
+          return;
+        }
+        if (watched_fids_.insert(info.fid).second) ++stats.watches_installed;
+      });
+  budget_.Flush();
+  stats.setup_time = budget_.TotalCharged();
+  stats.kernel_memory_bytes = KernelMemoryBytes();
+  if (!walked.ok()) return walked;
+  if (!budget_exhausted.ok()) return budget_exhausted;
+  return stats;
+}
+
+void InotifyMonitor::Unwatch(const std::string& path) {
+  // Collect the FIDs still reachable under `path` and forget them.
+  (void)fs_->Walk(path, [&](const std::string&, const lustre::StatInfo& info) {
+    if (info.type == lustre::NodeType::kDirectory) watched_fids_.erase(info.fid);
+  });
+}
+
+std::vector<FsEvent> InotifyMonitor::Poll() {
+  std::vector<FsEvent> visible;
+  std::vector<lustre::ChangeLogRecord> records;
+  for (size_t mdt = 0; mdt < fs_->MdsCount(); ++mdt) {
+    records.clear();
+    fs_->Mds(mdt).changelog().ReadFrom(next_index_[mdt], SIZE_MAX, records);
+    if (records.empty()) continue;
+    next_index_[mdt] = records.back().index + 1;
+    for (const auto& record : records) {
+      if (watched_fids_.count(record.parent) == 0) {
+        ++dropped_invisible_;
+        continue;
+      }
+      FsEvent event;
+      event.mdt_index = static_cast<int>(mdt);
+      event.record_index = record.index;
+      event.type = record.type;
+      event.time = record.time;
+      event.flags = record.flags;
+      event.name = record.name;
+      event.target_fid = record.target;
+      event.parent_fid = record.parent;
+      auto parent_path = fid2path_.Resolve(record.parent, budget_);
+      if (parent_path.ok()) {
+        event.path = *parent_path == "/" ? "/" + record.name
+                                         : *parent_path + "/" + record.name;
+      }
+      if (config_.auto_watch_new_dirs &&
+          record.type == lustre::ChangeLogType::kMkdir &&
+          watched_fids_.size() < config_.max_watches) {
+        watched_fids_.insert(record.target);
+      }
+      visible.push_back(std::move(event));
+    }
+  }
+  budget_.Flush();
+  return visible;
+}
+
+}  // namespace sdci::monitor

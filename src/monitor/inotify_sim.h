@@ -1,0 +1,84 @@
+// InotifyMonitor: a model of targeted per-directory watching (inotify /
+// Python Watchdog), the mechanism Ripple uses on personal devices.
+//
+// Reproduces the cost structure Section 3 of the paper analyzes:
+//  - setup requires crawling the subtree to install one watch per
+//    directory (time-consuming on large trees);
+//  - every watch pins ~1 KiB of unswappable kernel memory on a 64-bit
+//    machine, with a default system-wide cap of 524,288 watches
+//    (> 512 MiB if exhausted);
+//  - only events under watched directories are delivered; events elsewhere
+//    are invisible — which is why site-wide policies cannot be built on it.
+//
+// Detection is implemented by tailing the ChangeLogs and filtering to
+// watched parents, which yields exactly inotify's visible-event semantics
+// over the simulated FS without a second event plumbing path.
+#pragma once
+
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "lustre/fid2path.h"
+#include "lustre/filesystem.h"
+#include "monitor/event.h"
+
+namespace sdci::monitor {
+
+struct InotifyConfig {
+  uint64_t bytes_per_watch = 1024;       // kernel memory per watch
+  uint64_t max_watches = 524288;         // fs.inotify.max_user_watches default
+  VirtualDuration crawl_per_entry = Micros(80);  // stat+watch install cost
+  // Watchdog-style recursive mode: install a watch on directories created
+  // under an already-watched parent (subject to max_watches).
+  bool auto_watch_new_dirs = true;
+};
+
+struct InotifySetupStats {
+  size_t watches_installed = 0;
+  size_t entries_crawled = 0;
+  VirtualDuration setup_time{};
+  uint64_t kernel_memory_bytes = 0;
+};
+
+class InotifyMonitor {
+ public:
+  InotifyMonitor(lustre::FileSystem& fs, const TimeAuthority& authority,
+                 InotifyConfig config = {});
+
+  // Installs watches on `path` (and all subdirectories when recursive),
+  // charging the crawl cost. Fails with kResourceExhausted when the watch
+  // budget runs out mid-crawl (watches installed so far remain).
+  Result<InotifySetupStats> Watch(const std::string& path, bool recursive = true);
+
+  // Removes all watches under `path`.
+  void Unwatch(const std::string& path);
+
+  // Polls the ChangeLogs and returns newly visible events: those whose
+  // parent directory carries a watch. Events in unwatched directories are
+  // dropped (inotify never sees them) — DroppedInvisible() counts them so
+  // tests can assert on the blind spot.
+  std::vector<FsEvent> Poll();
+
+  [[nodiscard]] size_t WatchCount() const noexcept { return watched_fids_.size(); }
+  [[nodiscard]] uint64_t KernelMemoryBytes() const noexcept {
+    return static_cast<uint64_t>(watched_fids_.size()) * config_.bytes_per_watch;
+  }
+  [[nodiscard]] uint64_t DroppedInvisible() const noexcept { return dropped_invisible_; }
+
+ private:
+  lustre::FileSystem* fs_;
+  const TimeAuthority* authority_;
+  InotifyConfig config_;
+  lustre::Fid2PathService fid2path_;
+  DelayBudget budget_;
+
+  std::unordered_set<lustre::Fid, lustre::FidHash> watched_fids_;
+  std::vector<uint64_t> next_index_;  // per-MDT changelog cursor
+  uint64_t dropped_invisible_ = 0;
+};
+
+}  // namespace sdci::monitor

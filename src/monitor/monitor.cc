@@ -1,0 +1,101 @@
+#include "monitor/monitor.h"
+
+namespace sdci::monitor {
+
+void MonitorConfig::SetCollectEndpoint(std::string endpoint) {
+  collector.collect_endpoint = endpoint;
+  aggregator.collect_endpoint = std::move(endpoint);
+}
+
+void MonitorConfig::SetTransport(CollectTransport transport) {
+  collector.transport = transport;
+  aggregator.transport = transport;
+}
+
+Monitor::Monitor(lustre::FileSystem& fs, const lustre::TestbedProfile& profile,
+                 const TimeAuthority& authority, msgq::Context& context,
+                 MonitorConfig config)
+    : config_(std::move(config)) {
+  // The aggregator's sockets must exist before collectors publish
+  // (PUB/SUB drops messages with no subscriber).
+  aggregator_ =
+      std::make_unique<Aggregator>(profile, authority, context, config_.aggregator);
+  collectors_.reserve(fs.MdsCount());
+  for (size_t i = 0; i < fs.MdsCount(); ++i) {
+    collectors_.push_back(std::make_unique<Collector>(
+        fs, static_cast<int>(i), profile, authority, context, config_.collector));
+  }
+}
+
+Monitor::~Monitor() { Stop(); }
+
+void Monitor::Start() {
+  if (started_) return;
+  started_ = true;
+  aggregator_->Start();
+  for (auto& collector : collectors_) collector->Start();
+}
+
+void Monitor::Stop() {
+  if (!started_) return;
+  started_ = false;
+  // Collectors first (they flush), then the aggregator (it drains).
+  for (auto& collector : collectors_) collector->Stop();
+  aggregator_->Stop();
+}
+
+MonitorStats Monitor::Stats() const {
+  MonitorStats stats;
+  stats.collectors.reserve(collectors_.size());
+  for (const auto& collector : collectors_) {
+    stats.collectors.push_back(collector->Stats());
+    stats.total_extracted += stats.collectors.back().extracted;
+    stats.total_reported += stats.collectors.back().reported;
+  }
+  stats.aggregator = aggregator_->Stats();
+  return stats;
+}
+
+json::Value Monitor::StatusJson() const {
+  json::Object doc;
+  json::Array collectors;
+  for (const auto& collector : collectors_) {
+    const auto stats = collector->Stats();
+    json::Object entry;
+    entry["mdt"] = json::Value(static_cast<int64_t>(collector->mdt_index()));
+    entry["extracted"] = json::Value(stats.extracted);
+    entry["processed"] = json::Value(stats.processed);
+    entry["reported"] = json::Value(stats.reported);
+    entry["resolve_failures"] = json::Value(stats.resolve_failures);
+    entry["fid2path_calls"] = json::Value(stats.fid2path_calls);
+    entry["cache_hit_rate"] = json::Value(stats.cache_hit_rate);
+    entry["last_cleared_index"] = json::Value(stats.last_cleared_index);
+    entry["detection_latency"] = json::Value(collector->detection_latency().Summary());
+    collectors.push_back(json::Value(std::move(entry)));
+  }
+  doc["collectors"] = json::Value(std::move(collectors));
+  const auto agg = aggregator_->Stats();
+  json::Object aggregator;
+  aggregator["received"] = json::Value(agg.received);
+  aggregator["published"] = json::Value(agg.published);
+  aggregator["stored"] = json::Value(agg.stored);
+  aggregator["decode_errors"] = json::Value(agg.decode_errors);
+  aggregator["store_first_seq"] = json::Value(aggregator_->store().FirstSeq());
+  aggregator["store_last_seq"] = json::Value(aggregator_->store().LastSeq());
+  aggregator["delivery_latency"] =
+      json::Value(aggregator_->delivery_latency().Summary());
+  doc["aggregator"] = json::Value(std::move(aggregator));
+  return json::Value(std::move(doc));
+}
+
+std::vector<ResourceUsage> Monitor::Usage(VirtualDuration elapsed) const {
+  std::vector<ResourceUsage> usage;
+  usage.reserve(collectors_.size() + 1);
+  for (const auto& collector : collectors_) {
+    usage.push_back(collector->Usage(elapsed));
+  }
+  usage.push_back(aggregator_->Usage(elapsed));
+  return usage;
+}
+
+}  // namespace sdci::monitor

@@ -1,0 +1,73 @@
+// Monitor: the orchestrator wiring one Collector per MDS to an Aggregator.
+//
+// This is the paper's Figure 2 in object form: N MDS ChangeLogs, N
+// Collectors, one Aggregator publishing a complete site-wide event stream
+// plus a historic-events API. Consumers attach with EventSubscriber /
+// HistoryClient on the configured endpoints.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lustre/filesystem.h"
+#include "lustre/profile.h"
+#include "monitor/aggregator.h"
+#include "monitor/collector.h"
+#include "msgq/context.h"
+
+namespace sdci::monitor {
+
+struct MonitorConfig {
+  CollectorConfig collector;
+  AggregatorConfig aggregator;
+
+  // Keeps the two halves' endpoints and transport consistent.
+  void SetCollectEndpoint(std::string endpoint);
+  void SetTransport(CollectTransport transport);
+};
+
+struct MonitorStats {
+  std::vector<CollectorStats> collectors;
+  AggregatorStats aggregator;
+  uint64_t total_extracted = 0;
+  uint64_t total_reported = 0;
+};
+
+class Monitor {
+ public:
+  // Deploys one Collector per MDS of `fs` plus the Aggregator. References
+  // must outlive the monitor.
+  Monitor(lustre::FileSystem& fs, const lustre::TestbedProfile& profile,
+          const TimeAuthority& authority, msgq::Context& context, MonitorConfig config);
+
+  ~Monitor();
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  void Start();
+  void Stop();
+
+  [[nodiscard]] MonitorStats Stats() const;
+  [[nodiscard]] const Aggregator& aggregator() const noexcept { return *aggregator_; }
+  [[nodiscard]] Aggregator& aggregator() noexcept { return *aggregator_; }
+  [[nodiscard]] size_t CollectorCount() const noexcept { return collectors_.size(); }
+  [[nodiscard]] Collector& collector(size_t i) noexcept { return *collectors_[i]; }
+  [[nodiscard]] const MonitorConfig& config() const noexcept { return config_; }
+
+  // Per-component resource usage over `elapsed` (Table 3 rows).
+  [[nodiscard]] std::vector<ResourceUsage> Usage(VirtualDuration elapsed) const;
+
+  // Full status document (stats + latency summaries), for operator
+  // tooling and remote health checks.
+  [[nodiscard]] json::Value StatusJson() const;
+
+ private:
+  MonitorConfig config_;
+  std::unique_ptr<Aggregator> aggregator_;
+  std::vector<std::unique_ptr<Collector>> collectors_;
+  bool started_ = false;
+};
+
+}  // namespace sdci::monitor

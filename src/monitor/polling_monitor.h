@@ -1,0 +1,68 @@
+// PollingMonitor: the crawl-and-diff baseline the paper rejects
+// ("crawling and recording file system data is prohibitively expensive
+// over large storage systems").
+//
+// Each Scan() walks the namespace, records (path -> fid, mtime, size), and
+// diffs against the previous snapshot to synthesize events. The diff has
+// the same blind spots as any snapshot method: short-lived files are
+// invisible, multiple modifications coalesce, and renames appear as a
+// delete + create. Crawl cost is charged per entry, which is what makes
+// the approach collapse on large trees (benchmark A5).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "lustre/filesystem.h"
+#include "monitor/event.h"
+
+namespace sdci::monitor {
+
+struct PollingConfig {
+  VirtualDuration crawl_per_entry = Micros(120);  // readdir+stat per inode
+  std::string root = "/";
+};
+
+struct PollingScanStats {
+  size_t entries_scanned = 0;
+  size_t created = 0;
+  size_t modified = 0;
+  size_t deleted = 0;
+  VirtualDuration scan_time{};
+};
+
+class PollingMonitor {
+ public:
+  PollingMonitor(lustre::FileSystem& fs, const TimeAuthority& authority,
+                 PollingConfig config = {});
+
+  // Crawls, diffs against the previous snapshot, and returns synthesized
+  // events (CREAT/MTIME/UNLNK). The first scan establishes the baseline
+  // and returns no events.
+  std::vector<FsEvent> Scan(PollingScanStats* stats = nullptr);
+
+  [[nodiscard]] size_t SnapshotSize() const noexcept { return snapshot_.size(); }
+  // Approximate memory retained by the snapshot (the "recording file
+  // system data is prohibitively expensive" part).
+  [[nodiscard]] uint64_t SnapshotBytes() const noexcept;
+
+ private:
+  struct EntryState {
+    lustre::Fid fid;
+    VirtualTime mtime{};
+    uint64_t size = 0;
+    lustre::NodeType type = lustre::NodeType::kFile;
+  };
+
+  lustre::FileSystem* fs_;
+  const TimeAuthority* authority_;
+  PollingConfig config_;
+  DelayBudget budget_;
+  std::unordered_map<std::string, EntryState> snapshot_;
+  bool has_baseline_ = false;
+};
+
+}  // namespace sdci::monitor

@@ -1,0 +1,76 @@
+// CollectorSupervisor: keeps collectors running across crashes.
+//
+// A production deployment runs one Collector per MDS as a daemon; when one
+// dies, it must come back and resume from its ChangeLog position without
+// losing events. The supervisor owns the collectors, health-checks them on
+// an interval, and recreates any that died. Fault injection (crash_prob
+// per health check) lets tests and benchmarks exercise the recovery path:
+// because a restarted collector re-reads every record it had not yet
+// cleared, delivery across a crash is at-least-once — consumers dedupe by
+// (mdt_index, record_index), which the FsEvent carries.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "monitor/collector.h"
+
+namespace sdci::monitor {
+
+struct SupervisorConfig {
+  VirtualDuration check_interval = Millis(100);
+  double crash_prob_per_check = 0.0;  // injected per collector per check
+  uint64_t fault_seed = 1;
+};
+
+class CollectorSupervisor {
+ public:
+  // Deploys one supervised Collector per MDS of `fs` (same wiring as
+  // Monitor's collectors; pair with an Aggregator on the same endpoints).
+  CollectorSupervisor(lustre::FileSystem& fs, const lustre::TestbedProfile& profile,
+                      const TimeAuthority& authority, msgq::Context& context,
+                      CollectorConfig collector_config, SupervisorConfig config = {});
+  ~CollectorSupervisor();
+
+  CollectorSupervisor(const CollectorSupervisor&) = delete;
+  CollectorSupervisor& operator=(const CollectorSupervisor&) = delete;
+
+  void Start();
+  void Stop();
+
+  // Kills collector `mdt` immediately (simulated daemon crash). It will
+  // be restarted on the next health check.
+  void InjectCrash(size_t mdt);
+
+  [[nodiscard]] uint64_t crashes() const noexcept { return crashes_.Get(); }
+  [[nodiscard]] uint64_t restarts() const noexcept { return restarts_.Get(); }
+
+  // Aggregated stats across current collector incarnations (counters
+  // reset on restart; totals since supervision started are the sums the
+  // aggregator observes).
+  [[nodiscard]] std::vector<CollectorStats> Stats() const;
+
+ private:
+  void SuperviseLoop(const std::stop_token& stop);
+  std::unique_ptr<Collector> MakeCollector(size_t mdt) const;
+
+  lustre::FileSystem* fs_;
+  lustre::TestbedProfile profile_;
+  const TimeAuthority* authority_;
+  msgq::Context* context_;
+  CollectorConfig collector_config_;
+  SupervisorConfig config_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Collector>> collectors_;  // null while "down"
+  Rng rng_;
+  Counter crashes_;
+  Counter restarts_;
+  std::jthread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace sdci::monitor

@@ -1,0 +1,335 @@
+#include "msgq/context.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace sdci::msgq {
+
+// ---------- PollNotifier / Poller ----------
+
+void PollNotifier::Signal() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++version_;
+  }
+  cv_.notify_all();
+}
+
+uint64_t PollNotifier::WaitPast(uint64_t seen_version,
+                                std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_for(lock, timeout, [&] { return version_ != seen_version; });
+  return version_;
+}
+
+uint64_t PollNotifier::Version() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
+}
+
+size_t Poller::Add(std::shared_ptr<SubSocket> socket) {
+  socket->AttachNotifier(notifier_);
+  sockets_.push_back(std::move(socket));
+  return sockets_.size() - 1;
+}
+
+std::vector<size_t> Poller::Wait(std::chrono::nanoseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    // Read the version BEFORE checking readiness: a delivery racing the
+    // check bumps the version, so the wait below cannot miss it.
+    const uint64_t version = notifier_->Version();
+    std::vector<size_t> ready;
+    for (size_t i = 0; i < sockets_.size(); ++i) {
+      if (sockets_[i]->QueueDepth() > 0) ready.push_back(i);
+    }
+    if (!ready.empty()) return ready;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return {};
+    notifier_->WaitPast(version, deadline - now);
+  }
+}
+
+// ---------- SubSocket ----------
+
+SubSocket::SubSocket(size_t hwm, HwmPolicy policy) : policy_(policy), queue_(hwm) {}
+
+void SubSocket::AttachNotifier(std::shared_ptr<PollNotifier> notifier) {
+  const std::lock_guard<std::mutex> lock(notifier_mutex_);
+  notifier_ = std::move(notifier);
+}
+
+SubSocket::~SubSocket() { Close(); }
+
+void SubSocket::Subscribe(std::string topic_prefix) {
+  const std::lock_guard<std::mutex> lock(filter_mutex_);
+  filters_.push_back(std::move(topic_prefix));
+}
+
+void SubSocket::Unsubscribe(const std::string& topic_prefix) {
+  const std::lock_guard<std::mutex> lock(filter_mutex_);
+  const auto it = std::find(filters_.begin(), filters_.end(), topic_prefix);
+  if (it != filters_.end()) filters_.erase(it);
+}
+
+bool SubSocket::MatchesLocked(const std::string& topic) const {
+  for (const auto& filter : filters_) {
+    if (strings::StartsWith(topic, filter)) return true;
+  }
+  return false;
+}
+
+bool SubSocket::Deliver(const Message& message) {
+  {
+    const std::lock_guard<std::mutex> lock(filter_mutex_);
+    if (!MatchesLocked(message.topic)) return false;
+  }
+  const bool accepted = DeliverToQueue(message);
+  if (accepted) {
+    const std::lock_guard<std::mutex> lock(notifier_mutex_);
+    if (notifier_ != nullptr) notifier_->Signal();
+  }
+  return accepted;
+}
+
+bool SubSocket::DeliverToQueue(const Message& message) {
+  switch (policy_) {
+    case HwmPolicy::kDropNewest: {
+      if (queue_.TryPush(message).ok()) {
+        delivered_.Add();
+        return true;
+      }
+      dropped_.Add();
+      return false;
+    }
+    case HwmPolicy::kDropOldest: {
+      while (!queue_.TryPush(message).ok()) {
+        if (queue_.closed()) {
+          dropped_.Add();
+          return false;
+        }
+        if (queue_.TryPop().has_value()) dropped_.Add();
+      }
+      delivered_.Add();
+      return true;
+    }
+    case HwmPolicy::kBlock: {
+      if (queue_.Push(message).ok()) {
+        delivered_.Add();
+        return true;
+      }
+      dropped_.Add();
+      return false;
+    }
+  }
+  return false;
+}
+
+Result<Message> SubSocket::Receive() { return queue_.Pop(); }
+
+Result<Message> SubSocket::ReceiveFor(std::chrono::nanoseconds timeout) {
+  return queue_.PopFor(timeout);
+}
+
+std::optional<Message> SubSocket::TryReceive() { return queue_.TryPop(); }
+
+void SubSocket::Close() { queue_.Close(); }
+
+// ---------- PUB hub ----------
+
+struct PubSocket::Hub {
+  std::mutex mutex;
+  std::vector<std::weak_ptr<SubSocket>> subscribers;
+
+  // Snapshots live subscribers, pruning the dead.
+  std::vector<std::shared_ptr<SubSocket>> Snapshot() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    std::vector<std::shared_ptr<SubSocket>> live;
+    live.reserve(subscribers.size());
+    auto it = subscribers.begin();
+    while (it != subscribers.end()) {
+      if (auto sub = it->lock()) {
+        live.push_back(std::move(sub));
+        ++it;
+      } else {
+        it = subscribers.erase(it);
+      }
+    }
+    return live;
+  }
+};
+
+size_t PubSocket::Publish(Message message) {
+  published_.Add();
+  size_t accepted = 0;
+  for (const auto& sub : hub_->Snapshot()) {
+    if (sub->Deliver(message)) ++accepted;
+  }
+  return accepted;
+}
+
+// ---------- PUSH/PULL ----------
+
+struct PushSocket::Hub {
+  std::mutex mutex;
+  std::vector<std::weak_ptr<PullSocket>> pullers;
+  size_t cursor = 0;
+
+  std::vector<std::shared_ptr<PullSocket>> Snapshot() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    std::vector<std::shared_ptr<PullSocket>> live;
+    auto it = pullers.begin();
+    while (it != pullers.end()) {
+      if (auto pull = it->lock()) {
+        live.push_back(std::move(pull));
+        ++it;
+      } else {
+        it = pullers.erase(it);
+      }
+    }
+    return live;
+  }
+
+  size_t NextCursor() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    return cursor++;
+  }
+};
+
+PullSocket::~PullSocket() { Close(); }
+
+Result<Message> PullSocket::Pull() { return queue_.Pop(); }
+
+Result<Message> PullSocket::PullFor(std::chrono::nanoseconds timeout) {
+  return queue_.PopFor(timeout);
+}
+
+void PullSocket::Close() { queue_.Close(); }
+
+Status PushSocket::Push(Message message) {
+  // Try each live puller starting at the round-robin cursor; if all are
+  // full, block on the selected one (ZMQ PUSH applies backpressure).
+  const auto pullers = hub_->Snapshot();
+  if (pullers.empty()) return UnavailableError("no PULL socket connected");
+  const size_t start = hub_->NextCursor() % pullers.size();
+  for (size_t i = 0; i < pullers.size(); ++i) {
+    auto& puller = pullers[(start + i) % pullers.size()];
+    if (puller->queue_.TryPush(message).ok()) return OkStatus();
+  }
+  return pullers[start]->queue_.Push(std::move(message));
+}
+
+// ---------- REQ/REP ----------
+
+void Request::Reply(Message response) {
+  if (promise_ != nullptr) {
+    promise_->set_value(std::move(response));
+    promise_.reset();
+  }
+}
+
+RepSocket::~RepSocket() { Close(); }
+
+Result<Request> RepSocket::Receive() { return queue_.Pop(); }
+
+Result<Request> RepSocket::ReceiveFor(std::chrono::nanoseconds timeout) {
+  return queue_.PopFor(timeout);
+}
+
+void RepSocket::Close() { queue_.Close(); }
+
+struct ReqSocket::Hub {
+  std::mutex mutex;
+  std::vector<std::weak_ptr<RepSocket>> repliers;
+  size_t cursor = 0;
+
+  std::shared_ptr<RepSocket> PickReplier() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (size_t attempts = 0; attempts < repliers.size(); ++attempts) {
+      const size_t i = cursor++ % repliers.size();
+      if (auto rep = repliers[i].lock()) return rep;
+    }
+    return nullptr;
+  }
+};
+
+Result<Message> ReqSocket::RequestReply(Message message,
+                                        std::chrono::nanoseconds timeout) {
+  auto replier = hub_->PickReplier();
+  if (replier == nullptr) return UnavailableError("no REP socket bound");
+  Request request;
+  request.message = std::move(message);
+  request.promise_ = std::make_shared<std::promise<Message>>();
+  auto future = request.promise_->get_future();
+  const Status pushed = replier->queue_.Push(std::move(request));
+  if (!pushed.ok()) return pushed;
+  if (future.wait_for(timeout) != std::future_status::ready) {
+    return TimedOutError("request timed out");
+  }
+  return future.get();
+}
+
+// ---------- Context ----------
+
+struct Context::Impl {
+  std::mutex mutex;
+  std::unordered_map<std::string, std::shared_ptr<PubSocket::Hub>> pub_hubs;
+  std::unordered_map<std::string, std::shared_ptr<PushSocket::Hub>> push_hubs;
+  std::unordered_map<std::string, std::shared_ptr<ReqSocket::Hub>> req_hubs;
+
+  template <typename HubMap>
+  typename HubMap::mapped_type HubFor(HubMap& map, const std::string& endpoint) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    auto& slot = map[endpoint];
+    if (slot == nullptr) {
+      slot = std::make_shared<typename HubMap::mapped_type::element_type>();
+    }
+    return slot;
+  }
+};
+
+Context::Context() : impl_(std::make_unique<Impl>()) {}
+Context::~Context() = default;
+
+std::shared_ptr<PubSocket> Context::CreatePub(const std::string& endpoint) {
+  auto hub = impl_->HubFor(impl_->pub_hubs, endpoint);
+  return std::shared_ptr<PubSocket>(new PubSocket(std::move(hub)));
+}
+
+std::shared_ptr<SubSocket> Context::CreateSub(const std::string& endpoint, size_t hwm,
+                                              HwmPolicy policy) {
+  auto hub = impl_->HubFor(impl_->pub_hubs, endpoint);
+  auto sub = std::shared_ptr<SubSocket>(new SubSocket(hwm, policy));
+  const std::lock_guard<std::mutex> lock(hub->mutex);
+  hub->subscribers.push_back(sub);
+  return sub;
+}
+
+std::shared_ptr<PushSocket> Context::CreatePush(const std::string& endpoint) {
+  auto hub = impl_->HubFor(impl_->push_hubs, endpoint);
+  return std::shared_ptr<PushSocket>(new PushSocket(std::move(hub)));
+}
+
+std::shared_ptr<PullSocket> Context::CreatePull(const std::string& endpoint, size_t hwm) {
+  auto hub = impl_->HubFor(impl_->push_hubs, endpoint);
+  auto pull = std::shared_ptr<PullSocket>(new PullSocket(hwm));
+  const std::lock_guard<std::mutex> lock(hub->mutex);
+  hub->pullers.push_back(pull);
+  return pull;
+}
+
+std::shared_ptr<ReqSocket> Context::CreateReq(const std::string& endpoint) {
+  auto hub = impl_->HubFor(impl_->req_hubs, endpoint);
+  return std::shared_ptr<ReqSocket>(new ReqSocket(std::move(hub)));
+}
+
+std::shared_ptr<RepSocket> Context::CreateRep(const std::string& endpoint, size_t hwm) {
+  auto hub = impl_->HubFor(impl_->req_hubs, endpoint);
+  auto rep = std::shared_ptr<RepSocket>(new RepSocket(hwm));
+  const std::lock_guard<std::mutex> lock(hub->mutex);
+  hub->repliers.push_back(rep);
+  return rep;
+}
+
+}  // namespace sdci::msgq

@@ -1,0 +1,23 @@
+// Message: a topic frame plus an opaque payload, as in ZeroMQ pub-sub.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace sdci::msgq {
+
+struct Message {
+  std::string topic;
+  std::string payload;
+
+  Message() = default;
+  Message(std::string topic_frame, std::string payload_bytes)
+      : topic(std::move(topic_frame)), payload(std::move(payload_bytes)) {}
+
+  [[nodiscard]] size_t ApproxBytes() const noexcept {
+    return sizeof(Message) + topic.capacity() + payload.capacity();
+  }
+};
+
+}  // namespace sdci::msgq

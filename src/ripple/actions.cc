@@ -1,0 +1,188 @@
+#include "ripple/actions.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace sdci::ripple {
+namespace {
+
+// Substitutes "{path}" and "{name}" placeholders.
+std::string Substitute(std::string_view text, const monitor::FsEvent& event) {
+  std::string out(text);
+  const auto replace_all = [&](std::string_view token, const std::string& value) {
+    size_t pos = 0;
+    while ((pos = out.find(token, pos)) != std::string::npos) {
+      out.replace(pos, token.size(), value);
+      pos += value.size();
+    }
+  };
+  replace_all("{path}", event.path);
+  replace_all("{name}", event.name);
+  return out;
+}
+
+ActionOutcome Success(const ActionContext& context, std::string detail) {
+  ActionOutcome outcome;
+  outcome.success = true;
+  outcome.detail = std::move(detail);
+  outcome.completed_at = context.authority->Now();
+  return outcome;
+}
+
+}  // namespace
+
+void EndpointRegistry::Register(const std::string& name, lustre::FileSystem& fs) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  endpoints_[name] = &fs;
+}
+
+lustre::FileSystem* EndpointRegistry::Find(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = endpoints_.find(name);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+void ActionLog::Record(ActionRequest request, ActionOutcome outcome) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back(Entry{std::move(request), std::move(outcome)});
+}
+
+std::vector<ActionLog::Entry> ActionLog::Entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+size_t ActionLog::Count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+size_t ActionLog::SuccessCount() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](const Entry& e) { return e.outcome.success; }));
+}
+
+std::vector<ActionLog::Entry> ActionLog::ForRule(const std::string& rule_id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> out;
+  for (const auto& entry : entries_) {
+    if (entry.request.rule_id == rule_id) out.push_back(entry);
+  }
+  return out;
+}
+
+Result<ActionOutcome> TransferExecutor::Execute(const ActionContext& context,
+                                                const ActionRequest& request) {
+  const json::Value& params = request.spec.params;
+  const std::string dest_name = params.GetString("destination_endpoint");
+  const std::string dest_dir = params.GetString("destination_dir");
+  if (dest_name.empty() || dest_dir.empty()) {
+    return InvalidArgumentError(
+        "transfer requires destination_endpoint and destination_dir");
+  }
+  lustre::FileSystem* dest = context.endpoints->Find(dest_name);
+  if (dest == nullptr) return NotFoundError("unknown endpoint: " + dest_name);
+  auto stat = context.storage->Stat(request.event.path);
+  if (!stat.ok()) {
+    // Source vanished (e.g. purged between event and execution).
+    return NotFoundError("transfer source gone: " + request.event.path);
+  }
+  // Model the wire time, then materialize the replica.
+  const double mbps = params.GetNumber("bandwidth_mbps", 1000.0);
+  const double seconds =
+      static_cast<double>(stat->attrs.size) * 8.0 / (mbps * 1e6);
+  context.budget->Charge(sdci::Seconds(seconds));
+  const Status made = dest->MkdirAll(dest_dir);
+  if (!made.ok()) return made;
+  const std::string dest_path = dest_dir == "/" ? "/" + request.event.name
+                                                : dest_dir + "/" + request.event.name;
+  auto created = dest->Create(dest_path);
+  if (!created.ok() && created.status().code() != StatusCode::kAlreadyExists) {
+    return created.status();
+  }
+  const Status written = dest->WriteFile(dest_path, stat->attrs.size);
+  if (!written.ok()) return written;
+  return Success(context, strings::Format("transferred {} -> {}:{}",
+                                          request.event.path, dest_name, dest_path));
+}
+
+Result<ActionOutcome> LocalCommandExecutor::Execute(const ActionContext& context,
+                                                    const ActionRequest& request) {
+  const std::string templated = request.spec.params.GetString("command");
+  if (templated.empty()) return InvalidArgumentError("local_command requires command");
+  const std::string command = Substitute(templated, request.event);
+  if (runner_ != nullptr) {
+    const Status ran = runner_(context, command, request.event);
+    if (!ran.ok()) return ran;
+  }
+  return Success(context, "ran: " + command);
+}
+
+void Outbox::Send(Mail mail) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  messages_.push_back(std::move(mail));
+}
+
+std::vector<Outbox::Mail> Outbox::Messages() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return messages_;
+}
+
+size_t Outbox::Count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return messages_.size();
+}
+
+Result<ActionOutcome> EmailExecutor::Execute(const ActionContext& context,
+                                             const ActionRequest& request) {
+  const std::string to = request.spec.params.GetString("to");
+  if (to.empty()) return InvalidArgumentError("email requires to");
+  Outbox::Mail mail;
+  mail.to = to;
+  mail.subject = Substitute(request.spec.params.GetString("subject", "file event"),
+                            request.event);
+  mail.body = request.event.ToString();
+  outbox_->Send(std::move(mail));
+  return Success(context, "emailed " + to);
+}
+
+Result<ActionOutcome> ContainerExecutor::Execute(const ActionContext& context,
+                                                 const ActionRequest& request) {
+  const std::string image = request.spec.params.GetString("image");
+  if (image.empty()) return InvalidArgumentError("container requires image");
+  const auto runtime_ms = request.spec.params.GetInt("runtime_ms", 50);
+  context.budget->Charge(Millis(runtime_ms));
+  return Success(context, "ran container " + image);
+}
+
+Result<ActionOutcome> DeleteExecutor::Execute(const ActionContext& context,
+                                              const ActionRequest& request) {
+  if (request.spec.params.Has("older_than_ms")) {
+    const auto min_age = Millis(request.spec.params.GetInt("older_than_ms"));
+    auto stat = context.storage->Stat(request.event.path);
+    if (!stat.ok()) {
+      return Success(context, "already absent: " + request.event.path);
+    }
+    const VirtualDuration age = context.authority->Now() - stat->attrs.mtime;
+    if (age < min_age) {
+      return Success(context,
+                     strings::Format("kept {} (age {} < retention {})",
+                                     request.event.path, FormatDuration(age),
+                                     FormatDuration(min_age)));
+    }
+  }
+  const Status removed = context.storage->Unlink(request.event.path);
+  if (!removed.ok()) {
+    // Already gone is success for a purge.
+    if (removed.code() == StatusCode::kNotFound) {
+      return Success(context, "already absent: " + request.event.path);
+    }
+    return removed;
+  }
+  return Success(context, "purged " + request.event.path);
+}
+
+}  // namespace sdci::ripple

@@ -1,0 +1,166 @@
+// Action execution: what happens after a rule fires.
+//
+// Executors model the action types the paper lists ("initiating a
+// transfer, sending an email, running a docker container, or executing a
+// local bash command"), plus delete for purge policies. Every execution is
+// recorded in an ActionLog so tests, examples and benchmarks can observe
+// effects. Transfers move data between named storage endpoints (the
+// Globus-style replication of the paper's motivating example) and actually
+// create the file on the destination file system — which is what lets
+// rule pipelines chain through real monitor events.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "lustre/filesystem.h"
+#include "monitor/event.h"
+#include "ripple/rule.h"
+
+namespace sdci::ripple {
+
+// Work item routed to an agent.
+struct ActionRequest {
+  std::string rule_id;
+  ActionSpec spec;
+  monitor::FsEvent event;
+  uint32_t attempt = 1;
+};
+
+struct ActionOutcome {
+  bool success = false;
+  std::string detail;
+  VirtualTime completed_at{};
+};
+
+// Named storage endpoints reachable by transfers. Thread-safe.
+class EndpointRegistry {
+ public:
+  void Register(const std::string& name, lustre::FileSystem& fs);
+  [[nodiscard]] lustre::FileSystem* Find(const std::string& name) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, lustre::FileSystem*> endpoints_;
+};
+
+// Execution environment handed to executors.
+struct ActionContext {
+  std::string agent_name;
+  lustre::FileSystem* storage = nullptr;  // the executing agent's storage
+  EndpointRegistry* endpoints = nullptr;
+  const TimeAuthority* authority = nullptr;
+  DelayBudget* budget = nullptr;  // modeled execution cost sink
+};
+
+class ActionExecutor {
+ public:
+  virtual ~ActionExecutor() = default;
+  virtual Result<ActionOutcome> Execute(const ActionContext& context,
+                                        const ActionRequest& request) = 0;
+};
+
+// Thread-safe audit log of completed actions.
+class ActionLog {
+ public:
+  struct Entry {
+    ActionRequest request;
+    ActionOutcome outcome;
+  };
+
+  void Record(ActionRequest request, ActionOutcome outcome);
+  [[nodiscard]] std::vector<Entry> Entries() const;
+  [[nodiscard]] size_t Count() const;
+  [[nodiscard]] size_t SuccessCount() const;
+  // Entries whose rule id matches.
+  [[nodiscard]] std::vector<Entry> ForRule(const std::string& rule_id) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+// --- Concrete executors ---
+
+// Globus-style replication. params:
+//   "destination_endpoint": name in the EndpointRegistry (required)
+//   "destination_dir":      directory on the destination (required)
+//   "bandwidth_mbps":       modeled transfer bandwidth (default 1000)
+class TransferExecutor : public ActionExecutor {
+ public:
+  Result<ActionOutcome> Execute(const ActionContext& context,
+                                const ActionRequest& request) override;
+};
+
+// Local command. params:
+//   "command": template; "{path}" and "{name}" are substituted (required)
+// The runner callback performs the "execution"; the default records only.
+class LocalCommandExecutor : public ActionExecutor {
+ public:
+  using Runner =
+      std::function<Status(const ActionContext&, const std::string& command,
+                           const monitor::FsEvent& event)>;
+
+  LocalCommandExecutor() = default;
+  explicit LocalCommandExecutor(Runner runner) : runner_(std::move(runner)) {}
+
+  Result<ActionOutcome> Execute(const ActionContext& context,
+                                const ActionRequest& request) override;
+
+ private:
+  Runner runner_;
+};
+
+// Email notification. params: "to", "subject" (templated like command).
+// Messages land in a shared Outbox.
+class Outbox {
+ public:
+  struct Mail {
+    std::string to;
+    std::string subject;
+    std::string body;
+  };
+  void Send(Mail mail);
+  [[nodiscard]] std::vector<Mail> Messages() const;
+  [[nodiscard]] size_t Count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Mail> messages_;
+};
+
+class EmailExecutor : public ActionExecutor {
+ public:
+  explicit EmailExecutor(Outbox& outbox) : outbox_(&outbox) {}
+  Result<ActionOutcome> Execute(const ActionContext& context,
+                                const ActionRequest& request) override;
+
+ private:
+  Outbox* outbox_;
+};
+
+// Container run. params: "image" (required), "runtime_ms" (default 50).
+class ContainerExecutor : public ActionExecutor {
+ public:
+  Result<ActionOutcome> Execute(const ActionContext& context,
+                                const ActionRequest& request) override;
+};
+
+// Purge: unlinks the event's path on the agent's storage. params:
+//   "older_than_ms": only purge when the file's mtime is at least this
+//                    old at execution time (age-based retention policies);
+//                    omitted = purge unconditionally.
+class DeleteExecutor : public ActionExecutor {
+ public:
+  Result<ActionOutcome> Execute(const ActionContext& context,
+                                const ActionRequest& request) override;
+};
+
+}  // namespace sdci::ripple

@@ -1,0 +1,250 @@
+#include "ripple/agent.h"
+
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace sdci::ripple {
+
+Agent::Agent(AgentConfig config, lustre::FileSystem& storage, CloudService& cloud,
+             EndpointRegistry& endpoints, const TimeAuthority& authority)
+    : config_(std::move(config)),
+      storage_(&storage),
+      cloud_(&cloud),
+      endpoints_(&endpoints),
+      authority_(&authority),
+      action_queue_(config_.action_queue_depth),
+      budget_(authority),
+      dedupe_(config_.dedupe_window) {
+  // Default executor table; callers may override any slot.
+  executors_[ActionType::kTransfer] = std::make_unique<TransferExecutor>();
+  executors_[ActionType::kLocalCommand] = std::make_unique<LocalCommandExecutor>();
+  executors_[ActionType::kEmail] = std::make_unique<EmailExecutor>(outbox_);
+  executors_[ActionType::kContainer] = std::make_unique<ContainerExecutor>();
+  executors_[ActionType::kDelete] = std::make_unique<DeleteExecutor>();
+  cloud_->RegisterAgent(*this);
+}
+
+Agent::~Agent() {
+  Stop();
+  cloud_->DeregisterAgent(config_.name);
+}
+
+void Agent::AttachSource(std::unique_ptr<monitor::EventSubscriber> source) {
+  source_ = std::move(source);
+}
+
+void Agent::AttachLocalWatcher(std::unique_ptr<monitor::InotifyMonitor> watcher,
+                               VirtualDuration poll_interval) {
+  watcher_ = std::move(watcher);
+  watcher_poll_interval_ = poll_interval;
+}
+
+void Agent::RegisterExecutor(ActionType type, std::unique_ptr<ActionExecutor> executor) {
+  executors_[type] = std::move(executor);
+}
+
+void Agent::Start() {
+  if (running_.exchange(true)) return;
+  if (source_ != nullptr) {
+    event_thread_ = std::jthread([this](const std::stop_token& stop) { EventLoop(stop); });
+  } else if (watcher_ != nullptr) {
+    event_thread_ =
+        std::jthread([this](const std::stop_token& stop) { WatcherLoop(stop); });
+  }
+  action_thread_ = std::jthread([this] { ActionLoop(); });
+}
+
+void Agent::Stop() {
+  if (!running_.exchange(false)) return;
+  if (event_thread_.joinable()) {
+    event_thread_.request_stop();
+    if (source_ != nullptr) source_->Close();
+    event_thread_.join();
+  }
+  action_queue_.Close();
+  if (action_thread_.joinable()) action_thread_.join();
+}
+
+void Agent::InstallRuleFilter(const Rule& rule) {
+  const std::lock_guard<std::mutex> lock(rules_mutex_);
+  rule_filters_[rule.id] = rule;
+}
+
+void Agent::RemoveRuleFilter(const std::string& rule_id) {
+  const std::lock_guard<std::mutex> lock(rules_mutex_);
+  rule_filters_.erase(rule_id);
+}
+
+bool Agent::MatchesAnyRule(const monitor::FsEvent& event) const {
+  const std::lock_guard<std::mutex> lock(rules_mutex_);
+  for (const auto& [id, rule] : rule_filters_) {
+    if (rule.enabled && rule.trigger.Matches(event)) return true;
+  }
+  return false;
+}
+
+void Agent::EventLoop(const std::stop_token& stop) {
+  while (!stop.stop_requested()) {
+    auto event = source_->NextFor(std::chrono::milliseconds(5));
+    if (!event.ok()) {
+      if (event.status().code() == StatusCode::kClosed) break;
+      continue;
+    }
+    DeliverEvent(*event);
+  }
+}
+
+void Agent::WatcherLoop(const std::stop_token& stop) {
+  while (!stop.stop_requested()) {
+    for (const auto& event : watcher_->Poll()) {
+      DeliverEvent(event);
+    }
+    authority_->SleepFor(watcher_poll_interval_);
+  }
+  // Final poll so Stop() observes everything already journaled.
+  for (const auto& event : watcher_->Poll()) {
+    DeliverEvent(event);
+  }
+}
+
+void Agent::DeliverEvent(const monitor::FsEvent& event) {
+  events_seen_.fetch_add(1, std::memory_order_relaxed);
+  if (!MatchesAnyRule(event)) return;
+  events_matched_.fetch_add(1, std::memory_order_relaxed);
+  ReportWithRetry(event);
+}
+
+void Agent::ReportWithRetry(const monitor::FsEvent& event) {
+  VirtualDuration backoff = config_.report_backoff;
+  for (size_t attempt = 0; attempt <= config_.report_retries; ++attempt) {
+    if (attempt > 0) {
+      report_retries_.fetch_add(1, std::memory_order_relaxed);
+      authority_->SleepFor(backoff);
+      backoff *= 2;
+    }
+    if (cloud_->ReportEvent(config_.name, event).ok()) {
+      events_reported_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  report_failures_.fetch_add(1, std::memory_order_relaxed);
+  log::Warn(config_.name, "giving up reporting event {}", event.ToString());
+}
+
+Status Agent::EnqueueAction(ActionRequest request) {
+  actions_received_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.dedupe_actions) {
+    const std::string key = ActionKey(request);
+    const std::lock_guard<std::mutex> lock(dedupe_mutex_);
+    if (dedupe_.Get(key).has_value()) {
+      actions_deduped_.fetch_add(1, std::memory_order_relaxed);
+      return OkStatus();  // duplicate of an already-accepted delivery
+    }
+    dedupe_.Put(key, true);
+  }
+  return action_queue_.Push(std::move(request));
+}
+
+std::string Agent::ActionKey(const ActionRequest& request) {
+  // (rule, event identity). ChangeLog provenance is the stable identity:
+  // a collector that crashed and re-reported the same record produces an
+  // event with a NEW global sequence but the same (mdt, record index).
+  // Only events without provenance (locally injected) key on the seq.
+  if (request.event.record_index != 0) {
+    return strings::Format("{}@{}:{}", request.rule_id, request.event.mdt_index,
+                           request.event.record_index);
+  }
+  return strings::Format("{}#{}", request.rule_id, request.event.global_seq);
+}
+
+void Agent::ActionLoop() {
+  while (true) {
+    auto request = action_queue_.Pop();
+    if (!request.ok()) break;
+    ExecuteAction(std::move(request.value()));
+  }
+}
+
+size_t Agent::DrainActions() {
+  size_t executed = 0;
+  while (auto request = action_queue_.TryPop()) {
+    ExecuteAction(std::move(*request));
+    ++executed;
+  }
+  return executed;
+}
+
+namespace {
+// Failures worth retrying: the environment may recover. Bad parameters or
+// missing files will not fix themselves.
+bool IsTransient(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kTimedOut:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+void Agent::ExecuteAction(ActionRequest request) {
+  const auto it = executors_.find(request.spec.type);
+  ActionOutcome outcome;
+  if (it == executors_.end()) {
+    outcome.success = false;
+    outcome.detail = "no executor registered";
+    outcome.completed_at = authority_->Now();
+  } else {
+    ActionContext context;
+    context.agent_name = config_.name;
+    context.storage = storage_;
+    context.endpoints = endpoints_;
+    context.authority = authority_;
+    context.budget = &budget_;
+    VirtualDuration backoff = config_.action_retry_backoff;
+    for (size_t attempt = 0;; ++attempt) {
+      auto result = it->second->Execute(context, request);
+      if (result.ok()) {
+        outcome = std::move(result.value());
+        break;
+      }
+      outcome.success = false;
+      outcome.detail = result.status().ToString();
+      outcome.completed_at = authority_->Now();
+      if (attempt >= config_.action_retries || !IsTransient(result.status().code())) {
+        break;
+      }
+      actions_retried_.fetch_add(1, std::memory_order_relaxed);
+      request.attempt += 1;
+      authority_->SleepFor(backoff);
+      backoff *= 2;
+    }
+    budget_.Flush();
+  }
+  if (outcome.success) {
+    actions_executed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    actions_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  action_log_.Record(std::move(request), std::move(outcome));
+}
+
+AgentStats Agent::Stats() const {
+  AgentStats stats;
+  stats.events_seen = events_seen_.load(std::memory_order_relaxed);
+  stats.events_matched = events_matched_.load(std::memory_order_relaxed);
+  stats.events_reported = events_reported_.load(std::memory_order_relaxed);
+  stats.report_retries = report_retries_.load(std::memory_order_relaxed);
+  stats.report_failures = report_failures_.load(std::memory_order_relaxed);
+  stats.actions_received = actions_received_.load(std::memory_order_relaxed);
+  stats.actions_executed = actions_executed_.load(std::memory_order_relaxed);
+  stats.actions_failed = actions_failed_.load(std::memory_order_relaxed);
+  stats.actions_retried = actions_retried_.load(std::memory_order_relaxed);
+  stats.actions_deduped = actions_deduped_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace sdci::ripple

@@ -1,0 +1,159 @@
+// Agent: Ripple's deployable unit.
+//
+// "The agent is responsible for detecting data events, filtering them
+// against active rules, and reporting events to the cloud service. The
+// agent also provides an execution component, capable of performing local
+// actions on a user's behalf."
+//
+// An Agent binds a name, a storage system, an event source (the Lustre
+// monitor's subscriber or the inotify-style watcher), a rule filter fed by
+// the cloud's control plane, and an executor table. Two threads: one
+// consumes events (filter + report with retry), one executes routed
+// actions. Redelivered actions (the cloud is at-least-once) are de-duped
+// by (rule, event) identity unless deduplication is disabled.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/lru.h"
+#include "common/queue.h"
+#include "common/status.h"
+#include "lustre/filesystem.h"
+#include "monitor/consumer.h"
+#include "monitor/inotify_sim.h"
+#include "ripple/actions.h"
+#include "ripple/cloud.h"
+#include "ripple/rule.h"
+
+namespace sdci::ripple {
+
+struct AgentConfig {
+  std::string name;
+  size_t report_retries = 5;
+  VirtualDuration report_backoff = Millis(20);  // doubled per retry
+  size_t action_queue_depth = 4096;
+  bool dedupe_actions = true;
+  size_t dedupe_window = 8192;  // remembered (rule,event) keys
+  // Failed actions are retried with exponential backoff ("Ripple
+  // emphasizes reliability ... actions are successfully completed").
+  // Permanent errors (invalid params, missing executor) are not retried.
+  size_t action_retries = 3;
+  VirtualDuration action_retry_backoff = Millis(50);
+};
+
+struct AgentStats {
+  uint64_t events_seen = 0;
+  uint64_t events_matched = 0;
+  uint64_t events_reported = 0;
+  uint64_t report_retries = 0;
+  uint64_t report_failures = 0;  // gave up after retries
+  uint64_t actions_received = 0;
+  uint64_t actions_executed = 0;
+  uint64_t actions_failed = 0;
+  uint64_t actions_retried = 0;
+  uint64_t actions_deduped = 0;
+};
+
+class Agent {
+ public:
+  // `storage` is the file system this agent is deployed on. The agent
+  // registers itself with `cloud` under config.name.
+  Agent(AgentConfig config, lustre::FileSystem& storage, CloudService& cloud,
+        EndpointRegistry& endpoints, const TimeAuthority& authority);
+  ~Agent();
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  // Attaches the live event source. The agent owns the subscriber and
+  // consumes it on its event thread once started.
+  void AttachSource(std::unique_ptr<monitor::EventSubscriber> source);
+
+  // Personal-device alternative (the paper's Watchdog/inotify deployment):
+  // the agent polls a local per-directory watcher instead of subscribing
+  // to a site monitor. `poll_interval` is virtual time. Watches must be
+  // installed on the monitor before Start().
+  void AttachLocalWatcher(std::unique_ptr<monitor::InotifyMonitor> watcher,
+                          VirtualDuration poll_interval = Millis(50));
+
+  // Installs/replaces the executor for an action type. Defaults for every
+  // type are installed at construction (emails go to `outbox()`).
+  void RegisterExecutor(ActionType type, std::unique_ptr<ActionExecutor> executor);
+
+  void Start();
+  void Stop();
+
+  // --- Control plane (called by CloudService) ---
+  void InstallRuleFilter(const Rule& rule);
+  void RemoveRuleFilter(const std::string& rule_id);
+
+  // --- Action routing (called by CloudService workers) ---
+  Status EnqueueAction(ActionRequest request);
+
+  // --- Direct injection (for tests / non-threaded harnesses) ---
+  // Runs the filter+report path for one event synchronously.
+  void DeliverEvent(const monitor::FsEvent& event);
+  // Executes every queued action synchronously.
+  size_t DrainActions();
+
+  [[nodiscard]] const std::string& name() const noexcept { return config_.name; }
+  [[nodiscard]] AgentStats Stats() const;
+  [[nodiscard]] const ActionLog& action_log() const noexcept { return action_log_; }
+  [[nodiscard]] Outbox& outbox() noexcept { return outbox_; }
+  [[nodiscard]] lustre::FileSystem& storage() noexcept { return *storage_; }
+
+ private:
+  void EventLoop(const std::stop_token& stop);
+  void WatcherLoop(const std::stop_token& stop);
+  void ActionLoop();
+  void ReportWithRetry(const monitor::FsEvent& event);
+  void ExecuteAction(ActionRequest request);
+  [[nodiscard]] bool MatchesAnyRule(const monitor::FsEvent& event) const;
+  static std::string ActionKey(const ActionRequest& request);
+
+  AgentConfig config_;
+  lustre::FileSystem* storage_;
+  CloudService* cloud_;
+  EndpointRegistry* endpoints_;
+  const TimeAuthority* authority_;
+
+  std::unique_ptr<monitor::EventSubscriber> source_;
+  std::unique_ptr<monitor::InotifyMonitor> watcher_;
+  VirtualDuration watcher_poll_interval_{};
+
+  mutable std::mutex rules_mutex_;
+  std::map<std::string, Rule> rule_filters_;
+
+  std::map<ActionType, std::unique_ptr<ActionExecutor>> executors_;
+  BoundedQueue<ActionRequest> action_queue_;
+  ActionLog action_log_;
+  Outbox outbox_;
+  DelayBudget budget_;
+
+  mutable std::mutex dedupe_mutex_;
+  LruCache<std::string, bool> dedupe_;
+
+  std::atomic<uint64_t> events_seen_{0};
+  std::atomic<uint64_t> events_matched_{0};
+  std::atomic<uint64_t> events_reported_{0};
+  std::atomic<uint64_t> report_retries_{0};
+  std::atomic<uint64_t> report_failures_{0};
+  std::atomic<uint64_t> actions_received_{0};
+  std::atomic<uint64_t> actions_executed_{0};
+  std::atomic<uint64_t> actions_failed_{0};
+  std::atomic<uint64_t> actions_retried_{0};
+  std::atomic<uint64_t> actions_deduped_{0};
+
+  std::jthread event_thread_;
+  std::jthread action_thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace sdci::ripple

@@ -1,0 +1,210 @@
+#include "ripple/cloud.h"
+
+#include "common/log.h"
+#include "common/strings.h"
+#include "ripple/agent.h"
+
+namespace sdci::ripple {
+
+CloudService::CloudService(const TimeAuthority& authority, CloudConfig config)
+    : authority_(&authority),
+      config_(config),
+      queue_(authority, config.queue),
+      rng_(config.fault_seed) {}
+
+CloudService::~CloudService() { Stop(); }
+
+void CloudService::Start() {
+  if (running_.exchange(true)) return;
+  workers_.clear();
+  for (size_t i = 0; i < config_.worker_count; ++i) {
+    workers_.emplace_back([this](const std::stop_token& stop) { WorkerLoop(stop); });
+  }
+  cleanup_thread_ = std::jthread([this](const std::stop_token& stop) { CleanupLoop(stop); });
+}
+
+void CloudService::Stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& worker : workers_) worker.request_stop();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  cleanup_thread_.request_stop();
+  if (cleanup_thread_.joinable()) cleanup_thread_.join();
+}
+
+Status CloudService::RegisterRule(const Rule& rule) {
+  if (rule.id.empty()) return InvalidArgumentError("rule requires an id");
+  {
+    const std::lock_guard<std::mutex> lock(rules_mutex_);
+    rules_[rule.id] = rule;
+  }
+  // Distribute to the watch agent so its local filter reports matching
+  // events (SDCI's control-plane push, like flow rules to an SDN switch).
+  if (Agent* agent = FindAgent(rule.watch_agent)) {
+    agent->InstallRuleFilter(rule);
+  }
+  return OkStatus();
+}
+
+Status CloudService::RemoveRule(const std::string& rule_id) {
+  Rule removed;
+  {
+    const std::lock_guard<std::mutex> lock(rules_mutex_);
+    const auto it = rules_.find(rule_id);
+    if (it == rules_.end()) return NotFoundError("no such rule: " + rule_id);
+    removed = it->second;
+    rules_.erase(it);
+  }
+  if (Agent* agent = FindAgent(removed.watch_agent)) {
+    agent->RemoveRuleFilter(rule_id);
+  }
+  return OkStatus();
+}
+
+std::vector<Rule> CloudService::Rules() const {
+  const std::lock_guard<std::mutex> lock(rules_mutex_);
+  std::vector<Rule> out;
+  out.reserve(rules_.size());
+  for (const auto& [id, rule] : rules_) out.push_back(rule);
+  return out;
+}
+
+void CloudService::RegisterAgent(Agent& agent) {
+  {
+    const std::lock_guard<std::mutex> lock(agents_mutex_);
+    agents_[agent.name()] = &agent;
+  }
+  // Push any rules already registered for this agent.
+  const std::lock_guard<std::mutex> lock(rules_mutex_);
+  for (const auto& [id, rule] : rules_) {
+    if (rule.watch_agent == agent.name()) agent.InstallRuleFilter(rule);
+  }
+}
+
+void CloudService::DeregisterAgent(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(agents_mutex_);
+  agents_.erase(name);
+}
+
+Agent* CloudService::FindAgent(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(agents_mutex_);
+  const auto it = agents_.find(name);
+  return it == agents_.end() ? nullptr : it->second;
+}
+
+Status CloudService::ReportEvent(const std::string& agent_name,
+                                 const monitor::FsEvent& event) {
+  {
+    const std::lock_guard<std::mutex> lock(rng_mutex_);
+    if (config_.report_drop_prob > 0 && rng_.NextBool(config_.report_drop_prob)) {
+      reports_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return UnavailableError("report lost in flight (injected)");
+    }
+  }
+  json::Object envelope;
+  envelope["agent"] = json::Value(agent_name);
+  envelope["event"] = event.ToJson();
+  queue_.Send(json::Value(std::move(envelope)).Dump());
+  reports_received_.fetch_add(1, std::memory_order_relaxed);
+  return OkStatus();
+}
+
+bool CloudService::ProcessMessage(const QueueMessage& message) {
+  auto parsed = json::Parse(message.body);
+  if (!parsed.ok()) {
+    log::Warn("cloud", "dropping malformed queue entry: {}", parsed.status().ToString());
+    return true;  // delete: retrying cannot fix it
+  }
+  auto event = monitor::FsEvent::FromJson((*parsed)["event"]);
+  if (!event.ok()) {
+    log::Warn("cloud", "dropping undecodable event: {}", event.status().ToString());
+    return true;
+  }
+  // Evaluate every enabled rule (the reporting agent's filter is advisory;
+  // the cloud is authoritative, so rules added between filtering and
+  // processing still fire).
+  std::vector<Rule> matches;
+  {
+    const std::lock_guard<std::mutex> lock(rules_mutex_);
+    for (const auto& [id, rule] : rules_) {
+      if (rule.enabled && rule.trigger.Matches(*event)) matches.push_back(rule);
+    }
+  }
+  for (const Rule& rule : matches) {
+    Agent* agent = FindAgent(rule.action.agent);
+    if (agent == nullptr) {
+      log::Warn("cloud", "rule {} targets unknown agent {}", rule.id, rule.action.agent);
+      continue;
+    }
+    ActionRequest request;
+    request.rule_id = rule.id;
+    request.spec = rule.action;
+    request.event = *event;
+    request.attempt = message.receive_count;
+    if (agent->EnqueueAction(std::move(request)).ok()) {
+      actions_dispatched_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  events_processed_.fetch_add(1, std::memory_order_relaxed);
+
+  // Injected Lambda crash: the entry is NOT deleted and will be
+  // redelivered after its visibility timeout (the cleanup path).
+  {
+    const std::lock_guard<std::mutex> lock(rng_mutex_);
+    if (config_.worker_crash_prob > 0 && rng_.NextBool(config_.worker_crash_prob)) {
+      worker_crashes_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  return true;
+}
+
+void CloudService::WorkerLoop(const std::stop_token& stop) {
+  while (!stop.stop_requested()) {
+    auto message = queue_.Receive();
+    if (!message.has_value()) {
+      authority_->SleepFor(config_.worker_poll);
+      continue;
+    }
+    if (ProcessMessage(*message)) {
+      (void)queue_.Delete(message->receipt);
+    }
+  }
+}
+
+void CloudService::CleanupLoop(const std::stop_token& stop) {
+  while (!stop.stop_requested()) {
+    authority_->SleepFor(config_.cleanup_interval);
+    queue_.CleanupSweep();
+  }
+}
+
+size_t CloudService::PumpUntilQuiet() {
+  size_t handled = 0;
+  while (true) {
+    queue_.CleanupSweep();
+    auto message = queue_.Receive();
+    if (!message.has_value()) break;
+    if (ProcessMessage(*message)) {
+      (void)queue_.Delete(message->receipt);
+    }
+    ++handled;
+  }
+  return handled;
+}
+
+CloudStats CloudService::Stats() const {
+  CloudStats stats;
+  stats.reports_received = reports_received_.load(std::memory_order_relaxed);
+  stats.reports_dropped = reports_dropped_.load(std::memory_order_relaxed);
+  stats.events_processed = events_processed_.load(std::memory_order_relaxed);
+  stats.actions_dispatched = actions_dispatched_.load(std::memory_order_relaxed);
+  stats.worker_crashes = worker_crashes_.load(std::memory_order_relaxed);
+  stats.redeliveries = queue_.Redelivered();
+  stats.dead_letters = queue_.DeadLetters().size();
+  return stats;
+}
+
+}  // namespace sdci::ripple

@@ -1,0 +1,123 @@
+// CloudService: Ripple's reliable rule-evaluation and action-routing core.
+//
+// Mirrors the paper's architecture: agents report filtered events; each
+// report is "immediately placed in a reliable SQS queue"; a pool of
+// Lambda-style workers pops entries, evaluates the active rules and routes
+// matching actions to the executing agent, deleting queue entries only
+// after successful processing; a cleanup function periodically revives
+// entries whose worker crashed. Failure injection knobs let tests exercise
+// every reliability path:
+//   report_drop_prob — the agent's report is lost in flight (the agent
+//                      retries, per the paper);
+//   worker_crash_prob — a worker dies after dispatching but before
+//                      deleting its entry (redelivery => at-least-once).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "monitor/event.h"
+#include "ripple/rule.h"
+#include "ripple/sqs.h"
+
+namespace sdci::ripple {
+
+class Agent;
+
+struct CloudConfig {
+  size_t worker_count = 2;
+  VirtualDuration worker_poll = Millis(5);      // idle queue back-off
+  VirtualDuration cleanup_interval = Millis(200);
+  ReliableQueueConfig queue;
+  double report_drop_prob = 0.0;
+  double worker_crash_prob = 0.0;
+  uint64_t fault_seed = 42;
+};
+
+struct CloudStats {
+  uint64_t reports_received = 0;
+  uint64_t reports_dropped = 0;   // injected network losses
+  uint64_t events_processed = 0;
+  uint64_t actions_dispatched = 0;
+  uint64_t worker_crashes = 0;    // injected
+  uint64_t redeliveries = 0;
+  uint64_t dead_letters = 0;
+};
+
+class CloudService {
+ public:
+  CloudService(const TimeAuthority& authority, CloudConfig config = {});
+  ~CloudService();
+
+  CloudService(const CloudService&) = delete;
+  CloudService& operator=(const CloudService&) = delete;
+
+  void Start();
+  void Stop();
+
+  // --- Rule management (the control plane) ---
+
+  // Registers a rule and distributes it to its watch agent's filter.
+  Status RegisterRule(const Rule& rule);
+  Status RemoveRule(const std::string& rule_id);
+  [[nodiscard]] std::vector<Rule> Rules() const;
+
+  // --- Agent registry ---
+
+  void RegisterAgent(Agent& agent);
+  void DeregisterAgent(const std::string& name);
+  [[nodiscard]] Agent* FindAgent(const std::string& name) const;
+
+  // --- Event intake (the data plane) ---
+
+  // Called by agents. May fail with kUnavailable (injected network loss);
+  // the agent is expected to retry.
+  Status ReportEvent(const std::string& agent_name, const monitor::FsEvent& event);
+
+  // Processes queue entries synchronously until empty (for tests and
+  // single-threaded harnesses; workers need not be running).
+  size_t PumpUntilQuiet();
+
+  [[nodiscard]] CloudStats Stats() const;
+  [[nodiscard]] const ReliableQueue& queue() const noexcept { return queue_; }
+
+ private:
+  void WorkerLoop(const std::stop_token& stop);
+  void CleanupLoop(const std::stop_token& stop);
+  // Handles one queue message. Returns true when fully processed (and the
+  // entry should be deleted).
+  bool ProcessMessage(const QueueMessage& message);
+
+  const TimeAuthority* authority_;
+  CloudConfig config_;
+  ReliableQueue queue_;
+
+  mutable std::mutex rules_mutex_;
+  std::map<std::string, Rule> rules_;
+
+  mutable std::mutex agents_mutex_;
+  std::map<std::string, Agent*> agents_;
+
+  mutable std::mutex rng_mutex_;
+  Rng rng_;
+
+  std::atomic<uint64_t> reports_received_{0};
+  std::atomic<uint64_t> reports_dropped_{0};
+  std::atomic<uint64_t> events_processed_{0};
+  std::atomic<uint64_t> actions_dispatched_{0};
+  std::atomic<uint64_t> worker_crashes_{0};
+
+  std::vector<std::jthread> workers_;
+  std::jthread cleanup_thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace sdci::ripple

@@ -1,0 +1,221 @@
+#include "ripple/rule.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace sdci::ripple {
+
+uint32_t KindOfEvent(lustre::ChangeLogType type) noexcept {
+  using lustre::ChangeLogType;
+  switch (type) {
+    case ChangeLogType::kCreate:
+    case ChangeLogType::kMknod:
+    case ChangeLogType::kSoftlink:
+    case ChangeLogType::kHardlink:
+      return kCreated;
+    case ChangeLogType::kMtime:
+    case ChangeLogType::kTruncate:
+    case ChangeLogType::kLayout:
+    case ChangeLogType::kClose:
+      return kModified;
+    case ChangeLogType::kUnlink:
+      return kDeleted;
+    case ChangeLogType::kRename:
+    case ChangeLogType::kRenameTo:
+      return kRenamed;
+    case ChangeLogType::kMkdir:
+      return kDirCreated;
+    case ChangeLogType::kRmdir:
+      return kDirDeleted;
+    case ChangeLogType::kSetattr:
+    case ChangeLogType::kXattr:
+    case ChangeLogType::kCtime:
+    case ChangeLogType::kAtime:
+      return kAttribChanged;
+    case ChangeLogType::kMark:
+    case ChangeLogType::kOpen:
+    case ChangeLogType::kHsm:
+      return 0;
+  }
+  return 0;
+}
+
+namespace {
+
+constexpr std::pair<std::string_view, uint32_t> kKindNames[] = {
+    {"created", kCreated},       {"modified", kModified},
+    {"deleted", kDeleted},       {"renamed", kRenamed},
+    {"dir_created", kDirCreated}, {"dir_deleted", kDirDeleted},
+    {"attrib", kAttribChanged},  {"any", kAnyEvent},
+};
+
+}  // namespace
+
+Result<uint32_t> ParseEventKind(std::string_view name) {
+  for (const auto& [kind_name, mask] : kKindNames) {
+    if (name == kind_name) return mask;
+  }
+  return InvalidArgumentError("unknown event kind: " + std::string(name));
+}
+
+std::vector<std::string> EventKindNames(uint32_t mask) {
+  std::vector<std::string> names;
+  if (mask == kAnyEvent) return {"any"};
+  for (const auto& [kind_name, kind_mask] : kKindNames) {
+    if (kind_mask != kAnyEvent && (mask & kind_mask) != 0) {
+      names.emplace_back(kind_name);
+    }
+  }
+  return names;
+}
+
+bool Trigger::Matches(const monitor::FsEvent& event) const {
+  const uint32_t kind = KindOfEvent(event.type);
+  if (kind == 0 || (kind & event_mask) == 0) return false;
+  if (event.path.empty()) return false;  // unresolved events cannot match globs
+  if (!path_glob.Matches(event.path)) return false;
+  if (name_suffix.has_value() && !strings::EndsWith(event.name, *name_suffix)) {
+    return false;
+  }
+  return true;
+}
+
+json::Value Trigger::ToJson() const {
+  json::Object obj;
+  json::Array events;
+  for (const auto& name : EventKindNames(event_mask)) events.emplace_back(name);
+  obj["events"] = json::Value(std::move(events));
+  obj["path"] = json::Value(path_glob.pattern());
+  if (name_suffix.has_value()) obj["suffix"] = json::Value(*name_suffix);
+  return json::Value(std::move(obj));
+}
+
+Result<Trigger> Trigger::FromJson(const json::Value& value) {
+  if (!value.is_object()) return InvalidArgumentError("trigger must be an object");
+  Trigger trigger;
+  const json::Value& events = value["events"];
+  if (events.is_array()) {
+    uint32_t mask = 0;
+    for (const json::Value& item : events.AsArray()) {
+      if (!item.is_string()) return InvalidArgumentError("event kind must be a string");
+      auto kind = ParseEventKind(item.AsString());
+      if (!kind.ok()) return kind.status();
+      mask |= *kind;
+    }
+    trigger.event_mask = mask == 0 ? kAnyEvent : mask;
+  }
+  trigger.path_glob = Glob(value.GetString("path", "**"));
+  if (value.Has("suffix")) trigger.name_suffix = value.GetString("suffix");
+  return trigger;
+}
+
+namespace {
+
+constexpr std::pair<std::string_view, ActionType> kActionNames[] = {
+    {"transfer", ActionType::kTransfer},
+    {"local_command", ActionType::kLocalCommand},
+    {"email", ActionType::kEmail},
+    {"container", ActionType::kContainer},
+    {"delete", ActionType::kDelete},
+};
+
+}  // namespace
+
+Result<ActionType> ParseActionType(std::string_view name) {
+  for (const auto& [action_name, type] : kActionNames) {
+    if (name == action_name) return type;
+  }
+  return InvalidArgumentError("unknown action type: " + std::string(name));
+}
+
+std::string_view ActionTypeName(ActionType type) noexcept {
+  for (const auto& [action_name, action_type] : kActionNames) {
+    if (action_type == type) return action_name;
+  }
+  return "?";
+}
+
+json::Value ActionSpec::ToJson() const {
+  json::Object obj;
+  obj["type"] = json::Value(std::string(ActionTypeName(type)));
+  obj["agent"] = json::Value(agent);
+  obj["params"] = params;
+  return json::Value(std::move(obj));
+}
+
+Result<ActionSpec> ActionSpec::FromJson(const json::Value& value) {
+  if (!value.is_object()) return InvalidArgumentError("action must be an object");
+  ActionSpec spec;
+  auto type = ParseActionType(value.GetString("type", "local_command"));
+  if (!type.ok()) return type.status();
+  spec.type = *type;
+  spec.agent = value.GetString("agent");
+  if (spec.agent.empty()) return InvalidArgumentError("action requires an agent");
+  spec.params = value["params"];
+  return spec;
+}
+
+json::Value Rule::ToJson() const {
+  json::Object obj;
+  obj["id"] = json::Value(id);
+  obj["trigger"] = trigger.ToJson();
+  obj["action"] = action.ToJson();
+  obj["watch_agent"] = json::Value(watch_agent);
+  obj["enabled"] = json::Value(enabled);
+  return json::Value(std::move(obj));
+}
+
+Result<Rule> Rule::FromJson(const json::Value& value) {
+  if (!value.is_object()) return InvalidArgumentError("rule must be an object");
+  Rule rule;
+  rule.id = value.GetString("id");
+  if (rule.id.empty()) return InvalidArgumentError("rule requires an id");
+  auto trigger = Trigger::FromJson(value["trigger"]);
+  if (!trigger.ok()) return trigger.status();
+  rule.trigger = std::move(trigger.value());
+  auto action = ActionSpec::FromJson(value["action"]);
+  if (!action.ok()) return action.status();
+  rule.action = std::move(action.value());
+  rule.watch_agent = value.GetString("watch_agent", rule.action.agent);
+  rule.enabled = value.GetBool("enabled", true);
+  return rule;
+}
+
+Result<Rule> Rule::Parse(std::string_view text) {
+  auto parsed = json::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  return FromJson(*parsed);
+}
+
+Result<std::vector<Rule>> ParseRuleSet(std::string_view text) {
+  auto parsed = json::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  const json::Value* array = &*parsed;
+  if (parsed->is_object()) array = &(*parsed)["rules"];
+  if (!array->is_array()) {
+    return InvalidArgumentError("rule set must be an array or {\"rules\": [...]}");
+  }
+  std::vector<Rule> rules;
+  std::set<std::string> ids;
+  for (const json::Value& item : array->AsArray()) {
+    auto rule = Rule::FromJson(item);
+    if (!rule.ok()) return rule.status();
+    if (!ids.insert(rule->id).second) {
+      return InvalidArgumentError("duplicate rule id: " + rule->id);
+    }
+    rules.push_back(std::move(rule.value()));
+  }
+  return rules;
+}
+
+std::string DumpRuleSet(const std::vector<Rule>& rules) {
+  json::Array array;
+  array.reserve(rules.size());
+  for (const Rule& rule : rules) array.push_back(rule.ToJson());
+  json::Object doc;
+  doc["rules"] = json::Value(std::move(array));
+  return json::Value(std::move(doc)).Dump(2);
+}
+
+}  // namespace sdci::ripple

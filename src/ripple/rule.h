@@ -1,0 +1,105 @@
+// Ripple rules: the If-Trigger-Then-Action policy notation.
+//
+// A rule pairs a Trigger (the conditions under which it fires: event
+// kinds, a path glob, optional size/age predicates) with an ActionSpec
+// (what to do, where, and with which parameters). Rules serialize to/from
+// JSON so users can write them as documents:
+//
+//   {
+//     "id": "replicate-images",
+//     "trigger": {"events": ["created"], "path": "/lab/images/**/*.tif"},
+//     "action": {"type": "transfer", "agent": "laptop",
+//                "params": {"destination": "/backup"}}
+//   }
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/glob.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "monitor/event.h"
+
+namespace sdci::ripple {
+
+// User-facing event kinds (bitmask). Coarser than ChangeLog record types:
+// rules speak the language of the paper's examples ("when an image file is
+// created...").
+enum EventKind : uint32_t {
+  kCreated = 1u << 0,
+  kModified = 1u << 1,
+  kDeleted = 1u << 2,
+  kRenamed = 1u << 3,
+  kDirCreated = 1u << 4,
+  kDirDeleted = 1u << 5,
+  kAttribChanged = 1u << 6,
+  kAnyEvent = 0xFFFFFFFFu,
+};
+
+// Maps a raw changelog record type onto a rule-facing kind (0 when the
+// record type has no rule-facing meaning, e.g. MARK).
+uint32_t KindOfEvent(lustre::ChangeLogType type) noexcept;
+
+// Parses "created" / "modified" / ... ; used by the JSON codec.
+Result<uint32_t> ParseEventKind(std::string_view name);
+std::vector<std::string> EventKindNames(uint32_t mask);
+
+struct Trigger {
+  uint32_t event_mask = kAnyEvent;
+  Glob path_glob{"**"};
+  std::optional<std::string> name_suffix;  // e.g. ".h5"
+
+  [[nodiscard]] bool Matches(const monitor::FsEvent& event) const;
+
+  [[nodiscard]] json::Value ToJson() const;
+  static Result<Trigger> FromJson(const json::Value& value);
+};
+
+enum class ActionType {
+  kTransfer,      // replicate data to another storage endpoint (Globus-like)
+  kLocalCommand,  // run a command on the agent's host
+  kEmail,         // notify a user
+  kContainer,     // run an analysis container
+  kDelete,        // remove the file (purge policies)
+};
+
+Result<ActionType> ParseActionType(std::string_view name);
+std::string_view ActionTypeName(ActionType type) noexcept;
+
+struct ActionSpec {
+  ActionType type = ActionType::kLocalCommand;
+  std::string agent;   // which agent executes the action
+  json::Value params;  // action-specific parameters
+
+  [[nodiscard]] json::Value ToJson() const;
+  static Result<ActionSpec> FromJson(const json::Value& value);
+};
+
+struct Rule {
+  std::string id;
+  Trigger trigger;
+  ActionSpec action;
+  // Agent whose storage is being watched for the trigger (defaults to the
+  // action's agent when absent from the JSON document).
+  std::string watch_agent;
+  bool enabled = true;
+
+  [[nodiscard]] json::Value ToJson() const;
+  static Result<Rule> FromJson(const json::Value& value);
+  // Parses a rule document (JSON text).
+  static Result<Rule> Parse(std::string_view text);
+};
+
+// Parses a rule-set document: either a JSON array of rules or an object
+// {"rules": [...]}. Duplicate ids are rejected (policy files where one
+// definition silently shadows another are a debugging trap).
+Result<std::vector<Rule>> ParseRuleSet(std::string_view text);
+
+// Serializes rules as a {"rules": [...]} document (pretty-printed).
+std::string DumpRuleSet(const std::vector<Rule>& rules);
+
+}  // namespace sdci::ripple

@@ -1,0 +1,115 @@
+#include "ripple/sqs.h"
+
+#include <algorithm>
+
+namespace sdci::ripple {
+
+ReliableQueue::ReliableQueue(const TimeAuthority& authority, ReliableQueueConfig config)
+    : authority_(&authority), config_(config) {}
+
+uint64_t ReliableQueue::Send(std::string body) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry entry;
+  entry.id = next_id_++;
+  entry.body = std::move(body);
+  entries_.push_back(std::move(entry));
+  ++total_sent_;
+  return entries_.back().id;
+}
+
+std::optional<QueueMessage> ReliableQueue::Receive() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const VirtualTime now = authority_->Now();
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const bool visible = it->receipt == 0 || it->invisible_until <= now;
+    if (!visible) {
+      ++it;
+      continue;
+    }
+    if (it->receive_count > 0) ++redelivered_;  // timed-out redelivery
+    if (it->receive_count >= config_.max_receives) {
+      QueueMessage dead;
+      dead.id = it->id;
+      dead.receive_count = it->receive_count;
+      dead.body = std::move(it->body);
+      dead_letters_.push_back(std::move(dead));
+      it = entries_.erase(it);
+      continue;
+    }
+    it->receipt = next_receipt_++;
+    it->receive_count += 1;
+    it->invisible_until = now + config_.visibility_timeout;
+    QueueMessage message;
+    message.id = it->id;
+    message.receipt = it->receipt;
+    message.receive_count = it->receive_count;
+    message.body = it->body;
+    return message;
+  }
+  return std::nullopt;
+}
+
+Status ReliableQueue::Delete(uint64_t receipt) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const Entry& e) { return e.receipt == receipt; });
+  if (it == entries_.end()) return NotFoundError("stale or unknown receipt");
+  entries_.erase(it);
+  ++total_deleted_;
+  return OkStatus();
+}
+
+size_t ReliableQueue::CleanupSweep() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const VirtualTime now = authority_->Now();
+  size_t revived = 0;
+  for (auto& entry : entries_) {
+    if (entry.receipt != 0 && entry.invisible_until <= now) {
+      entry.receipt = 0;  // eagerly visible again
+      ++revived;
+    }
+  }
+  return revived;
+}
+
+size_t ReliableQueue::VisibleDepth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const VirtualTime now = authority_->Now();
+  size_t n = 0;
+  for (const auto& entry : entries_) {
+    if (entry.receipt == 0 || entry.invisible_until <= now) ++n;
+  }
+  return n;
+}
+
+size_t ReliableQueue::InFlight() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const VirtualTime now = authority_->Now();
+  size_t n = 0;
+  for (const auto& entry : entries_) {
+    if (entry.receipt != 0 && entry.invisible_until > now) ++n;
+  }
+  return n;
+}
+
+uint64_t ReliableQueue::TotalSent() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_sent_;
+}
+
+uint64_t ReliableQueue::TotalDeleted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_deleted_;
+}
+
+uint64_t ReliableQueue::Redelivered() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return redelivered_;
+}
+
+std::vector<QueueMessage> ReliableQueue::DeadLetters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dead_letters_;
+}
+
+}  // namespace sdci::ripple

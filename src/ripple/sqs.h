@@ -1,0 +1,91 @@
+// ReliableQueue: the SQS model backing Ripple's cloud service.
+//
+// "Once an event is reported it is immediately placed in a reliable SQS
+// queue. Serverless Lambda functions act on entries in this queue and
+// remove them once successfully processed. A cleanup function periodically
+// iterates through the queue and initiates additional processing for
+// events that were unsuccessfully processed."
+//
+// Semantics reproduced: at-least-once delivery with a visibility timeout.
+// Receive() hides the entry for `visibility`; Delete() (by receipt handle)
+// removes it permanently; an entry whose handler crashed becomes visible
+// again once its timeout lapses and is redelivered (what the paper's
+// cleanup function achieves). Receive counts are tracked so consumers can
+// route poison messages to a dead-letter list after max_receives.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace sdci::ripple {
+
+struct QueueMessage {
+  uint64_t id = 0;            // stable message id
+  uint64_t receipt = 0;       // receipt handle for this delivery
+  uint32_t receive_count = 0; // deliveries so far (1 = first)
+  std::string body;
+};
+
+struct ReliableQueueConfig {
+  VirtualDuration visibility_timeout = Seconds(30.0);
+  uint32_t max_receives = 5;  // beyond this, messages go to the DLQ
+};
+
+class ReliableQueue {
+ public:
+  ReliableQueue(const TimeAuthority& authority, ReliableQueueConfig config = {});
+
+  // Enqueues a message; returns its id.
+  uint64_t Send(std::string body);
+
+  // Delivers the oldest visible message, hiding it for the visibility
+  // timeout. Returns nullopt when nothing is currently visible. Messages
+  // exceeding max_receives are moved to the dead-letter list instead.
+  std::optional<QueueMessage> Receive();
+
+  // Acknowledges a delivery. Fails with kNotFound when the receipt is
+  // stale (the message timed out and was redelivered — the race the
+  // visibility timeout exists to resolve).
+  Status Delete(uint64_t receipt);
+
+  // Counts currently invisible (in-flight) messages whose timeout lapsed
+  // and re-queues them eagerly; Receive() would do this lazily anyway.
+  // Returns how many became visible again. Models the cleanup function.
+  size_t CleanupSweep();
+
+  [[nodiscard]] size_t VisibleDepth() const;
+  [[nodiscard]] size_t InFlight() const;
+  [[nodiscard]] uint64_t TotalSent() const;
+  [[nodiscard]] uint64_t TotalDeleted() const;
+  [[nodiscard]] uint64_t Redelivered() const;
+  [[nodiscard]] std::vector<QueueMessage> DeadLetters() const;
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    uint64_t receipt = 0;        // 0 when visible
+    uint32_t receive_count = 0;
+    VirtualTime invisible_until{};
+    std::string body;
+  };
+
+  const TimeAuthority* authority_;
+  ReliableQueueConfig config_;
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+  std::vector<QueueMessage> dead_letters_;
+  uint64_t next_id_ = 1;
+  uint64_t next_receipt_ = 1;
+  uint64_t total_sent_ = 0;
+  uint64_t total_deleted_ = 0;
+  uint64_t redelivered_ = 0;
+};
+
+}  // namespace sdci::ripple

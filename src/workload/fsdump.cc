@@ -1,0 +1,59 @@
+#include "workload/fsdump.h"
+
+#include "common/strings.h"
+
+namespace sdci::workload {
+
+DumpDiff DiffDumps(const FsDump& previous, const FsDump& current) {
+  DumpDiff diff;
+  for (const auto& [path, entry] : current) {
+    const auto it = previous.find(path);
+    if (it == previous.end()) {
+      ++diff.created;
+    } else if (it->second.inode != entry.inode) {
+      ++diff.created;  // replaced: a new file under the old name
+    } else if (it->second.mtime != entry.mtime || it->second.size != entry.size) {
+      ++diff.modified;
+    }
+  }
+  for (const auto& [path, entry] : previous) {
+    if (current.count(path) == 0) ++diff.deleted;
+  }
+  return diff;
+}
+
+std::string SerializeDump(const FsDump& dump) {
+  std::string out;
+  for (const auto& [path, entry] : dump) {
+    out += strings::Format("{}|{}|{}|{}\n", path, entry.inode, entry.size, entry.mtime);
+  }
+  return out;
+}
+
+Result<FsDump> ParseDump(std::string_view text) {
+  FsDump dump;
+  size_t line_start = 0;
+  size_t line_no = 0;
+  while (line_start < text.size()) {
+    size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    const std::string_view line = text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = strings::Split(line, '|');
+    if (fields.size() != 4) {
+      return InvalidArgumentError(strings::Format("dump line {} malformed", line_no));
+    }
+    const auto inode = strings::ParseUint64(fields[1]);
+    const auto size = strings::ParseUint64(fields[2]);
+    const auto mtime = strings::ParseInt64(fields[3]);
+    if (!inode || !size || !mtime) {
+      return InvalidArgumentError(strings::Format("dump line {} malformed", line_no));
+    }
+    dump[fields[0]] = DumpEntry{*inode, *size, *mtime};
+  }
+  return dump;
+}
+
+}  // namespace sdci::workload

@@ -1,0 +1,47 @@
+// File system dump snapshots and consecutive-day diffing: the methodology
+// the paper applies to NERSC's tlproject2 GPFS system (Section 5.3).
+//
+// A dump is the nightly listing of every file (path -> inode id, size,
+// mtime). Diffing consecutive dumps counts files created or changed per
+// day — with the blind spots the paper itself calls out: "only the most
+// recent file modification is detectable, and [the method] does not
+// account for short lived files."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sdci::workload {
+
+struct DumpEntry {
+  uint64_t inode = 0;   // stable file identity (detects replace-by-name)
+  uint64_t size = 0;
+  int64_t mtime = 0;    // seconds
+};
+
+// path -> entry. One day's dump.
+using FsDump = std::unordered_map<std::string, DumpEntry>;
+
+struct DumpDiff {
+  uint64_t created = 0;   // paths new in the later dump (incl. replaced inodes)
+  uint64_t modified = 0;  // same inode, different mtime or size
+  uint64_t deleted = 0;   // paths gone
+
+  [[nodiscard]] uint64_t TotalDifferences() const noexcept {
+    return created + modified + deleted;
+  }
+};
+
+// Compares consecutive dumps.
+DumpDiff DiffDumps(const FsDump& previous, const FsDump& current);
+
+// Serialization (one "path|inode|size|mtime" line per entry) for examples
+// that persist dumps to strings/files.
+std::string SerializeDump(const FsDump& dump);
+Result<FsDump> ParseDump(std::string_view text);
+
+}  // namespace sdci::workload

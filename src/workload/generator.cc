@@ -1,0 +1,176 @@
+#include "workload/generator.h"
+
+#include <thread>
+
+#include "common/strings.h"
+
+namespace sdci::workload {
+
+EventGenerator::EventGenerator(lustre::FileSystem& fs,
+                               const lustre::TestbedProfile& profile,
+                               const TimeAuthority& authority, GeneratorConfig config)
+    : fs_(&fs), profile_(profile), authority_(&authority), config_(std::move(config)) {}
+
+std::string EventGenerator::DirFor(size_t i) const {
+  return strings::Format("{}/d{}", config_.root, i % config_.dirs);
+}
+
+Status EventGenerator::Prepare() {
+  const Status made = fs_->MkdirAll(config_.root);
+  if (!made.ok()) return made;
+  for (size_t i = 0; i < config_.dirs; ++i) {
+    const Status sub = fs_->MkdirAll(DirFor(i));
+    if (!sub.ok()) return sub;
+  }
+  return OkStatus();
+}
+
+std::vector<std::string> EventGenerator::Precreate(const std::string& prefix, size_t n) {
+  std::vector<std::string> paths;
+  paths.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t id = unique_.fetch_add(1, std::memory_order_relaxed);
+    std::string path = strings::Format("{}/{}{}.dat", DirFor(i), prefix, id);
+    // Direct (uncosted) FileSystem calls: setup is not part of the run.
+    (void)fs_->Create(path);
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+uint64_t EventGenerator::TotalChangeLogRecords() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < fs_->MdsCount(); ++i) {
+    total += fs_->Mds(i).changelog().TotalAppended();
+  }
+  return total;
+}
+
+GeneratorReport EventGenerator::RunTyped(OpKind kind, size_t n) {
+  std::vector<std::string> population;
+  if (kind != OpKind::kCreate) {
+    population = Precreate(kind == OpKind::kModify ? "mod" : "del", n);
+  }
+  lustre::Client client(*fs_, profile_, *authority_, config_.seed);
+  const uint64_t records_before = TotalChangeLogRecords();
+  const VirtualTime start = authority_->Now();
+  for (size_t i = 0; i < n; ++i) {
+    switch (kind) {
+      case OpKind::kCreate: {
+        const uint64_t id = unique_.fetch_add(1, std::memory_order_relaxed);
+        (void)client.Create(strings::Format("{}/new{}.dat", DirFor(i), id));
+        break;
+      }
+      case OpKind::kModify:
+        (void)client.WriteFile(population[i], config_.file_size + i);
+        break;
+      case OpKind::kDelete:
+        (void)client.Unlink(population[i]);
+        break;
+    }
+  }
+  client.FlushDelay();
+  const VirtualTime end = authority_->Now();
+  GeneratorReport report;
+  report.operations = n;
+  report.events = TotalChangeLogRecords() - records_before;
+  report.elapsed = end - start;
+  report.events_per_second = RatePerSecond(report.events, report.elapsed);
+  report.ops_per_second = RatePerSecond(report.operations, report.elapsed);
+  return report;
+}
+
+GeneratorReport EventGenerator::RunMixed(size_t n_per_stream, size_t streams_per_kind) {
+  return RunMixedImpl(VirtualDuration::max(), streams_per_kind == 0 ? 1 : streams_per_kind,
+                      n_per_stream, n_per_stream);
+}
+
+GeneratorReport EventGenerator::RunMixedFor(VirtualDuration duration,
+                                            size_t streams_per_kind) {
+  // Pre-stage enough delete/modify fodder to outlast the run.
+  const double unlink_s = ToSecondsF(profile_.op.unlink);
+  const size_t expected_deletes =
+      unlink_s <= 0 ? 100000
+                    : static_cast<size_t>(1.3 * ToSecondsF(duration) / unlink_s) + 256;
+  return RunMixedImpl(duration, streams_per_kind == 0 ? 1 : streams_per_kind,
+                      SIZE_MAX, expected_deletes);
+}
+
+GeneratorReport EventGenerator::RunMixedImpl(VirtualDuration duration,
+                                             size_t streams_per_kind,
+                                             size_t n_per_stream, size_t population) {
+  struct Stream {
+    OpKind kind;
+    std::vector<std::string> population;
+    uint64_t seed;
+  };
+  std::vector<Stream> streams;
+  for (size_t s = 0; s < streams_per_kind; ++s) {
+    streams.push_back(Stream{OpKind::kCreate, {}, config_.seed + 11 * s + 1});
+    streams.push_back(Stream{OpKind::kModify,
+                             Precreate(strings::Format("mixm{}_", s), population),
+                             config_.seed + 11 * s + 2});
+    streams.push_back(Stream{OpKind::kDelete,
+                             Precreate(strings::Format("mixd{}_", s), population),
+                             config_.seed + 11 * s + 3});
+  }
+
+  if (config_.before_window) config_.before_window();
+  const uint64_t records_before = TotalChangeLogRecords();
+  // The run window opens only after (uncounted) pre-staging is done.
+  const VirtualTime start = authority_->Now();
+  const VirtualTime deadline =
+      duration == VirtualDuration::max() ? VirtualTime::max() : start + duration;
+  std::atomic<uint64_t> total_ops{0};
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(streams.size());
+    for (auto& stream : streams) {
+      threads.emplace_back([&, this] {
+        lustre::Client client(*fs_, profile_, *authority_, stream.seed);
+        size_t done = 0;
+        size_t cursor = 0;
+        bool exhausted = false;
+        while (!exhausted && done < n_per_stream && authority_->Now() < deadline) {
+          switch (stream.kind) {
+            case OpKind::kCreate: {
+              const uint64_t id = unique_.fetch_add(1, std::memory_order_relaxed);
+              (void)client.Create(strings::Format("{}/mixc{}.dat", DirFor(id), id));
+              break;
+            }
+            case OpKind::kModify:
+              (void)client.WriteFile(stream.population[cursor % stream.population.size()],
+                                     config_.file_size + done);
+              ++cursor;
+              break;
+            case OpKind::kDelete: {
+              if (cursor >= stream.population.size()) {
+                exhausted = true;  // pre-staged fodder ran out
+                break;
+              }
+              (void)client.Unlink(stream.population[cursor]);
+              ++cursor;
+              break;
+            }
+          }
+          if (exhausted) break;
+          ++done;
+          total_ops.fetch_add(1, std::memory_order_relaxed);
+        }
+        client.FlushDelay();
+      });
+    }
+  }  // join
+
+  const VirtualTime end = authority_->Now();
+  GeneratorReport report;
+  report.operations = total_ops.load();
+  report.events = TotalChangeLogRecords() - records_before;
+  report.elapsed = end - start;
+  report.events_per_second = RatePerSecond(report.events, report.elapsed);
+  report.ops_per_second = RatePerSecond(report.operations, report.elapsed);
+  return report;
+}
+
+}  // namespace sdci::workload

@@ -1,0 +1,86 @@
+// Event generation workloads: the paper's "specifically built event
+// generation script" used to characterize the testbeds (Table 2) and to
+// load the monitor (Section 5.2).
+//
+// Typed runs perform N operations of one kind through one client stream
+// and report the achieved event rate; the mixed run drives one stream per
+// kind concurrently (create / modify / delete over disjoint file
+// populations), which is how "total events" throughput is produced.
+// Event counts are taken from the ChangeLogs (records actually journaled),
+// not from op counts, so the report reflects what the monitor must absorb.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "lustre/client.h"
+#include "lustre/filesystem.h"
+#include "lustre/profile.h"
+
+namespace sdci::workload {
+
+enum class OpKind { kCreate, kModify, kDelete };
+
+struct GeneratorConfig {
+  std::string root = "/gen";
+  size_t dirs = 32;        // directories files are spread over
+  uint64_t seed = 7;
+  uint64_t file_size = 64 * 1024;  // bytes written by each modify
+  // Invoked after (uncounted) pre-staging, immediately before the
+  // measurement window opens. Harnesses use it to let a concurrently
+  // running monitor absorb the staging burst and snapshot baselines.
+  std::function<void()> before_window;
+};
+
+struct GeneratorReport {
+  uint64_t operations = 0;
+  uint64_t events = 0;            // changelog records journaled by the run
+  VirtualDuration elapsed{};
+  double events_per_second = 0;
+  double ops_per_second = 0;
+};
+
+class EventGenerator {
+ public:
+  EventGenerator(lustre::FileSystem& fs, const lustre::TestbedProfile& profile,
+                 const TimeAuthority& authority, GeneratorConfig config = {});
+
+  // Builds the directory tree (not counted in any report).
+  Status Prepare();
+
+  // N operations of one kind through a single client stream. Modify and
+  // delete runs pre-create their file population first (uncounted).
+  GeneratorReport RunTyped(OpKind kind, size_t n);
+
+  // The combined workload: `streams_per_kind` concurrent client streams
+  // for each of create/modify/delete, n operations per stream.
+  GeneratorReport RunMixed(size_t n_per_stream, size_t streams_per_kind = 1);
+
+  // Continuous mixed generation for a fixed (virtual) duration with every
+  // stream active throughout — the steady-state "total events" workload,
+  // also used to load the monitor in the throughput experiments. The
+  // delete population is pre-staged (uncounted) to last the whole run.
+  GeneratorReport RunMixedFor(VirtualDuration duration, size_t streams_per_kind = 1);
+
+ private:
+  GeneratorReport RunMixedImpl(VirtualDuration duration, size_t streams_per_kind,
+                               size_t n_per_stream, size_t population);
+  uint64_t TotalChangeLogRecords() const;
+  std::string DirFor(size_t i) const;
+  // Creates files /gen/dXX/<prefix>NNN (uncounted bookkeeping helper).
+  std::vector<std::string> Precreate(const std::string& prefix, size_t n);
+
+  lustre::FileSystem* fs_;
+  lustre::TestbedProfile profile_;
+  const TimeAuthority* authority_;
+  GeneratorConfig config_;
+  std::atomic<uint64_t> unique_{0};
+};
+
+}  // namespace sdci::workload

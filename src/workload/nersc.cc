@@ -1,0 +1,151 @@
+#include "workload/nersc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace sdci::workload {
+namespace {
+
+// The simulated population: files identified by a dense id, each with the
+// dump-visible attributes. Paths are synthesized from the id only when a
+// dump is materialized.
+struct SimFile {
+  uint64_t inode;
+  uint64_t size;
+  int64_t mtime;
+  std::string path;  // computed once; dumps are materialized 36 times
+};
+
+std::string PathOf(uint64_t id) {
+  // A plausible project-layout path; the diff only needs uniqueness.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/project/u%llu/run%llu/file%llu.dat",
+                static_cast<unsigned long long>(id % 1651),
+                static_cast<unsigned long long>((id / 1651) % 97),
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+FsDump Materialize(const std::unordered_map<uint64_t, SimFile>& population) {
+  FsDump dump;
+  dump.reserve(population.size());
+  for (const auto& [id, file] : population) {
+    dump.emplace(file.path, DumpEntry{file.inode, file.size, file.mtime});
+  }
+  return dump;
+}
+
+}  // namespace
+
+NerscAnalysis RunNerscTrace(const NerscTraceConfig& config) {
+  Rng rng(config.seed);
+  const uint64_t scale = std::max<uint64_t>(1, config.scale);
+
+  // Seed the population.
+  std::unordered_map<uint64_t, SimFile> population;
+  const uint64_t initial = config.real_initial_files / scale;
+  population.reserve(initial);
+  uint64_t next_id = 0;
+  uint64_t next_inode = 1;
+  for (uint64_t i = 0; i < initial; ++i) {
+    population.emplace(next_id,
+                       SimFile{next_inode++, rng.NextBelow(1u << 24), 0, PathOf(next_id)});
+    ++next_id;
+  }
+  std::vector<uint64_t> live_ids;
+  live_ids.reserve(population.size());
+  for (const auto& [id, file] : population) live_ids.push_back(id);
+
+  NerscAnalysis analysis;
+  FsDump previous = Materialize(population);
+
+  const auto scaled_count = [&](double real_mean, double factor) {
+    const double lam = real_mean * factor / static_cast<double>(scale);
+    // Lognormal-ish day-to-day noise around the mean.
+    return static_cast<uint64_t>(std::max(0.0, rng.Jitter(lam, 0.35)));
+  };
+
+  for (int day = 1; day <= config.days; ++day) {
+    const int dow = day % 7;
+    double factor = (dow == 0 || dow == 6) ? config.weekend_factor : 1.0;
+    const bool burst = rng.NextBool(config.burst_prob);
+    if (burst) factor *= config.burst_multiplier;
+
+    NerscDay record;
+    record.day = day;
+    const int64_t mtime = static_cast<int64_t>(day) * 86400;
+
+    // Creates (some short-lived: created and removed before the dump).
+    const uint64_t creates = scaled_count(config.mean_daily_created, factor);
+    uint64_t short_lived = 0;
+    for (uint64_t i = 0; i < creates; ++i) {
+      if (rng.NextBool(config.short_lived_frac)) {
+        ++short_lived;  // never reaches the nightly dump
+        continue;
+      }
+      population.emplace(next_id, SimFile{next_inode++, rng.NextBelow(1u << 24), mtime,
+                                           PathOf(next_id)});
+      live_ids.push_back(next_id);
+      ++next_id;
+    }
+    record.true_created = creates * scale;
+    record.true_short_lived = short_lived * scale;
+
+    // Modifies: touch random live files (repeats coalesce in the dump).
+    const uint64_t modifies = scaled_count(config.mean_daily_modified, factor);
+    for (uint64_t i = 0; i < modifies && !live_ids.empty(); ++i) {
+      const uint64_t id = live_ids[rng.NextBelow(live_ids.size())];
+      const auto it = population.find(id);
+      if (it == population.end()) continue;  // deleted earlier today
+      it->second.mtime = mtime;
+      it->second.size = rng.NextBelow(1u << 24);
+    }
+    record.true_modified = modifies * scale;
+
+    // Deletes.
+    const uint64_t deletes = scaled_count(config.mean_daily_deleted, factor);
+    for (uint64_t i = 0; i < deletes && !live_ids.empty(); ++i) {
+      const size_t slot = rng.NextBelow(live_ids.size());
+      const uint64_t id = live_ids[slot];
+      live_ids[slot] = live_ids.back();
+      live_ids.pop_back();
+      population.erase(id);
+    }
+    record.true_deleted = deletes * scale;
+
+    // The nightly dump and the consecutive-day comparison.
+    FsDump current = Materialize(population);
+    const DumpDiff diff = DiffDumps(previous, current);
+    record.observed_created = diff.created * scale;
+    record.observed_modified = diff.modified * scale;
+    record.observed_deleted = diff.deleted * scale;
+    previous = std::move(current);
+
+    analysis.days.push_back(record);
+  }
+
+  for (const NerscDay& day : analysis.days) {
+    analysis.peak_daily_differences =
+        std::max(analysis.peak_daily_differences,
+                 day.observed_created + day.observed_modified);
+  }
+  analysis.mean_events_per_second_24h =
+      static_cast<double>(analysis.peak_daily_differences) / 86400.0;
+  analysis.worst_case_events_per_second_8h =
+      static_cast<double>(analysis.peak_daily_differences) / (8.0 * 3600.0);
+  return analysis;
+}
+
+std::string NerscSeriesCsv(const NerscAnalysis& analysis) {
+  std::string out = "day,created,modified\n";
+  for (const NerscDay& day : analysis.days) {
+    out += strings::Format("{},{},{}\n", day.day, day.observed_created,
+                           day.observed_modified);
+  }
+  return out;
+}
+
+}  // namespace sdci::workload

@@ -1,0 +1,191 @@
+#include "workload/trace.h"
+
+#include "common/strings.h"
+
+namespace sdci::workload {
+namespace {
+
+constexpr std::string_view KindName(TraceOpKind kind) {
+  switch (kind) {
+    case TraceOpKind::kCreate:
+      return "create";
+    case TraceOpKind::kMkdir:
+      return "mkdir";
+    case TraceOpKind::kWrite:
+      return "write";
+    case TraceOpKind::kUnlink:
+      return "unlink";
+    case TraceOpKind::kRmdir:
+      return "rmdir";
+    case TraceOpKind::kRename:
+      return "rename";
+  }
+  return "?";
+}
+
+Result<TraceOpKind> ParseKind(std::string_view name) {
+  for (const auto kind :
+       {TraceOpKind::kCreate, TraceOpKind::kMkdir, TraceOpKind::kWrite,
+        TraceOpKind::kUnlink, TraceOpKind::kRmdir, TraceOpKind::kRename}) {
+    if (name == KindName(kind)) return kind;
+  }
+  return InvalidArgumentError("unknown trace op: " + std::string(name));
+}
+
+// Applies one op through any callable dispatcher.
+template <typename Fs>
+Status ApplyOne(Fs&& fs, const TraceOp& op) {
+  switch (op.kind) {
+    case TraceOpKind::kCreate:
+      return fs.Create(op.path).status();
+    case TraceOpKind::kMkdir:
+      return fs.Mkdir(op.path).status();
+    case TraceOpKind::kWrite:
+      return fs.WriteFile(op.path, op.size);
+    case TraceOpKind::kUnlink:
+      return fs.Unlink(op.path);
+    case TraceOpKind::kRmdir:
+      return fs.Rmdir(op.path);
+    case TraceOpKind::kRename:
+      return fs.Rename(op.path, op.path2);
+  }
+  return InternalError("unhandled trace op");
+}
+
+}  // namespace
+
+std::string SerializeTrace(const Trace& trace) {
+  std::string out;
+  for (const TraceOp& op : trace) {
+    out += KindName(op.kind);
+    out += ' ';
+    out += op.path;
+    if (op.kind == TraceOpKind::kRename) {
+      out += ' ';
+      out += op.path2;
+    } else if (op.kind == TraceOpKind::kWrite) {
+      out += ' ';
+      out += std::to_string(op.size);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Trace> ParseTrace(std::string_view text) {
+  Trace trace;
+  size_t line_no = 0;
+  for (const auto& line : strings::Split(text, '\n')) {
+    ++line_no;
+    const auto trimmed = strings::Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields = strings::SplitSkipEmpty(trimmed, ' ');
+    auto kind = ParseKind(fields[0]);
+    if (!kind.ok()) {
+      return InvalidArgumentError(
+          strings::Format("line {}: {}", line_no, kind.status().message()));
+    }
+    TraceOp op;
+    op.kind = *kind;
+    const size_t expected = op.kind == TraceOpKind::kRename  ? 3
+                            : op.kind == TraceOpKind::kWrite ? 3
+                                                             : 2;
+    if (fields.size() != expected) {
+      return InvalidArgumentError(strings::Format("line {}: wrong arity", line_no));
+    }
+    op.path = fields[1];
+    if (op.kind == TraceOpKind::kRename) {
+      op.path2 = fields[2];
+    } else if (op.kind == TraceOpKind::kWrite) {
+      const auto size = strings::ParseUint64(fields[2]);
+      if (!size) {
+        return InvalidArgumentError(strings::Format("line {}: bad size", line_no));
+      }
+      op.size = *size;
+    }
+    trace.push_back(std::move(op));
+  }
+  return trace;
+}
+
+Trace GenerateTrace(const TraceGenConfig& config) {
+  Rng rng(config.seed);
+  Trace trace;
+  trace.reserve(config.operations + 1);
+  std::vector<std::string> dirs{config.root};
+  std::vector<std::string> files;
+  trace.push_back(TraceOp{TraceOpKind::kMkdir, config.root, "", 0});
+  for (size_t step = 0; trace.size() <= config.operations; ++step) {
+    const size_t op = rng.NextWeighted({2, 5, 4, 2, 1});
+    const std::string& parent = dirs[rng.NextBelow(dirs.size())];
+    switch (op) {
+      case 0: {  // mkdir
+        if (dirs.size() >= config.max_dirs) continue;
+        std::string path = strings::Format("{}/d{}", parent, step);
+        trace.push_back(TraceOp{TraceOpKind::kMkdir, path, "", 0});
+        dirs.push_back(std::move(path));
+        break;
+      }
+      case 1: {  // create
+        std::string path = strings::Format("{}/f{}", parent, step);
+        trace.push_back(TraceOp{TraceOpKind::kCreate, path, "", 0});
+        files.push_back(std::move(path));
+        break;
+      }
+      case 2: {  // write
+        if (files.empty()) continue;
+        trace.push_back(TraceOp{TraceOpKind::kWrite,
+                                files[rng.NextBelow(files.size())], "",
+                                rng.NextBelow(1u << 20)});
+        break;
+      }
+      case 3: {  // unlink
+        if (files.empty()) continue;
+        const size_t i = rng.NextBelow(files.size());
+        trace.push_back(TraceOp{TraceOpKind::kUnlink, files[i], "", 0});
+        files[i] = files.back();
+        files.pop_back();
+        break;
+      }
+      case 4: {  // rename
+        if (files.empty()) continue;
+        const size_t i = rng.NextBelow(files.size());
+        std::string to = strings::Format("{}/r{}", parent, step);
+        trace.push_back(TraceOp{TraceOpKind::kRename, files[i], to, 0});
+        files[i] = std::move(to);
+        break;
+      }
+    }
+  }
+  return trace;
+}
+
+ReplayReport ReplayTrace(const Trace& trace, lustre::Client& client,
+                         const TimeAuthority& authority) {
+  ReplayReport report;
+  const VirtualTime start = authority.Now();
+  for (const TraceOp& op : trace) {
+    if (ApplyOne(client, op).ok()) {
+      ++report.applied;
+    } else {
+      ++report.failed;
+    }
+  }
+  client.FlushDelay();
+  report.elapsed = authority.Now() - start;
+  return report;
+}
+
+ReplayReport ReplayTraceRaw(const Trace& trace, lustre::FileSystem& fs) {
+  ReplayReport report;
+  for (const TraceOp& op : trace) {
+    if (ApplyOne(fs, op).ok()) {
+      ++report.applied;
+    } else {
+      ++report.failed;
+    }
+  }
+  return report;
+}
+
+}  // namespace sdci::workload

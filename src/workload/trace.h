@@ -1,0 +1,68 @@
+// Operation traces: record a workload as a portable text trace and replay
+// it against any file system instance.
+//
+// Traces let experiments be captured once and rerun bit-identically across
+// monitor configurations — e.g. replaying the same day of activity against
+// per-event and cached resolution, or feeding a recorded production-like
+// trace into the throughput harness. One line per operation:
+//
+//   create /path
+//   mkdir /path
+//   write /path <size>
+//   unlink /path
+//   rmdir /path
+//   rename /from /to
+//
+// Paths must not contain spaces (the generator's namespaces never do).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "lustre/client.h"
+#include "lustre/filesystem.h"
+
+namespace sdci::workload {
+
+enum class TraceOpKind { kCreate, kMkdir, kWrite, kUnlink, kRmdir, kRename };
+
+struct TraceOp {
+  TraceOpKind kind = TraceOpKind::kCreate;
+  std::string path;
+  std::string path2;  // rename target
+  uint64_t size = 0;  // write size
+};
+
+using Trace = std::vector<TraceOp>;
+
+// Text codec.
+std::string SerializeTrace(const Trace& trace);
+Result<Trace> ParseTrace(std::string_view text);
+
+// Generates a random but valid trace: every op succeeds when replayed
+// against an empty file system (parents exist, targets exist/don't).
+struct TraceGenConfig {
+  size_t operations = 1000;
+  size_t max_dirs = 64;
+  uint64_t seed = 1;
+  std::string root = "/trace";
+};
+Trace GenerateTrace(const TraceGenConfig& config);
+
+struct ReplayReport {
+  size_t applied = 0;
+  size_t failed = 0;
+  VirtualDuration elapsed{};
+};
+
+// Replays a trace through a costed Client (modeled latencies charged).
+ReplayReport ReplayTrace(const Trace& trace, lustre::Client& client,
+                         const TimeAuthority& authority);
+
+// Replays directly against the file system (uncosted, for setup).
+ReplayReport ReplayTraceRaw(const Trace& trace, lustre::FileSystem& fs);
+
+}  // namespace sdci::workload

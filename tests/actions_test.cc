@@ -1,0 +1,211 @@
+#include "ripple/actions.h"
+
+#include <gtest/gtest.h>
+
+namespace sdci::ripple {
+namespace {
+
+class ActionsTest : public ::testing::Test {
+ protected:
+  ActionsTest()
+      : authority_(2000.0),
+        profile_(lustre::TestbedProfile::Test()),
+        hpc_(lustre::FileSystemConfig::FromProfile(profile_), authority_),
+        laptop_(lustre::FileSystemConfig::FromProfile(profile_), authority_),
+        budget_(authority_) {
+    endpoints_.Register("hpc", hpc_);
+    endpoints_.Register("laptop", laptop_);
+    context_.agent_name = "hpc";
+    context_.storage = &hpc_;
+    context_.endpoints = &endpoints_;
+    context_.authority = &authority_;
+    context_.budget = &budget_;
+  }
+
+  ActionRequest Request(ActionType type, json::Object params,
+                        const std::string& path) {
+    ActionRequest request;
+    request.rule_id = "r1";
+    request.spec.type = type;
+    request.spec.agent = "hpc";
+    request.spec.params = json::Value(std::move(params));
+    request.event.type = lustre::ChangeLogType::kCreate;
+    request.event.path = path;
+    const size_t slash = path.find_last_of('/');
+    request.event.name = path.substr(slash + 1);
+    return request;
+  }
+
+  TimeAuthority authority_;
+  lustre::TestbedProfile profile_;
+  lustre::FileSystem hpc_;
+  lustre::FileSystem laptop_;
+  EndpointRegistry endpoints_;
+  DelayBudget budget_;
+  ActionContext context_;
+};
+
+TEST_F(ActionsTest, TransferReplicatesFileToEndpoint) {
+  ASSERT_TRUE(hpc_.MkdirAll("/data").ok());
+  ASSERT_TRUE(hpc_.Create("/data/scan.h5").ok());
+  ASSERT_TRUE(hpc_.WriteFile("/data/scan.h5", 1u << 20).ok());
+
+  json::Object params;
+  params["destination_endpoint"] = json::Value("laptop");
+  params["destination_dir"] = json::Value("/backup/runs");
+  TransferExecutor transfer;
+  auto outcome = transfer.Execute(context_, Request(ActionType::kTransfer,
+                                                    std::move(params),
+                                                    "/data/scan.h5"));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->success);
+  auto replica = laptop_.Stat("/backup/runs/scan.h5");
+  ASSERT_TRUE(replica.ok()) << "replica must exist on the destination";
+  EXPECT_EQ(replica->attrs.size, 1u << 20);
+  EXPECT_GT(budget_.TotalCharged(), VirtualDuration::zero()) << "wire time charged";
+}
+
+TEST_F(ActionsTest, TransferFailsForMissingSourceOrEndpoint) {
+  json::Object params;
+  params["destination_endpoint"] = json::Value("laptop");
+  params["destination_dir"] = json::Value("/backup");
+  TransferExecutor transfer;
+  EXPECT_EQ(transfer
+                .Execute(context_, Request(ActionType::kTransfer, json::Object(params),
+                                           "/missing.h5"))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(hpc_.Create("/x").ok());
+  params["destination_endpoint"] = json::Value("nowhere");
+  EXPECT_EQ(transfer
+                .Execute(context_,
+                         Request(ActionType::kTransfer, std::move(params), "/x"))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+
+  EXPECT_EQ(transfer.Execute(context_, Request(ActionType::kTransfer, {}, "/x"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ActionsTest, LocalCommandSubstitutesAndRuns) {
+  std::vector<std::string> ran;
+  LocalCommandExecutor executor(
+      [&](const ActionContext&, const std::string& command,
+          const monitor::FsEvent&) -> Status {
+        ran.push_back(command);
+        return OkStatus();
+      });
+  json::Object params;
+  params["command"] = json::Value("analyze {path} --tag {name}");
+  auto outcome = executor.Execute(
+      context_, Request(ActionType::kLocalCommand, std::move(params), "/d/a.tif"));
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(ran.size(), 1u);
+  EXPECT_EQ(ran[0], "analyze /d/a.tif --tag a.tif");
+}
+
+TEST_F(ActionsTest, LocalCommandPropagatesRunnerFailure) {
+  LocalCommandExecutor executor(
+      [](const ActionContext&, const std::string&, const monitor::FsEvent&) {
+        return InternalError("exit code 1");
+      });
+  json::Object params;
+  params["command"] = json::Value("false");
+  EXPECT_FALSE(executor
+                   .Execute(context_, Request(ActionType::kLocalCommand,
+                                              std::move(params), "/d/a"))
+                   .ok());
+}
+
+TEST_F(ActionsTest, EmailLandsInOutbox) {
+  Outbox outbox;
+  EmailExecutor executor(outbox);
+  json::Object params;
+  params["to"] = json::Value("pi@lab.edu");
+  params["subject"] = json::Value("new file {name}");
+  auto outcome = executor.Execute(
+      context_, Request(ActionType::kEmail, std::move(params), "/d/scan.h5"));
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outbox.Count(), 1u);
+  EXPECT_EQ(outbox.Messages()[0].to, "pi@lab.edu");
+  EXPECT_EQ(outbox.Messages()[0].subject, "new file scan.h5");
+  EXPECT_NE(outbox.Messages()[0].body.find("/d/scan.h5"), std::string::npos);
+}
+
+TEST_F(ActionsTest, ContainerChargesRuntime) {
+  ContainerExecutor executor;
+  json::Object params;
+  params["image"] = json::Value("tomopy:latest");
+  params["runtime_ms"] = json::Value(250);
+  const auto before = budget_.TotalCharged();
+  auto outcome =
+      executor.Execute(context_, Request(ActionType::kContainer, std::move(params),
+                                         "/d/a"));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(budget_.TotalCharged() - before, Millis(250));
+}
+
+TEST_F(ActionsTest, DeletePurgesAndIsIdempotent) {
+  ASSERT_TRUE(hpc_.Create("/stale.tmp").ok());
+  DeleteExecutor executor;
+  auto outcome = executor.Execute(
+      context_, Request(ActionType::kDelete, {}, "/stale.tmp"));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(hpc_.Stat("/stale.tmp").ok());
+  // Second run: already gone counts as success (purge semantics).
+  auto again = executor.Execute(context_, Request(ActionType::kDelete, {}, "/stale.tmp"));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->success);
+}
+
+TEST_F(ActionsTest, DeleteHonorsRetentionAge) {
+  ASSERT_TRUE(hpc_.Create("/young.log").ok());
+  ASSERT_TRUE(hpc_.WriteFile("/young.log", 10).ok());  // fresh mtime
+  DeleteExecutor executor;
+  json::Object params;
+  // Generous margins: at 2000x dilation, real scheduler noise of a few
+  // milliseconds turns into virtual seconds.
+  params["older_than_ms"] = json::Value(30000);
+  auto request = Request(ActionType::kDelete, std::move(params), "/young.log");
+  // Too young: kept.
+  auto outcome = executor.Execute(context_, request);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->success);
+  EXPECT_TRUE(hpc_.Stat("/young.log").ok());
+  EXPECT_NE(outcome->detail.find("kept"), std::string::npos);
+  // Let it age past the retention threshold, then purge.
+  authority_.SleepFor(Seconds(40.0));
+  outcome = executor.Execute(context_, request);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(hpc_.Stat("/young.log").ok());
+}
+
+TEST_F(ActionsTest, ActionLogRecordsAndFilters) {
+  ActionLog log;
+  ActionOutcome ok_outcome;
+  ok_outcome.success = true;
+  ActionOutcome bad_outcome;
+  log.Record(Request(ActionType::kEmail, {}, "/a"), ok_outcome);
+  auto other = Request(ActionType::kEmail, {}, "/b");
+  other.rule_id = "r2";
+  log.Record(std::move(other), bad_outcome);
+  EXPECT_EQ(log.Count(), 2u);
+  EXPECT_EQ(log.SuccessCount(), 1u);
+  EXPECT_EQ(log.ForRule("r2").size(), 1u);
+  EXPECT_EQ(log.ForRule("r1").size(), 1u);
+  EXPECT_TRUE(log.ForRule("zzz").empty());
+}
+
+TEST_F(ActionsTest, EndpointRegistryLookup) {
+  EXPECT_EQ(endpoints_.Find("hpc"), &hpc_);
+  EXPECT_EQ(endpoints_.Find("laptop"), &laptop_);
+  EXPECT_EQ(endpoints_.Find("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace sdci::ripple

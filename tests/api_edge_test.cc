@@ -1,0 +1,136 @@
+// Edge cases on the service surfaces: malformed API requests, missing
+// services, and shutdown while peers are blocked.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "monitor/aggregator.h"
+#include "monitor/consumer.h"
+
+namespace sdci::monitor {
+namespace {
+
+TEST(ApiEdge, MalformedQueryGetsErrorEnvelope) {
+  TimeAuthority authority(2000.0);
+  const auto profile = lustre::TestbedProfile::Test();
+  msgq::Context context;
+  AggregatorConfig config;
+  Aggregator aggregator(profile, authority, context, config);
+  aggregator.Start();
+
+  auto req = context.CreateReq(config.api_endpoint);
+  auto reply = req->RequestReply(msgq::Message("api.query", "{{{not json"),
+                                 std::chrono::seconds(5));
+  ASSERT_TRUE(reply.ok());
+  auto parsed = json::Parse(reply->payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Has("error"));
+  aggregator.Stop();
+}
+
+TEST(ApiEdge, HistoryClientWithoutAggregatorIsUnavailable) {
+  msgq::Context context;
+  HistoryClient history(context, "inproc://nobody.home");
+  const auto page = history.Fetch(1, 10, std::chrono::milliseconds(50));
+  EXPECT_EQ(page.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ApiEdge, HistoryClientSurfacesServerErrors) {
+  TimeAuthority authority(2000.0);
+  const auto profile = lustre::TestbedProfile::Test();
+  msgq::Context context;
+  AggregatorConfig config;
+  Aggregator aggregator(profile, authority, context, config);
+  aggregator.Start();
+  // Empty store: valid query, empty result (not an error).
+  HistoryClient history(context, config.api_endpoint);
+  auto page = history.Fetch(1, 10);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(page->events.empty());
+  EXPECT_EQ(page->last_seq, 0u);
+  aggregator.Stop();
+}
+
+TEST(ApiEdge, PullSocketCloseWakesBlockedPusher) {
+  msgq::Context context;
+  auto push = context.CreatePush("inproc://pp");
+  auto pull = context.CreatePull("inproc://pp", /*hwm=*/1);
+  ASSERT_TRUE(push->Push(msgq::Message("t", "fill")).ok());
+  std::atomic<bool> returned{false};
+  std::thread pusher([&] {
+    // Blocks: the only puller is full.
+    (void)push->Push(msgq::Message("t", "blocked"));
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(returned.load());
+  pull->Close();
+  pusher.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(ApiEdge, SubscriberCloseWakesBlockedPublisher) {
+  msgq::Context context;
+  auto pub = context.CreatePub("inproc://bp");
+  auto sub = context.CreateSub("inproc://bp", /*hwm=*/1, msgq::HwmPolicy::kBlock);
+  sub->Subscribe("");
+  pub->Publish(msgq::Message("t", "fill"));
+  std::atomic<bool> returned{false};
+  std::thread publisher([&] {
+    pub->Publish(msgq::Message("t", "blocked"));
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(returned.load());
+  sub->Close();
+  publisher.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(ApiEdge, RequestReplyIsSingleShot) {
+  msgq::Context context;
+  auto rep = context.CreateRep("inproc://once");
+  auto req = context.CreateReq("inproc://once");
+  std::thread server([&] {
+    auto request = rep->Receive();
+    ASSERT_TRUE(request.ok());
+    request->Reply(msgq::Message("r", "first"));
+    request->Reply(msgq::Message("r", "second"));  // silently ignored
+  });
+  auto reply = req->RequestReply(msgq::Message("q", "x"), std::chrono::seconds(5));
+  server.join();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->payload, "first");
+}
+
+TEST(ApiEdge, TimeRangeQueryOverApi) {
+  TimeAuthority authority(2000.0);
+  const auto profile = lustre::TestbedProfile::Test();
+  msgq::Context context;
+  AggregatorConfig config;
+  Aggregator aggregator(profile, authority, context, config);
+  aggregator.Start();
+  auto pub = context.CreatePub(config.collect_endpoint);
+  std::vector<FsEvent> batch;
+  for (int i = 1; i <= 6; ++i) {
+    FsEvent event;
+    event.record_index = static_cast<uint64_t>(i);
+    event.type = lustre::ChangeLogType::kCreate;
+    event.time = Millis(i * 10);
+    event.path = "/t" + std::to_string(i);
+    batch.push_back(std::move(event));
+  }
+  pub->Publish(msgq::Message("collect.mdt0", EncodeEventBatch(batch)));
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (aggregator.Stats().stored < 6 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  HistoryClient history(context, config.api_endpoint);
+  auto page = history.FetchTimeRange(Millis(20), Millis(50), 100);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->events.size(), 3u);  // 20, 30, 40 ms
+  aggregator.Stop();
+}
+
+}  // namespace
+}  // namespace sdci::monitor

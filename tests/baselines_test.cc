@@ -1,0 +1,190 @@
+// Tests for the three non-hierarchical monitoring approaches: the inotify
+// model, the crawl-and-diff polling monitor and the Robinhood-style
+// centralized collector.
+#include <gtest/gtest.h>
+
+#include "monitor/centralized.h"
+#include "monitor/inotify_sim.h"
+#include "monitor/polling_monitor.h"
+
+namespace sdci::monitor {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest()
+      : authority_(2000.0),
+        profile_(lustre::TestbedProfile::Test()),
+        fs_(lustre::FileSystemConfig::FromProfile(profile_), authority_) {}
+
+  TimeAuthority authority_;
+  lustre::TestbedProfile profile_;
+  lustre::FileSystem fs_;
+};
+
+TEST_F(BaselinesTest, InotifySetupCountsWatchesAndMemory) {
+  ASSERT_TRUE(fs_.MkdirAll("/w/a/b").ok());
+  ASSERT_TRUE(fs_.MkdirAll("/w/c").ok());
+  ASSERT_TRUE(fs_.Create("/w/a/f").ok());
+  InotifyMonitor inotify(fs_, authority_);
+  auto setup = inotify.Watch("/w");
+  ASSERT_TRUE(setup.ok());
+  EXPECT_EQ(setup->watches_installed, 4u);  // w, a, b, c
+  EXPECT_EQ(setup->entries_crawled, 5u);    // + the file
+  EXPECT_EQ(setup->kernel_memory_bytes, 4u * 1024);
+  EXPECT_GT(setup->setup_time, VirtualDuration::zero());
+}
+
+TEST_F(BaselinesTest, InotifySeesOnlyWatchedDirectories) {
+  ASSERT_TRUE(fs_.MkdirAll("/watched").ok());
+  ASSERT_TRUE(fs_.MkdirAll("/elsewhere").ok());
+  InotifyMonitor inotify(fs_, authority_);
+  ASSERT_TRUE(inotify.Watch("/watched").ok());
+
+  ASSERT_TRUE(fs_.Create("/watched/in.txt").ok());
+  ASSERT_TRUE(fs_.Create("/elsewhere/out.txt").ok());
+  const auto events = inotify.Poll();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].path, "/watched/in.txt");
+  EXPECT_EQ(inotify.DroppedInvisible(), 1u) << "the site-wide blind spot";
+}
+
+TEST_F(BaselinesTest, InotifyIgnoresHistory) {
+  ASSERT_TRUE(fs_.MkdirAll("/h").ok());
+  ASSERT_TRUE(fs_.Create("/h/old.txt").ok());
+  InotifyMonitor inotify(fs_, authority_);
+  ASSERT_TRUE(inotify.Watch("/h").ok());
+  EXPECT_TRUE(inotify.Poll().empty()) << "events before Watch are invisible";
+}
+
+TEST_F(BaselinesTest, InotifyAutoWatchesNewSubdirectories) {
+  ASSERT_TRUE(fs_.MkdirAll("/r").ok());
+  InotifyMonitor inotify(fs_, authority_);
+  ASSERT_TRUE(inotify.Watch("/r").ok());
+  ASSERT_TRUE(fs_.Mkdir("/r/new").ok());
+  EXPECT_EQ(inotify.Poll().size(), 1u);
+  ASSERT_TRUE(fs_.Create("/r/new/f").ok());
+  const auto events = inotify.Poll();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].path, "/r/new/f");
+  EXPECT_EQ(inotify.WatchCount(), 2u);
+}
+
+TEST_F(BaselinesTest, InotifyWatchLimitFailsSetup) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fs_.MkdirAll("/big/d" + std::to_string(i)).ok());
+  }
+  InotifyConfig config;
+  config.max_watches = 5;
+  InotifyMonitor inotify(fs_, authority_, config);
+  const auto setup = inotify.Watch("/big");
+  EXPECT_EQ(setup.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(inotify.WatchCount(), 5u) << "partial installation remains";
+}
+
+TEST_F(BaselinesTest, PollingFirstScanIsBaseline) {
+  ASSERT_TRUE(fs_.Create("/f0").ok());
+  PollingMonitor poller(fs_, authority_);
+  PollingScanStats stats;
+  EXPECT_TRUE(poller.Scan(&stats).empty());
+  EXPECT_EQ(stats.entries_scanned, 2u);  // root + f0
+  EXPECT_GT(stats.scan_time, VirtualDuration::zero());
+}
+
+TEST_F(BaselinesTest, PollingDetectsCreateModifyDelete) {
+  ASSERT_TRUE(fs_.MkdirAll("/p").ok());
+  ASSERT_TRUE(fs_.Create("/p/keep").ok());
+  ASSERT_TRUE(fs_.Create("/p/gone").ok());
+  PollingMonitor poller(fs_, authority_);
+  (void)poller.Scan();
+
+  ASSERT_TRUE(fs_.Create("/p/new").ok());
+  authority_.SleepFor(Millis(1));  // ensure distinct mtime
+  ASSERT_TRUE(fs_.WriteFile("/p/keep", 777).ok());
+  ASSERT_TRUE(fs_.Unlink("/p/gone").ok());
+
+  PollingScanStats stats;
+  const auto events = poller.Scan(&stats);
+  EXPECT_EQ(stats.created, 1u);
+  EXPECT_EQ(stats.modified, 1u);
+  EXPECT_EQ(stats.deleted, 1u);
+  ASSERT_EQ(events.size(), 3u);
+}
+
+TEST_F(BaselinesTest, PollingMissesShortLivedFiles) {
+  PollingMonitor poller(fs_, authority_);
+  (void)poller.Scan();
+  ASSERT_TRUE(fs_.Create("/blink").ok());
+  ASSERT_TRUE(fs_.Unlink("/blink").ok());
+  PollingScanStats stats;
+  EXPECT_TRUE(poller.Scan(&stats).empty()) << "short-lived file invisible to polling";
+  EXPECT_EQ(stats.created + stats.deleted, 0u);
+}
+
+TEST_F(BaselinesTest, PollingCoalescesRepeatedModifications) {
+  ASSERT_TRUE(fs_.Create("/m").ok());
+  PollingMonitor poller(fs_, authority_);
+  (void)poller.Scan();
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(fs_.WriteFile("/m", static_cast<uint64_t>(i * 100)).ok());
+  }
+  PollingScanStats stats;
+  (void)poller.Scan(&stats);
+  EXPECT_EQ(stats.modified, 1u) << "five writes observed as one";
+}
+
+TEST_F(BaselinesTest, PollingSeesReplaceAsCreate) {
+  ASSERT_TRUE(fs_.Create("/r.txt").ok());
+  PollingMonitor poller(fs_, authority_);
+  (void)poller.Scan();
+  ASSERT_TRUE(fs_.Unlink("/r.txt").ok());
+  ASSERT_TRUE(fs_.Create("/r.txt").ok());  // same name, new inode
+  PollingScanStats stats;
+  (void)poller.Scan(&stats);
+  EXPECT_EQ(stats.created, 1u);
+  EXPECT_EQ(stats.modified, 0u);
+}
+
+TEST_F(BaselinesTest, CentralizedDrainMatchesChangeLogs) {
+  lustre::FileSystemConfig config = lustre::FileSystemConfig::FromProfile(profile_);
+  config.mds_count = 3;
+  config.dir_placement = lustre::DirPlacement::kRoundRobin;
+  lustre::FileSystem fs(config, authority_);
+  uint64_t expected = 0;
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(fs.Mkdir("/c" + std::to_string(i)).ok());
+    ASSERT_TRUE(fs.Create("/c" + std::to_string(i) + "/f").ok());
+    expected += 2;
+  }
+  CentralizedCollector central(fs, profile_, authority_);
+  EXPECT_EQ(central.DrainOnce(), expected);
+  EXPECT_EQ(central.Stats().stored, expected);
+  // Paths resolved into the central store.
+  const auto events = central.store().Query(1, 1000);
+  ASSERT_EQ(events.size(), expected);
+  for (const auto& event : events) {
+    EXPECT_FALSE(event.path.empty()) << event.ToString();
+  }
+  // Purged all logs.
+  for (size_t m = 0; m < fs.MdsCount(); ++m) {
+    EXPECT_EQ(fs.Mds(m).changelog().RetainedCount(), 0u) << m;
+  }
+}
+
+TEST_F(BaselinesTest, CentralizedThreadedRun) {
+  CentralizedCollector central(fs_, profile_, authority_,
+                               CentralizedConfig{.poll_interval = Millis(1)});
+  central.Start();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(fs_.Create("/t" + std::to_string(i)).ok());
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (central.Stats().stored < 20 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  central.Stop();
+  EXPECT_EQ(central.Stats().stored, 20u);
+}
+
+}  // namespace
+}  // namespace sdci::monitor

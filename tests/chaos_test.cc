@@ -1,0 +1,100 @@
+// Chaos integration: every fault injector at once. Collectors crash at
+// random, agent->cloud reports drop, Lambda workers die mid-processing —
+// and the end-to-end invariant must still hold: every matching file event
+// produces exactly one executed action (agent dedupe absorbs the
+// duplicate deliveries that at-least-once layers produce).
+#include <gtest/gtest.h>
+
+#include "lustre/client.h"
+#include "monitor/aggregator.h"
+#include "monitor/consumer.h"
+#include "monitor/supervisor.h"
+#include "ripple/agent.h"
+#include "ripple/cloud.h"
+
+namespace sdci {
+namespace {
+
+TEST(Chaos, ExactlyOnceActionsUnderEveryFaultInjector) {
+  TimeAuthority authority(2000.0);
+  const auto profile = lustre::TestbedProfile::Test();
+  lustre::FileSystem fs(lustre::FileSystemConfig::FromProfile(profile), authority);
+  msgq::Context context;
+
+  // Monitor half: supervised collectors that crash randomly + aggregator.
+  monitor::AggregatorConfig agg_config;
+  agg_config.store_capacity = 1u << 20;
+  monitor::Aggregator aggregator(profile, authority, context, agg_config);
+  aggregator.Start();
+  monitor::CollectorConfig collector_config;
+  collector_config.poll_interval = Millis(1);
+  collector_config.read_batch = 16;
+  monitor::SupervisorConfig sup_config;
+  sup_config.check_interval = Millis(10);
+  sup_config.crash_prob_per_check = 0.15;
+  sup_config.fault_seed = 77;
+  monitor::CollectorSupervisor supervisor(fs, profile, authority, context,
+                                          collector_config, sup_config);
+  supervisor.Start();
+
+  // Ripple half: lossy reports, crashing workers.
+  ripple::CloudConfig cloud_config;
+  cloud_config.worker_poll = Millis(1);
+  cloud_config.cleanup_interval = Millis(5);
+  cloud_config.queue.visibility_timeout = Millis(20);
+  cloud_config.report_drop_prob = 0.2;
+  cloud_config.worker_crash_prob = 0.2;
+  cloud_config.fault_seed = 1234;
+  ripple::CloudService cloud(authority, cloud_config);
+  cloud.Start();
+  ripple::EndpointRegistry endpoints;
+  endpoints.Register("site", fs);
+  ripple::AgentConfig agent_config;
+  agent_config.name = "site";
+  agent_config.report_backoff = Millis(1);
+  ripple::Agent agent(agent_config, fs, cloud, endpoints, authority);
+  agent.AttachSource(std::make_unique<monitor::EventSubscriber>(
+      context, agg_config.publish_endpoint, "fsevent.", 1u << 18,
+      msgq::HwmPolicy::kBlock));
+  auto rule = ripple::Rule::Parse(R"({
+    "id": "audit",
+    "trigger": {"events": ["created"], "path": "/hot/**"},
+    "action": {"type": "email", "agent": "site", "params": {"to": "audit@site"}}
+  })");
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(cloud.RegisterRule(*rule).ok());
+  agent.Start();
+
+  // The workload.
+  lustre::Client client(fs, profile, authority);
+  ASSERT_TRUE(client.MkdirAll("/hot").ok());
+  constexpr int kFiles = 120;
+  for (int i = 0; i < kFiles; ++i) {
+    ASSERT_TRUE(client.Create("/hot/f" + std::to_string(i)).ok());
+    if (i % 20 == 0) authority.SleepFor(Millis(15));  // let crashes interleave
+  }
+  client.FlushDelay();
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (agent.outbox().Count() < kFiles &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  agent.Stop();
+  cloud.Stop();
+  supervisor.Stop();
+  aggregator.Stop();
+
+  EXPECT_EQ(agent.outbox().Count(), static_cast<size_t>(kFiles))
+      << "collector crashes: " << supervisor.crashes()
+      << ", dropped reports: " << cloud.Stats().reports_dropped
+      << ", worker crashes: " << cloud.Stats().worker_crashes;
+  // The chaos must actually have happened for the test to mean anything.
+  EXPECT_GT(supervisor.crashes() + cloud.Stats().reports_dropped +
+                cloud.Stats().worker_crashes,
+            0u);
+  EXPECT_EQ(agent.Stats().report_failures, 0u);
+}
+
+}  // namespace
+}  // namespace sdci

@@ -1,0 +1,112 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sdci {
+namespace {
+
+TEST(TimeAuthority, NowAdvancesMonotonically) {
+  TimeAuthority authority(100.0);
+  const VirtualTime a = authority.Now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const VirtualTime b = authority.Now();
+  EXPECT_GT(b, a);
+}
+
+TEST(TimeAuthority, DilationScalesVirtualTime) {
+  TimeAuthority authority(50.0);
+  const VirtualTime before = authority.Now();
+  authority.SleepFor(Millis(100));  // 100 virtual ms = 2 real ms
+  const VirtualTime after = authority.Now();
+  const auto elapsed = after - before;
+  EXPECT_GE(elapsed, Millis(95));
+  EXPECT_LE(elapsed, Millis(200));  // generous slack for CI noise
+}
+
+TEST(TimeAuthority, ToRealInvertsDilation) {
+  TimeAuthority authority(10.0);
+  EXPECT_EQ(authority.ToReal(Millis(100)), std::chrono::milliseconds(10));
+}
+
+TEST(TimeAuthority, SleepUntilPastIsInstant) {
+  TimeAuthority authority(100.0);
+  const auto start = std::chrono::steady_clock::now();
+  authority.SleepUntil(VirtualTime::zero());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::milliseconds(5));
+}
+
+TEST(DelayBudget, AccumulatesTotalCharged) {
+  TimeAuthority authority(1000.0);
+  DelayBudget budget(authority);
+  budget.Charge(Millis(10));
+  budget.Charge(Millis(5));
+  EXPECT_EQ(budget.TotalCharged(), Millis(15));
+}
+
+TEST(DelayBudget, FlushPaysDebtInVirtualTime) {
+  TimeAuthority authority(100.0);
+  DelayBudget budget(authority);
+  const VirtualTime before = authority.Now();
+  budget.Charge(Millis(200));  // 2ms real at 100x
+  budget.Flush();
+  const auto elapsed = authority.Now() - before;
+  EXPECT_GE(elapsed, Millis(180));
+}
+
+TEST(DelayBudget, PacedLoopMatchesModeledRate) {
+  TimeAuthority authority(200.0);
+  DelayBudget budget(authority);
+  const VirtualTime start = authority.Now();
+  constexpr int kOps = 2000;
+  for (int i = 0; i < kOps; ++i) {
+    budget.Charge(Millis(1));  // 1 virtual ms per op
+  }
+  budget.Flush();
+  const double elapsed_s = ToSecondsF(authority.Now() - start);
+  const double rate = kOps / elapsed_s;
+  // Modeled rate is 1000 ops/virtual-second. The tolerance is generous
+  // because CI boxes run this suite alongside compile jobs; the tight
+  // calibration claims are validated by bench_table2 instead.
+  EXPECT_GT(rate, 800.0);
+  EXPECT_LT(rate, 1200.0);
+}
+
+TEST(DelayBudget, NettingCoversRealWork) {
+  // Charge ops whose modeled cost greatly exceeds the CPU burned between
+  // charges: total elapsed should track the model, not model + work.
+  TimeAuthority authority(50.0);
+  DelayBudget budget(authority);
+  const VirtualTime start = authority.Now();
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 1000; ++j) sink = sink + j;  // some real CPU work
+    budget.Charge(Millis(2));
+  }
+  budget.Flush();
+  const double elapsed_s = ToSecondsF(authority.Now() - start);
+  EXPECT_NEAR(elapsed_s, 0.2, 0.05);  // 100 x 2ms modeled
+}
+
+TEST(FormatClockTime, HhMmSsFraction) {
+  const VirtualTime t = std::chrono::hours(20) + std::chrono::minutes(15) +
+                        std::chrono::seconds(37) + std::chrono::microseconds(113800);
+  EXPECT_EQ(FormatClockTime(t), "20:15:37.1138");
+  EXPECT_EQ(FormatClockTime(VirtualTime::zero()), "00:00:00.0000");
+}
+
+TEST(FormatDuration, PicksUnits) {
+  EXPECT_EQ(FormatDuration(VirtualDuration(500)), "500 ns");
+  EXPECT_EQ(FormatDuration(Micros(1500)), "1.50 ms");
+  EXPECT_EQ(FormatDuration(Seconds(2.5)), "2.50 s");
+}
+
+TEST(ConversionHelpers, MicrosMillisSeconds) {
+  EXPECT_EQ(Micros(1000), Millis(1));
+  EXPECT_EQ(Seconds(0.001), Millis(1));
+  EXPECT_DOUBLE_EQ(ToSecondsF(Millis(1500)), 1.5);
+}
+
+}  // namespace
+}  // namespace sdci

@@ -1,0 +1,80 @@
+#include "monitor/event_store.h"
+
+#include <gtest/gtest.h>
+
+namespace sdci::monitor {
+namespace {
+
+FsEvent EventWithSeq(uint64_t seq) {
+  FsEvent event;
+  event.global_seq = seq;
+  event.time = Micros(static_cast<int64_t>(seq) * 1000);
+  event.path = "/p/f" + std::to_string(seq);
+  return event;
+}
+
+TEST(EventStore, AppendAndQueryAll) {
+  EventStore store(100);
+  for (uint64_t s = 1; s <= 10; ++s) store.Append(EventWithSeq(s));
+  EXPECT_EQ(store.Size(), 10u);
+  EXPECT_EQ(store.FirstSeq(), 1u);
+  EXPECT_EQ(store.LastSeq(), 10u);
+  const auto events = store.Query(1, 100);
+  ASSERT_EQ(events.size(), 10u);
+  EXPECT_EQ(events.front().global_seq, 1u);
+  EXPECT_EQ(events.back().global_seq, 10u);
+}
+
+TEST(EventStore, QueryFromMidAndMax) {
+  EventStore store(100);
+  for (uint64_t s = 1; s <= 10; ++s) store.Append(EventWithSeq(s));
+  const auto events = store.Query(5, 3);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].global_seq, 5u);
+  EXPECT_EQ(events[2].global_seq, 7u);
+  EXPECT_TRUE(store.Query(11, 10).empty());
+}
+
+TEST(EventStore, RotationEvictsOldest) {
+  EventStore store(5);
+  for (uint64_t s = 1; s <= 12; ++s) store.Append(EventWithSeq(s));
+  EXPECT_EQ(store.Size(), 5u);
+  EXPECT_EQ(store.FirstSeq(), 8u);
+  EXPECT_EQ(store.TotalAppended(), 12u);
+  uint64_t first_available = 0;
+  const auto events = store.Query(1, 100, &first_available);
+  EXPECT_EQ(first_available, 8u) << "caller can detect the gap";
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].global_seq, 8u);
+}
+
+TEST(EventStore, QueryTimeRange) {
+  EventStore store(100);
+  for (uint64_t s = 1; s <= 10; ++s) store.Append(EventWithSeq(s));
+  // times are s*1000us; [3000us, 6000us) covers seq 3..5
+  const auto events = store.QueryTimeRange(Micros(3000), Micros(6000), 100);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].global_seq, 3u);
+  EXPECT_EQ(events[2].global_seq, 5u);
+}
+
+TEST(EventStore, MemoryFollowsRotation) {
+  EventStore store(4);
+  for (uint64_t s = 1; s <= 4; ++s) store.Append(EventWithSeq(s));
+  const uint64_t full = store.memory().CurrentBytes();
+  EXPECT_GT(full, 0u);
+  for (uint64_t s = 5; s <= 50; ++s) store.Append(EventWithSeq(s));
+  // Still ~4 events retained; memory should not balloon.
+  EXPECT_LT(store.memory().CurrentBytes(), full * 2);
+  EXPECT_GE(store.memory().PeakBytes(), store.memory().CurrentBytes());
+}
+
+TEST(EventStore, EmptyStore) {
+  EventStore store(10);
+  EXPECT_EQ(store.FirstSeq(), 0u);
+  EXPECT_EQ(store.LastSeq(), 0u);
+  EXPECT_TRUE(store.Query(0, 10).empty());
+}
+
+}  // namespace
+}  // namespace sdci::monitor

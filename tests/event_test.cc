@@ -1,0 +1,119 @@
+#include "monitor/event.h"
+
+#include <gtest/gtest.h>
+
+namespace sdci::monitor {
+namespace {
+
+FsEvent SampleEvent(uint64_t seq = 7) {
+  FsEvent event;
+  event.mdt_index = 2;
+  event.record_index = 13106;
+  event.global_seq = seq;
+  event.type = lustre::ChangeLogType::kCreate;
+  event.time = Micros(123456789);
+  event.flags = 0x1;
+  event.path = "/proj/data/scan.h5";
+  event.name = "scan.h5";
+  event.target_fid = lustre::Fid{0x200000402ull, 0xa046, 0};
+  event.parent_fid = lustre::Fid::Root();
+  return event;
+}
+
+void ExpectEventsEqual(const FsEvent& a, const FsEvent& b) {
+  EXPECT_EQ(a.mdt_index, b.mdt_index);
+  EXPECT_EQ(a.record_index, b.record_index);
+  EXPECT_EQ(a.global_seq, b.global_seq);
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.flags, b.flags);
+  EXPECT_EQ(a.path, b.path);
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.source_path, b.source_path);
+  EXPECT_EQ(a.target_fid, b.target_fid);
+  EXPECT_EQ(a.parent_fid, b.parent_fid);
+}
+
+TEST(EventCodec, BinaryRoundTrip) {
+  std::vector<FsEvent> batch{SampleEvent(1), SampleEvent(2), SampleEvent(3)};
+  batch[1].type = lustre::ChangeLogType::kRename;
+  batch[1].source_path = "/proj/old/scan.h5";
+  const std::string payload = EncodeEventBatch(batch);
+  auto decoded = DecodeEventBatch(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) ExpectEventsEqual((*decoded)[i], batch[i]);
+}
+
+TEST(EventCodec, EmptyBatchRoundTrips) {
+  auto decoded = DecodeEventBatch(EncodeEventBatch({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(EventCodec, RejectsTruncatedPayload) {
+  const std::string payload = EncodeEventBatch({SampleEvent()});
+  for (const size_t cut : {size_t{0}, size_t{1}, size_t{5}, payload.size() / 2, payload.size() - 1}) {
+    EXPECT_FALSE(DecodeEventBatch(std::string_view(payload).substr(0, cut)).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(EventCodec, RejectsTrailingGarbage) {
+  EXPECT_FALSE(DecodeEventBatch(EncodeEventBatch({SampleEvent()}) + "x").ok());
+}
+
+TEST(EventCodec, RejectsBadVersionAndType) {
+  std::string payload = EncodeEventBatch({SampleEvent()});
+  payload[0] = 0x7F;  // clobber version
+  EXPECT_FALSE(DecodeEventBatch(payload).ok());
+
+  payload = EncodeEventBatch({SampleEvent()});
+  // type byte location: version(2) + count(4) + mdt(4) + index(8) + seq(8)
+  payload[2 + 4 + 4 + 8 + 8] = 99;
+  EXPECT_FALSE(DecodeEventBatch(payload).ok());
+}
+
+TEST(EventJson, RoundTrip) {
+  FsEvent event = SampleEvent();
+  event.type = lustre::ChangeLogType::kRename;
+  event.source_path = "/old/path";
+  auto decoded = FsEvent::FromJson(event.ToJson());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectEventsEqual(*decoded, event);
+}
+
+TEST(EventJson, RoundTripThroughText) {
+  const FsEvent event = SampleEvent();
+  auto parsed = json::Parse(event.ToJson().Dump());
+  ASSERT_TRUE(parsed.ok());
+  auto decoded = FsEvent::FromJson(*parsed);
+  ASSERT_TRUE(decoded.ok());
+  ExpectEventsEqual(*decoded, event);
+}
+
+TEST(EventJson, RejectsNonObject) {
+  EXPECT_FALSE(FsEvent::FromJson(json::Value(3)).ok());
+  EXPECT_FALSE(FsEvent::FromJson(json::Value("x")).ok());
+}
+
+TEST(EventTopic, EncodesType) {
+  FsEvent event = SampleEvent();
+  EXPECT_EQ(EventTopic(event), "fsevent.CREAT");
+  event.type = lustre::ChangeLogType::kUnlink;
+  EXPECT_EQ(EventTopic(event), "fsevent.UNLNK");
+}
+
+TEST(EventToString, HumanReadable) {
+  FsEvent event = SampleEvent();
+  EXPECT_EQ(event.ToString(), "CREAT /proj/data/scan.h5");
+  event.path.clear();
+  EXPECT_EQ(event.ToString(), "CREAT <[0x200000402:0xa046:0x0]>");
+  event = SampleEvent();
+  event.type = lustre::ChangeLogType::kRename;
+  event.source_path = "/a/b";
+  EXPECT_EQ(event.ToString(), "RENME /proj/data/scan.h5 from /a/b");
+}
+
+}  // namespace
+}  // namespace sdci::monitor

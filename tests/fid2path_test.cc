@@ -1,0 +1,153 @@
+#include "lustre/fid2path.h"
+
+#include <gtest/gtest.h>
+
+#include "lustre/client.h"
+
+namespace sdci::lustre {
+namespace {
+
+class Fid2PathTest : public ::testing::Test {
+ protected:
+  Fid2PathTest()
+      : authority_(1000.0),
+        profile_(TestbedProfile::Test()),
+        fs_(FileSystemConfig::FromProfile(profile_), authority_),
+        service_(fs_, profile_),
+        budget_(authority_) {
+    EXPECT_TRUE(fs_.MkdirAll("/proj/data").ok());
+    EXPECT_TRUE(fs_.Create("/proj/data/f1").ok());
+  }
+
+  TimeAuthority authority_;
+  TestbedProfile profile_;
+  FileSystem fs_;
+  Fid2PathService service_;
+  DelayBudget budget_;
+};
+
+TEST_F(Fid2PathTest, ResolvesAndCounts) {
+  const Fid dir = *fs_.Lookup("/proj/data");
+  auto path = service_.Resolve(dir, budget_);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, "/proj/data");
+  EXPECT_EQ(service_.calls(), 1u);
+  EXPECT_EQ(service_.resolved(), 1u);
+  EXPECT_EQ(service_.failures(), 0u);
+}
+
+TEST_F(Fid2PathTest, FailureCounted) {
+  auto path = service_.Resolve(Fid{kFidSeqBase, 12345, 0}, budget_);
+  EXPECT_FALSE(path.ok());
+  EXPECT_EQ(service_.failures(), 1u);
+}
+
+TEST_F(Fid2PathTest, BatchResolvesAllWithOneCall) {
+  const Fid a = *fs_.Lookup("/proj");
+  const Fid b = *fs_.Lookup("/proj/data");
+  const Fid bad{kFidSeqBase, 9999, 0};
+  const std::vector<Fid> batch{a, b, bad};
+  auto paths = service_.ResolveBatch(batch, budget_);
+  ASSERT_TRUE(paths.ok());
+  ASSERT_EQ(paths->size(), 3u);
+  EXPECT_EQ((*paths)[0], "/proj");
+  EXPECT_EQ((*paths)[1], "/proj/data");
+  EXPECT_EQ((*paths)[2], "");  // failure slot is empty, not fatal
+  EXPECT_EQ(service_.calls(), 1u);
+  EXPECT_EQ(service_.failures(), 1u);
+  EXPECT_FALSE(service_.ResolveBatch({}, budget_).ok());
+}
+
+TEST_F(Fid2PathTest, BatchCostIsAmortized) {
+  TestbedProfile profile = TestbedProfile::Iota();
+  Fid2PathService costed(fs_, profile);
+  DelayBudget budget(authority_);
+  const Fid dir = *fs_.Lookup("/proj/data");
+  std::vector<Fid> batch(64, dir);
+  const auto before = budget.TotalCharged();
+  ASSERT_TRUE(costed.ResolveBatch(batch, budget).ok());
+  const auto batch_cost = budget.TotalCharged() - before;
+  const auto expected =
+      profile.fid2path_batch_base + profile.fid2path_batch_per_item * 64;
+  EXPECT_EQ(batch_cost, expected);
+  EXPECT_LT(batch_cost, profile.fid2path_latency * 64) << "batching must be cheaper";
+}
+
+TEST_F(Fid2PathTest, CachedResolverHitsAfterMiss) {
+  CachedPathResolver cache(service_, 16);
+  const Fid dir = *fs_.Lookup("/proj/data");
+  ASSERT_EQ(*cache.ResolveParent(dir, budget_), "/proj/data");
+  ASSERT_EQ(*cache.ResolveParent(dir, budget_), "/proj/data");
+  EXPECT_EQ(service_.calls(), 1u) << "second lookup served from cache";
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST_F(Fid2PathTest, PeekNeverFallsThrough) {
+  CachedPathResolver cache(service_, 16);
+  const Fid dir = *fs_.Lookup("/proj/data");
+  EXPECT_FALSE(cache.Peek(dir).has_value());
+  EXPECT_EQ(service_.calls(), 0u);
+  cache.Prime(dir, "/proj/data");
+  EXPECT_EQ(*cache.Peek(dir), "/proj/data");
+  EXPECT_EQ(service_.calls(), 0u);
+}
+
+TEST_F(Fid2PathTest, InvalidateForcesReResolve) {
+  CachedPathResolver cache(service_, 16);
+  const Fid dir = *fs_.Lookup("/proj/data");
+  ASSERT_TRUE(cache.ResolveParent(dir, budget_).ok());
+  // Rename the directory: the cached path is stale.
+  ASSERT_TRUE(fs_.Rename("/proj/data", "/proj/data2").ok());
+  cache.Invalidate(dir);
+  EXPECT_EQ(*cache.ResolveParent(dir, budget_), "/proj/data2");
+}
+
+TEST_F(Fid2PathTest, StaleCacheWithoutInvalidationIsWrong) {
+  // Documents WHY the collector clears its cache on renames: without
+  // invalidation the cache serves the pre-rename path.
+  CachedPathResolver cache(service_, 16);
+  const Fid dir = *fs_.Lookup("/proj/data");
+  ASSERT_TRUE(cache.ResolveParent(dir, budget_).ok());
+  ASSERT_TRUE(fs_.Rename("/proj/data", "/proj/moved").ok());
+  EXPECT_EQ(*cache.ResolveParent(dir, budget_), "/proj/data") << "stale by design";
+}
+
+TEST(ClientTest, ChargesModeledLatency) {
+  TimeAuthority authority(1000.0);
+  auto profile = TestbedProfile::Aws();
+  FileSystem fs(FileSystemConfig::FromProfile(profile), authority);
+  Client client(fs, profile, authority, /*seed=*/5);
+  ASSERT_TRUE(client.Create("/f1").ok());
+  ASSERT_TRUE(client.WriteFile("/f1", 100).ok());
+  ASSERT_TRUE(client.Unlink("/f1").ok());
+  const double charged = ToSecondsF(client.TotalCharged());
+  const double expected = ToSecondsF(profile.op.create) +
+                          ToSecondsF(profile.op.write) +
+                          ToSecondsF(profile.op.unlink);
+  EXPECT_NEAR(charged, expected, expected * profile.op.jitter_frac * 1.01);
+}
+
+TEST(ClientTest, OpsForwardToFileSystem) {
+  TimeAuthority authority(1000.0);
+  const auto profile = TestbedProfile::Test();
+  FileSystem fs(FileSystemConfig::FromProfile(profile), authority);
+  Client client(fs, profile, authority);
+  ASSERT_TRUE(client.MkdirAll("/a/b").ok());
+  ASSERT_TRUE(client.Create("/a/b/f").ok());
+  ASSERT_TRUE(client.Hardlink("/a/b/f", "/a/b/g").ok());
+  ASSERT_TRUE(client.Symlink("/a/b/f", "/a/b/s").ok());
+  SetAttrRequest chmod_request;
+  chmod_request.mode = 0600;
+  ASSERT_TRUE(client.SetAttr("/a/b/f", chmod_request).ok());
+  ASSERT_TRUE(client.Rename("/a/b/g", "/a/b/g2").ok());
+  auto entries = client.ReadDir("/a/b");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 3u);  // f, g2, s
+  EXPECT_EQ(client.Stat("/a/b/f")->attrs.mode, 0600u);
+  ASSERT_TRUE(client.Rmdir("/a").code() == StatusCode::kFailedPrecondition);
+  client.FlushDelay();
+}
+
+}  // namespace
+}  // namespace sdci::lustre

@@ -1,0 +1,100 @@
+#include "lustre/fid.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace sdci::lustre {
+namespace {
+
+TEST(Fid, RendersLustreStyle) {
+  const Fid fid{0x200000402ull, 0xa046, 0};
+  EXPECT_EQ(fid.ToString(), "[0x200000402:0xa046:0x0]");
+  EXPECT_EQ(Fid::Root().ToString(), "[0x200000007:0x1:0x0]");
+}
+
+TEST(Fid, ParseRoundTrip) {
+  const Fid cases[] = {
+      Fid::Root(), Fid{0x200000400ull, 2, 0}, Fid{kFidSeqBase + 3 * kFidSeqStride, 77, 9},
+      Fid{UINT64_MAX, UINT32_MAX, UINT32_MAX}};
+  for (const Fid& fid : cases) {
+    auto parsed = Fid::Parse(fid.ToString());
+    ASSERT_TRUE(parsed.ok()) << fid.ToString();
+    EXPECT_EQ(*parsed, fid);
+  }
+}
+
+TEST(Fid, ParseAcceptsChangelogPrefixes) {
+  EXPECT_EQ(*Fid::Parse("t=[0x200000402:0xa046:0x0]"), (Fid{0x200000402ull, 0xa046, 0}));
+  EXPECT_EQ(*Fid::Parse("p=[0x200000007:0x1:0x0]"), Fid::Root());
+  EXPECT_EQ(*Fid::Parse("  [0x1:0x2:0x3]  "), (Fid{1, 2, 3}));
+}
+
+TEST(Fid, ParseRejectsMalformed) {
+  const char* cases[] = {"",          "[",          "[0x1:0x2]",
+                         "0x1:0x2:0x3", "[1:2:3:4]", "[x:y:z]",
+                         "[0x1:0x100000000:0x0]"};
+  for (const char* text : cases) {
+    EXPECT_FALSE(Fid::Parse(text).ok()) << text;
+  }
+}
+
+TEST(Fid, ZeroAndRootPredicates) {
+  EXPECT_TRUE(Fid::Zero().IsZero());
+  EXPECT_FALSE(Fid::Root().IsZero());
+  EXPECT_TRUE(Fid::Root().IsRoot());
+  EXPECT_FALSE(Fid::Zero().IsRoot());
+}
+
+TEST(Fid, OrderingAndEquality) {
+  const Fid a{1, 1, 0};
+  const Fid b{1, 2, 0};
+  const Fid c{2, 0, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, (Fid{1, 1, 0}));
+}
+
+TEST(MdtIndexOfFid, MapsSequenceRanges) {
+  FidAllocator alloc0(0);
+  FidAllocator alloc3(3);
+  EXPECT_EQ(MdtIndexOfFid(alloc0.Next()), 0);
+  EXPECT_EQ(MdtIndexOfFid(alloc3.Next()), 3);
+  EXPECT_EQ(MdtIndexOfFid(Fid::Root()), 0);
+  EXPECT_EQ(MdtIndexOfFid(Fid{1, 1, 0}), -1);  // below the allocation base
+}
+
+TEST(FidAllocator, UniqueAndMonotonic) {
+  FidAllocator alloc(1);
+  std::unordered_set<Fid, FidHash> seen;
+  Fid prev = Fid::Zero();
+  for (int i = 0; i < 10000; ++i) {
+    const Fid fid = alloc.Next();
+    EXPECT_TRUE(seen.insert(fid).second);
+    if (i > 0) {
+      EXPECT_LT(prev, fid);
+    }
+    EXPECT_EQ(MdtIndexOfFid(fid), 1);
+    prev = fid;
+  }
+  EXPECT_EQ(alloc.allocated(), 10000u);
+}
+
+TEST(FidAllocator, NeverCollidesWithRoot) {
+  FidAllocator alloc(0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(alloc.Next(), Fid::Root());
+  }
+}
+
+TEST(FidHash, SpreadsValues) {
+  FidHash hash;
+  FidAllocator alloc(0);
+  std::unordered_set<size_t> hashes;
+  for (int i = 0; i < 1000; ++i) hashes.insert(hash(alloc.Next()));
+  EXPECT_GT(hashes.size(), 990u);  // near-zero collisions expected
+}
+
+}  // namespace
+}  // namespace sdci::lustre

@@ -1,0 +1,297 @@
+#include "lustre/filesystem.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sdci::lustre {
+namespace {
+
+class FileSystemTest : public ::testing::Test {
+ protected:
+  FileSystemTest() : authority_(1000.0), fs_(Config(), authority_) {}
+
+  static FileSystemConfig Config() {
+    FileSystemConfig config;
+    config.mds_count = 2;
+    config.ost_count = 2;
+    return config;
+  }
+
+  // Sum of changelog records across MDS.
+  uint64_t TotalRecords() const {
+    uint64_t total = 0;
+    for (size_t i = 0; i < fs_.MdsCount(); ++i) {
+      total += fs_.Mds(i).changelog().TotalAppended();
+    }
+    return total;
+  }
+
+  // Last record appended anywhere (exactly one new record expected).
+  ChangeLogRecord LastRecordOn(size_t mdt) const {
+    std::vector<ChangeLogRecord> records;
+    const auto& log = fs_.Mds(mdt).changelog();
+    EXPECT_GT(log.LastIndex(), 0u);
+    log.ReadFrom(log.LastIndex(), 1, records);
+    EXPECT_EQ(records.size(), 1u);
+    return records.empty() ? ChangeLogRecord{} : records[0];
+  }
+
+  TimeAuthority authority_;
+  FileSystem fs_;
+};
+
+TEST_F(FileSystemTest, CreateFileUnderRoot) {
+  auto fid = fs_.Create("/a.txt");
+  ASSERT_TRUE(fid.ok()) << fid.status().ToString();
+  auto info = fs_.Stat("/a.txt");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->fid, *fid);
+  EXPECT_EQ(info->type, NodeType::kFile);
+  EXPECT_EQ(info->nlink, 1u);
+
+  const auto record = LastRecordOn(0);
+  EXPECT_EQ(record.type, ChangeLogType::kCreate);
+  EXPECT_EQ(record.name, "a.txt");
+  EXPECT_EQ(record.parent, Fid::Root());
+  EXPECT_EQ(record.target, *fid);
+}
+
+TEST_F(FileSystemTest, CreateRequiresParent) {
+  EXPECT_EQ(fs_.Create("/no/such/dir/f.txt").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FileSystemTest, CreateDuplicateFails) {
+  ASSERT_TRUE(fs_.Create("/a.txt").ok());
+  EXPECT_EQ(fs_.Create("/a.txt").status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(FileSystemTest, PathValidation) {
+  EXPECT_EQ(fs_.Create("relative.txt").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fs_.Create("/a/../b").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fs_.Create("/a/./b").status().code(), StatusCode::kInvalidArgument);
+  // Duplicate and trailing slashes are tolerated.
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  EXPECT_TRUE(fs_.Create("//d///x.txt").ok());
+  EXPECT_TRUE(fs_.Stat("/d/x.txt").ok());
+}
+
+TEST_F(FileSystemTest, MkdirAllCreatesChain) {
+  ASSERT_TRUE(fs_.MkdirAll("/a/b/c").ok());
+  EXPECT_TRUE(fs_.Stat("/a/b/c").ok());
+  // Idempotent.
+  EXPECT_TRUE(fs_.MkdirAll("/a/b/c").ok());
+  // Fails across a file.
+  ASSERT_TRUE(fs_.Create("/a/file").ok());
+  EXPECT_EQ(fs_.MkdirAll("/a/file/x").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FileSystemTest, WriteFileUpdatesSizeAndJournalsMtime) {
+  ASSERT_TRUE(fs_.Create("/f").ok());
+  ASSERT_TRUE(fs_.WriteFile("/f", 4096).ok());
+  EXPECT_EQ(fs_.Stat("/f")->attrs.size, 4096u);
+  EXPECT_EQ(fs_.Osts().TotalUsedBytes(), 4096u);
+  EXPECT_EQ(LastRecordOn(0).type, ChangeLogType::kMtime);
+
+  // Writing a directory fails.
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  EXPECT_EQ(fs_.WriteFile("/d", 1).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FileSystemTest, SetAttrJournalsSattr) {
+  ASSERT_TRUE(fs_.Create("/f").ok());
+  SetAttrRequest request;
+  request.mode = 0600;
+  request.uid = 42;
+  ASSERT_TRUE(fs_.SetAttr("/f", request).ok());
+  EXPECT_EQ(fs_.Stat("/f")->attrs.mode, 0600u);
+  EXPECT_EQ(fs_.Stat("/f")->attrs.uid, 42u);
+  EXPECT_EQ(LastRecordOn(0).type, ChangeLogType::kSetattr);
+}
+
+TEST_F(FileSystemTest, UnlinkRemovesAndJournalsLastFlag) {
+  ASSERT_TRUE(fs_.Create("/f").ok());
+  ASSERT_TRUE(fs_.WriteFile("/f", 1000).ok());
+  ASSERT_TRUE(fs_.Unlink("/f").ok());
+  EXPECT_EQ(fs_.Stat("/f").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(fs_.Osts().TotalUsedBytes(), 0u) << "objects released";
+  const auto record = LastRecordOn(0);
+  EXPECT_EQ(record.type, ChangeLogType::kUnlink);
+  EXPECT_EQ(record.flags, kFlagLastUnlink);
+  // Unlinking a directory fails.
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  EXPECT_EQ(fs_.Unlink("/d").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FileSystemTest, HardlinksShareInode) {
+  ASSERT_TRUE(fs_.Create("/f").ok());
+  ASSERT_TRUE(fs_.Hardlink("/f", "/g").ok());
+  EXPECT_EQ(fs_.Stat("/f")->fid, fs_.Stat("/g")->fid);
+  EXPECT_EQ(fs_.Stat("/f")->nlink, 2u);
+  EXPECT_EQ(LastRecordOn(0).type, ChangeLogType::kHardlink);
+
+  // First unlink is not the last link.
+  ASSERT_TRUE(fs_.Unlink("/f").ok());
+  EXPECT_EQ(LastRecordOn(0).flags, 0u);
+  EXPECT_TRUE(fs_.Stat("/g").ok());
+  ASSERT_TRUE(fs_.Unlink("/g").ok());
+  EXPECT_EQ(LastRecordOn(0).flags, kFlagLastUnlink);
+}
+
+TEST_F(FileSystemTest, RmdirOnlyWhenEmpty) {
+  ASSERT_TRUE(fs_.MkdirAll("/d/sub").ok());
+  EXPECT_EQ(fs_.Rmdir("/d").code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(fs_.Rmdir("/d/sub").ok());
+  ASSERT_TRUE(fs_.Rmdir("/d").ok());
+  EXPECT_EQ(fs_.Rmdir("/").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FileSystemTest, RenameFileSameDirectory) {
+  ASSERT_TRUE(fs_.Create("/old").ok());
+  const Fid fid = *fs_.Lookup("/old");
+  ASSERT_TRUE(fs_.Rename("/old", "/new").ok());
+  EXPECT_FALSE(fs_.Stat("/old").ok());
+  EXPECT_EQ(fs_.Stat("/new")->fid, fid);
+  const auto record = LastRecordOn(0);
+  EXPECT_EQ(record.type, ChangeLogType::kRename);
+  EXPECT_EQ(record.name, "new");
+  EXPECT_EQ(record.source_name, "old");
+}
+
+TEST_F(FileSystemTest, RenameDirectoryMovesSubtree) {
+  ASSERT_TRUE(fs_.MkdirAll("/a/b").ok());
+  ASSERT_TRUE(fs_.Create("/a/b/f").ok());
+  ASSERT_TRUE(fs_.MkdirAll("/x").ok());
+  ASSERT_TRUE(fs_.Rename("/a/b", "/x/b2").ok());
+  EXPECT_TRUE(fs_.Stat("/x/b2/f").ok());
+  EXPECT_FALSE(fs_.Stat("/a/b").ok());
+  // fid2path follows the move.
+  const Fid fid = *fs_.Lookup("/x/b2/f");
+  EXPECT_EQ(*fs_.FidToPath(fid), "/x/b2/f");
+}
+
+TEST_F(FileSystemTest, RenameRejectsCycleAndExistingTarget) {
+  ASSERT_TRUE(fs_.MkdirAll("/a/b").ok());
+  EXPECT_EQ(fs_.Rename("/a", "/a/b/a2").code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(fs_.Create("/t").ok());
+  ASSERT_TRUE(fs_.Create("/s").ok());
+  EXPECT_EQ(fs_.Rename("/s", "/t").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(fs_.Rename("/", "/z").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FileSystemTest, SymlinkStoresTarget) {
+  ASSERT_TRUE(fs_.Create("/target").ok());
+  ASSERT_TRUE(fs_.Symlink("/target", "/link").ok());
+  EXPECT_EQ(fs_.Stat("/link")->type, NodeType::kSymlink);
+  EXPECT_EQ(LastRecordOn(0).type, ChangeLogType::kSoftlink);
+  ASSERT_TRUE(fs_.Unlink("/link").ok());  // symlinks unlink like files
+}
+
+TEST_F(FileSystemTest, ReadDirListsEntriesSorted) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(fs_.Create("/d/b").ok());
+  ASSERT_TRUE(fs_.Create("/d/a").ok());
+  ASSERT_TRUE(fs_.Mkdir("/d/c").ok());
+  auto entries = fs_.ReadDir("/d");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0].name, "a");
+  EXPECT_EQ((*entries)[1].name, "b");
+  EXPECT_EQ((*entries)[2].name, "c");
+  EXPECT_EQ((*entries)[2].type, NodeType::kDirectory);
+  EXPECT_EQ(fs_.ReadDir("/d/a").status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FileSystemTest, FidToPathResolvesDeepPaths) {
+  ASSERT_TRUE(fs_.MkdirAll("/p/q/r").ok());
+  ASSERT_TRUE(fs_.Create("/p/q/r/file.dat").ok());
+  EXPECT_EQ(*fs_.FidToPath(*fs_.Lookup("/p/q/r/file.dat")), "/p/q/r/file.dat");
+  EXPECT_EQ(*fs_.FidToPath(*fs_.Lookup("/p")), "/p");
+  EXPECT_EQ(*fs_.FidToPath(Fid::Root()), "/");
+  EXPECT_EQ(fs_.FidToPath(Fid{kFidSeqBase, 9999, 0}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FileSystemTest, DnePlacementRoundRobinSpreadsDirectories) {
+  FileSystemConfig config = Config();
+  config.mds_count = 4;
+  config.dir_placement = DirPlacement::kRoundRobin;
+  FileSystem fs(config, authority_);
+  std::set<int> mdts;
+  for (int i = 0; i < 8; ++i) {
+    auto fid = fs.Mkdir("/dir" + std::to_string(i));
+    ASSERT_TRUE(fid.ok());
+    mdts.insert(MdtIndexOfFid(*fid));
+  }
+  EXPECT_EQ(mdts.size(), 4u) << "directories should land on all 4 MDTs";
+  // Files inherit their parent directory's MDT.
+  auto file_fid = fs.Create("/dir1/f");
+  ASSERT_TRUE(file_fid.ok());
+  EXPECT_EQ(MdtIndexOfFid(*file_fid), MdtIndexOfFid(*fs.Lookup("/dir1")));
+}
+
+TEST_F(FileSystemTest, DnePlacementInheritKeepsOneMdt) {
+  FileSystemConfig config = Config();
+  config.mds_count = 4;
+  config.dir_placement = DirPlacement::kInheritParent;
+  FileSystem fs(config, authority_);
+  ASSERT_TRUE(fs.MkdirAll("/a/b/c").ok());
+  EXPECT_EQ(MdtIndexOfFid(*fs.Lookup("/a/b/c")), 0);
+  EXPECT_EQ(fs.Mds(1).changelog().TotalAppended(), 0u);
+}
+
+TEST_F(FileSystemTest, CrossMdtRenameJournalsBothSides) {
+  FileSystemConfig config = Config();
+  config.mds_count = 2;
+  config.dir_placement = DirPlacement::kRoundRobin;
+  FileSystem fs(config, authority_);
+  // Find two directories on different MDTs.
+  ASSERT_TRUE(fs.Mkdir("/d0").ok());
+  ASSERT_TRUE(fs.Mkdir("/d1").ok());
+  const int src_mdt = MdtIndexOfFid(*fs.Lookup("/d0"));
+  const int dst_mdt = MdtIndexOfFid(*fs.Lookup("/d1"));
+  ASSERT_NE(src_mdt, dst_mdt);
+  ASSERT_TRUE(fs.Create("/d0/f").ok());
+  const uint64_t dst_before = fs.Mds(dst_mdt).changelog().TotalAppended();
+  ASSERT_TRUE(fs.Rename("/d0/f", "/d1/f").ok());
+  // RENME on the source parent's MDT, RNMTO on the target's.
+  std::vector<ChangeLogRecord> records;
+  const auto& dst_log = fs.Mds(dst_mdt).changelog();
+  dst_log.ReadFrom(dst_before + 1, 10, records);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, ChangeLogType::kRenameTo);
+}
+
+TEST_F(FileSystemTest, WalkVisitsWholeSubtree) {
+  ASSERT_TRUE(fs_.MkdirAll("/w/a").ok());
+  ASSERT_TRUE(fs_.MkdirAll("/w/b").ok());
+  ASSERT_TRUE(fs_.Create("/w/a/f1").ok());
+  ASSERT_TRUE(fs_.Create("/w/b/f2").ok());
+  std::set<std::string> visited;
+  ASSERT_TRUE(fs_.Walk("/w", [&](const std::string& path, const StatInfo&) {
+                    visited.insert(path);
+                  }).ok());
+  EXPECT_EQ(visited, (std::set<std::string>{"/w", "/w/a", "/w/b", "/w/a/f1", "/w/b/f2"}));
+  // Walk of the root includes everything.
+  size_t count = 0;
+  ASSERT_TRUE(fs_.Walk("/", [&](const std::string&, const StatInfo&) { ++count; }).ok());
+  EXPECT_EQ(count, 6u);  // root + the 5 above
+  EXPECT_EQ(fs_.Walk("/nope", [](const std::string&, const StatInfo&) {}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FileSystemTest, InodeAccounting) {
+  EXPECT_EQ(fs_.TotalInodes(), 1u);  // root
+  ASSERT_TRUE(fs_.MkdirAll("/x/y").ok());
+  ASSERT_TRUE(fs_.Create("/x/y/f").ok());
+  EXPECT_EQ(fs_.TotalInodes(), 4u);
+  ASSERT_TRUE(fs_.Unlink("/x/y/f").ok());
+  EXPECT_EQ(fs_.TotalInodes(), 3u);
+  const auto per_mds = fs_.InodesPerMds();
+  uint64_t sum = 0;
+  for (const size_t n : per_mds) sum += n;
+  EXPECT_EQ(sum, fs_.TotalInodes());
+}
+
+}  // namespace
+}  // namespace sdci::lustre

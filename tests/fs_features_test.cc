@@ -1,0 +1,158 @@
+// ChangeLog mask, OPEN/CLOSE recording and statfs-style usage reporting.
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "lustre/filesystem.h"
+
+namespace sdci::lustre {
+namespace {
+
+std::vector<ChangeLogRecord> AllRecords(const FileSystem& fs) {
+  std::vector<ChangeLogRecord> records;
+  for (size_t m = 0; m < fs.MdsCount(); ++m) {
+    fs.Mds(m).changelog().ReadFrom(1, SIZE_MAX, records);
+  }
+  return records;
+}
+
+TEST(ChangeLogMask, DefaultExcludesOpenCloseAtime) {
+  EXPECT_EQ(kDefaultChangeLogMask & MaskOf(ChangeLogType::kOpen), 0u);
+  EXPECT_EQ(kDefaultChangeLogMask & MaskOf(ChangeLogType::kClose), 0u);
+  EXPECT_EQ(kDefaultChangeLogMask & MaskOf(ChangeLogType::kAtime), 0u);
+  EXPECT_NE(kDefaultChangeLogMask & MaskOf(ChangeLogType::kCreate), 0u);
+  EXPECT_NE(kDefaultChangeLogMask & MaskOf(ChangeLogType::kUnlink), 0u);
+}
+
+TEST(ChangeLogMask, MaskedTypesAreNotJournaled) {
+  TimeAuthority authority(1000.0);
+  FileSystemConfig config;
+  // Journal only creates.
+  config.changelog_mask = MaskOf(ChangeLogType::kCreate);
+  FileSystem fs(config, authority);
+  ASSERT_TRUE(fs.Mkdir("/d").ok());          // MKDIR masked
+  ASSERT_TRUE(fs.Create("/d/f").ok());       // CREAT journaled
+  ASSERT_TRUE(fs.WriteFile("/d/f", 10).ok());  // MTIME masked
+  ASSERT_TRUE(fs.Unlink("/d/f").ok());       // UNLNK masked
+  const auto records = AllRecords(fs);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, ChangeLogType::kCreate);
+}
+
+TEST(ChangeLogMask, RecordOpenCloseImpliesMaskBits) {
+  TimeAuthority authority(1000.0);
+  FileSystemConfig config;
+  config.record_open_close = true;  // default mask would exclude CLOSE
+  FileSystem fs(config, authority);
+  ASSERT_TRUE(fs.Create("/f").ok());
+  const auto records = AllRecords(fs);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].type, ChangeLogType::kCreate);
+  EXPECT_EQ(records[1].type, ChangeLogType::kClose);
+}
+
+TEST(ChangeLogMask, WriteEmitsCloseWhenEnabled) {
+  TimeAuthority authority(1000.0);
+  FileSystemConfig config;
+  config.record_open_close = true;
+  FileSystem fs(config, authority);
+  ASSERT_TRUE(fs.Create("/f").ok());
+  ASSERT_TRUE(fs.WriteFile("/f", 100).ok());
+  const auto records = AllRecords(fs);
+  ASSERT_EQ(records.size(), 4u);  // CREAT CLOSE MTIME CLOSE
+  EXPECT_EQ(records[2].type, ChangeLogType::kMtime);
+  EXPECT_EQ(records[3].type, ChangeLogType::kClose);
+}
+
+TEST(Usage, CountsFilesDirsAndBytes) {
+  TimeAuthority authority(1000.0);
+  FileSystemConfig config;
+  config.ost_count = 2;
+  config.ost_capacity_bytes = 1000;
+  FileSystem fs(config, authority);
+  ASSERT_TRUE(fs.MkdirAll("/a/b").ok());
+  ASSERT_TRUE(fs.Create("/a/b/f1").ok());
+  ASSERT_TRUE(fs.Create("/a/b/f2").ok());
+  ASSERT_TRUE(fs.WriteFile("/a/b/f1", 300).ok());
+  const auto usage = fs.Usage();
+  EXPECT_EQ(usage.directories, 3u);  // root, a, b
+  EXPECT_EQ(usage.files, 2u);
+  EXPECT_EQ(usage.inodes, 5u);
+  EXPECT_EQ(usage.used_bytes, 300u);
+  EXPECT_EQ(usage.capacity_bytes, 2000u);
+  ASSERT_TRUE(fs.Unlink("/a/b/f1").ok());
+  EXPECT_EQ(fs.Usage().used_bytes, 0u);
+  EXPECT_EQ(fs.Usage().files, 1u);
+}
+
+TEST(TruncateXattr, TruncateJournalsAndResizes) {
+  TimeAuthority authority(1000.0);
+  FileSystemConfig config;
+  FileSystem fs(config, authority);
+  ASSERT_TRUE(fs.Create("/f").ok());
+  ASSERT_TRUE(fs.WriteFile("/f", 5000).ok());
+  ASSERT_TRUE(fs.Truncate("/f", 100).ok());
+  EXPECT_EQ(fs.Stat("/f")->attrs.size, 100u);
+  EXPECT_EQ(fs.Osts().TotalUsedBytes(), 100u);
+  const auto records = AllRecords(fs);
+  ASSERT_GE(records.size(), 3u);
+  EXPECT_EQ(records.back().type, ChangeLogType::kTruncate);
+  EXPECT_EQ(fs.Truncate("/", 0).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TruncateXattr, XattrRoundTripAndJournal) {
+  TimeAuthority authority(1000.0);
+  FileSystemConfig config;
+  FileSystem fs(config, authority);
+  ASSERT_TRUE(fs.Create("/f").ok());
+  ASSERT_TRUE(fs.SetXattr("/f", "user.project", "aps-2bm").ok());
+  EXPECT_EQ(*fs.GetXattr("/f", "user.project"), "aps-2bm");
+  EXPECT_EQ(fs.GetXattr("/f", "user.none").status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(fs.SetXattr("/f", "user.project", "updated").ok());
+  EXPECT_EQ(*fs.GetXattr("/f", "user.project"), "updated");
+  const auto records = AllRecords(fs);
+  EXPECT_EQ(records.back().type, ChangeLogType::kXattr);
+  EXPECT_EQ(fs.SetXattr("/none", "a", "b").code(), StatusCode::kNotFound);
+}
+
+TEST(Consumers, IntrospectionListsRegistrations) {
+  ChangeLog log(0);
+  EXPECT_TRUE(log.Consumers().empty());
+  const ConsumerId c1 = log.RegisterConsumer();
+  const ConsumerId c2 = log.RegisterConsumer();
+  ChangeLogRecord record;
+  record.type = ChangeLogType::kCreate;
+  record.name = "f";
+  log.Append(record);
+  log.Append(record);
+  ASSERT_TRUE(log.Clear(c1, 2).ok());
+  const auto consumers = log.Consumers();
+  ASSERT_EQ(consumers.size(), 2u);
+  EXPECT_EQ(consumers[0].id, c1);
+  EXPECT_EQ(consumers[0].cleared_through, 2u);
+  EXPECT_EQ(consumers[1].id, c2);
+  EXPECT_EQ(consumers[1].cleared_through, 0u);
+}
+
+TEST(Profiles, PresetsAreOrderedBySpeed) {
+  const auto aws = TestbedProfile::Aws();
+  const auto iota = TestbedProfile::Iota();
+  const auto laptop = TestbedProfile::Laptop();
+  EXPECT_GT(aws.op.create, iota.op.create) << "Iota is the faster metadata plane";
+  EXPECT_LT(laptop.op.create, aws.op.create) << "local SSD beats t2.micro Lustre";
+  EXPECT_EQ(laptop.mds_count, 1u);
+  EXPECT_EQ(iota.mds_count, 4u);
+}
+
+TEST(JsonHardening, DeepNestingIsRejectedNotFatal) {
+  std::string deep;
+  for (int i = 0; i < 5000; ++i) deep += '[';
+  const auto parsed = json::Parse(deep);
+  EXPECT_FALSE(parsed.ok());
+  // A modestly nested document still parses.
+  std::string ok_doc = "1";
+  for (int i = 0; i < 100; ++i) ok_doc = "[" + ok_doc + "]";
+  EXPECT_TRUE(json::Parse(ok_doc).ok());
+}
+
+}  // namespace
+}  // namespace sdci::lustre

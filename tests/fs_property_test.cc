@@ -1,0 +1,245 @@
+// Property tests over the file system <-> ChangeLog contract: replaying
+// the journaled records against a shadow model reconstructs exactly the
+// namespace the file system ended up with. This is the invariant the
+// whole monitoring paper rests on — the ChangeLog is a complete, ordered
+// description of every namespace mutation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "lustre/filesystem.h"
+
+namespace sdci::lustre {
+namespace {
+
+// Shadow namespace built purely from ChangeLog records.
+class ShadowNamespace {
+ public:
+  ShadowNamespace() {
+    nodes_[Fid::Root()] = Node{true, {}};
+  }
+
+  void Apply(const ChangeLogRecord& record) {
+    switch (record.type) {
+      case ChangeLogType::kCreate:
+      case ChangeLogType::kSoftlink:
+        nodes_[record.target].is_dir = false;
+        Link(record.parent, record.name, record.target);
+        break;
+      case ChangeLogType::kMkdir:
+        nodes_[record.target].is_dir = true;
+        Link(record.parent, record.name, record.target);
+        break;
+      case ChangeLogType::kHardlink:
+        Link(record.parent, record.name, record.target);
+        break;
+      case ChangeLogType::kUnlink:
+        Unlink(record.parent, record.name);
+        if ((record.flags & kFlagLastUnlink) != 0) nodes_.erase(record.target);
+        break;
+      case ChangeLogType::kRmdir:
+        Unlink(record.parent, record.name);
+        nodes_.erase(record.target);
+        break;
+      case ChangeLogType::kRename:
+        Unlink(record.source_parent, record.source_name);
+        Link(record.parent, record.name, record.target);
+        break;
+      default:
+        break;  // data/attr records do not change the namespace
+    }
+  }
+
+  // Collects all absolute paths (files and dirs, root excluded).
+  std::set<std::string> Paths() const {
+    std::set<std::string> out;
+    Collect(Fid::Root(), "", out);
+    return out;
+  }
+
+ private:
+  struct Node {
+    bool is_dir = false;
+    std::map<std::string, Fid> children;
+  };
+
+  void Link(const Fid& parent, const std::string& name, const Fid& target) {
+    nodes_[parent].children[name] = target;
+  }
+  void Unlink(const Fid& parent, const std::string& name) {
+    const auto it = nodes_.find(parent);
+    if (it != nodes_.end()) it->second.children.erase(name);
+  }
+  void Collect(const Fid& fid, const std::string& prefix,
+               std::set<std::string>& out) const {
+    const auto it = nodes_.find(fid);
+    if (it == nodes_.end()) return;
+    for (const auto& [name, child] : it->second.children) {
+      const std::string path = prefix + "/" + name;
+      out.insert(path);
+      Collect(child, path, out);
+    }
+  }
+
+  std::map<Fid, Node> nodes_;
+};
+
+class FsReplayProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FsReplayProperty, ChangeLogReplayReconstructsNamespace) {
+  TimeAuthority authority(1000.0);
+  FileSystemConfig config;
+  config.mds_count = 3;
+  config.dir_placement = DirPlacement::kRoundRobin;
+  FileSystem fs(config, authority);
+
+  Rng rng(GetParam());
+  std::vector<std::string> dirs{"/"};
+  std::vector<std::string> files;
+  int op_count = 0;
+
+  for (int step = 0; step < 1200; ++step) {
+    const size_t op = rng.NextWeighted({3, 4, 2, 2, 1, 1, 1});
+    switch (op) {
+      case 0: {  // mkdir
+        const std::string parent = dirs[rng.NextBelow(dirs.size())];
+        const std::string path =
+            (parent == "/" ? "" : parent) + "/d" + std::to_string(step);
+        if (fs.Mkdir(path).ok()) {
+          dirs.push_back(path);
+          ++op_count;
+        }
+        break;
+      }
+      case 1: {  // create
+        const std::string parent = dirs[rng.NextBelow(dirs.size())];
+        const std::string path =
+            (parent == "/" ? "" : parent) + "/f" + std::to_string(step);
+        if (fs.Create(path).ok()) {
+          files.push_back(path);
+          ++op_count;
+        }
+        break;
+      }
+      case 2: {  // write (journals MTIME, no namespace change)
+        if (files.empty()) break;
+        (void)fs.WriteFile(files[rng.NextBelow(files.size())], rng.NextBelow(1 << 16));
+        break;
+      }
+      case 3: {  // unlink
+        if (files.empty()) break;
+        const size_t i = rng.NextBelow(files.size());
+        if (fs.Unlink(files[i]).ok()) {
+          files[i] = files.back();
+          files.pop_back();
+          ++op_count;
+        }
+        break;
+      }
+      case 4: {  // rename a file into another directory
+        if (files.empty()) break;
+        const size_t i = rng.NextBelow(files.size());
+        const std::string to_parent = dirs[rng.NextBelow(dirs.size())];
+        const std::string to =
+            (to_parent == "/" ? "" : to_parent) + "/r" + std::to_string(step);
+        if (fs.Rename(files[i], to).ok()) {
+          files[i] = to;
+          ++op_count;
+        }
+        break;
+      }
+      case 5: {  // hardlink
+        if (files.empty()) break;
+        const std::string existing = files[rng.NextBelow(files.size())];
+        const std::string parent = dirs[rng.NextBelow(dirs.size())];
+        const std::string path =
+            (parent == "/" ? "" : parent) + "/h" + std::to_string(step);
+        if (fs.Hardlink(existing, path).ok()) {
+          files.push_back(path);
+          ++op_count;
+        }
+        break;
+      }
+      case 6: {  // rmdir (only succeeds when empty; keep "/" out)
+        if (dirs.size() < 2) break;
+        const size_t i = 1 + rng.NextBelow(dirs.size() - 1);
+        if (fs.Rmdir(dirs[i]).ok()) {
+          dirs[i] = dirs.back();
+          dirs.pop_back();
+          ++op_count;
+        }
+        break;
+      }
+    }
+  }
+  ASSERT_GT(op_count, 300) << "workload degenerated";
+
+  // Replay every MDT's ChangeLog in global timestamp order. Records on
+  // different MDTs are causally ordered by their virtual timestamps
+  // (assigned under the filesystem lock).
+  std::vector<ChangeLogRecord> all;
+  for (size_t m = 0; m < fs.MdsCount(); ++m) {
+    fs.Mds(m).changelog().ReadFrom(1, SIZE_MAX, all);
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const ChangeLogRecord& a, const ChangeLogRecord& b) {
+                     return a.time < b.time;
+                   });
+  ShadowNamespace shadow;
+  for (const auto& record : all) shadow.Apply(record);
+
+  // Ground truth from the live namespace.
+  std::set<std::string> actual;
+  ASSERT_TRUE(fs.Walk("/", [&](const std::string& path, const StatInfo&) {
+                  if (path != "/") actual.insert(path);
+                }).ok());
+
+  EXPECT_EQ(shadow.Paths(), actual);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsReplayProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+class Fid2PathProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Fid2PathProperty, EveryLookupInvertsEveryPath) {
+  TimeAuthority authority(1000.0);
+  FileSystemConfig config;
+  config.mds_count = 2;
+  config.dir_placement = DirPlacement::kHashName;
+  FileSystem fs(config, authority);
+
+  Rng rng(GetParam());
+  std::vector<std::string> dirs{"/"};
+  for (int step = 0; step < 300; ++step) {
+    const std::string parent = dirs[rng.NextBelow(dirs.size())];
+    const std::string prefix = parent == "/" ? "" : parent;
+    if (rng.NextBool(0.4)) {
+      const std::string path = prefix + "/d" + std::to_string(step);
+      if (fs.Mkdir(path).ok()) dirs.push_back(path);
+    } else {
+      (void)fs.Create(prefix + "/f" + std::to_string(step));
+    }
+  }
+
+  size_t checked = 0;
+  ASSERT_TRUE(fs.Walk("/", [&](const std::string& path, const StatInfo& info) {
+                  auto resolved = fs.FidToPath(info.fid);
+                  ASSERT_TRUE(resolved.ok()) << path;
+                  EXPECT_EQ(*resolved, path);
+                  auto fid = fs.Lookup(path);
+                  ASSERT_TRUE(fid.ok()) << path;
+                  EXPECT_EQ(*fid, info.fid);
+                  ++checked;
+                }).ok());
+  EXPECT_GT(checked, 250u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fid2PathProperty, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace sdci::lustre

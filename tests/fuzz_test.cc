@@ -1,0 +1,172 @@
+// Deterministic fuzz sweeps: hostile input must produce Status errors,
+// never crashes, hangs or acceptance of garbage. Parameterized over seeds
+// so each suite instance explores a different corner of input space.
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "lustre/fid.h"
+#include "monitor/event.h"
+#include "lustre/changelog.h"
+#include "ripple/rule.h"
+#include "workload/fsdump.h"
+#include "workload/trace.h"
+
+namespace sdci {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  std::string out;
+  const size_t n = rng.NextBelow(max_len + 1);
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out += static_cast<char>(rng.NextBelow(256));
+  }
+  return out;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, EventDecoderNeverCrashesOnRandomBytes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 3000; ++i) {
+    (void)monitor::DecodeEventBatch(RandomBytes(rng, 200));
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, EventDecoderRejectsMutatedValidPayloads) {
+  Rng rng(GetParam() ^ 0xF00D);
+  monitor::FsEvent event;
+  event.type = lustre::ChangeLogType::kCreate;
+  event.path = "/a/b/c.dat";
+  event.name = "c.dat";
+  const std::string valid = monitor::EncodeEventBatch({event, event});
+  int rejected = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = valid;
+    const size_t pos = rng.NextBelow(mutated.size());
+    mutated[pos] = static_cast<char>(rng.NextBelow(256));
+    auto decoded = monitor::DecodeEventBatch(mutated);
+    if (!decoded.ok()) ++rejected;
+    // Acceptance is allowed (many byte flips only change field values);
+    // what matters is no crash and structural integrity when accepted.
+    if (decoded.ok()) {
+      EXPECT_LE(decoded->size(), 1000u);
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST_P(FuzzTest, JsonParserNeverCrashesOnRandomInput) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  static constexpr char kJsonish[] = "{}[]\",:0123456789.eE+-truefalsnu \t\n\\x";
+  for (int i = 0; i < 3000; ++i) {
+    std::string text;
+    const size_t n = rng.NextBelow(80);
+    for (size_t j = 0; j < n; ++j) {
+      text += kJsonish[rng.NextBelow(sizeof(kJsonish) - 1)];
+    }
+    auto parsed = json::Parse(text);
+    if (parsed.ok()) {
+      // Whatever parsed must re-serialize and re-parse to itself.
+      auto again = json::Parse(parsed->Dump());
+      ASSERT_TRUE(again.ok()) << text;
+      EXPECT_EQ(*again, *parsed) << text;
+    }
+  }
+}
+
+TEST_P(FuzzTest, JsonRandomBytesNeverCrash) {
+  Rng rng(GetParam() ^ 0xCAFE);
+  for (int i = 0; i < 2000; ++i) {
+    (void)json::Parse(RandomBytes(rng, 120));
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, FidParserNeverCrashes) {
+  Rng rng(GetParam() ^ 0x51D);
+  static constexpr char kFidish[] = "[]0x123abcdef: tp=";
+  for (int i = 0; i < 5000; ++i) {
+    std::string text;
+    const size_t n = rng.NextBelow(40);
+    for (size_t j = 0; j < n; ++j) {
+      text += kFidish[rng.NextBelow(sizeof(kFidish) - 1)];
+    }
+    auto fid = lustre::Fid::Parse(text);
+    if (fid.ok()) {
+      // Round trip must hold for accepted inputs.
+      auto again = lustre::Fid::Parse(fid->ToString());
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(*again, *fid);
+    }
+  }
+}
+
+TEST_P(FuzzTest, DumpParserNeverCrashes) {
+  Rng rng(GetParam() ^ 0xD0D0);
+  static constexpr char kDumpish[] = "/ab|0123456789-\nx";
+  for (int i = 0; i < 2000; ++i) {
+    std::string text;
+    const size_t n = rng.NextBelow(120);
+    for (size_t j = 0; j < n; ++j) {
+      text += kDumpish[rng.NextBelow(sizeof(kDumpish) - 1)];
+    }
+    (void)workload::ParseDump(text);
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, TraceParserNeverCrashes) {
+  Rng rng(GetParam() ^ 0x7ACE);
+  static constexpr char kTraceish[] = "createmkdirwriteunlinkrenamermdir/ 0123456789\n";
+  for (int i = 0; i < 2000; ++i) {
+    std::string text;
+    const size_t n = rng.NextBelow(100);
+    for (size_t j = 0; j < n; ++j) {
+      text += kTraceish[rng.NextBelow(sizeof(kTraceish) - 1)];
+    }
+    auto parsed = workload::ParseTrace(text);
+    if (parsed.ok()) {
+      // Accepted input round-trips.
+      auto again = workload::ParseTrace(workload::SerializeTrace(*parsed));
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(again->size(), parsed->size());
+    }
+  }
+}
+
+TEST_P(FuzzTest, RuleSetParserNeverCrashes) {
+  Rng rng(GetParam() ^ 0x5E7);
+  static constexpr char kRuleish[] =
+      "{}[]\",:idtriggeractionagentmailpathevents/*.0";
+  for (int i = 0; i < 1500; ++i) {
+    std::string text;
+    const size_t n = rng.NextBelow(120);
+    for (size_t j = 0; j < n; ++j) {
+      text += kRuleish[rng.NextBelow(sizeof(kRuleish) - 1)];
+    }
+    (void)ripple::ParseRuleSet(text);
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, ChangeLogDumpParserNeverCrashes) {
+  Rng rng(GetParam() ^ 0xC109);
+  static constexpr char kDumpish[] = "0123456789 CREATUNLNK:.x[]tps=name_\n";
+  for (int i = 0; i < 2000; ++i) {
+    std::string text;
+    const size_t n = rng.NextBelow(100);
+    for (size_t j = 0; j < n; ++j) {
+      text += kDumpish[rng.NextBelow(sizeof(kDumpish) - 1)];
+    }
+    (void)lustre::ChangeLogRecord::ParseDumpLine(text);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace sdci

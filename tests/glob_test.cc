@@ -1,0 +1,124 @@
+#include "common/glob.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+
+namespace sdci {
+namespace {
+
+TEST(Glob, LiteralMatch) {
+  EXPECT_TRUE(GlobMatch("/a/b.txt", "/a/b.txt"));
+  EXPECT_FALSE(GlobMatch("/a/b.txt", "/a/b.txt.bak"));
+  EXPECT_FALSE(GlobMatch("/a/b.txt", "/a/b"));
+}
+
+TEST(Glob, SingleStarStopsAtSlash) {
+  EXPECT_TRUE(GlobMatch("/a/*.txt", "/a/b.txt"));
+  EXPECT_FALSE(GlobMatch("/a/*.txt", "/a/c/b.txt"));
+  EXPECT_TRUE(GlobMatch("*", "abc"));
+  EXPECT_FALSE(GlobMatch("*", "a/b"));
+}
+
+TEST(Glob, DoubleStarCrossesSlashes) {
+  EXPECT_TRUE(GlobMatch("/a/**/*.txt", "/a/b/c/d.txt"));
+  EXPECT_TRUE(GlobMatch("/a/**", "/a/b/c"));
+  EXPECT_TRUE(GlobMatch("**", "/anything/at/all"));
+  EXPECT_TRUE(GlobMatch("/data/**/raw/*.h5", "/data/x/y/raw/s.h5"));
+  EXPECT_FALSE(GlobMatch("/data/**/raw/*.h5", "/data/x/y/cooked/s.h5"));
+}
+
+TEST(Glob, QuestionMark) {
+  EXPECT_TRUE(GlobMatch("/a/?.txt", "/a/b.txt"));
+  EXPECT_FALSE(GlobMatch("/a/?.txt", "/a/bb.txt"));
+  EXPECT_FALSE(GlobMatch("/a?b", "/a/b"));  // ? never matches '/'
+}
+
+TEST(Glob, CharacterClasses) {
+  EXPECT_TRUE(GlobMatch("/f[abc].txt", "/fa.txt"));
+  EXPECT_FALSE(GlobMatch("/f[abc].txt", "/fd.txt"));
+  EXPECT_TRUE(GlobMatch("/f[a-z]x", "/fqx"));
+  EXPECT_FALSE(GlobMatch("/f[a-z]x", "/fQx"));
+  EXPECT_TRUE(GlobMatch("/f[!abc]x", "/fdx"));
+  EXPECT_FALSE(GlobMatch("/f[!abc]x", "/fax"));
+  EXPECT_TRUE(GlobMatch("run[0-9][0-9]", "run42"));
+}
+
+TEST(Glob, TrailingStars) {
+  EXPECT_TRUE(GlobMatch("/a/*", "/a/b"));
+  EXPECT_TRUE(GlobMatch("/a/**", "/a/b/c"));
+  EXPECT_TRUE(GlobMatch("abc*", "abc"));
+  EXPECT_TRUE(GlobMatch("abc**", "abc"));
+}
+
+TEST(Glob, EmptyPatternAndPath) {
+  EXPECT_TRUE(GlobMatch("", ""));
+  EXPECT_FALSE(GlobMatch("", "a"));
+  EXPECT_FALSE(GlobMatch("a", ""));
+  EXPECT_TRUE(GlobMatch("*", ""));
+}
+
+TEST(Glob, BacktrackingStress) {
+  // Classic pathological case for naive matchers; ours is O(n*m).
+  const std::string path(64, 'a');
+  EXPECT_TRUE(GlobMatch("*a*a*a*a*a*a*a*a*a*a", path));
+  EXPECT_FALSE(GlobMatch("*a*a*a*a*a*a*a*a*a*ab", path));
+}
+
+TEST(Glob, SuffixPatterns) {
+  EXPECT_TRUE(GlobMatch("**/*.h5", "/deep/tree/scan.h5"));
+  EXPECT_FALSE(GlobMatch("**/*.h5", "/deep/tree/scan.txt"));
+  // "**/*.h5" requires at least one '/', matching glob convention.
+  EXPECT_FALSE(GlobMatch("**/*.h5", "scan.h5"));
+}
+
+// Reference matcher: straightforward exponential recursion, for
+// property-testing the production two-pointer implementation.
+bool RefMatch(std::string_view pattern, std::string_view path) {
+  if (pattern.empty()) return path.empty();
+  if (pattern[0] == '*') {
+    const bool dbl = pattern.size() > 1 && pattern[1] == '*';
+    const size_t adv = dbl ? 2 : 1;
+    if (RefMatch(pattern.substr(adv), path)) return true;
+    if (!path.empty() && (dbl || path[0] != '/') &&
+        RefMatch(pattern, path.substr(1))) {
+      return true;
+    }
+    return false;
+  }
+  if (path.empty()) return false;
+  if (pattern[0] == '?') {
+    return path[0] != '/' && RefMatch(pattern.substr(1), path.substr(1));
+  }
+  return pattern[0] == path[0] && RefMatch(pattern.substr(1), path.substr(1));
+}
+
+class GlobPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GlobPropertyTest, AgreesWithReferenceMatcher) {
+  Rng rng(GetParam());
+  static constexpr char kPatternAlphabet[] = "ab/*?*";
+  static constexpr char kPathAlphabet[] = "ab/";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string pattern;
+    const size_t plen = rng.NextBelow(9);
+    for (size_t i = 0; i < plen; ++i) {
+      pattern += kPatternAlphabet[rng.NextBelow(sizeof(kPatternAlphabet) - 1)];
+    }
+    std::string path;
+    const size_t slen = rng.NextBelow(11);
+    for (size_t i = 0; i < slen; ++i) {
+      path += kPathAlphabet[rng.NextBelow(sizeof(kPathAlphabet) - 1)];
+    }
+    EXPECT_EQ(GlobMatch(pattern, path), RefMatch(pattern, path))
+        << "pattern=\"" << pattern << "\" path=\"" << path << "\"";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlobPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace sdci

@@ -1,0 +1,91 @@
+#include "common/lru.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sdci {
+namespace {
+
+TEST(LruCache, BasicPutGet) {
+  LruCache<int, std::string> cache(4);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  EXPECT_EQ(cache.Get(1), "one");
+  EXPECT_EQ(cache.Get(2), "two");
+  EXPECT_FALSE(cache.Get(3).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(3);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  cache.Put(3, 3);
+  (void)cache.Get(1);  // 2 becomes LRU
+  cache.Put(4, 4);
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+  EXPECT_TRUE(cache.Get(4).has_value());
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCache, PutRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  cache.Put(1, 10);  // refresh: 2 is now LRU
+  cache.Put(3, 3);
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_EQ(cache.Get(1), 10);
+}
+
+TEST(LruCache, EraseAndClear) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));
+  EXPECT_FALSE(cache.Get(1).has_value());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCache, HitRateStats) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 1);
+  (void)cache.Get(1);
+  (void)cache.Get(1);
+  (void)cache.Get(9);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_NEAR(cache.HitRate(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(LruCache, CapacityOneStillWorks) {
+  LruCache<int, int> cache(1);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.Get(2), 2);
+}
+
+TEST(LruCache, ZeroCapacityClampsToOne) {
+  LruCache<int, int> cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.Put(1, 1);
+  EXPECT_EQ(cache.Get(1), 1);
+}
+
+TEST(LruCache, ManyInsertsBounded) {
+  LruCache<int, int> cache(64);
+  for (int i = 0; i < 1000; ++i) cache.Put(i, i);
+  EXPECT_EQ(cache.size(), 64u);
+  // The newest 64 survive.
+  for (int i = 1000 - 64; i < 1000; ++i) EXPECT_TRUE(cache.Get(i).has_value()) << i;
+}
+
+}  // namespace
+}  // namespace sdci

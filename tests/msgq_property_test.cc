@@ -1,0 +1,131 @@
+// Messaging-fabric property tests under real concurrency.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "msgq/context.h"
+#include "ripple/sqs.h"
+
+namespace sdci {
+namespace {
+
+class PubSubProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// N publishers with distinct topics, M subscribers with prefix filters:
+// every subscriber sees exactly the matching messages, in per-publisher
+// order, with nothing invented or duplicated.
+TEST_P(PubSubProperty, FilteredFanoutIsExactAndOrdered) {
+  msgq::Context context;
+  constexpr int kPublishers = 3;
+  constexpr int kMessagesEach = 400;
+
+  struct SubSpec {
+    std::string filter;
+    std::shared_ptr<msgq::SubSocket> socket;
+  };
+  std::vector<SubSpec> subs;
+  subs.push_back({"", context.CreateSub("inproc://prop", 1u << 16)});
+  subs.push_back({"topic.0", context.CreateSub("inproc://prop", 1u << 16)});
+  subs.push_back({"topic.1", context.CreateSub("inproc://prop", 1u << 16)});
+  for (auto& sub : subs) sub.socket->Subscribe(sub.filter);
+
+  std::vector<std::thread> publishers;
+  for (int p = 0; p < kPublishers; ++p) {
+    publishers.emplace_back([&context, p, seed = GetParam()] {
+      auto pub = context.CreatePub("inproc://prop");
+      Rng rng(seed + static_cast<uint64_t>(p));
+      for (int i = 0; i < kMessagesEach; ++i) {
+        pub->Publish(msgq::Message(strings::Format("topic.{}", p),
+                                   strings::Format("{}:{}", p, i)));
+        if (rng.NextBool(0.1)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : publishers) t.join();
+
+  for (const auto& sub : subs) {
+    std::map<int, int> next_per_publisher;
+    size_t received = 0;
+    while (auto message = sub.socket->TryReceive()) {
+      const auto parts = strings::Split(message->payload, ':');
+      const int p = static_cast<int>(*strings::ParseInt64(parts[0]));
+      const int i = static_cast<int>(*strings::ParseInt64(parts[1]));
+      EXPECT_TRUE(strings::StartsWith(message->topic, sub.filter));
+      EXPECT_EQ(i, next_per_publisher[p]) << "per-publisher order broken";
+      next_per_publisher[p] = i + 1;
+      ++received;
+    }
+    const size_t expected = sub.filter.empty()
+                                ? static_cast<size_t>(kPublishers) * kMessagesEach
+                                : static_cast<size_t>(kMessagesEach);
+    EXPECT_EQ(received, expected) << "filter=\"" << sub.filter << "\"";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PubSubProperty, ::testing::Values(3, 6, 9));
+
+class SqsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// Crashy workers against the reliable queue: workers randomly "crash"
+// (skip the Delete) and time out; with consumer-side dedupe the effective
+// outcome must be exactly-once per message.
+TEST_P(SqsProperty, CrashyWorkersStillProcessEachMessageEffectivelyOnce) {
+  TimeAuthority authority(100.0);
+  ripple::ReliableQueueConfig config;
+  config.visibility_timeout = Millis(200);  // 2ms real
+  config.max_receives = 100;                // no dead-lettering in this test
+  ripple::ReliableQueue queue(authority, config);
+  constexpr int kMessages = 300;
+  for (int i = 0; i < kMessages; ++i) queue.Send(std::to_string(i));
+
+  std::mutex mutex;
+  std::set<std::string> processed;
+  uint64_t duplicate_deliveries = 0;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&, w] {
+      Rng rng(GetParam() * 31 + static_cast<uint64_t>(w));
+      while (!done.load(std::memory_order_relaxed)) {
+        auto message = queue.Receive();
+        if (!message.has_value()) {
+          authority.SleepFor(Millis(50));
+          continue;
+        }
+        if (rng.NextBool(0.3)) continue;  // crash before processing: no Delete
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          if (!processed.insert(message->body).second) ++duplicate_deliveries;
+        }
+        (void)queue.Delete(message->receipt);
+      }
+    });
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (processed.size() >= kMessages) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  done.store(true);
+  for (auto& worker : workers) worker.join();
+
+  EXPECT_EQ(processed.size(), static_cast<size_t>(kMessages))
+      << "every message eventually processed";
+  EXPECT_GT(queue.Redelivered(), 0u) << "crashes actually caused redelivery";
+  // duplicate_deliveries counts rare receive-after-timeout-of-processed
+  // messages; the dedupe set absorbed them (they were not re-processed).
+  SUCCEED() << "duplicates absorbed: " << duplicate_deliveries;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqsProperty, ::testing::Values(1, 2));
+
+}  // namespace
+}  // namespace sdci

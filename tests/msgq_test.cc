@@ -1,0 +1,248 @@
+#include "msgq/context.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+namespace sdci::msgq {
+namespace {
+
+TEST(PubSub, TopicPrefixFiltering) {
+  Context context;
+  auto pub = context.CreatePub("inproc://t");
+  auto all = context.CreateSub("inproc://t");
+  auto creates = context.CreateSub("inproc://t");
+  all->Subscribe("");
+  creates->Subscribe("fsevent.CREAT");
+
+  pub->Publish(Message("fsevent.CREAT", "a"));
+  pub->Publish(Message("fsevent.UNLNK", "b"));
+
+  EXPECT_EQ(all->Receive()->payload, "a");
+  EXPECT_EQ(all->Receive()->payload, "b");
+  EXPECT_EQ(creates->Receive()->payload, "a");
+  EXPECT_FALSE(creates->TryReceive().has_value());
+}
+
+TEST(PubSub, NoFiltersReceivesNothing) {
+  Context context;
+  auto pub = context.CreatePub("inproc://t");
+  auto sub = context.CreateSub("inproc://t");
+  EXPECT_EQ(pub->Publish(Message("x", "y")), 0u);
+  EXPECT_FALSE(sub->TryReceive().has_value());
+}
+
+TEST(PubSub, Unsubscribe) {
+  Context context;
+  auto pub = context.CreatePub("inproc://t");
+  auto sub = context.CreateSub("inproc://t");
+  sub->Subscribe("a");
+  sub->Subscribe("b");
+  sub->Unsubscribe("a");
+  pub->Publish(Message("a1", "x"));
+  pub->Publish(Message("b1", "y"));
+  EXPECT_EQ(sub->Receive()->payload, "y");
+}
+
+TEST(PubSub, PublishWithNoSubscribersDropsSilently) {
+  Context context;
+  auto pub = context.CreatePub("inproc://empty");
+  EXPECT_EQ(pub->Publish(Message("t", "x")), 0u);
+  EXPECT_EQ(pub->published(), 1u);
+}
+
+TEST(PubSub, MultiplePublishersShareEndpoint) {
+  Context context;
+  auto pub1 = context.CreatePub("inproc://t");
+  auto pub2 = context.CreatePub("inproc://t");
+  auto sub = context.CreateSub("inproc://t");
+  sub->Subscribe("");
+  pub1->Publish(Message("t", "1"));
+  pub2->Publish(Message("t", "2"));
+  std::set<std::string> payloads;
+  payloads.insert(sub->Receive()->payload);
+  payloads.insert(sub->Receive()->payload);
+  EXPECT_EQ(payloads, (std::set<std::string>{"1", "2"}));
+}
+
+TEST(PubSub, DropNewestAtHwm) {
+  Context context;
+  auto pub = context.CreatePub("inproc://t");
+  auto sub = context.CreateSub("inproc://t", /*hwm=*/2, HwmPolicy::kDropNewest);
+  sub->Subscribe("");
+  for (int i = 0; i < 5; ++i) pub->Publish(Message("t", std::to_string(i)));
+  EXPECT_EQ(sub->delivered(), 2u);
+  EXPECT_EQ(sub->dropped(), 3u);
+  EXPECT_EQ(sub->Receive()->payload, "0");
+  EXPECT_EQ(sub->Receive()->payload, "1");
+}
+
+TEST(PubSub, DropOldestAtHwm) {
+  Context context;
+  auto pub = context.CreatePub("inproc://t");
+  auto sub = context.CreateSub("inproc://t", /*hwm=*/2, HwmPolicy::kDropOldest);
+  sub->Subscribe("");
+  for (int i = 0; i < 5; ++i) pub->Publish(Message("t", std::to_string(i)));
+  EXPECT_EQ(sub->dropped(), 3u);
+  EXPECT_EQ(sub->Receive()->payload, "3");
+  EXPECT_EQ(sub->Receive()->payload, "4");
+}
+
+TEST(PubSub, BlockPolicyBackpressures) {
+  Context context;
+  auto pub = context.CreatePub("inproc://t");
+  auto sub = context.CreateSub("inproc://t", /*hwm=*/1, HwmPolicy::kBlock);
+  sub->Subscribe("");
+  pub->Publish(Message("t", "0"));
+  std::atomic<bool> second_done{false};
+  std::thread publisher([&] {
+    pub->Publish(Message("t", "1"));
+    second_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(second_done.load());
+  EXPECT_EQ(sub->Receive()->payload, "0");
+  publisher.join();
+  EXPECT_TRUE(second_done.load());
+  EXPECT_EQ(sub->Receive()->payload, "1");
+  EXPECT_EQ(sub->dropped(), 0u);
+}
+
+TEST(PubSub, DeadSubscriberIsPruned) {
+  Context context;
+  auto pub = context.CreatePub("inproc://t");
+  {
+    auto sub = context.CreateSub("inproc://t");
+    sub->Subscribe("");
+    EXPECT_EQ(pub->Publish(Message("t", "x")), 1u);
+  }
+  EXPECT_EQ(pub->Publish(Message("t", "y")), 0u);
+}
+
+TEST(PubSub, CloseWakesReceiver) {
+  Context context;
+  auto sub = context.CreateSub("inproc://t");
+  sub->Subscribe("");
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    sub->Close();
+  });
+  EXPECT_EQ(sub->Receive().status().code(), StatusCode::kClosed);
+  closer.join();
+}
+
+TEST(PubSub, ReceiveForTimesOut) {
+  Context context;
+  auto sub = context.CreateSub("inproc://t");
+  sub->Subscribe("");
+  EXPECT_EQ(sub->ReceiveFor(std::chrono::milliseconds(5)).status().code(),
+            StatusCode::kTimedOut);
+}
+
+TEST(PushPull, RoundRobinDistribution) {
+  Context context;
+  auto push = context.CreatePush("inproc://p");
+  auto pull1 = context.CreatePull("inproc://p");
+  auto pull2 = context.CreatePull("inproc://p");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(push->Push(Message("t", std::to_string(i))).ok());
+  }
+  size_t n1 = 0;
+  size_t n2 = 0;
+  while (auto m = pull1->PullFor(std::chrono::milliseconds(1))) ++n1;
+  while (auto m = pull2->PullFor(std::chrono::milliseconds(1))) ++n2;
+  EXPECT_EQ(n1 + n2, 10u);
+  EXPECT_EQ(n1, 5u);
+  EXPECT_EQ(n2, 5u);
+}
+
+TEST(PushPull, NoPullerIsUnavailable) {
+  Context context;
+  auto push = context.CreatePush("inproc://p");
+  EXPECT_EQ(push->Push(Message("t", "x")).code(), StatusCode::kUnavailable);
+}
+
+TEST(PushPull, SkipsFullPullerWhenAnotherHasRoom) {
+  Context context;
+  auto push = context.CreatePush("inproc://p");
+  auto small = context.CreatePull("inproc://p", /*hwm=*/1);
+  auto big = context.CreatePull("inproc://p", /*hwm=*/100);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(push->Push(Message("t", std::to_string(i))).ok());
+  }
+  size_t n_small = 0;
+  size_t n_big = 0;
+  while (auto m = small->PullFor(std::chrono::milliseconds(1))) ++n_small;
+  while (auto m = big->PullFor(std::chrono::milliseconds(1))) ++n_big;
+  EXPECT_EQ(n_small, 1u);
+  EXPECT_EQ(n_big, 5u);
+}
+
+TEST(ReqRep, RequestReplyRoundTrip) {
+  Context context;
+  auto rep = context.CreateRep("inproc://api");
+  auto req = context.CreateReq("inproc://api");
+  std::thread server([&] {
+    auto request = rep->Receive();
+    ASSERT_TRUE(request.ok());
+    EXPECT_EQ(request->message.payload, "ping");
+    request->Reply(Message("r", "pong"));
+  });
+  auto reply = req->RequestReply(Message("q", "ping"), std::chrono::seconds(5));
+  server.join();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->payload, "pong");
+}
+
+TEST(ReqRep, TimesOutWithoutServer) {
+  Context context;
+  auto rep = context.CreateRep("inproc://api");  // bound but never serving
+  auto req = context.CreateReq("inproc://api");
+  const auto reply = req->RequestReply(Message("q", "x"), std::chrono::milliseconds(10));
+  EXPECT_EQ(reply.status().code(), StatusCode::kTimedOut);
+}
+
+TEST(ReqRep, NoReplierIsUnavailable) {
+  Context context;
+  auto req = context.CreateReq("inproc://api");
+  EXPECT_EQ(req->RequestReply(Message("q", "x"), std::chrono::seconds(1)).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(ReqRep, WorkerPoolSharesLoad) {
+  Context context;
+  auto rep1 = context.CreateRep("inproc://api");
+  auto rep2 = context.CreateRep("inproc://api");
+  auto req = context.CreateReq("inproc://api");
+  std::atomic<int> served1{0};
+  std::atomic<int> served2{0};
+  const auto serve = [](std::shared_ptr<RepSocket> rep, std::atomic<int>& count) {
+    while (true) {
+      auto request = rep->Receive();
+      if (!request.ok()) return;
+      count.fetch_add(1);
+      request->Reply(Message("r", "ok"));
+    }
+  };
+  std::thread t1(serve, rep1, std::ref(served1));
+  std::thread t2(serve, rep2, std::ref(served2));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(req->RequestReply(Message("q", "x"), std::chrono::seconds(5)).ok());
+  }
+  rep1->Close();
+  rep2->Close();
+  t1.join();
+  t2.join();
+  EXPECT_EQ(served1.load() + served2.load(), 10);
+  EXPECT_GT(served1.load(), 0);
+  EXPECT_GT(served2.load(), 0);
+}
+
+TEST(Message, ApproxBytesCountsPayload) {
+  const Message m("topic", std::string(1000, 'x'));
+  EXPECT_GE(m.ApproxBytes(), 1000u);
+}
+
+}  // namespace
+}  // namespace sdci::msgq

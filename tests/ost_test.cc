@@ -1,0 +1,73 @@
+#include "lustre/ost.h"
+
+#include <gtest/gtest.h>
+
+namespace sdci::lustre {
+namespace {
+
+TEST(ObjectStorage, RoundRobinAllocation) {
+  ObjectStorage storage(4, 1ull << 30);
+  const FileLayout a = storage.AllocateLayout(1, 1 << 20);
+  const FileLayout b = storage.AllocateLayout(1, 1 << 20);
+  const FileLayout c = storage.AllocateLayout(1, 1 << 20);
+  ASSERT_EQ(a.stripes.size(), 1u);
+  EXPECT_EQ(a.stripes[0].ost_index, 0u);
+  EXPECT_EQ(b.stripes[0].ost_index, 1u);
+  EXPECT_EQ(c.stripes[0].ost_index, 2u);
+  // Object ids are unique.
+  EXPECT_NE(a.stripes[0].object_id, b.stripes[0].object_id);
+}
+
+TEST(ObjectStorage, StripeCountClampedToOstCount) {
+  ObjectStorage storage(2, 1ull << 30);
+  const FileLayout layout = storage.AllocateLayout(8, 1 << 20);
+  EXPECT_EQ(layout.stripes.size(), 2u);
+  const FileLayout one = storage.AllocateLayout(0, 1 << 20);
+  EXPECT_EQ(one.stripes.size(), 1u);
+}
+
+TEST(ObjectStorage, SizeAccountingSingleStripe) {
+  ObjectStorage storage(2, 1ull << 30);
+  const FileLayout layout = storage.AllocateLayout(1, 1 << 20);
+  storage.SetFileSize(layout, 0, 5000);
+  EXPECT_EQ(storage.TotalUsedBytes(), 5000u);
+  storage.SetFileSize(layout, 5000, 2000);  // shrink
+  EXPECT_EQ(storage.TotalUsedBytes(), 2000u);
+}
+
+TEST(ObjectStorage, StripedSizeDistribution) {
+  ObjectStorage storage(2, 1ull << 30);
+  const FileLayout layout = storage.AllocateLayout(2, 1024);  // 1 KiB stripes
+  // 2.5 KiB: stripe0 gets 1024 + 512, stripe1 gets 1024.
+  storage.SetFileSize(layout, 0, 2560);
+  const auto stats = storage.Stats();
+  EXPECT_EQ(stats[layout.stripes[0].ost_index].used_bytes, 1536u);
+  EXPECT_EQ(stats[layout.stripes[1].ost_index].used_bytes, 1024u);
+  EXPECT_EQ(storage.TotalUsedBytes(), 2560u);
+}
+
+TEST(ObjectStorage, ReleaseReturnsBytesAndObjects) {
+  ObjectStorage storage(2, 1ull << 30);
+  const FileLayout layout = storage.AllocateLayout(2, 1024);
+  storage.SetFileSize(layout, 0, 4096);
+  EXPECT_EQ(storage.TotalUsedBytes(), 4096u);
+  storage.ReleaseLayout(layout, 4096);
+  EXPECT_EQ(storage.TotalUsedBytes(), 0u);
+  for (const auto& ost : storage.Stats()) {
+    EXPECT_EQ(ost.objects, 0u);
+  }
+}
+
+TEST(ObjectStorage, StatsReflectConfig) {
+  ObjectStorage storage(3, 7777);
+  const auto stats = storage.Stats();
+  ASSERT_EQ(stats.size(), 3u);
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(stats[i].index, i);
+    EXPECT_EQ(stats[i].capacity_bytes, 7777u);
+  }
+  EXPECT_EQ(storage.ost_count(), 3u);
+}
+
+}  // namespace
+}  // namespace sdci::lustre

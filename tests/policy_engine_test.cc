@@ -1,0 +1,125 @@
+#include "monitor/policy_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace sdci::monitor {
+namespace {
+
+class PolicyEngineTest : public ::testing::Test {
+ protected:
+  PolicyEngineTest()
+      : authority_(2000.0),
+        fs_(lustre::FileSystemConfig{}, authority_),
+        engine_(fs_, authority_) {}
+
+  TimeAuthority authority_;
+  lustre::FileSystem fs_;
+  BatchPolicyEngine engine_;
+};
+
+TEST_F(PolicyEngineTest, ReportMatchesByGlobAndSuffix) {
+  ASSERT_TRUE(fs_.MkdirAll("/scratch/u1").ok());
+  ASSERT_TRUE(fs_.Create("/scratch/u1/a.tmp").ok());
+  ASSERT_TRUE(fs_.Create("/scratch/u1/keep.dat").ok());
+  ASSERT_TRUE(fs_.Create("/home.tmp").ok());  // outside the glob
+
+  BatchPolicy policy;
+  policy.id = "report-tmp";
+  policy.predicate.path_glob = Glob("/scratch/**");
+  policy.predicate.name_suffix = ".tmp";
+  const auto report = engine_.Run(policy);
+  EXPECT_EQ(report.matched, 1u);
+  ASSERT_EQ(report.matched_paths.size(), 1u);
+  EXPECT_EQ(report.matched_paths[0], "/scratch/u1/a.tmp");
+  EXPECT_EQ(report.actions_applied, 0u) << "report policies act on nothing";
+  EXPECT_GT(report.entries_scanned, 3u);
+  EXPECT_GT(report.scan_time, VirtualDuration::zero());
+}
+
+TEST_F(PolicyEngineTest, PurgeRemovesMatches) {
+  ASSERT_TRUE(fs_.MkdirAll("/s").ok());
+  ASSERT_TRUE(fs_.Create("/s/old1.core").ok());
+  ASSERT_TRUE(fs_.Create("/s/old2.core").ok());
+  ASSERT_TRUE(fs_.Create("/s/data.h5").ok());
+  BatchPolicy policy;
+  policy.id = "purge-cores";
+  policy.predicate.name_suffix = ".core";
+  policy.action = PolicyAction::kPurge;
+  const auto report = engine_.Run(policy);
+  EXPECT_EQ(report.matched, 2u);
+  EXPECT_EQ(report.actions_applied, 2u);
+  EXPECT_EQ(report.action_failures, 0u);
+  EXPECT_FALSE(fs_.Stat("/s/old1.core").ok());
+  EXPECT_TRUE(fs_.Stat("/s/data.h5").ok());
+}
+
+TEST_F(PolicyEngineTest, AgePredicateSelectsStaleFiles) {
+  // Generous margins: at 2000x dilation, milliseconds of real scheduler
+  // noise translate into seconds of virtual time.
+  ASSERT_TRUE(fs_.Create("/stale").ok());
+  authority_.SleepFor(Seconds(30.0));
+  ASSERT_TRUE(fs_.Create("/fresh").ok());
+  BatchPolicy policy;
+  policy.id = "stale-only";
+  policy.predicate.older_than = Seconds(15.0);
+  const auto report = engine_.Run(policy);
+  ASSERT_EQ(report.matched, 1u);
+  EXPECT_EQ(report.matched_paths[0], "/stale");
+}
+
+TEST_F(PolicyEngineTest, SizePredicate) {
+  ASSERT_TRUE(fs_.Create("/big").ok());
+  ASSERT_TRUE(fs_.WriteFile("/big", 10000).ok());
+  ASSERT_TRUE(fs_.Create("/small").ok());
+  ASSERT_TRUE(fs_.WriteFile("/small", 10).ok());
+  BatchPolicy policy;
+  policy.id = "big-only";
+  policy.predicate.larger_than_bytes = 1000;
+  const auto report = engine_.Run(policy);
+  ASSERT_EQ(report.matched, 1u);
+  EXPECT_EQ(report.matched_paths[0], "/big");
+}
+
+TEST_F(PolicyEngineTest, DirectoriesExcludedUnlessRequested) {
+  ASSERT_TRUE(fs_.MkdirAll("/d/sub").ok());
+  BatchPolicy policy;
+  policy.id = "all";
+  EXPECT_EQ(engine_.Run(policy).matched, 0u);
+  policy.predicate.include_directories = true;
+  EXPECT_EQ(engine_.Run(policy).matched, 3u);  // "/", /d, /d/sub
+}
+
+TEST_F(PolicyEngineTest, RunAllSharesOneCrawl) {
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(fs_.Create("/f" + std::to_string(i) + (i % 2 ? ".a" : ".b")).ok());
+  }
+  BatchPolicy a;
+  a.id = "a";
+  a.predicate.name_suffix = ".a";
+  BatchPolicy b;
+  b.id = "b";
+  b.predicate.name_suffix = ".b";
+  const auto reports = engine_.RunAll({a, b});
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].matched, 10u);
+  EXPECT_EQ(reports[1].matched, 10u);
+  EXPECT_EQ(reports[0].entries_scanned, reports[1].entries_scanned);
+  EXPECT_EQ(reports[0].scan_time, reports[1].scan_time) << "one crawl, one bill";
+}
+
+TEST_F(PolicyEngineTest, ReportCapBoundsMemory) {
+  PolicyEngineConfig config;
+  config.max_reported_paths = 5;
+  BatchPolicyEngine capped(fs_, authority_, config);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(fs_.Create("/cap" + std::to_string(i)).ok());
+  }
+  BatchPolicy policy;
+  policy.id = "cap";
+  const auto report = capped.Run(policy);
+  EXPECT_EQ(report.matched, 20u);
+  EXPECT_EQ(report.matched_paths.size(), 5u);
+}
+
+}  // namespace
+}  // namespace sdci::monitor

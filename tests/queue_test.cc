@@ -1,0 +1,133 @@
+#include "common/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace sdci {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.Push(i).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto v = queue.Pop();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueue, TryPushFailsWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1).ok());
+  EXPECT_TRUE(queue.TryPush(2).ok());
+  EXPECT_EQ(queue.TryPush(3).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueue, TryPopOnEmpty) {
+  BoundedQueue<int> queue(2);
+  EXPECT_FALSE(queue.TryPop().has_value());
+}
+
+TEST(BoundedQueue, PopForTimesOut) {
+  BoundedQueue<int> queue(2);
+  const auto r = queue.PopFor(std::chrono::milliseconds(5));
+  EXPECT_EQ(r.status().code(), StatusCode::kTimedOut);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedPop) {
+  BoundedQueue<int> queue(2);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.Close();
+  });
+  const auto r = queue.Pop();
+  EXPECT_EQ(r.status().code(), StatusCode::kClosed);
+  closer.join();
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingItems) {
+  BoundedQueue<int> queue(8);
+  ASSERT_TRUE(queue.Push(1).ok());
+  ASSERT_TRUE(queue.Push(2).ok());
+  queue.Close();
+  EXPECT_EQ(queue.Push(3).code(), StatusCode::kClosed);
+  EXPECT_EQ(*queue.Pop(), 1);
+  EXPECT_EQ(*queue.Pop(), 2);
+  EXPECT_EQ(queue.Pop().status().code(), StatusCode::kClosed);
+}
+
+TEST(BoundedQueue, PushBlocksUntilRoom) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1).ok());
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(queue.Push(2).ok());
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(*queue.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(*queue.Pop(), 2);
+}
+
+TEST(BoundedQueue, MpmcDeliversEverythingExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kItemsEach = 500;
+  BoundedQueue<int> queue(32);
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> received{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (true) {
+        auto v = queue.Pop();
+        if (!v.ok()) return;
+        sum.fetch_add(*v);
+        received.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kItemsEach; ++i) {
+        ASSERT_TRUE(queue.Push(p * kItemsEach + i).ok());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  while (received.load() < kProducers * kItemsEach) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  queue.Close();
+  for (auto& t : consumers) t.join();
+
+  const int64_t n = kProducers * kItemsEach;
+  EXPECT_EQ(received.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.TryPush(1).ok());
+  EXPECT_FALSE(queue.TryPush(2).ok());
+}
+
+TEST(BoundedQueue, MoveOnlyItems) {
+  BoundedQueue<std::unique_ptr<int>> queue(4);
+  ASSERT_TRUE(queue.Push(std::make_unique<int>(9)).ok());
+  auto v = queue.Pop();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(**v, 9);
+}
+
+}  // namespace
+}  // namespace sdci

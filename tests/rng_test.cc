@@ -1,0 +1,165 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace sdci {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(13), 13u);
+  }
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(3);
+  std::map<uint64_t, int> counts;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBelow(6)];
+  for (uint64_t v = 0; v < 6; ++v) {
+    EXPECT_GT(counts[v], kDraws / 6 * 0.9) << v;
+    EXPECT_LT(counts[v], kDraws / 6 * 1.1) << v;
+  }
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolProbability) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i) heads += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 50000; ++i) sum += rng.NextExponential(4.0);
+  EXPECT_NEAR(sum / 50000, 4.0, 0.15);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0;
+  double sq = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.NextNormal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kDraws;
+  const double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, JitterBounded) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Jitter(100.0, 0.1);
+    EXPECT_GE(v, 90.0);
+    EXPECT_LE(v, 110.0);
+  }
+}
+
+TEST(Rng, NextStringAlphabetAndLength) {
+  Rng rng(29);
+  const std::string s = rng.NextString(32);
+  EXPECT_EQ(s.size(), 32u);
+  for (const char c : s) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << c;
+  }
+}
+
+TEST(Rng, NextWeightedFollowsWeights) {
+  Rng rng(31);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 30000; ++i) ++counts[rng.NextWeighted({1.0, 3.0, 6.0})];
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.6, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(37);
+  Rng b = a.Split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  Rng rng(41);
+  ZipfGenerator zipf(10, 0.0);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Next(rng)];
+  for (uint64_t v = 0; v < 10; ++v) {
+    EXPECT_NEAR(counts[v] / 50000.0, 0.1, 0.02) << v;
+  }
+}
+
+TEST(Zipf, SkewFavorsLowRanks) {
+  Rng rng(43);
+  ZipfGenerator zipf(1000, 0.99);
+  int rank0 = 0;
+  int tail = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, 1000u);
+    if (v == 0) ++rank0;
+    if (v >= 500) ++tail;
+  }
+  EXPECT_GT(rank0, 50000 / 100);  // rank 0 far above uniform share
+  EXPECT_LT(tail, 50000 / 4);     // upper half well below uniform share
+}
+
+}  // namespace
+}  // namespace sdci

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "ripple/rule.h"
+
+namespace sdci::ripple {
+namespace {
+
+constexpr const char* kRuleSetDoc = R"({
+  "rules": [
+    {"id": "a", "trigger": {"events": ["created"], "path": "/x/**"},
+     "action": {"type": "email", "agent": "n1", "params": {"to": "t"}}},
+    {"id": "b", "trigger": {"events": ["deleted"]},
+     "action": {"type": "delete", "agent": "n2", "params": {}}}
+  ]
+})";
+
+TEST(RuleSet, ParsesObjectForm) {
+  auto rules = ParseRuleSet(kRuleSetDoc);
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_EQ(rules->size(), 2u);
+  EXPECT_EQ((*rules)[0].id, "a");
+  EXPECT_EQ((*rules)[1].action.type, ActionType::kDelete);
+}
+
+TEST(RuleSet, ParsesBareArrayForm) {
+  auto rules = ParseRuleSet(R"([
+    {"id": "only", "trigger": {},
+     "action": {"type": "container", "agent": "n", "params": {"image": "i"}}}
+  ])");
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(rules->size(), 1u);
+}
+
+TEST(RuleSet, EmptySetAllowed) {
+  EXPECT_TRUE(ParseRuleSet("[]")->empty());
+  EXPECT_TRUE(ParseRuleSet(R"({"rules": []})")->empty());
+}
+
+TEST(RuleSet, RejectsDuplicateIds) {
+  const auto rules = ParseRuleSet(R"([
+    {"id": "dup", "trigger": {}, "action": {"type": "email", "agent": "a",
+                                             "params": {"to": "x"}}},
+    {"id": "dup", "trigger": {}, "action": {"type": "email", "agent": "a",
+                                             "params": {"to": "x"}}}
+  ])");
+  ASSERT_FALSE(rules.ok());
+  EXPECT_NE(rules.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(RuleSet, RejectsNonArray) {
+  EXPECT_FALSE(ParseRuleSet(R"({"rules": 3})").ok());
+  EXPECT_FALSE(ParseRuleSet("17").ok());
+  EXPECT_FALSE(ParseRuleSet("nonsense").ok());
+}
+
+TEST(RuleSet, PropagatesPerRuleErrors) {
+  EXPECT_FALSE(ParseRuleSet(R"([{"trigger": {}, "action": {"agent": "a"}}])").ok());
+}
+
+TEST(RuleSet, DumpRoundTrips) {
+  auto rules = ParseRuleSet(kRuleSetDoc);
+  ASSERT_TRUE(rules.ok());
+  auto again = ParseRuleSet(DumpRuleSet(*rules));
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->size(), rules->size());
+  for (size_t i = 0; i < rules->size(); ++i) {
+    EXPECT_EQ((*again)[i].id, (*rules)[i].id);
+    EXPECT_EQ((*again)[i].action.type, (*rules)[i].action.type);
+    EXPECT_EQ((*again)[i].trigger.event_mask, (*rules)[i].trigger.event_mask);
+  }
+}
+
+}  // namespace
+}  // namespace sdci::ripple

@@ -1,0 +1,139 @@
+#include "common/serde.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sdci {
+namespace {
+
+TEST(Serde, RoundTripsAllTypes) {
+  BinaryWriter writer;
+  writer.PutU8(0xAB);
+  writer.PutU16(0x1234);
+  writer.PutU32(0xDEADBEEF);
+  writer.PutU64(0x0123456789ABCDEFull);
+  writer.PutI64(-42);
+  writer.PutDouble(3.14159);
+  writer.PutBool(true);
+  writer.PutString("hello");
+  writer.PutString("");  // empty strings survive
+
+  BinaryReader reader(writer.Data());
+  EXPECT_EQ(*reader.GetU8(), 0xAB);
+  EXPECT_EQ(*reader.GetU16(), 0x1234);
+  EXPECT_EQ(*reader.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*reader.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(*reader.GetI64(), -42);
+  EXPECT_DOUBLE_EQ(*reader.GetDouble(), 3.14159);
+  EXPECT_TRUE(*reader.GetBool());
+  EXPECT_EQ(*reader.GetString(), "hello");
+  EXPECT_EQ(*reader.GetString(), "");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(Serde, BinaryStringPayload) {
+  BinaryWriter writer;
+  std::string binary("\x00\x01\xFF\x7F", 4);
+  writer.PutString(binary);
+  BinaryReader reader(writer.Data());
+  EXPECT_EQ(*reader.GetString(), binary);
+}
+
+TEST(Serde, TruncatedFixedFieldFails) {
+  BinaryWriter writer;
+  writer.PutU16(7);
+  BinaryReader reader(writer.Data());
+  EXPECT_FALSE(reader.GetU32().ok());
+  EXPECT_EQ(reader.GetU64().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Serde, TruncatedStringFails) {
+  BinaryWriter writer;
+  writer.PutU32(100);  // claims 100 bytes but provides none
+  BinaryReader reader(writer.Data());
+  const auto s = reader.GetString();
+  EXPECT_EQ(s.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Serde, ReadingEmptyBufferFails) {
+  BinaryReader reader("");
+  EXPECT_FALSE(reader.GetU8().ok());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(reader.Remaining(), 0u);
+}
+
+TEST(Serde, TakeMovesBuffer) {
+  BinaryWriter writer;
+  writer.PutU32(1);
+  const std::string data = writer.Take();
+  EXPECT_EQ(data.size(), 4u);
+  EXPECT_EQ(writer.Size(), 0u);
+}
+
+// Property sweep: random field sequences round trip exactly.
+class SerdeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerdeProperty, RandomSequencesRoundTrip) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    // Plan a random schema, write it, read it back.
+    struct Field {
+      int kind;  // 0=u8 1=u16 2=u32 3=u64 4=i64 5=double 6=bool 7=string
+      uint64_t bits;
+      std::string text;
+    };
+    std::vector<Field> fields;
+    const size_t n = 1 + rng.NextBelow(20);
+    BinaryWriter writer;
+    for (size_t i = 0; i < n; ++i) {
+      Field field;
+      field.kind = static_cast<int>(rng.NextBelow(8));
+      field.bits = rng.NextU64();
+      switch (field.kind) {
+        case 0: writer.PutU8(static_cast<uint8_t>(field.bits)); break;
+        case 1: writer.PutU16(static_cast<uint16_t>(field.bits)); break;
+        case 2: writer.PutU32(static_cast<uint32_t>(field.bits)); break;
+        case 3: writer.PutU64(field.bits); break;
+        case 4: writer.PutI64(static_cast<int64_t>(field.bits)); break;
+        case 5: {
+          const double v = rng.NextNormal(0, 1e6);
+          field.bits = 0;
+          std::memcpy(&field.bits, &v, sizeof(v));
+          writer.PutDouble(v);
+          break;
+        }
+        case 6: writer.PutBool((field.bits & 1) != 0); break;
+        case 7:
+          field.text = rng.NextString(rng.NextBelow(40));
+          writer.PutString(field.text);
+          break;
+      }
+      fields.push_back(std::move(field));
+    }
+    BinaryReader reader(writer.Data());
+    for (const Field& field : fields) {
+      switch (field.kind) {
+        case 0: EXPECT_EQ(*reader.GetU8(), static_cast<uint8_t>(field.bits)); break;
+        case 1: EXPECT_EQ(*reader.GetU16(), static_cast<uint16_t>(field.bits)); break;
+        case 2: EXPECT_EQ(*reader.GetU32(), static_cast<uint32_t>(field.bits)); break;
+        case 3: EXPECT_EQ(*reader.GetU64(), field.bits); break;
+        case 4: EXPECT_EQ(*reader.GetI64(), static_cast<int64_t>(field.bits)); break;
+        case 5: {
+          double expected = 0;
+          std::memcpy(&expected, &field.bits, sizeof(expected));
+          EXPECT_DOUBLE_EQ(*reader.GetDouble(), expected);
+          break;
+        }
+        case 6: EXPECT_EQ(*reader.GetBool(), (field.bits & 1) != 0); break;
+        case 7: EXPECT_EQ(*reader.GetString(), field.text); break;
+      }
+    }
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerdeProperty, ::testing::Values(10, 20, 30));
+
+}  // namespace
+}  // namespace sdci

@@ -1,0 +1,76 @@
+// End-to-end smoke: FS ops -> ChangeLog -> Monitor -> Ripple agent ->
+// cloud -> action. If this passes, the plumbing is sound.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "lustre/client.h"
+#include "lustre/filesystem.h"
+#include "monitor/consumer.h"
+#include "monitor/monitor.h"
+#include "ripple/agent.h"
+#include "ripple/cloud.h"
+#include "workload/generator.h"
+
+namespace sdci {
+namespace {
+
+TEST(Smoke, EndToEndPipeline) {
+  TimeAuthority authority(200.0);  // 200x dilation
+  auto profile = lustre::TestbedProfile::Test();
+  lustre::FileSystem fs(lustre::FileSystemConfig::FromProfile(profile), authority);
+  msgq::Context context;
+
+  monitor::MonitorConfig mon_config;
+  mon_config.collector.poll_interval = Millis(2);
+  monitor::Monitor mon(fs, profile, authority, context, mon_config);
+  mon.Start();
+
+  ripple::CloudService cloud(authority);
+  cloud.Start();
+  ripple::EndpointRegistry endpoints;
+
+  ripple::AgentConfig agent_config;
+  agent_config.name = "hpc";
+  ripple::Agent agent(agent_config, fs, cloud, endpoints, authority);
+  agent.AttachSource(std::make_unique<monitor::EventSubscriber>(
+      context, mon_config.aggregator.publish_endpoint));
+  agent.Start();
+
+  auto rule = ripple::Rule::Parse(R"({
+    "id": "notify-h5",
+    "trigger": {"events": ["created"], "path": "/data/**", "suffix": ".h5"},
+    "action": {"type": "email", "agent": "hpc",
+               "params": {"to": "pi@lab.edu", "subject": "new {name}"}}
+  })");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ASSERT_TRUE(cloud.RegisterRule(*rule).ok());
+
+  lustre::Client client(fs, profile, authority);
+  ASSERT_TRUE(client.MkdirAll("/data/run1").ok());
+  ASSERT_TRUE(client.Create("/data/run1/scan.h5").ok());
+  ASSERT_TRUE(client.Create("/data/run1/notes.txt").ok());
+  client.FlushDelay();
+
+  // Wait (real time) for the pipeline to converge.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (agent.outbox().Count() < 1 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  agent.Stop();
+  cloud.Stop();
+  mon.Stop();
+
+  ASSERT_EQ(agent.outbox().Count(), 1u);
+  EXPECT_EQ(agent.outbox().Messages()[0].to, "pi@lab.edu");
+  EXPECT_EQ(agent.outbox().Messages()[0].subject, "new scan.h5");
+
+  const auto stats = mon.Stats();
+  EXPECT_GE(stats.total_extracted, 4u);  // 2 mkdir + 2 create (>= because MkdirAll)
+  EXPECT_EQ(stats.aggregator.received, stats.total_reported);
+}
+
+}  // namespace
+}  // namespace sdci

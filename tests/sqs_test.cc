@@ -1,0 +1,107 @@
+#include "ripple/sqs.h"
+
+#include <gtest/gtest.h>
+
+namespace sdci::ripple {
+namespace {
+
+ReliableQueueConfig FastConfig() {
+  ReliableQueueConfig config;
+  config.visibility_timeout = Millis(50);
+  return config;
+}
+
+TEST(ReliableQueue, SendReceiveDelete) {
+  TimeAuthority authority(1000.0);
+  ReliableQueue queue(authority, FastConfig());
+  const uint64_t id = queue.Send("hello");
+  EXPECT_GT(id, 0u);
+  auto message = queue.Receive();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->body, "hello");
+  EXPECT_EQ(message->receive_count, 1u);
+  ASSERT_TRUE(queue.Delete(message->receipt).ok());
+  EXPECT_FALSE(queue.Receive().has_value());
+  EXPECT_EQ(queue.TotalSent(), 1u);
+  EXPECT_EQ(queue.TotalDeleted(), 1u);
+}
+
+TEST(ReliableQueue, InFlightMessagesAreInvisible) {
+  TimeAuthority authority(1000.0);
+  ReliableQueue queue(authority, FastConfig());
+  queue.Send("a");
+  auto first = queue.Receive();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(queue.Receive().has_value()) << "hidden by visibility timeout";
+  EXPECT_EQ(queue.InFlight(), 1u);
+  EXPECT_EQ(queue.VisibleDepth(), 0u);
+}
+
+TEST(ReliableQueue, TimedOutDeliveryIsRedelivered) {
+  TimeAuthority authority(1000.0);
+  ReliableQueue queue(authority, FastConfig());
+  queue.Send("a");
+  auto first = queue.Receive();
+  ASSERT_TRUE(first.has_value());
+  // The worker "crashes": no Delete. Wait out the visibility timeout.
+  authority.SleepFor(Millis(60));
+  auto second = queue.Receive();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->id, first->id);
+  EXPECT_EQ(second->receive_count, 2u);
+  EXPECT_EQ(queue.Redelivered(), 1u);
+  // The first delivery's receipt is now stale.
+  EXPECT_EQ(queue.Delete(first->receipt).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(queue.Delete(second->receipt).ok());
+}
+
+TEST(ReliableQueue, FifoAmongVisible) {
+  // Low dilation: the visibility window must dwarf real scheduling noise
+  // (sanitizer builds especially) or in-flight entries expire mid-test.
+  TimeAuthority authority(10.0);
+  ReliableQueue queue(authority, FastConfig());
+  queue.Send("1");
+  queue.Send("2");
+  queue.Send("3");
+  EXPECT_EQ(queue.Receive()->body, "1");
+  EXPECT_EQ(queue.Receive()->body, "2");
+  EXPECT_EQ(queue.Receive()->body, "3");
+}
+
+TEST(ReliableQueue, CleanupSweepRevivesEagerly) {
+  TimeAuthority authority(1000.0);
+  ReliableQueue queue(authority, FastConfig());
+  queue.Send("a");
+  (void)queue.Receive();
+  EXPECT_EQ(queue.CleanupSweep(), 0u) << "not yet expired";
+  authority.SleepFor(Millis(60));
+  EXPECT_EQ(queue.CleanupSweep(), 1u);
+  EXPECT_EQ(queue.VisibleDepth(), 1u);
+}
+
+TEST(ReliableQueue, PoisonMessagesGoToDeadLetters) {
+  TimeAuthority authority(1000.0);
+  ReliableQueueConfig config = FastConfig();
+  config.max_receives = 2;
+  ReliableQueue queue(authority, config);
+  queue.Send("poison");
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    ASSERT_TRUE(queue.Receive().has_value());
+    authority.SleepFor(Millis(60));
+  }
+  // Third receive: moved to DLQ instead of redelivered.
+  EXPECT_FALSE(queue.Receive().has_value());
+  const auto dead = queue.DeadLetters();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].body, "poison");
+  EXPECT_EQ(dead[0].receive_count, 2u);
+}
+
+TEST(ReliableQueue, DeleteWithBogusReceiptFails) {
+  TimeAuthority authority(1000.0);
+  ReliableQueue queue(authority, FastConfig());
+  EXPECT_EQ(queue.Delete(12345).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace sdci::ripple

@@ -1,0 +1,112 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/resource.h"
+
+namespace sdci {
+namespace {
+
+TEST(Counter, ConcurrentAdds) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) counter.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Get(), 40000u);
+}
+
+TEST(Gauge, TracksPeak) {
+  Gauge gauge;
+  gauge.Add(10);
+  gauge.Add(5);
+  gauge.Add(-12);
+  EXPECT_EQ(gauge.Get(), 3);
+  EXPECT_EQ(gauge.Peak(), 15);
+  gauge.Set(100);
+  EXPECT_EQ(gauge.Peak(), 100);
+}
+
+TEST(LatencyHistogram, CountMeanMax) {
+  LatencyHistogram hist;
+  hist.Record(Micros(100));
+  hist.Record(Micros(200));
+  hist.Record(Micros(300));
+  EXPECT_EQ(hist.Count(), 3u);
+  EXPECT_EQ(hist.Mean(), Micros(200));
+  EXPECT_EQ(hist.Max(), Micros(300));
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotoneAndBracket) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 1000; ++i) hist.Record(Micros(i));
+  const auto p50 = hist.Quantile(0.5);
+  const auto p90 = hist.Quantile(0.9);
+  const auto p99 = hist.Quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Exponential buckets: p50 of 1..1000us lands in [500us, 1024us].
+  EXPECT_GE(p50, Micros(500));
+  EXPECT_LE(p50, Micros(1024));
+}
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_EQ(hist.Quantile(0.5), VirtualDuration::zero());
+  EXPECT_EQ(hist.Mean(), VirtualDuration::zero());
+}
+
+TEST(RatePerSecond, Basics) {
+  EXPECT_DOUBLE_EQ(RatePerSecond(1000, Seconds(2.0)), 500.0);
+  EXPECT_DOUBLE_EQ(RatePerSecond(5, VirtualDuration::zero()), 0.0);
+}
+
+TEST(Describe, OrderedStatistics) {
+  const auto stats = Describe({5, 1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+  EXPECT_DOUBLE_EQ(stats.p50, 3.0);
+  EXPECT_NEAR(stats.stddev, 1.4142, 1e-3);
+}
+
+TEST(Describe, EmptyIsZeroes) {
+  const auto stats = Describe({});
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max, 0.0);
+}
+
+TEST(MetricSet, SetGetHas) {
+  MetricSet metrics;
+  metrics.Set("rate", 42.5);
+  EXPECT_TRUE(metrics.Has("rate"));
+  EXPECT_FALSE(metrics.Has("other"));
+  EXPECT_DOUBLE_EQ(metrics.Get("rate"), 42.5);
+  metrics.Set("rate", 1.0);
+  EXPECT_DOUBLE_EQ(metrics.Get("rate"), 1.0);
+}
+
+TEST(MemoryAccountant, ChargeReleasePeak) {
+  MemoryAccountant memory;
+  memory.Charge(100);
+  memory.Charge(50);
+  memory.Release(120);
+  EXPECT_EQ(memory.CurrentBytes(), 30u);
+  EXPECT_EQ(memory.PeakBytes(), 150u);
+}
+
+TEST(BusyMeter, CpuPercent) {
+  BusyMeter meter;
+  meter.Charge(Millis(250));
+  EXPECT_DOUBLE_EQ(meter.CpuPercent(Seconds(1.0)), 25.0);
+  EXPECT_DOUBLE_EQ(meter.CpuPercent(VirtualDuration::zero()), 0.0);
+}
+
+}  // namespace
+}  // namespace sdci

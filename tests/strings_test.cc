@@ -1,0 +1,109 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sdci::strings {
+namespace {
+
+TEST(Split, PreservesEmptyFields) {
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a", ','), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitSkipEmpty, DropsEmptyFields) {
+  EXPECT_EQ(SplitSkipEmpty("/a//b/", '/'), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(SplitSkipEmpty("///", '/').empty());
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "/"), "x/y/z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(Trim, StripsAsciiWhitespace) {
+  EXPECT_EQ(Trim("  a b \t\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(StartsWith("fsevent.CREAT", "fsevent."));
+  EXPECT_FALSE(StartsWith("fs", "fsevent."));
+  EXPECT_TRUE(EndsWith("scan.h5", ".h5"));
+  EXPECT_FALSE(EndsWith("h5", ".h5"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(ParseUint64, DecimalAndHex) {
+  EXPECT_EQ(ParseUint64("0"), 0u);
+  EXPECT_EQ(ParseUint64("18446744073709551615"), UINT64_MAX);
+  EXPECT_EQ(ParseUint64("0x200000402"), 0x200000402ull);
+  EXPECT_EQ(ParseUint64("0XFF"), 255u);
+  EXPECT_FALSE(ParseUint64("").has_value());
+  EXPECT_FALSE(ParseUint64("0x").has_value());
+  EXPECT_FALSE(ParseUint64("12a").has_value());
+  EXPECT_FALSE(ParseUint64("-1").has_value());
+  EXPECT_FALSE(ParseUint64("18446744073709551616").has_value());  // overflow
+}
+
+TEST(ParseInt64, SignedValues) {
+  EXPECT_EQ(ParseInt64("-42"), -42);
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_FALSE(ParseInt64("4.2").has_value());
+}
+
+TEST(ParseDouble, Basics) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("1.5x").has_value());
+}
+
+TEST(HexU64, MatchesLustreStyle) {
+  EXPECT_EQ(HexU64(0xa046), "0xa046");
+  EXPECT_EQ(HexU64(0), "0x0");
+  EXPECT_EQ(HexU64(0x200000007ull), "0x200000007");
+}
+
+TEST(Format, SubstitutesPlaceholders) {
+  EXPECT_EQ(Format("a={} b={}", 1, "x"), "a=1 b=x");
+  EXPECT_EQ(Format("no placeholders"), "no placeholders");
+  EXPECT_EQ(Format("{}", 3.5), "3.5");
+  // Extra args are appended visibly rather than dropped.
+  EXPECT_EQ(Format("x={}", 1, 2), "x=1 2");
+}
+
+TEST(Fixed, DecimalPlaces) {
+  EXPECT_EQ(Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Fixed(2.0, 0), "2");
+  EXPECT_EQ(Fixed(-1.005, 1), "-1.0");
+}
+
+TEST(HumanBytes, Units) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1024), "1.0 KiB");
+  EXPECT_EQ(HumanBytes(1536ull * 1024), "1.5 MiB");
+  EXPECT_EQ(HumanBytes(897ull << 40), "897.0 TiB");
+}
+
+TEST(WithCommas, GroupsThousands) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(3600000), "3,600,000");
+  EXPECT_EQ(WithCommas(42), "42");
+}
+
+TEST(CaseMapping, LowerUpper) {
+  EXPECT_EQ(ToLower("CReAT"), "creat");
+  EXPECT_EQ(ToUpper("creat"), "CREAT");
+}
+
+}  // namespace
+}  // namespace sdci::strings

@@ -1,0 +1,118 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sdci::workload {
+namespace {
+
+std::set<std::string> Namespace(lustre::FileSystem& fs) {
+  std::set<std::string> out;
+  (void)fs.Walk("/", [&](const std::string& path, const lustre::StatInfo&) {
+    if (path != "/") out.insert(path);
+  });
+  return out;
+}
+
+TEST(Trace, SerializeParseRoundTrip) {
+  Trace trace{
+      {TraceOpKind::kMkdir, "/a", "", 0},
+      {TraceOpKind::kCreate, "/a/f", "", 0},
+      {TraceOpKind::kWrite, "/a/f", "", 4096},
+      {TraceOpKind::kRename, "/a/f", "/a/g", 0},
+      {TraceOpKind::kUnlink, "/a/g", "", 0},
+      {TraceOpKind::kRmdir, "/a", "", 0},
+  };
+  auto parsed = ParseTrace(SerializeTrace(trace));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].kind, trace[i].kind) << i;
+    EXPECT_EQ((*parsed)[i].path, trace[i].path) << i;
+    EXPECT_EQ((*parsed)[i].path2, trace[i].path2) << i;
+    EXPECT_EQ((*parsed)[i].size, trace[i].size) << i;
+  }
+}
+
+TEST(Trace, ParseSkipsCommentsAndBlanks) {
+  auto parsed = ParseTrace("# header\n\ncreate /f\n  \n# tail\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST(Trace, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseTrace("fly /to/the/moon").ok());
+  EXPECT_FALSE(ParseTrace("create").ok());
+  EXPECT_FALSE(ParseTrace("write /f notanumber").ok());
+  EXPECT_FALSE(ParseTrace("rename /a").ok());
+  EXPECT_FALSE(ParseTrace("create /a /b").ok());
+}
+
+TEST(Trace, GeneratedTraceReplaysCleanly) {
+  TraceGenConfig config;
+  config.operations = 800;
+  config.seed = 5;
+  const Trace trace = GenerateTrace(config);
+  EXPECT_GT(trace.size(), 800u);
+
+  TimeAuthority authority(2000.0);
+  lustre::FileSystem fs(lustre::FileSystemConfig{}, authority);
+  const auto report = ReplayTraceRaw(trace, fs);
+  EXPECT_EQ(report.failed, 0u) << "generated traces must be valid";
+  EXPECT_EQ(report.applied, trace.size());
+}
+
+TEST(Trace, ReplayIsDeterministic) {
+  TraceGenConfig config;
+  config.operations = 500;
+  config.seed = 9;
+  const Trace trace = GenerateTrace(config);
+
+  TimeAuthority authority(2000.0);
+  lustre::FileSystem fs_a(lustre::FileSystemConfig{}, authority);
+  lustre::FileSystem fs_b(lustre::FileSystemConfig{}, authority);
+  (void)ReplayTraceRaw(trace, fs_a);
+  (void)ReplayTraceRaw(trace, fs_b);
+  EXPECT_EQ(Namespace(fs_a), Namespace(fs_b));
+  EXPECT_EQ(fs_a.TotalInodes(), fs_b.TotalInodes());
+}
+
+TEST(Trace, RoundTripThroughTextPreservesEffect) {
+  TraceGenConfig config;
+  config.operations = 400;
+  config.seed = 13;
+  const Trace trace = GenerateTrace(config);
+  auto reparsed = ParseTrace(SerializeTrace(trace));
+  ASSERT_TRUE(reparsed.ok());
+
+  TimeAuthority authority(2000.0);
+  lustre::FileSystem fs_direct(lustre::FileSystemConfig{}, authority);
+  lustre::FileSystem fs_text(lustre::FileSystemConfig{}, authority);
+  (void)ReplayTraceRaw(trace, fs_direct);
+  (void)ReplayTraceRaw(*reparsed, fs_text);
+  EXPECT_EQ(Namespace(fs_direct), Namespace(fs_text));
+}
+
+TEST(Trace, CostedReplayChargesTime) {
+  TraceGenConfig config;
+  config.operations = 200;
+  const Trace trace = GenerateTrace(config);
+  TimeAuthority authority(2000.0);
+  auto profile = lustre::TestbedProfile::Test();
+  profile.op.create = Micros(500);
+  profile.op.write = Micros(500);
+  profile.op.mkdir = Micros(500);
+  profile.op.unlink = Micros(500);
+  profile.op.rename = Micros(500);
+  profile.op.rmdir = Micros(500);
+  lustre::FileSystem fs(lustre::FileSystemConfig::FromProfile(profile), authority);
+  lustre::Client client(fs, profile, authority);
+  const auto report = ReplayTrace(trace, client, authority);
+  EXPECT_EQ(report.failed, 0u);
+  // ~201 ops x 500us = ~100 virtual ms.
+  EXPECT_GE(report.elapsed, Millis(90));
+}
+
+}  // namespace
+}  // namespace sdci::workload

@@ -1,0 +1,178 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "workload/fsdump.h"
+#include "workload/generator.h"
+#include "workload/nersc.h"
+
+namespace sdci::workload {
+namespace {
+
+TEST(Generator, TypedRunsProduceExactEventCounts) {
+  TimeAuthority authority(2000.0);
+  const auto profile = lustre::TestbedProfile::Test();
+  lustre::FileSystem fs(lustre::FileSystemConfig::FromProfile(profile), authority);
+  EventGenerator gen(fs, profile, authority);
+  ASSERT_TRUE(gen.Prepare().ok());
+
+  const auto creates = gen.RunTyped(OpKind::kCreate, 50);
+  EXPECT_EQ(creates.operations, 50u);
+  EXPECT_EQ(creates.events, 50u);
+  EXPECT_GT(creates.events_per_second, 0.0);
+
+  const auto modifies = gen.RunTyped(OpKind::kModify, 30);
+  EXPECT_EQ(modifies.events, 30u);
+
+  const auto deletes = gen.RunTyped(OpKind::kDelete, 20);
+  EXPECT_EQ(deletes.events, 20u);
+}
+
+TEST(Generator, TypedRatesMatchProfile) {
+  // Low dilation: modeled 2 ms ops must stay above sanitizer-inflated
+  // real per-op costs for the rate comparison to be meaningful.
+  TimeAuthority authority(10.0);
+  auto profile = lustre::TestbedProfile::Test();
+  profile.op.create = Millis(2);  // 500 creates/s
+  lustre::FileSystem fs(lustre::FileSystemConfig::FromProfile(profile), authority);
+  EventGenerator gen(fs, profile, authority);
+  ASSERT_TRUE(gen.Prepare().ok());
+  const auto report = gen.RunTyped(OpKind::kCreate, 400);
+  EXPECT_NEAR(report.events_per_second, 500.0, 60.0);
+}
+
+TEST(Generator, MixedRunCountsAllStreams) {
+  TimeAuthority authority(2000.0);
+  const auto profile = lustre::TestbedProfile::Test();
+  lustre::FileSystem fs(lustre::FileSystemConfig::FromProfile(profile), authority);
+  EventGenerator gen(fs, profile, authority);
+  ASSERT_TRUE(gen.Prepare().ok());
+  const auto report = gen.RunMixed(40);
+  EXPECT_EQ(report.operations, 120u);  // 3 streams x 40
+  EXPECT_EQ(report.events, 120u);
+}
+
+TEST(Generator, MixedForRunsUntilDeadline) {
+  // Low dilation: the 1 ms modeled ops must stay well above real per-op
+  // CPU cost even under sanitizers for the rate check to be meaningful.
+  TimeAuthority authority(5.0);
+  auto profile = lustre::TestbedProfile::Test();
+  profile.op.create = Millis(1);
+  profile.op.write = Millis(1);
+  profile.op.unlink = Millis(1);
+  lustre::FileSystem fs(lustre::FileSystemConfig::FromProfile(profile), authority);
+  EventGenerator gen(fs, profile, authority);
+  ASSERT_TRUE(gen.Prepare().ok());
+  const auto report = gen.RunMixedFor(Millis(300));
+  // ~3 streams x 300 ops expected; generous bounds.
+  EXPECT_GT(report.events, 450u);
+  EXPECT_LT(report.events, 1300u);
+  EXPECT_GE(report.elapsed, Millis(290));
+}
+
+TEST(DumpDiff, DetectsCreatedModifiedDeleted) {
+  FsDump prev;
+  prev["/a"] = DumpEntry{1, 100, 10};
+  prev["/b"] = DumpEntry{2, 100, 10};
+  prev["/c"] = DumpEntry{3, 100, 10};
+  FsDump cur;
+  cur["/a"] = DumpEntry{1, 100, 10};   // unchanged
+  cur["/b"] = DumpEntry{2, 150, 12};   // modified
+  cur["/d"] = DumpEntry{4, 1, 12};     // created
+  const DumpDiff diff = DiffDumps(prev, cur);
+  EXPECT_EQ(diff.created, 1u);
+  EXPECT_EQ(diff.modified, 1u);
+  EXPECT_EQ(diff.deleted, 1u);
+  EXPECT_EQ(diff.TotalDifferences(), 3u);
+}
+
+TEST(DumpDiff, ReplacedInodeCountsAsCreate) {
+  FsDump prev;
+  prev["/x"] = DumpEntry{1, 100, 10};
+  FsDump cur;
+  cur["/x"] = DumpEntry{9, 100, 10};  // same name+size+mtime, new inode
+  const DumpDiff diff = DiffDumps(prev, cur);
+  EXPECT_EQ(diff.created, 1u);
+  EXPECT_EQ(diff.modified, 0u);
+}
+
+TEST(DumpDiff, SerializationRoundTrip) {
+  FsDump dump;
+  dump["/p/a.txt"] = DumpEntry{12, 345, 678};
+  dump["/p/b|weird"] = DumpEntry{13, 0, -5};  // '|' in name breaks the codec
+  // The pipe-delimited format cannot hold '|' paths; use a clean dump.
+  dump.erase("/p/b|weird");
+  dump["/p/c"] = DumpEntry{14, 1, 2};
+  auto parsed = ParseDump(SerializeDump(dump));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)["/p/a.txt"].inode, 12u);
+  EXPECT_EQ((*parsed)["/p/c"].mtime, 2);
+}
+
+TEST(DumpDiff, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseDump("only|three|fields").ok());
+  EXPECT_FALSE(ParseDump("/p|x|y|z").ok());
+  EXPECT_TRUE(ParseDump("").ok());
+  EXPECT_TRUE(ParseDump("\n\n").ok());
+}
+
+TEST(NerscTrace, DeterministicForSeed) {
+  NerscTraceConfig config;
+  config.days = 6;
+  config.scale = 100000;
+  const auto a = RunNerscTrace(config);
+  const auto b = RunNerscTrace(config);
+  ASSERT_EQ(a.days.size(), b.days.size());
+  for (size_t i = 0; i < a.days.size(); ++i) {
+    EXPECT_EQ(a.days[i].observed_created, b.days[i].observed_created);
+    EXPECT_EQ(a.days[i].observed_modified, b.days[i].observed_modified);
+  }
+}
+
+TEST(NerscTrace, ObservationsUndercountGroundTruth) {
+  NerscTraceConfig config;
+  config.days = 10;
+  config.scale = 50000;
+  const auto analysis = RunNerscTrace(config);
+  ASSERT_EQ(analysis.days.size(), 10u);
+  uint64_t true_created = 0;
+  uint64_t observed_created = 0;
+  uint64_t short_lived = 0;
+  for (const auto& day : analysis.days) {
+    true_created += day.true_created;
+    observed_created += day.observed_created;
+    short_lived += day.true_short_lived;
+    // Dump diffs can never see more creates than actually happened.
+    EXPECT_LE(day.observed_created, day.true_created);
+  }
+  EXPECT_GT(short_lived, 0u);
+  EXPECT_LE(observed_created + short_lived, true_created + 1)
+      << "observed + short-lived accounts for the gap (deletes of new files aside)";
+}
+
+TEST(NerscTrace, DerivedRatesFollowPeak) {
+  NerscTraceConfig config;
+  config.days = 12;
+  config.scale = 50000;
+  const auto analysis = RunNerscTrace(config);
+  EXPECT_GT(analysis.peak_daily_differences, 0u);
+  EXPECT_NEAR(analysis.mean_events_per_second_24h,
+              static_cast<double>(analysis.peak_daily_differences) / 86400.0, 1e-6);
+  EXPECT_NEAR(analysis.worst_case_events_per_second_8h,
+              analysis.mean_events_per_second_24h * 3.0, 1e-6);
+  EXPECT_NEAR(analysis.ExtrapolatedEventsPerSecond(25.0),
+              analysis.worst_case_events_per_second_8h * 25.0, 1e-6);
+}
+
+TEST(NerscTrace, CsvSeriesHasHeaderAndRows) {
+  NerscTraceConfig config;
+  config.days = 3;
+  config.scale = 100000;
+  const auto analysis = RunNerscTrace(config);
+  const std::string csv = NerscSeriesCsv(analysis);
+  EXPECT_EQ(csv.rfind("day,created,modified\n", 0), 0u);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);  // header + 3 rows
+}
+
+}  // namespace
+}  // namespace sdci::workload
