@@ -73,21 +73,33 @@ void Aggregator::IngestLoop(const std::stop_token& stop) {
       continue;
     }
     idle_rounds_after_stop = 0;
-    auto events = DecodeEventBatch(message->payload);
-    if (!events.ok()) {
+    // Decode the collector message exactly once; everything downstream
+    // shares the decoded batch. Zero-event payloads are hostile (the wire
+    // contract is >= 1 event) and counted with the malformed ones.
+    auto events = DecodeEventBatch(message->bytes());
+    if (!events.ok() || events->empty()) {
       decode_errors_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    for (FsEvent& event : *events) {
-      ingest_budget_.Charge(profile_.aggregator_ingest_latency);
-      event.global_seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-      received_.fetch_add(1, std::memory_order_relaxed);
-      // Hand off to both downstream threads. Blocking pushes propagate
-      // backpressure to the collectors ("no loss of events once they
-      // have been processed").
-      if (!publish_queue_.Push(event).ok()) return;
-      if (!store_queue_.Push(std::move(event)).ok()) return;
+    const auto count = static_cast<uint64_t>(events->size());
+    ingest_budget_.Charge(profile_.aggregator_ingest_latency *
+                          static_cast<int64_t>(count));
+    // One sequence range per batch: one atomic op instead of one per event.
+    const uint64_t base = next_seq_.fetch_add(count, std::memory_order_relaxed);
+    for (uint64_t i = 0; i < count; ++i) (*events)[i].global_seq = base + i;
+    received_.fetch_add(count, std::memory_order_relaxed);
+    batches_received_.fetch_add(1, std::memory_order_relaxed);
+
+    EventBatch batch(std::move(events.value()));
+    // Hand off to both downstream threads. Blocking pushes propagate
+    // backpressure to the collectors ("no loss of events once they have
+    // been processed"). The publish side gets type-homogeneous sub-batches
+    // so per-type topics keep working; a homogeneous batch is shared with
+    // the store queue outright (two refcount bumps, zero event copies).
+    for (EventBatch& group : batch.SplitByType()) {
+      if (!publish_queue_.Push(std::move(group)).ok()) return;
     }
+    if (!store_queue_.Push(std::move(batch)).ok()) return;
     ingest_budget_.Flush();
   }
   ingest_budget_.Flush();
@@ -95,20 +107,26 @@ void Aggregator::IngestLoop(const std::stop_token& stop) {
 
 void Aggregator::PublishLoop() {
   while (true) {
-    auto event = publish_queue_.Pop();
-    if (!event.ok()) break;  // closed and drained
-    msgq::Message message(EventTopic(*event), EncodeEventBatch({*event}));
-    delivery_latency_.Record(authority_->Now() - event->time);
+    auto batch = publish_queue_.Pop();
+    if (!batch.ok()) break;  // closed and drained
+    // payload() encodes the batch once; fan-out below shares those bytes
+    // across every subscriber queue.
+    msgq::Message message(batch->Topic(), batch->payload());
+    const VirtualTime now = authority_->Now();
+    for (const FsEvent& event : batch->events()) {
+      delivery_latency_.Record(now - event.time);
+    }
     pub_->Publish(std::move(message));
-    published_.fetch_add(1, std::memory_order_relaxed);
+    published_.fetch_add(batch->size(), std::memory_order_relaxed);
+    batches_published_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void Aggregator::StoreLoop() {
   while (true) {
-    auto event = store_queue_.Pop();
-    if (!event.ok()) break;
-    store_.Append(std::move(event.value()));
+    auto batch = store_queue_.Pop();
+    if (!batch.ok()) break;
+    store_.Append(*batch);
   }
 }
 
@@ -124,7 +142,7 @@ void Aggregator::ApiLoop(const std::stop_token& stop) {
 }
 
 void Aggregator::HandleApiRequest(msgq::Request& request) {
-  auto parsed = json::Parse(request.message.payload);
+  auto parsed = json::Parse(request.message.bytes());
   if (!parsed.ok()) {
     json::Object err;
     err["error"] = json::Value(parsed.status().ToString());
@@ -157,7 +175,9 @@ void Aggregator::HandleApiRequest(msgq::Request& request) {
 AggregatorStats Aggregator::Stats() const {
   AggregatorStats stats;
   stats.received = received_.load(std::memory_order_relaxed);
+  stats.batches_received = batches_received_.load(std::memory_order_relaxed);
   stats.published = published_.load(std::memory_order_relaxed);
+  stats.batches_published = batches_published_.load(std::memory_order_relaxed);
   stats.stored = store_.TotalAppended();
   stats.decode_errors = decode_errors_.load(std::memory_order_relaxed);
   return stats;

@@ -1,10 +1,15 @@
 // Aggregator: the monitor's fan-in, publication and history service.
 //
-// Receives processed events from every Collector, assigns a global
-// sequence, and — on separate threads, as in the paper ("the Aggregator is
-// multi-threaded") — publishes each event to all subscribed consumers and
-// appends it to the rotating EventStore. A REQ/REP API serves historic
-// events so a consumer that crashed can recover its gap.
+// Receives processed event batches from every Collector, assigns a global
+// sequence per batch, and — on separate threads, as in the paper ("the
+// Aggregator is multi-threaded") — publishes batches to all subscribed
+// consumers and appends them to the rotating EventStore. Batches stay
+// batches end-to-end: the ingest thread decodes a collector message once,
+// the publish thread re-encodes at most once per type group (so consumer
+// topic prefix filters like "fsevent.CREAT" keep working), and the two
+// internal queues share one EventBatch representation instead of copying
+// per-event. A REQ/REP API serves historic events so a consumer that
+// crashed can recover its gap.
 #pragma once
 
 #include <atomic>
@@ -29,15 +34,17 @@ struct AggregatorConfig {
   std::string api_endpoint = "inproc://monitor.api";
   CollectTransport transport = CollectTransport::kPubSub;
   size_t store_capacity = 200000;  // rotating catalog, in events
-  size_t internal_queue = 65536;   // depth of the publish/store hand-off
+  size_t internal_queue = 65536;   // depth of the publish/store hand-off, in batches
   size_t ingest_hwm = 65536;       // collector->aggregator socket depth
 };
 
 struct AggregatorStats {
-  uint64_t received = 0;   // events ingested from collectors
-  uint64_t published = 0;  // events fanned out to subscribers
-  uint64_t stored = 0;     // events appended to the catalog
-  uint64_t decode_errors = 0;
+  uint64_t received = 0;           // events ingested from collectors
+  uint64_t batches_received = 0;   // collector messages successfully decoded
+  uint64_t published = 0;          // events fanned out to subscribers
+  uint64_t batches_published = 0;  // messages fanned out (>= 1 event each)
+  uint64_t stored = 0;             // events appended to the catalog
+  uint64_t decode_errors = 0;      // malformed or zero-event payloads
 };
 
 class Aggregator {
@@ -87,15 +94,17 @@ class Aggregator {
   std::shared_ptr<msgq::RepSocket> rep_;
 
   EventStore store_;
-  BoundedQueue<FsEvent> publish_queue_;
-  BoundedQueue<FsEvent> store_queue_;
+  BoundedQueue<EventBatch> publish_queue_;
+  BoundedQueue<EventBatch> store_queue_;
 
   DelayBudget ingest_budget_;
   DelayBudget publish_budget_;
 
   std::atomic<uint64_t> next_seq_{1};
   std::atomic<uint64_t> received_{0};
+  std::atomic<uint64_t> batches_received_{0};
   std::atomic<uint64_t> published_{0};
+  std::atomic<uint64_t> batches_published_{0};
   std::atomic<uint64_t> decode_errors_{0};
   LatencyHistogram delivery_latency_;
 

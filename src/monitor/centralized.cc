@@ -66,6 +66,8 @@ size_t CentralizedCollector::DrainMds(size_t mdt) {
   if (n == 0) return 0;
   extracted_.fetch_add(n, std::memory_order_relaxed);
   next_index_[mdt] = records.back().index + 1;
+  std::vector<FsEvent> events;
+  events.reserve(records.size());
   for (const auto& record : records) {
     FsEvent event;
     event.mdt_index = static_cast<int>(mdt);
@@ -82,9 +84,11 @@ size_t CentralizedCollector::DrainMds(size_t mdt) {
       event.path = *parent_path == "/" ? "/" + record.name
                                        : *parent_path + "/" + record.name;
     }
-    processed_.fetch_add(1, std::memory_order_relaxed);
-    store_.Append(std::move(event));
+    events.push_back(std::move(event));
   }
+  processed_.fetch_add(events.size(), std::memory_order_relaxed);
+  // One lock acquisition per ChangeLog read batch, not per event.
+  store_.AppendBatch(std::move(events));
   if (config_.purge) {
     budget_.Charge(profile_.changelog_clear_latency);
     (void)changelog.Clear(consumer_ids_[mdt], records.back().index);

@@ -285,21 +285,23 @@ void Collector::MaintainCache(const FsEvent& event) {
 }
 
 bool Collector::Report(std::vector<FsEvent>& events) {
-  // Aggregation hand-off: serialize in publish_batch-sized messages. The
+  // Aggregation hand-off: one EventBatch per publish_batch-sized chunk.
+  // The batch is encoded exactly once (payload()); the msgq message shares
+  // those bytes, so the PUB/SUB or PUSH/PULL hand-off moves a pointer. The
   // collect endpoint carries exactly one aggregator; "nobody accepted"
   // means it is absent (or its queue dropped us) and the batch must be
   // retried rather than purged.
-  const size_t batch = std::max<size_t>(1, config_.publish_batch);
-  std::vector<FsEvent> chunk;
-  for (size_t start = 0; start < events.size(); start += batch) {
-    const size_t end = std::min(events.size(), start + batch);
-    chunk.assign(events.begin() + static_cast<ptrdiff_t>(start),
-                 events.begin() + static_cast<ptrdiff_t>(end));
+  const size_t batch_size = std::max<size_t>(1, config_.publish_batch);
+  for (size_t start = 0; start < events.size(); start += batch_size) {
+    const size_t end = std::min(events.size(), start + batch_size);
+    const EventBatch batch(std::vector<FsEvent>(
+        events.begin() + static_cast<ptrdiff_t>(start),
+        events.begin() + static_cast<ptrdiff_t>(end)));
     msgq::Message message(strings::Format("collect.mdt{}", mdt_index_),
-                          EncodeEventBatch(chunk));
+                          batch.payload());
     budget_.Charge(profile_.collector_publish_latency);
     const VirtualTime now = authority_->Now();
-    for (const FsEvent& event : chunk) {
+    for (const FsEvent& event : batch.events()) {
       detection_latency_.Record(now - event.time);
     }
     if (pub_ != nullptr) {

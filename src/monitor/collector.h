@@ -2,7 +2,8 @@
 //
 // Each Collector tails its MDS's ChangeLog, resolves FIDs to absolute
 // paths, refactors the raw record tuples into FsEvents, reports them to
-// the Aggregator over msgq, and purges consumed records from the
+// the Aggregator as EventBatches over msgq (each batch encoded once, its
+// bytes shared into the socket), and purges consumed records from the
 // ChangeLog (keeping a pointer to the most recently extracted event so
 // nothing is missed across restarts).
 //

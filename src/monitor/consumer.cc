@@ -12,15 +12,44 @@ EventSubscriber::EventSubscriber(msgq::Context& context,
   sub_->Subscribe(std::move(topic_prefix));
 }
 
-Result<FsEvent> EventSubscriber::Decode(Result<msgq::Message> message) {
+Result<EventBatch> EventSubscriber::DecodeBatch(Result<msgq::Message> message) {
   if (!message.ok()) return message.status();
-  auto events = DecodeEventBatch(message->payload);
-  if (!events.ok()) return events.status();
-  if (events->empty()) return NotFoundError("empty event batch");
-  // Queue extras (oldest-first) for subsequent Next() calls.
-  FsEvent first = std::move(events->front());
-  for (size_t i = events->size(); i > 1; --i) {
-    pending_.push_back(std::move((*events)[i - 1]));
+  // Share the wire bytes: the batch keeps the received payload, so a
+  // consumer that republishes (or logs) it never re-encodes.
+  auto batch = EventBatch::FromPayload(message->payload);
+  if (!batch.ok()) return batch.status();
+  ++batches_received_;
+  return batch;
+}
+
+Result<EventBatch> EventSubscriber::NextBatch() {
+  return NextBatchFor(std::chrono::nanoseconds(-1));
+}
+
+Result<EventBatch> EventSubscriber::NextBatchFor(std::chrono::nanoseconds timeout) {
+  if (!pending_.empty()) {
+    // Events buffered by a per-event call: return them as a synthetic batch
+    // so mixing the two APIs never reorders or loses events.
+    std::vector<FsEvent> events(pending_.rbegin(), pending_.rend());
+    pending_.clear();
+    received_ += events.size();
+    return EventBatch(std::move(events));
+  }
+  auto batch = DecodeBatch(timeout < std::chrono::nanoseconds(0)
+                               ? sub_->Receive()
+                               : sub_->ReceiveFor(timeout));
+  if (batch.ok()) received_ += batch->size();
+  return batch;
+}
+
+Result<FsEvent> EventSubscriber::Decode(Result<msgq::Message> message) {
+  auto batch = DecodeBatch(std::move(message));
+  if (!batch.ok()) return batch.status();
+  const std::vector<FsEvent>& events = batch->events();
+  // Queue extras (oldest-first consumption) for subsequent Next() calls.
+  FsEvent first = events.front();
+  for (size_t i = events.size(); i > 1; --i) {
+    pending_.push_back(events[i - 1]);
   }
   ++received_;
   return first;
@@ -61,7 +90,7 @@ Result<HistoryClient::Page> HistoryClient::Issue(const json::Value& query,
                                                  std::chrono::nanoseconds timeout) {
   auto reply = req_->RequestReply(msgq::Message("api.query", query.Dump()), timeout);
   if (!reply.ok()) return reply.status();
-  auto parsed = json::Parse(reply->payload);
+  auto parsed = json::Parse(reply->bytes());
   if (!parsed.ok()) return parsed.status();
   if (parsed->Has("error")) return InternalError(parsed->GetString("error"));
   Page page;

@@ -24,7 +24,16 @@ class EventSubscriber {
                   std::string topic_prefix = "fsevent.", size_t hwm = 65536,
                   msgq::HwmPolicy policy = msgq::HwmPolicy::kDropNewest);
 
-  // Next event (blocking / with timeout / non-blocking).
+  // Next whole batch (blocking / with timeout). The aggregator publishes
+  // one message per type-homogeneous batch; this decodes it exactly once
+  // and shares the received bytes (no re-encode, no per-event copies).
+  // Returns any events already buffered by a per-event Next() first.
+  Result<EventBatch> NextBatch();
+  Result<EventBatch> NextBatchFor(std::chrono::nanoseconds timeout);
+
+  // Next single event (blocking / with timeout / non-blocking). Convenience
+  // over NextBatch: extra events from a multi-event message are buffered
+  // for subsequent calls.
   Result<FsEvent> Next();
   Result<FsEvent> NextFor(std::chrono::nanoseconds timeout);
   std::optional<FsEvent> TryNext();
@@ -33,14 +42,17 @@ class EventSubscriber {
   void Close();
 
   [[nodiscard]] uint64_t received() const noexcept { return received_; }
+  [[nodiscard]] uint64_t batches_received() const noexcept { return batches_received_; }
   [[nodiscard]] uint64_t dropped_at_socket() const { return sub_->dropped(); }
 
  private:
+  Result<EventBatch> DecodeBatch(Result<msgq::Message> message);
   Result<FsEvent> Decode(Result<msgq::Message> message);
 
   std::shared_ptr<msgq::SubSocket> sub_;
-  std::vector<FsEvent> pending_;  // events from a multi-event message
+  std::vector<FsEvent> pending_;  // events from a multi-event message, reversed
   uint64_t received_ = 0;
+  uint64_t batches_received_ = 0;
 };
 
 // Historic-events API client ("an API to retrieve recent events in order

@@ -132,7 +132,9 @@ Result<std::vector<FsEvent>> DecodeEventBatch(std::string_view payload) {
   if (!count.ok()) return count.status();
   // A record is >= ~77 bytes encoded; a count claiming more events than
   // the payload could possibly hold is hostile (reserving it unvalidated
-  // would be an allocation bomb).
+  // would be an allocation bomb). The per-field reads below are themselves
+  // bounds-checked, so a string length field pointing past the buffer
+  // fails with a Status rather than reading out of range.
   constexpr size_t kMinEncodedEvent = 64;
   if (*count > reader.Remaining() / kMinEncodedEvent + 1) {
     return InvalidArgumentError("event count exceeds payload capacity");
@@ -150,6 +152,89 @@ Result<std::vector<FsEvent>> DecodeEventBatch(std::string_view payload) {
 
 std::string EventTopic(const FsEvent& event) {
   return "fsevent." + std::string(lustre::ChangeLogTypeName(event.type));
+}
+
+// ---------- EventBatch ----------
+
+EventBatch::EventBatch(std::vector<FsEvent> events) {
+  auto rep = std::make_shared<Rep>();
+  rep->events = std::move(events);
+  rep_ = std::move(rep);
+}
+
+Result<EventBatch> EventBatch::FromPayload(std::shared_ptr<const std::string> payload) {
+  if (payload == nullptr) return InvalidArgumentError("null event batch payload");
+  auto events = DecodeEventBatch(*payload);
+  if (!events.ok()) return events.status();
+  if (events->empty()) return InvalidArgumentError("zero-event batch on the wire");
+  auto rep = std::make_shared<Rep>();
+  rep->events = std::move(events.value());
+  rep->payload = std::move(payload);
+  return EventBatch(std::move(rep));
+}
+
+Result<EventBatch> EventBatch::FromPayload(std::string payload) {
+  return FromPayload(std::make_shared<const std::string>(std::move(payload)));
+}
+
+const std::vector<FsEvent>& EventBatch::events() const noexcept {
+  static const std::vector<FsEvent> kEmpty;
+  return rep_ == nullptr ? kEmpty : rep_->events;
+}
+
+std::shared_ptr<const std::string> EventBatch::payload() const {
+  if (rep_ == nullptr) {
+    return std::make_shared<const std::string>(EncodeEventBatch({}));
+  }
+  // call_once (not a bare null check) so concurrent pipeline threads cannot
+  // race the lazy encode; after construction the payload never changes.
+  std::call_once(rep_->encode_once, [this] {
+    if (rep_->payload == nullptr) {
+      rep_->payload = std::make_shared<const std::string>(EncodeEventBatch(rep_->events));
+    }
+  });
+  return rep_->payload;
+}
+
+std::string EventBatch::Topic() const {
+  return empty() ? std::string() : EventTopic(events().front());
+}
+
+std::vector<EventBatch> EventBatch::SplitByType() const {
+  const std::vector<FsEvent>& all = events();
+  bool homogeneous = true;
+  for (size_t i = 1; i < all.size(); ++i) {
+    if (all[i].type != all.front().type) {
+      homogeneous = false;
+      break;
+    }
+  }
+  if (homogeneous) return all.empty() ? std::vector<EventBatch>{} : std::vector<EventBatch>{*this};
+  // Split into maximal runs of equal type. Grouping ALL same-type events
+  // together would reorder interleaved types, breaking the pipeline's
+  // per-MDS ordering guarantee for full-stream subscribers; runs keep the
+  // total order while every message stays type-homogeneous for topic
+  // filtering. Worst case (alternating types) degrades to per-event
+  // messages — never worse than unbatched publishing.
+  std::vector<EventBatch> out;
+  std::vector<FsEvent> run;
+  for (const FsEvent& event : all) {
+    if (!run.empty() && run.back().type != event.type) {
+      out.emplace_back(std::move(run));
+      run.clear();
+    }
+    run.push_back(event);
+  }
+  out.emplace_back(std::move(run));
+  return out;
+}
+
+size_t EventBatch::ApproxBytes() const noexcept {
+  if (rep_ == nullptr) return sizeof(EventBatch);
+  size_t bytes = sizeof(EventBatch) + sizeof(Rep);
+  for (const FsEvent& event : rep_->events) bytes += event.ApproxBytes();
+  if (rep_->payload != nullptr) bytes += rep_->payload->capacity();
+  return bytes;
 }
 
 }  // namespace sdci::monitor

@@ -5,9 +5,17 @@
 // "Processing" step). Events travel Collector → Aggregator → consumers as
 // msgq messages; both a compact binary codec (the wire format) and a JSON
 // codec (the historic-events API) are provided.
+//
+// EventBatch is the unit the pipeline moves: an immutable set of events
+// plus its wire encoding, both shared by reference. A batch is encoded at
+// most once (lazily, on first payload() use) and decoded at most once per
+// process; every hand-off after that — msgq fan-out, the aggregator's
+// publish/store queues, consumer delivery — shares the same bytes.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,5 +61,58 @@ Result<std::vector<FsEvent>> DecodeEventBatch(std::string_view payload);
 // Topic used on the aggregator's public stream for one event, e.g.
 // "fsevent.CREAT". Consumers can prefix-filter on "fsevent." or a type.
 std::string EventTopic(const FsEvent& event);
+
+// An immutable batch of events with a shared, at-most-once-computed wire
+// encoding. Copying an EventBatch is two reference-count bumps: the decoded
+// events and the encoded payload are shared, never duplicated. This is what
+// travels through the aggregator's internal queues and what producers /
+// consumers hand to msgq (the message payload IS the batch's payload
+// pointer, so PUB fan-out to N subscribers moves zero bytes).
+class EventBatch {
+ public:
+  EventBatch() = default;  // empty batch
+
+  // Encode-side construction (Collector, Aggregator re-grouping). The wire
+  // encoding is computed lazily on the first payload() call and cached.
+  explicit EventBatch(std::vector<FsEvent> events);
+
+  // Decode-side construction: validates and decodes the wire bytes once,
+  // sharing (not copying) them as the batch's encoding. Rejects malformed
+  // payloads and zero-event batches (a wire message carries >= 1 event).
+  static Result<EventBatch> FromPayload(std::shared_ptr<const std::string> payload);
+  static Result<EventBatch> FromPayload(std::string payload);
+
+  [[nodiscard]] const std::vector<FsEvent>& events() const noexcept;
+  [[nodiscard]] size_t size() const noexcept { return events().size(); }
+  [[nodiscard]] bool empty() const noexcept { return events().empty(); }
+
+  // The encoded wire bytes; encoded on first call, shared thereafter.
+  // Thread-safe (batches are shared across pipeline threads).
+  [[nodiscard]] std::shared_ptr<const std::string> payload() const;
+
+  // Publication topic of the first event ("fsevent.<TYPE>"); "" if empty.
+  // Publishers emit type-homogeneous batches so prefix filters still work.
+  [[nodiscard]] std::string Topic() const;
+
+  // Splits into type-homogeneous sub-batches: maximal runs of equal type,
+  // so concatenating the sub-batches reproduces the original event order
+  // (the pipeline's per-MDS ordering guarantee survives publication). An
+  // already-homogeneous batch is returned as-is (shared — no event or
+  // payload copy), which is the common case for real workloads.
+  [[nodiscard]] std::vector<EventBatch> SplitByType() const;
+
+  [[nodiscard]] size_t ApproxBytes() const noexcept;
+
+ private:
+  struct Rep {
+    std::vector<FsEvent> events;
+    mutable std::shared_ptr<const std::string> payload;  // set once
+    mutable std::once_flag encode_once;
+  };
+
+  explicit EventBatch(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+  std::shared_ptr<const Rep> rep_;
+};
 
 }  // namespace sdci::monitor

@@ -17,6 +17,32 @@ void EventStore::Append(FsEvent event) {
   }
 }
 
+void EventStore::Append(const EventBatch& batch) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const FsEvent& event : batch.events()) {
+    memory_.Charge(event.ApproxBytes());
+    events_.push_back(event);
+    ++total_appended_;
+  }
+  while (events_.size() > max_events_) {
+    memory_.Release(events_.front().ApproxBytes());
+    events_.pop_front();
+  }
+}
+
+void EventStore::AppendBatch(std::vector<FsEvent> events) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (FsEvent& event : events) {
+    memory_.Charge(event.ApproxBytes());
+    events_.push_back(std::move(event));
+    ++total_appended_;
+  }
+  while (events_.size() > max_events_) {
+    memory_.Release(events_.front().ApproxBytes());
+    events_.pop_front();
+  }
+}
+
 std::vector<FsEvent> EventStore::Query(uint64_t from_seq, size_t max,
                                        uint64_t* first_available) const {
   const std::lock_guard<std::mutex> lock(mutex_);

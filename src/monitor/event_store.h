@@ -23,6 +23,12 @@ class EventStore {
 
   void Append(FsEvent event);
 
+  // Batch appends: one lock acquisition for the whole batch. This is the
+  // aggregator's store path (and the centralized baseline's), so the store
+  // keeps up with batched ingest without per-event lock traffic.
+  void Append(const EventBatch& batch);
+  void AppendBatch(std::vector<FsEvent> events);
+
   // Events with global_seq >= from_seq, oldest first, up to max. Events
   // older than the rotation window are gone; `first_available` (if given)
   // reports the oldest retained sequence so callers can detect gaps.

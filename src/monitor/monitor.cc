@@ -77,7 +77,9 @@ json::Value Monitor::StatusJson() const {
   const auto agg = aggregator_->Stats();
   json::Object aggregator;
   aggregator["received"] = json::Value(agg.received);
+  aggregator["batches_received"] = json::Value(agg.batches_received);
   aggregator["published"] = json::Value(agg.published);
+  aggregator["batches_published"] = json::Value(agg.batches_published);
   aggregator["stored"] = json::Value(agg.stored);
   aggregator["decode_errors"] = json::Value(agg.decode_errors);
   aggregator["store_first_seq"] = json::Value(aggregator_->store().FirstSeq());

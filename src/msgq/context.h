@@ -12,6 +12,11 @@
 //               API.
 // Endpoints are names like "inproc://monitor.events"; a Context is the
 // registry binding them together. All sockets are thread-safe.
+//
+// Payloads are shared, not copied: Message holds its bytes behind a
+// shared_ptr, so PUB fan-out to N subscribers enqueues N Messages that all
+// reference one payload allocation (a refcount bump per subscriber, as
+// with ZeroMQ's zero-copy message parts).
 #pragma once
 
 #include <condition_variable>

@@ -1,7 +1,12 @@
 // Message: a topic frame plus an opaque payload, as in ZeroMQ pub-sub.
+//
+// The payload is a shared immutable byte string: fanning a message out to N
+// subscribers (or handing it between queues) bumps a reference count instead
+// of copying the bytes. Encode once at the producer, share everywhere after.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -9,14 +14,27 @@ namespace sdci::msgq {
 
 struct Message {
   std::string topic;
-  std::string payload;
+  // Immutable shared payload; nullptr means empty. Producers that already
+  // hold encoded bytes in a shared_ptr (e.g. an EventBatch) pass it through
+  // without any copy.
+  std::shared_ptr<const std::string> payload;
 
   Message() = default;
   Message(std::string topic_frame, std::string payload_bytes)
+      : topic(std::move(topic_frame)),
+        payload(std::make_shared<const std::string>(std::move(payload_bytes))) {}
+  Message(std::string topic_frame, std::shared_ptr<const std::string> payload_bytes)
       : topic(std::move(topic_frame)), payload(std::move(payload_bytes)) {}
 
+  // The payload bytes ("" when unset).
+  [[nodiscard]] const std::string& bytes() const noexcept {
+    static const std::string kEmpty;
+    return payload == nullptr ? kEmpty : *payload;
+  }
+
   [[nodiscard]] size_t ApproxBytes() const noexcept {
-    return sizeof(Message) + topic.capacity() + payload.capacity();
+    return sizeof(Message) + topic.capacity() +
+           (payload == nullptr ? 0 : payload->capacity());
   }
 };
 

@@ -84,13 +84,15 @@ bool Agent::MatchesAnyRule(const monitor::FsEvent& event) const {
 }
 
 void Agent::EventLoop(const std::stop_token& stop) {
+  // Consume whole batches: one receive + one decode per aggregator
+  // message, then the filter/report path per event.
   while (!stop.stop_requested()) {
-    auto event = source_->NextFor(std::chrono::milliseconds(5));
-    if (!event.ok()) {
-      if (event.status().code() == StatusCode::kClosed) break;
+    auto batch = source_->NextBatchFor(std::chrono::milliseconds(5));
+    if (!batch.ok()) {
+      if (batch.status().code() == StatusCode::kClosed) break;
       continue;
     }
-    DeliverEvent(*event);
+    DeliverBatch(*batch);
   }
 }
 
@@ -112,6 +114,12 @@ void Agent::DeliverEvent(const monitor::FsEvent& event) {
   if (!MatchesAnyRule(event)) return;
   events_matched_.fetch_add(1, std::memory_order_relaxed);
   ReportWithRetry(event);
+}
+
+void Agent::DeliverBatch(const monitor::EventBatch& batch) {
+  for (const monitor::FsEvent& event : batch.events()) {
+    DeliverEvent(event);
+  }
 }
 
 void Agent::ReportWithRetry(const monitor::FsEvent& event) {

@@ -100,6 +100,8 @@ class Agent {
   // --- Direct injection (for tests / non-threaded harnesses) ---
   // Runs the filter+report path for one event synchronously.
   void DeliverEvent(const monitor::FsEvent& event);
+  // Same, for a whole batch (the event thread's unit of work).
+  void DeliverBatch(const monitor::EventBatch& batch);
   // Executes every queued action synchronously.
   size_t DrainActions();
 

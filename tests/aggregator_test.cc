@@ -69,6 +69,73 @@ TEST_F(AggregatorTest, AssignsGlobalSequenceAndFansOut) {
   EXPECT_EQ(stats.published, 3u);
   EXPECT_EQ(stats.stored, 3u);
   EXPECT_EQ(stats.decode_errors, 0u);
+  // Two collector messages in, two homogeneous batch messages out.
+  EXPECT_EQ(stats.batches_received, 2u);
+  EXPECT_EQ(stats.batches_published, 2u);
+}
+
+TEST_F(AggregatorTest, PublishesTypeGroupedBatchesNotPerEventMessages) {
+  const auto config = Config();
+  Aggregator aggregator(profile_, authority_, context_, config);
+  // Raw subscriber: sees the actual wire messages, not the per-event view.
+  auto raw = context_.CreateSub(config.publish_endpoint);
+  raw->Subscribe("fsevent.");
+  auto pub = context_.CreatePub(config.collect_endpoint);
+  aggregator.Start();
+
+  // One collector batch: a run of 6 creates then a run of 2 unlinks.
+  std::vector<FsEvent> batch;
+  for (int i = 1; i <= 8; ++i) {
+    FsEvent event = Event(i);
+    if (i > 6) event.type = lustre::ChangeLogType::kUnlink;
+    batch.push_back(std::move(event));
+  }
+  Send(*pub, batch);
+
+  // Exactly two messages reach subscribers: one per type run, in original
+  // order, each carrying the whole run (no per-event fan-out).
+  auto first = raw->ReceiveFor(std::chrono::seconds(5));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->topic, "fsevent.CREAT");
+  auto creates = DecodeEventBatch(first->bytes());
+  ASSERT_TRUE(creates.ok());
+  ASSERT_EQ(creates->size(), 6u);
+  for (size_t i = 1; i < creates->size(); ++i) {
+    EXPECT_LT((*creates)[i - 1].global_seq, (*creates)[i].global_seq);
+  }
+
+  auto second = raw->ReceiveFor(std::chrono::seconds(5));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->topic, "fsevent.UNLNK");
+  auto unlinks = DecodeEventBatch(second->bytes());
+  ASSERT_TRUE(unlinks.ok());
+  EXPECT_EQ(unlinks->size(), 2u);
+
+  WaitForReceived(aggregator, 8);
+  aggregator.Stop();
+  EXPECT_FALSE(raw->TryReceive().has_value()) << "expected exactly 2 messages";
+
+  const auto stats = aggregator.Stats();
+  EXPECT_EQ(stats.batches_received, 1u);
+  EXPECT_EQ(stats.batches_published, 2u);
+  EXPECT_EQ(stats.published, 8u);
+  EXPECT_EQ(stats.stored, 8u);
+}
+
+TEST_F(AggregatorTest, ZeroEventBatchCountedAsDecodeError) {
+  const auto config = Config();
+  Aggregator aggregator(profile_, authority_, context_, config);
+  auto pub = context_.CreatePub(config.collect_endpoint);
+  aggregator.Start();
+  // Valid encoding of zero events: the wire contract is >= 1, so this is
+  // counted with the malformed payloads rather than silently dropped.
+  pub->Publish(msgq::Message("collect.mdt0", EncodeEventBatch({})));
+  Send(*pub, {Event(1)});
+  WaitForReceived(aggregator, 1);
+  aggregator.Stop();
+  EXPECT_EQ(aggregator.Stats().decode_errors, 1u);
+  EXPECT_EQ(aggregator.Stats().batches_received, 1u);
+  EXPECT_EQ(aggregator.Stats().stored, 1u);
 }
 
 TEST_F(AggregatorTest, TypeTopicsAllowFiltering) {

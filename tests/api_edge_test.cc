@@ -22,7 +22,7 @@ TEST(ApiEdge, MalformedQueryGetsErrorEnvelope) {
   auto reply = req->RequestReply(msgq::Message("api.query", "{{{not json"),
                                  std::chrono::seconds(5));
   ASSERT_TRUE(reply.ok());
-  auto parsed = json::Parse(reply->payload);
+  auto parsed = json::Parse(reply->bytes());
   ASSERT_TRUE(parsed.ok());
   EXPECT_TRUE(parsed->Has("error"));
   aggregator.Stop();
@@ -100,7 +100,7 @@ TEST(ApiEdge, RequestReplyIsSingleShot) {
   auto reply = req->RequestReply(msgq::Message("q", "x"), std::chrono::seconds(5));
   server.join();
   ASSERT_TRUE(reply.ok());
-  EXPECT_EQ(reply->payload, "first");
+  EXPECT_EQ(reply->bytes(), "first");
 }
 
 TEST(ApiEdge, TimeRangeQueryOverApi) {

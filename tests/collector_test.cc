@@ -26,7 +26,7 @@ class CollectorTest : public ::testing::Test {
   std::vector<FsEvent> DrainEndpoint(msgq::SubSocket& sub) {
     std::vector<FsEvent> events;
     while (auto message = sub.TryReceive()) {
-      auto batch = DecodeEventBatch(message->payload);
+      auto batch = DecodeEventBatch(message->bytes());
       EXPECT_TRUE(batch.ok());
       for (auto& event : *batch) events.push_back(std::move(event));
     }
@@ -209,7 +209,7 @@ TEST_F(CollectorTest, PublishBatchSplitsMessages) {
   size_t events = 0;
   while (auto message = sub->TryReceive()) {
     ++messages;
-    events += DecodeEventBatch(message->payload)->size();
+    events += DecodeEventBatch(message->bytes())->size();
   }
   EXPECT_EQ(events, 7u);
   EXPECT_EQ(messages, 3u);  // 3 + 3 + 1

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 namespace sdci::monitor {
 namespace {
 
@@ -102,6 +104,134 @@ TEST(EventTopic, EncodesType) {
   EXPECT_EQ(EventTopic(event), "fsevent.CREAT");
   event.type = lustre::ChangeLogType::kUnlink;
   EXPECT_EQ(EventTopic(event), "fsevent.UNLNK");
+}
+
+TEST(EventBatch, PayloadIsEncodedOnceAndShared) {
+  const EventBatch batch({SampleEvent(1), SampleEvent(2)});
+  const auto first = batch.payload();
+  ASSERT_NE(first, nullptr);
+  // Stable: every payload() call returns the same allocation.
+  EXPECT_EQ(batch.payload().get(), first.get());
+  auto decoded = DecodeEventBatch(*first);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 2u);
+}
+
+TEST(EventBatch, FromPayloadSharesWireBytes) {
+  const EventBatch source({SampleEvent(1), SampleEvent(2), SampleEvent(3)});
+  const auto wire = source.payload();
+  auto received = EventBatch::FromPayload(wire);
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  // The received batch keeps the exact wire allocation: no re-encode.
+  EXPECT_EQ(received->payload().get(), wire.get());
+  ASSERT_EQ(received->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    ExpectEventsEqual(received->events()[i], source.events()[i]);
+  }
+}
+
+TEST(EventBatch, FromPayloadRejectsZeroEventBatch) {
+  // An empty batch encodes fine, but the wire contract is >= 1 event.
+  EXPECT_FALSE(EventBatch::FromPayload(EncodeEventBatch({})).ok());
+  EXPECT_FALSE(EventBatch::FromPayload(std::shared_ptr<const std::string>()).ok());
+}
+
+TEST(EventBatch, FromPayloadRejectsCorruptStringLength) {
+  std::string payload = EncodeEventBatch({SampleEvent()});
+  // Path-length u32 offset: header version(2)+count(4), then
+  // mdt(4)+record(8)+seq(8)+type(1)+time(8)+flags(4) = byte 39. Point it
+  // far past the end of the buffer.
+  ASSERT_GT(payload.size(), 43u);
+  payload[39] = '\xff';
+  payload[40] = '\xff';
+  payload[41] = '\xff';
+  payload[42] = '\x7f';
+  EXPECT_FALSE(EventBatch::FromPayload(std::move(payload)).ok());
+}
+
+TEST(EventBatch, TopicIsFirstEventType) {
+  EXPECT_EQ(EventBatch({SampleEvent()}).Topic(), "fsevent.CREAT");
+  EXPECT_EQ(EventBatch().Topic(), "");
+}
+
+TEST(EventBatch, SplitByTypeSharesHomogeneousBatch) {
+  const EventBatch batch({SampleEvent(1), SampleEvent(2)});
+  const auto wire = batch.payload();
+  auto groups = batch.SplitByType();
+  ASSERT_EQ(groups.size(), 1u);
+  // Same rep: the split shares the encoding already computed.
+  EXPECT_EQ(groups[0].payload().get(), wire.get());
+  EXPECT_EQ(groups[0].size(), 2u);
+}
+
+TEST(EventBatch, SplitByTypePreservesTotalOrder) {
+  // Types C C U U C: runs of equal type, NOT all-creates-then-all-unlinks —
+  // concatenating the groups must reproduce the original order.
+  std::vector<FsEvent> events;
+  const lustre::ChangeLogType types[] = {
+      lustre::ChangeLogType::kCreate, lustre::ChangeLogType::kCreate,
+      lustre::ChangeLogType::kUnlink, lustre::ChangeLogType::kUnlink,
+      lustre::ChangeLogType::kCreate};
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    FsEvent event = SampleEvent(seq);
+    event.type = types[seq - 1];
+    events.push_back(std::move(event));
+  }
+  auto groups = EventBatch(std::move(events)).SplitByType();
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].Topic(), "fsevent.CREAT");
+  EXPECT_EQ(groups[1].Topic(), "fsevent.UNLNK");
+  EXPECT_EQ(groups[2].Topic(), "fsevent.CREAT");
+  EXPECT_EQ(groups[0].size(), 2u);
+  EXPECT_EQ(groups[1].size(), 2u);
+  EXPECT_EQ(groups[2].size(), 1u);
+  uint64_t expected_seq = 1;
+  for (const EventBatch& group : groups) {
+    for (const FsEvent& event : group.events()) {
+      EXPECT_EQ(event.global_seq, expected_seq++);
+    }
+  }
+}
+
+TEST(EventBatch, RandomizedRoundTripProperty) {
+  std::mt19937_64 rng(20260806);
+  const std::string alphabet = "abcdefghij/._-";
+  for (int round = 0; round < 50; ++round) {
+    std::vector<FsEvent> events;
+    const size_t count = 1 + rng() % 32;
+    for (size_t i = 0; i < count; ++i) {
+      FsEvent event;
+      event.mdt_index = static_cast<int>(rng() % 16);
+      event.record_index = rng();
+      event.global_seq = rng();
+      event.type = static_cast<lustre::ChangeLogType>(
+          rng() % (static_cast<uint64_t>(lustre::ChangeLogType::kAtime) + 1));
+      event.time = VirtualTime(static_cast<int64_t>(rng() % (1ull << 62)));
+      event.flags = static_cast<uint32_t>(rng());
+      const auto random_string = [&](size_t max_len) {
+        std::string out;
+        for (size_t n = rng() % (max_len + 1); n > 0; --n) {
+          out.push_back(alphabet[rng() % alphabet.size()]);
+        }
+        return out;
+      };
+      event.path = random_string(80);
+      event.name = random_string(24);
+      event.source_path = random_string(80);
+      event.target_fid = lustre::Fid{rng(), static_cast<uint32_t>(rng()),
+                                     static_cast<uint32_t>(rng())};
+      event.parent_fid = lustre::Fid{rng(), static_cast<uint32_t>(rng()),
+                                     static_cast<uint32_t>(rng())};
+      events.push_back(std::move(event));
+    }
+    const EventBatch batch(events);
+    auto received = EventBatch::FromPayload(batch.payload());
+    ASSERT_TRUE(received.ok()) << received.status().ToString();
+    ASSERT_EQ(received->size(), events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+      ExpectEventsEqual(received->events()[i], events[i]);
+    }
+  }
 }
 
 TEST(EventToString, HumanReadable) {

@@ -35,6 +35,18 @@ TEST_P(FuzzTest, EventDecoderNeverCrashesOnRandomBytes) {
   SUCCEED();
 }
 
+TEST_P(FuzzTest, EventBatchFromPayloadNeverCrashesOnRandomBytes) {
+  Rng rng(GetParam() ^ 0xBA7C);
+  for (int i = 0; i < 3000; ++i) {
+    auto batch = monitor::EventBatch::FromPayload(RandomBytes(rng, 200));
+    // Accepted garbage must still satisfy the wire contract.
+    if (batch.ok()) {
+      EXPECT_FALSE(batch->empty());
+    }
+  }
+  SUCCEED();
+}
+
 TEST_P(FuzzTest, EventDecoderRejectsMutatedValidPayloads) {
   Rng rng(GetParam() ^ 0xF00D);
   monitor::FsEvent event;

@@ -51,7 +51,7 @@ TEST_P(PubSubProperty, FilteredFanoutIsExactAndOrdered) {
     std::map<int, int> next_per_publisher;
     size_t received = 0;
     while (auto message = sub.socket->TryReceive()) {
-      const auto parts = strings::Split(message->payload, ':');
+      const auto parts = strings::Split(message->bytes(), ':');
       const int p = static_cast<int>(*strings::ParseInt64(parts[0]));
       const int i = static_cast<int>(*strings::ParseInt64(parts[1]));
       EXPECT_TRUE(strings::StartsWith(message->topic, sub.filter));

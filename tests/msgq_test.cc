@@ -19,10 +19,33 @@ TEST(PubSub, TopicPrefixFiltering) {
   pub->Publish(Message("fsevent.CREAT", "a"));
   pub->Publish(Message("fsevent.UNLNK", "b"));
 
-  EXPECT_EQ(all->Receive()->payload, "a");
-  EXPECT_EQ(all->Receive()->payload, "b");
-  EXPECT_EQ(creates->Receive()->payload, "a");
+  EXPECT_EQ(all->Receive()->bytes(), "a");
+  EXPECT_EQ(all->Receive()->bytes(), "b");
+  EXPECT_EQ(creates->Receive()->bytes(), "a");
   EXPECT_FALSE(creates->TryReceive().has_value());
+}
+
+TEST(PubSub, FanOutSharesOnePayloadAllocation) {
+  Context context;
+  auto pub = context.CreatePub("inproc://t");
+  constexpr size_t kSubscribers = 4;
+  std::vector<std::shared_ptr<SubSocket>> subs;
+  for (size_t i = 0; i < kSubscribers; ++i) {
+    subs.push_back(context.CreateSub("inproc://t"));
+    subs.back()->Subscribe("");
+  }
+
+  const auto payload = std::make_shared<const std::string>(1 << 16, 'x');
+  EXPECT_EQ(pub->Publish(Message("fsevent.CREAT", payload)), kSubscribers);
+
+  std::vector<Message> received;
+  for (auto& sub : subs) received.push_back(std::move(sub->Receive().value()));
+  for (const Message& message : received) {
+    // Pointer identity: every subscriber got the same allocation.
+    EXPECT_EQ(message.payload.get(), payload.get());
+  }
+  // Our handle + one per delivered message; fan-out made zero byte copies.
+  EXPECT_EQ(payload.use_count(), static_cast<long>(1 + kSubscribers));
 }
 
 TEST(PubSub, NoFiltersReceivesNothing) {
@@ -42,7 +65,7 @@ TEST(PubSub, Unsubscribe) {
   sub->Unsubscribe("a");
   pub->Publish(Message("a1", "x"));
   pub->Publish(Message("b1", "y"));
-  EXPECT_EQ(sub->Receive()->payload, "y");
+  EXPECT_EQ(sub->Receive()->bytes(), "y");
 }
 
 TEST(PubSub, PublishWithNoSubscribersDropsSilently) {
@@ -61,8 +84,8 @@ TEST(PubSub, MultiplePublishersShareEndpoint) {
   pub1->Publish(Message("t", "1"));
   pub2->Publish(Message("t", "2"));
   std::set<std::string> payloads;
-  payloads.insert(sub->Receive()->payload);
-  payloads.insert(sub->Receive()->payload);
+  payloads.insert(sub->Receive()->bytes());
+  payloads.insert(sub->Receive()->bytes());
   EXPECT_EQ(payloads, (std::set<std::string>{"1", "2"}));
 }
 
@@ -74,8 +97,8 @@ TEST(PubSub, DropNewestAtHwm) {
   for (int i = 0; i < 5; ++i) pub->Publish(Message("t", std::to_string(i)));
   EXPECT_EQ(sub->delivered(), 2u);
   EXPECT_EQ(sub->dropped(), 3u);
-  EXPECT_EQ(sub->Receive()->payload, "0");
-  EXPECT_EQ(sub->Receive()->payload, "1");
+  EXPECT_EQ(sub->Receive()->bytes(), "0");
+  EXPECT_EQ(sub->Receive()->bytes(), "1");
 }
 
 TEST(PubSub, DropOldestAtHwm) {
@@ -85,8 +108,8 @@ TEST(PubSub, DropOldestAtHwm) {
   sub->Subscribe("");
   for (int i = 0; i < 5; ++i) pub->Publish(Message("t", std::to_string(i)));
   EXPECT_EQ(sub->dropped(), 3u);
-  EXPECT_EQ(sub->Receive()->payload, "3");
-  EXPECT_EQ(sub->Receive()->payload, "4");
+  EXPECT_EQ(sub->Receive()->bytes(), "3");
+  EXPECT_EQ(sub->Receive()->bytes(), "4");
 }
 
 TEST(PubSub, BlockPolicyBackpressures) {
@@ -102,10 +125,10 @@ TEST(PubSub, BlockPolicyBackpressures) {
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   EXPECT_FALSE(second_done.load());
-  EXPECT_EQ(sub->Receive()->payload, "0");
+  EXPECT_EQ(sub->Receive()->bytes(), "0");
   publisher.join();
   EXPECT_TRUE(second_done.load());
-  EXPECT_EQ(sub->Receive()->payload, "1");
+  EXPECT_EQ(sub->Receive()->bytes(), "1");
   EXPECT_EQ(sub->dropped(), 0u);
 }
 
@@ -186,13 +209,13 @@ TEST(ReqRep, RequestReplyRoundTrip) {
   std::thread server([&] {
     auto request = rep->Receive();
     ASSERT_TRUE(request.ok());
-    EXPECT_EQ(request->message.payload, "ping");
+    EXPECT_EQ(request->message.bytes(), "ping");
     request->Reply(Message("r", "pong"));
   });
   auto reply = req->RequestReply(Message("q", "ping"), std::chrono::seconds(5));
   server.join();
   ASSERT_TRUE(reply.ok());
-  EXPECT_EQ(reply->payload, "pong");
+  EXPECT_EQ(reply->bytes(), "pong");
 }
 
 TEST(ReqRep, TimesOutWithoutServer) {

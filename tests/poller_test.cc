@@ -55,7 +55,7 @@ TEST(Poller, WakesOnAsyncDelivery) {
   publisher.join();
   ASSERT_EQ(ready.size(), 1u);
   EXPECT_LT(waited, std::chrono::seconds(1)) << "woke on delivery, not timeout";
-  EXPECT_EQ(sub->Receive()->payload, "late");
+  EXPECT_EQ(sub->Receive()->bytes(), "late");
 }
 
 TEST(Poller, ReportsAllReadySockets) {
