@@ -1,17 +1,27 @@
 #!/usr/bin/env bash
 # Sanitizer gate: build everything with ASan+UBSan and run the full test
-# suite. Slower than the default build; use before merging pipeline or
-# messaging changes (shared-payload bugs are exactly what ASan catches).
+# suite, then again under TSan (the two cannot share a build). Slower than
+# the default build; use before merging pipeline or messaging changes
+# (shared-payload bugs are exactly what ASan catches; the supervisor's
+# crash/restart and the subscriber's backfill paths are what TSan is for).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build-asan}"
 JOBS="${JOBS:-$(nproc)}"
 
-cmake -B "$BUILD_DIR" -S . \
+ASAN_DIR="${BUILD_DIR:-build-asan}"
+cmake -B "$ASAN_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+cmake --build "$ASAN_DIR" -j "$JOBS"
+ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS"
+
+TSAN_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+cmake -B "$TSAN_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$TSAN_DIR" -j "$JOBS"
+ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS"

@@ -10,26 +10,54 @@ namespace {
 constexpr std::chrono::milliseconds kPollQuantum(5);
 }  // namespace
 
+void AggregatorCheckpoint::Append(const EventBatch& batch, uint64_t next_seq) {
+  wal_.Append(batch);
+  // Watermarks only ever advance; release pairs with NextSeq's acquire so a
+  // restarted incarnation reading the watermark also sees the WAL append.
+  uint64_t seen = next_seq_.load(std::memory_order_relaxed);
+  while (seen < next_seq &&
+         !next_seq_.compare_exchange_weak(seen, next_seq, std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
 Aggregator::Aggregator(const lustre::TestbedProfile& profile,
                        const TimeAuthority& authority, msgq::Context& context,
-                       AggregatorConfig config)
+                       AggregatorConfig config, AggregatorAttachments attachments)
     : profile_(profile),
       authority_(&authority),
       config_(std::move(config)),
+      checkpoint_(attachments.checkpoint),
       store_(config_.store_capacity),
       publish_queue_(config_.internal_queue),
       store_queue_(config_.internal_queue),
       ingest_budget_(authority),
       publish_budget_(authority) {
   if (config_.transport == CollectTransport::kPubSub) {
-    sub_ = context.CreateSub(config_.collect_endpoint, config_.ingest_hwm,
-                             msgq::HwmPolicy::kBlock);
-    sub_->Subscribe("");  // all collectors
+    if (attachments.ingest_sub != nullptr) {
+      sub_ = std::move(attachments.ingest_sub);
+    } else {
+      sub_ = context.CreateSub(config_.collect_endpoint, config_.ingest_hwm,
+                               msgq::HwmPolicy::kBlock);
+      sub_->Subscribe("");  // all collectors
+    }
   } else {
-    pull_ = context.CreatePull(config_.collect_endpoint, config_.ingest_hwm);
+    pull_ = attachments.ingest_pull != nullptr
+                ? std::move(attachments.ingest_pull)
+                : context.CreatePull(config_.collect_endpoint, config_.ingest_hwm);
   }
   pub_ = context.CreatePub(config_.publish_endpoint);
   rep_ = context.CreateRep(config_.api_endpoint);
+  if (checkpoint_ != nullptr) {
+    // Restore: sequences resume past everything ever assigned, and the
+    // catalog replays the WAL so the history API still answers for
+    // pre-crash events.
+    next_seq_.store(checkpoint_->NextSeq(), std::memory_order_relaxed);
+    for (const EventBatch& batch : checkpoint_->WalSnapshot()) {
+      store_.Append(batch);
+      restored_events_ += batch.size();
+    }
+  }
 }
 
 Aggregator::~Aggregator() { Stop(); }
@@ -57,6 +85,25 @@ void Aggregator::Stop() {
   if (api_thread_.joinable()) api_thread_.join();
 }
 
+void Aggregator::Crash() {
+  if (!running_.exchange(false)) return;
+  crashed_.store(true, std::memory_order_release);
+  // No graceful drain: each loop notices crashed_ at its next iteration
+  // boundary and bails. Whatever sits in the internal queues afterwards is
+  // simply dropped — the events a real crash would lose from process
+  // memory. (They were checkpointed at ingest, so the next incarnation's
+  // history API can still serve them to gap-healing subscribers.)
+  ingest_thread_.request_stop();
+  if (ingest_thread_.joinable()) ingest_thread_.join();
+  publish_queue_.Close();
+  store_queue_.Close();
+  if (publish_thread_.joinable()) publish_thread_.join();
+  if (store_thread_.joinable()) store_thread_.join();
+  api_thread_.request_stop();
+  rep_->Close();
+  if (api_thread_.joinable()) api_thread_.join();
+}
+
 void Aggregator::IngestLoop(const std::stop_token& stop) {
   const auto receive = [&]() -> Result<msgq::Message> {
     if (sub_ != nullptr) return sub_->ReceiveFor(kPollQuantum);
@@ -66,6 +113,11 @@ void Aggregator::IngestLoop(const std::stop_token& stop) {
   // collector flushes are not lost.
   int idle_rounds_after_stop = 0;
   while (true) {
+    // The crash point sits *before* receive: once a message is popped off
+    // the (incarnation-surviving) ingest socket it is processed through
+    // the checkpoint append below, because the collector purged its
+    // records when the socket accepted the hand-off.
+    if (crashed_.load(std::memory_order_acquire)) break;
     auto message = receive();
     if (!message.ok()) {
       if (message.status().code() == StatusCode::kClosed) break;
@@ -91,6 +143,11 @@ void Aggregator::IngestLoop(const std::stop_token& stop) {
     batches_received_.fetch_add(1, std::memory_order_relaxed);
 
     EventBatch batch(std::move(events.value()));
+    // Write-ahead: the batch (and the advanced watermark) reach the
+    // checkpoint before either downstream thread can see it, so every
+    // assigned global_seq survives a crash even if the publish/store
+    // queues die with this incarnation.
+    if (checkpoint_ != nullptr) checkpoint_->Append(batch, base + count);
     // Hand off to both downstream threads. Blocking pushes propagate
     // backpressure to the collectors ("no loss of events once they have
     // been processed"). The publish side gets type-homogeneous sub-batches
@@ -109,6 +166,9 @@ void Aggregator::PublishLoop() {
   while (true) {
     auto batch = publish_queue_.Pop();
     if (!batch.ok()) break;  // closed and drained
+    // On crash, queued batches are discarded unprocessed: subscribers see
+    // a sequence gap and heal it from the restored history API.
+    if (crashed_.load(std::memory_order_acquire)) continue;
     // payload() encodes the batch once; fan-out below shares those bytes
     // across every subscriber queue.
     msgq::Message message(batch->Topic(), batch->payload());
@@ -126,6 +186,7 @@ void Aggregator::StoreLoop() {
   while (true) {
     auto batch = store_queue_.Pop();
     if (!batch.ok()) break;
+    if (crashed_.load(std::memory_order_acquire)) continue;  // lost with the process
     store_.Append(*batch);
   }
 }
@@ -178,8 +239,9 @@ AggregatorStats Aggregator::Stats() const {
   stats.batches_received = batches_received_.load(std::memory_order_relaxed);
   stats.published = published_.load(std::memory_order_relaxed);
   stats.batches_published = batches_published_.load(std::memory_order_relaxed);
-  stats.stored = store_.TotalAppended();
+  stats.stored = store_.TotalAppended() - restored_events_;
   stats.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  stats.checkpointed = checkpoint_ != nullptr ? checkpoint_->TotalAppended() : 0;
   return stats;
 }
 

@@ -45,12 +45,56 @@ struct AggregatorStats {
   uint64_t batches_published = 0;  // messages fanned out (>= 1 event each)
   uint64_t stored = 0;             // events appended to the catalog
   uint64_t decode_errors = 0;      // malformed or zero-event payloads
+  uint64_t checkpointed = 0;       // events persisted to the checkpoint WAL
+};
+
+// The durable half of an aggregator deployment, owned by whoever
+// supervises it and handed to each incarnation. Models stable storage the
+// way the ChangeLog models the MDS journal: kept in memory, but with
+// write-ahead discipline — the ingest thread appends every batch (and the
+// advanced sequence watermark) *before* the batch becomes visible to the
+// publish/store threads, so any event whose global_seq was ever assigned
+// survives a crash. A restarted incarnation restores next_seq from the
+// watermark (sequence numbers stay monotone, never reused) and rebuilds
+// its EventStore by replaying the WAL (the history API keeps answering
+// for pre-crash events).
+class AggregatorCheckpoint {
+ public:
+  explicit AggregatorCheckpoint(size_t wal_capacity) : wal_(wal_capacity) {}
+
+  // WAL append; `next_seq` is the watermark after this batch (one past its
+  // last assigned sequence).
+  void Append(const EventBatch& batch, uint64_t next_seq);
+
+  [[nodiscard]] uint64_t NextSeq() const noexcept {
+    return next_seq_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::vector<EventBatch> WalSnapshot() const { return wal_.Snapshot(); }
+  [[nodiscard]] uint64_t TotalAppended() const { return wal_.TotalAppended(); }
+  [[nodiscard]] size_t EventCount() const { return wal_.EventCount(); }
+
+ private:
+  EventWal wal_;
+  std::atomic<uint64_t> next_seq_{1};
+};
+
+// Durable attachments that outlive one aggregator incarnation; provided
+// by AggregatorSupervisor. The ingest socket is pre-bound by the owner so
+// collector hand-offs accepted during an outage wait in its queue (as
+// they would in an acked transport) instead of dying with the process.
+struct AggregatorAttachments {
+  AggregatorCheckpoint* checkpoint = nullptr;
+  std::shared_ptr<msgq::SubSocket> ingest_sub;    // for CollectTransport::kPubSub
+  std::shared_ptr<msgq::PullSocket> ingest_pull;  // for CollectTransport::kPushPull
 };
 
 class Aggregator {
  public:
+  // `attachments` is optional: a standalone aggregator creates its own
+  // ingest socket and keeps no durable checkpoint.
   Aggregator(const lustre::TestbedProfile& profile, const TimeAuthority& authority,
-             msgq::Context& context, AggregatorConfig config);
+             msgq::Context& context, AggregatorConfig config,
+             AggregatorAttachments attachments = {});
   ~Aggregator();
 
   Aggregator(const Aggregator&) = delete;
@@ -61,6 +105,14 @@ class Aggregator {
 
   // Drains in-flight events, then stops and joins all threads.
   void Stop();
+
+  // Simulated process crash: threads are torn down *without* the graceful
+  // drain Stop() performs. Batches sitting in the internal publish/store
+  // queues are discarded — exactly what a real crash loses — leaving
+  // subscribers with a sequence gap to heal from the history API. The
+  // attached ingest socket (if any) is left open for the next incarnation;
+  // a Stop() after Crash() is a no-op.
+  void Crash();
 
   [[nodiscard]] AggregatorStats Stats() const;
   [[nodiscard]] const EventStore& store() const noexcept { return store_; }
@@ -87,6 +139,7 @@ class Aggregator {
   lustre::TestbedProfile profile_;
   const TimeAuthority* authority_;
   AggregatorConfig config_;
+  AggregatorCheckpoint* checkpoint_;  // null for a standalone aggregator
 
   std::shared_ptr<msgq::SubSocket> sub_;
   std::shared_ptr<msgq::PullSocket> pull_;
@@ -94,6 +147,7 @@ class Aggregator {
   std::shared_ptr<msgq::RepSocket> rep_;
 
   EventStore store_;
+  uint64_t restored_events_ = 0;  // replayed from the checkpoint at birth
   BoundedQueue<EventBatch> publish_queue_;
   BoundedQueue<EventBatch> store_queue_;
 
@@ -113,6 +167,7 @@ class Aggregator {
   std::jthread store_thread_;
   std::jthread api_thread_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> crashed_{false};
 };
 
 }  // namespace sdci::monitor

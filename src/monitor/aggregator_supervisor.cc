@@ -1,0 +1,118 @@
+#include "monitor/aggregator_supervisor.h"
+
+#include "common/log.h"
+
+namespace sdci::monitor {
+
+AggregatorSupervisor::AggregatorSupervisor(const lustre::TestbedProfile& profile,
+                                           const TimeAuthority& authority,
+                                           msgq::Context& context,
+                                           AggregatorConfig aggregator_config,
+                                           AggregatorSupervisorConfig config)
+    : profile_(profile),
+      authority_(&authority),
+      context_(&context),
+      aggregator_config_(std::move(aggregator_config)),
+      config_(config),
+      checkpoint_(aggregator_config_.store_capacity),
+      rng_(config.fault_seed) {
+  // Bind the ingest socket once, outside any incarnation. Its queue is the
+  // "network" between collectors and the aggregator service: hand-offs
+  // accepted here survive a crash of the process behind it.
+  if (aggregator_config_.transport == CollectTransport::kPubSub) {
+    ingest_sub_ = context.CreateSub(aggregator_config_.collect_endpoint,
+                                    aggregator_config_.ingest_hwm,
+                                    msgq::HwmPolicy::kBlock);
+    ingest_sub_->Subscribe("");  // all collectors
+  } else {
+    ingest_pull_ = context.CreatePull(aggregator_config_.collect_endpoint,
+                                      aggregator_config_.ingest_hwm);
+  }
+}
+
+AggregatorSupervisor::~AggregatorSupervisor() { Stop(); }
+
+std::unique_ptr<Aggregator> AggregatorSupervisor::MakeAggregator() {
+  AggregatorAttachments attachments;
+  attachments.checkpoint = &checkpoint_;
+  attachments.ingest_sub = ingest_sub_;
+  attachments.ingest_pull = ingest_pull_;
+  return std::make_unique<Aggregator>(profile_, *authority_, *context_,
+                                      aggregator_config_, std::move(attachments));
+}
+
+void AggregatorSupervisor::Start() {
+  if (running_.exchange(true)) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    aggregator_ = MakeAggregator();
+    aggregator_->Start();
+  }
+  thread_ = std::jthread([this](const std::stop_token& stop) { SuperviseLoop(stop); });
+}
+
+void AggregatorSupervisor::Stop() {
+  if (!running_.exchange(false)) return;
+  thread_.request_stop();
+  if (thread_.joinable()) thread_.join();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (aggregator_ != nullptr) aggregator_->Stop();
+}
+
+void AggregatorSupervisor::CrashLocked() {
+  if (aggregator_ == nullptr) return;
+  // Bank this incarnation's counters before it dies so Stats() stays
+  // cumulative across restarts.
+  const AggregatorStats stats = aggregator_->Stats();
+  totals_.received += stats.received;
+  totals_.batches_received += stats.batches_received;
+  totals_.published += stats.published;
+  totals_.batches_published += stats.batches_published;
+  totals_.stored += stats.stored;
+  totals_.decode_errors += stats.decode_errors;
+  aggregator_->Crash();
+  aggregator_.reset();
+  crashes_.Add();
+  log::Debug("supervisor", "aggregator crashed");
+}
+
+void AggregatorSupervisor::InjectCrash() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CrashLocked();
+}
+
+void AggregatorSupervisor::SuperviseLoop(const std::stop_token& stop) {
+  while (!stop.stop_requested()) {
+    authority_->SleepFor(config_.check_interval);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (aggregator_ != nullptr && config_.crash_prob_per_check > 0 &&
+        rng_.NextBool(config_.crash_prob_per_check)) {
+      CrashLocked();
+    }
+    if (aggregator_ == nullptr) {
+      aggregator_ = MakeAggregator();
+      aggregator_->Start();
+      restarts_.Add();
+      log::Debug("supervisor", "aggregator restarted at seq {}",
+                 checkpoint_.NextSeq());
+    }
+  }
+}
+
+AggregatorStats AggregatorSupervisor::Stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  AggregatorStats stats = totals_;
+  if (aggregator_ != nullptr) {
+    const AggregatorStats current = aggregator_->Stats();
+    stats.received += current.received;
+    stats.batches_received += current.batches_received;
+    stats.published += current.published;
+    stats.batches_published += current.batches_published;
+    stats.stored += current.stored;
+    stats.decode_errors += current.decode_errors;
+  }
+  stats.checkpointed = checkpoint_.TotalAppended();
+  return stats;
+}
+
+}  // namespace sdci::monitor

@@ -32,7 +32,8 @@ Collector::Collector(lustre::FileSystem& fs, int mdt_index,
       config_(std::move(config)),
       fid2path_(fs, profile),
       cache_(fid2path_, config_.cache_capacity),
-      budget_(authority) {
+      budget_(authority),
+      retry_rng_(config_.retry_seed + static_cast<uint64_t>(mdt_index)) {
   if (config_.local_store_capacity > 0) {
     local_store_ = std::make_unique<EventStore>(config_.local_store_capacity);
   }
@@ -68,17 +69,32 @@ void Collector::Run(const std::stop_token& stop) {
   log::Debug(strings::Format("collector.{}", mdt_index_), "started ({} mode)",
              ResolveModeName(config_.resolve_mode));
   std::vector<lustre::ChangeLogRecord> records;
+  VirtualDuration backoff = config_.retry_backoff_min;
   while (!stop.stop_requested()) {
     records.clear();
-    if (ProcessBatch(records) == 0) {
-      budget_.Flush();
-      authority_->SleepFor(config_.poll_interval);
+    switch (ProcessPass(records)) {
+      case PassResult::kProgress:
+        backoff = config_.retry_backoff_min;  // delivery works again
+        break;
+      case PassResult::kIdle:
+        budget_.Flush();
+        authority_->SleepFor(config_.poll_interval);
+        break;
+      case PassResult::kRejected:
+        // The aggregator is absent or saturated. Capped exponential
+        // backoff, jittered so a fleet of collectors does not retry in
+        // lockstep against a restarting aggregator.
+        budget_.Flush();
+        authority_->SleepFor(
+            Seconds(retry_rng_.Jitter(ToSecondsF(backoff), config_.retry_jitter_frac)));
+        backoff = std::min(backoff * 2, config_.retry_backoff_max);
+        break;
     }
   }
-  // Final drain so Stop() never abandons already-journaled records that
-  // fit in one batch (tests rely on deterministic flush).
+  // Final drain so Stop() never abandons held events or already-journaled
+  // records that fit in one batch (tests rely on deterministic flush).
   records.clear();
-  ProcessBatch(records);
+  ProcessPass(records);
   budget_.Flush();
 }
 
@@ -87,27 +103,50 @@ size_t Collector::DrainOnce() {
   std::vector<lustre::ChangeLogRecord> records;
   while (true) {
     records.clear();
-    if (ProcessBatch(records) == 0) break;
+    if (ProcessPass(records) != PassResult::kProgress) break;
   }
   budget_.Flush();
   return reported_.load(std::memory_order_relaxed) - reported_before;
 }
 
-size_t Collector::ProcessBatch(std::vector<lustre::ChangeLogRecord>& records) {
+bool Collector::FlushHeld() {
+  if (held_events_.empty()) return true;
+  report_retries_.fetch_add(1, std::memory_order_relaxed);
+  const size_t delivered = Report(held_events_);
+  held_events_.erase(held_events_.begin(),
+                     held_events_.begin() + static_cast<ptrdiff_t>(delivered));
+  if (!held_events_.empty()) return false;
+  // The whole rejected batch is finally out: purge is safe now.
+  PurgeThrough(held_last_index_);
+  return true;
+}
+
+void Collector::PurgeThrough(uint64_t last_index) {
+  if (!config_.purge) return;
+  budget_.Charge(profile_.changelog_clear_latency);
+  auto& changelog = fs_->Mds(static_cast<size_t>(mdt_index_)).changelog();
+  if (changelog.Clear(consumer_id_, last_index).ok()) {
+    last_cleared_.store(last_index, std::memory_order_relaxed);
+  }
+}
+
+Collector::PassResult Collector::ProcessPass(std::vector<lustre::ChangeLogRecord>& records) {
+  // A rejected hand-off leaves its tail held; nothing new is extracted
+  // until the hold drains, preserving delivery order per collector.
+  if (!FlushHeld()) return PassResult::kRejected;
+
   auto& changelog = fs_->Mds(static_cast<size_t>(mdt_index_)).changelog();
   // Detection: extract new records (costed per read call + per record).
   const size_t n = changelog.ReadFrom(next_index_, config_.read_batch, records);
   budget_.Charge(profile_.changelog_read_base +
                  profile_.changelog_read_per_record * static_cast<int64_t>(n));
-  if (n == 0) return 0;
+  if (n == 0) return PassResult::kIdle;
   extracted_.fetch_add(n, std::memory_order_relaxed);
-  const uint64_t batch_first = records.front().index;
   const uint64_t last_index = records.back().index;
   next_index_ = last_index + 1;
 
   // Filter push-down: drop masked-out record types before the costly
   // processing step.
-  size_t filtered_now = 0;
   if (config_.report_mask != lustre::kFullChangeLogMask) {
     const auto masked_out = [&](const lustre::ChangeLogRecord& record) {
       return (config_.report_mask & lustre::MaskOf(record.type)) == 0;
@@ -115,8 +154,7 @@ size_t Collector::ProcessBatch(std::vector<lustre::ChangeLogRecord>& records) {
     const size_t before = records.size();
     records.erase(std::remove_if(records.begin(), records.end(), masked_out),
                   records.end());
-    filtered_now = before - records.size();
-    filtered_.fetch_add(filtered_now, std::memory_order_relaxed);
+    filtered_.fetch_add(before - records.size(), std::memory_order_relaxed);
   }
 
   // Processing: resolve FIDs into absolute paths.
@@ -126,28 +164,22 @@ size_t Collector::ProcessBatch(std::vector<lustre::ChangeLogRecord>& records) {
   processed_.fetch_add(events.size(), std::memory_order_relaxed);
 
   // Aggregation hand-off. A failed hand-off (no aggregator accepting on
-  // the endpoint) must not lose events: rewind the cursor so the batch is
-  // re-read on the next pass, and skip the purge.
-  if (!Report(events)) {
-    next_index_ = batch_first;
-    // The batch will be re-extracted; undo its counters.
-    extracted_.fetch_sub(n, std::memory_order_relaxed);
-    filtered_.fetch_sub(filtered_now, std::memory_order_relaxed);
-    processed_.fetch_sub(events.size(), std::memory_order_relaxed);
-    return 0;  // treat as idle: back off before retrying
+  // the endpoint) must not lose events: the undelivered tail is held —
+  // extraction work is kept, the purge is deferred until the hold drains.
+  const size_t delivered = Report(events);
+  if (delivered < events.size()) {
+    held_events_.assign(events.begin() + static_cast<ptrdiff_t>(delivered),
+                        events.end());
+    held_last_index_ = last_index;
+    return PassResult::kRejected;
   }
 
   // Purge consumed records so the ChangeLog does not accumulate stale
   // entries (the collector's pointer makes this safe).
-  if (config_.purge) {
-    budget_.Charge(profile_.changelog_clear_latency);
-    if (changelog.Clear(consumer_id_, last_index).ok()) {
-      last_cleared_.store(last_index, std::memory_order_relaxed);
-    }
-  }
-  // Extracted count (not reported count): an all-filtered batch still
-  // means the log had records, so the caller should not back off.
-  return n;
+  PurgeThrough(last_index);
+  // An all-filtered batch still means the log had records, so the caller
+  // should not back off.
+  return PassResult::kProgress;
 }
 
 void Collector::ResolvePaths(std::vector<lustre::ChangeLogRecord>& records,
@@ -284,14 +316,15 @@ void Collector::MaintainCache(const FsEvent& event) {
   }
 }
 
-bool Collector::Report(std::vector<FsEvent>& events) {
+size_t Collector::Report(const std::vector<FsEvent>& events) {
   // Aggregation hand-off: one EventBatch per publish_batch-sized chunk.
   // The batch is encoded exactly once (payload()); the msgq message shares
   // those bytes, so the PUB/SUB or PUSH/PULL hand-off moves a pointer. The
   // collect endpoint carries exactly one aggregator; "nobody accepted"
-  // means it is absent (or its queue dropped us) and the batch must be
-  // retried rather than purged.
+  // means it is absent (or its queue dropped us) and the tail from the
+  // failed chunk on must be held for retry rather than purged.
   const size_t batch_size = std::max<size_t>(1, config_.publish_batch);
+  size_t delivered = 0;
   for (size_t start = 0; start < events.size(); start += batch_size) {
     const size_t end = std::min(events.size(), start + batch_size);
     const EventBatch batch(std::vector<FsEvent>(
@@ -300,20 +333,23 @@ bool Collector::Report(std::vector<FsEvent>& events) {
     msgq::Message message(strings::Format("collect.mdt{}", mdt_index_),
                           batch.payload());
     budget_.Charge(profile_.collector_publish_latency);
+    if (pub_ != nullptr) {
+      if (pub_->Publish(std::move(message)) == 0) return delivered;
+    } else if (push_ != nullptr) {
+      // Blocks if the aggregator is saturated (backpressure); fails only
+      // when no PULL socket is bound at all.
+      if (!push_->Push(std::move(message)).ok()) return delivered;
+    }
+    // Detection latency covers journaled -> *accepted by the transport*;
+    // recorded only on success so retries do not double-count.
     const VirtualTime now = authority_->Now();
     for (const FsEvent& event : batch.events()) {
       detection_latency_.Record(now - event.time);
     }
-    if (pub_ != nullptr) {
-      if (pub_->Publish(std::move(message)) == 0) return false;
-    } else if (push_ != nullptr) {
-      // Blocks if the aggregator is saturated (backpressure); fails only
-      // when no PULL socket is bound at all.
-      if (!push_->Push(std::move(message)).ok()) return false;
-    }
+    delivered = end;
     reported_.fetch_add(end - start, std::memory_order_relaxed);
   }
-  return true;
+  return delivered;
 }
 
 CollectorStats Collector::Stats() const {
@@ -326,6 +362,7 @@ CollectorStats Collector::Stats() const {
   stats.fid2path_calls = fid2path_.calls();
   stats.cache_hit_rate = cache_.HitRate();
   stats.last_cleared_index = last_cleared_.load(std::memory_order_relaxed);
+  stats.report_retries = report_retries_.load(std::memory_order_relaxed);
   return stats;
 }
 

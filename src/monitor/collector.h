@@ -22,6 +22,7 @@
 
 #include "common/clock.h"
 #include "common/resource.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "lustre/fid2path.h"
 #include "lustre/filesystem.h"
@@ -57,6 +58,13 @@ struct CollectorConfig {
   // captured (the configuration behind the paper's Table 3 memory numbers:
   // "a local store that records a list of every event captured").
   size_t local_store_capacity = 0;
+  // Retry cadence for a failed aggregator hand-off: capped exponential
+  // backoff with jitter, so a fleet of collectors does not hammer (or
+  // synchronize against) a restarting aggregator.
+  VirtualDuration retry_backoff_min = Millis(5);
+  VirtualDuration retry_backoff_max = Seconds(1.0);
+  double retry_jitter_frac = 0.25;
+  uint64_t retry_seed = 1;
 };
 
 struct CollectorStats {
@@ -68,6 +76,7 @@ struct CollectorStats {
   uint64_t fid2path_calls = 0;
   double cache_hit_rate = 0;
   uint64_t last_cleared_index = 0;
+  uint64_t report_retries = 0;  // redelivery attempts after a failed hand-off
 };
 
 class Collector {
@@ -104,15 +113,27 @@ class Collector {
   }
 
  private:
+  // Outcome of one collection pass. kRejected means the aggregator did not
+  // accept every message; the undelivered tail is *held* (extracted and
+  // processed, but not purged) and retried with backoff — never re-read,
+  // never lost. If the collector dies while holding, the unpurged records
+  // are re-extracted by its next incarnation (at-least-once; consumers
+  // dedupe by (mdt_index, record_index)).
+  enum class PassResult { kProgress, kIdle, kRejected };
+
   void Run(const std::stop_token& stop);
-  // Processes one read batch; returns records extracted (0 = idle).
-  size_t ProcessBatch(std::vector<lustre::ChangeLogRecord>& records);
+  // Redelivers held events, then (if clear) processes one read batch.
+  PassResult ProcessPass(std::vector<lustre::ChangeLogRecord>& records);
+  // Retries the held tail; true when nothing is held any more.
+  bool FlushHeld();
   void ResolvePaths(std::vector<lustre::ChangeLogRecord>& records,
                     std::vector<FsEvent>& events);
   void MaintainCache(const FsEvent& event);
-  // Returns false when the aggregator did not accept every message (e.g.
-  // not yet attached); the caller rewinds and retries instead of purging.
-  bool Report(std::vector<FsEvent>& events);
+  // Hands events to msgq in publish_batch chunks; returns how many events
+  // were accepted (a short count means the aggregator is absent or its
+  // queue dropped us — the caller holds the tail for retry).
+  size_t Report(const std::vector<FsEvent>& events);
+  void PurgeThrough(uint64_t last_index);
 
   lustre::FileSystem* fs_;
   const int mdt_index_;
@@ -130,11 +151,16 @@ class Collector {
   std::shared_ptr<msgq::PushSocket> push_;
 
   uint64_t next_index_ = 1;  // next changelog index to extract
+  // Undelivered tail of the last rejected hand-off (collector thread only).
+  std::vector<FsEvent> held_events_;
+  uint64_t held_last_index_ = 0;  // purge watermark once the hold drains
+  Rng retry_rng_;
   std::atomic<uint64_t> extracted_{0};
   std::atomic<uint64_t> filtered_{0};
   std::atomic<uint64_t> processed_{0};
   std::atomic<uint64_t> reported_{0};
   std::atomic<uint64_t> resolve_failures_{0};
+  std::atomic<uint64_t> report_retries_{0};
   std::atomic<uint64_t> last_cleared_{0};
   LatencyHistogram detection_latency_;
 

@@ -1,6 +1,7 @@
 #include "monitor/consumer.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace sdci::monitor {
 
@@ -123,5 +124,163 @@ Result<HistoryClient::Page> HistoryClient::FetchTimeRange(
   query["max"] = json::Value(static_cast<uint64_t>(max));
   return Issue(json::Value(std::move(query)), timeout);
 }
+
+RecoveringSubscriber::RecoveringSubscriber(msgq::Context& context,
+                                           const std::string& publish_endpoint,
+                                           const std::string& api_endpoint,
+                                           RecoveringSubscriberConfig config)
+    : live_(context, publish_endpoint, config.topic_prefix, config.hwm, config.policy),
+      history_(context, api_endpoint),
+      config_(std::move(config)) {
+  next_expected_.store(config_.start_seq, std::memory_order_relaxed);
+}
+
+Result<EventBatch> RecoveringSubscriber::NextBatch() {
+  return NextBatchFor(std::chrono::nanoseconds(-1));
+}
+
+Result<EventBatch> RecoveringSubscriber::NextBatchFor(std::chrono::nanoseconds timeout) {
+  const bool infinite = timeout < std::chrono::nanoseconds(0);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    if (!ready_.empty()) return PopReady();
+    std::chrono::nanoseconds remaining(-1);
+    if (!infinite) {
+      remaining = deadline - std::chrono::steady_clock::now();
+      if (remaining <= std::chrono::nanoseconds(0)) return TimedOutError("no event");
+    }
+    auto batch = infinite ? live_.NextBatch() : live_.NextBatchFor(remaining);
+    if (!batch.ok()) return batch.status();
+    // A batch may be entirely stale (a duplicated delivery): Ingest then
+    // queues nothing and we simply wait for the next one.
+    Ingest(*batch);
+  }
+}
+
+Result<EventBatch> RecoveringSubscriber::PopReady() {
+  EventBatch batch = std::move(ready_.front());
+  ready_.pop_front();
+  received_.fetch_add(batch.size(), std::memory_order_relaxed);
+  batches_received_.fetch_add(1, std::memory_order_relaxed);
+  return batch;
+}
+
+void RecoveringSubscriber::Ingest(const EventBatch& batch) {
+  uint64_t watermark = next_expected_.load(std::memory_order_relaxed);
+  // Filter sequences already delivered — behind the watermark, or ahead of
+  // it but seen out of order. What survives is fresh.
+  std::vector<FsEvent> fresh;
+  fresh.reserve(batch.size());
+  for (const FsEvent& event : batch.events()) {
+    if (watermark != 0 &&
+        (event.global_seq < watermark || ahead_.count(event.global_seq) > 0)) {
+      continue;
+    }
+    fresh.push_back(event);
+  }
+  if (fresh.empty()) return;
+  const uint64_t min_seq = fresh.front().global_seq;
+  if (watermark == 0) {
+    // start_seq 0: adopt the stream where we joined it.
+    watermark = min_seq;
+    next_expected_.store(watermark, std::memory_order_relaxed);
+  }
+  if (min_seq > watermark) {
+    // Everything below min_seq was published before this message, so the
+    // hole [watermark, min_seq) can only be filled from history.
+    gaps_detected_.fetch_add(1, std::memory_order_relaxed);
+    BackfillGap(min_seq);
+  }
+  Advance(fresh);
+  ready_.push_back(EventBatch(std::move(fresh)));
+}
+
+void RecoveringSubscriber::BackfillGap(uint64_t to) {
+  const auto deadline = std::chrono::steady_clock::now() + config_.backfill_deadline;
+  uint64_t cursor = next_expected_.load(std::memory_order_relaxed);
+  const auto count_missing = [&](uint64_t from, uint64_t until) {
+    // Sequences in [from, until) not already delivered out of order.
+    uint64_t missing = until > from ? until - from : 0;
+    for (auto it = ahead_.lower_bound(from); it != ahead_.end() && *it < until; ++it) {
+      --missing;
+    }
+    return missing;
+  };
+  while (cursor < to) {
+    if (ahead_.count(cursor) > 0) {
+      ++cursor;
+      continue;
+    }
+    auto page = history_.Fetch(cursor, config_.backfill_page, config_.history_timeout);
+    if (!page.ok()) {
+      // The aggregator may be mid-restart; keep asking until the deadline.
+      if (std::chrono::steady_clock::now() >= deadline) {
+        events_unrecoverable_.fetch_add(count_missing(cursor, to),
+                                        std::memory_order_relaxed);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    if (page->first_available > cursor) {
+      // The hole's head rotated out of the history window: those events
+      // are gone for good. Resume from what is retained.
+      const uint64_t lost_until = std::min(page->first_available, to);
+      events_unrecoverable_.fetch_add(count_missing(cursor, lost_until),
+                                      std::memory_order_relaxed);
+      cursor = lost_until;
+      continue;
+    }
+    std::vector<FsEvent> events;
+    events.reserve(page->events.size());
+    for (const FsEvent& event : page->events) {
+      if (event.global_seq >= to) break;
+      if (ahead_.count(event.global_seq) > 0) continue;
+      events.push_back(event);
+    }
+    if (events.empty()) {
+      // Retained but not served yet (the restarted store is still
+      // catching up); retry until the deadline.
+      if (std::chrono::steady_clock::now() >= deadline) {
+        events_unrecoverable_.fetch_add(count_missing(cursor, to),
+                                        std::memory_order_relaxed);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    cursor = events.back().global_seq + 1;
+    events_backfilled_.fetch_add(events.size(), std::memory_order_relaxed);
+    ready_.push_back(EventBatch(std::move(events)));
+  }
+  // The gap is resolved (backfilled or written off): move the watermark to
+  // the live message that exposed it, consuming any out-of-order
+  // deliveries the gap spanned.
+  while (!ahead_.empty() && *ahead_.begin() < to) ahead_.erase(ahead_.begin());
+  uint64_t watermark = to;
+  while (!ahead_.empty() && *ahead_.begin() == watermark) {
+    ahead_.erase(ahead_.begin());
+    ++watermark;
+  }
+  next_expected_.store(watermark, std::memory_order_relaxed);
+}
+
+void RecoveringSubscriber::Advance(const std::vector<FsEvent>& events) {
+  uint64_t watermark = next_expected_.load(std::memory_order_relaxed);
+  for (const FsEvent& event : events) {
+    if (event.global_seq == watermark) {
+      ++watermark;
+    } else if (event.global_seq > watermark) {
+      ahead_.insert(event.global_seq);
+    }
+  }
+  while (!ahead_.empty() && *ahead_.begin() == watermark) {
+    ahead_.erase(ahead_.begin());
+    ++watermark;
+  }
+  next_expected_.store(watermark, std::memory_order_relaxed);
+}
+
+void RecoveringSubscriber::Close() { live_.Close(); }
 
 }  // namespace sdci::monitor

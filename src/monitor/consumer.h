@@ -3,9 +3,12 @@
 // client for the Aggregator's historic-events API.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <deque>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -79,6 +82,101 @@ class HistoryClient {
   Result<Page> Issue(const json::Value& query, std::chrono::nanoseconds timeout);
 
   std::shared_ptr<msgq::ReqSocket> req_;
+};
+
+struct RecoveringSubscriberConfig {
+  // Gap detection needs the full stream: subscribe to anything narrower
+  // than "fsevent." and missing sequences are indistinguishable from
+  // filtered ones.
+  std::string topic_prefix = "fsevent.";
+  size_t hwm = 65536;
+  msgq::HwmPolicy policy = msgq::HwmPolicy::kDropNewest;
+  // First sequence this consumer is responsible for. 0 adopts the first
+  // live sequence seen (no backfill of pre-subscription history); 1 makes
+  // the consumer accountable for the whole stream.
+  uint64_t start_seq = 0;
+  size_t backfill_page = 1024;  // events per history fetch
+  // Real-time patience per history request, and in total per gap (the
+  // aggregator may be mid-restart when we ask it to fill a hole).
+  std::chrono::nanoseconds history_timeout = std::chrono::milliseconds(250);
+  std::chrono::nanoseconds backfill_deadline = std::chrono::seconds(10);
+};
+
+// Self-healing event consumer: a live EventSubscriber that watches
+// global_seq continuity and repairs holes from the history API.
+//
+// The live stream is sequence-ordered (the aggregator's single publish
+// thread emits run-split sub-batches whose concatenation preserves event
+// order), so a gap-free stream has the invariant that every arriving
+// message's minimum fresh sequence equals the contiguous watermark. A
+// message whose minimum exceeds the watermark therefore proves events were
+// lost (aggregator crash, wire drop, socket overflow); the subscriber then
+// pages the hole out of the history API, delivers the backfill *before*
+// the live message, and resumes. The bookkeeping also tolerates bounded
+// reordering (out-of-order deliveries park in a seen-ahead set rather than
+// raising false gaps). Duplicated deliveries (at-least-once transports,
+// fault injection) are filtered by sequence, so downstream consumers see
+// each global_seq at most once, in order per gap-repair round. Not
+// thread-safe: consume from one thread (counters may be read from others).
+class RecoveringSubscriber {
+ public:
+  RecoveringSubscriber(msgq::Context& context, const std::string& publish_endpoint,
+                       const std::string& api_endpoint,
+                       RecoveringSubscriberConfig config = {});
+
+  // Next batch: backfilled events first, then live ones (blocking / with
+  // real-time timeout).
+  Result<EventBatch> NextBatch();
+  Result<EventBatch> NextBatchFor(std::chrono::nanoseconds timeout);
+
+  // Stops receiving (wakes any blocked NextBatch()).
+  void Close();
+
+  // Lowest sequence not yet delivered (the continuity watermark).
+  [[nodiscard]] uint64_t next_expected() const noexcept {
+    return next_expected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t gaps_detected() const noexcept {
+    return gaps_detected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t events_backfilled() const noexcept {
+    return events_backfilled_.load(std::memory_order_relaxed);
+  }
+  // Sequences lost for good: rotated out of the history window, or the
+  // API never answered within the backfill deadline.
+  [[nodiscard]] uint64_t events_unrecoverable() const noexcept {
+    return events_unrecoverable_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t received() const noexcept {
+    return received_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t batches_received() const noexcept {
+    return batches_received_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t dropped_at_socket() const { return live_.dropped_at_socket(); }
+
+ private:
+  // Files a live batch: filters duplicates, detects gaps (triggering
+  // backfill into ready_), advances the watermark.
+  void Ingest(const EventBatch& batch);
+  // Pages [next_expected_, to) out of the history API into ready_.
+  void BackfillGap(uint64_t to);
+  // Advances the watermark over delivered sequences.
+  void Advance(const std::vector<FsEvent>& events);
+  Result<EventBatch> PopReady();
+
+  EventSubscriber live_;
+  HistoryClient history_;
+  RecoveringSubscriberConfig config_;
+
+  std::deque<EventBatch> ready_;  // deliverable, backfill before live
+  std::set<uint64_t> ahead_;      // delivered out of order, > watermark
+  std::atomic<uint64_t> next_expected_{0};
+  std::atomic<uint64_t> gaps_detected_{0};
+  std::atomic<uint64_t> events_backfilled_{0};
+  std::atomic<uint64_t> events_unrecoverable_{0};
+  std::atomic<uint64_t> received_{0};
+  std::atomic<uint64_t> batches_received_{0};
 };
 
 }  // namespace sdci::monitor

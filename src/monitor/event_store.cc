@@ -91,4 +91,36 @@ uint64_t EventStore::TotalAppended() const {
   return total_appended_;
 }
 
+EventWal::EventWal(size_t max_events) : max_events_(max_events == 0 ? 1 : max_events) {}
+
+void EventWal::Append(const EventBatch& batch) {
+  if (batch.empty()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  event_count_ += batch.size();
+  total_appended_ += batch.size();
+  batches_.push_back(batch);
+  // Rotate whole batches, always retaining at least max_events_ (the
+  // window overshoots by up to one batch rather than undershooting, so a
+  // store rebuilt from the WAL covers everything the lost one retained).
+  while (batches_.size() > 1 && event_count_ - batches_.front().size() >= max_events_) {
+    event_count_ -= batches_.front().size();
+    batches_.pop_front();
+  }
+}
+
+std::vector<EventBatch> EventWal::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {batches_.begin(), batches_.end()};
+}
+
+size_t EventWal::EventCount() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return event_count_;
+}
+
+uint64_t EventWal::TotalAppended() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_appended_;
+}
+
 }  // namespace sdci::monitor

@@ -55,4 +55,31 @@ class EventStore {
   MemoryAccountant memory_;
 };
 
+// Rotating write-ahead log of event batches: the durable half of the
+// aggregator's catalog (see AggregatorCheckpoint). Appends share the batch
+// representation — a refcount bump, no event copies — and rotation drops
+// whole batches from the front once the retained event count exceeds the
+// capacity, mirroring the EventStore's rotation window so a store restored
+// from the WAL answers the same queries the lost one would have.
+class EventWal {
+ public:
+  explicit EventWal(size_t max_events);
+
+  void Append(const EventBatch& batch);
+
+  // The retained batches, oldest first (replay them in order to rebuild
+  // the catalog).
+  [[nodiscard]] std::vector<EventBatch> Snapshot() const;
+
+  [[nodiscard]] size_t EventCount() const;
+  [[nodiscard]] uint64_t TotalAppended() const;  // events, over all time
+
+ private:
+  const size_t max_events_;
+  mutable std::mutex mutex_;
+  std::deque<EventBatch> batches_;
+  size_t event_count_ = 0;
+  uint64_t total_appended_ = 0;
+};
+
 }  // namespace sdci::monitor

@@ -1,5 +1,8 @@
 #include "monitor/monitor.h"
 
+#include "monitor/aggregator_supervisor.h"
+#include "monitor/consumer.h"
+
 namespace sdci::monitor {
 
 void MonitorConfig::SetCollectEndpoint(std::string endpoint) {
@@ -56,7 +59,9 @@ MonitorStats Monitor::Stats() const {
   return stats;
 }
 
-json::Value Monitor::StatusJson() const {
+json::Value Monitor::StatusJson() const { return StatusJson(MonitorObservability{}); }
+
+json::Value Monitor::StatusJson(const MonitorObservability& obs) const {
   json::Object doc;
   json::Array collectors;
   for (const auto& collector : collectors_) {
@@ -70,6 +75,7 @@ json::Value Monitor::StatusJson() const {
     entry["fid2path_calls"] = json::Value(stats.fid2path_calls);
     entry["cache_hit_rate"] = json::Value(stats.cache_hit_rate);
     entry["last_cleared_index"] = json::Value(stats.last_cleared_index);
+    entry["report_retries"] = json::Value(stats.report_retries);
     entry["detection_latency"] = json::Value(collector->detection_latency().Summary());
     collectors.push_back(json::Value(std::move(entry)));
   }
@@ -86,7 +92,44 @@ json::Value Monitor::StatusJson() const {
   aggregator["store_last_seq"] = json::Value(aggregator_->store().LastSeq());
   aggregator["delivery_latency"] =
       json::Value(aggregator_->delivery_latency().Summary());
+  aggregator["checkpointed"] = json::Value(agg.checkpointed);
   doc["aggregator"] = json::Value(std::move(aggregator));
+
+  if (!obs.subscribers.empty() || !obs.recovering_subscribers.empty()) {
+    json::Array subscribers;
+    for (const EventSubscriber* sub : obs.subscribers) {
+      if (sub == nullptr) continue;
+      json::Object entry;
+      entry["type"] = json::Value(std::string("plain"));
+      // Only socket-level counters here: they are atomic, while the
+      // subscriber's received tally belongs to its consuming thread.
+      entry["dropped_at_socket"] = json::Value(sub->dropped_at_socket());
+      subscribers.push_back(json::Value(std::move(entry)));
+    }
+    for (const RecoveringSubscriber* sub : obs.recovering_subscribers) {
+      if (sub == nullptr) continue;
+      json::Object entry;
+      entry["type"] = json::Value(std::string("recovering"));
+      entry["dropped_at_socket"] = json::Value(sub->dropped_at_socket());
+      entry["received"] = json::Value(sub->received());
+      entry["next_expected"] = json::Value(sub->next_expected());
+      entry["gaps_detected"] = json::Value(sub->gaps_detected());
+      entry["events_backfilled"] = json::Value(sub->events_backfilled());
+      entry["events_unrecoverable"] = json::Value(sub->events_unrecoverable());
+      subscribers.push_back(json::Value(std::move(entry)));
+    }
+    doc["subscribers"] = json::Value(std::move(subscribers));
+  }
+
+  if (obs.aggregator_supervisor != nullptr) {
+    const AggregatorSupervisor& sup = *obs.aggregator_supervisor;
+    json::Object supervisor;
+    supervisor["crashes"] = json::Value(sup.crashes());
+    supervisor["restarts"] = json::Value(sup.restarts());
+    supervisor["checkpoint_next_seq"] = json::Value(sup.NextSeq());
+    supervisor["checkpointed_events"] = json::Value(sup.checkpoint().TotalAppended());
+    doc["aggregator_supervisor"] = json::Value(std::move(supervisor));
+  }
   return json::Value(std::move(doc));
 }
 

@@ -18,6 +18,20 @@
 
 namespace sdci::monitor {
 
+class AggregatorSupervisor;
+class EventSubscriber;
+class RecoveringSubscriber;
+
+// Optional external components StatusJson can fold into the status
+// document: attached consumers and (when the deployment is supervised)
+// the aggregator's supervisor. All pointers are observed, not owned, and
+// may be null / empty.
+struct MonitorObservability {
+  const AggregatorSupervisor* aggregator_supervisor = nullptr;
+  std::vector<const EventSubscriber*> subscribers;
+  std::vector<const RecoveringSubscriber*> recovering_subscribers;
+};
+
 struct MonitorConfig {
   CollectorConfig collector;
   AggregatorConfig aggregator;
@@ -60,8 +74,11 @@ class Monitor {
   [[nodiscard]] std::vector<ResourceUsage> Usage(VirtualDuration elapsed) const;
 
   // Full status document (stats + latency summaries), for operator
-  // tooling and remote health checks.
+  // tooling and remote health checks. The observability overload adds
+  // consumer-side health (socket drops, gap/backfill counters) and
+  // supervisor crash/restart/checkpoint telemetry.
   [[nodiscard]] json::Value StatusJson() const;
+  [[nodiscard]] json::Value StatusJson(const MonitorObservability& obs) const;
 
  private:
   MonitorConfig config_;

@@ -1,10 +1,40 @@
 #include "msgq/context.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/strings.h"
 
 namespace sdci::msgq {
+
+// ---------- FaultInjector ----------
+
+FaultInjector::Action FaultInjector::Roll() {
+  std::chrono::nanoseconds stall{0};
+  Action action = Action::kDeliver;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (config_.delay_prob > 0 && rng_.NextBool(config_.delay_prob)) {
+      ++stats_.delayed;
+      stall = config_.delay;
+    }
+    if (config_.drop_prob > 0 && rng_.NextBool(config_.drop_prob)) {
+      ++stats_.dropped;
+      action = Action::kDrop;
+    } else if (config_.duplicate_prob > 0 && rng_.NextBool(config_.duplicate_prob)) {
+      ++stats_.duplicated;
+      action = Action::kDuplicate;
+    }
+  }
+  // Stall outside the lock so a delayed sender does not serialize its peers.
+  if (stall.count() > 0) std::this_thread::sleep_for(stall);
+  return action;
+}
+
+FaultStats FaultInjector::Stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
 
 // ---------- PollNotifier / Poller ----------
 
@@ -141,6 +171,12 @@ void SubSocket::Close() { queue_.Close(); }
 struct PubSocket::Hub {
   std::mutex mutex;
   std::vector<std::weak_ptr<SubSocket>> subscribers;
+  std::shared_ptr<FaultInjector> injector;
+
+  std::shared_ptr<FaultInjector> Injector() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    return injector;
+  }
 
   // Snapshots live subscribers, pruning the dead.
   std::vector<std::shared_ptr<SubSocket>> Snapshot() {
@@ -162,11 +198,28 @@ struct PubSocket::Hub {
 
 size_t PubSocket::Publish(Message message) {
   published_.Add();
-  size_t accepted = 0;
-  for (const auto& sub : hub_->Snapshot()) {
-    if (sub->Deliver(message)) ++accepted;
+  const auto subscribers = hub_->Snapshot();
+  size_t deliveries = 1;
+  if (const auto injector = hub_->Injector()) {
+    switch (injector->Roll()) {
+      case FaultInjector::Action::kDeliver:
+        break;
+      case FaultInjector::Action::kDrop:
+        // Lost in flight: the sender saw its hand-off accepted (every
+        // present subscriber counts), the wire ate it.
+        return subscribers.size();
+      case FaultInjector::Action::kDuplicate:
+        deliveries = 2;
+        break;
+    }
   }
-  return accepted;
+  size_t accepted = 0;
+  for (size_t round = 0; round < deliveries; ++round) {
+    for (const auto& sub : subscribers) {
+      if (sub->Deliver(message)) ++accepted;
+    }
+  }
+  return std::min(accepted, subscribers.size());
 }
 
 // ---------- PUSH/PULL ----------
@@ -174,7 +227,13 @@ size_t PubSocket::Publish(Message message) {
 struct PushSocket::Hub {
   std::mutex mutex;
   std::vector<std::weak_ptr<PullSocket>> pullers;
+  std::shared_ptr<FaultInjector> injector;
   size_t cursor = 0;
+
+  std::shared_ptr<FaultInjector> Injector() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    return injector;
+  }
 
   std::vector<std::shared_ptr<PullSocket>> Snapshot() {
     const std::lock_guard<std::mutex> lock(mutex);
@@ -212,6 +271,27 @@ Status PushSocket::Push(Message message) {
   // full, block on the selected one (ZMQ PUSH applies backpressure).
   const auto pullers = hub_->Snapshot();
   if (pullers.empty()) return UnavailableError("no PULL socket connected");
+  size_t deliveries = 1;
+  if (const auto injector = hub_->Injector()) {
+    switch (injector->Roll()) {
+      case FaultInjector::Action::kDeliver:
+        break;
+      case FaultInjector::Action::kDrop:
+        return OkStatus();  // accepted by the wire, never arrives
+      case FaultInjector::Action::kDuplicate:
+        deliveries = 2;
+        break;
+    }
+  }
+  for (size_t round = 1; round < deliveries; ++round) {
+    Status duplicate = PushOnce(pullers, message);
+    if (!duplicate.ok()) return duplicate;
+  }
+  return PushOnce(pullers, std::move(message));
+}
+
+Status PushSocket::PushOnce(const std::vector<std::shared_ptr<PullSocket>>& pullers,
+                            Message message) {
   const size_t start = hub_->NextCursor() % pullers.size();
   for (size_t i = 0; i < pullers.size(); ++i) {
     auto& puller = pullers[(start + i) % pullers.size()];
@@ -277,6 +357,7 @@ struct Context::Impl {
   std::unordered_map<std::string, std::shared_ptr<PubSocket::Hub>> pub_hubs;
   std::unordered_map<std::string, std::shared_ptr<PushSocket::Hub>> push_hubs;
   std::unordered_map<std::string, std::shared_ptr<ReqSocket::Hub>> req_hubs;
+  std::unordered_map<std::string, std::shared_ptr<FaultInjector>> injectors;
 
   template <typename HubMap>
   typename HubMap::mapped_type HubFor(HubMap& map, const std::string& endpoint) {
@@ -330,6 +411,47 @@ std::shared_ptr<RepSocket> Context::CreateRep(const std::string& endpoint, size_
   const std::lock_guard<std::mutex> lock(hub->mutex);
   hub->repliers.push_back(rep);
   return rep;
+}
+
+void Context::InjectFaults(const std::string& endpoint, FaultConfig config) {
+  auto injector = std::make_shared<FaultInjector>(config);
+  auto pub_hub = impl_->HubFor(impl_->pub_hubs, endpoint);
+  auto push_hub = impl_->HubFor(impl_->push_hubs, endpoint);
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->injectors[endpoint] = injector;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(pub_hub->mutex);
+    pub_hub->injector = injector;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(push_hub->mutex);
+    push_hub->injector = injector;
+  }
+}
+
+void Context::ClearFaults(const std::string& endpoint) {
+  auto pub_hub = impl_->HubFor(impl_->pub_hubs, endpoint);
+  auto push_hub = impl_->HubFor(impl_->push_hubs, endpoint);
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->injectors.erase(endpoint);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(pub_hub->mutex);
+    pub_hub->injector.reset();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(push_hub->mutex);
+    push_hub->injector.reset();
+  }
+}
+
+FaultStats Context::FaultStatsFor(const std::string& endpoint) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->injectors.find(endpoint);
+  return it == impl_->injectors.end() ? FaultStats{} : it->second->Stats();
 }
 
 }  // namespace sdci::msgq

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/queue.h"
+#include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "msgq/message.h"
@@ -45,6 +46,46 @@ enum class HwmPolicy {
 
 class Context;
 class Poller;
+
+// Per-endpoint fault injection: a model of a lossy wire between producers
+// and this endpoint's consumers. Faults apply at send time, *after* the
+// producer's hand-off is accepted — a dropped message looks delivered to
+// the sender and simply never arrives, which is exactly how tests create
+// subscriber sequence gaps (and duplicate deliveries) deterministically
+// instead of racing a crash against the pipeline.
+struct FaultConfig {
+  double drop_prob = 0.0;       // message silently lost in flight
+  double duplicate_prob = 0.0;  // message delivered twice
+  double delay_prob = 0.0;      // sender stalled `delay` of real time
+  std::chrono::nanoseconds delay{0};
+  uint64_t seed = 1;
+};
+
+struct FaultStats {
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t delayed = 0;
+};
+
+// Thread-safe dice shared by every producer socket on one endpoint.
+class FaultInjector {
+ public:
+  enum class Action { kDeliver, kDrop, kDuplicate };
+
+  explicit FaultInjector(FaultConfig config) : config_(config), rng_(config.seed) {}
+
+  // Rolls the fate of one message. A delay (if it fires) is realized by
+  // sleeping the caller before this returns; drop wins over duplicate.
+  Action Roll();
+
+  [[nodiscard]] FaultStats Stats() const;
+
+ private:
+  const FaultConfig config_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  FaultStats stats_;
+};
 
 // Shared wakeup channel between sockets and a Poller.
 class PollNotifier {
@@ -143,6 +184,8 @@ class PubSocket {
   Counter published_;
 };
 
+class PullSocket;
+
 // PUSH endpoint: each message is delivered to exactly one PULL socket.
 class PushSocket {
  public:
@@ -154,6 +197,8 @@ class PushSocket {
   friend class Context;
   struct Hub;
   explicit PushSocket(std::shared_ptr<Hub> hub) : hub_(std::move(hub)) {}
+  Status PushOnce(const std::vector<std::shared_ptr<PullSocket>>& pullers,
+                  Message message);
   std::shared_ptr<Hub> hub_;
 };
 
@@ -237,6 +282,14 @@ class Context {
   // the request queue, acting as a worker pool).
   std::shared_ptr<ReqSocket> CreateReq(const std::string& endpoint);
   std::shared_ptr<RepSocket> CreateRep(const std::string& endpoint, size_t hwm = 1024);
+
+  // Fault injection: installs (or replaces) a lossy-wire model on
+  // `endpoint`, affecting every PUB and PUSH send on it from now on.
+  // ClearFaults restores perfect delivery; FaultStatsFor reports what the
+  // current injector has done ({} when none is installed).
+  void InjectFaults(const std::string& endpoint, FaultConfig config);
+  void ClearFaults(const std::string& endpoint);
+  [[nodiscard]] FaultStats FaultStatsFor(const std::string& endpoint) const;
 
  private:
   struct Impl;

@@ -33,6 +33,10 @@ void Agent::AttachSource(std::unique_ptr<monitor::EventSubscriber> source) {
   source_ = std::move(source);
 }
 
+void Agent::AttachSource(std::unique_ptr<monitor::RecoveringSubscriber> source) {
+  recovering_source_ = std::move(source);
+}
+
 void Agent::AttachLocalWatcher(std::unique_ptr<monitor::InotifyMonitor> watcher,
                                VirtualDuration poll_interval) {
   watcher_ = std::move(watcher);
@@ -45,7 +49,7 @@ void Agent::RegisterExecutor(ActionType type, std::unique_ptr<ActionExecutor> ex
 
 void Agent::Start() {
   if (running_.exchange(true)) return;
-  if (source_ != nullptr) {
+  if (source_ != nullptr || recovering_source_ != nullptr) {
     event_thread_ = std::jthread([this](const std::stop_token& stop) { EventLoop(stop); });
   } else if (watcher_ != nullptr) {
     event_thread_ =
@@ -59,6 +63,7 @@ void Agent::Stop() {
   if (event_thread_.joinable()) {
     event_thread_.request_stop();
     if (source_ != nullptr) source_->Close();
+    if (recovering_source_ != nullptr) recovering_source_->Close();
     event_thread_.join();
   }
   action_queue_.Close();
@@ -85,9 +90,14 @@ bool Agent::MatchesAnyRule(const monitor::FsEvent& event) const {
 
 void Agent::EventLoop(const std::stop_token& stop) {
   // Consume whole batches: one receive + one decode per aggregator
-  // message, then the filter/report path per event.
+  // message, then the filter/report path per event. The recovering source
+  // interleaves history-backfilled batches when it detects a gap.
+  const auto next = [this](std::chrono::nanoseconds timeout) {
+    return recovering_source_ != nullptr ? recovering_source_->NextBatchFor(timeout)
+                                         : source_->NextBatchFor(timeout);
+  };
   while (!stop.stop_requested()) {
-    auto batch = source_->NextBatchFor(std::chrono::milliseconds(5));
+    auto batch = next(std::chrono::milliseconds(5));
     if (!batch.ok()) {
       if (batch.status().code() == StatusCode::kClosed) break;
       continue;

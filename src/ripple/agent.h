@@ -76,6 +76,12 @@ class Agent {
   // consumes it on its event thread once started.
   void AttachSource(std::unique_ptr<monitor::EventSubscriber> source);
 
+  // Self-healing alternative: a gap-detecting subscriber that backfills
+  // aggregator-crash holes from the history API before resuming the live
+  // stream. The agent's (rule, mdt:record) dedupe absorbs the at-least-once
+  // edges of recovery, so actions still fire exactly once per event.
+  void AttachSource(std::unique_ptr<monitor::RecoveringSubscriber> source);
+
   // Personal-device alternative (the paper's Watchdog/inotify deployment):
   // the agent polls a local per-directory watcher instead of subscribing
   // to a site monitor. `poll_interval` is virtual time. Watches must be
@@ -110,6 +116,10 @@ class Agent {
   [[nodiscard]] const ActionLog& action_log() const noexcept { return action_log_; }
   [[nodiscard]] Outbox& outbox() noexcept { return outbox_; }
   [[nodiscard]] lustre::FileSystem& storage() noexcept { return *storage_; }
+  // Null unless a RecoveringSubscriber was attached (recovery telemetry).
+  [[nodiscard]] const monitor::RecoveringSubscriber* recovering_source() const noexcept {
+    return recovering_source_.get();
+  }
 
  private:
   void EventLoop(const std::stop_token& stop);
@@ -127,6 +137,7 @@ class Agent {
   const TimeAuthority* authority_;
 
   std::unique_ptr<monitor::EventSubscriber> source_;
+  std::unique_ptr<monitor::RecoveringSubscriber> recovering_source_;
   std::unique_ptr<monitor::InotifyMonitor> watcher_;
   VirtualDuration watcher_poll_interval_{};
 

@@ -195,6 +195,12 @@ size_t CloudService::PumpUntilQuiet() {
   return handled;
 }
 
+size_t CloudService::DeadLetterDepth() const { return queue_.DeadLetterDepth(); }
+
+std::vector<QueueMessage> CloudService::DrainDeadLetters() {
+  return queue_.DrainDeadLetters();
+}
+
 CloudStats CloudService::Stats() const {
   CloudStats stats;
   stats.reports_received = reports_received_.load(std::memory_order_relaxed);
@@ -203,7 +209,7 @@ CloudStats CloudService::Stats() const {
   stats.actions_dispatched = actions_dispatched_.load(std::memory_order_relaxed);
   stats.worker_crashes = worker_crashes_.load(std::memory_order_relaxed);
   stats.redeliveries = queue_.Redelivered();
-  stats.dead_letters = queue_.DeadLetters().size();
+  stats.dead_letters = queue_.DeadLetterDepth();
   return stats;
 }
 

@@ -86,6 +86,14 @@ class CloudService {
   // single-threaded harnesses; workers need not be running).
   size_t PumpUntilQuiet();
 
+  // --- Dead-letter visibility ---
+
+  // Messages that exhausted max_receives (poison: every delivery failed).
+  // Depth is also exported as CloudStats::dead_letters; Drain removes and
+  // returns them for operator inspection or re-injection.
+  [[nodiscard]] size_t DeadLetterDepth() const;
+  std::vector<QueueMessage> DrainDeadLetters();
+
   [[nodiscard]] CloudStats Stats() const;
   [[nodiscard]] const ReliableQueue& queue() const noexcept { return queue_; }
 

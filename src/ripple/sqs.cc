@@ -112,4 +112,16 @@ std::vector<QueueMessage> ReliableQueue::DeadLetters() const {
   return dead_letters_;
 }
 
+size_t ReliableQueue::DeadLetterDepth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dead_letters_.size();
+}
+
+std::vector<QueueMessage> ReliableQueue::DrainDeadLetters() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<QueueMessage> drained = std::move(dead_letters_);
+  dead_letters_.clear();
+  return drained;
+}
+
 }  // namespace sdci::ripple

@@ -66,6 +66,12 @@ class ReliableQueue {
   [[nodiscard]] uint64_t TotalDeleted() const;
   [[nodiscard]] uint64_t Redelivered() const;
   [[nodiscard]] std::vector<QueueMessage> DeadLetters() const;
+  [[nodiscard]] size_t DeadLetterDepth() const;
+
+  // Removes and returns everything on the dead-letter list (operator
+  // intervention: inspect the poison messages, fix the cause, optionally
+  // re-Send them).
+  std::vector<QueueMessage> DrainDeadLetters();
 
  private:
   struct Entry {

@@ -266,6 +266,35 @@ TEST_F(CloudAgentTest, UnknownTargetAgentIsNotFatal) {
   EXPECT_EQ(cloud.Stats().actions_dispatched, 0u);
 }
 
+TEST_F(CloudAgentTest, PoisonMessageLandsInDeadLetterQueueAndCanBeDrained) {
+  CloudConfig config = FastCloud();
+  config.worker_crash_prob = 1.0;  // every processing attempt "crashes"
+  config.queue.max_receives = 3;
+  CloudService cloud(authority_, config);
+  auto agent = MakeAgent(cloud, "hpc");
+  ASSERT_TRUE(cloud.RegisterRule(EmailRule("r1", "hpc")).ok());
+  agent->DeliverEvent(CreateEvent("/poison.h5", 1));
+
+  // Redelivery can never succeed; after max_receives the queue routes the
+  // message to the dead-letter list instead of looping forever.
+  for (int round = 0; round < 50 && cloud.DeadLetterDepth() == 0; ++round) {
+    cloud.PumpUntilQuiet();
+    authority_.SleepFor(Millis(40));
+  }
+  EXPECT_EQ(cloud.DeadLetterDepth(), 1u);
+  EXPECT_EQ(cloud.Stats().dead_letters, 1u);
+
+  // Operator intervention: drain, inspect, queue goes quiet.
+  auto drained = cloud.DrainDeadLetters();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_GE(drained[0].receive_count, config.queue.max_receives);
+  EXPECT_NE(drained[0].body.find("/poison.h5"), std::string::npos)
+      << "the poison payload is preserved for diagnosis";
+  EXPECT_EQ(cloud.DeadLetterDepth(), 0u);
+  EXPECT_EQ(cloud.queue().VisibleDepth(), 0u);
+  EXPECT_EQ(cloud.queue().InFlight(), 0u);
+}
+
 TEST_F(CloudAgentTest, RulesListedFromRegistry) {
   CloudService cloud(authority_, FastCloud());
   ASSERT_TRUE(cloud.RegisterRule(EmailRule("a", "x")).ok());

@@ -240,8 +240,8 @@ TEST_F(CollectorTest, ReportMaskFiltersAtSource) {
 
 TEST_F(CollectorTest, MissingAggregatorNeverLosesEvents) {
   // No subscriber on the collect endpoint: reporting fails, so the
-  // collector must rewind instead of purging — and deliver everything
-  // once an aggregator appears.
+  // collector must hold the extracted events instead of purging — and
+  // deliver everything once an aggregator appears.
   auto config = Config();
   config.collect_endpoint = "inproc://absent";
   Collector collector(fs_, 0, profile_, authority_, context_, config);
@@ -260,7 +260,8 @@ TEST_F(CollectorTest, MissingAggregatorNeverLosesEvents) {
   ASSERT_EQ(events.size(), 2u);
   EXPECT_EQ(events[0].path, "/orphan1");
   EXPECT_EQ(fs_.Mds(0).changelog().RetainedCount(), 0u) << "now purged";
-  EXPECT_EQ(collector.Stats().extracted, 2u) << "rewind undid the failed read";
+  EXPECT_EQ(collector.Stats().extracted, 2u) << "held events are not re-read";
+  EXPECT_GE(collector.Stats().report_retries, 1u) << "the hold was retried";
 }
 
 TEST_F(CollectorTest, StartStopThreadDrains) {

@@ -1,0 +1,168 @@
+// Fault injection on the msgq fabric: drop / duplicate / delay per
+// endpoint, for both PUB/SUB and PUSH/PULL, with deterministic seeds.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "msgq/context.h"
+
+namespace sdci::msgq {
+namespace {
+
+Message Msg(const std::string& topic, int i) {
+  return Message(topic, "payload-" + std::to_string(i));
+}
+
+TEST(MsgqFault, DropAllOnPubLooksDeliveredToSender) {
+  Context context;
+  auto pub = context.CreatePub("inproc://faulty");
+  auto sub = context.CreateSub("inproc://faulty");
+  sub->Subscribe("");
+
+  FaultConfig faults;
+  faults.drop_prob = 1.0;
+  context.InjectFaults("inproc://faulty", faults);
+
+  for (int i = 0; i < 10; ++i) {
+    // The wire ate it, but the hand-off was accepted: the sender cannot
+    // tell (that is what makes the gap a *subscriber* problem).
+    EXPECT_EQ(pub->Publish(Msg("t", i)), 1u);
+  }
+  EXPECT_EQ(sub->TryReceive(), std::nullopt);
+  EXPECT_EQ(context.FaultStatsFor("inproc://faulty").dropped, 10u);
+
+  context.ClearFaults("inproc://faulty");
+  EXPECT_EQ(pub->Publish(Msg("t", 99)), 1u);
+  auto delivered = sub->TryReceive();
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(delivered->bytes(), "payload-99");
+  // Clearing resets the ledger too.
+  EXPECT_EQ(context.FaultStatsFor("inproc://faulty").dropped, 0u);
+}
+
+TEST(MsgqFault, DuplicateOnPubDeliversTwice) {
+  Context context;
+  auto pub = context.CreatePub("inproc://dup");
+  auto sub = context.CreateSub("inproc://dup");
+  sub->Subscribe("");
+
+  FaultConfig faults;
+  faults.duplicate_prob = 1.0;
+  context.InjectFaults("inproc://dup", faults);
+
+  EXPECT_EQ(pub->Publish(Msg("t", 1)), 1u) << "accepted count is capped at fan-out";
+  EXPECT_EQ(sub->QueueDepth(), 2u);
+  auto first = sub->TryReceive();
+  auto second = sub->TryReceive();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->bytes(), second->bytes());
+  EXPECT_EQ(context.FaultStatsFor("inproc://dup").duplicated, 1u);
+}
+
+TEST(MsgqFault, DropOnPushAcceptsWithoutDelivering) {
+  Context context;
+  auto push = context.CreatePush("inproc://pushdrop");
+  auto pull = context.CreatePull("inproc://pushdrop");
+
+  FaultConfig faults;
+  faults.drop_prob = 1.0;
+  context.InjectFaults("inproc://pushdrop", faults);
+
+  EXPECT_TRUE(push->Push(Msg("t", 1)).ok());
+  EXPECT_FALSE(pull->PullFor(std::chrono::milliseconds(5)).ok());
+  EXPECT_EQ(context.FaultStatsFor("inproc://pushdrop").dropped, 1u);
+
+  context.ClearFaults("inproc://pushdrop");
+  EXPECT_TRUE(push->Push(Msg("t", 2)).ok());
+  auto delivered = pull->Pull();
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(delivered->bytes(), "payload-2");
+}
+
+TEST(MsgqFault, DuplicateOnPushDeliversTwoCopies) {
+  Context context;
+  auto push = context.CreatePush("inproc://pushdup");
+  auto pull = context.CreatePull("inproc://pushdup");
+
+  FaultConfig faults;
+  faults.duplicate_prob = 1.0;
+  context.InjectFaults("inproc://pushdup", faults);
+
+  EXPECT_TRUE(push->Push(Msg("t", 7)).ok());
+  auto first = pull->PullFor(std::chrono::milliseconds(50));
+  auto second = pull->PullFor(std::chrono::milliseconds(50));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->bytes(), second->bytes());
+}
+
+TEST(MsgqFault, DelayStallsTheSenderAndCounts) {
+  Context context;
+  auto pub = context.CreatePub("inproc://slow");
+  auto sub = context.CreateSub("inproc://slow");
+  sub->Subscribe("");
+
+  FaultConfig faults;
+  faults.delay_prob = 1.0;
+  faults.delay = std::chrono::milliseconds(20);
+  context.InjectFaults("inproc://slow", faults);
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(pub->Publish(Msg("t", 1)), 1u);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(15)) << "sender must feel the stall";
+  EXPECT_EQ(context.FaultStatsFor("inproc://slow").delayed, 1u);
+  // Delayed, not lost.
+  EXPECT_TRUE(sub->TryReceive().has_value());
+}
+
+TEST(MsgqFault, ProbabilisticDropIsDeterministicPerSeed) {
+  const auto run = [](uint64_t seed) {
+    Context context;
+    auto pub = context.CreatePub("inproc://p");
+    auto sub = context.CreateSub("inproc://p", 1u << 12);
+    sub->Subscribe("");
+    FaultConfig faults;
+    faults.drop_prob = 0.5;
+    faults.seed = seed;
+    context.InjectFaults("inproc://p", faults);
+    for (int i = 0; i < 200; ++i) (void)pub->Publish(Msg("t", i));
+    return context.FaultStatsFor("inproc://p").dropped;
+  };
+  const uint64_t first = run(7);
+  EXPECT_EQ(first, run(7)) << "same seed, same fate";
+  EXPECT_GT(first, 50u);
+  EXPECT_LT(first, 150u) << "p=0.5 should drop roughly half";
+}
+
+TEST(MsgqFault, FaultsAreScopedToTheirEndpoint) {
+  Context context;
+  auto pub_faulty = context.CreatePub("inproc://a");
+  auto sub_faulty = context.CreateSub("inproc://a");
+  sub_faulty->Subscribe("");
+  auto pub_clean = context.CreatePub("inproc://b");
+  auto sub_clean = context.CreateSub("inproc://b");
+  sub_clean->Subscribe("");
+
+  FaultConfig faults;
+  faults.drop_prob = 1.0;
+  context.InjectFaults("inproc://a", faults);
+
+  (void)pub_faulty->Publish(Msg("t", 1));
+  (void)pub_clean->Publish(Msg("t", 2));
+  EXPECT_EQ(sub_faulty->TryReceive(), std::nullopt);
+  EXPECT_TRUE(sub_clean->TryReceive().has_value());
+  EXPECT_EQ(context.FaultStatsFor("inproc://b").dropped, 0u);
+}
+
+TEST(MsgqFault, StatsForUnknownEndpointAreEmpty) {
+  Context context;
+  const FaultStats stats = context.FaultStatsFor("inproc://nowhere");
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.duplicated, 0u);
+  EXPECT_EQ(stats.delayed, 0u);
+}
+
+}  // namespace
+}  // namespace sdci::msgq
