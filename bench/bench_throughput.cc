@@ -119,10 +119,11 @@ ThroughputResult RunOne(const lustre::TestbedProfile& profile,
 }  // namespace
 }  // namespace sdci::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdci;
   using namespace sdci::bench;
 
+  const std::string json_out = JsonOutPath(argc, argv);
   const auto aws = RunOne(lustre::TestbedProfile::Aws(), Seconds(5.0));
   const auto iota = RunOne(lustre::TestbedProfile::Iota(), Seconds(5.0));
 
@@ -154,5 +155,18 @@ int main() {
       "\nShape: monitor trails generation (bottleneck = per-event path\n"
       "resolution), gap larger on AWS; zero events lost once processed;\n"
       "latencies grow with the backlog (the pipeline runs saturated).\n");
+
+  MetricSet metrics;
+  metrics.Set("aws_generated_rate", aws.generated_rate);
+  metrics.Set("aws_monitor_rate", aws.monitor_rate);
+  metrics.Set("aws_fraction", aws.fraction);
+  metrics.Set("aws_lost",
+              static_cast<double>(aws.extracted_total - aws.delivered_total));
+  metrics.Set("iota_generated_rate", iota.generated_rate);
+  metrics.Set("iota_monitor_rate", iota.monitor_rate);
+  metrics.Set("iota_fraction", iota.fraction);
+  metrics.Set("iota_lost",
+              static_cast<double>(iota.extracted_total - iota.delivered_total));
+  WriteMetricsJson(json_out, metrics);
   return 0;
 }

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/json.h"
+#include "common/stats.h"
 #include "common/strings.h"
 #include "lustre/filesystem.h"
 #include "lustre/profile.h"
@@ -60,6 +62,24 @@ inline void WriteFileOrWarn(const std::string& path, const std::string& content)
   std::fwrite(content.data(), 1, content.size(), f);
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
+}
+
+// Parses "--json out.json" (or "--json=out.json") from the command line;
+// returns the empty string when the flag is absent.
+inline std::string JsonOutPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
+  }
+  return {};
+}
+
+// Writes the bench's result metrics as a flat JSON object (no-op when
+// `path` is empty, i.e. --json was not passed).
+inline void WriteMetricsJson(const std::string& path, const MetricSet& metrics) {
+  if (path.empty()) return;
+  WriteFileOrWarn(path, metrics.ToJson().Dump() + "\n");
 }
 
 // The standard experiment environment. Dilation is chosen per testbed so

@@ -1,27 +1,76 @@
 #!/usr/bin/env bash
-# Sanitizer gate: build everything with ASan+UBSan and run the full test
-# suite, then again under TSan (the two cannot share a build). Slower than
-# the default build; use before merging pipeline or messaging changes
-# (shared-payload bugs are exactly what ASan catches; the supervisor's
-# crash/restart and the subscriber's backfill paths are what TSan is for).
+# Pre-merge gate.
+#
+# Default: build everything with ASan+UBSan and run the full test suite,
+# then again under TSan (the two cannot share a build). Slow; use before
+# merging pipeline or messaging changes (shared-payload bugs are exactly
+# what ASan catches; the supervisor's crash/restart and the subscriber's
+# backfill paths are what TSan is for).
+#
+# --fast: one plain build + ctest, skipping the sanitizer rebuilds.
+#
+# Every mode ends with two health steps:
+#   - the ctest output must contain no "[health] decode_errors=" marker
+#     (an Aggregator emits it on Stop when it saw more decode errors than
+#     its config expected — i.e. a wire-format regression);
+#   - a smoke-run of bench_observability --quick --json, keeping the
+#     machine-readable bench output path exercised.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
-ASAN_DIR="${BUILD_DIR:-build-asan}"
-cmake -B "$ASAN_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build "$ASAN_DIR" -j "$JOBS"
-ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS"
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *)
+      echo "usage: $0 [--fast]" >&2
+      exit 2
+      ;;
+  esac
+done
 
-TSAN_DIR="${TSAN_BUILD_DIR:-build-tsan}"
-cmake -B "$TSAN_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "$TSAN_DIR" -j "$JOBS"
-ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS"
+FIRST_DIR=""
+
+run_suite() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  cmake --build "$dir" -j "$JOBS"
+  local log="$dir/ctest-output.log"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" --output-log "$log"
+  if grep -F "[health] decode_errors=" "$log"; then
+    echo "FAIL: a test binary reported unexpected decode_errors (see above)" >&2
+    exit 1
+  fi
+  [[ -n "$FIRST_DIR" ]] || FIRST_DIR="$dir"
+}
+
+if [[ "$FAST" == 1 ]]; then
+  run_suite "${BUILD_DIR:-build}"
+else
+  run_suite "${BUILD_DIR:-build-asan}" \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  run_suite "${TSAN_BUILD_DIR:-build-tsan}" \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+fi
+
+# Smoke-run the observability bench's JSON export. The bench's own exit
+# code enforces the <2% tracing-overhead budget, which is only meaningful
+# on an uninstrumented build and with full repetitions — here we require
+# the run to complete and the JSON to carry its headline metrics.
+BENCH_JSON="$(mktemp)"
+trap 'rm -f "$BENCH_JSON"' EXIT
+"$FIRST_DIR/bench/bench_observability" --quick --json "$BENCH_JSON" || true
+for key in rate0_events_per_sec rate100_events_per_sec trace_valid; do
+  if ! grep -q "\"$key\"" "$BENCH_JSON"; then
+    echo "FAIL: bench_observability --json output is missing $key" >&2
+    exit 1
+  fi
+done
+
+echo "check.sh: all gates passed"

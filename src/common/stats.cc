@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
+#include "common/json.h"
 #include "common/strings.h"
 
 namespace sdci {
@@ -38,7 +40,12 @@ size_t LatencyHistogram::BucketFor(int64_t ns) noexcept {
 
 int64_t LatencyHistogram::BucketUpper(size_t i) noexcept {
   if (i == 0) return 1000;
-  const uint64_t us = 1ull << i;
+  // 2^i us in ns overflows int64 from i=44 up (and the final bucket is
+  // open-ended anyway): saturate instead of wrapping.
+  constexpr uint64_t kMaxUs =
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) / 1000ull;
+  const uint64_t us = i >= 63 ? kMaxUs : 1ull << i;
+  if (us >= kMaxUs) return std::numeric_limits<int64_t>::max();
   return static_cast<int64_t>(us * 1000ull);
 }
 
@@ -59,13 +66,18 @@ uint64_t LatencyHistogram::Count() const noexcept {
 VirtualDuration LatencyHistogram::Quantile(double q) const noexcept {
   const uint64_t total = Count();
   if (total == 0) return VirtualDuration::zero();
+  if (!(q > 0.0)) q = 0.0;  // also catches NaN
+  if (q > 1.0) q = 1.0;
+  const int64_t max_ns = max_ns_.load(std::memory_order_relaxed);
   const auto target = static_cast<uint64_t>(q * static_cast<double>(total));
   uint64_t seen = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
     seen += counts_[i].load(std::memory_order_relaxed);
-    if (seen > target) return VirtualDuration(BucketUpper(i));
+    // The bucket's upper bound can overshoot the observed maximum (coarse
+    // buckets, or samples saturating the open-ended last bucket).
+    if (seen > target) return VirtualDuration(std::min(BucketUpper(i), max_ns));
   }
-  return VirtualDuration(max_ns_.load(std::memory_order_relaxed));
+  return VirtualDuration(max_ns);
 }
 
 VirtualDuration LatencyHistogram::Mean() const noexcept {
@@ -77,6 +89,19 @@ VirtualDuration LatencyHistogram::Mean() const noexcept {
 
 VirtualDuration LatencyHistogram::Max() const noexcept {
   return VirtualDuration(max_ns_.load(std::memory_order_relaxed));
+}
+
+VirtualDuration LatencyHistogram::Sum() const noexcept {
+  return VirtualDuration(sum_ns_.load(std::memory_order_relaxed));
+}
+
+std::vector<LatencyHistogram::Bucket> LatencyHistogram::Buckets() const {
+  std::vector<Bucket> out(kBuckets);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    out[i].upper_ns = BucketUpper(i);
+    out[i].count = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 std::string LatencyHistogram::Summary() const {
@@ -128,6 +153,13 @@ double MetricSet::Get(const std::string& name) const {
 bool MetricSet::Has(const std::string& name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return values_.count(name) > 0;
+}
+
+json::Value MetricSet::ToJson() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  json::Object out;
+  for (const auto& [name, value] : values_) out[name] = value;
+  return out;
 }
 
 std::string MetricSet::ToString() const {

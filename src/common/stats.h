@@ -16,6 +16,10 @@
 
 namespace sdci {
 
+namespace json {
+class Value;
+}  // namespace json
+
 // Monotonic event counter, safe for concurrent increments.
 class Counter {
  public:
@@ -46,8 +50,16 @@ class Gauge {
   std::atomic<int64_t> peak_{0};
 };
 
-// Fixed-boundary latency histogram with exponential buckets covering
-// 1us..~17min; records in virtual nanoseconds. Thread-safe.
+// Fixed-boundary latency histogram with exponential (power-of-two)
+// buckets from 1us up through the int64 nanosecond range (the tail
+// buckets saturate, open-ended); records in virtual nanoseconds.
+// Thread-safe.
+//
+// Quantile contract: `q` is clamped to [0,1] (NaN reads as 0). An empty
+// histogram reports zero for every quantile. q=0 reports the upper bound
+// of the first non-empty bucket; q=1 reports the observed maximum; no
+// quantile ever exceeds the observed maximum, even for samples past the
+// last bucket boundary (which all land in the final, open-ended bucket).
 class LatencyHistogram {
  public:
   LatencyHistogram();
@@ -55,10 +67,20 @@ class LatencyHistogram {
   void Record(VirtualDuration d) noexcept;
 
   [[nodiscard]] uint64_t Count() const noexcept;
-  // Approximate quantile (q in [0,1]) via bucket interpolation.
+  // Approximate quantile (q clamped to [0,1]) via bucket interpolation.
   [[nodiscard]] VirtualDuration Quantile(double q) const noexcept;
   [[nodiscard]] VirtualDuration Mean() const noexcept;
   [[nodiscard]] VirtualDuration Max() const noexcept;
+  // Sum of all recorded durations (for exposition `_sum` series).
+  [[nodiscard]] VirtualDuration Sum() const noexcept;
+
+  // One row per bucket, in boundary order; `count` is non-cumulative.
+  // The last bucket's upper bound saturates at INT64_MAX (open-ended).
+  struct Bucket {
+    int64_t upper_ns = 0;
+    uint64_t count = 0;
+  };
+  [[nodiscard]] std::vector<Bucket> Buckets() const;
 
   // "count=N mean=... p50=... p99=... max=..."
   [[nodiscard]] std::string Summary() const;
@@ -96,6 +118,8 @@ class MetricSet {
   [[nodiscard]] double Get(const std::string& name) const;
   [[nodiscard]] bool Has(const std::string& name) const;
   [[nodiscard]] std::string ToString() const;
+  // Flat {"name": value, ...} object, for `--json` bench output.
+  [[nodiscard]] json::Value ToJson() const;
 
  private:
   mutable std::mutex mutex_;

@@ -1,0 +1,157 @@
+#include "common/tracing.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+
+namespace sdci::trace {
+
+TraceCollector::TraceCollector(size_t capacity) : capacity_(capacity) {}
+
+void TraceCollector::Record(TraceSpan span) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stage_latency_[span.name].Record(span.duration);
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+size_t TraceCollector::SpanCount() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+uint64_t TraceCollector::Dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::vector<TraceSpan> TraceCollector::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::vector<TraceSpan> TraceCollector::Timeline(uint64_t trace_id) const {
+  std::vector<TraceSpan> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const TraceSpan& span : spans_) {
+      if (span.trace_id == trace_id) out.push_back(span);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.start < b.start;
+                   });
+  return out;
+}
+
+std::vector<uint64_t> TraceCollector::TraceIds() const {
+  std::vector<uint64_t> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(spans_.size());
+    for (const TraceSpan& span : spans_) out.push_back(span.trace_id);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+const LatencyHistogram* TraceCollector::StageLatency(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stage_latency_.find(name);
+  return it == stage_latency_.end() ? nullptr : &it->second;
+}
+
+json::Value TraceCollector::StageLatencyJson() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  json::Object out;
+  for (const auto& [name, hist] : stage_latency_) {
+    json::Object row;
+    row["count"] = hist.Count();
+    row["mean_ns"] = hist.Mean().count();
+    row["p50_ns"] = hist.Quantile(0.5).count();
+    row["p99_ns"] = hist.Quantile(0.99).count();
+    row["max_ns"] = hist.Max().count();
+    out[name] = std::move(row);
+  }
+  return out;
+}
+
+json::Value TraceCollector::ToChromeTraceJson() const {
+  json::Array events;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events.reserve(spans_.size());
+    for (const TraceSpan& span : spans_) {
+      json::Object row;
+      row["name"] = span.name;
+      row["cat"] = "sdci";
+      row["ph"] = "X";
+      row["ts"] = static_cast<double>(span.start.count()) / 1e3;
+      row["dur"] = static_cast<double>(span.duration.count()) / 1e3;
+      row["pid"] = 1;
+      row["tid"] = span.trace_id;
+      json::Object args;
+      args["trace_id"] = span.trace_id;
+      args["span_id"] = span.span_id;
+      args["parent_id"] = span.parent_id;
+      args["component"] = span.component;
+      row["args"] = std::move(args);
+      events.push_back(std::move(row));
+    }
+  }
+  json::Object out;
+  out["traceEvents"] = std::move(events);
+  out["displayTimeUnit"] = "ms";
+  return out;
+}
+
+void TraceCollector::Clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  dropped_ = 0;
+  stage_latency_.clear();
+}
+
+Tracer::Tracer(std::shared_ptr<TraceCollector> sink, double sample_rate,
+               uint64_t seed)
+    : sink_(std::move(sink)), sample_rate_(sample_rate), rng_(seed) {}
+
+uint64_t Tracer::SampleTrace() {
+  if (sample_rate_ <= 0.0 || sink_ == nullptr) return 0;
+  if (sample_rate_ < 1.0) {
+    const std::lock_guard<std::mutex> lock(rng_mutex_);
+    if (!rng_.NextBool(sample_rate_)) return 0;
+  }
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::NewSpanId() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::RecordSpan(TraceSpan span) {
+  if (sink_ != nullptr) sink_->Record(std::move(span));
+}
+
+uint64_t Tracer::Record(uint64_t trace_id, uint64_t parent_id,
+                        std::string_view name, std::string_view component,
+                        VirtualTime start, VirtualTime end) {
+  const uint64_t span_id = NewSpanId();
+  TraceSpan span;
+  span.trace_id = trace_id;
+  span.span_id = span_id;
+  span.parent_id = parent_id;
+  span.name = std::string(name);
+  span.component = std::string(component);
+  span.start = start;
+  span.duration = end < start ? VirtualDuration::zero() : end - start;
+  RecordSpan(std::move(span));
+  return span_id;
+}
+
+}  // namespace sdci::trace

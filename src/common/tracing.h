@@ -1,0 +1,142 @@
+// Per-event distributed tracing for the monitor pipeline.
+//
+// A sampled event carries a TraceContext — trace id + parent span id — in
+// its wire representation; each pipeline stage that touches the event
+// records a TraceSpan against the shared TraceCollector and threads its
+// own span id forward as the next stage's parent. Stage names (see
+// trace::k* below) are a stable contract documented in
+// docs/architecture.md; tools and tests key on them.
+//
+// Sampling is decided once, at the collector where the event is born
+// (trace_id == 0 means unsampled, and every downstream stage skips all
+// tracing work on the strength of that one compare), so the overhead at
+// 0% sampling is a branch per event.
+//
+// Timestamps are virtual time (TimeAuthority), so exported traces line up
+// with every other virtual-time measurement in the repo regardless of
+// dilation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace sdci {
+
+namespace json {
+class Value;
+}  // namespace json
+
+namespace trace {
+
+// The span taxonomy: one name per pipeline stage, in pipeline order.
+inline constexpr std::string_view kChangelogRead = "changelog.read";
+inline constexpr std::string_view kCollectorExtract = "collector.extract";
+inline constexpr std::string_view kFid2PathResolve = "fid2path.resolve";
+inline constexpr std::string_view kCollectorPublish = "collector.publish";
+inline constexpr std::string_view kAggregatorIngest = "aggregator.ingest";
+inline constexpr std::string_view kWalAppend = "wal.append";
+inline constexpr std::string_view kAggregatorPublish = "aggregator.publish";
+inline constexpr std::string_view kStoreAppend = "store.append";
+inline constexpr std::string_view kAgentRuleEval = "agent.rule_eval";
+inline constexpr std::string_view kActionExecute = "action.execute";
+
+// One timed stage of one event's journey. parent_id == 0 marks a root.
+struct TraceSpan {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  std::string name;       // stage, from the taxonomy above
+  std::string component;  // emitting component, e.g. "collector.0"
+  VirtualTime start{};
+  VirtualDuration duration{};
+};
+
+// Thread-safe bounded span sink. Assembles per-trace timelines and
+// exports Chrome trace_event JSON (loadable in Perfetto / about:tracing).
+// Also keeps a per-stage latency histogram over everything recorded.
+class TraceCollector {
+ public:
+  explicit TraceCollector(size_t capacity = 1u << 20);
+
+  void Record(TraceSpan span);
+
+  [[nodiscard]] size_t SpanCount() const;
+  // Spans discarded because the sink was full.
+  [[nodiscard]] uint64_t Dropped() const;
+
+  [[nodiscard]] std::vector<TraceSpan> Snapshot() const;
+  // All spans of one trace, sorted by start time (ties keep record order).
+  [[nodiscard]] std::vector<TraceSpan> Timeline(uint64_t trace_id) const;
+  [[nodiscard]] std::vector<uint64_t> TraceIds() const;
+
+  // Latency distribution of one stage over the sampled population
+  // (nullptr if the stage was never recorded). The pointer stays valid
+  // for the collector's lifetime.
+  [[nodiscard]] const LatencyHistogram* StageLatency(std::string_view name) const;
+  // {"stage": {"count": N, "p50_ns": ..., "p99_ns": ..., "max_ns": ...}}
+  [[nodiscard]] json::Value StageLatencyJson() const;
+
+  // Chrome trace_event JSON: {"traceEvents": [{"ph": "X", ...}, ...]}.
+  // Complete ("X") events; ts/dur in microseconds of virtual time; one
+  // Perfetto track (tid) per trace id so each event reads as a lane.
+  [[nodiscard]] json::Value ToChromeTraceJson() const;
+
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+  uint64_t dropped_ = 0;
+  // node-based map: histogram addresses are stable across inserts.
+  std::map<std::string, LatencyHistogram, std::less<>> stage_latency_;
+};
+
+// Sampling decision + span id source, shared by every instrumented
+// component of one pipeline. Thread-safe.
+class Tracer {
+ public:
+  Tracer(std::shared_ptr<TraceCollector> sink, double sample_rate,
+         uint64_t seed = 1);
+
+  // Rolls the sampling dice for a newborn event: 0 (unsampled) or a fresh
+  // trace id. At rate <= 0 this is a single compare — the hot-path cost
+  // of leaving tracing compiled in.
+  uint64_t SampleTrace();
+
+  // A fresh span id, for stages that must name their span before its end
+  // timestamp is known (e.g. to stamp it into a wire payload as the
+  // child's parent before publishing).
+  uint64_t NewSpanId();
+
+  // Records a completed span under a pre-allocated id.
+  void RecordSpan(TraceSpan span);
+  // Convenience: allocates the id, records, returns it for parenting.
+  uint64_t Record(uint64_t trace_id, uint64_t parent_id, std::string_view name,
+                  std::string_view component, VirtualTime start, VirtualTime end);
+
+  [[nodiscard]] const std::shared_ptr<TraceCollector>& collector() const {
+    return sink_;
+  }
+  [[nodiscard]] double sample_rate() const { return sample_rate_; }
+
+ private:
+  std::shared_ptr<TraceCollector> sink_;
+  double sample_rate_;
+  std::atomic<uint64_t> next_id_{1};
+  std::mutex rng_mutex_;
+  Rng rng_;
+};
+
+}  // namespace trace
+}  // namespace sdci

@@ -32,7 +32,38 @@ Aggregator::Aggregator(const lustre::TestbedProfile& profile,
       publish_queue_(config_.internal_queue),
       store_queue_(config_.internal_queue),
       ingest_budget_(authority),
-      publish_budget_(authority) {
+      publish_budget_(authority),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : std::make_shared<MetricsRegistry>()),
+      tracer_(config_.tracer) {
+  received_ = metrics_->GetCounter("sdci_aggregator_received_total");
+  batches_received_ = metrics_->GetCounter("sdci_aggregator_batches_received_total");
+  published_ = metrics_->GetCounter("sdci_aggregator_published_total");
+  batches_published_ =
+      metrics_->GetCounter("sdci_aggregator_batches_published_total");
+  decode_errors_ = metrics_->GetCounter("sdci_aggregator_decode_errors_total");
+  delivery_latency_ = metrics_->GetHistogram("sdci_aggregator_delivery_latency");
+  received_base_ = received_->Get();
+  batches_received_base_ = batches_received_->Get();
+  published_base_ = published_->Get();
+  batches_published_base_ = batches_published_->Get();
+  decode_errors_base_ = decode_errors_->Get();
+  // Scrape-time queue depths. The weak token keeps a scrape from touching
+  // a dead incarnation's queues; a restarted incarnation re-registers
+  // under the same name and takes the series over.
+  const std::weak_ptr<bool> alive = alive_;
+  metrics_->RegisterCallback(
+      "sdci_aggregator_publish_queue_depth", {},
+      [alive, this]() -> std::optional<int64_t> {
+        if (alive.expired()) return std::nullopt;
+        return static_cast<int64_t>(publish_queue_.size());
+      });
+  metrics_->RegisterCallback(
+      "sdci_aggregator_store_queue_depth", {},
+      [alive, this]() -> std::optional<int64_t> {
+        if (alive.expired()) return std::nullopt;
+        return static_cast<int64_t>(store_queue_.size());
+      });
   if (config_.transport == CollectTransport::kPubSub) {
     if (attachments.ingest_sub != nullptr) {
       sub_ = std::move(attachments.ingest_sub);
@@ -60,7 +91,10 @@ Aggregator::Aggregator(const lustre::TestbedProfile& profile,
   }
 }
 
-Aggregator::~Aggregator() { Stop(); }
+Aggregator::~Aggregator() {
+  alive_.reset();  // detach queue-depth callbacks before queues die
+  Stop();
+}
 
 void Aggregator::Start() {
   if (running_.exchange(true)) return;
@@ -83,6 +117,13 @@ void Aggregator::Stop() {
   api_thread_.request_stop();
   rep_->Close();
   if (api_thread_.joinable()) api_thread_.join();
+  // Health marker for scripts/check.sh: unexplained decode errors mean a
+  // wire-format regression somewhere upstream.
+  const uint64_t decode_errors = decode_errors_->Get() - decode_errors_base_;
+  if (decode_errors > config_.expected_decode_errors) {
+    log::Warn("aggregator", "[health] decode_errors={} (expected <= {})",
+              decode_errors, config_.expected_decode_errors);
+  }
 }
 
 void Aggregator::Crash() {
@@ -125,12 +166,14 @@ void Aggregator::IngestLoop(const std::stop_token& stop) {
       continue;
     }
     idle_rounds_after_stop = 0;
+    const VirtualTime ingest_start =
+        tracer_ != nullptr ? authority_->Now() : VirtualTime{};
     // Decode the collector message exactly once; everything downstream
     // shares the decoded batch. Zero-event payloads are hostile (the wire
     // contract is >= 1 event) and counted with the malformed ones.
     auto events = DecodeEventBatch(message->bytes());
     if (!events.ok() || events->empty()) {
-      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      decode_errors_->Add();
       continue;
     }
     const auto count = static_cast<uint64_t>(events->size());
@@ -139,15 +182,50 @@ void Aggregator::IngestLoop(const std::stop_token& stop) {
     // One sequence range per batch: one atomic op instead of one per event.
     const uint64_t base = next_seq_.fetch_add(count, std::memory_order_relaxed);
     for (uint64_t i = 0; i < count; ++i) (*events)[i].global_seq = base + i;
-    received_.fetch_add(count, std::memory_order_relaxed);
-    batches_received_.fetch_add(1, std::memory_order_relaxed);
+    received_->Add(count);
+    batches_received_->Add();
+
+    // Traced events re-parent onto this stage's ingest span before the
+    // batch freezes, so the published wire bytes (and the JSON the history
+    // API serves) carry the aggregator-side span to hang consumers off.
+    struct PendingSpan {
+      uint64_t trace_id, parent, span_id;
+    };
+    std::vector<PendingSpan> pending;
+    if (tracer_ != nullptr) {
+      for (FsEvent& event : *events) {
+        if (event.trace_id == 0) continue;
+        const uint64_t span_id = tracer_->NewSpanId();
+        pending.push_back({event.trace_id, event.parent_span, span_id});
+        event.parent_span = span_id;
+      }
+    }
 
     EventBatch batch(std::move(events.value()));
+    if (!pending.empty()) {
+      const VirtualTime ingest_end = authority_->Now();
+      for (const PendingSpan& span : pending) {
+        tracer_->RecordSpan({span.trace_id, span.span_id, span.parent,
+                             std::string(trace::kAggregatorIngest), "aggregator",
+                             ingest_start, ingest_end - ingest_start});
+      }
+    }
     // Write-ahead: the batch (and the advanced watermark) reach the
     // checkpoint before either downstream thread can see it, so every
     // assigned global_seq survives a crash even if the publish/store
     // queues die with this incarnation.
-    if (checkpoint_ != nullptr) checkpoint_->Append(batch, base + count);
+    if (checkpoint_ != nullptr) {
+      const VirtualTime wal_start =
+          pending.empty() ? VirtualTime{} : authority_->Now();
+      checkpoint_->Append(batch, base + count);
+      if (!pending.empty()) {
+        const VirtualTime wal_end = authority_->Now();
+        for (const PendingSpan& span : pending) {
+          tracer_->Record(span.trace_id, span.span_id, trace::kWalAppend,
+                          "aggregator", wal_start, wal_end);
+        }
+      }
+    }
     // Hand off to both downstream threads. Blocking pushes propagate
     // backpressure to the collectors ("no loss of events once they have
     // been processed"). The publish side gets type-homogeneous sub-batches
@@ -174,11 +252,19 @@ void Aggregator::PublishLoop() {
     msgq::Message message(batch->Topic(), batch->payload());
     const VirtualTime now = authority_->Now();
     for (const FsEvent& event : batch->events()) {
-      delivery_latency_.Record(now - event.time);
+      delivery_latency_->Record(now - event.time);
     }
     pub_->Publish(std::move(message));
-    published_.fetch_add(batch->size(), std::memory_order_relaxed);
-    batches_published_.fetch_add(1, std::memory_order_relaxed);
+    if (tracer_ != nullptr) {
+      for (const FsEvent& event : batch->events()) {
+        if (event.trace_id == 0) continue;
+        tracer_->Record(event.trace_id, event.parent_span,
+                        trace::kAggregatorPublish, "aggregator", now,
+                        authority_->Now());
+      }
+    }
+    published_->Add(batch->size());
+    batches_published_->Add();
   }
 }
 
@@ -187,7 +273,17 @@ void Aggregator::StoreLoop() {
     auto batch = store_queue_.Pop();
     if (!batch.ok()) break;
     if (crashed_.load(std::memory_order_acquire)) continue;  // lost with the process
+    const VirtualTime store_start =
+        tracer_ != nullptr ? authority_->Now() : VirtualTime{};
     store_.Append(*batch);
+    if (tracer_ != nullptr) {
+      const VirtualTime store_end = authority_->Now();
+      for (const FsEvent& event : batch->events()) {
+        if (event.trace_id == 0) continue;
+        tracer_->Record(event.trace_id, event.parent_span, trace::kStoreAppend,
+                        "aggregator", store_start, store_end);
+      }
+    }
   }
 }
 
@@ -235,12 +331,12 @@ void Aggregator::HandleApiRequest(msgq::Request& request) {
 
 AggregatorStats Aggregator::Stats() const {
   AggregatorStats stats;
-  stats.received = received_.load(std::memory_order_relaxed);
-  stats.batches_received = batches_received_.load(std::memory_order_relaxed);
-  stats.published = published_.load(std::memory_order_relaxed);
-  stats.batches_published = batches_published_.load(std::memory_order_relaxed);
+  stats.received = received_->Get() - received_base_;
+  stats.batches_received = batches_received_->Get() - batches_received_base_;
+  stats.published = published_->Get() - published_base_;
+  stats.batches_published = batches_published_->Get() - batches_published_base_;
   stats.stored = store_.TotalAppended() - restored_events_;
-  stats.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  stats.decode_errors = decode_errors_->Get() - decode_errors_base_;
   stats.checkpointed = checkpoint_ != nullptr ? checkpoint_->TotalAppended() : 0;
   return stats;
 }
@@ -249,7 +345,7 @@ ResourceUsage Aggregator::Usage(VirtualDuration elapsed) const {
   ResourceUsage usage;
   usage.component = "aggregator";
   const double span = ToSecondsF(elapsed);
-  const double received = static_cast<double>(received_.load(std::memory_order_relaxed));
+  const double received = static_cast<double>(received_->Get() - received_base_);
   usage.cpu_percent =
       span <= 0 ? 0
                 : 100.0 * received * ToSecondsF(profile_.aggregator_cpu_per_event) / span;

@@ -36,6 +36,16 @@ struct AggregatorConfig {
   size_t store_capacity = 200000;  // rotating catalog, in events
   size_t internal_queue = 65536;   // depth of the publish/store hand-off, in batches
   size_t ingest_hwm = 65536;       // collector->aggregator socket depth
+  // Shared observability plumbing (see CollectorConfig). When a supervisor
+  // restarts the aggregator with the same registry, the new incarnation
+  // re-acquires the same instruments, so registry series are
+  // fleet-cumulative while Stats() stays per-incarnation.
+  std::shared_ptr<MetricsRegistry> metrics;
+  std::shared_ptr<trace::Tracer> tracer;
+  // Decode errors this deployment tolerates before Stop() emits the
+  // "[health] decode_errors=" marker line scripts/check.sh greps for.
+  // Tests that feed intentionally malformed payloads raise it.
+  uint64_t expected_decode_errors = 0;
 };
 
 struct AggregatorStats {
@@ -124,9 +134,10 @@ class Aggregator {
   }
 
   // Delivery latency: virtual time from a record being journaled on its
-  // MDS to its event reaching subscribers.
+  // MDS to its event reaching subscribers. Cumulative across incarnations
+  // when a shared registry is configured.
   [[nodiscard]] const LatencyHistogram& delivery_latency() const noexcept {
-    return delivery_latency_;
+    return *delivery_latency_;
   }
 
  private:
@@ -155,12 +166,28 @@ class Aggregator {
   DelayBudget publish_budget_;
 
   std::atomic<uint64_t> next_seq_{1};
-  std::atomic<uint64_t> received_{0};
-  std::atomic<uint64_t> batches_received_{0};
-  std::atomic<uint64_t> published_{0};
-  std::atomic<uint64_t> batches_published_{0};
-  std::atomic<uint64_t> decode_errors_{0};
-  LatencyHistogram delivery_latency_;
+
+  // Registry-backed instruments. The shared registry outlives incarnations
+  // (counters are fleet-cumulative); the *_base_ snapshots taken at
+  // construction keep Stats() per-incarnation so a supervisor summing
+  // totals across restarts does not double-count.
+  std::shared_ptr<MetricsRegistry> metrics_;
+  std::shared_ptr<Counter> received_;
+  std::shared_ptr<Counter> batches_received_;
+  std::shared_ptr<Counter> published_;
+  std::shared_ptr<Counter> batches_published_;
+  std::shared_ptr<Counter> decode_errors_;
+  std::shared_ptr<LatencyHistogram> delivery_latency_;
+  uint64_t received_base_ = 0;
+  uint64_t batches_received_base_ = 0;
+  uint64_t published_base_ = 0;
+  uint64_t batches_published_base_ = 0;
+  uint64_t decode_errors_base_ = 0;
+  // Invalidated first in the destructor so registry queue-depth callbacks
+  // holding a weak handle stop reading this incarnation's queues.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  std::shared_ptr<trace::Tracer> tracer_;
 
   std::jthread ingest_thread_;
   std::jthread publish_thread_;

@@ -15,7 +15,27 @@ AggregatorSupervisor::AggregatorSupervisor(const lustre::TestbedProfile& profile
       aggregator_config_(std::move(aggregator_config)),
       config_(config),
       checkpoint_(aggregator_config_.store_capacity),
-      rng_(config.fault_seed) {
+      rng_(config.fault_seed),
+      metrics_(aggregator_config_.metrics != nullptr
+                   ? aggregator_config_.metrics
+                   : std::make_shared<MetricsRegistry>()) {
+  crashes_ = metrics_->GetCounter("sdci_aggregator_supervisor_crashes_total");
+  restarts_ = metrics_->GetCounter("sdci_aggregator_supervisor_restarts_total");
+  // The checkpoint outlives every incarnation; the weak token covers a
+  // registry that outlives the supervisor itself.
+  const std::weak_ptr<bool> alive = alive_;
+  metrics_->RegisterCallback(
+      "sdci_aggregator_checkpoint_next_seq", {},
+      [alive, this]() -> std::optional<int64_t> {
+        if (alive.expired()) return std::nullopt;
+        return static_cast<int64_t>(checkpoint_.NextSeq());
+      });
+  metrics_->RegisterCallback(
+      "sdci_aggregator_checkpoint_events", {},
+      [alive, this]() -> std::optional<int64_t> {
+        if (alive.expired()) return std::nullopt;
+        return static_cast<int64_t>(checkpoint_.EventCount());
+      });
   // Bind the ingest socket once, outside any incarnation. Its queue is the
   // "network" between collectors and the aggregator service: hand-offs
   // accepted here survive a crash of the process behind it.
@@ -30,7 +50,10 @@ AggregatorSupervisor::AggregatorSupervisor(const lustre::TestbedProfile& profile
   }
 }
 
-AggregatorSupervisor::~AggregatorSupervisor() { Stop(); }
+AggregatorSupervisor::~AggregatorSupervisor() {
+  alive_.reset();  // detach scrape callbacks before members die
+  Stop();
+}
 
 std::unique_ptr<Aggregator> AggregatorSupervisor::MakeAggregator() {
   AggregatorAttachments attachments;
@@ -72,7 +95,7 @@ void AggregatorSupervisor::CrashLocked() {
   totals_.decode_errors += stats.decode_errors;
   aggregator_->Crash();
   aggregator_.reset();
-  crashes_.Add();
+  crashes_->Add();
   log::Debug("supervisor", "aggregator crashed");
 }
 
@@ -92,7 +115,7 @@ void AggregatorSupervisor::SuperviseLoop(const std::stop_token& stop) {
     if (aggregator_ == nullptr) {
       aggregator_ = MakeAggregator();
       aggregator_->Start();
-      restarts_.Add();
+      restarts_->Add();
       log::Debug("supervisor", "aggregator restarted at seq {}",
                  checkpoint_.NextSeq());
     }

@@ -49,8 +49,15 @@ class AggregatorSupervisor {
   // restarted on the next health check.
   void InjectCrash();
 
-  [[nodiscard]] uint64_t crashes() const noexcept { return crashes_.Get(); }
-  [[nodiscard]] uint64_t restarts() const noexcept { return restarts_.Get(); }
+  [[nodiscard]] uint64_t crashes() const noexcept { return crashes_->Get(); }
+  [[nodiscard]] uint64_t restarts() const noexcept { return restarts_->Get(); }
+
+  // Whether an aggregator incarnation is currently alive (false in the
+  // window between a crash and the next health check's restart).
+  [[nodiscard]] bool IsUp() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return aggregator_ != nullptr;
+  }
 
   // Cumulative stats across every incarnation since Start (per-incarnation
   // counters reset on restart; these are what the pipeline observed).
@@ -82,8 +89,13 @@ class AggregatorSupervisor {
   std::unique_ptr<Aggregator> aggregator_;  // null while "down"
   AggregatorStats totals_;                  // from dead incarnations
   Rng rng_;
-  Counter crashes_;
-  Counter restarts_;
+  // Registered into aggregator_config_.metrics (or a private registry).
+  std::shared_ptr<MetricsRegistry> metrics_;
+  std::shared_ptr<Counter> crashes_;
+  std::shared_ptr<Counter> restarts_;
+  // Invalidated first in the destructor so checkpoint scrape callbacks in
+  // a longer-lived registry stop touching this object.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::jthread thread_;
   std::atomic<bool> running_{false};
 };

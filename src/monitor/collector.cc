@@ -33,7 +33,23 @@ Collector::Collector(lustre::FileSystem& fs, int mdt_index,
       fid2path_(fs, profile),
       cache_(fid2path_, config_.cache_capacity),
       budget_(authority),
-      retry_rng_(config_.retry_seed + static_cast<uint64_t>(mdt_index)) {
+      retry_rng_(config_.retry_seed + static_cast<uint64_t>(mdt_index)),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : std::make_shared<MetricsRegistry>()),
+      tracer_(config_.tracer),
+      component_(strings::Format("collector.{}", mdt_index)) {
+  const MetricLabels labels = {{"mdt", std::to_string(mdt_index_)}};
+  extracted_ = metrics_->GetCounter("sdci_collector_extracted_total", labels);
+  filtered_ = metrics_->GetCounter("sdci_collector_filtered_total", labels);
+  processed_ = metrics_->GetCounter("sdci_collector_processed_total", labels);
+  reported_ = metrics_->GetCounter("sdci_collector_reported_total", labels);
+  resolve_failures_ =
+      metrics_->GetCounter("sdci_collector_resolve_failures_total", labels);
+  report_retries_ =
+      metrics_->GetCounter("sdci_collector_report_retries_total", labels);
+  last_cleared_ = metrics_->GetGauge("sdci_collector_last_cleared_index", labels);
+  detection_latency_ =
+      metrics_->GetHistogram("sdci_collector_detection_latency", labels);
   if (config_.local_store_capacity > 0) {
     local_store_ = std::make_unique<EventStore>(config_.local_store_capacity);
   }
@@ -99,19 +115,19 @@ void Collector::Run(const std::stop_token& stop) {
 }
 
 size_t Collector::DrainOnce() {
-  const uint64_t reported_before = reported_.load(std::memory_order_relaxed);
+  const uint64_t reported_before = reported_->Get();
   std::vector<lustre::ChangeLogRecord> records;
   while (true) {
     records.clear();
     if (ProcessPass(records) != PassResult::kProgress) break;
   }
   budget_.Flush();
-  return reported_.load(std::memory_order_relaxed) - reported_before;
+  return reported_->Get() - reported_before;
 }
 
 bool Collector::FlushHeld() {
   if (held_events_.empty()) return true;
-  report_retries_.fetch_add(1, std::memory_order_relaxed);
+  report_retries_->Add();
   const size_t delivered = Report(held_events_);
   held_events_.erase(held_events_.begin(),
                      held_events_.begin() + static_cast<ptrdiff_t>(delivered));
@@ -126,7 +142,7 @@ void Collector::PurgeThrough(uint64_t last_index) {
   budget_.Charge(profile_.changelog_clear_latency);
   auto& changelog = fs_->Mds(static_cast<size_t>(mdt_index_)).changelog();
   if (changelog.Clear(consumer_id_, last_index).ok()) {
-    last_cleared_.store(last_index, std::memory_order_relaxed);
+    last_cleared_->Set(static_cast<int64_t>(last_index));
   }
 }
 
@@ -137,11 +153,15 @@ Collector::PassResult Collector::ProcessPass(std::vector<lustre::ChangeLogRecord
 
   auto& changelog = fs_->Mds(static_cast<size_t>(mdt_index_)).changelog();
   // Detection: extract new records (costed per read call + per record).
+  // The read window is remembered so sampled events can retroactively
+  // record a changelog.read span (two Now() calls per pass, not per event).
+  if (tracer_ != nullptr) last_read_start_ = authority_->Now();
   const size_t n = changelog.ReadFrom(next_index_, config_.read_batch, records);
   budget_.Charge(profile_.changelog_read_base +
                  profile_.changelog_read_per_record * static_cast<int64_t>(n));
+  if (tracer_ != nullptr) last_read_end_ = authority_->Now();
   if (n == 0) return PassResult::kIdle;
-  extracted_.fetch_add(n, std::memory_order_relaxed);
+  extracted_->Add(n);
   const uint64_t last_index = records.back().index;
   next_index_ = last_index + 1;
 
@@ -154,14 +174,14 @@ Collector::PassResult Collector::ProcessPass(std::vector<lustre::ChangeLogRecord
     const size_t before = records.size();
     records.erase(std::remove_if(records.begin(), records.end(), masked_out),
                   records.end());
-    filtered_.fetch_add(before - records.size(), std::memory_order_relaxed);
+    filtered_->Add(before - records.size());
   }
 
   // Processing: resolve FIDs into absolute paths.
   std::vector<FsEvent> events;
   events.reserve(records.size());
   ResolvePaths(records, events);
-  processed_.fetch_add(events.size(), std::memory_order_relaxed);
+  processed_->Add(events.size());
 
   // Aggregation hand-off. A failed hand-off (no aggregator accepting on
   // the endpoint) must not lose events: the undelivered tail is held —
@@ -219,6 +239,11 @@ void Collector::ResolvePaths(std::vector<lustre::ChangeLogRecord>& records,
 
   for (size_t i = 0; i < records.size(); ++i) {
     const lustre::ChangeLogRecord& record = records[i];
+    // Sampling decision for this event's whole pipeline journey. At 0%
+    // rate this is one compare; unsampled events skip every Now() below.
+    const uint64_t trace_id = tracer_ != nullptr ? tracer_->SampleTrace() : 0;
+    const VirtualTime extract_start =
+        trace_id != 0 ? authority_->Now() : VirtualTime{};
     FsEvent event;
     event.mdt_index = mdt_index_;
     event.record_index = record.index;
@@ -231,6 +256,8 @@ void Collector::ResolvePaths(std::vector<lustre::ChangeLogRecord>& records,
 
     std::string parent_path;
     bool resolved = false;
+    const VirtualTime resolve_start =
+        trace_id != 0 ? authority_->Now() : VirtualTime{};
     switch (config_.resolve_mode) {
       case ResolveMode::kPerEvent: {
         auto path = fid2path_.Resolve(record.parent, budget_);
@@ -258,6 +285,8 @@ void Collector::ResolvePaths(std::vector<lustre::ChangeLogRecord>& records,
         break;
       }
     }
+    const VirtualTime resolve_end =
+        trace_id != 0 ? authority_->Now() : VirtualTime{};
 
     if (resolved) {
       event.path = parent_path == "/" ? "/" + record.name : parent_path + "/" + record.name;
@@ -277,7 +306,23 @@ void Collector::ResolvePaths(std::vector<lustre::ChangeLogRecord>& records,
       // Path resolution can legitimately fail: the parent may already be
       // deleted by the time the record is processed. The event is still
       // reported, carrying its FIDs.
-      resolve_failures_.fetch_add(1, std::memory_order_relaxed);
+      resolve_failures_->Add();
+    }
+
+    if (trace_id != 0) {
+      // Root the timeline at the ChangeLog read that surfaced the record;
+      // the extract span covers field refactoring + resolution, with the
+      // fid2path call nested inside it.
+      const uint64_t read_span =
+          tracer_->Record(trace_id, 0, trace::kChangelogRead, component_,
+                          last_read_start_, last_read_end_);
+      const uint64_t extract_span =
+          tracer_->Record(trace_id, read_span, trace::kCollectorExtract,
+                          component_, extract_start, authority_->Now());
+      tracer_->Record(trace_id, extract_span, trace::kFid2PathResolve,
+                      component_, resolve_start, resolve_end);
+      event.trace_id = trace_id;
+      event.parent_span = extract_span;
     }
 
     MaintainCache(event);
@@ -327,9 +372,27 @@ size_t Collector::Report(const std::vector<FsEvent>& events) {
   size_t delivered = 0;
   for (size_t start = 0; start < events.size(); start += batch_size) {
     const size_t end = std::min(events.size(), start + batch_size);
-    const EventBatch batch(std::vector<FsEvent>(
-        events.begin() + static_cast<ptrdiff_t>(start),
-        events.begin() + static_cast<ptrdiff_t>(end)));
+    std::vector<FsEvent> chunk(events.begin() + static_cast<ptrdiff_t>(start),
+                               events.begin() + static_cast<ptrdiff_t>(end));
+    // A traced event must cross the wire carrying the publish span as its
+    // parent, so the span id is allocated before the batch is encoded and
+    // the span recorded only once the hand-off succeeds (a rejected chunk
+    // is retried under fresh span ids; its unrecorded ids never surface).
+    struct PendingSpan {
+      uint64_t trace_id, parent, span_id;
+    };
+    std::vector<PendingSpan> pending;
+    if (tracer_ != nullptr) {
+      for (FsEvent& event : chunk) {
+        if (event.trace_id == 0) continue;
+        const uint64_t span_id = tracer_->NewSpanId();
+        pending.push_back({event.trace_id, event.parent_span, span_id});
+        event.parent_span = span_id;
+      }
+    }
+    const VirtualTime publish_start =
+        pending.empty() ? VirtualTime{} : authority_->Now();
+    const EventBatch batch(std::move(chunk));
     msgq::Message message(strings::Format("collect.mdt{}", mdt_index_),
                           batch.payload());
     budget_.Charge(profile_.collector_publish_latency);
@@ -344,25 +407,30 @@ size_t Collector::Report(const std::vector<FsEvent>& events) {
     // recorded only on success so retries do not double-count.
     const VirtualTime now = authority_->Now();
     for (const FsEvent& event : batch.events()) {
-      detection_latency_.Record(now - event.time);
+      detection_latency_->Record(now - event.time);
+    }
+    for (const PendingSpan& span : pending) {
+      tracer_->RecordSpan({span.trace_id, span.span_id, span.parent,
+                           std::string(trace::kCollectorPublish), component_,
+                           publish_start, now - publish_start});
     }
     delivered = end;
-    reported_.fetch_add(end - start, std::memory_order_relaxed);
+    reported_->Add(end - start);
   }
   return delivered;
 }
 
 CollectorStats Collector::Stats() const {
   CollectorStats stats;
-  stats.extracted = extracted_.load(std::memory_order_relaxed);
-  stats.filtered = filtered_.load(std::memory_order_relaxed);
-  stats.processed = processed_.load(std::memory_order_relaxed);
-  stats.reported = reported_.load(std::memory_order_relaxed);
-  stats.resolve_failures = resolve_failures_.load(std::memory_order_relaxed);
+  stats.extracted = extracted_->Get();
+  stats.filtered = filtered_->Get();
+  stats.processed = processed_->Get();
+  stats.reported = reported_->Get();
+  stats.resolve_failures = resolve_failures_->Get();
   stats.fid2path_calls = fid2path_.calls();
   stats.cache_hit_rate = cache_.HitRate();
-  stats.last_cleared_index = last_cleared_.load(std::memory_order_relaxed);
-  stats.report_retries = report_retries_.load(std::memory_order_relaxed);
+  stats.last_cleared_index = static_cast<uint64_t>(last_cleared_->Get());
+  stats.report_retries = report_retries_->Get();
   return stats;
 }
 
@@ -370,7 +438,7 @@ ResourceUsage Collector::Usage(VirtualDuration elapsed) const {
   ResourceUsage usage;
   usage.component = strings::Format("collector.{}", mdt_index_);
   const double span = ToSecondsF(elapsed);
-  const double processed = static_cast<double>(processed_.load(std::memory_order_relaxed));
+  const double processed = static_cast<double>(processed_->Get());
   const double cpu_s = processed * ToSecondsF(profile_.collector_cpu_per_event);
   usage.cpu_percent = span <= 0 ? 0 : 100.0 * cpu_s / span;
   usage.pipeline_busy_percent =

@@ -21,9 +21,11 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/resource.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/tracing.h"
 #include "lustre/fid2path.h"
 #include "lustre/filesystem.h"
 #include "lustre/profile.h"
@@ -65,6 +67,11 @@ struct CollectorConfig {
   VirtualDuration retry_backoff_max = Seconds(1.0);
   double retry_jitter_frac = 0.25;
   uint64_t retry_seed = 1;
+  // Shared observability plumbing. A null registry gives the collector a
+  // private one (instruments always exist); a null tracer disables
+  // sampling entirely.
+  std::shared_ptr<MetricsRegistry> metrics;
+  std::shared_ptr<trace::Tracer> tracer;
 };
 
 struct CollectorStats {
@@ -109,7 +116,7 @@ class Collector {
   // Detection latency: virtual time from a record being journaled to its
   // event being reported to the aggregator.
   [[nodiscard]] const LatencyHistogram& detection_latency() const noexcept {
-    return detection_latency_;
+    return *detection_latency_;
   }
 
  private:
@@ -155,14 +162,23 @@ class Collector {
   std::vector<FsEvent> held_events_;
   uint64_t held_last_index_ = 0;  // purge watermark once the hold drains
   Rng retry_rng_;
-  std::atomic<uint64_t> extracted_{0};
-  std::atomic<uint64_t> filtered_{0};
-  std::atomic<uint64_t> processed_{0};
-  std::atomic<uint64_t> reported_{0};
-  std::atomic<uint64_t> resolve_failures_{0};
-  std::atomic<uint64_t> report_retries_{0};
-  std::atomic<uint64_t> last_cleared_{0};
-  LatencyHistogram detection_latency_;
+
+  // Registry-backed instruments (shared with config_.metrics when set).
+  std::shared_ptr<MetricsRegistry> metrics_;
+  std::shared_ptr<Counter> extracted_;
+  std::shared_ptr<Counter> filtered_;
+  std::shared_ptr<Counter> processed_;
+  std::shared_ptr<Counter> reported_;
+  std::shared_ptr<Counter> resolve_failures_;
+  std::shared_ptr<Counter> report_retries_;
+  std::shared_ptr<Gauge> last_cleared_;
+  std::shared_ptr<LatencyHistogram> detection_latency_;
+
+  std::shared_ptr<trace::Tracer> tracer_;
+  const std::string component_;  // "collector.N", span attribution
+  // ChangeLog read window of the current pass (collector thread only).
+  VirtualTime last_read_start_{};
+  VirtualTime last_read_end_{};
 
   std::jthread thread_;
   std::atomic<bool> running_{false};

@@ -131,8 +131,26 @@ RecoveringSubscriber::RecoveringSubscriber(msgq::Context& context,
                                            RecoveringSubscriberConfig config)
     : live_(context, publish_endpoint, config.topic_prefix, config.hwm, config.policy),
       history_(context, api_endpoint),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : std::make_shared<MetricsRegistry>()) {
   next_expected_.store(config_.start_seq, std::memory_order_relaxed);
+  MetricLabels labels;
+  if (!config_.name.empty()) labels.emplace_back("subscriber", config_.name);
+  gaps_detected_ = metrics_->GetCounter("sdci_subscriber_gaps_detected_total", labels);
+  events_backfilled_ =
+      metrics_->GetCounter("sdci_subscriber_events_backfilled_total", labels);
+  events_unrecoverable_ =
+      metrics_->GetCounter("sdci_subscriber_events_unrecoverable_total", labels);
+  received_ = metrics_->GetCounter("sdci_subscriber_received_total", labels);
+  batches_received_ =
+      metrics_->GetCounter("sdci_subscriber_batches_received_total", labels);
+  const std::weak_ptr<bool> alive = alive_;
+  metrics_->RegisterCallback("sdci_subscriber_next_expected", labels,
+                             [alive, this]() -> std::optional<int64_t> {
+                               if (alive.expired()) return std::nullopt;
+                               return static_cast<int64_t>(next_expected());
+                             });
 }
 
 Result<EventBatch> RecoveringSubscriber::NextBatch() {
@@ -160,8 +178,8 @@ Result<EventBatch> RecoveringSubscriber::NextBatchFor(std::chrono::nanoseconds t
 Result<EventBatch> RecoveringSubscriber::PopReady() {
   EventBatch batch = std::move(ready_.front());
   ready_.pop_front();
-  received_.fetch_add(batch.size(), std::memory_order_relaxed);
-  batches_received_.fetch_add(1, std::memory_order_relaxed);
+  received_->Add(batch.size());
+  batches_received_->Add();
   return batch;
 }
 
@@ -188,7 +206,7 @@ void RecoveringSubscriber::Ingest(const EventBatch& batch) {
   if (min_seq > watermark) {
     // Everything below min_seq was published before this message, so the
     // hole [watermark, min_seq) can only be filled from history.
-    gaps_detected_.fetch_add(1, std::memory_order_relaxed);
+    gaps_detected_->Add();
     BackfillGap(min_seq);
   }
   Advance(fresh);
@@ -215,8 +233,7 @@ void RecoveringSubscriber::BackfillGap(uint64_t to) {
     if (!page.ok()) {
       // The aggregator may be mid-restart; keep asking until the deadline.
       if (std::chrono::steady_clock::now() >= deadline) {
-        events_unrecoverable_.fetch_add(count_missing(cursor, to),
-                                        std::memory_order_relaxed);
+        events_unrecoverable_->Add(count_missing(cursor, to));
         break;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -226,8 +243,7 @@ void RecoveringSubscriber::BackfillGap(uint64_t to) {
       // The hole's head rotated out of the history window: those events
       // are gone for good. Resume from what is retained.
       const uint64_t lost_until = std::min(page->first_available, to);
-      events_unrecoverable_.fetch_add(count_missing(cursor, lost_until),
-                                      std::memory_order_relaxed);
+      events_unrecoverable_->Add(count_missing(cursor, lost_until));
       cursor = lost_until;
       continue;
     }
@@ -242,15 +258,14 @@ void RecoveringSubscriber::BackfillGap(uint64_t to) {
       // Retained but not served yet (the restarted store is still
       // catching up); retry until the deadline.
       if (std::chrono::steady_clock::now() >= deadline) {
-        events_unrecoverable_.fetch_add(count_missing(cursor, to),
-                                        std::memory_order_relaxed);
+        events_unrecoverable_->Add(count_missing(cursor, to));
         break;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
       continue;
     }
     cursor = events.back().global_seq + 1;
-    events_backfilled_.fetch_add(events.size(), std::memory_order_relaxed);
+    events_backfilled_->Add(events.size());
     ready_.push_back(EventBatch(std::move(events)));
   }
   // The gap is resolved (backfilled or written off): move the watermark to

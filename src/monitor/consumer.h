@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "monitor/event.h"
 #include "msgq/context.h"
@@ -100,6 +101,11 @@ struct RecoveringSubscriberConfig {
   // aggregator may be mid-restart when we ask it to fill a hole).
   std::chrono::nanoseconds history_timeout = std::chrono::milliseconds(250);
   std::chrono::nanoseconds backfill_deadline = std::chrono::seconds(10);
+  // Observability: instruments register into `metrics` (private registry
+  // when null) labelled {"subscriber": name} when `name` is non-empty —
+  // set it when a fleet of subscribers shares one registry.
+  std::string name;
+  std::shared_ptr<MetricsRegistry> metrics;
 };
 
 // Self-healing event consumer: a live EventSubscriber that watches
@@ -137,21 +143,19 @@ class RecoveringSubscriber {
     return next_expected_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] uint64_t gaps_detected() const noexcept {
-    return gaps_detected_.load(std::memory_order_relaxed);
+    return gaps_detected_->Get();
   }
   [[nodiscard]] uint64_t events_backfilled() const noexcept {
-    return events_backfilled_.load(std::memory_order_relaxed);
+    return events_backfilled_->Get();
   }
   // Sequences lost for good: rotated out of the history window, or the
   // API never answered within the backfill deadline.
   [[nodiscard]] uint64_t events_unrecoverable() const noexcept {
-    return events_unrecoverable_.load(std::memory_order_relaxed);
+    return events_unrecoverable_->Get();
   }
-  [[nodiscard]] uint64_t received() const noexcept {
-    return received_.load(std::memory_order_relaxed);
-  }
+  [[nodiscard]] uint64_t received() const noexcept { return received_->Get(); }
   [[nodiscard]] uint64_t batches_received() const noexcept {
-    return batches_received_.load(std::memory_order_relaxed);
+    return batches_received_->Get();
   }
   [[nodiscard]] uint64_t dropped_at_socket() const { return live_.dropped_at_socket(); }
 
@@ -172,11 +176,17 @@ class RecoveringSubscriber {
   std::deque<EventBatch> ready_;  // deliverable, backfill before live
   std::set<uint64_t> ahead_;      // delivered out of order, > watermark
   std::atomic<uint64_t> next_expected_{0};
-  std::atomic<uint64_t> gaps_detected_{0};
-  std::atomic<uint64_t> events_backfilled_{0};
-  std::atomic<uint64_t> events_unrecoverable_{0};
-  std::atomic<uint64_t> received_{0};
-  std::atomic<uint64_t> batches_received_{0};
+
+  // Registry-backed instruments (config_.metrics, or a private registry).
+  std::shared_ptr<MetricsRegistry> metrics_;
+  std::shared_ptr<Counter> gaps_detected_;
+  std::shared_ptr<Counter> events_backfilled_;
+  std::shared_ptr<Counter> events_unrecoverable_;
+  std::shared_ptr<Counter> received_;
+  std::shared_ptr<Counter> batches_received_;
+  // Declared last: destroyed first, so the next_expected scrape callback
+  // in a longer-lived registry expires before the members it reads.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace sdci::monitor

@@ -27,6 +27,10 @@ json::Value FsEvent::ToJson() const {
   if (!source_path.empty()) obj["source_path"] = json::Value(source_path);
   obj["target_fid"] = json::Value(target_fid.ToString());
   obj["parent_fid"] = json::Value(parent_fid.ToString());
+  if (trace_id != 0) {
+    obj["trace_id"] = json::Value(trace_id);
+    obj["parent_span"] = json::Value(parent_span);
+  }
   return json::Value(std::move(obj));
 }
 
@@ -50,12 +54,18 @@ Result<FsEvent> FsEvent::FromJson(const json::Value& value) {
   auto parent = lustre::Fid::Parse(value.GetString("parent_fid", "[0x0:0x0:0x0]"));
   if (!parent.ok()) return parent.status();
   event.parent_fid = *parent;
+  event.trace_id = static_cast<uint64_t>(value.GetInt("trace_id"));
+  event.parent_span = static_cast<uint64_t>(value.GetInt("parent_span"));
   return event;
 }
 
 namespace {
 
-constexpr uint16_t kCodecVersion = 1;
+// v1: fields through parent_fid. v2 appends the trace context (two u64s)
+// to the END of each record, so every v1 field keeps its byte offset;
+// v1 payloads still decode (trace fields default to 0 / unsampled).
+constexpr uint16_t kCodecVersion = 2;
+constexpr uint16_t kOldestDecodableVersion = 1;
 
 void EncodeOne(BinaryWriter& writer, const FsEvent& event) {
   writer.PutU32(static_cast<uint32_t>(event.mdt_index));
@@ -73,9 +83,11 @@ void EncodeOne(BinaryWriter& writer, const FsEvent& event) {
   writer.PutU64(event.parent_fid.seq);
   writer.PutU32(event.parent_fid.oid);
   writer.PutU32(event.parent_fid.ver);
+  writer.PutU64(event.trace_id);
+  writer.PutU64(event.parent_span);
 }
 
-Result<FsEvent> DecodeOne(BinaryReader& reader) {
+Result<FsEvent> DecodeOne(BinaryReader& reader, uint16_t version) {
   FsEvent event;
 #define SDCI_READ_OR_RETURN(field, expr) \
   {                                      \
@@ -107,6 +119,10 @@ Result<FsEvent> DecodeOne(BinaryReader& reader) {
   SDCI_READ_OR_RETURN(event.parent_fid.seq, reader.GetU64());
   SDCI_READ_OR_RETURN(event.parent_fid.oid, reader.GetU32());
   SDCI_READ_OR_RETURN(event.parent_fid.ver, reader.GetU32());
+  if (version >= 2) {
+    SDCI_READ_OR_RETURN(event.trace_id, reader.GetU64());
+    SDCI_READ_OR_RETURN(event.parent_span, reader.GetU64());
+  }
 #undef SDCI_READ_OR_RETURN
   return event;
 }
@@ -125,7 +141,7 @@ Result<std::vector<FsEvent>> DecodeEventBatch(std::string_view payload) {
   BinaryReader reader(payload);
   auto version = reader.GetU16();
   if (!version.ok()) return version.status();
-  if (*version != kCodecVersion) {
+  if (*version < kOldestDecodableVersion || *version > kCodecVersion) {
     return InvalidArgumentError(strings::Format("unknown codec version {}", *version));
   }
   auto count = reader.GetU32();
@@ -142,7 +158,7 @@ Result<std::vector<FsEvent>> DecodeEventBatch(std::string_view payload) {
   std::vector<FsEvent> events;
   events.reserve(*count);
   for (uint32_t i = 0; i < *count; ++i) {
-    auto event = DecodeOne(reader);
+    auto event = DecodeOne(reader, *version);
     if (!event.ok()) return event.status();
     events.push_back(std::move(event.value()));
   }

@@ -43,6 +43,14 @@ struct FsEvent {
   lustre::Fid target_fid;
   lustre::Fid parent_fid;
 
+  // Trace context (common/tracing.h). trace_id == 0 means unsampled and
+  // costs downstream stages a single compare. The collector decides
+  // sampling when the event is born; each traced stage rewrites
+  // parent_span to its own span id before handing the event on, so the
+  // wire always carries the producer-side span to parent against.
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+
   [[nodiscard]] size_t ApproxBytes() const noexcept {
     return sizeof(FsEvent) + path.capacity() + name.capacity() + source_path.capacity();
   }

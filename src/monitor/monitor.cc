@@ -15,6 +15,16 @@ void MonitorConfig::SetTransport(CollectTransport transport) {
   aggregator.transport = transport;
 }
 
+void MonitorConfig::SetMetrics(std::shared_ptr<MetricsRegistry> metrics) {
+  collector.metrics = metrics;
+  aggregator.metrics = std::move(metrics);
+}
+
+void MonitorConfig::SetTracer(std::shared_ptr<trace::Tracer> tracer) {
+  collector.tracer = tracer;
+  aggregator.tracer = std::move(tracer);
+}
+
 Monitor::Monitor(lustre::FileSystem& fs, const lustre::TestbedProfile& profile,
                  const TimeAuthority& authority, msgq::Context& context,
                  MonitorConfig config)

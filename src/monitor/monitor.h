@@ -39,6 +39,11 @@ struct MonitorConfig {
   // Keeps the two halves' endpoints and transport consistent.
   void SetCollectEndpoint(std::string endpoint);
   void SetTransport(CollectTransport transport);
+
+  // Points both halves at one registry / tracer, so a single scrape (or
+  // trace timeline) covers collectors and aggregator alike.
+  void SetMetrics(std::shared_ptr<MetricsRegistry> metrics);
+  void SetTracer(std::shared_ptr<trace::Tracer> tracer);
 };
 
 struct MonitorStats {

@@ -358,6 +358,11 @@ struct Context::Impl {
   std::unordered_map<std::string, std::shared_ptr<PushSocket::Hub>> push_hubs;
   std::unordered_map<std::string, std::shared_ptr<ReqSocket::Hub>> req_hubs;
   std::unordered_map<std::string, std::shared_ptr<FaultInjector>> injectors;
+  std::shared_ptr<MetricsRegistry> metrics;
+  uint64_t socket_serial = 0;
+  // Expires when the Context dies, so fault-stat callbacks held by a
+  // longer-lived registry stop dereferencing this Impl.
+  std::shared_ptr<bool> alive = std::make_shared<bool>(true);
 
   template <typename HubMap>
   typename HubMap::mapped_type HubFor(HubMap& map, const std::string& endpoint) {
@@ -368,10 +373,46 @@ struct Context::Impl {
     }
     return slot;
   }
+
+  // Registers one fault-stat series; the callback resolves the injector at
+  // scrape time so it tracks InjectFaults/ClearFaults churn.
+  void RegisterFaultSeries(const std::shared_ptr<MetricsRegistry>& registry,
+                           const std::string& name, const std::string& endpoint,
+                           uint64_t FaultStats::* field) {
+    const std::weak_ptr<bool> token = alive;
+    registry->RegisterCallback(
+        name, {{"endpoint", endpoint}},
+        [this, token, endpoint, field]() -> std::optional<int64_t> {
+          if (token.expired()) return std::nullopt;
+          std::shared_ptr<FaultInjector> injector;
+          {
+            const std::lock_guard<std::mutex> lock(mutex);
+            const auto it = injectors.find(endpoint);
+            if (it == injectors.end()) return std::nullopt;
+            injector = it->second;
+          }
+          return static_cast<int64_t>(injector->Stats().*field);
+        });
+  }
+
+  void RegisterFaultCallbacks(const std::string& endpoint) {
+    std::shared_ptr<MetricsRegistry> registry;
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      registry = metrics;
+    }
+    if (registry == nullptr) return;
+    RegisterFaultSeries(registry, "sdci_msgq_faults_dropped", endpoint,
+                        &FaultStats::dropped);
+    RegisterFaultSeries(registry, "sdci_msgq_faults_duplicated", endpoint,
+                        &FaultStats::duplicated);
+    RegisterFaultSeries(registry, "sdci_msgq_faults_delayed", endpoint,
+                        &FaultStats::delayed);
+  }
 };
 
 Context::Context() : impl_(std::make_unique<Impl>()) {}
-Context::~Context() = default;
+Context::~Context() { impl_->alive.reset(); }
 
 std::shared_ptr<PubSocket> Context::CreatePub(const std::string& endpoint) {
   auto hub = impl_->HubFor(impl_->pub_hubs, endpoint);
@@ -382,8 +423,34 @@ std::shared_ptr<SubSocket> Context::CreateSub(const std::string& endpoint, size_
                                               HwmPolicy policy) {
   auto hub = impl_->HubFor(impl_->pub_hubs, endpoint);
   auto sub = std::shared_ptr<SubSocket>(new SubSocket(hwm, policy));
-  const std::lock_guard<std::mutex> lock(hub->mutex);
-  hub->subscribers.push_back(sub);
+  {
+    const std::lock_guard<std::mutex> lock(hub->mutex);
+    hub->subscribers.push_back(sub);
+  }
+  std::shared_ptr<MetricsRegistry> registry;
+  uint64_t serial = 0;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    registry = impl_->metrics;
+    if (registry != nullptr) serial = impl_->socket_serial++;
+  }
+  if (registry != nullptr) {
+    const MetricLabels labels{{"endpoint", endpoint},
+                              {"socket", std::to_string(serial)}};
+    const std::weak_ptr<SubSocket> weak = sub;
+    registry->RegisterCallback(
+        "sdci_msgq_sub_queue_depth", labels, [weak]() -> std::optional<int64_t> {
+          const auto socket = weak.lock();
+          if (socket == nullptr) return std::nullopt;
+          return static_cast<int64_t>(socket->QueueDepth());
+        });
+    registry->RegisterCallback(
+        "sdci_msgq_sub_dropped", labels, [weak]() -> std::optional<int64_t> {
+          const auto socket = weak.lock();
+          if (socket == nullptr) return std::nullopt;
+          return static_cast<int64_t>(socket->dropped());
+        });
+  }
   return sub;
 }
 
@@ -429,6 +496,7 @@ void Context::InjectFaults(const std::string& endpoint, FaultConfig config) {
     const std::lock_guard<std::mutex> lock(push_hub->mutex);
     push_hub->injector = injector;
   }
+  impl_->RegisterFaultCallbacks(endpoint);
 }
 
 void Context::ClearFaults(const std::string& endpoint) {
@@ -446,6 +514,20 @@ void Context::ClearFaults(const std::string& endpoint) {
     const std::lock_guard<std::mutex> lock(push_hub->mutex);
     push_hub->injector.reset();
   }
+}
+
+void Context::AttachMetrics(std::shared_ptr<MetricsRegistry> metrics) {
+  std::vector<std::string> endpoints;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->metrics = std::move(metrics);
+    endpoints.reserve(impl_->injectors.size());
+    for (const auto& [endpoint, injector] : impl_->injectors) {
+      endpoints.push_back(endpoint);
+    }
+  }
+  // Injectors installed before the registry arrived get their series now.
+  for (const auto& endpoint : endpoints) impl_->RegisterFaultCallbacks(endpoint);
 }
 
 FaultStats Context::FaultStatsFor(const std::string& endpoint) const {

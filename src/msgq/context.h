@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/queue.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -290,6 +291,16 @@ class Context {
   void InjectFaults(const std::string& endpoint, FaultConfig config);
   void ClearFaults(const std::string& endpoint);
   [[nodiscard]] FaultStats FaultStatsFor(const std::string& endpoint) const;
+
+  // Observability: exports the fabric's telemetry into `metrics` as
+  // scrape-time callbacks. Fault-injector stats appear as
+  // sdci_msgq_faults_{dropped,duplicated,delayed} labelled by endpoint
+  // (series for an endpoint vanish when its injector is cleared), and every
+  // SubSocket created after this call exports sdci_msgq_sub_queue_depth /
+  // sdci_msgq_sub_dropped labelled {endpoint, socket}; a socket's series
+  // disappear once the socket is destroyed (weak handles — a registry that
+  // outlives the Context scrapes safely).
+  void AttachMetrics(std::shared_ptr<MetricsRegistry> metrics);
 
  private:
   struct Impl;

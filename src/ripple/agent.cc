@@ -14,7 +14,20 @@ Agent::Agent(AgentConfig config, lustre::FileSystem& storage, CloudService& clou
       authority_(&authority),
       action_queue_(config_.action_queue_depth),
       budget_(authority),
-      dedupe_(config_.dedupe_window) {
+      dedupe_(config_.dedupe_window),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : std::make_shared<MetricsRegistry>()) {
+  const MetricLabels labels{{"agent", config_.name}};
+  events_seen_ = metrics_->GetCounter("sdci_agent_events_seen_total", labels);
+  events_matched_ = metrics_->GetCounter("sdci_agent_events_matched_total", labels);
+  events_reported_ = metrics_->GetCounter("sdci_agent_events_reported_total", labels);
+  report_retries_ = metrics_->GetCounter("sdci_agent_report_retries_total", labels);
+  report_failures_ = metrics_->GetCounter("sdci_agent_report_failures_total", labels);
+  actions_received_ = metrics_->GetCounter("sdci_agent_actions_received_total", labels);
+  actions_executed_ = metrics_->GetCounter("sdci_agent_actions_executed_total", labels);
+  actions_failed_ = metrics_->GetCounter("sdci_agent_actions_failed_total", labels);
+  actions_retried_ = metrics_->GetCounter("sdci_agent_actions_retried_total", labels);
+  actions_deduped_ = metrics_->GetCounter("sdci_agent_actions_deduped_total", labels);
   // Default executor table; callers may override any slot.
   executors_[ActionType::kTransfer] = std::make_unique<TransferExecutor>();
   executors_[ActionType::kLocalCommand] = std::make_unique<LocalCommandExecutor>();
@@ -120,10 +133,27 @@ void Agent::WatcherLoop(const std::stop_token& stop) {
 }
 
 void Agent::DeliverEvent(const monitor::FsEvent& event) {
-  events_seen_.fetch_add(1, std::memory_order_relaxed);
-  if (!MatchesAnyRule(event)) return;
-  events_matched_.fetch_add(1, std::memory_order_relaxed);
-  ReportWithRetry(event);
+  events_seen_->Add();
+  if (config_.tracer == nullptr || event.trace_id == 0) {
+    if (!MatchesAnyRule(event)) return;
+    events_matched_->Add();
+    ReportWithRetry(event);
+    return;
+  }
+  // Traced path: the rule_eval span covers filter + report, and its id is
+  // stamped into the reported copy so the cloud's action round-trip hands
+  // the executing agent a parent to hang action.execute under.
+  const VirtualTime start = authority_->Now();
+  const uint64_t span = config_.tracer->NewSpanId();
+  if (MatchesAnyRule(event)) {
+    events_matched_->Add();
+    monitor::FsEvent reported = event;
+    reported.parent_span = span;
+    ReportWithRetry(reported);
+  }
+  config_.tracer->RecordSpan({event.trace_id, span, event.parent_span,
+                              std::string(trace::kAgentRuleEval), config_.name,
+                              start, authority_->Now() - start});
 }
 
 void Agent::DeliverBatch(const monitor::EventBatch& batch) {
@@ -136,26 +166,26 @@ void Agent::ReportWithRetry(const monitor::FsEvent& event) {
   VirtualDuration backoff = config_.report_backoff;
   for (size_t attempt = 0; attempt <= config_.report_retries; ++attempt) {
     if (attempt > 0) {
-      report_retries_.fetch_add(1, std::memory_order_relaxed);
+      report_retries_->Add();
       authority_->SleepFor(backoff);
       backoff *= 2;
     }
     if (cloud_->ReportEvent(config_.name, event).ok()) {
-      events_reported_.fetch_add(1, std::memory_order_relaxed);
+      events_reported_->Add();
       return;
     }
   }
-  report_failures_.fetch_add(1, std::memory_order_relaxed);
+  report_failures_->Add();
   log::Warn(config_.name, "giving up reporting event {}", event.ToString());
 }
 
 Status Agent::EnqueueAction(ActionRequest request) {
-  actions_received_.fetch_add(1, std::memory_order_relaxed);
+  actions_received_->Add();
   if (config_.dedupe_actions) {
     const std::string key = ActionKey(request);
     const std::lock_guard<std::mutex> lock(dedupe_mutex_);
     if (dedupe_.Get(key).has_value()) {
-      actions_deduped_.fetch_add(1, std::memory_order_relaxed);
+      actions_deduped_->Add();
       return OkStatus();  // duplicate of an already-accepted delivery
     }
     dedupe_.Put(key, true);
@@ -209,6 +239,8 @@ bool IsTransient(StatusCode code) noexcept {
 }  // namespace
 
 void Agent::ExecuteAction(ActionRequest request) {
+  const bool traced = config_.tracer != nullptr && request.event.trace_id != 0;
+  const VirtualTime trace_start = traced ? authority_->Now() : VirtualTime{};
   const auto it = executors_.find(request.spec.type);
   ActionOutcome outcome;
   if (it == executors_.end()) {
@@ -235,7 +267,7 @@ void Agent::ExecuteAction(ActionRequest request) {
       if (attempt >= config_.action_retries || !IsTransient(result.status().code())) {
         break;
       }
-      actions_retried_.fetch_add(1, std::memory_order_relaxed);
+      actions_retried_->Add();
       request.attempt += 1;
       authority_->SleepFor(backoff);
       backoff *= 2;
@@ -243,25 +275,30 @@ void Agent::ExecuteAction(ActionRequest request) {
     budget_.Flush();
   }
   if (outcome.success) {
-    actions_executed_.fetch_add(1, std::memory_order_relaxed);
+    actions_executed_->Add();
   } else {
-    actions_failed_.fetch_add(1, std::memory_order_relaxed);
+    actions_failed_->Add();
+  }
+  if (traced) {
+    config_.tracer->Record(request.event.trace_id, request.event.parent_span,
+                           trace::kActionExecute, config_.name, trace_start,
+                           authority_->Now());
   }
   action_log_.Record(std::move(request), std::move(outcome));
 }
 
 AgentStats Agent::Stats() const {
   AgentStats stats;
-  stats.events_seen = events_seen_.load(std::memory_order_relaxed);
-  stats.events_matched = events_matched_.load(std::memory_order_relaxed);
-  stats.events_reported = events_reported_.load(std::memory_order_relaxed);
-  stats.report_retries = report_retries_.load(std::memory_order_relaxed);
-  stats.report_failures = report_failures_.load(std::memory_order_relaxed);
-  stats.actions_received = actions_received_.load(std::memory_order_relaxed);
-  stats.actions_executed = actions_executed_.load(std::memory_order_relaxed);
-  stats.actions_failed = actions_failed_.load(std::memory_order_relaxed);
-  stats.actions_retried = actions_retried_.load(std::memory_order_relaxed);
-  stats.actions_deduped = actions_deduped_.load(std::memory_order_relaxed);
+  stats.events_seen = events_seen_->Get();
+  stats.events_matched = events_matched_->Get();
+  stats.events_reported = events_reported_->Get();
+  stats.report_retries = report_retries_->Get();
+  stats.report_failures = report_failures_->Get();
+  stats.actions_received = actions_received_->Get();
+  stats.actions_executed = actions_executed_->Get();
+  stats.actions_failed = actions_failed_->Get();
+  stats.actions_retried = actions_retried_->Get();
+  stats.actions_deduped = actions_deduped_->Get();
   return stats;
 }
 

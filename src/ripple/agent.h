@@ -23,8 +23,10 @@
 
 #include "common/clock.h"
 #include "common/lru.h"
+#include "common/metrics.h"
 #include "common/queue.h"
 #include "common/status.h"
+#include "common/tracing.h"
 #include "lustre/filesystem.h"
 #include "monitor/consumer.h"
 #include "monitor/inotify_sim.h"
@@ -46,6 +48,11 @@ struct AgentConfig {
   // Permanent errors (invalid params, missing executor) are not retried.
   size_t action_retries = 3;
   VirtualDuration action_retry_backoff = Millis(50);
+  // Observability: counters register into `metrics` (private registry when
+  // null) labelled {"agent": name}; a tracer records agent.rule_eval /
+  // action.execute spans for events that arrive with a sampled trace id.
+  std::shared_ptr<MetricsRegistry> metrics;
+  std::shared_ptr<trace::Tracer> tracer;
 };
 
 struct AgentStats {
@@ -153,16 +160,18 @@ class Agent {
   mutable std::mutex dedupe_mutex_;
   LruCache<std::string, bool> dedupe_;
 
-  std::atomic<uint64_t> events_seen_{0};
-  std::atomic<uint64_t> events_matched_{0};
-  std::atomic<uint64_t> events_reported_{0};
-  std::atomic<uint64_t> report_retries_{0};
-  std::atomic<uint64_t> report_failures_{0};
-  std::atomic<uint64_t> actions_received_{0};
-  std::atomic<uint64_t> actions_executed_{0};
-  std::atomic<uint64_t> actions_failed_{0};
-  std::atomic<uint64_t> actions_retried_{0};
-  std::atomic<uint64_t> actions_deduped_{0};
+  // Registry-backed counters (config_.metrics, or a private registry).
+  std::shared_ptr<MetricsRegistry> metrics_;
+  std::shared_ptr<Counter> events_seen_;
+  std::shared_ptr<Counter> events_matched_;
+  std::shared_ptr<Counter> events_reported_;
+  std::shared_ptr<Counter> report_retries_;
+  std::shared_ptr<Counter> report_failures_;
+  std::shared_ptr<Counter> actions_received_;
+  std::shared_ptr<Counter> actions_executed_;
+  std::shared_ptr<Counter> actions_failed_;
+  std::shared_ptr<Counter> actions_retried_;
+  std::shared_ptr<Counter> actions_deduped_;
 
   std::jthread event_thread_;
   std::jthread action_thread_;

@@ -8,9 +8,38 @@ namespace sdci::ripple {
 
 CloudService::CloudService(const TimeAuthority& authority, CloudConfig config)
     : authority_(&authority),
-      config_(config),
-      queue_(authority, config.queue),
-      rng_(config.fault_seed) {}
+      config_(std::move(config)),
+      queue_(authority, config_.queue),
+      rng_(config_.fault_seed),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : std::make_shared<MetricsRegistry>()) {
+  reports_received_ = metrics_->GetCounter("sdci_cloud_reports_received_total");
+  reports_dropped_ = metrics_->GetCounter("sdci_cloud_reports_dropped_total");
+  events_processed_ = metrics_->GetCounter("sdci_cloud_events_processed_total");
+  actions_dispatched_ = metrics_->GetCounter("sdci_cloud_actions_dispatched_total");
+  worker_crashes_ = metrics_->GetCounter("sdci_cloud_worker_crashes_total");
+  const std::weak_ptr<bool> alive = alive_;
+  metrics_->RegisterCallback("sdci_cloud_queue_visible_depth", {},
+                             [alive, this]() -> std::optional<int64_t> {
+                               if (alive.expired()) return std::nullopt;
+                               return static_cast<int64_t>(queue_.VisibleDepth());
+                             });
+  metrics_->RegisterCallback("sdci_cloud_queue_in_flight", {},
+                             [alive, this]() -> std::optional<int64_t> {
+                               if (alive.expired()) return std::nullopt;
+                               return static_cast<int64_t>(queue_.InFlight());
+                             });
+  metrics_->RegisterCallback("sdci_cloud_queue_redelivered", {},
+                             [alive, this]() -> std::optional<int64_t> {
+                               if (alive.expired()) return std::nullopt;
+                               return static_cast<int64_t>(queue_.Redelivered());
+                             });
+  metrics_->RegisterCallback("sdci_cloud_dead_letters", {},
+                             [alive, this]() -> std::optional<int64_t> {
+                               if (alive.expired()) return std::nullopt;
+                               return static_cast<int64_t>(queue_.DeadLetterDepth());
+                             });
+}
 
 CloudService::~CloudService() { Stop(); }
 
@@ -99,7 +128,7 @@ Status CloudService::ReportEvent(const std::string& agent_name,
   {
     const std::lock_guard<std::mutex> lock(rng_mutex_);
     if (config_.report_drop_prob > 0 && rng_.NextBool(config_.report_drop_prob)) {
-      reports_dropped_.fetch_add(1, std::memory_order_relaxed);
+      reports_dropped_->Add();
       return UnavailableError("report lost in flight (injected)");
     }
   }
@@ -107,7 +136,7 @@ Status CloudService::ReportEvent(const std::string& agent_name,
   envelope["agent"] = json::Value(agent_name);
   envelope["event"] = event.ToJson();
   queue_.Send(json::Value(std::move(envelope)).Dump());
-  reports_received_.fetch_add(1, std::memory_order_relaxed);
+  reports_received_->Add();
   return OkStatus();
 }
 
@@ -144,17 +173,17 @@ bool CloudService::ProcessMessage(const QueueMessage& message) {
     request.event = *event;
     request.attempt = message.receive_count;
     if (agent->EnqueueAction(std::move(request)).ok()) {
-      actions_dispatched_.fetch_add(1, std::memory_order_relaxed);
+      actions_dispatched_->Add();
     }
   }
-  events_processed_.fetch_add(1, std::memory_order_relaxed);
+  events_processed_->Add();
 
   // Injected Lambda crash: the entry is NOT deleted and will be
   // redelivered after its visibility timeout (the cleanup path).
   {
     const std::lock_guard<std::mutex> lock(rng_mutex_);
     if (config_.worker_crash_prob > 0 && rng_.NextBool(config_.worker_crash_prob)) {
-      worker_crashes_.fetch_add(1, std::memory_order_relaxed);
+      worker_crashes_->Add();
       return false;
     }
   }
@@ -203,11 +232,11 @@ std::vector<QueueMessage> CloudService::DrainDeadLetters() {
 
 CloudStats CloudService::Stats() const {
   CloudStats stats;
-  stats.reports_received = reports_received_.load(std::memory_order_relaxed);
-  stats.reports_dropped = reports_dropped_.load(std::memory_order_relaxed);
-  stats.events_processed = events_processed_.load(std::memory_order_relaxed);
-  stats.actions_dispatched = actions_dispatched_.load(std::memory_order_relaxed);
-  stats.worker_crashes = worker_crashes_.load(std::memory_order_relaxed);
+  stats.reports_received = reports_received_->Get();
+  stats.reports_dropped = reports_dropped_->Get();
+  stats.events_processed = events_processed_->Get();
+  stats.actions_dispatched = actions_dispatched_->Get();
+  stats.worker_crashes = worker_crashes_->Get();
   stats.redeliveries = queue_.Redelivered();
   stats.dead_letters = queue_.DeadLetterDepth();
   return stats;

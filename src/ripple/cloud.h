@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "monitor/event.h"
@@ -40,6 +41,9 @@ struct CloudConfig {
   double report_drop_prob = 0.0;
   double worker_crash_prob = 0.0;
   uint64_t fault_seed = 42;
+  // Observability: counters register into `metrics` (private registry when
+  // null); SQS depths are exported as scrape-time callbacks.
+  std::shared_ptr<MetricsRegistry> metrics;
 };
 
 struct CloudStats {
@@ -117,11 +121,16 @@ class CloudService {
   mutable std::mutex rng_mutex_;
   Rng rng_;
 
-  std::atomic<uint64_t> reports_received_{0};
-  std::atomic<uint64_t> reports_dropped_{0};
-  std::atomic<uint64_t> events_processed_{0};
-  std::atomic<uint64_t> actions_dispatched_{0};
-  std::atomic<uint64_t> worker_crashes_{0};
+  // Registry-backed counters (config_.metrics, or a private registry).
+  std::shared_ptr<MetricsRegistry> metrics_;
+  std::shared_ptr<Counter> reports_received_;
+  std::shared_ptr<Counter> reports_dropped_;
+  std::shared_ptr<Counter> events_processed_;
+  std::shared_ptr<Counter> actions_dispatched_;
+  std::shared_ptr<Counter> worker_crashes_;
+  // Expires when this service dies, so SQS-depth scrape callbacks in a
+  // longer-lived registry stop touching queue_.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   std::vector<std::jthread> workers_;
   std::jthread cleanup_thread_;

@@ -1,0 +1,138 @@
+#include "ripple/fleet.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+
+namespace sdci::ripple {
+
+namespace {
+
+// Verdict severity order; "overall" is the maximum over components.
+int Rank(const std::string& verdict) {
+  if (verdict == "down") return 2;
+  if (verdict == "degraded") return 1;
+  return 0;
+}
+
+const char* Name(int rank) {
+  switch (rank) {
+    case 2:
+      return "down";
+    case 1:
+      return "degraded";
+    default:
+      return "up";
+  }
+}
+
+}  // namespace
+
+json::Value FleetStatusJson(const FleetComponents& fleet) {
+  json::Object doc;
+  int overall = 0;
+  const auto fold = [&overall](json::Object& section, const std::string& verdict) {
+    overall = std::max(overall, Rank(verdict));
+    section["verdict"] = json::Value(verdict);
+  };
+
+  if (fleet.collector_supervisor != nullptr) {
+    const auto& sup = *fleet.collector_supervisor;
+    json::Object section;
+    uint64_t extracted = 0;
+    uint64_t reported = 0;
+    uint64_t resolve_failures = 0;
+    for (const auto& stats : sup.Stats()) {
+      extracted += stats.extracted;
+      reported += stats.reported;
+      resolve_failures += stats.resolve_failures;
+    }
+    section["extracted"] = json::Value(extracted);
+    section["reported"] = json::Value(reported);
+    section["resolve_failures"] = json::Value(resolve_failures);
+    section["crashes"] = json::Value(sup.crashes());
+    section["restarts"] = json::Value(sup.restarts());
+    // fid2path failures mean events went out with a fid placeholder
+    // instead of a path: delivered, but lossy for path-matching rules.
+    fold(section, resolve_failures > 0 ? "degraded" : "up");
+    doc["collectors"] = json::Value(std::move(section));
+  }
+
+  if (fleet.aggregator_supervisor != nullptr) {
+    const auto& sup = *fleet.aggregator_supervisor;
+    const auto stats = sup.Stats();
+    json::Object section;
+    section["up"] = json::Value(sup.IsUp());
+    section["received"] = json::Value(stats.received);
+    section["published"] = json::Value(stats.published);
+    section["stored"] = json::Value(stats.stored);
+    section["decode_errors"] = json::Value(stats.decode_errors);
+    section["checkpointed"] = json::Value(stats.checkpointed);
+    section["crashes"] = json::Value(sup.crashes());
+    section["restarts"] = json::Value(sup.restarts());
+    section["next_seq"] = json::Value(sup.NextSeq());
+    std::string verdict = "up";
+    if (stats.decode_errors > 0) verdict = "degraded";
+    if (!sup.IsUp()) verdict = "down";
+    fold(section, verdict);
+    doc["aggregator"] = json::Value(std::move(section));
+  }
+
+  if (!fleet.subscribers.empty()) {
+    json::Array subscribers;
+    for (const monitor::RecoveringSubscriber* sub : fleet.subscribers) {
+      if (sub == nullptr) continue;
+      json::Object section;
+      section["received"] = json::Value(sub->received());
+      section["next_expected"] = json::Value(sub->next_expected());
+      section["gaps_detected"] = json::Value(sub->gaps_detected());
+      section["events_backfilled"] = json::Value(sub->events_backfilled());
+      section["events_unrecoverable"] = json::Value(sub->events_unrecoverable());
+      section["dropped_at_socket"] = json::Value(sub->dropped_at_socket());
+      // Gaps it healed are business as usual; events it could not get
+      // back are permanent stream loss.
+      fold(section, sub->events_unrecoverable() > 0 ? "degraded" : "up");
+      subscribers.push_back(json::Value(std::move(section)));
+    }
+    doc["subscribers"] = json::Value(std::move(subscribers));
+  }
+
+  if (fleet.context != nullptr && !fleet.endpoints.empty()) {
+    json::Array endpoints;
+    for (const std::string& endpoint : fleet.endpoints) {
+      const auto stats = fleet.context->FaultStatsFor(endpoint);
+      json::Object section;
+      section["endpoint"] = json::Value(endpoint);
+      section["dropped"] = json::Value(stats.dropped);
+      section["duplicated"] = json::Value(stats.duplicated);
+      section["delayed"] = json::Value(stats.delayed);
+      fold(section, stats.dropped > 0 ? "degraded" : "up");
+      endpoints.push_back(json::Value(std::move(section)));
+    }
+    doc["msgq"] = json::Value(std::move(endpoints));
+  }
+
+  if (fleet.cloud != nullptr) {
+    const auto stats = fleet.cloud->Stats();
+    json::Object section;
+    section["reports_received"] = json::Value(stats.reports_received);
+    section["reports_dropped"] = json::Value(stats.reports_dropped);
+    section["events_processed"] = json::Value(stats.events_processed);
+    section["actions_dispatched"] = json::Value(stats.actions_dispatched);
+    section["redeliveries"] = json::Value(stats.redeliveries);
+    section["dead_letters"] = json::Value(stats.dead_letters);
+    // Dead letters are reports every delivery attempt failed on: the
+    // at-least-once machinery gave up, so rules silently did not fire.
+    fold(section, stats.dead_letters > 0 ? "degraded" : "up");
+    doc["cloud"] = json::Value(std::move(section));
+  }
+
+  if (fleet.metrics != nullptr) {
+    doc["metrics"] = fleet.metrics->ToJson();
+  }
+
+  doc["overall"] = json::Value(std::string(Name(overall)));
+  return json::Value(std::move(doc));
+}
+
+}  // namespace sdci::ripple

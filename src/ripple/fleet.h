@@ -1,0 +1,46 @@
+// Fleet status: one call folding the whole deployment's telemetry —
+// collectors, aggregator (supervised or standalone), gap-healing
+// subscribers, the messaging fabric's fault injectors, and the cloud
+// service — into a single health document with per-component verdicts.
+//
+// Verdicts are "up", "degraded" (running but losing or mangling work:
+// decode errors, unrecoverable events, dead letters), or "down" (a
+// supervised aggregator between a crash and its restart). The document's
+// "overall" field is the worst verdict observed, so an operator's health
+// probe is one string compare.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "monitor/aggregator_supervisor.h"
+#include "monitor/consumer.h"
+#include "monitor/supervisor.h"
+#include "msgq/context.h"
+#include "ripple/cloud.h"
+
+namespace sdci::ripple {
+
+// Everything FleetStatusJson can fold in. All pointers are observed, not
+// owned, and any of them may be null (the matching section is omitted).
+struct FleetComponents {
+  const monitor::CollectorSupervisor* collector_supervisor = nullptr;
+  const monitor::AggregatorSupervisor* aggregator_supervisor = nullptr;
+  std::vector<const monitor::RecoveringSubscriber*> subscribers;
+  const CloudService* cloud = nullptr;
+  // Fault telemetry is per endpoint: list the endpoints worth reporting
+  // (context may be null, in which case the section is omitted).
+  const msgq::Context* context = nullptr;
+  std::vector<std::string> endpoints;
+  // When set, the registry's full snapshot rides along under "metrics".
+  const MetricsRegistry* metrics = nullptr;
+};
+
+// {"overall": "up|degraded|down",
+//  "collectors": {...}, "aggregator": {...}, "subscribers": [...],
+//  "msgq": [...], "cloud": {...}, "metrics": {...}}
+// Each component section carries a "verdict" plus its key counters.
+[[nodiscard]] json::Value FleetStatusJson(const FleetComponents& fleet);
+
+}  // namespace sdci::ripple

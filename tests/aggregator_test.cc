@@ -123,7 +123,8 @@ TEST_F(AggregatorTest, PublishesTypeGroupedBatchesNotPerEventMessages) {
 }
 
 TEST_F(AggregatorTest, ZeroEventBatchCountedAsDecodeError) {
-  const auto config = Config();
+  auto config = Config();
+  config.expected_decode_errors = 1;  // fed on purpose below
   Aggregator aggregator(profile_, authority_, context_, config);
   auto pub = context_.CreatePub(config.collect_endpoint);
   aggregator.Start();
@@ -159,7 +160,8 @@ TEST_F(AggregatorTest, TypeTopicsAllowFiltering) {
 }
 
 TEST_F(AggregatorTest, MalformedPayloadCountedNotFatal) {
-  const auto config = Config();
+  auto config = Config();
+  config.expected_decode_errors = 1;  // fed on purpose below
   Aggregator aggregator(profile_, authority_, context_, config);
   auto pub = context_.CreatePub(config.collect_endpoint);
   aggregator.Start();

@@ -1,0 +1,129 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/json.h"
+
+namespace sdci {
+namespace {
+
+TEST(MetricsRegistry, SameNameAndLabelsShareOneInstrument) {
+  MetricsRegistry registry;
+  auto a = registry.GetCounter("events_total", {{"mdt", "0"}});
+  auto b = registry.GetCounter("events_total", {{"mdt", "0"}});
+  auto other = registry.GetCounter("events_total", {{"mdt", "1"}});
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), other.get());
+  a->Add(3);
+  EXPECT_EQ(b->Get(), 3u);
+  EXPECT_EQ(other->Get(), 0u);
+  EXPECT_EQ(registry.InstrumentCount(), 2u);
+}
+
+TEST(MetricsRegistry, JsonSnapshotShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("ingested_total", {{"mdt", "0"}})->Add(7);
+  registry.GetGauge("queue_depth")->Set(4);
+  registry.GetHistogram("latency")->Record(Micros(100));
+  registry.RegisterCallback("external_depth", {},
+                            [] { return std::optional<int64_t>(11); });
+
+  const json::Value doc = registry.ToJson();
+  const json::Value& counter = doc["counters"]["ingested_total"].AsArray().at(0);
+  EXPECT_EQ(counter["labels"].GetString("mdt"), "0");
+  EXPECT_EQ(counter.GetInt("value"), 7);
+  const json::Value& gauge = doc["gauges"]["queue_depth"].AsArray().at(0);
+  EXPECT_EQ(gauge.GetInt("value"), 4);
+  EXPECT_EQ(gauge.GetInt("peak"), 4);
+  const json::Value& callback = doc["gauges"]["external_depth"].AsArray().at(0);
+  EXPECT_EQ(callback.GetInt("value"), 11);
+  const json::Value& hist = doc["histograms"]["latency"].AsArray().at(0);
+  EXPECT_EQ(hist.GetInt("count"), 1);
+  EXPECT_EQ(hist.GetInt("sum_ns"), Micros(100).count());
+  EXPECT_GE(hist.GetInt("max_ns"), Micros(100).count());
+}
+
+TEST(MetricsRegistry, CallbackReturningNulloptIsSkipped) {
+  MetricsRegistry registry;
+  auto owner = std::make_shared<bool>(true);
+  const std::weak_ptr<bool> weak = owner;
+  registry.RegisterCallback("owned_depth", {},
+                            [weak]() -> std::optional<int64_t> {
+                              if (weak.expired()) return std::nullopt;
+                              return 5;
+                            });
+  EXPECT_EQ(registry.ToJson()["gauges"]["owned_depth"].AsArray().size(), 1u);
+  owner.reset();  // owner dies; the series must vanish, not crash
+  const json::Value doc = registry.ToJson();
+  EXPECT_FALSE(doc["gauges"].Has("owned_depth"));
+  EXPECT_EQ(registry.ToPrometheus().find("owned_depth"), std::string::npos);
+  // Other instruments are unaffected by the dead series.
+  registry.GetCounter("alive_total")->Add(1);
+  EXPECT_NE(registry.ToPrometheus().find("# TYPE alive_total counter"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, ReRegisteringCallbackReplaces) {
+  MetricsRegistry registry;
+  registry.RegisterCallback("depth", {}, [] { return std::optional<int64_t>(1); });
+  registry.RegisterCallback("depth", {}, [] { return std::optional<int64_t>(2); });
+  EXPECT_EQ(registry.InstrumentCount(), 1u);
+  EXPECT_EQ(registry.ToJson()["gauges"]["depth"].AsArray().at(0).GetInt("value"), 2);
+}
+
+TEST(MetricsRegistry, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("sdci_events_total", {{"mdt", "0"}})->Add(42);
+  registry.GetGauge("sdci_depth")->Set(3);
+  auto hist = registry.GetHistogram("sdci_latency");
+  hist->Record(Micros(5));
+  hist->Record(Micros(500));
+
+  const std::string text = registry.ToPrometheus();
+  EXPECT_NE(text.find("# TYPE sdci_events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("sdci_events_total{mdt=\"0\"} 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sdci_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("sdci_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("sdci_depth_peak 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sdci_latency histogram"), std::string::npos);
+  EXPECT_NE(text.find("sdci_latency_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("sdci_latency_count 2"), std::string::npos);
+  EXPECT_NE(text.find("sdci_latency_sum"), std::string::npos);
+  // One # TYPE line per name, even with several series.
+  registry.GetCounter("sdci_events_total", {{"mdt", "1"}})->Add(1);
+  const std::string two_series = registry.ToPrometheus();
+  size_t type_lines = 0;
+  for (size_t at = two_series.find("# TYPE sdci_events_total");
+       at != std::string::npos;
+       at = two_series.find("# TYPE sdci_events_total", at + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+}
+
+TEST(MetricsRegistry, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("weird_total", {{"path", "a\"b\\c\nd"}})->Add(1);
+  const std::string text = registry.ToPrometheus();
+  EXPECT_NE(text.find("weird_total{path=\"a\\\"b\\\\c\\nd\"} 1"), std::string::npos);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  auto hist = registry.GetHistogram("lat");
+  hist->Record(Micros(1));
+  hist->Record(Micros(1));
+  hist->Record(Micros(100));
+  const std::string text = registry.ToPrometheus();
+  // 1us samples land in the [1us, 2us) bucket (upper bound 2e-06 s); the
+  // sub-microsecond bucket renders empty. Later buckets are cumulative,
+  // ending at +Inf == total count.
+  EXPECT_NE(text.find("lat_bucket{le=\"1e-06\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"2e-06\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdci

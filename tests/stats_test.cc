@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
+#include <limits>
 #include <thread>
 
 #include "common/resource.h"
@@ -60,6 +63,72 @@ TEST(LatencyHistogram, EmptyIsZero) {
   EXPECT_EQ(hist.Count(), 0u);
   EXPECT_EQ(hist.Quantile(0.5), VirtualDuration::zero());
   EXPECT_EQ(hist.Mean(), VirtualDuration::zero());
+  // The edges of the quantile range are zero too, not garbage.
+  EXPECT_EQ(hist.Quantile(0.0), VirtualDuration::zero());
+  EXPECT_EQ(hist.Quantile(1.0), VirtualDuration::zero());
+  EXPECT_EQ(hist.Sum(), VirtualDuration::zero());
+}
+
+TEST(LatencyHistogram, QuantileEdgesAndClamping) {
+  LatencyHistogram hist;
+  hist.Record(Micros(10));
+  hist.Record(Micros(20));
+  hist.Record(Micros(40));
+  // q is clamped to [0,1]; NaN reads as 0.
+  EXPECT_EQ(hist.Quantile(-3.0), hist.Quantile(0.0));
+  EXPECT_EQ(hist.Quantile(7.0), hist.Quantile(1.0));
+  EXPECT_EQ(hist.Quantile(std::nan("")), hist.Quantile(0.0));
+  // q=0 reports the first non-empty bucket's upper bound; q=1 the
+  // observed max, exactly.
+  EXPECT_GE(hist.Quantile(0.0), Micros(10));
+  EXPECT_EQ(hist.Quantile(1.0), Micros(40));
+  // No quantile exceeds the observed maximum.
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_LE(hist.Quantile(q), hist.Max()) << q;
+  }
+}
+
+TEST(LatencyHistogram, OutlierStaysExactInMaxAndQuantilesCap) {
+  LatencyHistogram hist;
+  // Hours-long outlier: far coarser than its bucket's upper bound, so the
+  // quantile must cap at the observed max, not report the bucket boundary.
+  const auto huge = std::chrono::duration_cast<VirtualDuration>(std::chrono::hours(100));
+  hist.Record(huge);
+  hist.Record(Micros(5));
+  EXPECT_EQ(hist.Count(), 2u);
+  EXPECT_EQ(hist.Max(), huge);
+  EXPECT_EQ(hist.Sum(), huge + Micros(5));
+  EXPECT_EQ(hist.Quantile(1.0), huge);
+  EXPECT_LE(hist.Quantile(0.99), huge);
+  EXPECT_GT(hist.Quantile(0.99), Micros(5));
+}
+
+TEST(LatencyHistogram, BucketsAreOrderedAndComplete) {
+  LatencyHistogram hist;
+  hist.Record(Micros(1));
+  hist.Record(Micros(1));
+  hist.Record(Millis(1));
+  const auto buckets = hist.Buckets();
+  ASSERT_GT(buckets.size(), 2u);
+  uint64_t total = 0;
+  int64_t prev_upper = 0;
+  for (const auto& bucket : buckets) {
+    // Strictly increasing until the uppers saturate at INT64_MAX (the
+    // tail buckets are unreachable with int64 nanoseconds anyway).
+    if (prev_upper < std::numeric_limits<int64_t>::max()) {
+      EXPECT_GT(bucket.upper_ns, prev_upper);
+    } else {
+      EXPECT_EQ(bucket.upper_ns, std::numeric_limits<int64_t>::max());
+    }
+    prev_upper = bucket.upper_ns;
+    total += bucket.count;
+  }
+  EXPECT_EQ(total, hist.Count());
+  EXPECT_EQ(buckets.back().upper_ns, std::numeric_limits<int64_t>::max());
+  // Bucket 0 is sub-microsecond; the two 1us samples land in bucket 1
+  // ([1us, 2us)), the 1ms sample further up.
+  EXPECT_EQ(buckets.front().count, 0u);
+  EXPECT_EQ(buckets.at(1).count, 2u);
 }
 
 TEST(RatePerSecond, Basics) {

@@ -1,0 +1,113 @@
+#include "common/tracing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace sdci::trace {
+namespace {
+
+TEST(Tracer, SampleRateGoverns) {
+  auto sink = std::make_shared<TraceCollector>();
+  Tracer never(sink, 0.0);
+  Tracer always(sink, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(never.SampleTrace(), 0u);
+    EXPECT_NE(always.SampleTrace(), 0u);
+  }
+}
+
+TEST(Tracer, TraceAndSpanIdsAreDistinct) {
+  auto sink = std::make_shared<TraceCollector>();
+  Tracer tracer(sink, 1.0);
+  const uint64_t a = tracer.SampleTrace();
+  const uint64_t b = tracer.SampleTrace();
+  EXPECT_NE(a, b);
+  EXPECT_NE(tracer.NewSpanId(), tracer.NewSpanId());
+}
+
+TEST(TraceCollector, TimelineSortsByStart) {
+  auto sink = std::make_shared<TraceCollector>();
+  Tracer tracer(sink, 1.0);
+  const uint64_t trace = tracer.SampleTrace();
+  const uint64_t late = tracer.Record(trace, 0, kAggregatorIngest, "agg",
+                                      Micros(50), Micros(60));
+  tracer.Record(trace, late, kChangelogRead, "collector.0", Micros(10), Micros(20));
+  // An unrelated trace must not leak into the timeline.
+  tracer.Record(tracer.SampleTrace(), 0, kStoreAppend, "agg", Micros(1), Micros(2));
+
+  const auto timeline = sink->Timeline(trace);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline[0].name, kChangelogRead);
+  EXPECT_EQ(timeline[1].name, kAggregatorIngest);
+  EXPECT_EQ(timeline[0].start, Micros(10));
+  EXPECT_EQ(timeline[0].duration, Micros(10));
+}
+
+TEST(TraceCollector, NegativeDurationClampsToZero) {
+  auto sink = std::make_shared<TraceCollector>();
+  Tracer tracer(sink, 1.0);
+  const uint64_t trace = tracer.SampleTrace();
+  tracer.Record(trace, 0, kWalAppend, "agg", Micros(10), Micros(5));
+  const auto timeline = sink->Timeline(trace);
+  ASSERT_EQ(timeline.size(), 1u);
+  EXPECT_EQ(timeline[0].duration, VirtualDuration::zero());
+}
+
+TEST(TraceCollector, StageLatencyAggregates) {
+  auto sink = std::make_shared<TraceCollector>();
+  Tracer tracer(sink, 1.0);
+  for (int i = 1; i <= 10; ++i) {
+    tracer.Record(tracer.SampleTrace(), 0, kFid2PathResolve, "collector.0",
+                  Micros(0), Micros(i * 100));
+  }
+  const LatencyHistogram* stage = sink->StageLatency(kFid2PathResolve);
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->Count(), 10u);
+  EXPECT_EQ(stage->Max(), Micros(1000));
+  EXPECT_EQ(sink->StageLatency("no.such.stage"), nullptr);
+  const json::Value summary = sink->StageLatencyJson();
+  EXPECT_EQ(summary[kFid2PathResolve].GetInt("count"), 10);
+}
+
+TEST(TraceCollector, ChromeTraceJsonContract) {
+  auto sink = std::make_shared<TraceCollector>();
+  Tracer tracer(sink, 1.0);
+  const uint64_t trace = tracer.SampleTrace();
+  const uint64_t parent =
+      tracer.Record(trace, 0, kCollectorExtract, "collector.0", Micros(3), Micros(7));
+  tracer.Record(trace, parent, kCollectorPublish, "collector.0", Micros(7),
+                Micros(9));
+
+  const json::Value doc = sink->ToChromeTraceJson();
+  const auto& events = doc["traceEvents"].AsArray();
+  ASSERT_EQ(events.size(), 2u);
+  for (const json::Value& event : events) {
+    EXPECT_EQ(event.GetString("ph"), "X");
+    EXPECT_EQ(event.GetString("cat"), "sdci");
+    EXPECT_EQ(event.GetInt("tid"), static_cast<int64_t>(trace));
+  }
+  // ts/dur are microseconds of virtual time.
+  EXPECT_EQ(events.at(0).GetNumber("ts"), 3.0);
+  EXPECT_EQ(events.at(0).GetNumber("dur"), 4.0);
+  EXPECT_EQ(events.at(1)["args"].GetInt("parent_id"),
+            static_cast<int64_t>(parent));
+  // The export must round-trip the parser (what Perfetto will do).
+  EXPECT_TRUE(json::Parse(doc.Dump()).ok());
+}
+
+TEST(TraceCollector, CapacityBoundsAndDropCount) {
+  auto sink = std::make_shared<TraceCollector>(/*capacity=*/4);
+  Tracer tracer(sink, 1.0);
+  for (int i = 0; i < 10; ++i) {
+    tracer.Record(tracer.SampleTrace(), 0, kStoreAppend, "agg", Micros(i),
+                  Micros(i + 1));
+  }
+  EXPECT_EQ(sink->SpanCount(), 4u);
+  EXPECT_EQ(sink->Dropped(), 6u);
+  sink->Clear();
+  EXPECT_EQ(sink->SpanCount(), 0u);
+}
+
+}  // namespace
+}  // namespace sdci::trace
