@@ -116,6 +116,29 @@ ThroughputResult RunOne(const lustre::TestbedProfile& profile,
   return result;
 }
 
+// Saturated drain rate with N resolver workers (AWS profile, per-event
+// fid2path — the configuration where resolution dominates and the
+// pipelined collector's concurrency pays off).
+double DrainRateWithWorkers(size_t workers) {
+  const auto profile = lustre::TestbedProfile::Aws();
+  Env env(profile);
+  const uint64_t backlog = BuildBacklog(env.fs, 24, 100);
+  msgq::Context context;
+  monitor::MonitorConfig config;
+  config.collector.resolve_mode = monitor::ResolveMode::kPerEvent;
+  config.collector.resolver_workers = workers;
+  config.collector.poll_interval = Millis(20);
+  monitor::Monitor mon(env.fs, profile, env.authority, context, config);
+  const VirtualTime start = env.authority.Now();
+  mon.Start();
+  while (mon.Stats().aggregator.published < backlog) {
+    env.authority.SleepFor(Millis(10));
+  }
+  const double rate = RatePerSecond(backlog, env.authority.Now() - start);
+  mon.Stop();
+  return rate;
+}
+
 }  // namespace
 }  // namespace sdci::bench
 
@@ -156,7 +179,33 @@ int main(int argc, char** argv) {
       "resolution), gap larger on AWS; zero events lost once processed;\n"
       "latencies grow with the backlog (the pipeline runs saturated).\n");
 
+  // Resolver worker sweep: the pipelined collector overlaps fid2path
+  // latency across workers while the publisher re-sequences, so drain
+  // throughput should scale until the serial read stage dominates.
+  const std::vector<size_t> worker_counts{1, 2, 4, 8};
+  std::vector<double> sweep_rates;
+  for (const size_t workers : worker_counts) {
+    sweep_rates.push_back(DrainRateWithWorkers(workers));
+  }
+  std::vector<std::vector<std::string>> sweep_rows;
+  sweep_rows.push_back({"resolver workers", "drain ev/s", "speedup vs 1"});
+  for (size_t i = 0; i < worker_counts.size(); ++i) {
+    sweep_rows.push_back({std::to_string(worker_counts[i]), F0(sweep_rates[i]),
+                          F2(sweep_rates[i] / sweep_rates[0]) + "x"});
+  }
+  PrintTable("Resolver worker sweep (AWS, per-event fid2path, saturated drain)",
+             sweep_rows);
+  std::printf(
+      "\nShape: near-linear scaling at low worker counts (resolution is the\n"
+      "bottleneck), flattening as the serial ChangeLog read stage and the\n"
+      "in-order publisher become the limit.\n");
+
   MetricSet metrics;
+  for (size_t i = 0; i < worker_counts.size(); ++i) {
+    metrics.Set("workers_" + std::to_string(worker_counts[i]) + "_drain_rate",
+                sweep_rates[i]);
+  }
+  metrics.Set("speedup_4_workers", sweep_rates[2] / sweep_rates[0]);
   metrics.Set("aws_generated_rate", aws.generated_rate);
   metrics.Set("aws_monitor_rate", aws.monitor_rate);
   metrics.Set("aws_fraction", aws.fraction);

@@ -9,6 +9,10 @@
 #
 # --fast: one plain build + ctest, skipping the sanitizer rebuilds.
 #
+# --bench-json: additionally run bench_throughput --json and write the
+# result to BENCH_throughput.json in the repo root (the checked-in perf
+# baseline — includes the resolver-worker sweep and its speedup metric).
+#
 # Every mode ends with two health steps:
 #   - the ctest output must contain no "[health] decode_errors=" marker
 #     (an Aggregator emits it on Stop when it saw more decode errors than
@@ -22,11 +26,13 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
 FAST=0
+BENCH_JSON_OUT=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
+    --bench-json) BENCH_JSON_OUT=1 ;;
     *)
-      echo "usage: $0 [--fast]" >&2
+      echo "usage: $0 [--fast] [--bench-json]" >&2
       exit 2
       ;;
   esac
@@ -72,5 +78,20 @@ for key in rate0_events_per_sec rate100_events_per_sec trace_valid; do
     exit 1
   fi
 done
+
+if [[ "$BENCH_JSON_OUT" == 1 ]]; then
+  # Refresh the checked-in perf baseline. Sanitizer builds distort wall
+  # clock but not the virtual-time rates the bench reports; still, prefer
+  # the plain build when one exists.
+  BENCH_BIN="$FIRST_DIR/bench/bench_throughput"
+  [[ -x "build/bench/bench_throughput" ]] && BENCH_BIN="build/bench/bench_throughput"
+  "$BENCH_BIN" --json BENCH_throughput.json
+  for key in workers_1_drain_rate workers_4_drain_rate speedup_4_workers; do
+    if ! grep -q "\"$key\"" BENCH_throughput.json; then
+      echo "FAIL: BENCH_throughput.json is missing $key" >&2
+      exit 1
+    fi
+  done
+fi
 
 echo "check.sh: all gates passed"

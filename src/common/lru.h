@@ -14,9 +14,12 @@
 #include <cassert>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace sdci {
 
@@ -72,6 +75,12 @@ class LruCache {
     size_.store(0, std::memory_order_relaxed);
   }
 
+  // Copies every (key, value) pair, most recent first. Owner-thread only,
+  // like Get/Put.
+  [[nodiscard]] std::vector<std::pair<K, V>> Entries() const {
+    return {order_.begin(), order_.end()};
+  }
+
   [[nodiscard]] size_t size() const noexcept {
     return size_.load(std::memory_order_relaxed);
   }
@@ -99,6 +108,130 @@ class LruCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+};
+
+// A concurrent LRU: N independently locked LruCache shards selected by key
+// hash, so readers with different keys proceed in parallel (the collector's
+// resolver workers share warm parent-directory entries this way).
+//
+// Invalidation vs in-flight fills: a fill that misses, performs a slow
+// lookup outside any lock, then inserts, can race an invalidation issued in
+// between — the insert would resurrect a value the invalidation was meant
+// to kill. The cache therefore keeps a global *epoch*, bumped by every
+// Erase/Clear. A filler reads Epoch() before its lookup and inserts with
+// PutIfCurrent: the insert is dropped if any invalidation happened since.
+// Dropping is conservative (an unrelated Erase also rejects the fill) but
+// invalidations are rare next to fills, and a dropped fill only costs one
+// future miss.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ShardedLruCache {
+ public:
+  // Total `capacity` is divided evenly across `shards` (both floored to 1).
+  explicit ShardedLruCache(size_t capacity, size_t shards = 8) {
+    const size_t n = shards == 0 ? 1 : shards;
+    const size_t per = std::max<size_t>(1, (capacity == 0 ? 1 : capacity + n - 1) / n);
+    shards_.reserve(n);
+    for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>(per));
+  }
+
+  std::optional<V> Get(const K& key) {
+    Shard& shard = ShardOf(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.cache.Get(key);
+  }
+
+  void Put(const K& key, V value) {
+    Shard& shard = ShardOf(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.cache.Put(key, std::move(value));
+  }
+
+  // Inserts only if no invalidation (Erase/Clear) happened since `epoch`
+  // was read. Returns whether the insert happened.
+  bool PutIfCurrent(const K& key, V value, uint64_t epoch) {
+    Shard& shard = ShardOf(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (epoch_.load(std::memory_order_acquire) != epoch) return false;
+    shard.cache.Put(key, std::move(value));
+    return true;
+  }
+
+  bool Erase(const K& key) {
+    // The bump happens before the erase so a concurrent PutIfCurrent either
+    // sees the new epoch (and drops its fill) or inserted earlier and is
+    // erased here.
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    Shard& shard = ShardOf(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.cache.Erase(key);
+  }
+
+  void Clear() {
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    for (auto& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->cache.Clear();
+    }
+  }
+
+  [[nodiscard]] uint64_t Epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  // Point-in-time copy of every entry (per shard; shards are not frozen
+  // relative to each other). For tests and offline verification.
+  [[nodiscard]] std::vector<std::pair<K, V>> Items() const {
+    std::vector<std::pair<K, V>> out;
+    for (auto& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard->mutex);
+      for (const auto& [key, value] : shard->cache.Entries()) {
+        out.emplace_back(key, value);
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] size_t size() const noexcept {
+    size_t total = 0;
+    for (const auto& shard : shards_) total += shard->cache.size();
+    return total;
+  }
+  [[nodiscard]] size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] uint64_t hits() const noexcept {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard->cache.hits();
+    return total;
+  }
+  [[nodiscard]] uint64_t misses() const noexcept {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard->cache.misses();
+    return total;
+  }
+  [[nodiscard]] uint64_t evictions() const noexcept {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard->cache.evictions();
+    return total;
+  }
+  [[nodiscard]] double HitRate() const noexcept {
+    const uint64_t h = hits();
+    const uint64_t total = h + misses();
+    return total == 0 ? 0.0 : static_cast<double>(h) / static_cast<double>(total);
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(size_t capacity) : cache(capacity) {}
+    mutable std::mutex mutex;
+    LruCache<K, V, Hash> cache;
+  };
+
+  Shard& ShardOf(const K& key) const {
+    return *shards_[hash_(key) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> epoch_{0};
+  Hash hash_;
 };
 
 }  // namespace sdci

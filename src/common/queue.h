@@ -10,12 +10,14 @@
 //    threads waiting forever).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 
@@ -37,6 +39,32 @@ class BoundedQueue {
     items_.push_back(std::move(item));
     lock.unlock();
     not_empty_.notify_one();
+    return OkStatus();
+  }
+
+  // Bulk push: moves every item in under as few lock acquisitions as
+  // possible — one when the whole batch fits, in capacity-sized waves
+  // otherwise (so a batch larger than the queue still goes through, with
+  // backpressure between waves). One CV wake per wave, not per item.
+  // kClosed if the queue closes part-way; items not yet pushed are dropped
+  // with the error.
+  Status PushAll(std::vector<T> items) {
+    size_t next = 0;
+    while (next < items.size()) {
+      size_t end = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+        if (closed_) return ClosedError("queue closed");
+        const size_t room = capacity_ - items_.size();
+        end = std::min(items.size(), next + room);
+        for (; next < end; ++next) items_.push_back(std::move(items[next]));
+      }
+      // Wake every consumer once per wave: a bulk push typically feeds a
+      // bulk PopAll, and notify_one per item is the lock traffic this
+      // method exists to avoid.
+      not_empty_.notify_all();
+    }
     return OkStatus();
   }
 
@@ -76,6 +104,27 @@ class BoundedQueue {
     lock.unlock();
     not_full_.notify_one();
     return item;
+  }
+
+  // Bulk pop: blocks until at least one item is available (or the queue is
+  // closed and drained), then takes up to `max` items in one lock
+  // acquisition with one producer-side wake. The consumer-side equivalent
+  // of PushAll.
+  Result<std::vector<T>> PopAll(size_t max) {
+    std::vector<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return ClosedError("queue closed");
+      const size_t n = std::min(max == 0 ? size_t{1} : max, items_.size());
+      out.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    not_full_.notify_all();
+    return out;
   }
 
   // Non-blocking pop.

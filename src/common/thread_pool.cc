@@ -1,0 +1,36 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace sdci {
+
+ThreadPool::ThreadPool(size_t workers, size_t queue_capacity)
+    : tasks_(queue_capacity > 0 ? queue_capacity : std::max<size_t>(1, workers) * 4) {
+  const size_t n = std::max<size_t>(1, workers);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::Submit(Task task) { return tasks_.Push(std::move(task)); }
+
+void ThreadPool::Shutdown() {
+  tasks_.Close();  // pops drain the queue, then fail with kClosed
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  while (true) {
+    auto task = tasks_.Pop();
+    if (!task.ok()) return;  // closed and drained
+    (*task)(index);
+    completed_.Add();
+  }
+}
+
+}  // namespace sdci

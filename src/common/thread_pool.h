@@ -1,0 +1,59 @@
+// Fixed-size worker pool over a bounded task queue.
+//
+// Built for pipeline stages that fan work out across records — the
+// collector's resolver stage is the canonical user. Tasks receive the
+// index of the worker that runs them (0..workers-1), so callers can keep
+// strictly per-worker state (e.g. a DelayBudget, whose contract is
+// single-threaded use) without any locking: worker i is one thread for
+// the pool's whole lifetime, so state indexed by i has one owner.
+//
+// Submit blocks while the task queue is full (backpressure, same
+// discipline as BoundedQueue everywhere else in the pipeline) and fails
+// with kClosed after Shutdown. Shutdown drains: every task accepted
+// before the close runs to completion before the workers join.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace sdci {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void(size_t worker)>;
+
+  // `queue_capacity` == 0 sizes the queue at 4 tasks per worker.
+  explicit ThreadPool(size_t workers, size_t queue_capacity = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; blocks while the queue is full. kClosed after
+  // Shutdown.
+  Status Submit(Task task);
+
+  // Closes the queue, lets the workers drain it, joins them. Idempotent.
+  void Shutdown();
+
+  [[nodiscard]] size_t workers() const noexcept { return threads_.size(); }
+  // Tasks accepted but not yet picked up by a worker.
+  [[nodiscard]] size_t QueueDepth() const { return tasks_.size(); }
+  // Tasks finished, over the pool's lifetime.
+  [[nodiscard]] uint64_t Completed() const noexcept { return completed_.Get(); }
+
+ private:
+  void WorkerLoop(size_t index);
+
+  BoundedQueue<Task> tasks_;
+  std::vector<std::jthread> threads_;
+  Counter completed_;
+};
+
+}  // namespace sdci

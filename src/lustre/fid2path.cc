@@ -38,14 +38,18 @@ Result<std::vector<std::string>> Fid2PathService::ResolveBatch(
   return out;
 }
 
-CachedPathResolver::CachedPathResolver(const Fid2PathService& service, size_t capacity)
-    : service_(&service), cache_(capacity) {}
+CachedPathResolver::CachedPathResolver(const Fid2PathService& service, size_t capacity,
+                                       size_t shards)
+    : service_(&service), cache_(capacity, shards) {}
 
 Result<std::string> CachedPathResolver::ResolveParent(const Fid& parent,
                                                       DelayBudget& budget) {
   if (auto hit = cache_.Get(parent)) return std::move(*hit);
+  // The epoch snapshot brackets the slow service call: if a rename/rmdir
+  // invalidation lands while the call is in flight, the fill is dropped.
+  const uint64_t epoch = cache_.Epoch();
   auto path = service_->Resolve(parent, budget);
-  if (path.ok()) cache_.Put(parent, path.value());
+  if (path.ok()) cache_.PutIfCurrent(parent, path.value(), epoch);
   return path;
 }
 
@@ -53,13 +57,23 @@ std::optional<std::string> CachedPathResolver::Peek(const Fid& parent) {
   return cache_.Get(parent);
 }
 
+uint64_t CachedPathResolver::Epoch() const noexcept { return cache_.Epoch(); }
+
 void CachedPathResolver::Prime(const Fid& dir, std::string path) {
   cache_.Put(dir, std::move(path));
+}
+
+bool CachedPathResolver::Prime(const Fid& dir, std::string path, uint64_t epoch) {
+  return cache_.PutIfCurrent(dir, std::move(path), epoch);
 }
 
 void CachedPathResolver::Invalidate(const Fid& dir) { cache_.Erase(dir); }
 
 void CachedPathResolver::Clear() { cache_.Clear(); }
+
+std::vector<std::pair<Fid, std::string>> CachedPathResolver::Items() const {
+  return cache_.Items();
+}
 
 uint64_t CachedPathResolver::ApproxBytes() const noexcept {
   // Entry = Fid key + list/map node overhead + a typical path string.

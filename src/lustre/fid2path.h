@@ -51,27 +51,47 @@ class Fid2PathService {
 
 // LRU-cached resolver keyed by parent FID (events share parents heavily,
 // which is what makes the paper's proposed cache effective). Resolution of
-// an event path = cached parent path + "/" + record name. Not thread-safe;
-// each Collector owns one.
+// an event path = cached parent path + "/" + record name.
+//
+// Thread-safe: the cache is sharded by FID hash with per-shard locks, so a
+// Collector's resolver workers share warm parent entries concurrently. A
+// fill that races an Invalidate/Clear is dropped via the cache epoch (see
+// ShardedLruCache) — a stale path can never be inserted after the
+// invalidation that would have removed it. Workers that build paths
+// outside ResolveParent (e.g. priming from a MKDIR event) snapshot Epoch()
+// before resolving and prime through the epoch-checked overload.
 class CachedPathResolver {
  public:
-  CachedPathResolver(const Fid2PathService& service, size_t capacity);
+  CachedPathResolver(const Fid2PathService& service, size_t capacity,
+                     size_t shards = 8);
 
   // Resolves the absolute path of directory `parent`, consulting the cache
-  // first. Misses fall through to the costed service.
+  // first. Misses fall through to the costed service; the fill is dropped
+  // if an invalidation lands while the service call is in flight.
   Result<std::string> ResolveParent(const Fid& parent, DelayBudget& budget);
 
   // Cache-only probe: no fallback, no cost. Counts toward hit/miss stats.
   std::optional<std::string> Peek(const Fid& parent);
 
+  // Invalidation epoch at this instant; pass to the epoch-checked Prime.
+  [[nodiscard]] uint64_t Epoch() const noexcept;
+
   // Primes the cache (e.g. from a MKDIR event whose path was just built).
+  // The unconditional overload is for single-threaded fills; concurrent
+  // fillers must pass the Epoch() snapshot taken before they resolved the
+  // path, so a prime racing an invalidation is dropped rather than
+  // resurrecting a stale path.
   void Prime(const Fid& dir, std::string path);
+  bool Prime(const Fid& dir, std::string path, uint64_t epoch);
 
   // Invalidates a directory whose path may have changed (RENME/RMDIR).
   void Invalidate(const Fid& dir);
 
   // Drops everything (wholesale namespace changes).
   void Clear();
+
+  // Point-in-time (entry, path) snapshot, for invariant checks in tests.
+  [[nodiscard]] std::vector<std::pair<Fid, std::string>> Items() const;
 
   [[nodiscard]] double HitRate() const noexcept { return cache_.HitRate(); }
   [[nodiscard]] uint64_t hits() const noexcept { return cache_.hits(); }
@@ -83,7 +103,7 @@ class CachedPathResolver {
 
  private:
   const Fid2PathService* service_;
-  LruCache<Fid, std::string, FidHash> cache_;
+  ShardedLruCache<Fid, std::string, FidHash> cache_;
 };
 
 }  // namespace sdci::lustre

@@ -8,6 +8,9 @@ namespace sdci::monitor {
 namespace {
 // Real-time poll quantum for receive loops; bounds shutdown latency.
 constexpr std::chrono::milliseconds kPollQuantum(5);
+// Max batches a publish/store worker takes per bulk pop. Bounds how much a
+// crash discards from the queues while still amortizing lock traffic.
+constexpr size_t kBulkPop = 16;
 }  // namespace
 
 void AggregatorCheckpoint::Append(const EventBatch& batch, uint64_t next_seq) {
@@ -231,9 +234,9 @@ void Aggregator::IngestLoop(const std::stop_token& stop) {
     // been processed"). The publish side gets type-homogeneous sub-batches
     // so per-type topics keep working; a homogeneous batch is shared with
     // the store queue outright (two refcount bumps, zero event copies).
-    for (EventBatch& group : batch.SplitByType()) {
-      if (!publish_queue_.Push(std::move(group)).ok()) return;
-    }
+    // The sub-batches go in as one bulk push: one lock acquisition and one
+    // consumer wake for the whole group, instead of one of each per type.
+    if (!publish_queue_.PushAll(batch.SplitByType()).ok()) return;
     if (!store_queue_.Push(std::move(batch)).ok()) return;
     ingest_budget_.Flush();
   }
@@ -242,46 +245,53 @@ void Aggregator::IngestLoop(const std::stop_token& stop) {
 
 void Aggregator::PublishLoop() {
   while (true) {
-    auto batch = publish_queue_.Pop();
-    if (!batch.ok()) break;  // closed and drained
-    // On crash, queued batches are discarded unprocessed: subscribers see
-    // a sequence gap and heal it from the restored history API.
-    if (crashed_.load(std::memory_order_acquire)) continue;
-    // payload() encodes the batch once; fan-out below shares those bytes
-    // across every subscriber queue.
-    msgq::Message message(batch->Topic(), batch->payload());
-    const VirtualTime now = authority_->Now();
-    for (const FsEvent& event : batch->events()) {
-      delivery_latency_->Record(now - event.time);
-    }
-    pub_->Publish(std::move(message));
-    if (tracer_ != nullptr) {
-      for (const FsEvent& event : batch->events()) {
-        if (event.trace_id == 0) continue;
-        tracer_->Record(event.trace_id, event.parent_span,
-                        trace::kAggregatorPublish, "aggregator", now,
-                        authority_->Now());
+    // Bulk pop: under collector fan-in the queue runs non-empty, and taking
+    // everything available in one lock acquisition keeps this loop off the
+    // ingest thread's critical path. Crash semantics are per batch below.
+    auto batches = publish_queue_.PopAll(kBulkPop);
+    if (!batches.ok()) break;  // closed and drained
+    for (EventBatch& batch : *batches) {
+      // On crash, queued batches are discarded unprocessed: subscribers see
+      // a sequence gap and heal it from the restored history API.
+      if (crashed_.load(std::memory_order_acquire)) continue;
+      // payload() encodes the batch once; fan-out below shares those bytes
+      // across every subscriber queue.
+      msgq::Message message(batch.Topic(), batch.payload());
+      const VirtualTime now = authority_->Now();
+      for (const FsEvent& event : batch.events()) {
+        delivery_latency_->Record(now - event.time);
       }
+      pub_->Publish(std::move(message));
+      if (tracer_ != nullptr) {
+        for (const FsEvent& event : batch.events()) {
+          if (event.trace_id == 0) continue;
+          tracer_->Record(event.trace_id, event.parent_span,
+                          trace::kAggregatorPublish, "aggregator", now,
+                          authority_->Now());
+        }
+      }
+      published_->Add(batch.size());
+      batches_published_->Add();
     }
-    published_->Add(batch->size());
-    batches_published_->Add();
   }
 }
 
 void Aggregator::StoreLoop() {
   while (true) {
-    auto batch = store_queue_.Pop();
-    if (!batch.ok()) break;
-    if (crashed_.load(std::memory_order_acquire)) continue;  // lost with the process
-    const VirtualTime store_start =
-        tracer_ != nullptr ? authority_->Now() : VirtualTime{};
-    store_.Append(*batch);
-    if (tracer_ != nullptr) {
-      const VirtualTime store_end = authority_->Now();
-      for (const FsEvent& event : batch->events()) {
-        if (event.trace_id == 0) continue;
-        tracer_->Record(event.trace_id, event.parent_span, trace::kStoreAppend,
-                        "aggregator", store_start, store_end);
+    auto batches = store_queue_.PopAll(kBulkPop);
+    if (!batches.ok()) break;
+    for (EventBatch& batch : *batches) {
+      if (crashed_.load(std::memory_order_acquire)) continue;  // lost with the process
+      const VirtualTime store_start =
+          tracer_ != nullptr ? authority_->Now() : VirtualTime{};
+      store_.Append(batch);
+      if (tracer_ != nullptr) {
+        const VirtualTime store_end = authority_->Now();
+        for (const FsEvent& event : batch.events()) {
+          if (event.trace_id == 0) continue;
+          tracer_->Record(event.trace_id, event.parent_span, trace::kStoreAppend,
+                          "aggregator", store_start, store_end);
+        }
       }
     }
   }

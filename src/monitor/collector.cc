@@ -1,6 +1,7 @@
 #include "monitor/collector.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/log.h"
 #include "common/strings.h"
@@ -31,8 +32,9 @@ Collector::Collector(lustre::FileSystem& fs, int mdt_index,
       authority_(&authority),
       config_(std::move(config)),
       fid2path_(fs, profile),
-      cache_(fid2path_, config_.cache_capacity),
+      cache_(fid2path_, config_.cache_capacity, config_.cache_shards),
       budget_(authority),
+      publish_budget_(authority),
       retry_rng_(config_.retry_seed + static_cast<uint64_t>(mdt_index)),
       metrics_(config_.metrics != nullptr ? config_.metrics
                                           : std::make_shared<MetricsRegistry>()),
@@ -50,6 +52,38 @@ Collector::Collector(lustre::FileSystem& fs, int mdt_index,
   last_cleared_ = metrics_->GetGauge("sdci_collector_last_cleared_index", labels);
   detection_latency_ =
       metrics_->GetHistogram("sdci_collector_detection_latency", labels);
+  const auto stage_labels = [&](const char* stage) {
+    MetricLabels with = labels;
+    with.emplace_back("stage", stage);
+    return with;
+  };
+  read_stage_latency_ =
+      metrics_->GetHistogram("sdci_collector_stage_latency", stage_labels("read"));
+  resolve_stage_latency_ =
+      metrics_->GetHistogram("sdci_collector_stage_latency", stage_labels("resolve"));
+  publish_stage_latency_ =
+      metrics_->GetHistogram("sdci_collector_stage_latency", stage_labels("publish"));
+  // Scrape-time pipeline depths. The weak token keeps a scrape on a
+  // shared registry from touching a destroyed collector.
+  const std::weak_ptr<bool> alive = alive_;
+  metrics_->RegisterCallback(
+      "sdci_collector_resolver_pool_depth", labels,
+      [alive, this]() -> std::optional<int64_t> {
+        if (alive.expired()) return std::nullopt;
+        const std::lock_guard<std::mutex> lock(pipe_mutex_);
+        return pool_ != nullptr ? static_cast<int64_t>(pool_->QueueDepth()) : 0;
+      });
+  metrics_->RegisterCallback(
+      "sdci_collector_reorder_occupancy", labels,
+      [alive, this]() -> std::optional<int64_t> {
+        if (alive.expired()) return std::nullopt;
+        const std::lock_guard<std::mutex> lock(pipe_mutex_);
+        return static_cast<int64_t>(completed_.size());
+      });
+  worker_budgets_.reserve(Workers());
+  for (size_t i = 0; i < Workers(); ++i) {
+    worker_budgets_.push_back(std::make_unique<DelayBudget>(authority));
+  }
   if (config_.local_store_capacity > 0) {
     local_store_ = std::make_unique<EventStore>(config_.local_store_capacity);
   }
@@ -66,52 +100,220 @@ Collector::Collector(lustre::FileSystem& fs, int mdt_index,
 }
 
 Collector::~Collector() {
+  alive_.reset();  // detach scrape callbacks before the pipeline dies
   Stop();
   (void)fs_->Mds(static_cast<size_t>(mdt_index_)).changelog().DeregisterConsumer(consumer_id_);
 }
 
+size_t Collector::Workers() const noexcept {
+  return std::max<size_t>(1, config_.resolver_workers);
+}
+
+size_t Collector::Window() const noexcept {
+  return config_.reorder_window > 0 ? config_.reorder_window
+                                    : std::max<size_t>(8, 4 * Workers());
+}
+
 void Collector::Start() {
   if (running_.exchange(true)) return;
+  {
+    const std::lock_guard<std::mutex> lock(pipe_mutex_);
+    reader_done_ = false;
+    publish_aborted_ = false;
+    pool_ = std::make_unique<ThreadPool>(Workers(), Window());
+  }
+  publisher_thread_ =
+      std::jthread([this](const std::stop_token& stop) { PublisherLoop(stop); });
   thread_ = std::jthread([this](const std::stop_token& stop) { Run(stop); });
 }
 
 void Collector::Stop() {
   if (!running_.exchange(false)) return;
+  // Stop order matters: bounding the publisher's delivery retries first
+  // guarantees it keeps advancing tickets, which is what unblocks a reader
+  // stalled on the reorder window; the reader then takes its final flush
+  // pass, the pool drains every submitted chunk, and the publisher
+  // releases the reorder buffer in order before joining.
+  publisher_thread_.request_stop();
   thread_.request_stop();
   if (thread_.joinable()) thread_.join();
+  if (pool_ != nullptr) pool_->Shutdown();
+  {
+    const std::lock_guard<std::mutex> lock(pipe_mutex_);
+    reader_done_ = true;
+  }
+  pipe_cv_.notify_all();
+  if (publisher_thread_.joinable()) publisher_thread_.join();
 }
 
 void Collector::Run(const std::stop_token& stop) {
-  log::Debug(strings::Format("collector.{}", mdt_index_), "started ({} mode)",
-             ResolveModeName(config_.resolve_mode));
-  std::vector<lustre::ChangeLogRecord> records;
-  VirtualDuration backoff = config_.retry_backoff_min;
+  log::Debug(strings::Format("collector.{}", mdt_index_),
+             "started ({} mode, {} resolver worker(s), window {})",
+             ResolveModeName(config_.resolve_mode), Workers(), Window());
   while (!stop.stop_requested()) {
-    records.clear();
-    switch (ProcessPass(records)) {
-      case PassResult::kProgress:
-        backoff = config_.retry_backoff_min;  // delivery works again
-        break;
-      case PassResult::kIdle:
-        budget_.Flush();
-        authority_->SleepFor(config_.poll_interval);
-        break;
-      case PassResult::kRejected:
-        // The aggregator is absent or saturated. Capped exponential
-        // backoff, jittered so a fleet of collectors does not retry in
-        // lockstep against a restarting aggregator.
-        budget_.Flush();
-        authority_->SleepFor(
-            Seconds(retry_rng_.Jitter(ToSecondsF(backoff), config_.retry_jitter_frac)));
-        backoff = std::min(backoff * 2, config_.retry_backoff_max);
-        break;
+    if (!ReadPass()) {
+      budget_.Flush();
+      authority_->SleepFor(config_.poll_interval);
     }
   }
-  // Final drain so Stop() never abandons held events or already-journaled
-  // records that fit in one batch (tests rely on deterministic flush).
-  records.clear();
-  ProcessPass(records);
+  // Final flush pass so Stop() never abandons already-journaled records
+  // that fit in one batch (tests rely on deterministic flush). The chunks
+  // it submits drain through the pool and publisher before Stop returns.
+  ReadPass();
   budget_.Flush();
+}
+
+void Collector::WaitForWindow() {
+  // Plain (non-interruptible) wait: the publisher advances tickets even
+  // when delivery fails during shutdown, so this always terminates.
+  std::unique_lock<std::mutex> lock(pipe_mutex_);
+  pipe_cv_.wait(lock, [&] { return next_ticket_ - publish_ticket_ < Window(); });
+}
+
+bool Collector::ReadPass() {
+  auto& changelog = fs_->Mds(static_cast<size_t>(mdt_index_)).changelog();
+  const VirtualTime read_start =
+      tracer_ != nullptr ? authority_->Now() : VirtualTime{};
+  std::vector<lustre::ChangeLogRecord> records;
+  const size_t n = changelog.ReadFrom(next_index_, config_.read_batch, records);
+  const VirtualDuration read_cost =
+      profile_.changelog_read_base +
+      profile_.changelog_read_per_record * static_cast<int64_t>(n);
+  budget_.Charge(read_cost);
+  const VirtualTime read_end =
+      tracer_ != nullptr ? authority_->Now() : VirtualTime{};
+  if (n == 0) return false;
+  read_stage_latency_->Record(read_cost);
+  extracted_->Add(n);
+  const uint64_t last_index = records.back().index;
+  next_index_ = last_index + 1;
+
+  // Filter push-down: drop masked-out record types before the costly
+  // processing step.
+  if (config_.report_mask != lustre::kFullChangeLogMask) {
+    const auto masked_out = [&](const lustre::ChangeLogRecord& record) {
+      return (config_.report_mask & lustre::MaskOf(record.type)) == 0;
+    };
+    const size_t before = records.size();
+    records.erase(std::remove_if(records.begin(), records.end(), masked_out),
+                  records.end());
+    filtered_->Add(before - records.size());
+  }
+
+  // Slice the batch so it spreads across the pool (two chunks per worker
+  // keeps everyone busy without shredding the batched-resolve modes'
+  // amortization). An all-filtered batch still submits one empty chunk:
+  // the purge watermark must ride the ticket order, because clearing
+  // through last_index also clears every earlier record — it may only
+  // happen after all of them are published.
+  const size_t chunk_size =
+      std::max<size_t>(1, config_.read_batch / (2 * Workers()));
+  size_t start = 0;
+  do {
+    const size_t end = std::min(records.size(), start + chunk_size);
+    ResolveChunk chunk;
+    chunk.records.assign(records.begin() + static_cast<ptrdiff_t>(start),
+                         records.begin() + static_cast<ptrdiff_t>(end));
+    chunk.purge_index = end == records.size() ? last_index : 0;
+    chunk.read_start = read_start;
+    chunk.read_end = read_end;
+    WaitForWindow();
+    {
+      const std::lock_guard<std::mutex> lock(pipe_mutex_);
+      chunk.ticket = next_ticket_++;
+    }
+    if (!pool_->Submit([this, chunk = std::move(chunk)](size_t worker) mutable {
+          ResolveChunkTask(std::move(chunk), worker);
+        }).ok()) {
+      return false;  // pool closed mid-shutdown; records stay unpurged
+    }
+    start = end;
+  } while (start < records.size());
+  return true;
+}
+
+void Collector::ResolveChunkTask(ResolveChunk chunk, size_t worker) {
+  DelayBudget& budget = *worker_budgets_[worker];
+  if (config_.resolve_hook) config_.resolve_hook(chunk.ticket);
+  const VirtualDuration charged_before = budget.TotalCharged();
+  chunk.events.reserve(chunk.records.size());
+  ResolveRecords(chunk.records, chunk.events, budget, chunk.read_start,
+                 chunk.read_end);
+  processed_->Add(chunk.events.size());
+  resolve_stage_latency_->Record(budget.TotalCharged() - charged_before);
+  // Realize this chunk's modeled resolution latency *before* completion:
+  // the whole point of the worker pool is that these sleeps overlap
+  // across workers instead of summing on one thread.
+  budget.Flush();
+  {
+    const std::lock_guard<std::mutex> lock(pipe_mutex_);
+    completed_.emplace(chunk.ticket, std::move(chunk));
+  }
+  pipe_cv_.notify_all();
+}
+
+void Collector::PublisherLoop(const std::stop_token& stop) {
+  while (true) {
+    ResolveChunk chunk;
+    {
+      std::unique_lock<std::mutex> lock(pipe_mutex_);
+      pipe_cv_.wait(lock, [&] {
+        return completed_.count(publish_ticket_) > 0 ||
+               (reader_done_ && publish_ticket_ == next_ticket_);
+      });
+      const auto it = completed_.find(publish_ticket_);
+      if (it == completed_.end()) break;  // reader done and buffer drained
+      chunk = std::move(it->second);
+      completed_.erase(it);
+    }
+    PublishChunk(chunk, stop);
+    {
+      const std::lock_guard<std::mutex> lock(pipe_mutex_);
+      ++publish_ticket_;
+    }
+    pipe_cv_.notify_all();  // frees reorder-window room for the reader
+  }
+  publish_budget_.Flush();
+}
+
+void Collector::PublishChunk(ResolveChunk& chunk, const std::stop_token& stop) {
+  // An undelivered predecessor blocks everything after it: publishing (or
+  // purging) past it would break in-order delivery and could clear records
+  // whose events never made it out.
+  if (publish_aborted_) return;
+  if (!chunk.events.empty()) {
+    // The local store sees events here — on the publisher, in ticket
+    // order — so its append order matches ChangeLog order (QueryTimeRange
+    // relies on timestamp-monotone appends).
+    if (local_store_ != nullptr) {
+      for (const FsEvent& event : chunk.events) local_store_->Append(event);
+    }
+    const VirtualDuration charged_before = publish_budget_.TotalCharged();
+    std::vector<FsEvent> pending = std::move(chunk.events);
+    VirtualDuration backoff = config_.retry_backoff_min;
+    while (true) {
+      const size_t delivered = Report(pending, publish_budget_);
+      pending.erase(pending.begin(), pending.begin() + static_cast<ptrdiff_t>(delivered));
+      if (pending.empty()) break;
+      if (stop.stop_requested()) {
+        // Shutdown with a dead aggregator: give up without purging; the
+        // unpurged records are re-extracted by the next incarnation.
+        publish_aborted_ = true;
+        return;
+      }
+      // The aggregator is absent or saturated. Capped exponential backoff,
+      // jittered so a fleet of collectors does not retry in lockstep
+      // against a restarting aggregator. The stalled publisher fills the
+      // reorder window, which stalls the reader: pipeline-wide backpressure.
+      report_retries_->Add();
+      publish_budget_.Flush();
+      authority_->SleepFor(
+          Seconds(retry_rng_.Jitter(ToSecondsF(backoff), config_.retry_jitter_frac)));
+      backoff = std::min(backoff * 2, config_.retry_backoff_max);
+    }
+    publish_stage_latency_->Record(publish_budget_.TotalCharged() - charged_before);
+  }
+  if (chunk.purge_index > 0) PurgeThrough(chunk.purge_index, publish_budget_);
 }
 
 size_t Collector::DrainOnce() {
@@ -128,18 +330,18 @@ size_t Collector::DrainOnce() {
 bool Collector::FlushHeld() {
   if (held_events_.empty()) return true;
   report_retries_->Add();
-  const size_t delivered = Report(held_events_);
+  const size_t delivered = Report(held_events_, budget_);
   held_events_.erase(held_events_.begin(),
                      held_events_.begin() + static_cast<ptrdiff_t>(delivered));
   if (!held_events_.empty()) return false;
   // The whole rejected batch is finally out: purge is safe now.
-  PurgeThrough(held_last_index_);
+  PurgeThrough(held_last_index_, budget_);
   return true;
 }
 
-void Collector::PurgeThrough(uint64_t last_index) {
+void Collector::PurgeThrough(uint64_t last_index, DelayBudget& budget) {
   if (!config_.purge) return;
-  budget_.Charge(profile_.changelog_clear_latency);
+  budget.Charge(profile_.changelog_clear_latency);
   auto& changelog = fs_->Mds(static_cast<size_t>(mdt_index_)).changelog();
   if (changelog.Clear(consumer_id_, last_index).ok()) {
     last_cleared_->Set(static_cast<int64_t>(last_index));
@@ -155,11 +357,13 @@ Collector::PassResult Collector::ProcessPass(std::vector<lustre::ChangeLogRecord
   // Detection: extract new records (costed per read call + per record).
   // The read window is remembered so sampled events can retroactively
   // record a changelog.read span (two Now() calls per pass, not per event).
-  if (tracer_ != nullptr) last_read_start_ = authority_->Now();
+  const VirtualTime read_start =
+      tracer_ != nullptr ? authority_->Now() : VirtualTime{};
   const size_t n = changelog.ReadFrom(next_index_, config_.read_batch, records);
   budget_.Charge(profile_.changelog_read_base +
                  profile_.changelog_read_per_record * static_cast<int64_t>(n));
-  if (tracer_ != nullptr) last_read_end_ = authority_->Now();
+  const VirtualTime read_end =
+      tracer_ != nullptr ? authority_->Now() : VirtualTime{};
   if (n == 0) return PassResult::kIdle;
   extracted_->Add(n);
   const uint64_t last_index = records.back().index;
@@ -180,13 +384,16 @@ Collector::PassResult Collector::ProcessPass(std::vector<lustre::ChangeLogRecord
   // Processing: resolve FIDs into absolute paths.
   std::vector<FsEvent> events;
   events.reserve(records.size());
-  ResolvePaths(records, events);
+  ResolveRecords(records, events, budget_, read_start, read_end);
   processed_->Add(events.size());
+  if (local_store_ != nullptr) {
+    for (const FsEvent& event : events) local_store_->Append(event);
+  }
 
   // Aggregation hand-off. A failed hand-off (no aggregator accepting on
   // the endpoint) must not lose events: the undelivered tail is held —
   // extraction work is kept, the purge is deferred until the hold drains.
-  const size_t delivered = Report(events);
+  const size_t delivered = Report(events, budget_);
   if (delivered < events.size()) {
     held_events_.assign(events.begin() + static_cast<ptrdiff_t>(delivered),
                         events.end());
@@ -196,16 +403,19 @@ Collector::PassResult Collector::ProcessPass(std::vector<lustre::ChangeLogRecord
 
   // Purge consumed records so the ChangeLog does not accumulate stale
   // entries (the collector's pointer makes this safe).
-  PurgeThrough(last_index);
+  PurgeThrough(last_index, budget_);
   // An all-filtered batch still means the log had records, so the caller
   // should not back off.
   return PassResult::kProgress;
 }
 
-void Collector::ResolvePaths(std::vector<lustre::ChangeLogRecord>& records,
-                             std::vector<FsEvent>& events) {
+void Collector::ResolveRecords(const std::vector<lustre::ChangeLogRecord>& records,
+                               std::vector<FsEvent>& events, DelayBudget& budget,
+                               VirtualTime read_start, VirtualTime read_end) {
   const bool batched = config_.resolve_mode == ResolveMode::kBatched ||
                        config_.resolve_mode == ResolveMode::kBatchedCached;
+  const bool cached = config_.resolve_mode == ResolveMode::kCached ||
+                      config_.resolve_mode == ResolveMode::kBatchedCached;
   // Batched modes pre-resolve the batch's *unique* parent directories with
   // one amortized fid2path call; kBatchedCached further strips out parents
   // already cached, so only cold parents pay the call at all.
@@ -224,26 +434,29 @@ void Collector::ResolvePaths(std::vector<lustre::ChangeLogRecord>& records,
       cold.push_back(record.parent);
     }
     if (!cold.empty()) {
-      auto resolved = fid2path_.ResolveBatch(cold, budget_);
+      const uint64_t fill_epoch = cached ? cache_.Epoch() : 0;
+      auto resolved = fid2path_.ResolveBatch(cold, budget);
       if (resolved.ok()) {
         for (size_t i = 0; i < cold.size(); ++i) {
           parent_paths[cold[i]] = (*resolved)[i];
-          if (config_.resolve_mode == ResolveMode::kBatchedCached &&
-              !(*resolved)[i].empty()) {
-            cache_.Prime(cold[i], (*resolved)[i]);
+          if (cached && !(*resolved)[i].empty()) {
+            cache_.Prime(cold[i], (*resolved)[i], fill_epoch);
           }
         }
       }
     }
   }
 
-  for (size_t i = 0; i < records.size(); ++i) {
-    const lustre::ChangeLogRecord& record = records[i];
+  for (const lustre::ChangeLogRecord& record : records) {
     // Sampling decision for this event's whole pipeline journey. At 0%
     // rate this is one compare; unsampled events skip every Now() below.
     const uint64_t trace_id = tracer_ != nullptr ? tracer_->SampleTrace() : 0;
     const VirtualTime extract_start =
         trace_id != 0 ? authority_->Now() : VirtualTime{};
+    // Epoch snapshot for every cache fill derived from this record: a
+    // rename/rmdir invalidation landing while the paths below are being
+    // built must win over them.
+    const uint64_t cache_epoch = cached ? cache_.Epoch() : 0;
     FsEvent event;
     event.mdt_index = mdt_index_;
     event.record_index = record.index;
@@ -260,7 +473,7 @@ void Collector::ResolvePaths(std::vector<lustre::ChangeLogRecord>& records,
         trace_id != 0 ? authority_->Now() : VirtualTime{};
     switch (config_.resolve_mode) {
       case ResolveMode::kPerEvent: {
-        auto path = fid2path_.Resolve(record.parent, budget_);
+        auto path = fid2path_.Resolve(record.parent, budget);
         if (path.ok()) {
           parent_path = std::move(path.value());
           resolved = true;
@@ -268,7 +481,7 @@ void Collector::ResolvePaths(std::vector<lustre::ChangeLogRecord>& records,
         break;
       }
       case ResolveMode::kCached: {
-        auto path = cache_.ResolveParent(record.parent, budget_);
+        auto path = cache_.ResolveParent(record.parent, budget);
         if (path.ok()) {
           parent_path = std::move(path.value());
           resolved = true;
@@ -293,10 +506,8 @@ void Collector::ResolvePaths(std::vector<lustre::ChangeLogRecord>& records,
       if (record.type == lustre::ChangeLogType::kRename) {
         // Resolve the rename source through the same machinery (best
         // effort; the source parent may itself have moved).
-        auto src = config_.resolve_mode == ResolveMode::kCached ||
-                           config_.resolve_mode == ResolveMode::kBatchedCached
-                       ? cache_.ResolveParent(record.source_parent, budget_)
-                       : fid2path_.Resolve(record.source_parent, budget_);
+        auto src = cached ? cache_.ResolveParent(record.source_parent, budget)
+                          : fid2path_.Resolve(record.source_parent, budget);
         if (src.ok()) {
           event.source_path = *src == "/" ? "/" + record.source_name
                                           : *src + "/" + record.source_name;
@@ -315,7 +526,7 @@ void Collector::ResolvePaths(std::vector<lustre::ChangeLogRecord>& records,
       // fid2path call nested inside it.
       const uint64_t read_span =
           tracer_->Record(trace_id, 0, trace::kChangelogRead, component_,
-                          last_read_start_, last_read_end_);
+                          read_start, read_end);
       const uint64_t extract_span =
           tracer_->Record(trace_id, read_span, trace::kCollectorExtract,
                           component_, extract_start, authority_->Now());
@@ -325,21 +536,24 @@ void Collector::ResolvePaths(std::vector<lustre::ChangeLogRecord>& records,
       event.parent_span = extract_span;
     }
 
-    MaintainCache(event);
-    if (local_store_ != nullptr) local_store_->Append(event);
+    MaintainCache(event, cache_epoch);
     events.push_back(std::move(event));
   }
 }
 
-void Collector::MaintainCache(const FsEvent& event) {
+void Collector::MaintainCache(const FsEvent& event, uint64_t cache_epoch) {
   if (config_.resolve_mode != ResolveMode::kCached &&
       config_.resolve_mode != ResolveMode::kBatchedCached) {
     return;
   }
   switch (event.type) {
     case lustre::ChangeLogType::kMkdir:
-      // Prime: the new directory's path is already known.
-      if (!event.path.empty()) cache_.Prime(event.target_fid, event.path);
+      // Prime: the new directory's path is already known. Epoch-checked so
+      // a concurrently processed rename/rmdir invalidation beats the prime
+      // (a stale path is never resurrected by a slow worker).
+      if (!event.path.empty()) {
+        cache_.Prime(event.target_fid, event.path, cache_epoch);
+      }
       break;
     case lustre::ChangeLogType::kRename:
     case lustre::ChangeLogType::kRenameTo:
@@ -361,7 +575,7 @@ void Collector::MaintainCache(const FsEvent& event) {
   }
 }
 
-size_t Collector::Report(const std::vector<FsEvent>& events) {
+size_t Collector::Report(const std::vector<FsEvent>& events, DelayBudget& budget) {
   // Aggregation hand-off: one EventBatch per publish_batch-sized chunk.
   // The batch is encoded exactly once (payload()); the msgq message shares
   // those bytes, so the PUB/SUB or PUSH/PULL hand-off moves a pointer. The
@@ -395,7 +609,7 @@ size_t Collector::Report(const std::vector<FsEvent>& events) {
     const EventBatch batch(std::move(chunk));
     msgq::Message message(strings::Format("collect.mdt{}", mdt_index_),
                           batch.payload());
-    budget_.Charge(profile_.collector_publish_latency);
+    budget.Charge(profile_.collector_publish_latency);
     if (pub_ != nullptr) {
       if (pub_->Publish(std::move(message)) == 0) return delivered;
     } else if (push_ != nullptr) {
@@ -441,11 +655,15 @@ ResourceUsage Collector::Usage(VirtualDuration elapsed) const {
   const double processed = static_cast<double>(processed_->Get());
   const double cpu_s = processed * ToSecondsF(profile_.collector_cpu_per_event);
   usage.cpu_percent = span <= 0 ? 0 : 100.0 * cpu_s / span;
-  usage.pipeline_busy_percent =
-      span <= 0 ? 0 : 100.0 * ToSecondsF(budget_.TotalCharged()) / span;
+  // All stage budgets count: with resolver workers overlapping their
+  // modeled latencies this legitimately exceeds 100% (multiple threads).
+  VirtualDuration charged = budget_.TotalCharged() + publish_budget_.TotalCharged();
+  for (const auto& budget : worker_budgets_) charged += budget->TotalCharged();
+  usage.pipeline_busy_percent = span <= 0 ? 0 : 100.0 * ToSecondsF(charged) / span;
   usage.peak_memory_bytes =
       (local_store_ != nullptr ? local_store_->memory().PeakBytes() : 0) +
       cache_.ApproxBytes() + config_.read_batch * sizeof(lustre::ChangeLogRecord) +
+      Window() * config_.read_batch / (2 * Workers()) * sizeof(FsEvent) +
       (1u << 20);  // fixed process overhead (buffers, sockets)
   return usage;
 }

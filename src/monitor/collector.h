@@ -7,24 +7,53 @@
 // ChangeLog (keeping a pointer to the most recently extracted event so
 // nothing is missed across restarts).
 //
+// Started collectors run as a three-stage pipeline (the paper identifies
+// fid2path as the dominant per-event cost, so resolution is where the
+// concurrency goes):
+//
+//   reader ──chunks──▶ resolver pool (N workers) ──tickets──▶ publisher
+//
+// The reader drains ChangeLog batches, splits them into chunks and stamps
+// each with a monotonically increasing *ticket*; `resolver_workers`
+// threads resolve chunks concurrently (each worker charging its own
+// DelayBudget, so concurrent per-item latencies overlap instead of
+// summing); the publisher re-sequences completed chunks through a reorder
+// buffer and publishes strictly in ticket — i.e. exact ChangeLog — order.
+// Records are purged only after the events covering them were accepted by
+// the transport, and never ahead of an undelivered predecessor, which
+// preserves the crash-safety contract: anything unpurged is re-extracted
+// by the next incarnation (at-least-once; consumers dedupe by
+// (mdt_index, record_index)). The reader stalls once
+// `reorder_window` tickets are in flight, so a stuck publisher
+// backpressures the whole pipeline instead of buffering unboundedly.
+//
 // Resolution modes implement the paper's deployed design and its two
 // proposed optimizations:
 //   kPerEvent      — one fid2path call per event (the paper's bottleneck);
 //   kBatched       — resolve a read batch with one amortized call;
 //   kCached        — per-event calls through an LRU parent-path cache;
 //   kBatchedCached — batch the cache misses only.
+// The parent-path cache is sharded and internally locked (see
+// CachedPathResolver), so resolver workers share warm entries; fills that
+// race a rename/rmdir invalidation are dropped via the cache epoch.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/metrics.h"
 #include "common/resource.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/tracing.h"
 #include "lustre/fid2path.h"
 #include "lustre/filesystem.h"
@@ -49,8 +78,15 @@ struct CollectorConfig {
   VirtualDuration poll_interval = Millis(50);  // idle back-off
   ResolveMode resolve_mode = ResolveMode::kPerEvent;
   size_t cache_capacity = 16384;  // parent-path LRU entries (cached modes)
+  size_t cache_shards = 8;        // lock shards of the parent-path cache
   size_t publish_batch = 16;      // events per msgq message
   bool purge = true;              // changelog_clear consumed records
+  // Resolution pipeline (Start() mode only; DrainOnce stays serial).
+  // resolver_workers is the size of the fid2path worker pool;
+  // reorder_window caps in-flight resolve chunks between reader and
+  // publisher (0 = auto: max(8, 4 * workers)).
+  size_t resolver_workers = 1;
+  size_t reorder_window = 0;
   // Filter push-down: only record types whose mask bit is set are
   // processed and reported (the others are still extracted and cleared).
   // Lets a deployment that only cares about, say, creations avoid paying
@@ -67,6 +103,10 @@ struct CollectorConfig {
   VirtualDuration retry_backoff_max = Seconds(1.0);
   double retry_jitter_frac = 0.25;
   uint64_t retry_seed = 1;
+  // Test-only fault injection: invoked by a resolver worker before it
+  // resolves a chunk (the ordering property test injects randomized
+  // latency here). Must be thread-safe; called concurrently.
+  std::function<void(uint64_t ticket)> resolve_hook;
   // Shared observability plumbing. A null registry gives the collector a
   // private one (instruments always exist); a null tracer disables
   // sampling entirely.
@@ -98,14 +138,16 @@ class Collector {
   Collector(const Collector&) = delete;
   Collector& operator=(const Collector&) = delete;
 
-  // Starts the collection thread. Idempotent.
+  // Starts the pipeline (reader + resolver pool + publisher). Idempotent.
   void Start();
 
-  // Stops and joins. Records already extracted are flushed first.
+  // Stops and joins all stages. Records already extracted are flushed
+  // first (one final read batch, then the reorder buffer drains).
   void Stop();
 
   // Drains everything currently in the ChangeLog synchronously (single
-  // pass, no thread). Useful for tests and for the centralized baseline.
+  // pass, no threads; the pre-pipeline serial path). Useful for tests and
+  // for the centralized baseline. Must not be called while started.
   // Returns the number of events reported.
   size_t DrainOnce();
 
@@ -120,27 +162,55 @@ class Collector {
   }
 
  private:
-  // Outcome of one collection pass. kRejected means the aggregator did not
-  // accept every message; the undelivered tail is *held* (extracted and
-  // processed, but not purged) and retried with backoff — never re-read,
-  // never lost. If the collector dies while holding, the unpurged records
-  // are re-extracted by its next incarnation (at-least-once; consumers
-  // dedupe by (mdt_index, record_index)).
+  // Outcome of one serial collection pass. kRejected means the aggregator
+  // did not accept every message; the undelivered tail is *held*
+  // (extracted and processed, but not purged) and retried — never re-read,
+  // never lost.
   enum class PassResult { kProgress, kIdle, kRejected };
 
-  void Run(const std::stop_token& stop);
-  // Redelivers held events, then (if clear) processes one read batch.
+  // One unit of resolver-pool work: a slice of a read batch, ticketed for
+  // in-order publication.
+  struct ResolveChunk {
+    uint64_t ticket = 0;
+    std::vector<lustre::ChangeLogRecord> records;
+    std::vector<FsEvent> events;  // filled by the resolver worker
+    // >0 on the final chunk of a read batch: once this chunk (and, by
+    // ticket order, everything before it) is delivered, the ChangeLog is
+    // cleared through this index.
+    uint64_t purge_index = 0;
+    // ChangeLog read window of the originating pass (changelog.read span).
+    VirtualTime read_start{};
+    VirtualTime read_end{};
+  };
+
+  // Pipeline stages.
+  void Run(const std::stop_token& stop);        // reader loop
+  bool ReadPass();                              // one read batch; false = idle
+  void ResolveChunkTask(ResolveChunk chunk, size_t worker);
+  void PublisherLoop(const std::stop_token& stop);
+  void PublishChunk(ResolveChunk& chunk, const std::stop_token& stop);
+  void WaitForWindow();
+  [[nodiscard]] size_t Workers() const noexcept;
+  [[nodiscard]] size_t Window() const noexcept;
+
+  // Serial path (DrainOnce): redelivers held events, then (if clear)
+  // processes one read batch.
   PassResult ProcessPass(std::vector<lustre::ChangeLogRecord>& records);
   // Retries the held tail; true when nothing is held any more.
   bool FlushHeld();
-  void ResolvePaths(std::vector<lustre::ChangeLogRecord>& records,
-                    std::vector<FsEvent>& events);
-  void MaintainCache(const FsEvent& event);
+
+  // Shared by both paths. ResolveRecords charges all resolution cost to
+  // `budget` (the caller's thread owns it); the read window feeds the
+  // changelog.read span of sampled events.
+  void ResolveRecords(const std::vector<lustre::ChangeLogRecord>& records,
+                      std::vector<FsEvent>& events, DelayBudget& budget,
+                      VirtualTime read_start, VirtualTime read_end);
+  void MaintainCache(const FsEvent& event, uint64_t cache_epoch);
   // Hands events to msgq in publish_batch chunks; returns how many events
   // were accepted (a short count means the aggregator is absent or its
-  // queue dropped us — the caller holds the tail for retry).
-  size_t Report(const std::vector<FsEvent>& events);
-  void PurgeThrough(uint64_t last_index);
+  // queue dropped us — the caller keeps the tail for retry).
+  size_t Report(const std::vector<FsEvent>& events, DelayBudget& budget);
+  void PurgeThrough(uint64_t last_index, DelayBudget& budget);
 
   lustre::FileSystem* fs_;
   const int mdt_index_;
@@ -150,7 +220,9 @@ class Collector {
 
   lustre::Fid2PathService fid2path_;
   lustre::CachedPathResolver cache_;
-  DelayBudget budget_;
+  DelayBudget budget_;          // reader stage (and the serial path)
+  DelayBudget publish_budget_;  // publisher stage
+  std::vector<std::unique_ptr<DelayBudget>> worker_budgets_;  // one per worker
   lustre::ConsumerId consumer_id_ = 0;
   std::unique_ptr<EventStore> local_store_;  // null unless configured
 
@@ -158,10 +230,25 @@ class Collector {
   std::shared_ptr<msgq::PushSocket> push_;
 
   uint64_t next_index_ = 1;  // next changelog index to extract
-  // Undelivered tail of the last rejected hand-off (collector thread only).
+  // Undelivered tail of the last rejected hand-off (serial path only).
   std::vector<FsEvent> held_events_;
   uint64_t held_last_index_ = 0;  // purge watermark once the hold drains
   Rng retry_rng_;
+
+  // Reorder buffer: resolver workers complete tickets out of order; the
+  // publisher consumes them strictly in order. pipe_mutex_ guards every
+  // field below plus pool_ (re)creation.
+  mutable std::mutex pipe_mutex_;
+  std::condition_variable_any pipe_cv_;
+  std::map<uint64_t, ResolveChunk> completed_;
+  uint64_t next_ticket_ = 0;     // issued by the reader
+  uint64_t publish_ticket_ = 0;  // next ticket the publisher will release
+  bool reader_done_ = false;
+  std::unique_ptr<ThreadPool> pool_;
+  // Publisher-thread-only: set when a chunk could not be delivered during
+  // shutdown; everything after it is dropped unpublished and unpurged
+  // (re-extracted by the next incarnation).
+  bool publish_aborted_ = false;
 
   // Registry-backed instruments (shared with config_.metrics when set).
   std::shared_ptr<MetricsRegistry> metrics_;
@@ -173,14 +260,19 @@ class Collector {
   std::shared_ptr<Counter> report_retries_;
   std::shared_ptr<Gauge> last_cleared_;
   std::shared_ptr<LatencyHistogram> detection_latency_;
+  // Per-stage modeled latency (labels: stage=read|resolve|publish).
+  std::shared_ptr<LatencyHistogram> read_stage_latency_;
+  std::shared_ptr<LatencyHistogram> resolve_stage_latency_;
+  std::shared_ptr<LatencyHistogram> publish_stage_latency_;
+  // Keeps scrape-time callbacks (pool depth, reorder occupancy) from
+  // touching a destroyed collector.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   std::shared_ptr<trace::Tracer> tracer_;
   const std::string component_;  // "collector.N", span attribution
-  // ChangeLog read window of the current pass (collector thread only).
-  VirtualTime last_read_start_{};
-  VirtualTime last_read_end_{};
 
-  std::jthread thread_;
+  std::jthread thread_;            // reader
+  std::jthread publisher_thread_;  // publisher
   std::atomic<bool> running_{false};
 };
 

@@ -6,9 +6,15 @@ namespace sdci::monitor {
 
 EventStore::EventStore(size_t max_events) : max_events_(max_events == 0 ? 1 : max_events) {}
 
+void EventStore::NoteAppendTime(VirtualTime t) {
+  if (time_monotone_ && t < last_time_) time_monotone_ = false;
+  last_time_ = t;
+}
+
 void EventStore::Append(FsEvent event) {
   const std::lock_guard<std::mutex> lock(mutex_);
   memory_.Charge(event.ApproxBytes());
+  NoteAppendTime(event.time);
   events_.push_back(std::move(event));
   ++total_appended_;
   while (events_.size() > max_events_) {
@@ -21,6 +27,7 @@ void EventStore::Append(const EventBatch& batch) {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const FsEvent& event : batch.events()) {
     memory_.Charge(event.ApproxBytes());
+    NoteAppendTime(event.time);
     events_.push_back(event);
     ++total_appended_;
   }
@@ -34,6 +41,7 @@ void EventStore::AppendBatch(std::vector<FsEvent> events) {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (FsEvent& event : events) {
     memory_.Charge(event.ApproxBytes());
+    NoteAppendTime(event.time);
     events_.push_back(std::move(event));
     ++total_appended_;
   }
@@ -64,6 +72,18 @@ std::vector<FsEvent> EventStore::QueryTimeRange(VirtualTime from, VirtualTime to
                                                 size_t max) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<FsEvent> out;
+  if (time_monotone_) {
+    // Appends have stayed time-sorted, so the range start is a binary
+    // search and the scan stops at the first event past `to`.
+    const auto begin =
+        std::lower_bound(events_.begin(), events_.end(), from,
+                         [](const FsEvent& e, VirtualTime t) { return e.time < t; });
+    for (auto it = begin; it != events_.end() && it->time < to; ++it) {
+      if (out.size() >= max) break;
+      out.push_back(*it);
+    }
+    return out;
+  }
   for (const FsEvent& event : events_) {
     if (out.size() >= max) break;
     if (event.time >= from && event.time < to) out.push_back(event);

@@ -35,7 +35,11 @@ class EventStore {
   [[nodiscard]] std::vector<FsEvent> Query(uint64_t from_seq, size_t max,
                                            uint64_t* first_available = nullptr) const;
 
-  // Events with time in [from, to), up to max.
+  // Events with time in [from, to), up to max. The store's appends are
+  // timestamp-monotone in practice (the collector publishes in ChangeLog
+  // order; the aggregator assigns sequences in arrival order), which makes
+  // the range start a binary search; if an out-of-order append is ever
+  // observed the store falls back to a linear scan permanently.
   [[nodiscard]] std::vector<FsEvent> QueryTimeRange(VirtualTime from, VirtualTime to,
                                                     size_t max) const;
 
@@ -48,10 +52,16 @@ class EventStore {
   [[nodiscard]] const MemoryAccountant& memory() const noexcept { return memory_; }
 
  private:
+  // Tracks (under mutex_) whether every append so far arrived in
+  // non-decreasing time order; cleared forever on the first violation.
+  void NoteAppendTime(VirtualTime t);
+
   const size_t max_events_;
   mutable std::mutex mutex_;
   std::deque<FsEvent> events_;  // ordered by global_seq
   uint64_t total_appended_ = 0;
+  bool time_monotone_ = true;
+  VirtualTime last_time_{};
   MemoryAccountant memory_;
 };
 

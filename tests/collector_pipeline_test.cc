@@ -1,0 +1,278 @@
+// Property tests for the collector's three-stage pipeline: concurrent
+// fid2path resolution must never be observable downstream — events publish
+// in exact ChangeLog order, and records are purged only after the events
+// covering them were accepted by the transport.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lustre/filesystem.h"
+#include "monitor/collector.h"
+#include "msgq/context.h"
+
+namespace sdci::monitor {
+namespace {
+
+class CollectorPipelineTest : public ::testing::Test {
+ protected:
+  CollectorPipelineTest()
+      : authority_(2000.0),
+        profile_(lustre::TestbedProfile::Test()),
+        fs_(lustre::FileSystemConfig::FromProfile(profile_), authority_) {}
+
+  CollectorConfig Config(size_t workers) {
+    CollectorConfig config;
+    config.resolver_workers = workers;
+    config.poll_interval = Millis(1);
+    config.publish_batch = 4;
+    config.read_batch = 64;  // several read batches per run
+    config.metrics = std::make_shared<MetricsRegistry>();
+    return config;
+  }
+
+  std::vector<FsEvent> DrainEndpoint(msgq::SubSocket& sub) {
+    std::vector<FsEvent> events;
+    while (auto message = sub.TryReceive()) {
+      auto batch = DecodeEventBatch(message->bytes());
+      EXPECT_TRUE(batch.ok());
+      for (auto& event : *batch) events.push_back(std::move(event));
+    }
+    return events;
+  }
+
+  void WaitReported(const Collector& collector, uint64_t n) {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (collector.Stats().reported < n &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  TimeAuthority authority_;
+  lustre::TestbedProfile profile_;
+  lustre::FileSystem fs_;
+  msgq::Context context_;
+};
+
+// The tentpole ordering property: with W workers resolving chunks under
+// randomized latencies, the published stream is *exactly* the ChangeLog
+// order, and the purge watermark never gets ahead of publication.
+class CollectorPipelineOrdering : public CollectorPipelineTest,
+                                  public ::testing::WithParamInterface<size_t> {};
+
+TEST_P(CollectorPipelineOrdering, PublishesInChangeLogOrderUnderRandomLatency) {
+  const size_t workers = GetParam();
+  constexpr int kFiles = 300;
+  auto config = Config(workers);
+  config.collect_endpoint = "inproc://pipeline.order" + std::to_string(workers);
+  // Deterministic per-ticket latency injection: chunks finish resolution
+  // wildly out of order, so only the reorder buffer can save the stream.
+  config.resolve_hook = [](uint64_t ticket) {
+    const uint64_t h = ticket * 2654435761u;
+    std::this_thread::sleep_for(std::chrono::microseconds(h % 297));
+  };
+  auto sub = context_.CreateSub(config.collect_endpoint, 8192);
+  sub->Subscribe("");
+  Collector collector(fs_, 0, profile_, authority_, context_, config);
+
+  const auto cleared =
+      config.metrics->GetGauge("sdci_collector_last_cleared_index", {{"mdt", "0"}});
+  const auto reported =
+      config.metrics->GetCounter("sdci_collector_reported_total", {{"mdt", "0"}});
+
+  collector.Start();
+  // Purge-vs-publication invariant, sampled while the pipeline runs. The
+  // cleared watermark is read *before* the reported counter: clearing
+  // through index i implies the events of records 1..i were already
+  // accepted, so any later read of `reported` must be >= i.
+  std::atomic<bool> stop_sampling{false};
+  std::atomic<int> violations{0};
+  std::thread sampler([&] {
+    while (!stop_sampling.load(std::memory_order_relaxed)) {
+      const int64_t cleared_now = cleared->Get();
+      const uint64_t reported_now = reported->Get();
+      if (reported_now < static_cast<uint64_t>(cleared_now)) {
+        violations.fetch_add(1);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  for (int i = 0; i < kFiles; ++i) {
+    ASSERT_TRUE(fs_.Create("/ord" + std::to_string(i)).ok());
+  }
+  WaitReported(collector, kFiles);
+  collector.Stop();
+  stop_sampling.store(true, std::memory_order_relaxed);
+  sampler.join();
+
+  EXPECT_EQ(violations.load(), 0) << "purge ran ahead of publication";
+  const auto events = DrainEndpoint(*sub);
+  ASSERT_EQ(events.size(), static_cast<size_t>(kFiles));
+  for (int i = 0; i < kFiles; ++i) {
+    const auto& event = events[static_cast<size_t>(i)];
+    EXPECT_EQ(event.record_index, static_cast<uint64_t>(i) + 1)
+        << "event " << i << " out of ChangeLog order (workers=" << workers << ")";
+    EXPECT_EQ(event.path, "/ord" + std::to_string(i));
+  }
+  EXPECT_EQ(fs_.Mds(0).changelog().RetainedCount(), 0u) << "everything purged";
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, CollectorPipelineOrdering,
+                         ::testing::Values(1, 2, 8));
+
+TEST_F(CollectorPipelineTest, EveryResolveModeMatchesChangeLogOrder) {
+  ASSERT_TRUE(fs_.MkdirAll("/pm/a").ok());
+  ASSERT_TRUE(fs_.MkdirAll("/pm/b").ok());
+  std::vector<std::string> expected{"/pm", "/pm/a", "/pm/b"};
+  // MkdirAll("/pm/a") journals /pm then /pm/a; MkdirAll("/pm/b") adds /pm/b.
+  for (int i = 0; i < 40; ++i) {
+    const std::string path =
+        (i % 2 == 0 ? "/pm/a/f" : "/pm/b/g") + std::to_string(i);
+    ASSERT_TRUE(fs_.Create(path).ok());
+    expected.push_back(path);
+  }
+  int endpoint_id = 0;
+  for (const auto mode : {ResolveMode::kPerEvent, ResolveMode::kBatched,
+                          ResolveMode::kCached, ResolveMode::kBatchedCached}) {
+    auto config = Config(4);
+    config.resolve_mode = mode;
+    config.purge = false;  // all four collectors read the same log
+    config.collect_endpoint = "inproc://pipeline.modes" + std::to_string(endpoint_id++);
+    auto sub = context_.CreateSub(config.collect_endpoint, 8192);
+    sub->Subscribe("");
+    Collector collector(fs_, 0, profile_, authority_, context_, config);
+    collector.Start();
+    WaitReported(collector, expected.size());
+    collector.Stop();
+    std::vector<std::string> paths;
+    for (const auto& event : DrainEndpoint(*sub)) paths.push_back(event.path);
+    EXPECT_EQ(paths, expected) << "mode " << ResolveModeName(mode);
+  }
+}
+
+TEST_F(CollectorPipelineTest, StopFlushesJournaledRecords) {
+  auto config = Config(4);
+  config.collect_endpoint = "inproc://pipeline.flush";
+  auto sub = context_.CreateSub(config.collect_endpoint, 4096);
+  sub->Subscribe("");
+  Collector collector(fs_, 0, profile_, authority_, context_, config);
+  collector.Start();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(fs_.Create("/sf" + std::to_string(i)).ok());
+  }
+  // No wait: Stop()'s final read pass must pick up whatever of the 50 the
+  // running reader had not already consumed, and the reorder buffer must
+  // drain before Stop returns.
+  collector.Stop();
+  EXPECT_EQ(collector.Stats().reported, 50u);
+  EXPECT_EQ(DrainEndpoint(*sub).size(), 50u);
+}
+
+TEST_F(CollectorPipelineTest, AllFilteredBatchStillPurges) {
+  auto config = Config(4);
+  config.collect_endpoint = "inproc://pipeline.masked";
+  config.report_mask = lustre::MaskOf(lustre::ChangeLogType::kCreate);
+  auto sub = context_.CreateSub(config.collect_endpoint, 4096);
+  sub->Subscribe("");
+  Collector collector(fs_, 0, profile_, authority_, context_, config);
+  collector.Start();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(fs_.Mkdir("/dir" + std::to_string(i)).ok());  // all masked out
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fs_.Mds(0).changelog().RetainedCount() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  collector.Stop();
+  EXPECT_EQ(fs_.Mds(0).changelog().RetainedCount(), 0u)
+      << "an all-filtered batch must still flow its purge watermark through "
+         "the pipeline";
+  EXPECT_EQ(collector.Stats().reported, 0u);
+  EXPECT_EQ(collector.Stats().filtered, 20u);
+  EXPECT_TRUE(DrainEndpoint(*sub).empty());
+}
+
+TEST_F(CollectorPipelineTest, MissingAggregatorHoldsRecordsAcrossRestart) {
+  auto config = Config(2);
+  config.collect_endpoint = "inproc://pipeline.absent";
+  constexpr int kFiles = 30;
+  {
+    Collector collector(fs_, 0, profile_, authority_, context_, config);
+    collector.Start();
+    for (int i = 0; i < kFiles; ++i) {
+      ASSERT_TRUE(fs_.Create("/hold" + std::to_string(i)).ok());
+    }
+    // Give the pipeline time to read and attempt delivery (which fails: no
+    // subscriber). The publisher must keep retrying, never purging.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    collector.Stop();
+    EXPECT_EQ(collector.Stats().reported, 0u);
+    EXPECT_EQ(fs_.Mds(0).changelog().RetainedCount(),
+              static_cast<size_t>(kFiles))
+        << "undelivered records must survive shutdown unpurged";
+  }
+  // The next incarnation re-extracts everything once an aggregator exists.
+  auto sub = context_.CreateSub(config.collect_endpoint, 4096);
+  sub->Subscribe("");
+  Collector second(fs_, 0, profile_, authority_, context_, config);
+  second.Start();
+  WaitReported(second, kFiles);
+  second.Stop();
+  const auto events = DrainEndpoint(*sub);
+  ASSERT_EQ(events.size(), static_cast<size_t>(kFiles));
+  for (int i = 0; i < kFiles; ++i) {
+    EXPECT_EQ(events[static_cast<size_t>(i)].path, "/hold" + std::to_string(i));
+  }
+  EXPECT_EQ(fs_.Mds(0).changelog().RetainedCount(), 0u);
+}
+
+TEST_F(CollectorPipelineTest, CachedRenameStormKeepsPathsFresh) {
+  // Interleave renames of a hot parent with creates beneath it; with 8
+  // workers sharing the sharded cache, no published path may be stale.
+  auto config = Config(8);
+  config.resolve_mode = ResolveMode::kBatchedCached;
+  config.collect_endpoint = "inproc://pipeline.renames";
+  auto sub = context_.CreateSub(config.collect_endpoint, 8192);
+  sub->Subscribe("");
+  Collector collector(fs_, 0, profile_, authority_, context_, config);
+
+  ASSERT_TRUE(fs_.MkdirAll("/hot/r0").ok());
+  std::vector<std::string> expected{"/hot", "/hot/r0"};
+  std::string dir = "/hot/r0";
+  uint64_t journaled = 2;
+  collector.Start();
+  // fid2path resolves against the *current* namespace, so each round waits
+  // for its events to drain before the next rename — the deterministic
+  // expected path is then the directory's name at journal time. The
+  // workers still race each other within a round's batch of creates.
+  for (int round = 0; round < 12; ++round) {
+    for (int i = 0; i < 6; ++i) {
+      const std::string path = dir + "/f" + std::to_string(round) + "_" + std::to_string(i);
+      ASSERT_TRUE(fs_.Create(path).ok());
+      expected.push_back(path);
+      ++journaled;
+    }
+    WaitReported(collector, journaled);
+    const std::string next = "/hot/r" + std::to_string(round + 1);
+    ASSERT_TRUE(fs_.Rename(dir, next).ok());
+    expected.push_back(next);  // RENME event resolves to the *new* path
+    ++journaled;
+    WaitReported(collector, journaled);
+    dir = next;
+  }
+  collector.Stop();
+  const auto events = DrainEndpoint(*sub);
+  ASSERT_EQ(events.size(), expected.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].path, expected[i]) << "event " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sdci::monitor

@@ -76,5 +76,59 @@ TEST(EventStore, EmptyStore) {
   EXPECT_TRUE(store.Query(0, 10).empty());
 }
 
+// Regression for the binary-search QueryTimeRange: on monotone appends it
+// must return exactly what the linear scan did — boundary inclusivity,
+// duplicate timestamps, and the max cap included.
+TEST(EventStore, QueryTimeRangeMatchesLinearScan) {
+  EventStore store(64);
+  uint64_t seq = 0;
+  // Duplicate timestamps (several events per tick) and gaps.
+  for (int tick : {1, 1, 1, 4, 4, 9, 9, 9, 9, 12, 20, 20, 31}) {
+    auto event = EventWithSeq(++seq);
+    event.time = Micros(tick);
+    store.Append(event);
+  }
+  const auto scan = [&](VirtualTime from, VirtualTime to, size_t max) {
+    std::vector<uint64_t> seqs;
+    for (uint64_t s = 1; s <= seq && seqs.size() < max; ++s) {
+      const auto all = store.Query(s, 1);
+      if (!all.empty() && all[0].global_seq == s && all[0].time >= from &&
+          all[0].time < to) {
+        seqs.push_back(s);
+      }
+    }
+    return seqs;
+  };
+  for (const auto& [from, to] : std::vector<std::pair<int, int>>{
+           {0, 100}, {1, 1}, {1, 2}, {1, 9}, {9, 10}, {4, 21}, {31, 32}, {32, 99}}) {
+    const auto got = store.QueryTimeRange(Micros(from), Micros(to), 100);
+    const auto want = scan(Micros(from), Micros(to), 100);
+    ASSERT_EQ(got.size(), want.size()) << "range [" << from << "," << to << ")";
+    for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i].global_seq, want[i]);
+  }
+  // The max cap takes the *oldest* max matches, same as the scan always did.
+  const auto capped = store.QueryTimeRange(Micros(0), Micros(100), 4);
+  ASSERT_EQ(capped.size(), 4u);
+  EXPECT_EQ(capped[0].global_seq, 1u);
+  EXPECT_EQ(capped[3].global_seq, 4u);
+}
+
+TEST(EventStore, QueryTimeRangeSurvivesOutOfOrderAppends) {
+  EventStore store(64);
+  auto a = EventWithSeq(1);
+  a.time = Micros(50);
+  auto b = EventWithSeq(2);
+  b.time = Micros(10);  // time regression: store must fall back to scanning
+  auto c = EventWithSeq(3);
+  c.time = Micros(30);
+  store.Append(a);
+  store.Append(b);
+  store.Append(c);
+  const auto events = store.QueryTimeRange(Micros(10), Micros(40), 100);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].global_seq, 2u);
+  EXPECT_EQ(events[1].global_seq, 3u);
+}
+
 }  // namespace
 }  // namespace sdci::monitor

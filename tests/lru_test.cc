@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace sdci {
 namespace {
@@ -85,6 +89,107 @@ TEST(LruCache, ManyInsertsBounded) {
   EXPECT_EQ(cache.size(), 64u);
   // The newest 64 survive.
   for (int i = 1000 - 64; i < 1000; ++i) EXPECT_TRUE(cache.Get(i).has_value()) << i;
+}
+
+TEST(LruCache, EntriesMostRecentFirst) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  (void)cache.Get(1);
+  const auto entries = cache.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, 1);
+  EXPECT_EQ(entries[1].first, 2);
+}
+
+TEST(ShardedLruCache, PutGetAcrossShards) {
+  ShardedLruCache<int, std::string> cache(64, 4);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  for (int i = 0; i < 32; ++i) cache.Put(i, std::to_string(i));
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(cache.Get(i), std::to_string(i)) << i;
+  EXPECT_FALSE(cache.Get(99).has_value());
+  EXPECT_EQ(cache.size(), 32u);
+  EXPECT_GT(cache.HitRate(), 0.9);
+}
+
+TEST(ShardedLruCache, EraseAndClearBumpEpoch) {
+  ShardedLruCache<int, int> cache(16, 2);
+  const uint64_t e0 = cache.Epoch();
+  cache.Put(1, 1);
+  EXPECT_EQ(cache.Epoch(), e0) << "fills do not invalidate";
+  cache.Erase(1);
+  EXPECT_EQ(cache.Epoch(), e0 + 1);
+  cache.Clear();
+  EXPECT_EQ(cache.Epoch(), e0 + 2);
+}
+
+TEST(ShardedLruCache, PutIfCurrentDropsStaleFill) {
+  ShardedLruCache<int, int> cache(16, 2);
+  const uint64_t epoch = cache.Epoch();
+  // An invalidation lands while the (modeled) slow lookup is in flight.
+  cache.Erase(5);
+  EXPECT_FALSE(cache.PutIfCurrent(5, 50, epoch)) << "stale fill must drop";
+  EXPECT_FALSE(cache.Get(5).has_value());
+  // A fresh fill under the current epoch goes through.
+  EXPECT_TRUE(cache.PutIfCurrent(5, 51, cache.Epoch()));
+  EXPECT_EQ(cache.Get(5), 51);
+}
+
+TEST(ShardedLruCache, ClearDropsEverything) {
+  ShardedLruCache<int, int> cache(64, 8);
+  for (int i = 0; i < 40; ++i) cache.Put(i, i);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.Items().empty());
+}
+
+TEST(ShardedLruCache, ItemsSnapshotsAllShards) {
+  ShardedLruCache<int, int> cache(64, 8);
+  for (int i = 0; i < 20; ++i) cache.Put(i, i * 10);
+  auto items = cache.Items();
+  ASSERT_EQ(items.size(), 20u);
+  std::sort(items.begin(), items.end());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(items[static_cast<size_t>(i)].first, i);
+    EXPECT_EQ(items[static_cast<size_t>(i)].second, i * 10);
+  }
+}
+
+TEST(ShardedLruCache, CapacityDividesAcrossShards) {
+  ShardedLruCache<int, int> cache(8, 4);  // 2 entries per shard
+  for (int i = 0; i < 1000; ++i) cache.Put(i, i);
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(ShardedLruCache, ConcurrentFillsAndInvalidationsStayCoherent) {
+  ShardedLruCache<int, int> cache(256, 8);
+  constexpr int kKeys = 64;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> fillers;
+  fillers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    fillers.emplace_back([&, t] {
+      for (int round = 0; !stop.load(std::memory_order_relaxed); ++round) {
+        const int key = (round * 7 + t) % kKeys;
+        const uint64_t epoch = cache.Epoch();
+        cache.PutIfCurrent(key, key, epoch);  // value always == key
+        if (auto v = cache.Get(key)) {
+          EXPECT_EQ(*v, key);
+        }
+      }
+    });
+  }
+  std::thread invalidator([&] {
+    for (int i = 0; i < 200; ++i) {
+      cache.Erase(i % kKeys);
+      if (i % 50 == 0) cache.Clear();
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  invalidator.join();
+  for (auto& thread : fillers) thread.join();
+  for (const auto& [key, value] : cache.Items()) EXPECT_EQ(key, value);
 }
 
 }  // namespace

@@ -129,5 +129,92 @@ TEST(BoundedQueue, MoveOnlyItems) {
   EXPECT_EQ(**v, 9);
 }
 
+TEST(BoundedQueue, PushAllKeepsOrder) {
+  BoundedQueue<int> queue(8);
+  ASSERT_TRUE(queue.PushAll({1, 2, 3, 4, 5}).ok());
+  for (int i = 1; i <= 5; ++i) {
+    auto v = queue.Pop();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueue, PushAllLargerThanCapacityWavesThrough) {
+  BoundedQueue<int> queue(3);
+  std::vector<int> items(20);
+  std::iota(items.begin(), items.end(), 0);
+  std::thread consumer([&] {
+    for (int i = 0; i < 20; ++i) {
+      auto v = queue.Pop();
+      ASSERT_TRUE(v.ok());
+      EXPECT_EQ(*v, i) << "bulk order preserved across waves";
+    }
+  });
+  EXPECT_TRUE(queue.PushAll(std::move(items)).ok());
+  consumer.join();
+}
+
+TEST(BoundedQueue, PushAllFailsClosed) {
+  BoundedQueue<int> queue(4);
+  queue.Close();
+  EXPECT_EQ(queue.PushAll({1, 2}).code(), StatusCode::kClosed);
+}
+
+TEST(BoundedQueue, PopAllTakesUpToMax) {
+  BoundedQueue<int> queue(8);
+  ASSERT_TRUE(queue.PushAll({1, 2, 3, 4, 5}).ok());
+  auto first = queue.PopAll(3);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, (std::vector<int>{1, 2, 3}));
+  auto rest = queue.PopAll(100);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(*rest, (std::vector<int>{4, 5}));
+}
+
+TEST(BoundedQueue, PopAllZeroMaxTakesOne) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.PushAll({7, 8}).ok());
+  auto v = queue.PopAll(0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, std::vector<int>{7});
+}
+
+TEST(BoundedQueue, PopAllDrainsThenCloses) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.Push(1).ok());
+  queue.Close();
+  auto v = queue.PopAll(10);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, std::vector<int>{1});
+  EXPECT_EQ(queue.PopAll(10).status().code(), StatusCode::kClosed);
+}
+
+TEST(BoundedQueue, BulkProducerConsumerLosesNothing) {
+  BoundedQueue<int> queue(7);  // deliberately misaligned with batch sizes
+  constexpr int kBatches = 50;
+  constexpr int kPerBatch = 13;
+  std::atomic<int64_t> sum{0};
+  std::thread consumer([&] {
+    int64_t local = 0;
+    size_t seen = 0;
+    while (seen < kBatches * kPerBatch) {
+      auto items = queue.PopAll(5);
+      ASSERT_TRUE(items.ok());
+      seen += items->size();
+      for (int v : *items) local += v;
+    }
+    sum.store(local);
+  });
+  int next = 0;
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<int> batch(kPerBatch);
+    for (int& v : batch) v = next++;
+    ASSERT_TRUE(queue.PushAll(std::move(batch)).ok());
+  }
+  consumer.join();
+  const int64_t n = kBatches * kPerBatch;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
 }  // namespace
 }  // namespace sdci
