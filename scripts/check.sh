@@ -63,6 +63,18 @@ else
   run_suite "${TSAN_BUILD_DIR:-build-tsan}" \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  # The parallel-ingest data-race gates must actually have run under TSan
+  # (a silently filtered-out test would pass this script while proving
+  # nothing about the sharded hot path).
+  TSAN_LOG="${TSAN_BUILD_DIR:-build-tsan}/ctest-output.log"
+  for test_name in StatsStayConsistentUnderIngestLoad \
+                   ConcurrentTimeRangeQueriesMatchOracle \
+                   GroupCommitSurvivesMidCommitCrashes; do
+    if ! grep -q "$test_name" "$TSAN_LOG"; then
+      echo "FAIL: $test_name did not run in the TSan pass" >&2
+      exit 1
+    fi
+  done
 fi
 
 # Smoke-run the observability bench's JSON export. The bench's own exit
@@ -86,7 +98,9 @@ if [[ "$BENCH_JSON_OUT" == 1 ]]; then
   BENCH_BIN="$FIRST_DIR/bench/bench_throughput"
   [[ -x "build/bench/bench_throughput" ]] && BENCH_BIN="build/bench/bench_throughput"
   "$BENCH_BIN" --json BENCH_throughput.json
-  for key in workers_1_drain_rate workers_4_drain_rate speedup_4_workers; do
+  for key in workers_1_drain_rate workers_4_drain_rate speedup_4_workers \
+             fanin_4c_workers_1_drain_rate fanin_4c_workers_4_drain_rate \
+             aggregator_speedup_4_workers; do
     if ! grep -q "\"$key\"" BENCH_throughput.json; then
       echo "FAIL: BENCH_throughput.json is missing $key" >&2
       exit 1

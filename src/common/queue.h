@@ -127,6 +127,24 @@ class BoundedQueue {
     return out;
   }
 
+  // Non-blocking bulk pop: takes everything currently queued in one lock
+  // acquisition, never waits. Used by crash paths that model a process
+  // dropping its in-memory queues instantly (see Aggregator::Crash), and
+  // usable after Close to flush the remainder.
+  std::vector<T> TryPopAll() {
+    std::vector<T> out;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      out.reserve(items_.size());
+      while (!items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    not_full_.notify_all();
+    return out;
+  }
+
   // Non-blocking pop.
   std::optional<T> TryPop() {
     std::optional<T> out;

@@ -43,8 +43,10 @@ inline constexpr std::string_view kChangelogRead = "changelog.read";
 inline constexpr std::string_view kCollectorExtract = "collector.extract";
 inline constexpr std::string_view kFid2PathResolve = "fid2path.resolve";
 inline constexpr std::string_view kCollectorPublish = "collector.publish";
+inline constexpr std::string_view kAggregatorDecode = "aggregator.decode";
 inline constexpr std::string_view kAggregatorIngest = "aggregator.ingest";
 inline constexpr std::string_view kWalAppend = "wal.append";
+inline constexpr std::string_view kAggregatorCommit = "aggregator.commit";
 inline constexpr std::string_view kAggregatorPublish = "aggregator.publish";
 inline constexpr std::string_view kStoreAppend = "store.append";
 inline constexpr std::string_view kAgentRuleEval = "agent.rule_eval";

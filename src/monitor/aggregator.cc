@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "common/strings.h"
+#include "common/tracing.h"
 
 namespace sdci::monitor {
 
@@ -13,8 +14,7 @@ constexpr std::chrono::milliseconds kPollQuantum(5);
 constexpr size_t kBulkPop = 16;
 }  // namespace
 
-void AggregatorCheckpoint::Append(const EventBatch& batch, uint64_t next_seq) {
-  wal_.Append(batch);
+void AggregatorCheckpoint::AdvanceWatermark(uint64_t next_seq) {
   // Watermarks only ever advance; release pairs with NextSeq's acquire so a
   // restarted incarnation reading the watermark also sees the WAL append.
   uint64_t seen = next_seq_.load(std::memory_order_relaxed);
@@ -24,6 +24,21 @@ void AggregatorCheckpoint::Append(const EventBatch& batch, uint64_t next_seq) {
   }
 }
 
+void AggregatorCheckpoint::Append(const EventBatch& batch, uint64_t next_seq) {
+  wal_.Append(batch);
+  AdvanceWatermark(next_seq);
+}
+
+void AggregatorCheckpoint::Append(const std::vector<EventBatch>& group,
+                                  uint64_t next_seq) {
+  wal_.AppendGroup(group);
+  // The watermark moves only after the whole group is in the WAL: a crash
+  // between the two lines replays every batch of the group (sequences
+  // below the watermark are never lost, and a watermark past a sequence
+  // implies its batch is durable — no half-committed group is observable).
+  AdvanceWatermark(next_seq);
+}
+
 Aggregator::Aggregator(const lustre::TestbedProfile& profile,
                        const TimeAuthority& authority, msgq::Context& context,
                        AggregatorConfig config, AggregatorAttachments attachments)
@@ -31,11 +46,9 @@ Aggregator::Aggregator(const lustre::TestbedProfile& profile,
       authority_(&authority),
       config_(std::move(config)),
       checkpoint_(attachments.checkpoint),
-      store_(config_.store_capacity),
+      store_(config_.store_capacity, config_.store_shards),
       publish_queue_(config_.internal_queue),
       store_queue_(config_.internal_queue),
-      ingest_budget_(authority),
-      publish_budget_(authority),
       metrics_(config_.metrics != nullptr ? config_.metrics
                                           : std::make_shared<MetricsRegistry>()),
       tracer_(config_.tracer) {
@@ -46,6 +59,7 @@ Aggregator::Aggregator(const lustre::TestbedProfile& profile,
       metrics_->GetCounter("sdci_aggregator_batches_published_total");
   decode_errors_ = metrics_->GetCounter("sdci_aggregator_decode_errors_total");
   delivery_latency_ = metrics_->GetHistogram("sdci_aggregator_delivery_latency");
+  wal_group_size_ = metrics_->GetHistogram("sdci_aggregator_wal_group_size");
   received_base_ = received_->Get();
   batches_received_base_ = batches_received_->Get();
   published_base_ = published_->Get();
@@ -67,6 +81,34 @@ Aggregator::Aggregator(const lustre::TestbedProfile& profile,
         if (alive.expired()) return std::nullopt;
         return static_cast<int64_t>(store_queue_.size());
       });
+  // Decode tasks accepted but not yet picked up by a worker — the ingest
+  // pipeline's backlog between the receiver and the pool.
+  metrics_->RegisterCallback(
+      "sdci_aggregator_ingest_pool_depth", {},
+      [alive, this]() -> std::optional<int64_t> {
+        if (alive.expired()) return std::nullopt;
+        const std::lock_guard<std::mutex> lock(ingest_mutex_);
+        return decode_pool_ != nullptr
+                   ? static_cast<int64_t>(decode_pool_->QueueDepth())
+                   : 0;
+      });
+  // Decoded messages parked in the reorder buffer waiting for an earlier
+  // ticket (or for the sequencer to come around).
+  metrics_->RegisterCallback(
+      "sdci_aggregator_reorder_occupancy", {},
+      [alive, this]() -> std::optional<int64_t> {
+        if (alive.expired()) return std::nullopt;
+        const std::lock_guard<std::mutex> lock(ingest_mutex_);
+        return static_cast<int64_t>(decoded_.size());
+      });
+  for (size_t i = 0; i < store_.shards(); ++i) {
+    metrics_->RegisterCallback(
+        "sdci_aggregator_store_shard_events", {{"shard", std::to_string(i)}},
+        [alive, this, i]() -> std::optional<int64_t> {
+          if (alive.expired()) return std::nullopt;
+          return static_cast<int64_t>(store_.ShardSize(i));
+        });
+  }
   if (config_.transport == CollectTransport::kPubSub) {
     if (attachments.ingest_sub != nullptr) {
       sub_ = std::move(attachments.ingest_sub);
@@ -101,7 +143,17 @@ Aggregator::~Aggregator() {
 
 void Aggregator::Start() {
   if (running_.exchange(true)) return;
-  ingest_thread_ = std::jthread([this](const std::stop_token& stop) { IngestLoop(stop); });
+  {
+    const std::lock_guard<std::mutex> lock(ingest_mutex_);
+    decode_pool_ = std::make_unique<ThreadPool>(IngestWorkers(), IngestWindow());
+    worker_budgets_.clear();
+    for (size_t i = 0; i < IngestWorkers(); ++i) {
+      worker_budgets_.push_back(std::make_unique<DelayBudget>(*authority_));
+    }
+  }
+  receive_thread_ =
+      std::jthread([this](const std::stop_token& stop) { ReceiveLoop(stop); });
+  sequencer_thread_ = std::jthread([this] { SequencerLoop(); });
   publish_thread_ = std::jthread([this] { PublishLoop(); });
   store_thread_ = std::jthread([this] { StoreLoop(); });
   api_thread_ = std::jthread([this](const std::stop_token& stop) { ApiLoop(stop); });
@@ -109,10 +161,20 @@ void Aggregator::Start() {
 
 void Aggregator::Stop() {
   if (!running_.exchange(false)) return;
-  // Stop ingestion first; its final drain closes the internal queues, so
-  // publish/store exit once they have emptied them.
-  ingest_thread_.request_stop();
-  if (ingest_thread_.joinable()) ingest_thread_.join();
+  // Stop ingestion front-to-back: the receiver's final drain empties the
+  // sockets, the pool shutdown drains every accepted decode task, and the
+  // sequencer exits once it has released every assigned ticket — only
+  // then do the internal queues close, so publish/store exit after
+  // emptying them.
+  receive_thread_.request_stop();
+  if (receive_thread_.joinable()) receive_thread_.join();
+  if (decode_pool_ != nullptr) decode_pool_->Shutdown();
+  {
+    const std::lock_guard<std::mutex> lock(ingest_mutex_);
+    receiver_done_ = true;
+  }
+  ingest_cv_.notify_all();
+  if (sequencer_thread_.joinable()) sequencer_thread_.join();
   publish_queue_.Close();
   store_queue_.Close();
   if (publish_thread_.joinable()) publish_thread_.join();
@@ -132,15 +194,28 @@ void Aggregator::Stop() {
 void Aggregator::Crash() {
   if (!running_.exchange(false)) return;
   crashed_.store(true, std::memory_order_release);
-  // No graceful drain: each loop notices crashed_ at its next iteration
-  // boundary and bails. Whatever sits in the internal queues afterwards is
-  // simply dropped — the events a real crash would lose from process
-  // memory. (They were checkpointed at ingest, so the next incarnation's
+  // No graceful socket drain: the receiver bails at its next iteration
+  // boundary. Messages it already ticketed still flow through decode and
+  // the sequencer's checkpoint commit (see the header comment: the
+  // collector purged those records at hand-off, so they must reach the
+  // WAL). The sequencer skips the publish/store hand-off while crashed,
+  // and whatever the queues already held is flushed unprocessed — the
+  // events a real crash would lose from process memory. (They were
+  // checkpointed before becoming visible, so the next incarnation's
   // history API can still serve them to gap-healing subscribers.)
-  ingest_thread_.request_stop();
-  if (ingest_thread_.joinable()) ingest_thread_.join();
+  receive_thread_.request_stop();
+  if (receive_thread_.joinable()) receive_thread_.join();
+  if (decode_pool_ != nullptr) decode_pool_->Shutdown();
+  {
+    const std::lock_guard<std::mutex> lock(ingest_mutex_);
+    receiver_done_ = true;
+  }
+  ingest_cv_.notify_all();
+  if (sequencer_thread_.joinable()) sequencer_thread_.join();
   publish_queue_.Close();
   store_queue_.Close();
+  publish_queue_.TryPopAll();  // process memory, dropped on the floor
+  store_queue_.TryPopAll();
   if (publish_thread_.joinable()) publish_thread_.join();
   if (store_thread_.joinable()) store_thread_.join();
   api_thread_.request_stop();
@@ -148,7 +223,7 @@ void Aggregator::Crash() {
   if (api_thread_.joinable()) api_thread_.join();
 }
 
-void Aggregator::IngestLoop(const std::stop_token& stop) {
+void Aggregator::ReceiveLoop(const std::stop_token& stop) {
   const auto receive = [&]() -> Result<msgq::Message> {
     if (sub_ != nullptr) return sub_->ReceiveFor(kPollQuantum);
     return pull_->PullFor(kPollQuantum);
@@ -158,8 +233,8 @@ void Aggregator::IngestLoop(const std::stop_token& stop) {
   int idle_rounds_after_stop = 0;
   while (true) {
     // The crash point sits *before* receive: once a message is popped off
-    // the (incarnation-surviving) ingest socket it is processed through
-    // the checkpoint append below, because the collector purged its
+    // the (incarnation-surviving) ingest socket it is ticketed and runs
+    // through the checkpoint commit, because the collector purged its
     // records when the socket accepted the hand-off.
     if (crashed_.load(std::memory_order_acquire)) break;
     auto message = receive();
@@ -169,85 +244,184 @@ void Aggregator::IngestLoop(const std::stop_token& stop) {
       continue;
     }
     idle_rounds_after_stop = 0;
-    const VirtualTime ingest_start =
-        tracer_ != nullptr ? authority_->Now() : VirtualTime{};
-    // Decode the collector message exactly once; everything downstream
-    // shares the decoded batch. Zero-event payloads are hostile (the wire
-    // contract is >= 1 event) and counted with the malformed ones.
-    auto events = DecodeEventBatch(message->bytes());
-    if (!events.ok() || events->empty()) {
-      decode_errors_->Add();
-      continue;
+    uint64_t ticket = 0;
+    {
+      // Window backpressure: never run more than IngestWindow() tickets
+      // ahead of the sequencer, so a stalled commit pushes back on the
+      // socket (and through it, the collectors) instead of buffering
+      // decoded batches without bound. No crashed_ check here — the
+      // sequencer keeps releasing tickets during a crash, so the wait
+      // always makes progress, and this message must not be dropped.
+      std::unique_lock<std::mutex> lock(ingest_mutex_);
+      ingest_cv_.wait(lock, [&] {
+        return next_ticket_ - commit_ticket_ < IngestWindow();
+      });
+      ticket = next_ticket_++;
     }
-    const auto count = static_cast<uint64_t>(events->size());
-    ingest_budget_.Charge(profile_.aggregator_ingest_latency *
-                          static_cast<int64_t>(count));
-    // One sequence range per batch: one atomic op instead of one per event.
-    const uint64_t base = next_seq_.fetch_add(count, std::memory_order_relaxed);
-    for (uint64_t i = 0; i < count; ++i) (*events)[i].global_seq = base + i;
-    received_->Add(count);
-    batches_received_->Add();
+    (void)decode_pool_->Submit(
+        [this, ticket, message = std::move(message.value())](size_t worker) mutable {
+          DecodeTask(ticket, std::move(message), worker);
+        });
+  }
+}
 
-    // Traced events re-parent onto this stage's ingest span before the
-    // batch freezes, so the published wire bytes (and the JSON the history
-    // API serves) carry the aggregator-side span to hang consumers off.
-    struct PendingSpan {
-      uint64_t trace_id, parent, span_id;
-    };
-    std::vector<PendingSpan> pending;
+void Aggregator::DecodeTask(uint64_t ticket, msgq::Message message, size_t worker) {
+  DecodedMessage out;
+  out.decode_start = tracer_ != nullptr ? authority_->Now() : VirtualTime{};
+  // Decode the collector message exactly once; everything downstream
+  // shares the decoded batch. Zero-event payloads are hostile (the wire
+  // contract is >= 1 event) and counted with the malformed ones.
+  auto events = DecodeEventBatch(message.bytes());
+  if (events.ok() && !events->empty()) {
+    out.ok = true;
+    out.events = std::move(events.value());
+    // The modeled per-event ingest cost lands on this worker's budget:
+    // with N workers the latency overlaps N-ways, which is exactly the
+    // concurrency the decode pool exists to buy.
+    DelayBudget& budget = *worker_budgets_[worker];
+    budget.Charge(profile_.aggregator_ingest_latency *
+                  static_cast<int64_t>(out.events.size()));
+    budget.Flush();
     if (tracer_ != nullptr) {
-      for (FsEvent& event : *events) {
+      // Each traced event gets a decode span hung off the collector's
+      // publish span; the sequencer re-parents the event onto its ingest
+      // span next, keeping the chain publish -> decode -> ingest.
+      out.decode_end = authority_->Now();
+      for (FsEvent& event : out.events) {
         if (event.trace_id == 0) continue;
         const uint64_t span_id = tracer_->NewSpanId();
-        pending.push_back({event.trace_id, event.parent_span, span_id});
+        tracer_->RecordSpan({event.trace_id, span_id, event.parent_span,
+                             std::string(trace::kAggregatorDecode), "aggregator",
+                             out.decode_start, out.decode_end - out.decode_start});
         event.parent_span = span_id;
       }
     }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(ingest_mutex_);
+    decoded_.emplace(ticket, std::move(out));
+  }
+  ingest_cv_.notify_all();
+}
 
-    EventBatch batch(std::move(events.value()));
-    if (!pending.empty()) {
+void Aggregator::SequencerLoop() {
+  while (true) {
+    std::vector<DecodedMessage> group;
+    {
+      std::unique_lock<std::mutex> lock(ingest_mutex_);
+      ingest_cv_.wait(lock, [&] {
+        return decoded_.count(commit_ticket_) > 0 ||
+               (receiver_done_ && commit_ticket_ == next_ticket_);
+      });
+      if (decoded_.count(commit_ticket_) == 0) break;  // drained and done
+      // Opportunistic group commit: fold every already-decoded consecutive
+      // ticket (up to wal_group_max) into one release. A lone ready ticket
+      // goes through alone — the group never waits to fill.
+      const size_t group_max = config_.wal_group_max == 0 ? 1 : config_.wal_group_max;
+      while (group.size() < group_max) {
+        const auto it = decoded_.find(commit_ticket_);
+        if (it == decoded_.end()) break;
+        group.push_back(std::move(it->second));
+        decoded_.erase(it);
+        ++commit_ticket_;
+      }
+    }
+    ingest_cv_.notify_all();  // window space freed for the receiver
+    SequenceAndCommit(std::move(group));
+  }
+}
+
+void Aggregator::SequenceAndCommit(std::vector<DecodedMessage> group) {
+  // Traced events re-parent onto this stage's ingest span before their
+  // batch freezes, so the published wire bytes (and the JSON the history
+  // API serves) carry the aggregator-side span to hang consumers off.
+  struct PendingSpan {
+    uint64_t trace_id, span_id;
+  };
+  std::vector<PendingSpan> pending;  // whole group, for wal/commit spans
+  std::vector<EventBatch> batches;
+  std::vector<EventBatch> publish_batches;  // type-homogeneous sub-batches
+  batches.reserve(group.size());
+  uint64_t watermark = 0;
+  for (DecodedMessage& item : group) {
+    if (!item.ok) {
+      decode_errors_->Add();
+      continue;
+    }
+    const auto count = static_cast<uint64_t>(item.events.size());
+    const VirtualTime ingest_start =
+        tracer_ != nullptr ? authority_->Now() : VirtualTime{};
+    // One sequence range per batch, assigned in arrival (ticket) order by
+    // this single sequencer: one atomic op instead of one per event, and
+    // global_seq stays monotone in publication order no matter how many
+    // decode workers raced ahead.
+    const uint64_t base = next_seq_.fetch_add(count, std::memory_order_relaxed);
+    watermark = base + count;
+    for (uint64_t i = 0; i < count; ++i) item.events[i].global_seq = base + i;
+    received_->Add(count);
+    batches_received_->Add();
+    if (tracer_ != nullptr) {
       const VirtualTime ingest_end = authority_->Now();
-      for (const PendingSpan& span : pending) {
-        tracer_->RecordSpan({span.trace_id, span.span_id, span.parent,
+      for (FsEvent& event : item.events) {
+        if (event.trace_id == 0) continue;
+        const uint64_t span_id = tracer_->NewSpanId();
+        tracer_->RecordSpan({event.trace_id, span_id, event.parent_span,
                              std::string(trace::kAggregatorIngest), "aggregator",
                              ingest_start, ingest_end - ingest_start});
+        event.parent_span = span_id;
+        pending.push_back({event.trace_id, span_id});
       }
     }
-    // Write-ahead: the batch (and the advanced watermark) reach the
-    // checkpoint before either downstream thread can see it, so every
-    // assigned global_seq survives a crash even if the publish/store
-    // queues die with this incarnation.
-    if (checkpoint_ != nullptr) {
-      const VirtualTime wal_start =
-          pending.empty() ? VirtualTime{} : authority_->Now();
-      checkpoint_->Append(batch, base + count);
-      if (!pending.empty()) {
-        const VirtualTime wal_end = authority_->Now();
-        for (const PendingSpan& span : pending) {
-          tracer_->Record(span.trace_id, span.span_id, trace::kWalAppend,
-                          "aggregator", wal_start, wal_end);
-        }
-      }
-    }
-    // Hand off to both downstream threads. Blocking pushes propagate
-    // backpressure to the collectors ("no loss of events once they have
-    // been processed"). The publish side gets type-homogeneous sub-batches
-    // so per-type topics keep working; a homogeneous batch is shared with
-    // the store queue outright (two refcount bumps, zero event copies).
-    // The sub-batches go in as one bulk push: one lock acquisition and one
-    // consumer wake for the whole group, instead of one of each per type.
-    if (!publish_queue_.PushAll(batch.SplitByType()).ok()) return;
-    if (!store_queue_.Push(std::move(batch)).ok()) return;
-    ingest_budget_.Flush();
+    EventBatch batch(std::move(item.events));
+    // Split before the WAL append so the publish queue receives batches
+    // that share this batch's events; the homogeneous case is two
+    // refcount bumps, zero event copies.
+    auto subs = batch.SplitByType();
+    publish_batches.insert(publish_batches.end(),
+                           std::make_move_iterator(subs.begin()),
+                           std::make_move_iterator(subs.end()));
+    batches.push_back(std::move(batch));
   }
-  ingest_budget_.Flush();
+  if (batches.empty()) return;
+  // Write-ahead: the whole group (and the advanced watermark) reach the
+  // checkpoint before any batch becomes visible downstream, so every
+  // assigned global_seq survives a crash even if the publish/store
+  // queues die with this incarnation.
+  if (checkpoint_ != nullptr) {
+    if (config_.commit_hook) config_.commit_hook(batches.size());
+    const VirtualTime commit_start =
+        tracer_ != nullptr && !pending.empty() ? authority_->Now() : VirtualTime{};
+    checkpoint_->Append(batches, watermark);
+    wal_group_size_->Record(VirtualDuration(static_cast<int64_t>(batches.size())));
+    if (tracer_ != nullptr && !pending.empty()) {
+      const VirtualTime commit_end = authority_->Now();
+      for (const PendingSpan& span : pending) {
+        tracer_->Record(span.trace_id, span.span_id, trace::kAggregatorCommit,
+                        "aggregator", commit_start, commit_end);
+        tracer_->Record(span.trace_id, span.span_id, trace::kWalAppend,
+                        "aggregator", commit_start, commit_end);
+      }
+    }
+  }
+  // On crash the hand-off is skipped: the group is durable in the WAL (the
+  // next incarnation's history API serves it) but this process's queues
+  // are dead memory.
+  if (crashed_.load(std::memory_order_acquire)) return;
+  // Hand off to both downstream threads, in ticket order. Blocking pushes
+  // propagate backpressure to the collectors ("no loss of events once
+  // they have been processed"). The publish side gets type-homogeneous
+  // sub-batches so per-type topics keep working. One bulk push per queue
+  // for the whole group: one lock acquisition and one consumer wake,
+  // instead of one of each per batch.
+  if (!publish_queue_.PushAll(std::move(publish_batches)).ok()) return;
+  (void)store_queue_.PushAll(std::move(batches));
 }
 
 void Aggregator::PublishLoop() {
   while (true) {
     // Bulk pop: under collector fan-in the queue runs non-empty, and taking
     // everything available in one lock acquisition keeps this loop off the
-    // ingest thread's critical path. Crash semantics are per batch below.
+    // sequencer's critical path. Crash semantics are per batch below.
     auto batches = publish_queue_.PopAll(kBulkPop);
     if (!batches.ok()) break;  // closed and drained
     for (EventBatch& batch : *batches) {
@@ -340,6 +514,10 @@ void Aggregator::HandleApiRequest(msgq::Request& request) {
 }
 
 AggregatorStats Aggregator::Stats() const {
+  // Every field reads an atomic (registry counters, the store's append
+  // counter, the checkpoint's WAL totals) or a value written once at
+  // construction (restored_events_), so a snapshot taken while the
+  // parallel ingest path is mutating them is stale at worst, never torn.
   AggregatorStats stats;
   stats.received = received_->Get() - received_base_;
   stats.batches_received = batches_received_->Get() - batches_received_base_;
@@ -348,6 +526,7 @@ AggregatorStats Aggregator::Stats() const {
   stats.stored = store_.TotalAppended() - restored_events_;
   stats.decode_errors = decode_errors_->Get() - decode_errors_base_;
   stats.checkpointed = checkpoint_ != nullptr ? checkpoint_->TotalAppended() : 0;
+  stats.wal_commits = checkpoint_ != nullptr ? checkpoint_->Commits() : 0;
   return stats;
 }
 
@@ -359,12 +538,14 @@ ResourceUsage Aggregator::Usage(VirtualDuration elapsed) const {
   usage.cpu_percent =
       span <= 0 ? 0
                 : 100.0 * received * ToSecondsF(profile_.aggregator_cpu_per_event) / span;
-  usage.pipeline_busy_percent =
-      span <= 0 ? 0
-                : 100.0 *
-                      (ToSecondsF(ingest_budget_.TotalCharged()) +
-                       ToSecondsF(publish_budget_.TotalCharged())) /
-                      span;
+  double busy_seconds = 0;
+  {
+    const std::lock_guard<std::mutex> lock(ingest_mutex_);
+    for (const auto& budget : worker_budgets_) {
+      busy_seconds += ToSecondsF(budget->TotalCharged());
+    }
+  }
+  usage.pipeline_busy_percent = span <= 0 ? 0 : 100.0 * busy_seconds / span;
   // Footprint is dominated by the local event store (as in the paper).
   usage.peak_memory_bytes = store_.memory().PeakBytes() + (1u << 20);
   return usage;

@@ -4,22 +4,44 @@
 // sequence per batch, and — on separate threads, as in the paper ("the
 // Aggregator is multi-threaded") — publishes batches to all subscribed
 // consumers and appends them to the rotating EventStore. Batches stay
-// batches end-to-end: the ingest thread decodes a collector message once,
-// the publish thread re-encodes at most once per type group (so consumer
-// topic prefix filters like "fsevent.CREAT" keep working), and the two
+// batches end-to-end: decode happens once per collector message, the
+// publish thread re-encodes at most once per type group (so consumer
+// topic prefix filters like "fsevent.CREAT" keep working), and the
 // internal queues share one EventBatch representation instead of copying
 // per-event. A REQ/REP API serves historic events so a consumer that
 // crashed can recover its gap.
+//
+// The ingest hot path is itself a pipeline (the scale-out answer to
+// multi-MDS fan-in):
+//
+//   receiver ── tickets ──> decode pool (ingest_workers) ──> sequencer
+//
+// The receiver pops collector messages off the socket and stamps each
+// with a ticket (its arrival order); a worker pool decodes payloads and
+// extracts trace context concurrently; a single cheap sequencer releases
+// tickets in arrival order, assigns each batch its global_seq range,
+// group-commits up to wal_group_max consecutive batches to the
+// checkpoint WAL under one lock acquisition, and hands the batches to
+// the publish/store threads. Every externally visible contract of the
+// serial loop is preserved: global_seq is monotone in arrival order,
+// publication order matches sequence order, and the write-ahead
+// discipline (WAL before visibility, watermark after the group commits)
+// keeps the PR 2 crash/backfill semantics intact.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/queue.h"
 #include "common/resource.h"
+#include "common/thread_pool.h"
 #include "lustre/profile.h"
 #include "monitor/collector.h"
 #include "monitor/event.h"
@@ -36,6 +58,19 @@ struct AggregatorConfig {
   size_t store_capacity = 200000;  // rotating catalog, in events
   size_t internal_queue = 65536;   // depth of the publish/store hand-off, in batches
   size_t ingest_hwm = 65536;       // collector->aggregator socket depth
+  // Ingest decode worker pool size. 1 keeps the pipeline but decodes
+  // serially (bit-for-bit the historical ordering); >1 overlaps decode
+  // latency across collector messages while the sequencer re-establishes
+  // arrival order.
+  size_t ingest_workers = 1;
+  // Lock stripes in the EventStore (see EventStore). 1 == the historical
+  // single-lock store with exact rotation boundaries.
+  size_t store_shards = 1;
+  // Max consecutive ready batches the sequencer folds into one checkpoint
+  // WAL commit. Group commit is opportunistic — a lone ready batch
+  // commits immediately; the group only grows with what is already
+  // decoded — so it amortizes lock traffic without adding latency.
+  size_t wal_group_max = 16;
   // Shared observability plumbing (see CollectorConfig). When a supervisor
   // restarts the aggregator with the same registry, the new incarnation
   // re-acquires the same instruments, so registry series are
@@ -46,6 +81,10 @@ struct AggregatorConfig {
   // "[health] decode_errors=" marker line scripts/check.sh greps for.
   // Tests that feed intentionally malformed payloads raise it.
   uint64_t expected_decode_errors = 0;
+  // Test seam: runs on the sequencer thread immediately before a group of
+  // `batches` batches is committed to the checkpoint WAL. Chaos tests use
+  // it to line crashes up with the commit edge.
+  std::function<void(size_t batches)> commit_hook;
 };
 
 struct AggregatorStats {
@@ -56,12 +95,13 @@ struct AggregatorStats {
   uint64_t stored = 0;             // events appended to the catalog
   uint64_t decode_errors = 0;      // malformed or zero-event payloads
   uint64_t checkpointed = 0;       // events persisted to the checkpoint WAL
+  uint64_t wal_commits = 0;        // checkpoint lock acquisitions (group commits)
 };
 
 // The durable half of an aggregator deployment, owned by whoever
 // supervises it and handed to each incarnation. Models stable storage the
 // way the ChangeLog models the MDS journal: kept in memory, but with
-// write-ahead discipline — the ingest thread appends every batch (and the
+// write-ahead discipline — the sequencer appends every batch (and the
 // advanced sequence watermark) *before* the batch becomes visible to the
 // publish/store threads, so any event whose global_seq was ever assigned
 // survives a crash. A restarted incarnation restores next_seq from the
@@ -76,14 +116,23 @@ class AggregatorCheckpoint {
   // last assigned sequence).
   void Append(const EventBatch& batch, uint64_t next_seq);
 
+  // Group commit: the whole group becomes durable under one WAL lock
+  // acquisition, and the watermark advances only after every batch in the
+  // group is appended — a crash (or a restore racing the commit) can see
+  // the pre-group or post-group state, never half a group.
+  void Append(const std::vector<EventBatch>& group, uint64_t next_seq);
+
   [[nodiscard]] uint64_t NextSeq() const noexcept {
     return next_seq_.load(std::memory_order_acquire);
   }
   [[nodiscard]] std::vector<EventBatch> WalSnapshot() const { return wal_.Snapshot(); }
   [[nodiscard]] uint64_t TotalAppended() const { return wal_.TotalAppended(); }
   [[nodiscard]] size_t EventCount() const { return wal_.EventCount(); }
+  [[nodiscard]] uint64_t Commits() const { return wal_.Commits(); }
 
  private:
+  void AdvanceWatermark(uint64_t next_seq);
+
   EventWal wal_;
   std::atomic<uint64_t> next_seq_{1};
 };
@@ -110,7 +159,8 @@ class Aggregator {
   Aggregator(const Aggregator&) = delete;
   Aggregator& operator=(const Aggregator&) = delete;
 
-  // Starts ingest, publish, store and API threads. Idempotent.
+  // Starts receiver, decode pool, sequencer, publish, store and API
+  // threads. Idempotent.
   void Start();
 
   // Drains in-flight events, then stops and joins all threads.
@@ -119,9 +169,12 @@ class Aggregator {
   // Simulated process crash: threads are torn down *without* the graceful
   // drain Stop() performs. Batches sitting in the internal publish/store
   // queues are discarded — exactly what a real crash loses — leaving
-  // subscribers with a sequence gap to heal from the history API. The
-  // attached ingest socket (if any) is left open for the next incarnation;
-  // a Stop() after Crash() is a no-op.
+  // subscribers with a sequence gap to heal from the history API.
+  // Messages already popped off the (incarnation-surviving) ingest socket
+  // still run through the checkpoint commit first: the collector purged
+  // its records when the socket accepted the hand-off, so dropping them
+  // here would lose them forever. The attached ingest socket (if any) is
+  // left open for the next incarnation; a Stop() after Crash() is a no-op.
   void Crash();
 
   [[nodiscard]] AggregatorStats Stats() const;
@@ -141,7 +194,34 @@ class Aggregator {
   }
 
  private:
-  void IngestLoop(const std::stop_token& stop);
+  // One collector message after the decode stage, keyed by ticket in the
+  // sequencer's reorder buffer. `ok` is false for malformed or zero-event
+  // payloads (counted as decode errors when the ticket is released, so
+  // the error counter stays in arrival order too).
+  struct DecodedMessage {
+    bool ok = false;
+    std::vector<FsEvent> events;
+    VirtualTime decode_start{};
+    VirtualTime decode_end{};
+  };
+
+  [[nodiscard]] size_t IngestWorkers() const noexcept {
+    return config_.ingest_workers == 0 ? 1 : config_.ingest_workers;
+  }
+  // In-flight tickets the receiver may be ahead of the sequencer: bounds
+  // the reorder buffer (and decode queue) so a stalled commit backpressures
+  // the socket instead of buffering without limit.
+  [[nodiscard]] size_t IngestWindow() const noexcept {
+    return std::max<size_t>(16, 4 * IngestWorkers());
+  }
+
+  void ReceiveLoop(const std::stop_token& stop);
+  void DecodeTask(uint64_t ticket, msgq::Message message, size_t worker);
+  void SequencerLoop();
+  // Assigns sequence ranges, records ingest spans, group-commits to the
+  // checkpoint and hands the batches downstream. `group` is consecutive
+  // tickets in arrival order.
+  void SequenceAndCommit(std::vector<DecodedMessage> group);
   void PublishLoop();
   void StoreLoop();
   void ApiLoop(const std::stop_token& stop);
@@ -162,8 +242,23 @@ class Aggregator {
   BoundedQueue<EventBatch> publish_queue_;
   BoundedQueue<EventBatch> store_queue_;
 
-  DelayBudget ingest_budget_;
-  DelayBudget publish_budget_;
+  // Ticketed reorder state between receiver, decode workers and the
+  // sequencer (the PR 4 collector pattern). next_ticket_ is the receiver's
+  // arrival stamp; commit_ticket_ is the next ticket the sequencer will
+  // release. All guarded by ingest_mutex_; ingest_cv_ covers "ticket
+  // ready" (workers -> sequencer) and "window space" (sequencer ->
+  // receiver) alike.
+  mutable std::mutex ingest_mutex_;
+  std::condition_variable ingest_cv_;
+  std::map<uint64_t, DecodedMessage> decoded_;
+  uint64_t next_ticket_ = 0;
+  uint64_t commit_ticket_ = 0;
+  bool receiver_done_ = false;
+  std::unique_ptr<ThreadPool> decode_pool_;  // created in Start()
+  // One budget per decode worker (DelayBudget is single-threaded): the
+  // modeled per-event ingest latency accrues per worker, so it overlaps
+  // across workers exactly like the real decode work would.
+  std::vector<std::unique_ptr<DelayBudget>> worker_budgets_;
 
   std::atomic<uint64_t> next_seq_{1};
 
@@ -178,6 +273,10 @@ class Aggregator {
   std::shared_ptr<Counter> batches_published_;
   std::shared_ptr<Counter> decode_errors_;
   std::shared_ptr<LatencyHistogram> delivery_latency_;
+  // Batches per checkpoint group commit, encoded as a count (1 "ns" == 1
+  // batch): the registry's histogram type is the latency histogram, and
+  // the power-of-two buckets bin small counts exactly.
+  std::shared_ptr<LatencyHistogram> wal_group_size_;
   uint64_t received_base_ = 0;
   uint64_t batches_received_base_ = 0;
   uint64_t published_base_ = 0;
@@ -189,7 +288,8 @@ class Aggregator {
 
   std::shared_ptr<trace::Tracer> tracer_;
 
-  std::jthread ingest_thread_;
+  std::jthread receive_thread_;
+  std::jthread sequencer_thread_;
   std::jthread publish_thread_;
   std::jthread store_thread_;
   std::jthread api_thread_;

@@ -36,6 +36,12 @@ AggregatorSupervisor::AggregatorSupervisor(const lustre::TestbedProfile& profile
         if (alive.expired()) return std::nullopt;
         return static_cast<int64_t>(checkpoint_.EventCount());
       });
+  metrics_->RegisterCallback(
+      "sdci_aggregator_checkpoint_commits", {},
+      [alive, this]() -> std::optional<int64_t> {
+        if (alive.expired()) return std::nullopt;
+        return static_cast<int64_t>(checkpoint_.Commits());
+      });
   // Bind the ingest socket once, outside any incarnation. Its queue is the
   // "network" between collectors and the aggregator service: hand-offs
   // accepted here survive a crash of the process behind it.
@@ -134,7 +140,11 @@ AggregatorStats AggregatorSupervisor::Stats() const {
     stats.stored += current.stored;
     stats.decode_errors += current.decode_errors;
   }
+  // Checkpoint-sourced fields are cumulative by construction (the
+  // checkpoint outlives every incarnation), so they are read fresh rather
+  // than banked in totals_.
   stats.checkpointed = checkpoint_.TotalAppended();
+  stats.wal_commits = checkpoint_.Commits();
   return stats;
 }
 

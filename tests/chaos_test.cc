@@ -217,5 +217,109 @@ TEST(Chaos, ExactlyOnceActionsSurviveAggregatorCrashes) {
   EXPECT_EQ(agent.Stats().report_failures, 0u);
 }
 
+// Crash the aggregator *inside* a group commit. The commit_hook runs on
+// the sequencer thread between sequencing a group and its WAL append;
+// stalling there while a crasher thread fires InjectCrash makes the crash
+// flag appear mid-commit. The write-ahead contract under test: the WAL
+// either has all of a group or none of it, the replay watermark never
+// advances past a half-committed group, and the history API serves the
+// full stream back with no duplicated or skipped global_seq — even with
+// 4 decode workers and 4 store shards churning underneath.
+TEST(Chaos, GroupCommitSurvivesMidCommitCrashes) {
+  TimeAuthority authority(2000.0);
+  const auto profile = lustre::TestbedProfile::Test();
+  msgq::Context context;
+
+  monitor::AggregatorConfig agg_config;
+  agg_config.store_capacity = 1u << 20;
+  agg_config.ingest_workers = 4;
+  agg_config.store_shards = 4;
+  agg_config.wal_group_max = 8;
+  std::atomic<uint64_t> commits{0};
+  std::atomic<bool> crash_window{false};
+  agg_config.commit_hook = [&](size_t) {
+    if ((commits.fetch_add(1, std::memory_order_relaxed) + 1) % 20 == 0) {
+      crash_window.store(true, std::memory_order_release);
+      // Hold the sequencer here so the crash lands before this group's
+      // WAL append. The hook must NOT inject the crash itself: Crash()
+      // joins the sequencer thread, which is the thread running the hook.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  };
+  monitor::AggregatorSupervisorConfig agg_sup_config;
+  agg_sup_config.check_interval = Millis(20);
+  agg_sup_config.crash_prob_per_check = 0;  // only deliberate crashes
+  monitor::AggregatorSupervisor agg_supervisor(profile, authority, context,
+                                               agg_config, agg_sup_config);
+  agg_supervisor.Start();
+  std::jthread crasher([&](const std::stop_token& stop) {
+    while (!stop.stop_requested()) {
+      if (crash_window.exchange(false, std::memory_order_acq_rel)) {
+        agg_supervisor.InjectCrash();
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  // Feed straight into the (incarnation-independent) collect socket.
+  constexpr int kBatches = 300;
+  constexpr int kBatchSize = 8;
+  constexpr uint64_t kTotal = uint64_t{kBatches} * kBatchSize;
+  auto pub = context.CreatePub(agg_config.collect_endpoint);
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<monitor::FsEvent> batch;
+    for (int i = 0; i < kBatchSize; ++i) {
+      monitor::FsEvent event;
+      event.mdt_index = 0;
+      event.record_index = static_cast<uint64_t>(b * kBatchSize + i);
+      event.type = lustre::ChangeLogType::kCreate;
+      event.time = Micros(b * kBatchSize + i);
+      event.path = "/chaos/f" + std::to_string(b * kBatchSize + i);
+      batch.push_back(std::move(event));
+    }
+    pub->Publish(msgq::Message("collect.mdt0", monitor::EncodeEventBatch(batch)));
+    if (b % 30 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  // Every handed-off event must reach the WAL, across however many
+  // incarnations that takes.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (agg_supervisor.Stats().checkpointed < kTotal &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  crasher.request_stop();
+  crasher.join();
+
+  const monitor::AggregatorStats stats = agg_supervisor.Stats();
+  EXPECT_EQ(stats.checkpointed, kTotal);
+  EXPECT_GT(agg_supervisor.crashes(), 0u) << "no crash ever hit a commit window";
+  EXPECT_EQ(agg_supervisor.crashes(), agg_supervisor.restarts());
+
+  // Page the whole stream back through the history API (served by the
+  // store the current incarnation rebuilt from the WAL): exactly 1..N,
+  // contiguous — a skipped seq means the watermark ran ahead of a lost
+  // group, a duplicate means a group was replayed on top of itself.
+  monitor::HistoryClient history(context, agg_config.api_endpoint);
+  uint64_t next_expected = 1;
+  const auto fetch_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (next_expected <= kTotal &&
+         std::chrono::steady_clock::now() < fetch_deadline) {
+    auto page = history.Fetch(next_expected, 512, std::chrono::milliseconds(500));
+    if (!page.ok()) continue;  // mid-restart; the supervisor will revive it
+    EXPECT_LE(page->first_available, 1u) << "nothing rotated out";
+    for (const monitor::FsEvent& event : page->events) {
+      ASSERT_EQ(event.global_seq, next_expected)
+          << "history stream must be gap-free and duplicate-free";
+      ++next_expected;
+    }
+  }
+  EXPECT_EQ(next_expected, kTotal + 1);
+  agg_supervisor.Stop();
+}
+
 }  // namespace
 }  // namespace sdci

@@ -113,7 +113,8 @@ TEST(ObservabilityE2E, TracedEventCrossesEveryPipelineStage) {
   constexpr std::string_view kAllStages[] = {
       trace::kChangelogRead,    trace::kCollectorExtract,
       trace::kFid2PathResolve,  trace::kCollectorPublish,
-      trace::kAggregatorIngest, trace::kWalAppend,
+      trace::kAggregatorDecode, trace::kAggregatorIngest,
+      trace::kWalAppend,        trace::kAggregatorCommit,
       trace::kAggregatorPublish, trace::kStoreAppend,
       trace::kAgentRuleEval,    trace::kActionExecute};
   std::vector<trace::TraceSpan> full;
@@ -160,8 +161,11 @@ TEST(ObservabilityE2E, TracedEventCrossesEveryPipelineStage) {
   EXPECT_LE(start_of(trace::kChangelogRead), start_of(trace::kCollectorExtract));
   EXPECT_LE(start_of(trace::kCollectorExtract), start_of(trace::kFid2PathResolve));
   EXPECT_LE(start_of(trace::kFid2PathResolve), start_of(trace::kCollectorPublish));
-  EXPECT_LE(start_of(trace::kCollectorPublish), start_of(trace::kAggregatorIngest));
-  EXPECT_LE(start_of(trace::kAggregatorIngest), start_of(trace::kWalAppend));
+  EXPECT_LE(start_of(trace::kCollectorPublish), start_of(trace::kAggregatorDecode));
+  EXPECT_LE(start_of(trace::kAggregatorDecode), start_of(trace::kAggregatorIngest));
+  EXPECT_LE(start_of(trace::kAggregatorIngest), start_of(trace::kAggregatorCommit));
+  // The commit span covers the group's WAL append (same interval).
+  EXPECT_LE(start_of(trace::kAggregatorCommit), start_of(trace::kWalAppend));
   EXPECT_LE(start_of(trace::kWalAppend), start_of(trace::kAggregatorPublish));
   EXPECT_LE(start_of(trace::kWalAppend), start_of(trace::kStoreAppend));
   EXPECT_LE(start_of(trace::kAggregatorPublish), start_of(trace::kAgentRuleEval));

@@ -216,8 +216,14 @@ TEST_F(RecoveryTest, RotatedOutSequencesAreCountedUnrecoverable) {
 
 // The acceptance scenario: kill the aggregator mid-stream and prove the
 // subscriber heals the exact lost range across the restart.
-TEST_F(RecoveryTest, KillMidStreamBackfillsExactRangeAcrossRestart) {
-  const auto config = Config();
+class RecoveryKillMidStreamTest : public RecoveryTest {
+ protected:
+  // The full kill-mid-stream scenario, parameterized by aggregator config
+  // so the serial loop and the parallel ingest path face the same script.
+  void RunKillMidStream(const AggregatorConfig& config);
+};
+
+void RecoveryKillMidStreamTest::RunKillMidStream(const AggregatorConfig& config) {
   AggregatorSupervisorConfig sup_config;
   sup_config.check_interval = Millis(5);
   AggregatorSupervisor supervisor(profile_, authority_, context_, config, sup_config);
@@ -257,6 +263,21 @@ TEST_F(RecoveryTest, KillMidStreamBackfillsExactRangeAcrossRestart) {
   EXPECT_EQ(sub.events_unrecoverable(), 0u);
   EXPECT_EQ(supervisor.crashes(), 1u);
   supervisor.Stop();
+}
+
+TEST_F(RecoveryKillMidStreamTest, KillMidStreamBackfillsExactRangeAcrossRestart) {
+  RunKillMidStream(Config());
+}
+
+// The same crash/backfill contract with the parallel hot path switched
+// on: decode pool, striped store and group-commit WAL must not change a
+// single observable byte of the recovery story.
+TEST_F(RecoveryKillMidStreamTest, KillMidStreamHoldsWithParallelIngest) {
+  auto config = Config();
+  config.ingest_workers = 4;
+  config.store_shards = 4;
+  config.wal_group_max = 8;
+  RunKillMidStream(config);
 }
 
 }  // namespace
