@@ -63,13 +63,17 @@ else
   run_suite "${TSAN_BUILD_DIR:-build-tsan}" \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  # The parallel-ingest data-race gates must actually have run under TSan
-  # (a silently filtered-out test would pass this script while proving
-  # nothing about the sharded hot path).
+  # The parallel-ingest and federation data-race gates must actually have
+  # run under TSan (a silently filtered-out test would pass this script
+  # while proving nothing about the sharded hot path or the cross-shard
+  # merge).
   TSAN_LOG="${TSAN_BUILD_DIR:-build-tsan}/ctest-output.log"
   for test_name in StatsStayConsistentUnderIngestLoad \
                    ConcurrentTimeRangeQueriesMatchOracle \
-                   GroupCommitSurvivesMidCommitCrashes; do
+                   GroupCommitSurvivesMidCommitCrashes \
+                   ConcurrentFederatedQueriesDuringIngest \
+                   TwoShardKillMidStreamBackfillHealsBothShards \
+                   FederatedRangeQueryReturnsExactHlcMerge; do
     if ! grep -q "$test_name" "$TSAN_LOG"; then
       echo "FAIL: $test_name did not run in the TSan pass" >&2
       exit 1
@@ -100,12 +104,29 @@ if [[ "$BENCH_JSON_OUT" == 1 ]]; then
   "$BENCH_BIN" --json BENCH_throughput.json
   for key in workers_1_drain_rate workers_4_drain_rate speedup_4_workers \
              fanin_4c_workers_1_drain_rate fanin_4c_workers_4_drain_rate \
-             aggregator_speedup_4_workers; do
+             aggregator_speedup_4_workers \
+             fleet_8c_1_shard_drain_rate fleet_8c_4_shards_drain_rate \
+             fleet_speedup_4_shards; do
     if ! grep -q "\"$key\"" BENCH_throughput.json; then
       echo "FAIL: BENCH_throughput.json is missing $key" >&2
       exit 1
     fi
   done
+  # The fleet must actually pay for itself: a 4-shard fleet that fails to
+  # at least double the single aggregator's 8-collector drain rate means
+  # the sharded write path has regressed into cross-shard serialization.
+  awk '
+    /"fleet_speedup_4_shards"/ {
+      match($0, /"fleet_speedup_4_shards":[0-9.eE+-]+/)
+      split(substr($0, RSTART, RLENGTH), kv, ":")
+      if (kv[2] + 0 < 2.0) {
+        printf "FAIL: fleet_speedup_4_shards %.2f < 2.0\n", kv[2] > "/dev/stderr"
+        exit 1
+      }
+      found = 1
+    }
+    END { if (!found) { print "FAIL: fleet_speedup_4_shards not found" > "/dev/stderr"; exit 1 } }
+  ' BENCH_throughput.json
 fi
 
 echo "check.sh: all gates passed"

@@ -49,6 +49,9 @@ inline constexpr std::string_view kWalAppend = "wal.append";
 inline constexpr std::string_view kAggregatorCommit = "aggregator.commit";
 inline constexpr std::string_view kAggregatorPublish = "aggregator.publish";
 inline constexpr std::string_view kStoreAppend = "store.append";
+// Federation layer: the k-way HLC merge of per-shard streams or history
+// pages (recorded once per traced event that crosses the merge).
+inline constexpr std::string_view kFleetMerge = "fleet.merge";
 inline constexpr std::string_view kAgentRuleEval = "agent.rule_eval";
 inline constexpr std::string_view kActionExecute = "action.execute";
 

@@ -1,18 +1,11 @@
 #include "monitor/aggregator.h"
 
 #include "common/log.h"
-#include "common/strings.h"
-#include "common/tracing.h"
+#include "monitor/event_catalog.h"
+#include "monitor/ingest_pipeline.h"
+#include "monitor/serve_plane.h"
 
 namespace sdci::monitor {
-
-namespace {
-// Real-time poll quantum for receive loops; bounds shutdown latency.
-constexpr std::chrono::milliseconds kPollQuantum(5);
-// Max batches a publish/store worker takes per bulk pop. Bounds how much a
-// crash discards from the queues while still amortizing lock traffic.
-constexpr size_t kBulkPop = 16;
-}  // namespace
 
 void AggregatorCheckpoint::AdvanceWatermark(uint64_t next_seq) {
   // Watermarks only ever advance; release pairs with NextSeq's acquire so a
@@ -45,143 +38,118 @@ Aggregator::Aggregator(const lustre::TestbedProfile& profile,
     : profile_(profile),
       authority_(&authority),
       config_(std::move(config)),
-      checkpoint_(attachments.checkpoint),
-      store_(config_.store_capacity, config_.store_shards),
-      publish_queue_(config_.internal_queue),
-      store_queue_(config_.internal_queue),
       metrics_(config_.metrics != nullptr ? config_.metrics
-                                          : std::make_shared<MetricsRegistry>()),
-      tracer_(config_.tracer) {
-  received_ = metrics_->GetCounter("sdci_aggregator_received_total");
-  batches_received_ = metrics_->GetCounter("sdci_aggregator_batches_received_total");
-  published_ = metrics_->GetCounter("sdci_aggregator_published_total");
+                                          : std::make_shared<MetricsRegistry>()) {
+  // In a fleet every series carries the {"shard"} label; a single
+  // aggregator keeps the historical unlabelled series.
+  const MetricLabels labels = config_.ShardLabels();
+  received_ = metrics_->GetCounter("sdci_aggregator_received_total", labels);
+  batches_received_ =
+      metrics_->GetCounter("sdci_aggregator_batches_received_total", labels);
+  published_ = metrics_->GetCounter("sdci_aggregator_published_total", labels);
   batches_published_ =
-      metrics_->GetCounter("sdci_aggregator_batches_published_total");
-  decode_errors_ = metrics_->GetCounter("sdci_aggregator_decode_errors_total");
-  delivery_latency_ = metrics_->GetHistogram("sdci_aggregator_delivery_latency");
-  wal_group_size_ = metrics_->GetHistogram("sdci_aggregator_wal_group_size");
+      metrics_->GetCounter("sdci_aggregator_batches_published_total", labels);
+  decode_errors_ =
+      metrics_->GetCounter("sdci_aggregator_decode_errors_total", labels);
+  delivery_latency_ =
+      metrics_->GetHistogram("sdci_aggregator_delivery_latency", labels);
+  wal_group_size_ = metrics_->GetHistogram("sdci_aggregator_wal_group_size", labels);
   received_base_ = received_->Get();
   batches_received_base_ = batches_received_->Get();
   published_base_ = published_->Get();
   batches_published_base_ = batches_published_->Get();
   decode_errors_base_ = decode_errors_->Get();
-  // Scrape-time queue depths. The weak token keeps a scrape from touching
-  // a dead incarnation's queues; a restarted incarnation re-registers
-  // under the same name and takes the series over.
+
+  // Role construction order matters: the catalog restores the store from
+  // the checkpoint, the serve plane answers out of the catalog, and the
+  // ingest pipeline (which takes over the attached sockets and the
+  // sequence watermark) feeds both.
+  catalog_ = std::make_unique<EventCatalog>(*authority_, config_,
+                                            attachments.checkpoint, config_.tracer,
+                                            crashed_);
+  serve_ = std::make_unique<ServePlane>(
+      *authority_, context, config_, *catalog_,
+      ServePlane::Instruments{published_, batches_published_, delivery_latency_},
+      config_.tracer, crashed_);
+  ingest_ = std::make_unique<IngestPipeline>(
+      profile_, *authority_, context, config_, attachments, *catalog_, *serve_,
+      IngestPipeline::Instruments{received_, batches_received_, decode_errors_,
+                                  wal_group_size_},
+      config_.tracer, crashed_);
+
+  // Scrape-time queue depths, read through the roles. The weak token keeps
+  // a scrape from touching a dead incarnation; a restarted incarnation
+  // re-registers under the same name and takes the series over.
   const std::weak_ptr<bool> alive = alive_;
   metrics_->RegisterCallback(
-      "sdci_aggregator_publish_queue_depth", {},
+      "sdci_aggregator_publish_queue_depth", labels,
       [alive, this]() -> std::optional<int64_t> {
         if (alive.expired()) return std::nullopt;
-        return static_cast<int64_t>(publish_queue_.size());
+        return static_cast<int64_t>(serve_->PublishQueueDepth());
       });
   metrics_->RegisterCallback(
-      "sdci_aggregator_store_queue_depth", {},
+      "sdci_aggregator_store_queue_depth", labels,
       [alive, this]() -> std::optional<int64_t> {
         if (alive.expired()) return std::nullopt;
-        return static_cast<int64_t>(store_queue_.size());
+        return static_cast<int64_t>(catalog_->QueueDepth());
       });
   // Decode tasks accepted but not yet picked up by a worker — the ingest
   // pipeline's backlog between the receiver and the pool.
   metrics_->RegisterCallback(
-      "sdci_aggregator_ingest_pool_depth", {},
+      "sdci_aggregator_ingest_pool_depth", labels,
       [alive, this]() -> std::optional<int64_t> {
         if (alive.expired()) return std::nullopt;
-        const std::lock_guard<std::mutex> lock(ingest_mutex_);
-        return decode_pool_ != nullptr
-                   ? static_cast<int64_t>(decode_pool_->QueueDepth())
-                   : 0;
+        return static_cast<int64_t>(ingest_->PoolDepth());
       });
   // Decoded messages parked in the reorder buffer waiting for an earlier
   // ticket (or for the sequencer to come around).
   metrics_->RegisterCallback(
-      "sdci_aggregator_reorder_occupancy", {},
+      "sdci_aggregator_reorder_occupancy", labels,
       [alive, this]() -> std::optional<int64_t> {
         if (alive.expired()) return std::nullopt;
-        const std::lock_guard<std::mutex> lock(ingest_mutex_);
-        return static_cast<int64_t>(decoded_.size());
+        return static_cast<int64_t>(ingest_->ReorderOccupancy());
       });
-  for (size_t i = 0; i < store_.shards(); ++i) {
+  for (size_t i = 0; i < catalog_->store().shards(); ++i) {
+    // Lock stripes of the store. Historically labelled {"shard"}; in a
+    // fleet that label names the aggregator shard, so the stripe moves to
+    // {"stripe"} to keep the two axes distinct (single-aggregator series
+    // are unchanged).
+    MetricLabels stripe_labels = labels;
+    stripe_labels.emplace_back(config_.shard_count <= 1 ? "shard" : "stripe",
+                               std::to_string(i));
     metrics_->RegisterCallback(
-        "sdci_aggregator_store_shard_events", {{"shard", std::to_string(i)}},
+        "sdci_aggregator_store_shard_events", stripe_labels,
         [alive, this, i]() -> std::optional<int64_t> {
           if (alive.expired()) return std::nullopt;
-          return static_cast<int64_t>(store_.ShardSize(i));
+          return static_cast<int64_t>(catalog_->store().ShardSize(i));
         });
-  }
-  if (config_.transport == CollectTransport::kPubSub) {
-    if (attachments.ingest_sub != nullptr) {
-      sub_ = std::move(attachments.ingest_sub);
-    } else {
-      sub_ = context.CreateSub(config_.collect_endpoint, config_.ingest_hwm,
-                               msgq::HwmPolicy::kBlock);
-      sub_->Subscribe("");  // all collectors
-    }
-  } else {
-    pull_ = attachments.ingest_pull != nullptr
-                ? std::move(attachments.ingest_pull)
-                : context.CreatePull(config_.collect_endpoint, config_.ingest_hwm);
-  }
-  pub_ = context.CreatePub(config_.publish_endpoint);
-  rep_ = context.CreateRep(config_.api_endpoint);
-  if (checkpoint_ != nullptr) {
-    // Restore: sequences resume past everything ever assigned, and the
-    // catalog replays the WAL so the history API still answers for
-    // pre-crash events.
-    next_seq_.store(checkpoint_->NextSeq(), std::memory_order_relaxed);
-    for (const EventBatch& batch : checkpoint_->WalSnapshot()) {
-      store_.Append(batch);
-      restored_events_ += batch.size();
-    }
   }
 }
 
 Aggregator::~Aggregator() {
-  alive_.reset();  // detach queue-depth callbacks before queues die
+  alive_.reset();  // detach queue-depth callbacks before the roles die
   Stop();
 }
 
 void Aggregator::Start() {
   if (running_.exchange(true)) return;
-  {
-    const std::lock_guard<std::mutex> lock(ingest_mutex_);
-    decode_pool_ = std::make_unique<ThreadPool>(IngestWorkers(), IngestWindow());
-    worker_budgets_.clear();
-    for (size_t i = 0; i < IngestWorkers(); ++i) {
-      worker_budgets_.push_back(std::make_unique<DelayBudget>(*authority_));
-    }
-  }
-  receive_thread_ =
-      std::jthread([this](const std::stop_token& stop) { ReceiveLoop(stop); });
-  sequencer_thread_ = std::jthread([this] { SequencerLoop(); });
-  publish_thread_ = std::jthread([this] { PublishLoop(); });
-  store_thread_ = std::jthread([this] { StoreLoop(); });
-  api_thread_ = std::jthread([this](const std::stop_token& stop) { ApiLoop(stop); });
+  catalog_->Start();
+  serve_->Start();
+  ingest_->Start();  // last: downstream threads are ready before events flow
 }
 
 void Aggregator::Stop() {
   if (!running_.exchange(false)) return;
-  // Stop ingestion front-to-back: the receiver's final drain empties the
-  // sockets, the pool shutdown drains every accepted decode task, and the
-  // sequencer exits once it has released every assigned ticket — only
-  // then do the internal queues close, so publish/store exit after
-  // emptying them.
-  receive_thread_.request_stop();
-  if (receive_thread_.joinable()) receive_thread_.join();
-  if (decode_pool_ != nullptr) decode_pool_->Shutdown();
-  {
-    const std::lock_guard<std::mutex> lock(ingest_mutex_);
-    receiver_done_ = true;
-  }
-  ingest_cv_.notify_all();
-  if (sequencer_thread_.joinable()) sequencer_thread_.join();
-  publish_queue_.Close();
-  store_queue_.Close();
-  if (publish_thread_.joinable()) publish_thread_.join();
-  if (store_thread_.joinable()) store_thread_.join();
-  api_thread_.request_stop();
-  rep_->Close();
-  if (api_thread_.joinable()) api_thread_.join();
+  // Front-to-back: the ingest pipeline's drain empties the socket, the
+  // decode pool and the reorder buffer — only then do the hand-off queues
+  // close, so publish/store exit after emptying them. The history API
+  // stops last, so it keeps answering while upstream drains.
+  ingest_->StopAndDrain();
+  serve_->ClosePublish();
+  catalog_->CloseQueue();
+  serve_->JoinPublish();
+  catalog_->Join();
+  serve_->StopApi();
   // Health marker for scripts/check.sh: unexplained decode errors mean a
   // wire-format regression somewhere upstream.
   const uint64_t decode_errors = decode_errors_->Get() - decode_errors_base_;
@@ -203,351 +171,52 @@ void Aggregator::Crash() {
   // events a real crash would lose from process memory. (They were
   // checkpointed before becoming visible, so the next incarnation's
   // history API can still serve them to gap-healing subscribers.)
-  receive_thread_.request_stop();
-  if (receive_thread_.joinable()) receive_thread_.join();
-  if (decode_pool_ != nullptr) decode_pool_->Shutdown();
-  {
-    const std::lock_guard<std::mutex> lock(ingest_mutex_);
-    receiver_done_ = true;
-  }
-  ingest_cv_.notify_all();
-  if (sequencer_thread_.joinable()) sequencer_thread_.join();
-  publish_queue_.Close();
-  store_queue_.Close();
-  publish_queue_.TryPopAll();  // process memory, dropped on the floor
-  store_queue_.TryPopAll();
-  if (publish_thread_.joinable()) publish_thread_.join();
-  if (store_thread_.joinable()) store_thread_.join();
-  api_thread_.request_stop();
-  rep_->Close();
-  if (api_thread_.joinable()) api_thread_.join();
-}
-
-void Aggregator::ReceiveLoop(const std::stop_token& stop) {
-  const auto receive = [&]() -> Result<msgq::Message> {
-    if (sub_ != nullptr) return sub_->ReceiveFor(kPollQuantum);
-    return pull_->PullFor(kPollQuantum);
-  };
-  // After stop is requested, keep draining until the sockets run dry so
-  // collector flushes are not lost.
-  int idle_rounds_after_stop = 0;
-  while (true) {
-    // The crash point sits *before* receive: once a message is popped off
-    // the (incarnation-surviving) ingest socket it is ticketed and runs
-    // through the checkpoint commit, because the collector purged its
-    // records when the socket accepted the hand-off.
-    if (crashed_.load(std::memory_order_acquire)) break;
-    auto message = receive();
-    if (!message.ok()) {
-      if (message.status().code() == StatusCode::kClosed) break;
-      if (stop.stop_requested() && ++idle_rounds_after_stop >= 2) break;
-      continue;
-    }
-    idle_rounds_after_stop = 0;
-    uint64_t ticket = 0;
-    {
-      // Window backpressure: never run more than IngestWindow() tickets
-      // ahead of the sequencer, so a stalled commit pushes back on the
-      // socket (and through it, the collectors) instead of buffering
-      // decoded batches without bound. No crashed_ check here — the
-      // sequencer keeps releasing tickets during a crash, so the wait
-      // always makes progress, and this message must not be dropped.
-      std::unique_lock<std::mutex> lock(ingest_mutex_);
-      ingest_cv_.wait(lock, [&] {
-        return next_ticket_ - commit_ticket_ < IngestWindow();
-      });
-      ticket = next_ticket_++;
-    }
-    (void)decode_pool_->Submit(
-        [this, ticket, message = std::move(message.value())](size_t worker) mutable {
-          DecodeTask(ticket, std::move(message), worker);
-        });
-  }
-}
-
-void Aggregator::DecodeTask(uint64_t ticket, msgq::Message message, size_t worker) {
-  DecodedMessage out;
-  out.decode_start = tracer_ != nullptr ? authority_->Now() : VirtualTime{};
-  // Decode the collector message exactly once; everything downstream
-  // shares the decoded batch. Zero-event payloads are hostile (the wire
-  // contract is >= 1 event) and counted with the malformed ones.
-  auto events = DecodeEventBatch(message.bytes());
-  if (events.ok() && !events->empty()) {
-    out.ok = true;
-    out.events = std::move(events.value());
-    // The modeled per-event ingest cost lands on this worker's budget:
-    // with N workers the latency overlaps N-ways, which is exactly the
-    // concurrency the decode pool exists to buy.
-    DelayBudget& budget = *worker_budgets_[worker];
-    budget.Charge(profile_.aggregator_ingest_latency *
-                  static_cast<int64_t>(out.events.size()));
-    budget.Flush();
-    if (tracer_ != nullptr) {
-      // Each traced event gets a decode span hung off the collector's
-      // publish span; the sequencer re-parents the event onto its ingest
-      // span next, keeping the chain publish -> decode -> ingest.
-      out.decode_end = authority_->Now();
-      for (FsEvent& event : out.events) {
-        if (event.trace_id == 0) continue;
-        const uint64_t span_id = tracer_->NewSpanId();
-        tracer_->RecordSpan({event.trace_id, span_id, event.parent_span,
-                             std::string(trace::kAggregatorDecode), "aggregator",
-                             out.decode_start, out.decode_end - out.decode_start});
-        event.parent_span = span_id;
-      }
-    }
-  }
-  {
-    const std::lock_guard<std::mutex> lock(ingest_mutex_);
-    decoded_.emplace(ticket, std::move(out));
-  }
-  ingest_cv_.notify_all();
-}
-
-void Aggregator::SequencerLoop() {
-  while (true) {
-    std::vector<DecodedMessage> group;
-    {
-      std::unique_lock<std::mutex> lock(ingest_mutex_);
-      ingest_cv_.wait(lock, [&] {
-        return decoded_.count(commit_ticket_) > 0 ||
-               (receiver_done_ && commit_ticket_ == next_ticket_);
-      });
-      if (decoded_.count(commit_ticket_) == 0) break;  // drained and done
-      // Opportunistic group commit: fold every already-decoded consecutive
-      // ticket (up to wal_group_max) into one release. A lone ready ticket
-      // goes through alone — the group never waits to fill.
-      const size_t group_max = config_.wal_group_max == 0 ? 1 : config_.wal_group_max;
-      while (group.size() < group_max) {
-        const auto it = decoded_.find(commit_ticket_);
-        if (it == decoded_.end()) break;
-        group.push_back(std::move(it->second));
-        decoded_.erase(it);
-        ++commit_ticket_;
-      }
-    }
-    ingest_cv_.notify_all();  // window space freed for the receiver
-    SequenceAndCommit(std::move(group));
-  }
-}
-
-void Aggregator::SequenceAndCommit(std::vector<DecodedMessage> group) {
-  // Traced events re-parent onto this stage's ingest span before their
-  // batch freezes, so the published wire bytes (and the JSON the history
-  // API serves) carry the aggregator-side span to hang consumers off.
-  struct PendingSpan {
-    uint64_t trace_id, span_id;
-  };
-  std::vector<PendingSpan> pending;  // whole group, for wal/commit spans
-  std::vector<EventBatch> batches;
-  std::vector<EventBatch> publish_batches;  // type-homogeneous sub-batches
-  batches.reserve(group.size());
-  uint64_t watermark = 0;
-  for (DecodedMessage& item : group) {
-    if (!item.ok) {
-      decode_errors_->Add();
-      continue;
-    }
-    const auto count = static_cast<uint64_t>(item.events.size());
-    const VirtualTime ingest_start =
-        tracer_ != nullptr ? authority_->Now() : VirtualTime{};
-    // One sequence range per batch, assigned in arrival (ticket) order by
-    // this single sequencer: one atomic op instead of one per event, and
-    // global_seq stays monotone in publication order no matter how many
-    // decode workers raced ahead.
-    const uint64_t base = next_seq_.fetch_add(count, std::memory_order_relaxed);
-    watermark = base + count;
-    for (uint64_t i = 0; i < count; ++i) item.events[i].global_seq = base + i;
-    received_->Add(count);
-    batches_received_->Add();
-    if (tracer_ != nullptr) {
-      const VirtualTime ingest_end = authority_->Now();
-      for (FsEvent& event : item.events) {
-        if (event.trace_id == 0) continue;
-        const uint64_t span_id = tracer_->NewSpanId();
-        tracer_->RecordSpan({event.trace_id, span_id, event.parent_span,
-                             std::string(trace::kAggregatorIngest), "aggregator",
-                             ingest_start, ingest_end - ingest_start});
-        event.parent_span = span_id;
-        pending.push_back({event.trace_id, span_id});
-      }
-    }
-    EventBatch batch(std::move(item.events));
-    // Split before the WAL append so the publish queue receives batches
-    // that share this batch's events; the homogeneous case is two
-    // refcount bumps, zero event copies.
-    auto subs = batch.SplitByType();
-    publish_batches.insert(publish_batches.end(),
-                           std::make_move_iterator(subs.begin()),
-                           std::make_move_iterator(subs.end()));
-    batches.push_back(std::move(batch));
-  }
-  if (batches.empty()) return;
-  // Write-ahead: the whole group (and the advanced watermark) reach the
-  // checkpoint before any batch becomes visible downstream, so every
-  // assigned global_seq survives a crash even if the publish/store
-  // queues die with this incarnation.
-  if (checkpoint_ != nullptr) {
-    if (config_.commit_hook) config_.commit_hook(batches.size());
-    const VirtualTime commit_start =
-        tracer_ != nullptr && !pending.empty() ? authority_->Now() : VirtualTime{};
-    checkpoint_->Append(batches, watermark);
-    wal_group_size_->Record(VirtualDuration(static_cast<int64_t>(batches.size())));
-    if (tracer_ != nullptr && !pending.empty()) {
-      const VirtualTime commit_end = authority_->Now();
-      for (const PendingSpan& span : pending) {
-        tracer_->Record(span.trace_id, span.span_id, trace::kAggregatorCommit,
-                        "aggregator", commit_start, commit_end);
-        tracer_->Record(span.trace_id, span.span_id, trace::kWalAppend,
-                        "aggregator", commit_start, commit_end);
-      }
-    }
-  }
-  // On crash the hand-off is skipped: the group is durable in the WAL (the
-  // next incarnation's history API serves it) but this process's queues
-  // are dead memory.
-  if (crashed_.load(std::memory_order_acquire)) return;
-  // Hand off to both downstream threads, in ticket order. Blocking pushes
-  // propagate backpressure to the collectors ("no loss of events once
-  // they have been processed"). The publish side gets type-homogeneous
-  // sub-batches so per-type topics keep working. One bulk push per queue
-  // for the whole group: one lock acquisition and one consumer wake,
-  // instead of one of each per batch.
-  if (!publish_queue_.PushAll(std::move(publish_batches)).ok()) return;
-  (void)store_queue_.PushAll(std::move(batches));
-}
-
-void Aggregator::PublishLoop() {
-  while (true) {
-    // Bulk pop: under collector fan-in the queue runs non-empty, and taking
-    // everything available in one lock acquisition keeps this loop off the
-    // sequencer's critical path. Crash semantics are per batch below.
-    auto batches = publish_queue_.PopAll(kBulkPop);
-    if (!batches.ok()) break;  // closed and drained
-    for (EventBatch& batch : *batches) {
-      // On crash, queued batches are discarded unprocessed: subscribers see
-      // a sequence gap and heal it from the restored history API.
-      if (crashed_.load(std::memory_order_acquire)) continue;
-      // payload() encodes the batch once; fan-out below shares those bytes
-      // across every subscriber queue.
-      msgq::Message message(batch.Topic(), batch.payload());
-      const VirtualTime now = authority_->Now();
-      for (const FsEvent& event : batch.events()) {
-        delivery_latency_->Record(now - event.time);
-      }
-      pub_->Publish(std::move(message));
-      if (tracer_ != nullptr) {
-        for (const FsEvent& event : batch.events()) {
-          if (event.trace_id == 0) continue;
-          tracer_->Record(event.trace_id, event.parent_span,
-                          trace::kAggregatorPublish, "aggregator", now,
-                          authority_->Now());
-        }
-      }
-      published_->Add(batch.size());
-      batches_published_->Add();
-    }
-  }
-}
-
-void Aggregator::StoreLoop() {
-  while (true) {
-    auto batches = store_queue_.PopAll(kBulkPop);
-    if (!batches.ok()) break;
-    for (EventBatch& batch : *batches) {
-      if (crashed_.load(std::memory_order_acquire)) continue;  // lost with the process
-      const VirtualTime store_start =
-          tracer_ != nullptr ? authority_->Now() : VirtualTime{};
-      store_.Append(batch);
-      if (tracer_ != nullptr) {
-        const VirtualTime store_end = authority_->Now();
-        for (const FsEvent& event : batch.events()) {
-          if (event.trace_id == 0) continue;
-          tracer_->Record(event.trace_id, event.parent_span, trace::kStoreAppend,
-                          "aggregator", store_start, store_end);
-        }
-      }
-    }
-  }
-}
-
-void Aggregator::ApiLoop(const std::stop_token& stop) {
-  while (!stop.stop_requested()) {
-    auto request = rep_->ReceiveFor(kPollQuantum);
-    if (!request.ok()) {
-      if (request.status().code() == StatusCode::kClosed) break;
-      continue;
-    }
-    HandleApiRequest(*request);
-  }
-}
-
-void Aggregator::HandleApiRequest(msgq::Request& request) {
-  auto parsed = json::Parse(request.message.bytes());
-  if (!parsed.ok()) {
-    json::Object err;
-    err["error"] = json::Value(parsed.status().ToString());
-    request.Reply(msgq::Message("api.error", json::Value(std::move(err)).Dump()));
-    return;
-  }
-  const json::Value& query = *parsed;
-  const auto from_seq = static_cast<uint64_t>(query.GetInt("from_seq", 0));
-  const auto max = static_cast<size_t>(query.GetInt("max", 1024));
-  uint64_t first_available = 0;
-  std::vector<FsEvent> events;
-  if (query.Has("from_time_ns") || query.Has("to_time_ns")) {
-    const VirtualTime from(query.GetInt("from_time_ns", 0));
-    const VirtualTime to(query.GetInt("to_time_ns", INT64_MAX));
-    events = store_.QueryTimeRange(from, to, max);
-    first_available = store_.FirstSeq();
-  } else {
-    events = store_.Query(from_seq, max, &first_available);
-  }
-  json::Object reply;
-  reply["first_available"] = json::Value(first_available);
-  reply["last_seq"] = json::Value(store_.LastSeq());
-  json::Array array;
-  array.reserve(events.size());
-  for (const FsEvent& event : events) array.push_back(event.ToJson());
-  reply["events"] = json::Value(std::move(array));
-  request.Reply(msgq::Message("api.reply", json::Value(std::move(reply)).Dump()));
+  ingest_->StopAndDrain();
+  serve_->ClosePublish();
+  catalog_->CloseQueue();
+  serve_->DiscardPublishQueue();  // process memory, dropped on the floor
+  catalog_->DiscardQueue();
+  serve_->JoinPublish();
+  catalog_->Join();
+  serve_->StopApi();
 }
 
 AggregatorStats Aggregator::Stats() const {
   // Every field reads an atomic (registry counters, the store's append
   // counter, the checkpoint's WAL totals) or a value written once at
-  // construction (restored_events_), so a snapshot taken while the
+  // construction (restored_events), so a snapshot taken while the
   // parallel ingest path is mutating them is stale at worst, never torn.
   AggregatorStats stats;
   stats.received = received_->Get() - received_base_;
   stats.batches_received = batches_received_->Get() - batches_received_base_;
   stats.published = published_->Get() - published_base_;
   stats.batches_published = batches_published_->Get() - batches_published_base_;
-  stats.stored = store_.TotalAppended() - restored_events_;
+  stats.stored = catalog_->store().TotalAppended() - catalog_->restored_events();
   stats.decode_errors = decode_errors_->Get() - decode_errors_base_;
-  stats.checkpointed = checkpoint_ != nullptr ? checkpoint_->TotalAppended() : 0;
-  stats.wal_commits = checkpoint_ != nullptr ? checkpoint_->Commits() : 0;
+  const AggregatorCheckpoint* checkpoint = catalog_->checkpoint();
+  stats.checkpointed = checkpoint != nullptr ? checkpoint->TotalAppended() : 0;
+  stats.wal_commits = checkpoint != nullptr ? checkpoint->Commits() : 0;
   return stats;
 }
 
+const EventStore& Aggregator::store() const noexcept { return catalog_->store(); }
+
+uint64_t Aggregator::NextSeq() const noexcept { return ingest_->NextSeq(); }
+
 ResourceUsage Aggregator::Usage(VirtualDuration elapsed) const {
   ResourceUsage usage;
-  usage.component = "aggregator";
+  usage.component = config_.shard_count > 1
+                        ? "aggregator." + std::to_string(config_.shard_index)
+                        : "aggregator";
   const double span = ToSecondsF(elapsed);
   const double received = static_cast<double>(received_->Get() - received_base_);
   usage.cpu_percent =
       span <= 0 ? 0
                 : 100.0 * received * ToSecondsF(profile_.aggregator_cpu_per_event) / span;
-  double busy_seconds = 0;
-  {
-    const std::lock_guard<std::mutex> lock(ingest_mutex_);
-    for (const auto& budget : worker_budgets_) {
-      busy_seconds += ToSecondsF(budget->TotalCharged());
-    }
-  }
+  const double busy_seconds = ToSecondsF(ingest_->WorkerBusyTotal());
   usage.pipeline_busy_percent = span <= 0 ? 0 : 100.0 * busy_seconds / span;
   // Footprint is dominated by the local event store (as in the paper).
-  usage.peak_memory_bytes = store_.memory().PeakBytes() + (1u << 20);
+  usage.peak_memory_bytes = catalog_->store().memory().PeakBytes() + (1u << 20);
   return usage;
 }
 

@@ -1,47 +1,48 @@
-// Aggregator: the monitor's fan-in, publication and history service.
+// Aggregator: one shard of the monitor's fan-in, publication and history
+// service.
 //
-// Receives processed event batches from every Collector, assigns a global
-// sequence per batch, and — on separate threads, as in the paper ("the
-// Aggregator is multi-threaded") — publishes batches to all subscribed
-// consumers and appends them to the rotating EventStore. Batches stay
-// batches end-to-end: decode happens once per collector message, the
-// publish thread re-encodes at most once per type group (so consumer
-// topic prefix filters like "fsevent.CREAT" keep working), and the
-// internal queues share one EventBatch representation instead of copying
-// per-event. A REQ/REP API serves historic events so a consumer that
-// crashed can recover its gap.
+// Since PR 6 the aggregator is a *composition of three roles*, not a
+// monolith (see ISSUE 6 / docs/architecture.md "Federated aggregator
+// fleet"):
 //
-// The ingest hot path is itself a pipeline (the scale-out answer to
-// multi-MDS fan-in):
+//   IngestPipeline (ingest_pipeline.h)
+//     receiver ── tickets ──> decode pool ──> sequencer
+//     Owns the collector-facing socket, the decode worker pool and the
+//     ticketed reorder buffer (common/reorder.h); the single sequencer
+//     assigns each batch its global_seq range and HLC stamps
+//     (common/hlc.h), group-commits to the checkpoint WAL, and hands
+//     batches to the other two roles.
+//   EventCatalog (event_catalog.h)
+//     The striped rotating EventStore, the checkpoint WAL write-ahead
+//     commit, and the store thread. Restores itself from the checkpoint
+//     at birth.
+//   ServePlane (serve_plane.h)
+//     The live PUB fan-out (publish thread) and the history/range
+//     REQ/REP API (api thread).
 //
-//   receiver ── tickets ──> decode pool (ingest_workers) ──> sequencer
+// The composition preserves every externally visible contract of the
+// monolith: global_seq is monotone in arrival order, publication order
+// matches sequence order, and the write-ahead discipline (WAL before
+// visibility, watermark after the group commits) keeps the crash/backfill
+// semantics intact. A shard with shard_count == 1 behaves bit-for-bit
+// like the historical single aggregator — same endpoints, same metric
+// series, same crash story.
 //
-// The receiver pops collector messages off the socket and stamps each
-// with a ticket (its arrival order); a worker pool decodes payloads and
-// extracts trace context concurrently; a single cheap sequencer releases
-// tickets in arrival order, assigns each batch its global_seq range,
-// group-commits up to wal_group_max consecutive batches to the
-// checkpoint WAL under one lock acquisition, and hands the batches to
-// the publish/store threads. Every externally visible contract of the
-// serial loop is preserved: global_seq is monotone in arrival order,
-// publication order matches sequence order, and the write-ahead
-// discipline (WAL before visibility, watermark after the group commits)
-// keeps the PR 2 crash/backfill semantics intact.
+// N shards compose into an AggregatorFleet (fleet.h): collectors route by
+// MDT, per-shard sequences stay dense, and the federation layer
+// (federation.h) merges live subscriptions and history queries across
+// shards by HLC stamp.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/clock.h"
-#include "common/queue.h"
 #include "common/resource.h"
-#include "common/thread_pool.h"
 #include "lustre/profile.h"
 #include "monitor/collector.h"
 #include "monitor/event.h"
@@ -49,6 +50,10 @@
 #include "msgq/context.h"
 
 namespace sdci::monitor {
+
+class EventCatalog;
+class IngestPipeline;
+class ServePlane;
 
 struct AggregatorConfig {
   std::string collect_endpoint = "inproc://monitor.collect";
@@ -63,6 +68,14 @@ struct AggregatorConfig {
   // latency across collector messages while the sequencer re-establishes
   // arrival order.
   size_t ingest_workers = 1;
+  // In-flight tickets the receiver may run ahead of the sequencer: bounds
+  // the reorder buffer (and decode queue) so a stalled commit
+  // backpressures the socket. 0 = auto: max(16, 16 * ingest_workers) —
+  // the floor keeps the serial default at its historical depth, the
+  // per-worker factor was raised from 4 to 16 after the fan-in window
+  // study (EXPERIMENTS.md): a 4-worker pool behind a 16-deep window
+  // starves under multi-collector fan-in.
+  size_t ingest_window = 0;
   // Lock stripes in the EventStore (see EventStore). 1 == the historical
   // single-lock store with exact rotation boundaries.
   size_t store_shards = 1;
@@ -71,6 +84,13 @@ struct AggregatorConfig {
   // commits immediately; the group only grows with what is already
   // decoded — so it amortizes lock traffic without adding latency.
   size_t wal_group_max = 16;
+  // Fleet position: this shard's index and the fleet width. The index is
+  // the HLC origin (cross-shard tie-breaker) and, when shard_count > 1,
+  // the value of the {"shard"} label on every metric series. The default
+  // (0 of 1) keeps single-aggregator deployments label-free and
+  // bit-for-bit compatible.
+  size_t shard_index = 0;
+  size_t shard_count = 1;
   // Shared observability plumbing (see CollectorConfig). When a supervisor
   // restarts the aggregator with the same registry, the new incarnation
   // re-acquires the same instruments, so registry series are
@@ -85,6 +105,20 @@ struct AggregatorConfig {
   // `batches` batches is committed to the checkpoint WAL. Chaos tests use
   // it to line crashes up with the commit edge.
   std::function<void(size_t batches)> commit_hook;
+
+  [[nodiscard]] size_t IngestWorkers() const noexcept {
+    return ingest_workers == 0 ? 1 : ingest_workers;
+  }
+  [[nodiscard]] size_t IngestWindow() const noexcept {
+    return ingest_window > 0 ? ingest_window
+                             : std::max<size_t>(16, 16 * IngestWorkers());
+  }
+  // {"shard": "<index>"} when part of a fleet; empty (the historical
+  // unlabelled series) for a single aggregator.
+  [[nodiscard]] MetricLabels ShardLabels() const {
+    if (shard_count <= 1) return {};
+    return {{"shard", std::to_string(shard_index)}};
+  }
 };
 
 struct AggregatorStats {
@@ -178,13 +212,11 @@ class Aggregator {
   void Crash();
 
   [[nodiscard]] AggregatorStats Stats() const;
-  [[nodiscard]] const EventStore& store() const noexcept { return store_; }
+  [[nodiscard]] const EventStore& store() const noexcept;
   [[nodiscard]] ResourceUsage Usage(VirtualDuration elapsed) const;
 
   // Sequence that will be assigned to the next ingested event.
-  [[nodiscard]] uint64_t NextSeq() const noexcept {
-    return next_seq_.load(std::memory_order_relaxed);
-  }
+  [[nodiscard]] uint64_t NextSeq() const noexcept;
 
   // Delivery latency: virtual time from a record being journaled on its
   // MDS to its event reaching subscribers. Cumulative across incarnations
@@ -193,74 +225,19 @@ class Aggregator {
     return *delivery_latency_;
   }
 
+  [[nodiscard]] const AggregatorConfig& config() const noexcept { return config_; }
+
  private:
-  // One collector message after the decode stage, keyed by ticket in the
-  // sequencer's reorder buffer. `ok` is false for malformed or zero-event
-  // payloads (counted as decode errors when the ticket is released, so
-  // the error counter stays in arrival order too).
-  struct DecodedMessage {
-    bool ok = false;
-    std::vector<FsEvent> events;
-    VirtualTime decode_start{};
-    VirtualTime decode_end{};
-  };
-
-  [[nodiscard]] size_t IngestWorkers() const noexcept {
-    return config_.ingest_workers == 0 ? 1 : config_.ingest_workers;
-  }
-  // In-flight tickets the receiver may be ahead of the sequencer: bounds
-  // the reorder buffer (and decode queue) so a stalled commit backpressures
-  // the socket instead of buffering without limit.
-  [[nodiscard]] size_t IngestWindow() const noexcept {
-    return std::max<size_t>(16, 4 * IngestWorkers());
-  }
-
-  void ReceiveLoop(const std::stop_token& stop);
-  void DecodeTask(uint64_t ticket, msgq::Message message, size_t worker);
-  void SequencerLoop();
-  // Assigns sequence ranges, records ingest spans, group-commits to the
-  // checkpoint and hands the batches downstream. `group` is consecutive
-  // tickets in arrival order.
-  void SequenceAndCommit(std::vector<DecodedMessage> group);
-  void PublishLoop();
-  void StoreLoop();
-  void ApiLoop(const std::stop_token& stop);
-  void HandleApiRequest(msgq::Request& request);
-
   lustre::TestbedProfile profile_;
   const TimeAuthority* authority_;
   AggregatorConfig config_;
-  AggregatorCheckpoint* checkpoint_;  // null for a standalone aggregator
 
-  std::shared_ptr<msgq::SubSocket> sub_;
-  std::shared_ptr<msgq::PullSocket> pull_;
-  std::shared_ptr<msgq::PubSocket> pub_;
-  std::shared_ptr<msgq::RepSocket> rep_;
-
-  EventStore store_;
-  uint64_t restored_events_ = 0;  // replayed from the checkpoint at birth
-  BoundedQueue<EventBatch> publish_queue_;
-  BoundedQueue<EventBatch> store_queue_;
-
-  // Ticketed reorder state between receiver, decode workers and the
-  // sequencer (the PR 4 collector pattern). next_ticket_ is the receiver's
-  // arrival stamp; commit_ticket_ is the next ticket the sequencer will
-  // release. All guarded by ingest_mutex_; ingest_cv_ covers "ticket
-  // ready" (workers -> sequencer) and "window space" (sequencer ->
-  // receiver) alike.
-  mutable std::mutex ingest_mutex_;
-  std::condition_variable ingest_cv_;
-  std::map<uint64_t, DecodedMessage> decoded_;
-  uint64_t next_ticket_ = 0;
-  uint64_t commit_ticket_ = 0;
-  bool receiver_done_ = false;
-  std::unique_ptr<ThreadPool> decode_pool_;  // created in Start()
-  // One budget per decode worker (DelayBudget is single-threaded): the
-  // modeled per-event ingest latency accrues per worker, so it overlaps
-  // across workers exactly like the real decode work would.
-  std::vector<std::unique_ptr<DelayBudget>> worker_budgets_;
-
-  std::atomic<uint64_t> next_seq_{1};
+  // The three roles. Construction order matters: the catalog restores the
+  // store from the checkpoint, the serve plane answers queries out of the
+  // catalog, and the ingest pipeline feeds both.
+  std::unique_ptr<EventCatalog> catalog_;
+  std::unique_ptr<ServePlane> serve_;
+  std::unique_ptr<IngestPipeline> ingest_;
 
   // Registry-backed instruments. The shared registry outlives incarnations
   // (counters are fleet-cumulative); the *_base_ snapshots taken at
@@ -283,18 +260,15 @@ class Aggregator {
   uint64_t batches_published_base_ = 0;
   uint64_t decode_errors_base_ = 0;
   // Invalidated first in the destructor so registry queue-depth callbacks
-  // holding a weak handle stop reading this incarnation's queues.
+  // holding a weak handle stop reading this incarnation's roles.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
-  std::shared_ptr<trace::Tracer> tracer_;
-
-  std::jthread receive_thread_;
-  std::jthread sequencer_thread_;
-  std::jthread publish_thread_;
-  std::jthread store_thread_;
-  std::jthread api_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> crashed_{false};
 };
+
+// The issue-6 vocabulary: a fleet member is a shard, and a shard is the
+// (IngestPipeline, EventCatalog, ServePlane) composition above.
+using AggregatorShard = Aggregator;
 
 }  // namespace sdci::monitor

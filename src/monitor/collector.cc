@@ -36,6 +36,7 @@ Collector::Collector(lustre::FileSystem& fs, int mdt_index,
       budget_(authority),
       publish_budget_(authority),
       retry_rng_(config_.retry_seed + static_cast<uint64_t>(mdt_index)),
+      reorder_(Window()),
       metrics_(config_.metrics != nullptr ? config_.metrics
                                           : std::make_shared<MetricsRegistry>()),
       tracer_(config_.tracer),
@@ -70,15 +71,14 @@ Collector::Collector(lustre::FileSystem& fs, int mdt_index,
       "sdci_collector_resolver_pool_depth", labels,
       [alive, this]() -> std::optional<int64_t> {
         if (alive.expired()) return std::nullopt;
-        const std::lock_guard<std::mutex> lock(pipe_mutex_);
+        const std::lock_guard<std::mutex> lock(pool_mutex_);
         return pool_ != nullptr ? static_cast<int64_t>(pool_->QueueDepth()) : 0;
       });
   metrics_->RegisterCallback(
       "sdci_collector_reorder_occupancy", labels,
       [alive, this]() -> std::optional<int64_t> {
         if (alive.expired()) return std::nullopt;
-        const std::lock_guard<std::mutex> lock(pipe_mutex_);
-        return static_cast<int64_t>(completed_.size());
+        return static_cast<int64_t>(reorder_.Occupancy());
       });
   worker_budgets_.reserve(Workers());
   for (size_t i = 0; i < Workers(); ++i) {
@@ -116,10 +116,10 @@ size_t Collector::Window() const noexcept {
 
 void Collector::Start() {
   if (running_.exchange(true)) return;
+  reorder_.Reopen();
+  publish_aborted_ = false;
   {
-    const std::lock_guard<std::mutex> lock(pipe_mutex_);
-    reader_done_ = false;
-    publish_aborted_ = false;
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
     pool_ = std::make_unique<ThreadPool>(Workers(), Window());
   }
   publisher_thread_ =
@@ -138,11 +138,7 @@ void Collector::Stop() {
   thread_.request_stop();
   if (thread_.joinable()) thread_.join();
   if (pool_ != nullptr) pool_->Shutdown();
-  {
-    const std::lock_guard<std::mutex> lock(pipe_mutex_);
-    reader_done_ = true;
-  }
-  pipe_cv_.notify_all();
+  reorder_.MarkDone();
   if (publisher_thread_.joinable()) publisher_thread_.join();
 }
 
@@ -161,13 +157,6 @@ void Collector::Run(const std::stop_token& stop) {
   // it submits drain through the pool and publisher before Stop returns.
   ReadPass();
   budget_.Flush();
-}
-
-void Collector::WaitForWindow() {
-  // Plain (non-interruptible) wait: the publisher advances tickets even
-  // when delivery fails during shutdown, so this always terminates.
-  std::unique_lock<std::mutex> lock(pipe_mutex_);
-  pipe_cv_.wait(lock, [&] { return next_ticket_ - publish_ticket_ < Window(); });
 }
 
 bool Collector::ReadPass() {
@@ -217,11 +206,10 @@ bool Collector::ReadPass() {
     chunk.purge_index = end == records.size() ? last_index : 0;
     chunk.read_start = read_start;
     chunk.read_end = read_end;
-    WaitForWindow();
-    {
-      const std::lock_guard<std::mutex> lock(pipe_mutex_);
-      chunk.ticket = next_ticket_++;
-    }
+    // Window backpressure (plain, non-interruptible wait: the publisher
+    // advances tickets even when delivery fails during shutdown, so this
+    // always terminates).
+    chunk.ticket = reorder_.Acquire();
     if (!pool_->Submit([this, chunk = std::move(chunk)](size_t worker) mutable {
           ResolveChunkTask(std::move(chunk), worker);
         }).ok()) {
@@ -245,33 +233,16 @@ void Collector::ResolveChunkTask(ResolveChunk chunk, size_t worker) {
   // the whole point of the worker pool is that these sleeps overlap
   // across workers instead of summing on one thread.
   budget.Flush();
-  {
-    const std::lock_guard<std::mutex> lock(pipe_mutex_);
-    completed_.emplace(chunk.ticket, std::move(chunk));
-  }
-  pipe_cv_.notify_all();
+  const uint64_t ticket = chunk.ticket;
+  reorder_.Complete(ticket, std::move(chunk));
 }
 
 void Collector::PublisherLoop(const std::stop_token& stop) {
   while (true) {
     ResolveChunk chunk;
-    {
-      std::unique_lock<std::mutex> lock(pipe_mutex_);
-      pipe_cv_.wait(lock, [&] {
-        return completed_.count(publish_ticket_) > 0 ||
-               (reader_done_ && publish_ticket_ == next_ticket_);
-      });
-      const auto it = completed_.find(publish_ticket_);
-      if (it == completed_.end()) break;  // reader done and buffer drained
-      chunk = std::move(it->second);
-      completed_.erase(it);
-    }
+    if (!reorder_.AwaitNext(chunk)) break;  // reader done and buffer drained
     PublishChunk(chunk, stop);
-    {
-      const std::lock_guard<std::mutex> lock(pipe_mutex_);
-      ++publish_ticket_;
-    }
-    pipe_cv_.notify_all();  // frees reorder-window room for the reader
+    reorder_.Release();  // frees reorder-window room for the reader
   }
   publish_budget_.Flush();
 }

@@ -39,9 +39,7 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,6 +48,7 @@
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/reorder.h"
 #include "common/resource.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -189,7 +188,6 @@ class Collector {
   void ResolveChunkTask(ResolveChunk chunk, size_t worker);
   void PublisherLoop(const std::stop_token& stop);
   void PublishChunk(ResolveChunk& chunk, const std::stop_token& stop);
-  void WaitForWindow();
   [[nodiscard]] size_t Workers() const noexcept;
   [[nodiscard]] size_t Window() const noexcept;
 
@@ -235,15 +233,13 @@ class Collector {
   uint64_t held_last_index_ = 0;  // purge watermark once the hold drains
   Rng retry_rng_;
 
-  // Reorder buffer: resolver workers complete tickets out of order; the
-  // publisher consumes them strictly in order. pipe_mutex_ guards every
-  // field below plus pool_ (re)creation.
-  mutable std::mutex pipe_mutex_;
-  std::condition_variable_any pipe_cv_;
-  std::map<uint64_t, ResolveChunk> completed_;
-  uint64_t next_ticket_ = 0;     // issued by the reader
-  uint64_t publish_ticket_ = 0;  // next ticket the publisher will release
-  bool reader_done_ = false;
+  // Reorder buffer (common/reorder.h): resolver workers complete tickets
+  // out of order; the publisher consumes them strictly in order and
+  // releases each ticket only after the chunk was delivered and purged, so
+  // the in-flight window covers the chunk being published.
+  ReorderBuffer<ResolveChunk> reorder_;
+  // Guards pool_ (re)creation against scrape-time depth reads.
+  mutable std::mutex pool_mutex_;
   std::unique_ptr<ThreadPool> pool_;
   // Publisher-thread-only: set when a chunk could not be delivered during
   // shutdown; everything after it is dropped unpublished and unpurged

@@ -31,6 +31,13 @@ json::Value FsEvent::ToJson() const {
     obj["trace_id"] = json::Value(trace_id);
     obj["parent_span"] = json::Value(parent_span);
   }
+  // The history API serves JSON; federated backfill needs the HLC stamp to
+  // merge restored events against other shards' streams.
+  if (!hlc.IsZero()) {
+    obj["hlc_wall_ns"] = json::Value(hlc.wall_ns);
+    obj["hlc_logical"] = json::Value(static_cast<int64_t>(hlc.logical));
+    obj["hlc_origin"] = json::Value(static_cast<int64_t>(hlc.origin));
+  }
   return json::Value(std::move(obj));
 }
 
@@ -56,6 +63,9 @@ Result<FsEvent> FsEvent::FromJson(const json::Value& value) {
   event.parent_fid = *parent;
   event.trace_id = static_cast<uint64_t>(value.GetInt("trace_id"));
   event.parent_span = static_cast<uint64_t>(value.GetInt("parent_span"));
+  event.hlc.wall_ns = value.GetInt("hlc_wall_ns");
+  event.hlc.logical = static_cast<uint32_t>(value.GetInt("hlc_logical"));
+  event.hlc.origin = static_cast<uint32_t>(value.GetInt("hlc_origin"));
   return event;
 }
 
@@ -64,7 +74,9 @@ namespace {
 // v1: fields through parent_fid. v2 appends the trace context (two u64s)
 // to the END of each record, so every v1 field keeps its byte offset;
 // v1 payloads still decode (trace fields default to 0 / unsampled).
-constexpr uint16_t kCodecVersion = 2;
+// v3 appends the HLC stamp (i64 wall + u32 logical + u32 origin) the same
+// way; v1/v2 payloads decode with a zero stamp (pre-fleet events).
+constexpr uint16_t kCodecVersion = 3;
 constexpr uint16_t kOldestDecodableVersion = 1;
 
 void EncodeOne(BinaryWriter& writer, const FsEvent& event) {
@@ -85,6 +97,9 @@ void EncodeOne(BinaryWriter& writer, const FsEvent& event) {
   writer.PutU32(event.parent_fid.ver);
   writer.PutU64(event.trace_id);
   writer.PutU64(event.parent_span);
+  writer.PutI64(event.hlc.wall_ns);
+  writer.PutU32(event.hlc.logical);
+  writer.PutU32(event.hlc.origin);
 }
 
 Result<FsEvent> DecodeOne(BinaryReader& reader, uint16_t version) {
@@ -122,6 +137,13 @@ Result<FsEvent> DecodeOne(BinaryReader& reader, uint16_t version) {
   if (version >= 2) {
     SDCI_READ_OR_RETURN(event.trace_id, reader.GetU64());
     SDCI_READ_OR_RETURN(event.parent_span, reader.GetU64());
+  }
+  if (version >= 3) {
+    int64_t wall = 0;
+    SDCI_READ_OR_RETURN(wall, reader.GetI64());
+    event.hlc.wall_ns = wall;
+    SDCI_READ_OR_RETURN(event.hlc.logical, reader.GetU32());
+    SDCI_READ_OR_RETURN(event.hlc.origin, reader.GetU32());
   }
 #undef SDCI_READ_OR_RETURN
   return event;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/hlc.h"
 #include "common/json.h"
 #include "common/status.h"
 #include "lustre/changelog.h"
@@ -50,6 +51,13 @@ struct FsEvent {
   // wire always carries the producer-side span to parent against.
   uint64_t trace_id = 0;
   uint64_t parent_span = 0;
+
+  // Fleet-wide ordering stamp (common/hlc.h), assigned by the sequencer of
+  // the aggregator shard that sequenced the event (origin == shard index).
+  // Within one shard HLC order equals global_seq order; across shards it
+  // is the total order the federation layer merges by. Zero on events that
+  // never passed through an aggregator (or arrived as codec v2 payloads).
+  HlcStamp hlc;
 
   [[nodiscard]] size_t ApproxBytes() const noexcept {
     return sizeof(FsEvent) + path.capacity() + name.capacity() + source_path.capacity();

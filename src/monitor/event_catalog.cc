@@ -1,0 +1,79 @@
+#include "monitor/event_catalog.h"
+
+namespace sdci::monitor {
+
+namespace {
+// Max batches the store thread takes per bulk pop. Bounds how much a crash
+// discards from the queue while still amortizing lock traffic.
+constexpr size_t kBulkPop = 16;
+}  // namespace
+
+EventCatalog::EventCatalog(const TimeAuthority& authority,
+                           const AggregatorConfig& config,
+                           AggregatorCheckpoint* checkpoint,
+                           std::shared_ptr<trace::Tracer> tracer,
+                           const std::atomic<bool>& crashed)
+    : authority_(&authority),
+      checkpoint_(checkpoint),
+      store_(config.store_capacity, config.store_shards),
+      queue_(config.internal_queue),
+      tracer_(std::move(tracer)),
+      crashed_(&crashed) {
+  if (checkpoint_ != nullptr) {
+    // Restore: the catalog replays the WAL so the history API still
+    // answers for pre-crash events (the sequence watermark is restored by
+    // the ingest pipeline from the same checkpoint).
+    for (const EventBatch& batch : checkpoint_->WalSnapshot()) {
+      store_.Append(batch);
+      restored_events_ += batch.size();
+    }
+  }
+}
+
+void EventCatalog::Start() {
+  thread_ = std::jthread([this] { StoreLoop(); });
+}
+
+void EventCatalog::CloseQueue() { queue_.Close(); }
+
+void EventCatalog::DiscardQueue() { queue_.TryPopAll(); }
+
+void EventCatalog::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventCatalog::CommitGroup(const std::vector<EventBatch>& group,
+                               uint64_t watermark) {
+  if (checkpoint_ == nullptr) return;
+  checkpoint_->Append(group, watermark);
+}
+
+Status EventCatalog::Enqueue(std::vector<EventBatch> batches) {
+  return queue_.PushAll(std::move(batches));
+}
+
+void EventCatalog::StoreLoop() {
+  while (true) {
+    auto batches = queue_.PopAll(kBulkPop);
+    if (!batches.ok()) break;  // closed and drained
+    for (EventBatch& batch : *batches) {
+      // On crash, queued batches are lost with the process (they were
+      // checkpointed before becoming visible, so the next incarnation's
+      // history API still serves them).
+      if (crashed_->load(std::memory_order_acquire)) continue;
+      const VirtualTime store_start =
+          tracer_ != nullptr ? authority_->Now() : VirtualTime{};
+      store_.Append(batch);
+      if (tracer_ != nullptr) {
+        const VirtualTime store_end = authority_->Now();
+        for (const FsEvent& event : batch.events()) {
+          if (event.trace_id == 0) continue;
+          tracer_->Record(event.trace_id, event.parent_span, trace::kStoreAppend,
+                          "aggregator", store_start, store_end);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sdci::monitor

@@ -1,0 +1,193 @@
+#include "monitor/federation.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace sdci::monitor {
+
+namespace {
+// Per-shard poll slice for the round-robin live feed: long enough to
+// amortize the receive call, short enough that an idle shard costs little.
+constexpr std::chrono::nanoseconds kPollSlice = std::chrono::milliseconds(1);
+}  // namespace
+
+std::vector<FsEvent> MergeByHlc(std::vector<std::vector<FsEvent>> runs) {
+  // Classic k-way merge with a min-heap of (run, position) heads. The heap
+  // comparison is the HLC stamp itself — defaulted lexicographic
+  // (wall_ns, logical, origin) — with the run index as the final tie
+  // breaker so the merge is stable for equal stamps within one run.
+  struct Head {
+    HlcStamp stamp;
+    size_t run;
+    size_t pos;
+  };
+  const auto later = [](const Head& a, const Head& b) {
+    if (a.stamp != b.stamp) return b.stamp < a.stamp;
+    return b.run < a.run;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(later)> heads(later);
+  size_t total = 0;
+  for (size_t run = 0; run < runs.size(); ++run) {
+    total += runs[run].size();
+    if (!runs[run].empty()) heads.push({runs[run][0].hlc, run, 0});
+  }
+  std::vector<FsEvent> merged;
+  merged.reserve(total);
+  while (!heads.empty()) {
+    const Head head = heads.top();
+    heads.pop();
+    merged.push_back(std::move(runs[head.run][head.pos]));
+    const size_t next = head.pos + 1;
+    if (next < runs[head.run].size()) {
+      heads.push({runs[head.run][next].hlc, head.run, next});
+    }
+  }
+  return merged;
+}
+
+FleetHistoryClient::FleetHistoryClient(msgq::Context& context,
+                                       const std::vector<std::string>& api_endpoints,
+                                       std::shared_ptr<trace::Tracer> tracer,
+                                       const TimeAuthority* authority)
+    : tracer_(std::move(tracer)), authority_(authority) {
+  clients_.reserve(api_endpoints.size());
+  for (const std::string& endpoint : api_endpoints) {
+    clients_.push_back(std::make_unique<HistoryClient>(context, endpoint));
+  }
+}
+
+Result<FleetHistoryClient::FederatedPage> FleetHistoryClient::FetchTimeRange(
+    VirtualTime from, VirtualTime to, size_t max_per_shard,
+    std::chrono::nanoseconds timeout) {
+  FederatedPage page;
+  page.shard_pages.reserve(clients_.size());
+  std::vector<std::vector<FsEvent>> runs;
+  runs.reserve(clients_.size());
+  for (size_t shard = 0; shard < clients_.size(); ++shard) {
+    auto fetched = clients_[shard]->FetchTimeRange(from, to, max_per_shard, timeout);
+    // Strict semantics: one unreachable shard fails the whole federated
+    // fetch rather than silently narrowing the merge (see header).
+    if (!fetched.ok()) return fetched.status();
+    runs.push_back(fetched->events);  // shard_pages keep their own copies
+    page.shard_pages.push_back(std::move(fetched.value()));
+  }
+  const VirtualTime merge_start =
+      tracer_ != nullptr && authority_ != nullptr ? authority_->Now() : VirtualTime{};
+  page.events = MergeByHlc(std::move(runs));
+  if (tracer_ != nullptr && authority_ != nullptr) {
+    const VirtualTime merge_end = authority_->Now();
+    for (const FsEvent& event : page.events) {
+      if (event.trace_id == 0) continue;
+      tracer_->Record(event.trace_id, event.parent_span, trace::kFleetMerge,
+                      "federation", merge_start, merge_end);
+    }
+  }
+  return page;
+}
+
+Result<HistoryClient::Page> FleetHistoryClient::FetchShard(
+    size_t shard, uint64_t from_seq, size_t max, std::chrono::nanoseconds timeout) {
+  if (shard >= clients_.size()) {
+    return InvalidArgumentError("no such shard");
+  }
+  return clients_[shard]->Fetch(from_seq, max, timeout);
+}
+
+FleetSubscriber::FleetSubscriber(msgq::Context& context,
+                                 const std::vector<std::string>& publish_endpoints,
+                                 const std::vector<std::string>& api_endpoints,
+                                 RecoveringSubscriberConfig config) {
+  shards_.reserve(publish_endpoints.size());
+  for (size_t i = 0; i < publish_endpoints.size(); ++i) {
+    RecoveringSubscriberConfig shard_config = config;
+    if (!config.name.empty() && publish_endpoints.size() > 1) {
+      shard_config.name = config.name + "." + std::to_string(i);
+    }
+    shards_.push_back(std::make_unique<RecoveringSubscriber>(
+        context, publish_endpoints[i], api_endpoints.at(i),
+        std::move(shard_config)));
+  }
+}
+
+Result<EventBatch> FleetSubscriber::NextBatchFor(std::chrono::nanoseconds timeout) {
+  if (shards_.empty()) return ClosedError("no shards");
+  const bool infinite = timeout < std::chrono::nanoseconds(0);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  size_t closed_streak = 0;  // consecutive kClosed answers
+  while (true) {
+    std::chrono::nanoseconds slice = kPollSlice;
+    if (!infinite) {
+      const std::chrono::nanoseconds remaining =
+          deadline - std::chrono::steady_clock::now();
+      if (remaining <= std::chrono::nanoseconds(0)) return TimedOutError("no event");
+      slice = std::min(slice, remaining);
+    }
+    RecoveringSubscriber& shard = *shards_[next_shard_];
+    next_shard_ = (next_shard_ + 1) % shards_.size();
+    auto batch = shard.NextBatchFor(slice);
+    if (batch.ok()) return batch;
+    if (batch.status().code() == StatusCode::kClosed) {
+      // The fleet is closed only when a full round answers closed.
+      if (++closed_streak >= shards_.size()) return batch.status();
+      continue;
+    }
+    closed_streak = 0;  // timeouts just move on to the next shard
+  }
+}
+
+Result<EventBatch> FleetSubscriber::DrainMergedFor(std::chrono::nanoseconds timeout,
+                                                   std::chrono::nanoseconds quiet) {
+  // Collect per-shard runs (each in that shard's sequence == HLC order),
+  // stopping once every shard has been quiet for `quiet`, then merge into
+  // the fleet-wide HLC order.
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::vector<std::vector<FsEvent>> runs(shards_.size());
+  auto quiet_since = std::chrono::steady_clock::now();
+  bool any = false;
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline || now - quiet_since >= quiet) break;
+    bool round_got_events = false;
+    for (size_t shard = 0; shard < shards_.size(); ++shard) {
+      auto batch = shards_[shard]->NextBatchFor(kPollSlice);
+      if (!batch.ok()) continue;  // timeout or closed: this shard is quiet
+      const auto& events = batch->events();
+      runs[shard].insert(runs[shard].end(), events.begin(), events.end());
+      round_got_events = true;
+      any = true;
+    }
+    if (round_got_events) quiet_since = std::chrono::steady_clock::now();
+  }
+  if (!any) return TimedOutError("no events before deadline");
+  return EventBatch(MergeByHlc(std::move(runs)));
+}
+
+void FleetSubscriber::Close() {
+  for (auto& shard : shards_) shard->Close();
+}
+
+uint64_t FleetSubscriber::received() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->received();
+  return total;
+}
+
+uint64_t FleetSubscriber::gaps_detected() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->gaps_detected();
+  return total;
+}
+
+uint64_t FleetSubscriber::events_backfilled() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->events_backfilled();
+  return total;
+}
+
+uint64_t FleetSubscriber::events_unrecoverable() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->events_unrecoverable();
+  return total;
+}
+
+}  // namespace sdci::monitor

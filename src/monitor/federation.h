@@ -1,0 +1,124 @@
+// Federation layer over an AggregatorFleet: one logical event service on
+// top of N per-shard endpoints.
+//
+// Shards are independent — disjoint MDTs, dense per-shard global_seq,
+// separate publish/history endpoints — so cross-shard ordering needs a
+// clock the shards share. That clock is the HLC stamp (common/hlc.h)
+// every shard's sequencer assigns: within a shard HLC order equals
+// sequence order (one single-threaded sequencer assigns both), and across
+// shards the origin field (== shard index) breaks wall/logical ties, so
+// HLC comparison is a total order over the whole fleet. Both federated
+// views here are exact k-way merges by that stamp:
+//
+//   FleetHistoryClient — fans a range query out to every shard's history
+//     API and merges the (per-shard HLC-sorted) pages.
+//   FleetSubscriber — one gap-healing RecoveringSubscriber per shard
+//     (per-shard crash recovery and backfill work unchanged), with a
+//     round-robin live feed and an HLC-merged drain.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/tracing.h"
+#include "monitor/consumer.h"
+#include "monitor/event.h"
+#include "msgq/context.h"
+
+namespace sdci::monitor {
+
+// Exact k-way merge of per-shard event runs by HLC stamp. Each input run
+// must be HLC-sorted (true of any per-shard sequence-ordered run); the
+// output interleaves them into the fleet-wide total order. Stable for
+// equal stamps (only possible within one run — origins differ across
+// shards), so it is also a plain stable merge for pre-fleet zero stamps.
+[[nodiscard]] std::vector<FsEvent> MergeByHlc(std::vector<std::vector<FsEvent>> runs);
+
+// Federated history/range query client.
+class FleetHistoryClient {
+ public:
+  // One HistoryClient per shard api endpoint, in shard index order.
+  // `tracer`/`authority` are optional: when both are set, each traced
+  // event crossing the merge gets a trace::kFleetMerge span.
+  FleetHistoryClient(msgq::Context& context,
+                     const std::vector<std::string>& api_endpoints,
+                     std::shared_ptr<trace::Tracer> tracer = nullptr,
+                     const TimeAuthority* authority = nullptr);
+
+  struct FederatedPage {
+    // HLC-ordered merge of every shard's events in the range.
+    std::vector<FsEvent> events;
+    // The per-shard pages the merge was built from, in shard index order
+    // (per-shard first_available/last_seq stay meaningful; fleet-wide
+    // sequence numbers do not exist).
+    std::vector<HistoryClient::Page> shard_pages;
+  };
+
+  // Fans the time-range query out to every shard and merges. Strict: any
+  // shard failing (down past its supervisor's restart, timeout) fails the
+  // whole fetch — a silent partial merge would read as "no events on that
+  // shard", which is exactly the lie a monitoring plane must not tell.
+  [[nodiscard]] Result<FederatedPage> FetchTimeRange(
+      VirtualTime from, VirtualTime to, size_t max_per_shard,
+      std::chrono::nanoseconds timeout = std::chrono::seconds(5));
+
+  // Single-shard passthrough (per-shard sequences are dense, so seq-keyed
+  // paging only makes sense against one shard).
+  [[nodiscard]] Result<HistoryClient::Page> FetchShard(
+      size_t shard, uint64_t from_seq, size_t max,
+      std::chrono::nanoseconds timeout = std::chrono::seconds(5));
+
+  [[nodiscard]] size_t shards() const noexcept { return clients_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<HistoryClient>> clients_;
+  std::shared_ptr<trace::Tracer> tracer_;
+  const TimeAuthority* authority_;
+};
+
+// Federated live subscription: one RecoveringSubscriber per shard.
+class FleetSubscriber {
+ public:
+  // `config` is the per-shard template; when it names the subscriber for
+  // metrics, shard i registers as "<name>.<i>" (unsuffixed for one shard).
+  FleetSubscriber(msgq::Context& context,
+                  const std::vector<std::string>& publish_endpoints,
+                  const std::vector<std::string>& api_endpoints,
+                  RecoveringSubscriberConfig config = {});
+
+  // Next live batch from any shard (backfill-before-live per shard, as
+  // RecoveringSubscriber guarantees). Shards are polled round-robin in
+  // short slices so one idle shard cannot starve the rest; batches from
+  // one shard arrive in that shard's sequence order. Returns kTimeout
+  // when nothing arrived within `timeout`, kClosed once every shard is
+  // closed.
+  [[nodiscard]] Result<EventBatch> NextBatchFor(std::chrono::nanoseconds timeout);
+
+  // Drains every shard until all have been quiet for `quiet` (bounded by
+  // `timeout`), then returns everything as ONE batch in fleet-wide HLC
+  // order. This is the federated read tests and tools use to assert
+  // cross-shard ordering; a latency-sensitive consumer uses NextBatchFor.
+  [[nodiscard]] Result<EventBatch> DrainMergedFor(
+      std::chrono::nanoseconds timeout,
+      std::chrono::nanoseconds quiet = std::chrono::milliseconds(50));
+
+  void Close();
+
+  [[nodiscard]] size_t shards() const noexcept { return shards_.size(); }
+  [[nodiscard]] RecoveringSubscriber& shard(size_t index) { return *shards_.at(index); }
+
+  // Fleet totals, summed over shards.
+  [[nodiscard]] uint64_t received() const;
+  [[nodiscard]] uint64_t gaps_detected() const;
+  [[nodiscard]] uint64_t events_backfilled() const;
+  [[nodiscard]] uint64_t events_unrecoverable() const;
+
+ private:
+  std::vector<std::unique_ptr<RecoveringSubscriber>> shards_;
+  size_t next_shard_ = 0;  // round-robin cursor
+};
+
+}  // namespace sdci::monitor

@@ -29,14 +29,24 @@ Monitor::Monitor(lustre::FileSystem& fs, const lustre::TestbedProfile& profile,
                  const TimeAuthority& authority, msgq::Context& context,
                  MonitorConfig config)
     : config_(std::move(config)) {
-  // The aggregator's sockets must exist before collectors publish
+  // The aggregator shards' sockets must exist before collectors publish
   // (PUB/SUB drops messages with no subscriber).
-  aggregator_ =
-      std::make_unique<Aggregator>(profile, authority, context, config_.aggregator);
+  AggregatorFleetConfig fleet_config;
+  fleet_config.shards = config_.aggregator_shards == 0 ? 1 : config_.aggregator_shards;
+  fleet_config.shard = config_.aggregator;
+  fleet_ = std::make_unique<AggregatorFleet>(profile, authority, context, fleet_config);
   collectors_.reserve(fs.MdsCount());
   for (size_t i = 0; i < fs.MdsCount(); ++i) {
+    // Route each collector to the shard that owns its MDT. With one shard
+    // ShardEndpoint is the identity, so the config is byte-identical to
+    // the pre-fleet monitor.
+    CollectorConfig collector_config = config_.collector;
+    collector_config.collect_endpoint = AggregatorFleet::ShardEndpoint(
+        collector_config.collect_endpoint,
+        fleet_->ShardForMdt(static_cast<uint32_t>(i)), fleet_->shards());
     collectors_.push_back(std::make_unique<Collector>(
-        fs, static_cast<int>(i), profile, authority, context, config_.collector));
+        fs, static_cast<int>(i), profile, authority, context,
+        std::move(collector_config)));
   }
 }
 
@@ -45,16 +55,16 @@ Monitor::~Monitor() { Stop(); }
 void Monitor::Start() {
   if (started_) return;
   started_ = true;
-  aggregator_->Start();
+  fleet_->Start();
   for (auto& collector : collectors_) collector->Start();
 }
 
 void Monitor::Stop() {
   if (!started_) return;
   started_ = false;
-  // Collectors first (they flush), then the aggregator (it drains).
+  // Collectors first (they flush), then the aggregator shards (they drain).
   for (auto& collector : collectors_) collector->Stop();
-  aggregator_->Stop();
+  fleet_->Stop();
 }
 
 MonitorStats Monitor::Stats() const {
@@ -65,7 +75,8 @@ MonitorStats Monitor::Stats() const {
     stats.total_extracted += stats.collectors.back().extracted;
     stats.total_reported += stats.collectors.back().reported;
   }
-  stats.aggregator = aggregator_->Stats();
+  stats.aggregator = fleet_->Stats();
+  stats.aggregator_shards = fleet_->ShardStats();
   return stats;
 }
 
@@ -90,7 +101,7 @@ json::Value Monitor::StatusJson(const MonitorObservability& obs) const {
     collectors.push_back(json::Value(std::move(entry)));
   }
   doc["collectors"] = json::Value(std::move(collectors));
-  const auto agg = aggregator_->Stats();
+  const auto agg = fleet_->Stats();
   json::Object aggregator;
   aggregator["received"] = json::Value(agg.received);
   aggregator["batches_received"] = json::Value(agg.batches_received);
@@ -98,12 +109,36 @@ json::Value Monitor::StatusJson(const MonitorObservability& obs) const {
   aggregator["batches_published"] = json::Value(agg.batches_published);
   aggregator["stored"] = json::Value(agg.stored);
   aggregator["decode_errors"] = json::Value(agg.decode_errors);
-  aggregator["store_first_seq"] = json::Value(aggregator_->store().FirstSeq());
-  aggregator["store_last_seq"] = json::Value(aggregator_->store().LastSeq());
-  aggregator["delivery_latency"] =
-      json::Value(aggregator_->delivery_latency().Summary());
+  if (fleet_->shards() == 1) {
+    // Historical flat document: one shard's store range and latency.
+    aggregator["store_first_seq"] = json::Value(fleet_->shard(0).store().FirstSeq());
+    aggregator["store_last_seq"] = json::Value(fleet_->shard(0).store().LastSeq());
+    aggregator["delivery_latency"] =
+        json::Value(fleet_->shard(0).delivery_latency().Summary());
+  }
   aggregator["checkpointed"] = json::Value(agg.checkpointed);
   doc["aggregator"] = json::Value(std::move(aggregator));
+  if (fleet_->shards() > 1) {
+    // Store ranges live in per-shard sequence namespaces, so a flat
+    // min/max would be meaningless — break them out per shard instead.
+    json::Array shards;
+    const auto shard_stats = fleet_->ShardStats();
+    for (size_t i = 0; i < fleet_->shards(); ++i) {
+      const Aggregator& shard = fleet_->shard(i);
+      json::Object entry;
+      entry["shard"] = json::Value(static_cast<int64_t>(i));
+      entry["received"] = json::Value(shard_stats[i].received);
+      entry["published"] = json::Value(shard_stats[i].published);
+      entry["stored"] = json::Value(shard_stats[i].stored);
+      entry["decode_errors"] = json::Value(shard_stats[i].decode_errors);
+      entry["checkpointed"] = json::Value(shard_stats[i].checkpointed);
+      entry["store_first_seq"] = json::Value(shard.store().FirstSeq());
+      entry["store_last_seq"] = json::Value(shard.store().LastSeq());
+      entry["delivery_latency"] = json::Value(shard.delivery_latency().Summary());
+      shards.push_back(json::Value(std::move(entry)));
+    }
+    doc["aggregator_shards"] = json::Value(std::move(shards));
+  }
 
   if (!obs.subscribers.empty() || !obs.recovering_subscribers.empty()) {
     json::Array subscribers;
@@ -145,11 +180,13 @@ json::Value Monitor::StatusJson(const MonitorObservability& obs) const {
 
 std::vector<ResourceUsage> Monitor::Usage(VirtualDuration elapsed) const {
   std::vector<ResourceUsage> usage;
-  usage.reserve(collectors_.size() + 1);
+  usage.reserve(collectors_.size() + fleet_->shards());
   for (const auto& collector : collectors_) {
     usage.push_back(collector->Usage(elapsed));
   }
-  usage.push_back(aggregator_->Usage(elapsed));
+  for (auto& shard_usage : fleet_->Usage(elapsed)) {
+    usage.push_back(std::move(shard_usage));
+  }
   return usage;
 }
 

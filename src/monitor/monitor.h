@@ -14,6 +14,7 @@
 #include "lustre/profile.h"
 #include "monitor/aggregator.h"
 #include "monitor/collector.h"
+#include "monitor/fleet.h"
 #include "msgq/context.h"
 
 namespace sdci::monitor {
@@ -35,6 +36,11 @@ struct MonitorObservability {
 struct MonitorConfig {
   CollectorConfig collector;
   AggregatorConfig aggregator;
+  // Aggregator fleet width. 1 (the default) deploys the historical single
+  // aggregator unchanged; N > 1 deploys N shards and routes collector i to
+  // shard i % N (fleet.h). Endpoints in `aggregator` become per-shard
+  // bases ("<base>.<i>").
+  size_t aggregator_shards = 1;
 
   // Keeps the two halves' endpoints and transport consistent.
   void SetCollectEndpoint(std::string endpoint);
@@ -48,7 +54,10 @@ struct MonitorConfig {
 
 struct MonitorStats {
   std::vector<CollectorStats> collectors;
+  // Fleet-total (sum over shards); identical to the single aggregator's
+  // stats when aggregator_shards == 1.
   AggregatorStats aggregator;
+  std::vector<AggregatorStats> aggregator_shards;
   uint64_t total_extracted = 0;
   uint64_t total_reported = 0;
 };
@@ -69,8 +78,12 @@ class Monitor {
   void Stop();
 
   [[nodiscard]] MonitorStats Stats() const;
-  [[nodiscard]] const Aggregator& aggregator() const noexcept { return *aggregator_; }
-  [[nodiscard]] Aggregator& aggregator() noexcept { return *aggregator_; }
+  // Shard 0 — the whole fleet when aggregator_shards == 1 (the common
+  // case); multi-shard callers should go through fleet().
+  [[nodiscard]] const Aggregator& aggregator() const { return fleet_->shard(0); }
+  [[nodiscard]] Aggregator& aggregator() { return fleet_->shard(0); }
+  [[nodiscard]] const AggregatorFleet& fleet() const noexcept { return *fleet_; }
+  [[nodiscard]] AggregatorFleet& fleet() noexcept { return *fleet_; }
   [[nodiscard]] size_t CollectorCount() const noexcept { return collectors_.size(); }
   [[nodiscard]] Collector& collector(size_t i) noexcept { return *collectors_[i]; }
   [[nodiscard]] const MonitorConfig& config() const noexcept { return config_; }
@@ -87,7 +100,7 @@ class Monitor {
 
  private:
   MonitorConfig config_;
-  std::unique_ptr<Aggregator> aggregator_;
+  std::unique_ptr<AggregatorFleet> fleet_;
   std::vector<std::unique_ptr<Collector>> collectors_;
   bool started_ = false;
 };

@@ -50,6 +50,10 @@ void Agent::AttachSource(std::unique_ptr<monitor::RecoveringSubscriber> source) 
   recovering_source_ = std::move(source);
 }
 
+void Agent::AttachSource(std::unique_ptr<monitor::FleetSubscriber> source) {
+  fleet_source_ = std::move(source);
+}
+
 void Agent::AttachLocalWatcher(std::unique_ptr<monitor::InotifyMonitor> watcher,
                                VirtualDuration poll_interval) {
   watcher_ = std::move(watcher);
@@ -62,7 +66,7 @@ void Agent::RegisterExecutor(ActionType type, std::unique_ptr<ActionExecutor> ex
 
 void Agent::Start() {
   if (running_.exchange(true)) return;
-  if (source_ != nullptr || recovering_source_ != nullptr) {
+  if (source_ != nullptr || recovering_source_ != nullptr || fleet_source_ != nullptr) {
     event_thread_ = std::jthread([this](const std::stop_token& stop) { EventLoop(stop); });
   } else if (watcher_ != nullptr) {
     event_thread_ =
@@ -77,6 +81,7 @@ void Agent::Stop() {
     event_thread_.request_stop();
     if (source_ != nullptr) source_->Close();
     if (recovering_source_ != nullptr) recovering_source_->Close();
+    if (fleet_source_ != nullptr) fleet_source_->Close();
     event_thread_.join();
   }
   action_queue_.Close();
@@ -106,6 +111,7 @@ void Agent::EventLoop(const std::stop_token& stop) {
   // message, then the filter/report path per event. The recovering source
   // interleaves history-backfilled batches when it detects a gap.
   const auto next = [this](std::chrono::nanoseconds timeout) {
+    if (fleet_source_ != nullptr) return fleet_source_->NextBatchFor(timeout);
     return recovering_source_ != nullptr ? recovering_source_->NextBatchFor(timeout)
                                          : source_->NextBatchFor(timeout);
   };

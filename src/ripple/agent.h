@@ -29,6 +29,7 @@
 #include "common/tracing.h"
 #include "lustre/filesystem.h"
 #include "monitor/consumer.h"
+#include "monitor/federation.h"
 #include "monitor/inotify_sim.h"
 #include "ripple/actions.h"
 #include "ripple/cloud.h"
@@ -89,6 +90,12 @@ class Agent {
   // edges of recovery, so actions still fire exactly once per event.
   void AttachSource(std::unique_ptr<monitor::RecoveringSubscriber> source);
 
+  // Fleet alternative: one gap-healing subscriber per aggregator shard
+  // behind a single round-robin feed (federation.h). Rules are evaluated
+  // per event, so cross-shard arrival order does not change what fires;
+  // the dedupe keyed by (rule, mdt:record) stays shard-agnostic.
+  void AttachSource(std::unique_ptr<monitor::FleetSubscriber> source);
+
   // Personal-device alternative (the paper's Watchdog/inotify deployment):
   // the agent polls a local per-directory watcher instead of subscribing
   // to a site monitor. `poll_interval` is virtual time. Watches must be
@@ -127,6 +134,10 @@ class Agent {
   [[nodiscard]] const monitor::RecoveringSubscriber* recovering_source() const noexcept {
     return recovering_source_.get();
   }
+  // Null unless a FleetSubscriber was attached (fleet-wide telemetry).
+  [[nodiscard]] const monitor::FleetSubscriber* fleet_source() const noexcept {
+    return fleet_source_.get();
+  }
 
  private:
   void EventLoop(const std::stop_token& stop);
@@ -145,6 +156,7 @@ class Agent {
 
   std::unique_ptr<monitor::EventSubscriber> source_;
   std::unique_ptr<monitor::RecoveringSubscriber> recovering_source_;
+  std::unique_ptr<monitor::FleetSubscriber> fleet_source_;
   std::unique_ptr<monitor::InotifyMonitor> watcher_;
   VirtualDuration watcher_poll_interval_{};
 

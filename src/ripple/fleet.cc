@@ -78,6 +78,64 @@ json::Value FleetStatusJson(const FleetComponents& fleet) {
     doc["aggregator"] = json::Value(std::move(section));
   }
 
+  if (!fleet.aggregator_shards.empty()) {
+    // Per-shard verdicts plus a fleet-total rollup: one shard mid-restart
+    // marks the fleet "down" exactly as a single aggregator would, but the
+    // array shows which shard (and the others' health) at a glance.
+    json::Array shards;
+    json::Object total;
+    uint64_t received = 0;
+    uint64_t published = 0;
+    uint64_t stored = 0;
+    uint64_t decode_errors = 0;
+    uint64_t checkpointed = 0;
+    uint64_t crashes = 0;
+    uint64_t restarts = 0;
+    size_t shard_index = 0;
+    int worst_shard = 0;
+    for (const monitor::AggregatorSupervisor* sup : fleet.aggregator_shards) {
+      if (sup == nullptr) continue;
+      const auto stats = sup->Stats();
+      json::Object section;
+      section["shard"] = json::Value(static_cast<int64_t>(shard_index++));
+      section["up"] = json::Value(sup->IsUp());
+      section["received"] = json::Value(stats.received);
+      section["published"] = json::Value(stats.published);
+      section["stored"] = json::Value(stats.stored);
+      section["decode_errors"] = json::Value(stats.decode_errors);
+      section["checkpointed"] = json::Value(stats.checkpointed);
+      section["crashes"] = json::Value(sup->crashes());
+      section["restarts"] = json::Value(sup->restarts());
+      section["next_seq"] = json::Value(sup->NextSeq());
+      std::string verdict = "up";
+      if (stats.decode_errors > 0) verdict = "degraded";
+      if (!sup->IsUp()) verdict = "down";
+      worst_shard = std::max(worst_shard, Rank(verdict));
+      fold(section, verdict);
+      shards.push_back(json::Value(std::move(section)));
+      received += stats.received;
+      published += stats.published;
+      stored += stats.stored;
+      decode_errors += stats.decode_errors;
+      checkpointed += stats.checkpointed;
+      crashes += sup->crashes();
+      restarts += sup->restarts();
+    }
+    doc["aggregator_shards"] = json::Value(std::move(shards));
+    total["shards"] = json::Value(static_cast<int64_t>(shard_index));
+    total["received"] = json::Value(received);
+    total["published"] = json::Value(published);
+    total["stored"] = json::Value(stored);
+    total["decode_errors"] = json::Value(decode_errors);
+    total["checkpointed"] = json::Value(checkpointed);
+    total["crashes"] = json::Value(crashes);
+    total["restarts"] = json::Value(restarts);
+    // Per-shard verdicts already folded into `overall`; the rollup's own
+    // verdict is the worst shard's, for one-stop reads.
+    total["verdict"] = json::Value(std::string(Name(worst_shard)));
+    doc["aggregator"] = json::Value(std::move(total));
+  }
+
   if (!fleet.subscribers.empty()) {
     json::Array subscribers;
     for (const monitor::RecoveringSubscriber* sub : fleet.subscribers) {

@@ -27,6 +27,11 @@ namespace sdci::ripple {
 struct FleetComponents {
   const monitor::CollectorSupervisor* collector_supervisor = nullptr;
   const monitor::AggregatorSupervisor* aggregator_supervisor = nullptr;
+  // Sharded deployments: one supervisor per aggregator shard, in shard
+  // order. Folds into an "aggregator_shards" array (verdict per shard)
+  // plus a fleet-total "aggregator" section; mutually exclusive with
+  // `aggregator_supervisor` by convention.
+  std::vector<const monitor::AggregatorSupervisor*> aggregator_shards;
   std::vector<const monitor::RecoveringSubscriber*> subscribers;
   const CloudService* cloud = nullptr;
   // Fault telemetry is per endpoint: list the endpoints worth reporting

@@ -327,5 +327,65 @@ TEST(EventStoreSharded, OutOfOrderTimesStayQueryable) {
   EXPECT_EQ(events.back().global_seq, 150u);
 }
 
+// The k-way merge at exact stripe-rotation boundaries: sequences rotate
+// to a new shard every kSeqStripe (64) sequences, so queries that start
+// on, straddle, or end at a multiple of 64 exercise the seams where the
+// merge switches source runs. Each must return exactly the contiguous
+// range, in order, regardless of which shard holds which stripe.
+TEST(EventStoreSharded, KWayMergeExactAtStripeRotationBoundaries) {
+  EventStore store(1u << 12, 4);
+  for (uint64_t s = 1; s <= 512; ++s) store.Append(EventWithSeq(s));
+  // from_seq one before, on, and one after each rotation seam; max sized
+  // so the result also *ends* at or around a seam.
+  for (const uint64_t from : {63u, 64u, 65u, 127u, 128u, 191u, 256u}) {
+    for (const size_t max : {1u, 63u, 64u, 65u, 128u}) {
+      const auto events = store.Query(from, max);
+      ASSERT_EQ(events.size(), std::min<size_t>(max, 512 - from + 1))
+          << "from=" << from << " max=" << max;
+      for (size_t i = 0; i < events.size(); ++i) {
+        ASSERT_EQ(events[i].global_seq, from + i)
+            << "merge seam broke order at from=" << from << " max=" << max;
+      }
+    }
+  }
+}
+
+// Time-range queries cross the same seams: a range whose matching events
+// span a stripe rotation must come back seq-ordered and truncated by max
+// to the *lowest* sequences (the merge must not truncate per shard and
+// then lose earlier events from another shard's run).
+TEST(EventStoreSharded, TimeRangeMergeTruncatesAcrossStripeRotation) {
+  EventStore store(1u << 12, 4);
+  for (uint64_t s = 1; s <= 256; ++s) store.Append(EventWithSeq(s));
+  // times are s*1000us; [60ms, 70ms) covers seqs 60..69 — straddling the
+  // 64-seq rotation from one shard's stripe into the next shard's.
+  const auto events = store.QueryTimeRange(Micros(60000), Micros(70000), 1u << 10);
+  ASSERT_EQ(events.size(), 10u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].global_seq, 60 + i);
+  }
+  // Truncation keeps the merge's head, not an arbitrary shard's.
+  const auto truncated = store.QueryTimeRange(Micros(60000), Micros(70000), 6);
+  ASSERT_EQ(truncated.size(), 6u);
+  EXPECT_EQ(truncated.front().global_seq, 60u);
+  EXPECT_EQ(truncated.back().global_seq, 65u);
+}
+
+// Rotation landing exactly on a stripe edge: evict precisely up to a
+// multiple of kSeqStripe and verify the merge still stitches the floor
+// shard to its successors without duplicating or skipping the edge.
+TEST(EventStoreSharded, RotationAtStripeEdgeKeepsMergeContiguous) {
+  EventStore store(128, 4);  // 32 per shard: eviction edges hit stripe seams
+  for (uint64_t s = 1; s <= 384; ++s) store.Append(EventWithSeq(s));
+  uint64_t first_available = 0;
+  const auto events = store.Query(0, 1u << 20, &first_available);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().global_seq, first_available);
+  EXPECT_EQ(events.back().global_seq, 384u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    ASSERT_EQ(events[i].global_seq, events[i - 1].global_seq + 1);
+  }
+}
+
 }  // namespace
 }  // namespace sdci::monitor

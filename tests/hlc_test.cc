@@ -1,0 +1,120 @@
+#include "common/hlc.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sdci {
+namespace {
+
+TEST(HlcStamp, LexicographicComparison) {
+  const HlcStamp a{100, 0, 0};
+  const HlcStamp b{100, 1, 0};
+  const HlcStamp c{101, 0, 0};
+  const HlcStamp d{100, 0, 1};
+  EXPECT_LT(a, b) << "logical breaks same-wall ties";
+  EXPECT_LT(b, c) << "wall dominates logical";
+  EXPECT_LT(a, d) << "origin breaks (wall, logical) ties";
+  EXPECT_LT(d, b) << "logical dominates origin";
+  EXPECT_EQ(a, (HlcStamp{100, 0, 0}));
+}
+
+TEST(HlcStamp, ZeroMarksPreFleetEvents) {
+  EXPECT_TRUE((HlcStamp{}).IsZero());
+  EXPECT_FALSE((HlcStamp{0, 1, 0}).IsZero());
+  EXPECT_FALSE((HlcStamp{0, 0, 3}).IsZero());
+}
+
+// Property: comparison is a strict total order — trichotomy holds and
+// sorting any stamp population is consistent with pairwise comparison.
+TEST(HlcStamp, ComparatorTotalOrderProperty) {
+  Rng rng(42);
+  std::vector<HlcStamp> stamps;
+  for (int i = 0; i < 200; ++i) {
+    stamps.push_back({static_cast<int64_t>(rng.NextBelow(5)),
+                      static_cast<uint32_t>(rng.NextBelow(4)),
+                      static_cast<uint32_t>(rng.NextBelow(3))});
+  }
+  for (const HlcStamp& a : stamps) {
+    for (const HlcStamp& b : stamps) {
+      const int ab = a < b ? -1 : (b < a ? 1 : 0);
+      const int ba = b < a ? -1 : (a < b ? 1 : 0);
+      EXPECT_EQ(ab, -ba) << "antisymmetry";
+      if (ab == 0) {
+        EXPECT_EQ(a, b) << "incomparable implies equal";
+      }
+    }
+  }
+  std::sort(stamps.begin(), stamps.end());
+  EXPECT_TRUE(std::is_sorted(stamps.begin(), stamps.end()));
+}
+
+// Property: Tick() is strictly monotone even when the clock it samples
+// jumps backwards or stalls (skewed virtual time).
+TEST(HlcClock, TickMonotoneUnderClockSkew) {
+  Rng rng(7);
+  HlcClock clock(1);
+  HlcStamp last{};
+  int64_t now_ns = 1000;
+  for (int i = 0; i < 10000; ++i) {
+    // Random walk that deliberately goes backwards ~40% of the time.
+    now_ns += static_cast<int64_t>(rng.NextBelow(200)) - 80;
+    const HlcStamp stamp = clock.Tick(VirtualTime(now_ns));
+    EXPECT_LT(last, stamp) << "stamp " << i << " not strictly after its predecessor";
+    EXPECT_EQ(stamp.origin, 1u);
+    last = stamp;
+  }
+}
+
+TEST(HlcClock, TickResetsLogicalWhenWallAdvances) {
+  HlcClock clock(0);
+  const HlcStamp a = clock.Tick(VirtualTime(100));
+  const HlcStamp b = clock.Tick(VirtualTime(100));
+  const HlcStamp c = clock.Tick(VirtualTime(200));
+  EXPECT_EQ(a.wall_ns, 100);
+  EXPECT_EQ(b.logical, a.logical + 1);
+  EXPECT_EQ(c.wall_ns, 200);
+  EXPECT_EQ(c.logical, 0u);
+}
+
+TEST(HlcClock, ObserveStaysAheadOfRemote) {
+  HlcClock clock(0);
+  // Remote is far ahead of local physical time: adopt its wall, advance
+  // its logical.
+  const HlcStamp remote{5000, 7, 1};
+  const HlcStamp merged = clock.Observe(remote, VirtualTime(100));
+  EXPECT_EQ(merged.wall_ns, 5000);
+  EXPECT_EQ(merged.logical, 8u);
+  EXPECT_LT(remote, merged) << "observer orders after what it observed";
+  // Physical time overtakes everything: wall wins, logical resets.
+  const HlcStamp later = clock.Observe({5500, 3, 1},
+                                       VirtualTime(9000));
+  EXPECT_EQ(later.wall_ns, 9000);
+  EXPECT_EQ(later.logical, 0u);
+  EXPECT_LT(merged, later);
+}
+
+// Property: two clocks with distinct origins never issue equal stamps, no
+// matter how their sampled times interleave — the guarantee the
+// federation merge's exactness rests on.
+TEST(HlcClock, DistinctOriginsNeverCollideProperty) {
+  Rng rng(99);
+  HlcClock clock_a(0);
+  HlcClock clock_b(1);
+  std::vector<HlcStamp> all;
+  int64_t now_ns = 0;
+  for (int i = 0; i < 5000; ++i) {
+    now_ns += static_cast<int64_t>(rng.NextBelow(3));  // frequent identical walls
+    const VirtualTime now{now_ns};
+    all.push_back(rng.NextBelow(2) == 0 ? clock_a.Tick(now) : clock_b.Tick(now));
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "two stamps compared equal across the fleet";
+}
+
+}  // namespace
+}  // namespace sdci

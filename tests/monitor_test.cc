@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "monitor/consumer.h"
+#include "monitor/federation.h"
 
 namespace sdci::monitor {
 namespace {
@@ -183,6 +184,65 @@ TEST_F(MonitorTest, UsageReportsAllComponents) {
   ASSERT_EQ(usage.size(), 3u);  // 2 collectors + aggregator
   EXPECT_EQ(usage[0].component, "collector.0");
   EXPECT_EQ(usage[2].component, "aggregator");
+}
+
+TEST_F(MonitorTest, ShardedFleetRoutesMdtsAndDeliversEverything) {
+  auto fs = MakeFs(4);
+  auto config = Config();
+  config.aggregator_shards = 2;
+  Monitor monitor(*fs, profile_, authority_, context_, config);
+  ASSERT_EQ(monitor.fleet().shards(), 2u);
+  // A federated subscriber across both shards' live feeds.
+  FleetSubscriber consumer(context_, monitor.fleet().publish_endpoints(),
+                           monitor.fleet().api_endpoints(),
+                           RecoveringSubscriberConfig{});
+  monitor.Start();
+
+  size_t expected = 0;
+  for (int i = 0; i < 24; ++i) {
+    ASSERT_TRUE(fs->Mkdir("/s" + std::to_string(i)).ok());
+    ++expected;
+    ASSERT_TRUE(fs->Create("/s" + std::to_string(i) + "/f").ok());
+    ++expected;
+  }
+  WaitUntilDrained(*fs, monitor);
+
+  // Every event arrives exactly once across the fleet, fleet-wide HLC
+  // sorted, and each event's origin matches its MDT's routing shard.
+  auto merged = consumer.DrainMergedFor(std::chrono::seconds(10));
+  ASSERT_TRUE(merged.ok()) << merged.status().message();
+  EXPECT_EQ(merged->events().size(), expected);
+  std::map<std::pair<int, uint64_t>, int> copies;
+  HlcStamp last{};
+  for (const FsEvent& event : merged->events()) {
+    EXPECT_LT(last, event.hlc);
+    last = event.hlc;
+    ++copies[{event.mdt_index, event.record_index}];
+    EXPECT_EQ(event.hlc.origin,
+              monitor.fleet().ShardForMdt(static_cast<uint32_t>(event.mdt_index)));
+  }
+  EXPECT_EQ(copies.size(), expected);
+
+  const auto stats = monitor.Stats();
+  EXPECT_EQ(stats.aggregator.received, expected);
+  ASSERT_EQ(stats.aggregator_shards.size(), 2u);
+  EXPECT_GT(stats.aggregator_shards[0].received, 0u);
+  EXPECT_GT(stats.aggregator_shards[1].received, 0u);
+  EXPECT_EQ(stats.aggregator_shards[0].received + stats.aggregator_shards[1].received,
+            expected);
+
+  // Status document breaks the fleet out per shard; usage reports
+  // per-shard components.
+  const auto status = monitor.StatusJson();
+  ASSERT_TRUE(status.Has("aggregator_shards"));
+  EXPECT_EQ(status["aggregator_shards"].AsArray().size(), 2u);
+  const auto usage = monitor.Usage(Seconds(1.0));
+  ASSERT_EQ(usage.size(), 6u);  // 4 collectors + 2 shards
+  EXPECT_EQ(usage[4].component, "aggregator.0");
+  EXPECT_EQ(usage[5].component, "aggregator.1");
+
+  consumer.Close();
+  monitor.Stop();
 }
 
 TEST_F(MonitorTest, StopIsIdempotentAndRestartable) {
