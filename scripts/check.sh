@@ -11,7 +11,9 @@
 #
 # --bench-json: additionally run bench_throughput --json and write the
 # result to BENCH_throughput.json in the repo root (the checked-in perf
-# baseline — includes the resolver-worker sweep and its speedup metric).
+# baseline — includes the resolver-worker sweep and its speedup metric),
+# then bench_failover --json to BENCH_failover.json and gate the
+# degraded-mode federated query availability at >= 0.99.
 #
 # Every mode ends with two health steps:
 #   - the ctest output must contain no "[health] decode_errors=" marker
@@ -73,7 +75,9 @@ else
                    GroupCommitSurvivesMidCommitCrashes \
                    ConcurrentFederatedQueriesDuringIngest \
                    TwoShardKillMidStreamBackfillHealsBothShards \
-                   FederatedRangeQueryReturnsExactHlcMerge; do
+                   FederatedRangeQueryReturnsExactHlcMerge \
+                   SingleShardOutageSpoolsReplaysAndServesLabeledPartials \
+                   RollingOutagesServeLabeledPartialsUnderConcurrency; do
     if ! grep -q "$test_name" "$TSAN_LOG"; then
       echo "FAIL: $test_name did not run in the TSan pass" >&2
       exit 1
@@ -127,6 +131,33 @@ if [[ "$BENCH_JSON_OUT" == 1 ]]; then
     }
     END { if (!found) { print "FAIL: fleet_speedup_4_shards not found" > "/dev/stderr"; exit 1 } }
   ' BENCH_throughput.json
+
+  # Degraded-mode availability baseline: one shard hard-down must not cost
+  # the other shards' answers. bench_failover --json runs only the fleet
+  # outage scenario (fast) and reports the fraction of federated fetches
+  # that answered — as labeled partial pages — during the outage.
+  FAILOVER_BIN="$FIRST_DIR/bench/bench_failover"
+  [[ -x "build/bench/bench_failover" ]] && FAILOVER_BIN="build/bench/bench_failover"
+  "$FAILOVER_BIN" --json BENCH_failover.json
+  for key in degraded_query_availability degraded_labeled_partial_fraction \
+             fleet_recovered_full; do
+    if ! grep -q "\"$key\"" BENCH_failover.json; then
+      echo "FAIL: BENCH_failover.json is missing $key" >&2
+      exit 1
+    fi
+  done
+  awk '
+    /"degraded_query_availability"/ {
+      match($0, /"degraded_query_availability":[0-9.eE+-]+/)
+      split(substr($0, RSTART, RLENGTH), kv, ":")
+      if (kv[2] + 0 < 0.99) {
+        printf "FAIL: degraded_query_availability %.3f < 0.99\n", kv[2] > "/dev/stderr"
+        exit 1
+      }
+      found = 1
+    }
+    END { if (!found) { print "FAIL: degraded_query_availability not found" > "/dev/stderr"; exit 1 } }
+  ' BENCH_failover.json
 fi
 
 echo "check.sh: all gates passed"

@@ -90,8 +90,11 @@ void AggregatorSupervisor::Stop() {
 
 void AggregatorSupervisor::CrashLocked() {
   if (aggregator_ == nullptr) return;
-  // Bank this incarnation's counters before it dies so Stats() stays
-  // cumulative across restarts.
+  aggregator_->Crash();
+  // Bank this incarnation's counters AFTER the crash joins its workers so
+  // Stats() stays cumulative across restarts: a snapshot taken while they
+  // still ran would miss their final events — events subscribers may have
+  // already received, which must therefore stay in the totals.
   const AggregatorStats stats = aggregator_->Stats();
   totals_.received += stats.received;
   totals_.batches_received += stats.batches_received;
@@ -99,7 +102,6 @@ void AggregatorSupervisor::CrashLocked() {
   totals_.batches_published += stats.batches_published;
   totals_.stored += stats.stored;
   totals_.decode_errors += stats.decode_errors;
-  aggregator_->Crash();
   aggregator_.reset();
   crashes_->Add();
   log::Debug("supervisor", "aggregator crashed");
@@ -110,6 +112,28 @@ void AggregatorSupervisor::InjectCrash() {
   CrashLocked();
 }
 
+void AggregatorSupervisor::BeginOutage() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (outage_) return;
+  outage_ = true;
+  // Refuse new deliveries first, then kill the process: collector batches
+  // sent from here on are rejected at the socket (the sender still owns
+  // them), while hand-offs already accepted stay queued for recovery.
+  if (ingest_sub_ != nullptr) ingest_sub_->SetAccepting(false);
+  if (ingest_pull_ != nullptr) ingest_pull_->SetAccepting(false);
+  CrashLocked();
+  log::Debug("supervisor", "outage began");
+}
+
+void AggregatorSupervisor::EndOutage() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!outage_) return;
+  outage_ = false;
+  if (ingest_sub_ != nullptr) ingest_sub_->SetAccepting(true);
+  if (ingest_pull_ != nullptr) ingest_pull_->SetAccepting(true);
+  log::Debug("supervisor", "outage ended; restart pending health check");
+}
+
 void AggregatorSupervisor::SuperviseLoop(const std::stop_token& stop) {
   while (!stop.stop_requested()) {
     authority_->SleepFor(config_.check_interval);
@@ -118,7 +142,7 @@ void AggregatorSupervisor::SuperviseLoop(const std::stop_token& stop) {
         rng_.NextBool(config_.crash_prob_per_check)) {
       CrashLocked();
     }
-    if (aggregator_ == nullptr) {
+    if (aggregator_ == nullptr && !outage_) {
       aggregator_ = MakeAggregator();
       aggregator_->Start();
       restarts_->Add();

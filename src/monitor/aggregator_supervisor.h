@@ -49,6 +49,18 @@ class AggregatorSupervisor {
   // restarted on the next health check.
   void InjectCrash();
 
+  // Hard outage, not a crash: the shard host drops off the network. The
+  // process dies AND the ingest socket stops accepting, so collector
+  // reports are refused (the sender keeps them — spool territory) instead
+  // of queueing, and SuperviseLoop does NOT restart until EndOutage. The
+  // checkpoint and any already-queued hand-offs survive untouched.
+  void BeginOutage();
+  void EndOutage();  // restart happens at the next health check
+  [[nodiscard]] bool InOutage() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return outage_;
+  }
+
   [[nodiscard]] uint64_t crashes() const noexcept { return crashes_->Get(); }
   [[nodiscard]] uint64_t restarts() const noexcept { return restarts_->Get(); }
 
@@ -87,6 +99,7 @@ class AggregatorSupervisor {
 
   mutable std::mutex mutex_;
   std::unique_ptr<Aggregator> aggregator_;  // null while "down"
+  bool outage_ = false;                     // declared outage: no restarts
   AggregatorStats totals_;                  // from dead incarnations
   Rng rng_;
   // Registered into aggregator_config_.metrics (or a private registry).

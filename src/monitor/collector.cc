@@ -22,6 +22,18 @@ std::string_view ResolveModeName(ResolveMode mode) noexcept {
   return "?";
 }
 
+std::string_view CollectorTerminalName(CollectorTerminal terminal) noexcept {
+  switch (terminal) {
+    case CollectorTerminal::kRunning:
+      return "running";
+    case CollectorTerminal::kCleanStop:
+      return "clean-stop";
+    case CollectorTerminal::kReportsAbandoned:
+      return "reports-abandoned";
+  }
+  return "?";
+}
+
 Collector::Collector(lustre::FileSystem& fs, int mdt_index,
                      const lustre::TestbedProfile& profile,
                      const TimeAuthority& authority, msgq::Context& context,
@@ -50,6 +62,12 @@ Collector::Collector(lustre::FileSystem& fs, int mdt_index,
       metrics_->GetCounter("sdci_collector_resolve_failures_total", labels);
   report_retries_ =
       metrics_->GetCounter("sdci_collector_report_retries_total", labels);
+  events_spooled_ =
+      metrics_->GetCounter("sdci_collector_events_spooled_total", labels);
+  events_replayed_ =
+      metrics_->GetCounter("sdci_collector_events_replayed_total", labels);
+  reports_abandoned_ =
+      metrics_->GetCounter("sdci_collector_reports_abandoned_total", labels);
   last_cleared_ = metrics_->GetGauge("sdci_collector_last_cleared_index", labels);
   detection_latency_ =
       metrics_->GetHistogram("sdci_collector_detection_latency", labels);
@@ -86,6 +104,15 @@ Collector::Collector(lustre::FileSystem& fs, int mdt_index,
   }
   if (config_.local_store_capacity > 0) {
     local_store_ = std::make_unique<EventStore>(config_.local_store_capacity);
+  }
+  if (config_.spool_capacity > 0) {
+    spool_ = std::make_unique<EventSpool>(config_.spool_capacity);
+    metrics_->RegisterCallback(
+        "sdci_collector_spool_depth", labels,
+        [alive, this]() -> std::optional<int64_t> {
+          if (alive.expired()) return std::nullopt;
+          return static_cast<int64_t>(spool_->EventCount());
+        });
   }
   consumer_id_ = fs_->Mds(static_cast<size_t>(mdt_index_)).changelog().RegisterConsumer();
   if (config_.transport == CollectTransport::kPubSub) {
@@ -148,6 +175,7 @@ void Collector::Run(const std::stop_token& stop) {
              ResolveModeName(config_.resolve_mode), Workers(), Window());
   while (!stop.stop_requested()) {
     if (!ReadPass()) {
+      MaybeScheduleSpoolReplay();
       budget_.Flush();
       authority_->SleepFor(config_.poll_interval);
     }
@@ -237,6 +265,20 @@ void Collector::ResolveChunkTask(ResolveChunk chunk, size_t worker) {
   reorder_.Complete(ticket, std::move(chunk));
 }
 
+void Collector::MaybeScheduleSpoolReplay() {
+  // With no fresh traffic the publisher sits blocked in AwaitNext and
+  // would never notice the shard coming back. An empty tick chunk rides
+  // the normal ticket path, giving PublishChunk a replay opportunity once
+  // per idle poll interval. Only when the pipeline is otherwise drained —
+  // in-flight chunks already trigger replay attempts themselves.
+  if (spool_ == nullptr || spool_->Empty() || reorder_.Occupancy() != 0) return;
+  ResolveChunk tick;
+  tick.ticket = reorder_.Acquire();
+  (void)pool_->Submit([this, tick = std::move(tick)](size_t worker) mutable {
+    ResolveChunkTask(std::move(tick), worker);
+  });
+}
+
 void Collector::PublisherLoop(const std::stop_token& stop) {
   while (true) {
     ResolveChunk chunk;
@@ -247,11 +289,36 @@ void Collector::PublisherLoop(const std::stop_token& stop) {
   publish_budget_.Flush();
 }
 
+bool Collector::TryReplaySpool() {
+  // Oldest first, in publish_batch chunks, stopping at the first short
+  // delivery (the shard is still — or again — down). Report() only counts
+  // events on acceptance, so replayed events are reported exactly once.
+  bool progress = false;
+  while (!spool_->Empty()) {
+    const std::vector<FsEvent> head =
+        spool_->PeekFront(std::max<size_t>(1, config_.publish_batch));
+    const size_t delivered = Report(head, publish_budget_);
+    if (delivered > 0) {
+      spool_->DropFront(delivered);
+      events_replayed_->Add(delivered);
+      progress = true;
+    }
+    if (delivered < head.size()) break;
+  }
+  return progress;
+}
+
 void Collector::PublishChunk(ResolveChunk& chunk, const std::stop_token& stop) {
   // An undelivered predecessor blocks everything after it: publishing (or
   // purging) past it would break in-order delivery and could clear records
   // whose events never made it out.
-  if (publish_aborted_) return;
+  if (publish_aborted_.load(std::memory_order_relaxed)) {
+    if (!chunk.events.empty()) reports_abandoned_->Add(chunk.events.size());
+    return;
+  }
+  // Spooled backlog replays ahead of fresh events: per-collector delivery
+  // order is spool (accepted first) before this chunk.
+  if (spool_ != nullptr && !spool_->Empty()) TryReplaySpool();
   if (!chunk.events.empty()) {
     // The local store sees events here — on the publisher, in ticket
     // order — so its append order matches ChangeLog order (QueryTimeRange
@@ -262,15 +329,40 @@ void Collector::PublishChunk(ResolveChunk& chunk, const std::stop_token& stop) {
     const VirtualDuration charged_before = publish_budget_.TotalCharged();
     std::vector<FsEvent> pending = std::move(chunk.events);
     VirtualDuration backoff = config_.retry_backoff_min;
-    while (true) {
-      const size_t delivered = Report(pending, publish_budget_);
-      pending.erase(pending.begin(), pending.begin() + static_cast<ptrdiff_t>(delivered));
-      if (pending.empty()) break;
+    VirtualDuration waited{0};  // accumulated backoff: the restart budget
+    // While earlier events sit in the spool the shard is down (or just
+    // recovered mid-replay): fresh events must queue behind them or the
+    // per-MDT record order breaks on arrival.
+    if (spool_ != nullptr && !spool_->Empty() && spool_->TryAppend(pending)) {
+      events_spooled_->Add(pending.size());
+      pending.clear();
+    }
+    while (!pending.empty()) {
+      if (spool_ == nullptr || spool_->Empty()) {
+        const size_t delivered = Report(pending, publish_budget_);
+        pending.erase(pending.begin(),
+                      pending.begin() + static_cast<ptrdiff_t>(delivered));
+        if (pending.empty()) break;
+      } else if (TryReplaySpool() && spool_->Empty()) {
+        continue;  // backlog cleared; the fresh batch gets its turn
+      }
       if (stop.stop_requested()) {
         // Shutdown with a dead aggregator: give up without purging; the
-        // unpurged records are re-extracted by the next incarnation.
-        publish_aborted_ = true;
+        // unpurged records are re-extracted by the next incarnation. The
+        // abandoned tail makes this terminal status distinct from a clean
+        // stop (reports_abandoned + CollectorTerminal::kReportsAbandoned).
+        publish_aborted_.store(true, std::memory_order_relaxed);
+        reports_abandoned_->Add(pending.size());
         return;
+      }
+      // Down past the restart budget: spill and move on, so the purge and
+      // the reader are not hostage to the outage. A full spool falls
+      // through to blocking retry — backpressure, never loss.
+      if (spool_ != nullptr && waited >= config_.spool_after &&
+          spool_->TryAppend(pending)) {
+        events_spooled_->Add(pending.size());
+        pending.clear();
+        break;
       }
       // The aggregator is absent or saturated. Capped exponential backoff,
       // jittered so a fleet of collectors does not retry in lockstep
@@ -280,10 +372,14 @@ void Collector::PublishChunk(ResolveChunk& chunk, const std::stop_token& stop) {
       publish_budget_.Flush();
       authority_->SleepFor(
           Seconds(retry_rng_.Jitter(ToSecondsF(backoff), config_.retry_jitter_frac)));
+      waited += backoff;
       backoff = std::min(backoff * 2, config_.retry_backoff_max);
     }
     publish_stage_latency_->Record(publish_budget_.TotalCharged() - charged_before);
   }
+  // Spooled events are durably held (write-ahead, like the checkpoint), so
+  // purging records whose events sit in the spool is safe: replay — not
+  // re-extraction — is their delivery path.
   if (chunk.purge_index > 0) PurgeThrough(chunk.purge_index, publish_budget_);
 }
 
@@ -616,6 +712,18 @@ CollectorStats Collector::Stats() const {
   stats.cache_hit_rate = cache_.HitRate();
   stats.last_cleared_index = static_cast<uint64_t>(last_cleared_->Get());
   stats.report_retries = report_retries_->Get();
+  stats.reports_abandoned = reports_abandoned_->Get();
+  if (spool_ != nullptr) {
+    stats.events_spooled = spool_->TotalSpooled();
+    stats.events_replayed = spool_->TotalReplayed();
+    stats.spool_depth = spool_->EventCount();
+    stats.spool_rejects = spool_->Rejects();
+  }
+  stats.terminal = running_.load()
+                       ? CollectorTerminal::kRunning
+                       : (publish_aborted_.load(std::memory_order_relaxed)
+                              ? CollectorTerminal::kReportsAbandoned
+                              : CollectorTerminal::kCleanStop);
   return stats;
 }
 

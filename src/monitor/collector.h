@@ -59,6 +59,7 @@
 #include "lustre/profile.h"
 #include "monitor/event.h"
 #include "monitor/event_store.h"
+#include "monitor/spool.h"
 #include "msgq/context.h"
 
 namespace sdci::monitor {
@@ -102,6 +103,18 @@ struct CollectorConfig {
   VirtualDuration retry_backoff_max = Seconds(1.0);
   double retry_jitter_frac = 0.25;
   uint64_t retry_seed = 1;
+  // Shard-outage spooling (Start() pipeline only; DrainOnce keeps the
+  // serial hold-and-retry path). When > 0 events and a hand-off keeps
+  // failing past `spool_after` of accumulated retry backoff — i.e. the
+  // shard is down beyond its supervisor's restart budget — the pending
+  // batch spills into a bounded EventSpool (modeled durable, like the
+  // aggregator checkpoint) and the pipeline moves on: the ChangeLog purge
+  // proceeds and the reader keeps draining. The spool replays strictly in
+  // order, ahead of fresh events, once the shard accepts again; when it is
+  // full the publisher falls back to blocking retry (backpressure, never
+  // loss). 0 disables spooling (PR 2 behavior: retry until delivered).
+  size_t spool_capacity = 0;
+  VirtualDuration spool_after = Seconds(2.0);
   // Test-only fault injection: invoked by a resolver worker before it
   // resolves a chunk (the ordering property test injects randomized
   // latency here). Must be thread-safe; called concurrently.
@@ -113,6 +126,16 @@ struct CollectorConfig {
   std::shared_ptr<trace::Tracer> tracer;
 };
 
+// How the collector's publisher last came to rest. kCleanStop means every
+// event handed to the publisher was delivered (or spooled) before Stop;
+// kReportsAbandoned means retry-until-delivered was cut short by shutdown
+// with events still undelivered — they are re-extracted by the next
+// incarnation, but THIS incarnation's stop was not clean, which used to be
+// indistinguishable from one in Stats().
+enum class CollectorTerminal { kRunning, kCleanStop, kReportsAbandoned };
+
+std::string_view CollectorTerminalName(CollectorTerminal terminal) noexcept;
+
 struct CollectorStats {
   uint64_t extracted = 0;          // records read from the ChangeLog
   uint64_t filtered = 0;           // records dropped by the report mask
@@ -123,6 +146,15 @@ struct CollectorStats {
   double cache_hit_rate = 0;
   uint64_t last_cleared_index = 0;
   uint64_t report_retries = 0;  // redelivery attempts after a failed hand-off
+  // Shard-outage spooling (0s when spooling is disabled).
+  uint64_t events_spooled = 0;   // spilled to the outage spool
+  uint64_t events_replayed = 0;  // delivered from the spool after recovery
+  uint64_t spool_depth = 0;      // currently spooled, awaiting replay
+  uint64_t spool_rejects = 0;    // spill attempts refused by a full spool
+  // Events dropped unpublished because shutdown cut retry-until-delivered
+  // short (distinct terminal status: see CollectorTerminal).
+  uint64_t reports_abandoned = 0;
+  CollectorTerminal terminal = CollectorTerminal::kRunning;
 };
 
 class Collector {
@@ -188,6 +220,12 @@ class Collector {
   void ResolveChunkTask(ResolveChunk chunk, size_t worker);
   void PublisherLoop(const std::stop_token& stop);
   void PublishChunk(ResolveChunk& chunk, const std::stop_token& stop);
+  // Publisher-thread only: replays the spool head to the (possibly
+  // recovered) shard; true when any events were delivered.
+  bool TryReplaySpool();
+  // Reader idle path: submits an empty tick chunk so the blocked publisher
+  // gets a chance to drain a non-empty spool with no fresh traffic.
+  void MaybeScheduleSpoolReplay();
   [[nodiscard]] size_t Workers() const noexcept;
   [[nodiscard]] size_t Window() const noexcept;
 
@@ -223,6 +261,7 @@ class Collector {
   std::vector<std::unique_ptr<DelayBudget>> worker_budgets_;  // one per worker
   lustre::ConsumerId consumer_id_ = 0;
   std::unique_ptr<EventStore> local_store_;  // null unless configured
+  std::unique_ptr<EventSpool> spool_;        // null unless spool_capacity > 0
 
   std::shared_ptr<msgq::PubSocket> pub_;
   std::shared_ptr<msgq::PushSocket> push_;
@@ -241,10 +280,11 @@ class Collector {
   // Guards pool_ (re)creation against scrape-time depth reads.
   mutable std::mutex pool_mutex_;
   std::unique_ptr<ThreadPool> pool_;
-  // Publisher-thread-only: set when a chunk could not be delivered during
+  // Set by the publisher when a chunk could not be delivered during
   // shutdown; everything after it is dropped unpublished and unpurged
-  // (re-extracted by the next incarnation).
-  bool publish_aborted_ = false;
+  // (re-extracted by the next incarnation). Atomic so Stats() can read the
+  // terminal status from any thread.
+  std::atomic<bool> publish_aborted_{false};
 
   // Registry-backed instruments (shared with config_.metrics when set).
   std::shared_ptr<MetricsRegistry> metrics_;
@@ -254,6 +294,9 @@ class Collector {
   std::shared_ptr<Counter> reported_;
   std::shared_ptr<Counter> resolve_failures_;
   std::shared_ptr<Counter> report_retries_;
+  std::shared_ptr<Counter> events_spooled_;
+  std::shared_ptr<Counter> events_replayed_;
+  std::shared_ptr<Counter> reports_abandoned_;
   std::shared_ptr<Gauge> last_cleared_;
   std::shared_ptr<LatencyHistogram> detection_latency_;
   // Per-stage modeled latency (labels: stage=read|resolve|publish).

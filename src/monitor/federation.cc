@@ -45,11 +45,30 @@ std::vector<FsEvent> MergeByHlc(std::vector<std::vector<FsEvent>> runs) {
   return merged;
 }
 
+std::string_view ShardFetchVerdictName(ShardFetchVerdict v) noexcept {
+  switch (v) {
+    case ShardFetchVerdict::kOk:
+      return "ok";
+    case ShardFetchVerdict::kSkippedOpenCircuit:
+      return "skipped-open-circuit";
+    case ShardFetchVerdict::kTimedOut:
+      return "timed-out";
+    case ShardFetchVerdict::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
 FleetHistoryClient::FleetHistoryClient(msgq::Context& context,
                                        const std::vector<std::string>& api_endpoints,
                                        std::shared_ptr<trace::Tracer> tracer,
-                                       const TimeAuthority* authority)
-    : tracer_(std::move(tracer)), authority_(authority) {
+                                       const TimeAuthority* authority,
+                                       std::shared_ptr<ShardHealthTracker> health)
+    : tracer_(std::move(tracer)),
+      authority_(authority),
+      health_(health != nullptr
+                  ? std::move(health)
+                  : std::make_shared<ShardHealthTracker>(api_endpoints.size())) {
   clients_.reserve(api_endpoints.size());
   for (const std::string& endpoint : api_endpoints) {
     clients_.push_back(std::make_unique<HistoryClient>(context, endpoint));
@@ -59,17 +78,58 @@ FleetHistoryClient::FleetHistoryClient(msgq::Context& context,
 Result<FleetHistoryClient::FederatedPage> FleetHistoryClient::FetchTimeRange(
     VirtualTime from, VirtualTime to, size_t max_per_shard,
     std::chrono::nanoseconds timeout) {
+  // Floor per-shard slice: even a nearly-spent budget buys each remaining
+  // shard a real (if short) request rather than a guaranteed timeout.
+  constexpr std::chrono::nanoseconds kMinSlice = std::chrono::milliseconds(1);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
   FederatedPage page;
   page.shard_pages.reserve(clients_.size());
+  page.shard_verdicts.reserve(clients_.size());
   std::vector<std::vector<FsEvent>> runs;
   runs.reserve(clients_.size());
+  const auto miss = [&page, &runs](size_t shard, ShardFetchVerdict verdict) {
+    runs.emplace_back();
+    page.shard_pages.emplace_back();  // placeholder; verdict says why
+    page.shard_verdicts.push_back(verdict);
+    page.missing_shards.push_back(shard);
+    page.partial = true;
+  };
   for (size_t shard = 0; shard < clients_.size(); ++shard) {
-    auto fetched = clients_[shard]->FetchTimeRange(from, to, max_per_shard, timeout);
-    // Strict semantics: one unreachable shard fails the whole federated
-    // fetch rather than silently narrowing the merge (see header).
-    if (!fetched.ok()) return fetched.status();
+    // Open breaker: don't spend budget on a shard known to be down — skip
+    // without a request (so no outcome is recorded; the half-open probe
+    // after cooldown is what re-tests it).
+    if (!health_->AllowRequest(shard)) {
+      miss(shard, ShardFetchVerdict::kSkippedOpenCircuit);
+      continue;
+    }
+    // Split the remaining budget evenly across the shards still waiting,
+    // so one slow shard cannot eat every later shard's slice.
+    const std::chrono::nanoseconds remaining =
+        deadline - std::chrono::steady_clock::now();
+    if (remaining <= std::chrono::nanoseconds(0)) {
+      // No request was made, so this is not breaker failure evidence.
+      miss(shard, ShardFetchVerdict::kTimedOut);
+      continue;
+    }
+    const auto slice = std::max(
+        kMinSlice, remaining / static_cast<int64_t>(clients_.size() - shard));
+    auto fetched = clients_[shard]->FetchTimeRange(from, to, max_per_shard, slice);
+    if (!fetched.ok()) {
+      health_->RecordFailure(shard);
+      miss(shard, fetched.status().code() == StatusCode::kTimedOut
+                      ? ShardFetchVerdict::kTimedOut
+                      : ShardFetchVerdict::kFailed);
+      continue;
+    }
+    health_->RecordSuccess(shard);
+    page.shard_verdicts.push_back(ShardFetchVerdict::kOk);
     runs.push_back(fetched->events);  // shard_pages keep their own copies
     page.shard_pages.push_back(std::move(fetched.value()));
+  }
+  // A page with zero answering shards is not a partial result, it is an
+  // outage of the whole read path — report it as such.
+  if (page.missing_shards.size() == clients_.size() && !clients_.empty()) {
+    return UnavailableError("no shard answered the federated fetch");
   }
   const VirtualTime merge_start =
       tracer_ != nullptr && authority_ != nullptr ? authority_->Now() : VirtualTime{};
@@ -96,7 +156,9 @@ Result<HistoryClient::Page> FleetHistoryClient::FetchShard(
 FleetSubscriber::FleetSubscriber(msgq::Context& context,
                                  const std::vector<std::string>& publish_endpoints,
                                  const std::vector<std::string>& api_endpoints,
-                                 RecoveringSubscriberConfig config) {
+                                 RecoveringSubscriberConfig config,
+                                 std::shared_ptr<ShardHealthTracker> health)
+    : health_(std::move(health)) {
   shards_.reserve(publish_endpoints.size());
   for (size_t i = 0; i < publish_endpoints.size(); ++i) {
     RecoveringSubscriberConfig shard_config = config;
@@ -121,6 +183,19 @@ Result<EventBatch> FleetSubscriber::NextBatchFor(std::chrono::nanoseconds timeou
           deadline - std::chrono::steady_clock::now();
       if (remaining <= std::chrono::nanoseconds(0)) return TimedOutError("no event");
       slice = std::min(slice, remaining);
+    }
+    // Deprioritize open-circuit shards: skip past them (bounded by one
+    // full rotation) unless every shard is open, in which case polling
+    // proceeds anyway — a cheap receive on a dead shard just times out,
+    // and it keeps the subscriber from busy-spinning while the fleet is
+    // down. Recovery needs no action here: once the breaker half-opens
+    // the shard rejoins the rotation and RecoveringSubscriber's backfill
+    // heals whatever the outage gapped.
+    if (health_ != nullptr) {
+      for (size_t hops = 0; hops < shards_.size(); ++hops) {
+        if (health_->StateOf(next_shard_) != CircuitState::kOpen) break;
+        next_shard_ = (next_shard_ + 1) % shards_.size();
+      }
     }
     RecoveringSubscriber& shard = *shards_[next_shard_];
     next_shard_ = (next_shard_ + 1) % shards_.size();
@@ -149,7 +224,21 @@ Result<EventBatch> FleetSubscriber::DrainMergedFor(std::chrono::nanoseconds time
     if (now >= deadline || now - quiet_since >= quiet) break;
     bool round_got_events = false;
     for (size_t shard = 0; shard < shards_.size(); ++shard) {
-      auto batch = shards_[shard]->NextBatchFor(kPollSlice);
+      // Clamp the per-shard slice to the remaining deadline budget: the
+      // deadline check above runs once per round, so without the clamp a
+      // shard late in the rotation would be polled with a full slice after
+      // the budget is already spent (N-shard rounds overshot the deadline
+      // by up to (N-1) slices). An open breaker is skipped the same way a
+      // quiet shard is — its events are simply not in this drain.
+      const auto shard_now = std::chrono::steady_clock::now();
+      if (shard_now >= deadline) break;
+      if (health_ != nullptr &&
+          health_->StateOf(shard) == CircuitState::kOpen) {
+        continue;
+      }
+      const auto slice = std::min<std::chrono::nanoseconds>(
+          kPollSlice, deadline - shard_now);
+      auto batch = shards_[shard]->NextBatchFor(slice);
       if (!batch.ok()) continue;  // timeout or closed: this shard is quiet
       const auto& events = batch->events();
       runs[shard].insert(runs[shard].end(), events.begin(), events.end());

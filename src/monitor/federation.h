@@ -26,9 +26,20 @@
 #include "common/tracing.h"
 #include "monitor/consumer.h"
 #include "monitor/event.h"
+#include "monitor/shard_health.h"
 #include "msgq/context.h"
 
 namespace sdci::monitor {
+
+// Per-shard outcome of one federated fetch, in shard index order.
+enum class ShardFetchVerdict {
+  kOk,                 // shard answered within its slice of the budget
+  kSkippedOpenCircuit, // breaker open: no request was sent
+  kTimedOut,           // budget exhausted before (or during) this shard
+  kFailed,             // shard answered with an error
+};
+
+[[nodiscard]] std::string_view ShardFetchVerdictName(ShardFetchVerdict v) noexcept;
 
 // Exact k-way merge of per-shard event runs by HLC stamp. Each input run
 // must be HLC-sorted (true of any per-shard sequence-ordered run); the
@@ -42,25 +53,41 @@ class FleetHistoryClient {
  public:
   // One HistoryClient per shard api endpoint, in shard index order.
   // `tracer`/`authority` are optional: when both are set, each traced
-  // event crossing the merge gets a trace::kFleetMerge span.
+  // event crossing the merge gets a trace::kFleetMerge span. `health` is
+  // the fleet-shared circuit breaker state; a private tracker is created
+  // when null (breakers still work, just unshared with the subscriber).
   FleetHistoryClient(msgq::Context& context,
                      const std::vector<std::string>& api_endpoints,
                      std::shared_ptr<trace::Tracer> tracer = nullptr,
-                     const TimeAuthority* authority = nullptr);
+                     const TimeAuthority* authority = nullptr,
+                     std::shared_ptr<ShardHealthTracker> health = nullptr);
 
   struct FederatedPage {
-    // HLC-ordered merge of every shard's events in the range.
+    // HLC-ordered merge of every answering shard's events in the range.
     std::vector<FsEvent> events;
     // The per-shard pages the merge was built from, in shard index order
     // (per-shard first_available/last_seq stay meaningful; fleet-wide
-    // sequence numbers do not exist).
+    // sequence numbers do not exist). Non-answering shards hold an empty
+    // placeholder page — check shard_verdicts before trusting one.
     std::vector<HistoryClient::Page> shard_pages;
+    // Per-shard outcome, in shard index order.
+    std::vector<ShardFetchVerdict> shard_verdicts;
+    // Indices of shards whose events are NOT in the merge, ascending.
+    std::vector<size_t> missing_shards;
+    // True iff missing_shards is non-empty: the merge is a correctly
+    // labeled subset of the fleet, not the whole truth.
+    bool partial = false;
   };
 
-  // Fans the time-range query out to every shard and merges. Strict: any
-  // shard failing (down past its supervisor's restart, timeout) fails the
-  // whole fetch — a silent partial merge would read as "no events on that
-  // shard", which is exactly the lie a monitoring plane must not tell.
+  // Fans the time-range query out to every shard and merges, splitting the
+  // deadline budget across the shards still waiting. Degraded-mode
+  // semantics: a shard that is unreachable (breaker open — skipped without
+  // a request), times out, or errors is EXCLUDED from the merge and
+  // reported in shard_verdicts/missing_shards with partial=true, instead
+  // of failing the fetch outright — a silent partial merge would read as
+  // "no events on that shard", so the subset is always labeled. Only when
+  // NO shard answers does the fetch return an error. Request outcomes feed
+  // the breaker: errors/timeouts trip it, successes close it.
   [[nodiscard]] Result<FederatedPage> FetchTimeRange(
       VirtualTime from, VirtualTime to, size_t max_per_shard,
       std::chrono::nanoseconds timeout = std::chrono::seconds(5));
@@ -73,10 +100,15 @@ class FleetHistoryClient {
 
   [[nodiscard]] size_t shards() const noexcept { return clients_.size(); }
 
+  [[nodiscard]] const std::shared_ptr<ShardHealthTracker>& health() const noexcept {
+    return health_;
+  }
+
  private:
   std::vector<std::unique_ptr<HistoryClient>> clients_;
   std::shared_ptr<trace::Tracer> tracer_;
   const TimeAuthority* authority_;
+  std::shared_ptr<ShardHealthTracker> health_;
 };
 
 // Federated live subscription: one RecoveringSubscriber per shard.
@@ -84,17 +116,27 @@ class FleetSubscriber {
  public:
   // `config` is the per-shard template; when it names the subscriber for
   // metrics, shard i registers as "<name>.<i>" (unsuffixed for one shard).
+  // `health` is the fleet-shared breaker state (optional): the rotation
+  // deprioritizes shards whose breaker reads open. The subscriber only
+  // READS breaker state — a poll slice with no events is normal, not
+  // failure evidence, so it never records outcomes itself; healing after
+  // an outage rides the per-shard RecoveringSubscriber backfill.
   FleetSubscriber(msgq::Context& context,
                   const std::vector<std::string>& publish_endpoints,
                   const std::vector<std::string>& api_endpoints,
-                  RecoveringSubscriberConfig config = {});
+                  RecoveringSubscriberConfig config = {},
+                  std::shared_ptr<ShardHealthTracker> health = nullptr);
 
   // Next live batch from any shard (backfill-before-live per shard, as
   // RecoveringSubscriber guarantees). Shards are polled round-robin in
   // short slices so one idle shard cannot starve the rest; batches from
-  // one shard arrive in that shard's sequence order. Returns kTimeout
-  // when nothing arrived within `timeout`, kClosed once every shard is
-  // closed.
+  // one shard arrive in that shard's sequence order. Open-circuit shards
+  // are skipped for the round (unless every shard is open, in which case
+  // polling proceeds — the poll doubles as a cheap liveness probe). The
+  // per-shard slice is clamped to the remaining deadline budget, so a
+  // shard late in the rotation never sees a negative or overlong poll.
+  // Returns kTimeout when nothing arrived within `timeout`, kClosed once
+  // every shard is closed.
   [[nodiscard]] Result<EventBatch> NextBatchFor(std::chrono::nanoseconds timeout);
 
   // Drains every shard until all have been quiet for `quiet` (bounded by
@@ -116,8 +158,13 @@ class FleetSubscriber {
   [[nodiscard]] uint64_t events_backfilled() const;
   [[nodiscard]] uint64_t events_unrecoverable() const;
 
+  [[nodiscard]] const std::shared_ptr<ShardHealthTracker>& health() const noexcept {
+    return health_;
+  }
+
  private:
   std::vector<std::unique_ptr<RecoveringSubscriber>> shards_;
+  std::shared_ptr<ShardHealthTracker> health_;  // may be null: no breakers
   size_t next_shard_ = 0;  // round-robin cursor
 };
 

@@ -97,6 +97,9 @@ json::Value Monitor::StatusJson(const MonitorObservability& obs) const {
     entry["cache_hit_rate"] = json::Value(stats.cache_hit_rate);
     entry["last_cleared_index"] = json::Value(stats.last_cleared_index);
     entry["report_retries"] = json::Value(stats.report_retries);
+    entry["reports_abandoned"] = json::Value(stats.reports_abandoned);
+    entry["spool_depth"] = json::Value(static_cast<uint64_t>(stats.spool_depth));
+    entry["terminal"] = json::Value(std::string(CollectorTerminalName(stats.terminal)));
     entry["detection_latency"] = json::Value(collector->detection_latency().Summary());
     collectors.push_back(json::Value(std::move(entry)));
   }

@@ -1,0 +1,120 @@
+// ShardHealthTracker: per-shard circuit breakers for the federation layer.
+//
+// The federated query/subscribe paths (federation.h) fan out over N shard
+// endpoints; a shard that is hard-down past its supervisor's restart would
+// otherwise cost every request a full per-shard timeout. The tracker keeps
+// one breaker per shard with the classic three states:
+//
+//   closed    — healthy; requests flow.
+//   open      — tripped after `failure_threshold` consecutive failures (or
+//               a supervisor down-signal); requests are skipped so callers
+//               spend their deadline budget on live shards only.
+//   half-open — `open_cooldown` after the trip, AllowRequest admits probe
+//               requests; `half_open_successes` successes close the
+//               breaker, any failure re-opens it.
+//
+// Fed by two signals: request outcomes (RecordSuccess / RecordFailure from
+// FleetHistoryClient) and an optional per-shard down-signal (a closure over
+// AggregatorSupervisor::InOutage, wired by whoever assembles the fleet) so
+// a declared outage opens the breaker without waiting for failures.
+//
+// Thread-safe; shared by FleetHistoryClient and FleetSubscriber via
+// shared_ptr. Exported through metrics (sdci_fleet_shard_breaker_state
+// gauge, trip/probe counters) and ripple::FleetStatusJson.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace sdci::monitor {
+
+enum class CircuitState { kClosed, kHalfOpen, kOpen };
+
+[[nodiscard]] std::string_view CircuitStateName(CircuitState state) noexcept;
+
+struct ShardHealthConfig {
+  // Consecutive request failures that trip a closed breaker open.
+  uint32_t failure_threshold = 3;
+  // Real time an open breaker waits before admitting probe requests.
+  std::chrono::nanoseconds open_cooldown = std::chrono::milliseconds(100);
+  // Probe successes needed to close a half-open breaker.
+  uint32_t half_open_successes = 1;
+  // Instruments register into `metrics` (private registry when null).
+  std::shared_ptr<MetricsRegistry> metrics;
+};
+
+class ShardHealthTracker {
+ public:
+  explicit ShardHealthTracker(size_t shards, ShardHealthConfig config = {});
+  ~ShardHealthTracker();
+
+  ShardHealthTracker(const ShardHealthTracker&) = delete;
+  ShardHealthTracker& operator=(const ShardHealthTracker&) = delete;
+
+  // Wires a down-signal for `shard` (e.g. the supervisor's InOutage). When
+  // it returns true the breaker reads open regardless of request history;
+  // the closure must stay callable for the tracker's lifetime and be
+  // thread-safe.
+  void AttachDownSignal(size_t shard, std::function<bool()> down);
+
+  // Request-outcome feed. A success resets the failure streak and (from
+  // half-open) closes the breaker; a failure extends the streak and trips
+  // or re-opens it.
+  void RecordSuccess(size_t shard);
+  void RecordFailure(size_t shard);
+
+  // Whether a request should be sent to `shard` right now. Closed: yes.
+  // Open: no, unless the cooldown elapsed — then the breaker turns
+  // half-open and this request is the probe. Half-open: yes (a probe).
+  // A shard whose down-signal fires is always refused.
+  [[nodiscard]] bool AllowRequest(size_t shard);
+
+  // Effective state (down-signal folded in). Pure read: an elapsed
+  // cooldown still reads open until AllowRequest admits the probe.
+  [[nodiscard]] CircuitState StateOf(size_t shard) const;
+
+  struct ShardHealth {
+    CircuitState state = CircuitState::kClosed;
+    uint64_t consecutive_failures = 0;
+    uint64_t trips = 0;   // closed/half-open -> open transitions
+    uint64_t probes = 0;  // requests admitted through a half-open breaker
+    bool down_signal = false;
+  };
+  [[nodiscard]] ShardHealth Snapshot(size_t shard) const;
+
+  [[nodiscard]] size_t shards() const noexcept { return shards_.size(); }
+  // Shards currently reading open (degraded-service indicator).
+  [[nodiscard]] size_t OpenCount() const;
+
+ private:
+  struct Shard {
+    CircuitState state = CircuitState::kClosed;
+    uint32_t failures = 0;        // consecutive
+    uint32_t probe_successes = 0;  // within the current half-open episode
+    std::chrono::steady_clock::time_point opened_at{};
+    uint64_t trips = 0;
+    uint64_t probes = 0;
+    std::function<bool()> down;
+  };
+
+  void TripLocked(Shard& shard);
+  [[nodiscard]] CircuitState EffectiveStateLocked(const Shard& shard) const;
+
+  const ShardHealthConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<Shard> shards_;
+
+  std::shared_ptr<MetricsRegistry> metrics_;
+  std::vector<std::shared_ptr<Counter>> trip_counters_;
+  std::vector<std::shared_ptr<Counter>> probe_counters_;
+  // Keeps the per-shard state gauges from touching a destroyed tracker.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace sdci::monitor

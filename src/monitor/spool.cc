@@ -1,0 +1,59 @@
+#include "monitor/spool.h"
+
+#include <algorithm>
+
+namespace sdci::monitor {
+
+EventSpool::EventSpool(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool EventSpool::TryAppend(const std::vector<FsEvent>& events) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() + events.size() > capacity_) {
+    ++rejects_;
+    return false;
+  }
+  events_.insert(events_.end(), events.begin(), events.end());
+  total_spooled_ += events.size();
+  peak_depth_ = std::max(peak_depth_, events_.size());
+  return true;
+}
+
+std::vector<FsEvent> EventSpool::PeekFront(size_t max) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const size_t n = std::min(max == 0 ? size_t{1} : max, events_.size());
+  return {events_.begin(), events_.begin() + static_cast<ptrdiff_t>(n)};
+}
+
+void EventSpool::DropFront(size_t count) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const size_t n = std::min(count, events_.size());
+  events_.erase(events_.begin(), events_.begin() + static_cast<ptrdiff_t>(n));
+  total_replayed_ += n;
+}
+
+size_t EventSpool::EventCount() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+uint64_t EventSpool::TotalSpooled() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_spooled_;
+}
+
+uint64_t EventSpool::TotalReplayed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_replayed_;
+}
+
+uint64_t EventSpool::Rejects() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rejects_;
+}
+
+size_t EventSpool::PeakDepth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return peak_depth_;
+}
+
+}  // namespace sdci::monitor

@@ -111,6 +111,10 @@ bool SubSocket::MatchesLocked(const std::string& topic) const {
 }
 
 bool SubSocket::Deliver(const Message& message) {
+  // A paused socket (SetAccepting(false)) models its host being
+  // unreachable: refuse the hand-off so the producer holds the message.
+  // Not counted in dropped_ — nothing was lost, the sender still owns it.
+  if (!accepting()) return false;
   {
     const std::lock_guard<std::mutex> lock(filter_mutex_);
     if (!MatchesLocked(message.topic)) return false;
@@ -292,12 +296,20 @@ Status PushSocket::Push(Message message) {
 
 Status PushSocket::PushOnce(const std::vector<std::shared_ptr<PullSocket>>& pullers,
                             Message message) {
-  const size_t start = hub_->NextCursor() % pullers.size();
-  for (size_t i = 0; i < pullers.size(); ++i) {
-    auto& puller = pullers[(start + i) % pullers.size()];
+  // Paused pullers (SetAccepting(false)) are unreachable hosts: skip them,
+  // and fail outright when none is left so the pusher holds the message.
+  std::vector<std::shared_ptr<PullSocket>> live;
+  live.reserve(pullers.size());
+  for (const auto& puller : pullers) {
+    if (puller->accepting()) live.push_back(puller);
+  }
+  if (live.empty()) return UnavailableError("no PULL socket accepting");
+  const size_t start = hub_->NextCursor() % live.size();
+  for (size_t i = 0; i < live.size(); ++i) {
+    auto& puller = live[(start + i) % live.size()];
     if (puller->queue_.TryPush(message).ok()) return OkStatus();
   }
-  return pullers[start]->queue_.Push(std::move(message));
+  return live[start]->queue_.Push(std::move(message));
 }
 
 // ---------- REQ/REP ----------

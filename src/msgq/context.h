@@ -19,6 +19,7 @@
 // with ZeroMQ's zero-copy message parts).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -123,6 +124,19 @@ class SubSocket {
   // Detaches from the hub and wakes blocked receivers.
   void Close();
 
+  // Models the host behind this socket dropping off the network (partition,
+  // hard outage): while not accepting, deliveries are refused — the
+  // producer sees its hand-off rejected, exactly as if no subscriber were
+  // bound — but messages already accepted stay queued and receivable, and
+  // SetAccepting(true) restores normal delivery. Unlike Close() this is
+  // reversible and loses nothing.
+  void SetAccepting(bool accepting) noexcept {
+    accepting_.store(accepting, std::memory_order_release);
+  }
+  [[nodiscard]] bool accepting() const noexcept {
+    return accepting_.load(std::memory_order_acquire);
+  }
+
   [[nodiscard]] uint64_t delivered() const noexcept { return delivered_.Get(); }
   [[nodiscard]] uint64_t dropped() const noexcept { return dropped_.Get(); }
   [[nodiscard]] size_t QueueDepth() const { return queue_.size(); }
@@ -142,6 +156,7 @@ class SubSocket {
 
   mutable std::mutex filter_mutex_;
   std::vector<std::string> filters_;
+  std::atomic<bool> accepting_{true};
   HwmPolicy policy_;
   BoundedQueue<Message> queue_;
   Counter delivered_;
@@ -210,10 +225,21 @@ class PullSocket {
   Result<Message> PullFor(std::chrono::nanoseconds timeout);
   void Close();
 
+  // Partition model, mirroring SubSocket::SetAccepting: while not
+  // accepting, pushers skip this puller (kUnavailable when none is left);
+  // queued messages stay receivable.
+  void SetAccepting(bool accepting) noexcept {
+    accepting_.store(accepting, std::memory_order_release);
+  }
+  [[nodiscard]] bool accepting() const noexcept {
+    return accepting_.load(std::memory_order_acquire);
+  }
+
  private:
   friend class Context;
   friend class PushSocket;
   explicit PullSocket(size_t hwm) : queue_(hwm) {}
+  std::atomic<bool> accepting_{true};
   BoundedQueue<Message> queue_;
 };
 

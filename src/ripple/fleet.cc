@@ -42,19 +42,32 @@ json::Value FleetStatusJson(const FleetComponents& fleet) {
     uint64_t extracted = 0;
     uint64_t reported = 0;
     uint64_t resolve_failures = 0;
+    uint64_t reports_abandoned = 0;
+    uint64_t events_spooled = 0;
+    uint64_t spool_depth = 0;
     for (const auto& stats : sup.Stats()) {
       extracted += stats.extracted;
       reported += stats.reported;
       resolve_failures += stats.resolve_failures;
+      reports_abandoned += stats.reports_abandoned;
+      events_spooled += stats.events_spooled;
+      spool_depth += stats.spool_depth;
     }
     section["extracted"] = json::Value(extracted);
     section["reported"] = json::Value(reported);
     section["resolve_failures"] = json::Value(resolve_failures);
+    section["reports_abandoned"] = json::Value(reports_abandoned);
+    section["events_spooled"] = json::Value(events_spooled);
+    section["spool_depth"] = json::Value(spool_depth);
     section["crashes"] = json::Value(sup.crashes());
     section["restarts"] = json::Value(sup.restarts());
     // fid2path failures mean events went out with a fid placeholder
     // instead of a path: delivered, but lossy for path-matching rules.
-    fold(section, resolve_failures > 0 ? "degraded" : "up");
+    // Abandoned reports are a collector that stopped with undelivered
+    // events still in hand (retry budget exhausted at shutdown) — the
+    // exactly-once contract only survives via re-extraction next start.
+    fold(section,
+         resolve_failures > 0 || reports_abandoned > 0 ? "degraded" : "up");
     doc["collectors"] = json::Value(std::move(section));
   }
 
@@ -99,6 +112,7 @@ json::Value FleetStatusJson(const FleetComponents& fleet) {
       json::Object section;
       section["shard"] = json::Value(static_cast<int64_t>(shard_index++));
       section["up"] = json::Value(sup->IsUp());
+      section["in_outage"] = json::Value(sup->InOutage());
       section["received"] = json::Value(stats.received);
       section["published"] = json::Value(stats.published);
       section["stored"] = json::Value(stats.stored);
@@ -134,6 +148,35 @@ json::Value FleetStatusJson(const FleetComponents& fleet) {
     // verdict is the worst shard's, for one-stop reads.
     total["verdict"] = json::Value(std::string(Name(worst_shard)));
     doc["aggregator"] = json::Value(std::move(total));
+  }
+
+  if (fleet.shard_health != nullptr) {
+    // The federation layer's view of each shard: breaker state plus the
+    // evidence behind it. Open breakers mean federated reads are serving
+    // labeled partial results — degraded, not down, because the rest of
+    // the fleet still answers.
+    json::Array shards;
+    size_t open = 0;
+    for (size_t i = 0; i < fleet.shard_health->shards(); ++i) {
+      const auto health = fleet.shard_health->Snapshot(i);
+      json::Object section;
+      section["shard"] = json::Value(static_cast<int64_t>(i));
+      section["state"] =
+          json::Value(std::string(monitor::CircuitStateName(health.state)));
+      section["consecutive_failures"] = json::Value(health.consecutive_failures);
+      section["trips"] = json::Value(health.trips);
+      section["probes"] = json::Value(health.probes);
+      section["down_signal"] = json::Value(health.down_signal);
+      if (health.state == monitor::CircuitState::kOpen) ++open;
+      fold(section,
+           health.state == monitor::CircuitState::kOpen ? "degraded" : "up");
+      shards.push_back(json::Value(std::move(section)));
+    }
+    doc["shard_health"] = json::Value(std::move(shards));
+    json::Object rollup;
+    rollup["open_circuits"] = json::Value(static_cast<uint64_t>(open));
+    rollup["verdict"] = json::Value(std::string(open > 0 ? "degraded" : "up"));
+    doc["shard_health_total"] = json::Value(std::move(rollup));
   }
 
   if (!fleet.subscribers.empty()) {

@@ -16,6 +16,7 @@
 #include "common/metrics.h"
 #include "monitor/aggregator_supervisor.h"
 #include "monitor/consumer.h"
+#include "monitor/shard_health.h"
 #include "monitor/supervisor.h"
 #include "msgq/context.h"
 #include "ripple/cloud.h"
@@ -32,6 +33,10 @@ struct FleetComponents {
   // plus a fleet-total "aggregator" section; mutually exclusive with
   // `aggregator_supervisor` by convention.
   std::vector<const monitor::AggregatorSupervisor*> aggregator_shards;
+  // The federation layer's per-shard circuit breakers; folds into a
+  // "shard_health" array (breaker state, trips, probes, down-signal per
+  // shard), degraded while any breaker is open.
+  const monitor::ShardHealthTracker* shard_health = nullptr;
   std::vector<const monitor::RecoveringSubscriber*> subscribers;
   const CloudService* cloud = nullptr;
   // Fault telemetry is per endpoint: list the endpoints worth reporting

@@ -208,6 +208,86 @@ TEST_F(FleetTest, DrainMergedForReturnsFleetWideHlcOrder) {
   fleet.Stop();
 }
 
+// Regression: DrainMergedFor used to check the deadline once per round
+// while polling every shard with a full kPollSlice, so a wide fleet
+// overshot a small timeout by up to (shards - 1) slices — and a shard late
+// in the rotation was polled with budget that was already spent. The
+// per-shard clamp bounds the whole drain by timeout + one slice.
+TEST_F(FleetTest, DrainMergedForRespectsDeadlineAcrossWideRotation) {
+  // 32 endpoint-only shards (no aggregators behind them): every poll can
+  // only time out, which is exactly the worst case for the rotation.
+  std::vector<std::string> pub_endpoints;
+  std::vector<std::string> api_endpoints;
+  for (int i = 0; i < 32; ++i) {
+    pub_endpoints.push_back("inproc://clamp.pub." + std::to_string(i));
+    api_endpoints.push_back("inproc://clamp.api." + std::to_string(i));
+  }
+  FleetSubscriber sub(context_, pub_endpoints, api_endpoints);
+  const auto start = std::chrono::steady_clock::now();
+  auto drained = sub.DrainMergedFor(std::chrono::milliseconds(2));
+  const auto wall = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(drained.ok());
+  // Unclamped, one round alone is >= 32ms of slices; clamped, the drain
+  // stops within the deadline plus one slice (margin for scheduling).
+  EXPECT_LT(wall, std::chrono::milliseconds(20))
+      << "drain overshot its deadline by "
+      << std::chrono::duration_cast<std::chrono::milliseconds>(wall).count()
+      << "ms";
+  // NextBatchFor makes the same promise per poll: the remaining budget
+  // clamps the slice, and an exhausted budget times out instead of
+  // handing a shard a stale full slice.
+  const auto poll_start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(sub.NextBatchFor(std::chrono::milliseconds(2)).ok());
+  EXPECT_LT(std::chrono::steady_clock::now() - poll_start,
+            std::chrono::milliseconds(20));
+  sub.Close();
+}
+
+// The msgq fault injector's delay mode under federation: one shard's
+// publish leg is consistently delivered late, so batches arrive at the
+// subscriber interleaved out of wall order across shards. The HLC merge
+// must still produce the fleet-wide total order, with both shards'
+// sub-streams contiguous and nothing lost.
+TEST_F(FleetTest, DelayedShardDeliveryStillMergesInFleetHlcOrder) {
+  AggregatorFleet fleet(profile_, authority_, context_, Config(2));
+  fleet.Start();
+  msgq::FaultConfig faults;
+  faults.delay_prob = 1.0;
+  faults.delay = std::chrono::milliseconds(3);
+  faults.seed = 11;
+  context_.InjectFaults(fleet.publish_endpoint(0), faults);
+
+  RecoveringSubscriberConfig sub_config;
+  sub_config.start_seq = 1;
+  FleetSubscriber sub(context_, fleet.publish_endpoints(), fleet.api_endpoints(),
+                      sub_config);
+  auto pub0 = context_.CreatePub(fleet.collect_endpoint(0));
+  auto pub1 = context_.CreatePub(fleet.collect_endpoint(1));
+  for (int i = 1; i <= 20; ++i) {
+    Send(*pub0, 0, {Event(0, i)});
+    Send(*pub1, 1, {Event(1, i)});
+  }
+  auto merged = sub.DrainMergedFor(std::chrono::seconds(20),
+                                   std::chrono::milliseconds(200));
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->size(), 40u);
+  const auto& events = merged->events();
+  EXPECT_TRUE(std::is_sorted(
+      events.begin(), events.end(),
+      [](const FsEvent& a, const FsEvent& b) { return a.hlc < b.hlc; }));
+  std::map<uint32_t, uint64_t> next{{0, 1}, {1, 1}};
+  for (const FsEvent& event : events) {
+    EXPECT_EQ(event.global_seq, next[event.hlc.origin]++)
+        << "delay must reorder nothing within a shard";
+  }
+  EXPECT_GT(context_.FaultStatsFor(fleet.publish_endpoint(0)).delayed, 0u)
+      << "the injector must actually have delayed deliveries";
+  EXPECT_EQ(sub.events_unrecoverable(), 0u);
+  context_.ClearFaults(fleet.publish_endpoint(0));
+  sub.Close();
+  fleet.Stop();
+}
+
 // The issue-6 acceptance scenario: a crash takes out BOTH shards with
 // dropped publications in flight, and the shard-aware backfill heals each
 // shard's exact gap across the restart — a kill-mid-stream gap spanning

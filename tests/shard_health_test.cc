@@ -1,0 +1,150 @@
+// ShardHealthTracker: the federation layer's per-shard circuit breakers.
+// State machine (closed -> open -> half-open -> closed/open), the
+// supervisor down-signal override, and the metrics export.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "monitor/shard_health.h"
+
+namespace sdci::monitor {
+namespace {
+
+ShardHealthConfig FastConfig() {
+  ShardHealthConfig config;
+  config.failure_threshold = 3;
+  config.open_cooldown = std::chrono::milliseconds(20);
+  config.half_open_successes = 1;
+  return config;
+}
+
+TEST(ShardHealth, StartsClosedAndAllowsRequests) {
+  ShardHealthTracker tracker(3, FastConfig());
+  for (size_t shard = 0; shard < 3; ++shard) {
+    EXPECT_EQ(tracker.StateOf(shard), CircuitState::kClosed);
+    EXPECT_TRUE(tracker.AllowRequest(shard));
+  }
+  EXPECT_EQ(tracker.OpenCount(), 0u);
+}
+
+TEST(ShardHealth, TripsAfterConsecutiveFailuresAndRefusesWhileOpen) {
+  ShardHealthTracker tracker(2, FastConfig());
+  tracker.RecordFailure(0);
+  tracker.RecordFailure(0);
+  EXPECT_EQ(tracker.StateOf(0), CircuitState::kClosed) << "below threshold";
+  tracker.RecordFailure(0);
+  EXPECT_EQ(tracker.StateOf(0), CircuitState::kOpen);
+  EXPECT_FALSE(tracker.AllowRequest(0)) << "open breaker refuses (pre-cooldown)";
+  EXPECT_EQ(tracker.Snapshot(0).trips, 1u);
+  // Shard 1 is independent.
+  EXPECT_EQ(tracker.StateOf(1), CircuitState::kClosed);
+  EXPECT_TRUE(tracker.AllowRequest(1));
+  EXPECT_EQ(tracker.OpenCount(), 1u);
+}
+
+TEST(ShardHealth, SuccessResetsTheFailureStreak) {
+  ShardHealthTracker tracker(1, FastConfig());
+  tracker.RecordFailure(0);
+  tracker.RecordFailure(0);
+  tracker.RecordSuccess(0);  // streak broken
+  tracker.RecordFailure(0);
+  tracker.RecordFailure(0);
+  EXPECT_EQ(tracker.StateOf(0), CircuitState::kClosed)
+      << "non-consecutive failures must not trip";
+}
+
+TEST(ShardHealth, CooldownAdmitsProbeAndSuccessCloses) {
+  ShardHealthTracker tracker(1, FastConfig());
+  for (int i = 0; i < 3; ++i) tracker.RecordFailure(0);
+  ASSERT_EQ(tracker.StateOf(0), CircuitState::kOpen);
+  EXPECT_FALSE(tracker.AllowRequest(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // The cooldown elapsed: this request is the probe.
+  EXPECT_TRUE(tracker.AllowRequest(0));
+  EXPECT_EQ(tracker.StateOf(0), CircuitState::kHalfOpen);
+  EXPECT_GE(tracker.Snapshot(0).probes, 1u);
+  tracker.RecordSuccess(0);
+  EXPECT_EQ(tracker.StateOf(0), CircuitState::kClosed);
+  EXPECT_EQ(tracker.OpenCount(), 0u);
+}
+
+TEST(ShardHealth, FailedProbeReopensAndRestartsCooldown) {
+  ShardHealthTracker tracker(1, FastConfig());
+  for (int i = 0; i < 3; ++i) tracker.RecordFailure(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(tracker.AllowRequest(0));  // probe admitted
+  tracker.RecordFailure(0);              // probe failed
+  EXPECT_EQ(tracker.StateOf(0), CircuitState::kOpen);
+  EXPECT_FALSE(tracker.AllowRequest(0)) << "cooldown restarted on re-open";
+  EXPECT_EQ(tracker.Snapshot(0).trips, 2u);
+}
+
+TEST(ShardHealth, HalfOpenRequiresConfiguredSuccessCount) {
+  ShardHealthConfig config = FastConfig();
+  config.half_open_successes = 2;
+  ShardHealthTracker tracker(1, config);
+  for (int i = 0; i < 3; ++i) tracker.RecordFailure(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(tracker.AllowRequest(0));
+  tracker.RecordSuccess(0);
+  EXPECT_EQ(tracker.StateOf(0), CircuitState::kHalfOpen)
+      << "one success of the two required";
+  tracker.RecordSuccess(0);
+  EXPECT_EQ(tracker.StateOf(0), CircuitState::kClosed);
+}
+
+TEST(ShardHealth, DownSignalForcesOpenAndRecoversThroughProbe) {
+  ShardHealthTracker tracker(2, FastConfig());
+  bool down = false;
+  tracker.AttachDownSignal(0, [&down] { return down; });
+  EXPECT_TRUE(tracker.AllowRequest(0));
+  down = true;
+  // A declared outage reads open immediately — no failures needed — and
+  // refuses requests even though the breaker had a clean record.
+  EXPECT_EQ(tracker.StateOf(0), CircuitState::kOpen);
+  EXPECT_FALSE(tracker.AllowRequest(0));
+  EXPECT_TRUE(tracker.Snapshot(0).down_signal);
+  EXPECT_EQ(tracker.Snapshot(0).trips, 1u) << "signal trips the breaker once";
+  down = false;
+  // Signal cleared: the breaker is still open (it tripped) until the
+  // cooldown admits a probe — recovery is verified, not assumed.
+  EXPECT_EQ(tracker.StateOf(0), CircuitState::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(tracker.AllowRequest(0));
+  tracker.RecordSuccess(0);
+  EXPECT_EQ(tracker.StateOf(0), CircuitState::kClosed);
+}
+
+TEST(ShardHealth, ExportsPerShardMetrics) {
+  auto metrics = std::make_shared<MetricsRegistry>();
+  ShardHealthConfig config = FastConfig();
+  config.metrics = metrics;
+  ShardHealthTracker tracker(2, config);
+  for (int i = 0; i < 3; ++i) tracker.RecordFailure(1);
+  // Instruments are shared by (name, labels): reading them back through
+  // the registry sees the tracker's updates.
+  EXPECT_EQ(metrics
+                ->GetCounter("sdci_fleet_shard_breaker_trips_total",
+                             {{"shard", "1"}})
+                ->Get(),
+            1u);
+  EXPECT_EQ(metrics
+                ->GetCounter("sdci_fleet_shard_breaker_trips_total",
+                             {{"shard", "0"}})
+                ->Get(),
+            0u);
+  // The state gauge is a scrape-time callback: 0 closed, 1 half-open,
+  // 2 open, matching the verdict severity order.
+  const std::string prometheus = metrics->ToPrometheus();
+  EXPECT_NE(prometheus.find("sdci_fleet_shard_breaker_state"), std::string::npos);
+}
+
+TEST(ShardHealth, CircuitStateNamesAreStable) {
+  EXPECT_EQ(CircuitStateName(CircuitState::kClosed), "closed");
+  EXPECT_EQ(CircuitStateName(CircuitState::kHalfOpen), "half-open");
+  EXPECT_EQ(CircuitStateName(CircuitState::kOpen), "open");
+}
+
+}  // namespace
+}  // namespace sdci::monitor
