@@ -26,7 +26,9 @@
 #include "common/json.h"
 #include "common/metrics.h"
 #include "common/tracing.h"
+#include "monitor/flow_ledger.h"
 #include "monitor/monitor.h"
+#include "monitor/watermarks.h"
 
 namespace sdci::bench {
 namespace {
@@ -36,10 +38,12 @@ struct RunResult {
   uint64_t events = 0;
   size_t spans = 0;
   std::shared_ptr<trace::TraceCollector> sink;
+  std::shared_ptr<FlowLedger> flow;
+  std::shared_ptr<WatermarkRegistry> watermarks;
 };
 
 RunResult RunOnce(size_t dirs, size_t files_per_dir, double sample_rate,
-                  bool attach_tracer) {
+                  bool attach_tracer, bool attach_ledger = false) {
   Env env(lustre::TestbedProfile::Test(), /*dilation=*/1e6);
   msgq::Context context;
 
@@ -50,6 +54,17 @@ RunResult RunOnce(size_t dirs, size_t files_per_dir, double sample_rate,
     result.sink = std::make_shared<trace::TraceCollector>();
     config.SetTracer(std::make_shared<trace::Tracer>(result.sink, sample_rate));
     config.SetMetrics(std::make_shared<MetricsRegistry>());
+  }
+  if (attach_ledger) {
+    // The full conservation + freshness plane: every stage boundary books
+    // its ledger accounts and advances its watermark per batch. Same
+    // registry attachment as the tracer runs, so the delta vs. base is
+    // the ledger's own cost.
+    result.flow = std::make_shared<FlowLedger>();
+    result.watermarks = std::make_shared<WatermarkRegistry>();
+    config.SetFlowLedger(result.flow);
+    config.SetWatermarks(result.watermarks);
+    if (!attach_tracer) config.SetMetrics(std::make_shared<MetricsRegistry>());
   }
   const uint64_t backlog = BuildBacklog(env.fs, dirs, files_per_dir);
 
@@ -77,10 +92,12 @@ RunResult RunOnce(size_t dirs, size_t files_per_dir, double sample_rate,
 }
 
 RunResult BestOf(size_t reps, size_t dirs, size_t files_per_dir,
-                 double sample_rate, bool attach_tracer) {
+                 double sample_rate, bool attach_tracer,
+                 bool attach_ledger = false) {
   RunResult best;
   for (size_t i = 0; i < reps; ++i) {
-    RunResult r = RunOnce(dirs, files_per_dir, sample_rate, attach_tracer);
+    RunResult r =
+        RunOnce(dirs, files_per_dir, sample_rate, attach_tracer, attach_ledger);
     if (r.events_per_sec > best.events_per_sec) best = std::move(r);
   }
   return best;
@@ -132,6 +149,9 @@ int main(int argc, char** argv) {
   const RunResult base = BestOf(reps, dirs, files, 0.0, /*attach_tracer=*/false);
   const RunResult rate0 = BestOf(reps, dirs, files, 0.0, /*attach_tracer=*/true);
   const RunResult rate100 = BestOf(reps, dirs, files, 1.0, /*attach_tracer=*/true);
+  const RunResult ledger = BestOf(reps, dirs, files, 0.0,
+                                  /*attach_tracer=*/false,
+                                  /*attach_ledger=*/true);
 
   const auto overhead = [&](const RunResult& r) {
     return base.events_per_sec <= 0
@@ -139,7 +159,18 @@ int main(int argc, char** argv) {
                : (base.events_per_sec - r.events_per_sec) / base.events_per_sec * 100;
   };
 
-  PrintTable("Tracing overhead (wall-clock drain of one backlog, best of reps)",
+  // The conservation audit over the quiesced ledger run: the bench
+  // doubles as an end-to-end check that the accounting itself balances.
+  const auto audit = ledger.flow->Audit();
+  const size_t ledger_stages = [&] {
+    size_t advanced = 0;
+    for (const auto& row : ledger.watermarks->Snapshot()) {
+      if (row.advanced) ++advanced;
+    }
+    return advanced;
+  }();
+
+  PrintTable("Observability overhead (wall-clock drain of one backlog, best of reps)",
              {{"config", "events", "events/s (real)", "overhead", "spans"},
               {"no tracer", std::to_string(base.events), F0(base.events_per_sec),
                "-", "0"},
@@ -148,7 +179,15 @@ int main(int argc, char** argv) {
                std::to_string(rate0.spans)},
               {"100% sampling", std::to_string(rate100.events),
                F0(rate100.events_per_sec), F2(overhead(rate100)) + "%",
-               std::to_string(rate100.spans)}});
+               std::to_string(rate100.spans)},
+              {"ledger+marks", std::to_string(ledger.events),
+               F0(ledger.events_per_sec), F2(overhead(ledger)) + "%", "0"}});
+  std::printf(
+      "\nFlow ledger at quiesce: %zu boundary rows, %s, %zu watermarks "
+      "advanced, fleet lag %lldns\n",
+      audit.rows.size(), audit.balanced ? "balanced" : "IMBALANCED",
+      ledger_stages,
+      static_cast<long long>(ledger.watermarks->FleetLag().count()));
 
   // Full-sampling export: stage latency table + Chrome trace validation.
   size_t trace_events = 0;
@@ -174,10 +213,19 @@ int main(int argc, char** argv) {
   metrics.Set("trace_events", static_cast<double>(trace_events));
   metrics.Set("trace_stages", static_cast<double>(trace_stages));
   metrics.Set("trace_valid", trace_valid ? 1 : 0);
+  metrics.Set("ledger_events_per_sec", ledger.events_per_sec);
+  metrics.Set("ledger_overhead_pct", overhead(ledger));
+  metrics.Set("ledger_boundaries", static_cast<double>(audit.rows.size()));
+  metrics.Set("ledger_balanced", audit.balanced ? 1 : 0);
+  metrics.Set("watermark_stages", static_cast<double>(ledger_stages));
   WriteMetricsJson(json_out, metrics);
 
   const bool overhead_ok = overhead(rate0) < 2.0;
-  std::printf("\n0%%-sampling overhead %s the 2%% budget; Chrome export %s.\n",
-              overhead_ok ? "within" : "EXCEEDS", trace_valid ? "valid" : "INVALID");
-  return overhead_ok && trace_valid ? 0 : 1;
+  const bool ledger_ok = overhead(ledger) < 2.0 && audit.balanced;
+  std::printf(
+      "\n0%%-sampling overhead %s the 2%% budget; ledger overhead %s the "
+      "2%% budget; Chrome export %s.\n",
+      overhead_ok ? "within" : "EXCEEDS", ledger_ok ? "within" : "EXCEEDS",
+      trace_valid ? "valid" : "INVALID");
+  return overhead_ok && ledger_ok && trace_valid ? 0 : 1;
 }

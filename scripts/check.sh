@@ -13,7 +13,9 @@
 # result to BENCH_throughput.json in the repo root (the checked-in perf
 # baseline — includes the resolver-worker sweep and its speedup metric),
 # then bench_failover --json to BENCH_failover.json and gate the
-# degraded-mode federated query availability at >= 0.99.
+# degraded-mode federated query availability at >= 0.99, then
+# bench_observability --json to BENCH_observability.json and gate the
+# flow-ledger + watermark overhead at < 2% with a balanced ledger.
 #
 # Every mode ends with two health steps:
 #   - the ctest output must contain no "[health] decode_errors=" marker
@@ -77,7 +79,10 @@ else
                    TwoShardKillMidStreamBackfillHealsBothShards \
                    FederatedRangeQueryReturnsExactHlcMerge \
                    SingleShardOutageSpoolsReplaysAndServesLabeledPartials \
-                   RollingOutagesServeLabeledPartialsUnderConcurrency; do
+                   RollingOutagesServeLabeledPartialsUnderConcurrency \
+                   TracedEventCrossesEveryPipelineStage \
+                   LagDerivationAndFrozenInstance \
+                   AuditAlgebra; do
     if ! grep -q "$test_name" "$TSAN_LOG"; then
       echo "FAIL: $test_name did not run in the TSan pass" >&2
       exit 1
@@ -92,7 +97,8 @@ fi
 BENCH_JSON="$(mktemp)"
 trap 'rm -f "$BENCH_JSON"' EXIT
 "$FIRST_DIR/bench/bench_observability" --quick --json "$BENCH_JSON" || true
-for key in rate0_events_per_sec rate100_events_per_sec trace_valid; do
+for key in rate0_events_per_sec rate100_events_per_sec trace_valid \
+           ledger_overhead_pct ledger_balanced; do
   if ! grep -q "\"$key\"" "$BENCH_JSON"; then
     echo "FAIL: bench_observability --json output is missing $key" >&2
     exit 1
@@ -158,6 +164,41 @@ if [[ "$BENCH_JSON_OUT" == 1 ]]; then
     }
     END { if (!found) { print "FAIL: degraded_query_availability not found" > "/dev/stderr"; exit 1 } }
   ' BENCH_failover.json
+
+  # Flow-ledger overhead baseline: full-boundary conservation accounting
+  # plus per-stage watermarks must stay under 2% of baseline throughput
+  # (full repetitions, plain build — the smoke run above only checks that
+  # the keys exist). The run must also end with a balanced ledger.
+  OBS_BIN="$FIRST_DIR/bench/bench_observability"
+  [[ -x "build/bench/bench_observability" ]] && OBS_BIN="build/bench/bench_observability"
+  "$OBS_BIN" --json BENCH_observability.json
+  for key in ledger_overhead_pct ledger_balanced ledger_boundaries \
+             watermark_stages; do
+    if ! grep -q "\"$key\"" BENCH_observability.json; then
+      echo "FAIL: BENCH_observability.json is missing $key" >&2
+      exit 1
+    fi
+  done
+  awk '
+    /"ledger_overhead_pct"/ {
+      match($0, /"ledger_overhead_pct":[0-9.eE+-]+/)
+      split(substr($0, RSTART, RLENGTH), kv, ":")
+      if (kv[2] + 0 >= 2.0) {
+        printf "FAIL: ledger_overhead_pct %.2f >= 2.0\n", kv[2] > "/dev/stderr"
+        exit 1
+      }
+      found = 1
+    }
+    /"ledger_balanced"/ {
+      match($0, /"ledger_balanced":[0-9.eE+-]+/)
+      split(substr($0, RSTART, RLENGTH), kv, ":")
+      if (kv[2] + 0 != 1) {
+        print "FAIL: ledger run finished imbalanced" > "/dev/stderr"
+        exit 1
+      }
+    }
+    END { if (!found) { print "FAIL: ledger_overhead_pct not found" > "/dev/stderr"; exit 1 } }
+  ' BENCH_observability.json
 fi
 
 echo "check.sh: all gates passed"

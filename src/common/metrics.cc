@@ -5,6 +5,7 @@
 
 #include "common/json.h"
 #include "common/strings.h"
+#include "common/timeseries.h"
 
 namespace sdci {
 namespace {
@@ -52,6 +53,9 @@ json::Value LabelsToJson(const MetricLabels& labels) {
 std::string FormatSeconds(double s) { return strings::Format("{}", s); }
 
 }  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : series_(std::make_shared<TimeSeriesStore>()) {}
 
 std::shared_ptr<Counter> MetricsRegistry::GetCounter(const std::string& name,
                                                      const MetricLabels& labels) {
@@ -212,6 +216,36 @@ std::string MetricsRegistry::ToPrometheus() const {
            std::to_string(hist->Count()) + "\n";
   }
   return out;
+}
+
+size_t MetricsRegistry::SampleAll(VirtualTime now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  size_t sampled = 0;
+  for (const auto& [key, counter] : counters_) {
+    series_->Series(key.first, key.second)
+        ->Record(now, static_cast<double>(counter->Get()));
+    ++sampled;
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    series_->Series(key.first, key.second)
+        ->Record(now, static_cast<double>(gauge->Get()));
+    ++sampled;
+  }
+  for (const auto& [name, cb_series] : callbacks_) {
+    for (const auto& entry : cb_series) {
+      const auto value = entry.read ? entry.read() : std::nullopt;
+      if (!value.has_value()) continue;  // owner gone
+      series_->Series(name, entry.labels)
+          ->Record(now, static_cast<double>(*value));
+      ++sampled;
+    }
+  }
+  for (const auto& [key, hist] : histograms_) {
+    series_->Series(key.first + "_p99_ns", key.second)
+        ->Record(now, static_cast<double>(hist->Quantile(0.99).count()));
+    ++sampled;
+  }
+  return sampled;
 }
 
 size_t MetricsRegistry::InstrumentCount() const {

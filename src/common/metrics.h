@@ -23,9 +23,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/stats.h"
 
 namespace sdci {
+
+class TimeSeriesStore;
 
 namespace json {
 class Value;
@@ -37,6 +40,8 @@ using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
 class MetricsRegistry {
  public:
+  MetricsRegistry();
+
   // First request creates the instrument; later requests with the same
   // (name, labels) return the same object. A name must stay one kind:
   // asking for a counter named like an existing gauge is a programming
@@ -71,6 +76,18 @@ class MetricsRegistry {
   // Number of registered series (callbacks included).
   [[nodiscard]] size_t InstrumentCount() const;
 
+  // Samples every instrument into the time-series store at virtual time
+  // `now`: counters and gauges record their value, callback gauges record
+  // what their read returns (skipped while the owner is gone), histograms
+  // record their p99 under `<name>_p99_ns`. Any scrape loop that calls
+  // this populates the sliding windows the SLO evaluator (common/slo.h)
+  // fires on. Returns the number of series sampled.
+  size_t SampleAll(VirtualTime now);
+
+  // The ring store SampleAll populates. Shared so evaluators can outlive
+  // a scrape loop holding the registry.
+  [[nodiscard]] std::shared_ptr<TimeSeriesStore> series() const { return series_; }
+
  private:
   using Key = std::pair<std::string, MetricLabels>;
   struct Callback {
@@ -79,6 +96,7 @@ class MetricsRegistry {
   };
 
   mutable std::mutex mutex_;
+  std::shared_ptr<TimeSeriesStore> series_;
   std::map<Key, std::shared_ptr<Counter>> counters_;
   std::map<Key, std::shared_ptr<Gauge>> gauges_;
   std::map<Key, std::shared_ptr<LatencyHistogram>> histograms_;

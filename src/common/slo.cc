@@ -1,0 +1,205 @@
+#include "common/slo.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/json.h"
+#include "common/timeseries.h"
+
+namespace sdci {
+namespace {
+
+bool Violates(SloCompare compare, double value, double threshold) {
+  return compare == SloCompare::kGreaterThan ? value > threshold
+                                             : value < threshold;
+}
+
+}  // namespace
+
+std::string_view AlertStateName(AlertState state) {
+  switch (state) {
+    case AlertState::kOk: return "ok";
+    case AlertState::kPending: return "pending";
+    case AlertState::kFiring: return "firing";
+  }
+  return "?";
+}
+
+SloEvaluator::SloEvaluator(std::shared_ptr<MetricsRegistry> registry,
+                           std::vector<SloRule> rules)
+    : registry_(std::move(registry)) {
+  for (SloRule& rule : rules) AddRule(std::move(rule));
+}
+
+void SloEvaluator::AddRule(SloRule rule) {
+  RuleState state;
+  state.status.name = rule.name;
+  state.status.severity = rule.severity;
+  state.status.threshold = rule.threshold;
+  state.status.description = rule.description;
+  state.rule = std::move(rule);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rules_.push_back(std::move(state));
+}
+
+std::vector<SloStatus> SloEvaluator::Evaluate(VirtualTime now) {
+  registry_->SampleAll(now);
+  const std::shared_ptr<TimeSeriesStore> store = registry_->series();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SloStatus> out;
+  out.reserve(rules_.size());
+  for (RuleState& entry : rules_) {
+    const SloRule& rule = entry.rule;
+    SloStatus& status = entry.status;
+    const std::shared_ptr<TimeSeriesRing> ring =
+        store->Find(rule.metric, rule.labels);
+    double value = 0;
+    double fraction = -1;  // no data
+    if (ring != nullptr) {
+      switch (rule.aggregate) {
+        case SloAggregate::kLast: {
+          const auto in = ring->Window(rule.window, now);
+          if (!in.empty()) {
+            value = in.back().value;
+            fraction = Violates(rule.compare, value, rule.threshold) ? 1 : 0;
+          }
+          break;
+        }
+        case SloAggregate::kMax:
+        case SloAggregate::kMin:
+        case SloAggregate::kRatePerSec: {
+          if (ring->Window(rule.window, now).empty()) break;
+          if (rule.aggregate == SloAggregate::kMax) {
+            value = ring->MaxOver(rule.window, now);
+          } else if (rule.aggregate == SloAggregate::kMin) {
+            value = ring->MinOver(rule.window, now);
+          } else {
+            value = ring->RateOver(rule.window, now);
+          }
+          fraction = Violates(rule.compare, value, rule.threshold) ? 1 : 0;
+          break;
+        }
+        case SloAggregate::kQuantile: {
+          // Burn rate proper: the fraction of window samples in
+          // violation, with the quantile reported as the display value.
+          fraction = ring->FractionOver(
+              rule.window, now, [&rule](double sample) {
+                return Violates(rule.compare, sample, rule.threshold);
+              });
+          if (fraction >= 0) {
+            value = ring->QuantileOver(rule.quantile, rule.window, now);
+          }
+          break;
+        }
+      }
+    }
+    if (fraction >= 0) {
+      status.value = value;
+      status.fraction = fraction;
+      AlertState next = status.state;
+      if (status.state == AlertState::kFiring) {
+        if (fraction <= rule.clear_fraction) next = AlertState::kOk;
+      } else if (fraction >= rule.fire_fraction) {
+        next = AlertState::kFiring;
+      } else if (fraction > rule.clear_fraction) {
+        next = AlertState::kPending;
+      } else {
+        next = AlertState::kOk;
+      }
+      if (next != status.state) {
+        status.state = next;
+        status.since = now;
+        if (next == AlertState::kFiring) ++status.times_fired;
+      }
+    }
+    out.push_back(status);
+  }
+  return out;
+}
+
+std::vector<SloStatus> SloEvaluator::Current() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SloStatus> out;
+  out.reserve(rules_.size());
+  for (const RuleState& entry : rules_) out.push_back(entry.status);
+  return out;
+}
+
+bool SloEvaluator::AnyFiring() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(rules_.begin(), rules_.end(), [](const RuleState& entry) {
+    return entry.status.state == AlertState::kFiring;
+  });
+}
+
+json::Value SloEvaluator::AlertsJson() const {
+  json::Array alerts;
+  for (const SloStatus& status : Current()) {
+    json::Object entry;
+    entry["name"] = status.name;
+    entry["severity"] = status.severity;
+    entry["state"] = std::string(AlertStateName(status.state));
+    entry["value"] = status.value;
+    entry["threshold"] = status.threshold;
+    entry["fraction"] = status.fraction;
+    entry["since_ns"] = status.since.count();
+    entry["times_fired"] = static_cast<int64_t>(status.times_fired);
+    if (!status.description.empty()) {
+      entry["description"] = status.description;
+    }
+    alerts.push_back(std::move(entry));
+  }
+  return alerts;
+}
+
+std::vector<SloRule> DefaultFleetRules(const FleetSloOptions& options) {
+  std::vector<SloRule> rules;
+  {
+    SloRule rule;
+    rule.name = "e2e_lag";
+    rule.metric = "sdci_e2e_lag";
+    rule.labels = {{"instance", "fleet"}};
+    rule.aggregate = SloAggregate::kQuantile;
+    rule.quantile = 0.99;
+    rule.compare = SloCompare::kGreaterThan;
+    rule.threshold = static_cast<double>(options.lag_threshold.count());
+    rule.window = options.window;
+    rule.fire_fraction = options.fire_fraction;
+    rule.clear_fraction = options.clear_fraction;
+    rule.severity = "page";
+    rule.description = "fleet end-to-end freshness lag p99 over budget";
+    rules.push_back(std::move(rule));
+  }
+  {
+    SloRule rule;
+    rule.name = "flow_conservation";
+    rule.metric = "sdci_flow_duplication";
+    rule.aggregate = SloAggregate::kMax;
+    rule.compare = SloCompare::kGreaterThan;
+    rule.threshold = 0;
+    rule.window = options.window;
+    rule.fire_fraction = 0.5;  // kMax fraction is 0/1: any violation fires
+    rule.clear_fraction = 0.1;
+    rule.severity = "page";
+    rule.description = "flow ledger shows duplicated events";
+    rules.push_back(std::move(rule));
+  }
+  for (size_t shard = 0; shard < options.shard_count; ++shard) {
+    SloRule rule;
+    rule.name = "degraded_availability.shard" + std::to_string(shard);
+    rule.metric = "sdci_fleet_shard_breaker_state";
+    rule.labels = {{"shard", std::to_string(shard)}};
+    rule.aggregate = SloAggregate::kLast;
+    rule.compare = SloCompare::kGreaterThan;
+    rule.threshold = 1.5;  // breaker state: 0 closed, 1 half-open, 2 open
+    rule.window = options.window;
+    rule.fire_fraction = 0.5;
+    rule.clear_fraction = 0.1;
+    rule.severity = "warn";
+    rule.description = "shard circuit breaker open: queries degraded";
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace sdci

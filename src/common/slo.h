@@ -1,0 +1,128 @@
+// Declarative SLO rules with burn-rate firing and hysteresis clearing.
+//
+// A rule names one metric series (by the registry's (name, labels)
+// identity), a sliding virtual-time window, an aggregate, and a
+// threshold. The evaluator samples the whole registry into its
+// time-series store (MetricsRegistry::SampleAll) and runs every rule's
+// state machine:
+//
+//   ok ──(violating fraction ≥ fire_fraction)──▶ firing
+//   firing ──(fraction ≤ clear_fraction)──▶ ok
+//   in between: pending (burn started) / firing held (hysteresis)
+//
+// For kQuantile the violating fraction is per-sample — the fraction of
+// in-window samples past the threshold, classic burn rate. For
+// kLast/kMax/kMin/kRatePerSec the window aggregates to one value and the
+// fraction is 0 or 1, so kMax fires on any in-window violation and
+// clears once the offender leaves the window. Windows with no samples
+// leave the state untouched (no data is not evidence of health).
+//
+// The stock fleet rules (DefaultFleetRules) encode the division of
+// labor: sustained *loss* shows up as the e2e-lag rule firing (the
+// stream's frontier runs away from the stuck stage), *duplication* shows
+// up as flow_conservation (negative ledger imbalance is always a bug),
+// and quiesce-time residue is FlowLedger::Audit()'s job, not an alert.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+
+namespace sdci {
+
+namespace json {
+class Value;
+}  // namespace json
+
+enum class SloAggregate { kLast, kMax, kMin, kRatePerSec, kQuantile };
+enum class SloCompare { kGreaterThan, kLessThan };
+enum class AlertState { kOk, kPending, kFiring };
+
+[[nodiscard]] std::string_view AlertStateName(AlertState state);
+
+struct SloRule {
+  std::string name;          // alert name, unique per evaluator
+  std::string metric;        // registry series name, e.g. "sdci_e2e_lag"
+  MetricLabels labels;       // exact label identity of the series
+  SloAggregate aggregate = SloAggregate::kLast;
+  double quantile = 0.99;    // used by kQuantile
+  SloCompare compare = SloCompare::kGreaterThan;  // violation direction
+  double threshold = 0;
+  VirtualDuration window = std::chrono::seconds(1);
+  double fire_fraction = 0.5;   // violating fraction that starts firing
+  double clear_fraction = 0.1;  // fraction at or below which firing clears
+  std::string severity = "page";
+  std::string description;
+};
+
+struct SloStatus {
+  std::string name;
+  std::string severity;
+  AlertState state = AlertState::kOk;
+  double value = 0;      // window aggregate at last evaluation
+  double fraction = -1;  // violating fraction (-1 = no data yet)
+  double threshold = 0;
+  VirtualTime since{};   // when the current state was entered
+  uint64_t times_fired = 0;
+  std::string description;
+};
+
+class SloEvaluator {
+ public:
+  // The evaluator samples `registry` on every Evaluate(); rules read the
+  // resulting rings. Rules can also be added later (AddRule).
+  SloEvaluator(std::shared_ptr<MetricsRegistry> registry,
+               std::vector<SloRule> rules = {});
+
+  void AddRule(SloRule rule);
+
+  // Samples the registry at `now`, advances every rule's state machine,
+  // and returns the post-evaluation statuses (rule order).
+  std::vector<SloStatus> Evaluate(VirtualTime now);
+
+  // Last Evaluate()'s statuses without re-sampling.
+  [[nodiscard]] std::vector<SloStatus> Current() const;
+
+  [[nodiscard]] bool AnyFiring() const;
+
+  // [{"name","severity","state","value","threshold","fraction",
+  //   "since_ns","times_fired","description"}...] — every rule, so a
+  // consumer sees cleared alerts transition rather than vanish.
+  [[nodiscard]] json::Value AlertsJson() const;
+
+ private:
+  struct RuleState {
+    SloRule rule;
+    SloStatus status;
+  };
+
+  std::shared_ptr<MetricsRegistry> registry_;
+  mutable std::mutex mutex_;
+  std::vector<RuleState> rules_;
+};
+
+// Knobs for the stock fleet rules; defaults suit the dilated test
+// topologies (tens-of-ms virtual outages).
+struct FleetSloOptions {
+  // e2e freshness: fires when the p99 of fleet lag over `window` exceeds
+  // `lag_threshold` for at least `fire_fraction` of the window's samples.
+  VirtualDuration lag_threshold = std::chrono::milliseconds(50);
+  VirtualDuration window = std::chrono::milliseconds(500);
+  double fire_fraction = 0.5;
+  double clear_fraction = 0.1;
+  // One degraded-availability rule per shard on the breaker-state gauge
+  // (fires while open, severity "warn"); 0 = skip.
+  size_t shard_count = 0;
+};
+
+// e2e_lag (p99 fleet freshness), flow_conservation (any duplication),
+// and per-shard degraded_availability rules.
+[[nodiscard]] std::vector<SloRule> DefaultFleetRules(
+    const FleetSloOptions& options = {});
+
+}  // namespace sdci

@@ -1,0 +1,122 @@
+#include "common/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdci {
+
+TimeSeriesRing::TimeSeriesRing(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 2)) {
+  ring_.reserve(capacity_);
+}
+
+void TimeSeriesRing::Record(VirtualTime time, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(Sample{time, value});
+  } else {
+    ring_[next_ % capacity_] = Sample{time, value};
+  }
+  ++next_;
+  ++count_;
+}
+
+size_t TimeSeriesRing::Count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::min(count_, capacity_);
+}
+
+TimeSeriesRing::Sample TimeSeriesRing::Latest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.empty()) return Sample{};
+  const size_t last = (next_ + capacity_ - 1) % capacity_;
+  return ring_.size() < capacity_ ? ring_.back() : ring_[last];
+}
+
+std::vector<TimeSeriesRing::Sample> TimeSeriesRing::Window(
+    VirtualDuration window, VirtualTime now) const {
+  const VirtualTime floor =
+      now >= window ? now - window : VirtualTime::zero();
+  std::vector<Sample> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t live = ring_.size();
+  const size_t start = live < capacity_ ? 0 : next_ % capacity_;
+  out.reserve(live);
+  for (size_t i = 0; i < live; ++i) {
+    const Sample& sample = ring_[(start + i) % capacity_];
+    if (sample.time >= floor && sample.time <= now) out.push_back(sample);
+  }
+  return out;
+}
+
+double TimeSeriesRing::RateOver(VirtualDuration window, VirtualTime now) const {
+  const std::vector<Sample> in = Window(window, now);
+  if (in.size() < 2) return 0;
+  const Sample& first = in.front();
+  const Sample& last = in.back();
+  const auto elapsed = last.time - first.time;
+  if (elapsed <= VirtualDuration::zero()) return 0;
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  return (last.value - first.value) / seconds;
+}
+
+double TimeSeriesRing::QuantileOver(double q, VirtualDuration window,
+                                    VirtualTime now) const {
+  std::vector<Sample> in = Window(window, now);
+  if (in.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> values;
+  values.reserve(in.size());
+  for (const Sample& sample : in) values.push_back(sample.value);
+  std::sort(values.begin(), values.end());
+  // Nearest-rank: smallest value with at least q of the mass at or below it.
+  const size_t rank =
+      q <= 0 ? 0
+             : static_cast<size_t>(
+                   std::ceil(q * static_cast<double>(values.size()))) -
+                   1;
+  return values[std::min(rank, values.size() - 1)];
+}
+
+double TimeSeriesRing::MaxOver(VirtualDuration window, VirtualTime now) const {
+  const std::vector<Sample> in = Window(window, now);
+  if (in.empty()) return 0;
+  double best = in.front().value;
+  for (const Sample& sample : in) best = std::max(best, sample.value);
+  return best;
+}
+
+double TimeSeriesRing::MinOver(VirtualDuration window, VirtualTime now) const {
+  const std::vector<Sample> in = Window(window, now);
+  if (in.empty()) return 0;
+  double best = in.front().value;
+  for (const Sample& sample : in) best = std::min(best, sample.value);
+  return best;
+}
+
+TimeSeriesStore::TimeSeriesStore(size_t ring_capacity)
+    : ring_capacity_(ring_capacity) {}
+
+std::shared_ptr<TimeSeriesRing> TimeSeriesStore::Series(
+    const std::string& name, const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = series_[Key{name, labels}];
+  if (!slot) slot = std::make_shared<TimeSeriesRing>(ring_capacity_);
+  return slot;
+}
+
+std::shared_ptr<TimeSeriesRing> TimeSeriesStore::Find(
+    const std::string& name, const MetricLabels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = series_.find(Key{name, labels});
+  return it == series_.end() ? nullptr : it->second;
+}
+
+size_t TimeSeriesStore::SeriesCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+}  // namespace sdci

@@ -1,0 +1,115 @@
+// Fixed-capacity virtual-time sample rings with sliding-window derivation.
+//
+// A TimeSeriesRing remembers the last `capacity` (time, value) samples of
+// one instrument; the SLO evaluator (common/slo.h) and operator tooling
+// derive sliding-window rates, extrema and quantiles from it without the
+// instrument itself keeping history. Rings live in a TimeSeriesStore keyed
+// by (name, labels) — the same identity the MetricsRegistry uses — and
+// are populated by MetricsRegistry::SampleAll(now), so any scrape loop
+// that samples the registry feeds every ring at once.
+//
+// Timestamps are virtual time (TimeAuthority), like every other
+// measurement in the repo, so windows line up with traces and watermarks
+// regardless of dilation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace sdci {
+
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+// One instrument's recent history. Thread-safe; writers and readers may
+// race a scrape loop.
+class TimeSeriesRing {
+ public:
+  explicit TimeSeriesRing(size_t capacity = 512);
+
+  struct Sample {
+    VirtualTime time{};
+    double value = 0;
+  };
+
+  // Appends one sample, evicting the oldest past capacity. Samples are
+  // expected in non-decreasing time order (SampleAll stamps a whole sweep
+  // with one `now`); an out-of-order sample is still stored but window
+  // queries only promise exact answers for ordered input.
+  void Record(VirtualTime time, double value);
+
+  // Live samples currently held (at most `capacity`).
+  [[nodiscard]] size_t Count() const;
+  [[nodiscard]] size_t capacity() const noexcept { return capacity_; }
+  // Most recent sample (zero-initialized when empty).
+  [[nodiscard]] Sample Latest() const;
+
+  // Samples with time in [now - window, now], oldest first.
+  [[nodiscard]] std::vector<Sample> Window(VirtualDuration window,
+                                           VirtualTime now) const;
+
+  // Per-second rate of a cumulative counter over the window:
+  // (latest - earliest) / elapsed over the in-window samples. Zero when
+  // fewer than two samples are in the window.
+  [[nodiscard]] double RateOver(VirtualDuration window, VirtualTime now) const;
+
+  // Value quantile (q clamped to [0,1], nearest-rank) over the in-window
+  // samples. Zero when the window is empty.
+  [[nodiscard]] double QuantileOver(double q, VirtualDuration window,
+                                    VirtualTime now) const;
+
+  [[nodiscard]] double MaxOver(VirtualDuration window, VirtualTime now) const;
+  [[nodiscard]] double MinOver(VirtualDuration window, VirtualTime now) const;
+
+  // Fraction of in-window samples for which `pred(value)` holds — the
+  // burn-rate primitive the SLO evaluator fires on. Returns -1 when the
+  // window holds no samples (unknown, distinct from 0.0 == all healthy).
+  template <typename Pred>
+  [[nodiscard]] double FractionOver(VirtualDuration window, VirtualTime now,
+                                    Pred pred) const {
+    const std::vector<Sample> in = Window(window, now);
+    if (in.empty()) return -1;
+    size_t hits = 0;
+    for (const Sample& sample : in) {
+      if (pred(sample.value)) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(in.size());
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Sample> ring_;  // circular once full
+  size_t next_ = 0;           // write cursor
+  size_t count_ = 0;          // total ever recorded (min(count_, capacity_) live)
+};
+
+// Rings keyed by (name, labels). Shared by the registry (writer) and the
+// SLO evaluator (reader); thread-safe.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(size_t ring_capacity = 512);
+
+  // Create-or-get, like MetricsRegistry::GetCounter.
+  std::shared_ptr<TimeSeriesRing> Series(const std::string& name,
+                                         const MetricLabels& labels = {});
+  // nullptr when the series was never recorded.
+  [[nodiscard]] std::shared_ptr<TimeSeriesRing> Find(
+      const std::string& name, const MetricLabels& labels = {}) const;
+
+  [[nodiscard]] size_t SeriesCount() const;
+
+ private:
+  using Key = std::pair<std::string, MetricLabels>;
+  const size_t ring_capacity_;
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_ptr<TimeSeriesRing>> series_;
+};
+
+}  // namespace sdci

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/json.h"
+#include "common/metrics.h"
 
 namespace sdci::trace {
 
@@ -115,6 +116,25 @@ void TraceCollector::Clear() {
   spans_.clear();
   dropped_ = 0;
   stage_latency_.clear();
+}
+
+void RegisterTraceCollectorMetrics(MetricsRegistry& registry,
+                                   const std::shared_ptr<TraceCollector>& sink) {
+  const std::weak_ptr<TraceCollector> weak = sink;
+  registry.RegisterCallback("sdci_trace_spans", {},
+                            [weak]() -> std::optional<int64_t> {
+                              const auto collector = weak.lock();
+                              if (collector == nullptr) return std::nullopt;
+                              return static_cast<int64_t>(
+                                  collector->SpanCount());
+                            });
+  registry.RegisterCallback("sdci_trace_spans_dropped", {},
+                            [weak]() -> std::optional<int64_t> {
+                              const auto collector = weak.lock();
+                              if (collector == nullptr) return std::nullopt;
+                              return static_cast<int64_t>(
+                                  collector->Dropped());
+                            });
 }
 
 Tracer::Tracer(std::shared_ptr<TraceCollector> sink, double sample_rate,

@@ -32,6 +32,8 @@
 
 namespace sdci {
 
+class MetricsRegistry;
+
 namespace json {
 class Value;
 }  // namespace json
@@ -106,6 +108,13 @@ class TraceCollector {
   // node-based map: histogram addresses are stable across inserts.
   std::map<std::string, LatencyHistogram, std::less<>> stage_latency_;
 };
+
+// Exports the sink's saturation as scrapeable callback gauges:
+// sdci_trace_spans (spans held) and sdci_trace_spans_dropped (spans
+// discarded because the sink was full). The callbacks keep a weak
+// reference and go quiet once the collector dies.
+void RegisterTraceCollectorMetrics(MetricsRegistry& registry,
+                                   const std::shared_ptr<TraceCollector>& sink);
 
 // Sampling decision + span id source, shared by every instrumented
 // component of one pipeline. Thread-safe.

@@ -97,6 +97,12 @@ struct AggregatorConfig {
   // fleet-cumulative while Stats() stays per-incarnation.
   std::shared_ptr<MetricsRegistry> metrics;
   std::shared_ptr<trace::Tracer> tracer;
+  // Flow-conservation ledger and freshness watermarks (null = disabled).
+  // The roles bind their counters as the shard.wal / shard.store /
+  // shard.publish boundary accounts and advance the aggregator.* and
+  // store.append stage watermarks with event birth times.
+  std::shared_ptr<FlowLedger> flow;
+  std::shared_ptr<WatermarkRegistry> watermarks;
   // Decode errors this deployment tolerates before Stop() emits the
   // "[health] decode_errors=" marker line scripts/check.sh greps for.
   // Tests that feed intentionally malformed payloads raise it.
@@ -105,6 +111,11 @@ struct AggregatorConfig {
   // `batches` batches is committed to the checkpoint WAL. Chaos tests use
   // it to line crashes up with the commit edge.
   std::function<void(size_t batches)> commit_hook;
+  // Serve-plane stats channel: when set, an api request with
+  // {"op": "stats"} replies with this JSON string (the fleet wires it to
+  // FleetStatusJson, so SLO alerts and the flow ledger are queryable over
+  // the same REQ/REP socket as history). Runs on the api thread.
+  std::function<std::string()> status_provider;
 
   [[nodiscard]] size_t IngestWorkers() const noexcept {
     return ingest_workers == 0 ? 1 : ingest_workers;
@@ -118,6 +129,12 @@ struct AggregatorConfig {
   [[nodiscard]] MetricLabels ShardLabels() const {
     if (shard_count <= 1) return {};
     return {{"shard", std::to_string(shard_index)}};
+  }
+  // Ledger/watermark instance name: "aggregator" standalone, "shard<i>"
+  // in a fleet (matches the FleetStatusJson per-shard breakout).
+  [[nodiscard]] std::string InstanceName() const {
+    if (shard_count <= 1) return "aggregator";
+    return "shard" + std::to_string(shard_index);
   }
 };
 

@@ -114,6 +114,49 @@ Collector::Collector(lustre::FileSystem& fs, int mdt_index,
           return static_cast<int64_t>(spool_->EventCount());
         });
   }
+  const std::string instance = strings::Format("mdt{}", mdt_index_);
+  if (config_.watermarks != nullptr) {
+    wm_read_ = config_.watermarks->Handle(trace::kChangelogRead, instance);
+    wm_extract_ =
+        config_.watermarks->Handle(trace::kCollectorExtract, instance);
+    wm_publish_ =
+        config_.watermarks->Handle(trace::kCollectorPublish, instance);
+  }
+  if (config_.flow != nullptr) {
+    FlowLedger& flow = *config_.flow;
+    // Extraction: every record read either gets masked out or becomes a
+    // resolved event (failed fid2path still reports the event with FIDs).
+    flow.Bind("collector.extract", instance, FlowKind::kIn, "extracted",
+              extracted_);
+    flow.Bind("collector.extract", instance, FlowKind::kOut, "filtered",
+              filtered_);
+    flow.Bind("collector.extract", instance, FlowKind::kOut, "resolved",
+              processed_);
+    // Publication: resolved events leave accepted-by-transport (spool
+    // replays count there exactly once), abandoned at shutdown, or sit in
+    // the outage spool.
+    flow.Bind("collector.publish", instance, FlowKind::kIn, "resolved",
+              processed_);
+    flow.Bind("collector.publish", instance, FlowKind::kOut, "reported",
+              reported_);
+    flow.Bind("collector.publish", instance, FlowKind::kOut, "abandoned",
+              reports_abandoned_);
+    if (spool_ != nullptr) {
+      const auto spool_depth = [alive, this]() -> std::optional<int64_t> {
+        if (alive.expired()) return std::nullopt;
+        return static_cast<int64_t>(spool_->EventCount());
+      };
+      flow.BindCallback("collector.publish", instance, FlowKind::kHeld,
+                        "spooled", spool_depth);
+      // The spool itself, as its own identity: spilled in, replayed out.
+      flow.Bind("collector.spool", instance, FlowKind::kIn, "spooled",
+                events_spooled_);
+      flow.Bind("collector.spool", instance, FlowKind::kOut, "replayed",
+                events_replayed_);
+      flow.BindCallback("collector.spool", instance, FlowKind::kHeld, "depth",
+                        spool_depth);
+    }
+  }
   consumer_id_ = fs_->Mds(static_cast<size_t>(mdt_index_)).changelog().RegisterConsumer();
   if (config_.transport == CollectTransport::kPubSub) {
     pub_ = context.CreatePub(config_.collect_endpoint);
@@ -202,6 +245,7 @@ bool Collector::ReadPass() {
   if (n == 0) return false;
   read_stage_latency_->Record(read_cost);
   extracted_->Add(n);
+  if (wm_read_ != nullptr) wm_read_->Advance(records.back().time);
   const uint64_t last_index = records.back().index;
   next_index_ = last_index + 1;
 
@@ -256,6 +300,9 @@ void Collector::ResolveChunkTask(ResolveChunk chunk, size_t worker) {
   ResolveRecords(chunk.records, chunk.events, budget, chunk.read_start,
                  chunk.read_end);
   processed_->Add(chunk.events.size());
+  if (wm_extract_ != nullptr && !chunk.events.empty()) {
+    wm_extract_->Advance(chunk.events.back().time);
+  }
   resolve_stage_latency_->Record(budget.TotalCharged() - charged_before);
   // Realize this chunk's modeled resolution latency *before* completion:
   // the whole point of the worker pool is that these sleeps overlap
@@ -433,6 +480,7 @@ Collector::PassResult Collector::ProcessPass(std::vector<lustre::ChangeLogRecord
       tracer_ != nullptr ? authority_->Now() : VirtualTime{};
   if (n == 0) return PassResult::kIdle;
   extracted_->Add(n);
+  if (wm_read_ != nullptr) wm_read_->Advance(records.back().time);
   const uint64_t last_index = records.back().index;
   next_index_ = last_index + 1;
 
@@ -453,6 +501,9 @@ Collector::PassResult Collector::ProcessPass(std::vector<lustre::ChangeLogRecord
   events.reserve(records.size());
   ResolveRecords(records, events, budget_, read_start, read_end);
   processed_->Add(events.size());
+  if (wm_extract_ != nullptr && !events.empty()) {
+    wm_extract_->Advance(events.back().time);
+  }
   if (local_store_ != nullptr) {
     for (const FsEvent& event : events) local_store_->Append(event);
   }
@@ -697,6 +748,9 @@ size_t Collector::Report(const std::vector<FsEvent>& events, DelayBudget& budget
     }
     delivered = end;
     reported_->Add(end - start);
+    if (wm_publish_ != nullptr) {
+      wm_publish_->Advance(batch.events().back().time);
+    }
   }
   return delivered;
 }

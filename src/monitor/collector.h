@@ -59,7 +59,9 @@
 #include "lustre/profile.h"
 #include "monitor/event.h"
 #include "monitor/event_store.h"
+#include "monitor/flow_ledger.h"
 #include "monitor/spool.h"
+#include "monitor/watermarks.h"
 #include "msgq/context.h"
 
 namespace sdci::monitor {
@@ -124,6 +126,13 @@ struct CollectorConfig {
   // sampling entirely.
   std::shared_ptr<MetricsRegistry> metrics;
   std::shared_ptr<trace::Tracer> tracer;
+  // Flow-conservation ledger and freshness watermarks (null = disabled).
+  // The collector binds its existing counters as the collector.extract /
+  // collector.publish / collector.spool boundary accounts and advances
+  // the changelog.read / collector.extract / collector.publish stage
+  // watermarks with event birth times.
+  std::shared_ptr<FlowLedger> flow;
+  std::shared_ptr<WatermarkRegistry> watermarks;
 };
 
 // How the collector's publisher last came to rest. kCleanStop means every
@@ -306,6 +315,11 @@ class Collector {
   // Keeps scrape-time callbacks (pool depth, reorder occupancy) from
   // touching a destroyed collector.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  // Freshness watermarks (null when config_.watermarks is unset).
+  std::shared_ptr<StageWatermark> wm_read_;
+  std::shared_ptr<StageWatermark> wm_extract_;
+  std::shared_ptr<StageWatermark> wm_publish_;
 
   std::shared_ptr<trace::Tracer> tracer_;
   const std::string component_;  // "collector.N", span attribution

@@ -15,6 +15,8 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "monitor/event.h"
+#include "monitor/flow_ledger.h"
+#include "monitor/watermarks.h"
 #include "msgq/context.h"
 
 namespace sdci::monitor {
@@ -106,6 +108,11 @@ struct RecoveringSubscriberConfig {
   // set it when a fleet of subscribers shares one registry.
   std::string name;
   std::shared_ptr<MetricsRegistry> metrics;
+  // Flow-conservation ledger and freshness watermarks (null = disabled).
+  // A FleetSubscriber uses these for its fleet.merge boundary row and the
+  // fleet.merge stage watermark; a bare RecoveringSubscriber ignores them.
+  std::shared_ptr<FlowLedger> flow;
+  std::shared_ptr<WatermarkRegistry> watermarks;
 };
 
 // Self-healing event consumer: a live EventSubscriber that watches

@@ -19,13 +19,29 @@ EventCatalog::EventCatalog(const TimeAuthority& authority,
       queue_(config.internal_queue),
       tracer_(std::move(tracer)),
       crashed_(&crashed) {
+  const std::string instance = config.InstanceName();
+  if (config.watermarks != nullptr) {
+    wm_store_ = config.watermarks->Handle(trace::kStoreAppend, instance);
+  }
+  if (config.flow != nullptr) {
+    stored_ = config.flow->Account("shard.store", instance, FlowKind::kOut,
+                                   "stored");
+    restored_ = config.flow->Account("shard.store", instance, FlowKind::kIn,
+                                     "restored");
+    discarded_ = config.flow->Account("shard.store", instance, FlowKind::kOut,
+                                      "discarded");
+  }
   if (checkpoint_ != nullptr) {
     // Restore: the catalog replays the WAL so the history API still
     // answers for pre-crash events (the sequence watermark is restored by
-    // the ingest pipeline from the same checkpoint).
+    // the ingest pipeline from the same checkpoint). The replayed events
+    // enter the store boundary a second time ("restored"), matching the
+    // "discarded" the crashed incarnation booked for them.
     for (const EventBatch& batch : checkpoint_->WalSnapshot()) {
       store_.Append(batch);
       restored_events_ += batch.size();
+      if (restored_ != nullptr) restored_->Add(batch.size());
+      if (stored_ != nullptr) stored_->Add(batch.size());
     }
   }
 }
@@ -36,7 +52,11 @@ void EventCatalog::Start() {
 
 void EventCatalog::CloseQueue() { queue_.Close(); }
 
-void EventCatalog::DiscardQueue() { queue_.TryPopAll(); }
+void EventCatalog::DiscardQueue() {
+  for (const EventBatch& batch : queue_.TryPopAll()) {
+    if (discarded_ != nullptr) discarded_->Add(batch.size());
+  }
+}
 
 void EventCatalog::Join() {
   if (thread_.joinable()) thread_.join();
@@ -60,10 +80,17 @@ void EventCatalog::StoreLoop() {
       // On crash, queued batches are lost with the process (they were
       // checkpointed before becoming visible, so the next incarnation's
       // history API still serves them).
-      if (crashed_->load(std::memory_order_acquire)) continue;
+      if (crashed_->load(std::memory_order_acquire)) {
+        if (discarded_ != nullptr) discarded_->Add(batch.size());
+        continue;
+      }
       const VirtualTime store_start =
           tracer_ != nullptr ? authority_->Now() : VirtualTime{};
       store_.Append(batch);
+      if (stored_ != nullptr) stored_->Add(batch.size());
+      if (wm_store_ != nullptr && !batch.events().empty()) {
+        wm_store_->Advance(batch.events().back().time);
+      }
       if (tracer_ != nullptr) {
         const VirtualTime store_end = authority_->Now();
         for (const FsEvent& event : batch.events()) {

@@ -78,6 +78,14 @@ class EventCatalog {
   BoundedQueue<EventBatch> queue_;
   std::shared_ptr<trace::Tracer> tracer_;
   const std::atomic<bool>* crashed_;
+
+  // Flow-ledger accounts and store.append watermark (null when the shard
+  // runs without a ledger / watermark registry).
+  std::shared_ptr<Counter> stored_;     // shard.store out
+  std::shared_ptr<Counter> restored_;   // shard.store in (WAL replay)
+  std::shared_ptr<Counter> discarded_;  // shard.store out (crash)
+  std::shared_ptr<StageWatermark> wm_store_;
+
   std::jthread thread_;
 };
 

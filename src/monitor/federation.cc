@@ -159,6 +159,18 @@ FleetSubscriber::FleetSubscriber(msgq::Context& context,
                                  RecoveringSubscriberConfig config,
                                  std::shared_ptr<ShardHealthTracker> health)
     : health_(std::move(health)) {
+  // The merge row is named after the subscriber (not "fleet": that label
+  // is the watermark registry's cross-instance rollup).
+  const std::string instance = config.name.empty() ? "consumer" : config.name;
+  if (config.watermarks != nullptr) {
+    wm_merge_ = config.watermarks->Handle(trace::kFleetMerge, instance);
+  }
+  if (config.flow != nullptr) {
+    merged_in_ =
+        config.flow->Account("fleet.merge", instance, FlowKind::kIn, "received");
+    merged_out_ =
+        config.flow->Account("fleet.merge", instance, FlowKind::kOut, "delivered");
+  }
   shards_.reserve(publish_endpoints.size());
   for (size_t i = 0; i < publish_endpoints.size(); ++i) {
     RecoveringSubscriberConfig shard_config = config;
@@ -200,7 +212,16 @@ Result<EventBatch> FleetSubscriber::NextBatchFor(std::chrono::nanoseconds timeou
     RecoveringSubscriber& shard = *shards_[next_shard_];
     next_shard_ = (next_shard_ + 1) % shards_.size();
     auto batch = shard.NextBatchFor(slice);
-    if (batch.ok()) return batch;
+    if (batch.ok()) {
+      // Pass-through delivery: in and out book together (held is always 0
+      // at this boundary; only a merge bug could unbalance the row).
+      if (merged_in_ != nullptr) merged_in_->Add(batch->size());
+      if (merged_out_ != nullptr) merged_out_->Add(batch->size());
+      if (wm_merge_ != nullptr && !batch->events().empty()) {
+        wm_merge_->Advance(batch->events().back().time);
+      }
+      return batch;
+    }
     if (batch.status().code() == StatusCode::kClosed) {
       // The fleet is closed only when a full round answers closed.
       if (++closed_streak >= shards_.size()) return batch.status();
@@ -241,6 +262,7 @@ Result<EventBatch> FleetSubscriber::DrainMergedFor(std::chrono::nanoseconds time
       auto batch = shards_[shard]->NextBatchFor(slice);
       if (!batch.ok()) continue;  // timeout or closed: this shard is quiet
       const auto& events = batch->events();
+      if (merged_in_ != nullptr) merged_in_->Add(events.size());
       runs[shard].insert(runs[shard].end(), events.begin(), events.end());
       round_got_events = true;
       any = true;
@@ -248,7 +270,12 @@ Result<EventBatch> FleetSubscriber::DrainMergedFor(std::chrono::nanoseconds time
     if (round_got_events) quiet_since = std::chrono::steady_clock::now();
   }
   if (!any) return TimedOutError("no events before deadline");
-  return EventBatch(MergeByHlc(std::move(runs)));
+  EventBatch merged(MergeByHlc(std::move(runs)));
+  if (merged_out_ != nullptr) merged_out_->Add(merged.size());
+  if (wm_merge_ != nullptr && !merged.events().empty()) {
+    wm_merge_->Advance(merged.events().back().time);
+  }
+  return merged;
 }
 
 void FleetSubscriber::Close() {

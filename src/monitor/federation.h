@@ -166,6 +166,14 @@ class FleetSubscriber {
   std::vector<std::unique_ptr<RecoveringSubscriber>> shards_;
   std::shared_ptr<ShardHealthTracker> health_;  // may be null: no breakers
   size_t next_shard_ = 0;  // round-robin cursor
+
+  // fleet.merge ledger row (in = events popped from per-shard subscribers,
+  // out = events delivered to the caller — the merge conserves or the row
+  // shows it) and the fleet.merge stage watermark. Null when the config
+  // carried no ledger / watermark registry.
+  std::shared_ptr<Counter> merged_in_;
+  std::shared_ptr<Counter> merged_out_;
+  std::shared_ptr<StageWatermark> wm_merge_;
 };
 
 }  // namespace sdci::monitor

@@ -1,0 +1,268 @@
+#include "monitor/flow_ledger.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/json.h"
+#include "common/metrics.h"
+
+namespace sdci {
+
+std::string_view FlowKindName(FlowKind kind) {
+  switch (kind) {
+    case FlowKind::kIn: return "in";
+    case FlowKind::kOut: return "out";
+    case FlowKind::kHeld: return "held";
+  }
+  return "?";
+}
+
+struct FlowLedger::State {
+  struct Source {
+    FlowKind kind = FlowKind::kIn;
+    std::shared_ptr<Counter> counter;                // either a counter…
+    std::function<std::optional<int64_t>()> read;    // …or a callback
+
+    [[nodiscard]] int64_t Value() const {
+      if (counter != nullptr) return static_cast<int64_t>(counter->Get());
+      if (read) return read().value_or(0);
+      return 0;
+    }
+  };
+  // (boundary, instance) -> (kind, account) -> source
+  using RowKey = std::pair<std::string, std::string>;
+  using SourceKey = std::pair<int, std::string>;
+
+  mutable std::mutex mutex;
+  std::map<RowKey, std::map<SourceKey, Source>> rows;
+  std::shared_ptr<MetricsRegistry> metrics;
+
+  [[nodiscard]] int64_t ImbalanceLocked(const RowKey& key) const {
+    auto it = rows.find(key);
+    if (it == rows.end()) return 0;
+    int64_t imbalance = 0;
+    for (const auto& [source_key, source] : it->second) {
+      const int64_t value = source.Value();
+      imbalance += source.kind == FlowKind::kIn ? value : -value;
+    }
+    return imbalance;
+  }
+
+  [[nodiscard]] int64_t DuplicationLocked() const {
+    int64_t total = 0;
+    for (const auto& [key, sources] : rows) {
+      const int64_t imbalance = ImbalanceLocked(key);
+      if (imbalance < 0) total -= imbalance;
+    }
+    return total;
+  }
+};
+
+FlowLedger::FlowLedger() : state_(std::make_shared<State>()) {}
+
+std::shared_ptr<Counter> FlowLedger::Account(std::string_view boundary,
+                                             std::string_view instance,
+                                             FlowKind kind,
+                                             std::string_view account) {
+  const State::RowKey row_key{std::string(boundary), std::string(instance)};
+  const State::SourceKey source_key{static_cast<int>(kind),
+                                    std::string(account)};
+  std::shared_ptr<Counter> counter;
+  bool created = false;
+  bool new_row = false;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    new_row = state_->rows.find(row_key) == state_->rows.end();
+    auto& source = state_->rows[row_key][source_key];
+    if (source.counter == nullptr) {
+      // Keep an existing ledger-owned counter; replace a callback (a
+      // component upgraded the account from sampled to owned).
+      source = State::Source{kind, std::make_shared<Counter>(), nullptr};
+      created = true;
+    }
+    counter = source.counter;
+  }
+  if (created) {
+    ExportAccount(row_key.first, row_key.second, kind, source_key.second,
+                  new_row);
+  }
+  return counter;
+}
+
+void FlowLedger::Bind(std::string_view boundary, std::string_view instance,
+                      FlowKind kind, std::string_view account,
+                      std::shared_ptr<Counter> counter) {
+  const State::RowKey row_key{std::string(boundary), std::string(instance)};
+  const State::SourceKey source_key{static_cast<int>(kind),
+                                    std::string(account)};
+  bool created = false;
+  bool new_row = false;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    new_row = state_->rows.find(row_key) == state_->rows.end();
+    auto& sources = state_->rows[row_key];
+    created = sources.find(source_key) == sources.end();
+    sources[source_key] = State::Source{kind, std::move(counter), nullptr};
+  }
+  if (created) {
+    ExportAccount(row_key.first, row_key.second, kind, source_key.second,
+                  new_row);
+  }
+}
+
+void FlowLedger::BindCallback(std::string_view boundary,
+                              std::string_view instance, FlowKind kind,
+                              std::string_view account,
+                              std::function<std::optional<int64_t>()> read) {
+  const State::RowKey row_key{std::string(boundary), std::string(instance)};
+  const State::SourceKey source_key{static_cast<int>(kind),
+                                    std::string(account)};
+  bool created = false;
+  bool new_row = false;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    new_row = state_->rows.find(row_key) == state_->rows.end();
+    auto& sources = state_->rows[row_key];
+    created = sources.find(source_key) == sources.end();
+    sources[source_key] = State::Source{kind, nullptr, std::move(read)};
+  }
+  if (created) {
+    ExportAccount(row_key.first, row_key.second, kind, source_key.second,
+                  new_row);
+  }
+}
+
+FlowLedger::AuditReport FlowLedger::Audit() const {
+  AuditReport report;
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  report.rows.reserve(state_->rows.size());
+  for (const auto& [key, sources] : state_->rows) {
+    Row row;
+    row.boundary = key.first;
+    row.instance = key.second;
+    for (const auto& [source_key, source] : sources) {
+      const int64_t value = source.Value();
+      switch (source.kind) {
+        case FlowKind::kIn: row.in += value; break;
+        case FlowKind::kOut: row.out += value; break;
+        case FlowKind::kHeld: row.held += value; break;
+      }
+      row.entries.push_back(Entry{source_key.second, source.kind, value});
+    }
+    row.imbalance = row.in - row.out - row.held;
+    report.max_imbalance = std::max(report.max_imbalance, row.imbalance);
+    report.min_imbalance = std::min(report.min_imbalance, row.imbalance);
+    if (row.imbalance > 0) report.total_in_flight += row.imbalance;
+    if (row.imbalance < 0) report.total_duplication -= row.imbalance;
+    report.rows.push_back(std::move(row));
+  }
+  report.balanced = report.max_imbalance == 0 && report.min_imbalance == 0;
+  return report;
+}
+
+json::Value FlowLedger::ToJson() const {
+  const AuditReport report = Audit();
+  json::Array boundaries;
+  for (const Row& row : report.rows) {
+    json::Object entry;
+    entry["boundary"] = row.boundary;
+    entry["instance"] = row.instance;
+    entry["in"] = row.in;
+    entry["out"] = row.out;
+    entry["held"] = row.held;
+    entry["imbalance"] = row.imbalance;
+    json::Object accounts;
+    for (const Entry& account : row.entries) {
+      accounts[std::string(FlowKindName(account.kind)) + "." +
+               account.account] = account.value;
+    }
+    entry["accounts"] = std::move(accounts);
+    boundaries.push_back(std::move(entry));
+  }
+  json::Object out;
+  out["balanced"] = report.balanced;
+  out["total_in_flight"] = report.total_in_flight;
+  out["total_duplication"] = report.total_duplication;
+  out["boundaries"] = std::move(boundaries);
+  return out;
+}
+
+void FlowLedger::AttachMetrics(std::shared_ptr<MetricsRegistry> metrics) {
+  std::vector<std::pair<State::RowKey, State::SourceKey>> existing;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->metrics = std::move(metrics);
+    for (const auto& [row_key, sources] : state_->rows) {
+      for (const auto& [source_key, source] : sources) {
+        existing.emplace_back(row_key, source_key);
+      }
+    }
+  }
+  std::map<State::RowKey, bool> seen;
+  for (const auto& [row_key, source_key] : existing) {
+    const bool new_row = seen.insert({row_key, true}).second;
+    ExportAccount(row_key.first, row_key.second,
+                  static_cast<FlowKind>(source_key.first), source_key.second,
+                  new_row);
+  }
+  std::shared_ptr<MetricsRegistry> registry;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    registry = state_->metrics;
+  }
+  if (registry == nullptr) return;
+  std::weak_ptr<State> weak = state_;
+  registry->RegisterCallback("sdci_flow_duplication", {},
+                             [weak]() -> std::optional<int64_t> {
+                               const auto state = weak.lock();
+                               if (state == nullptr) return std::nullopt;
+                               const std::lock_guard<std::mutex> lock(
+                                   state->mutex);
+                               return state->DuplicationLocked();
+                             });
+}
+
+void FlowLedger::ExportAccount(const std::string& boundary,
+                               const std::string& instance, FlowKind kind,
+                               const std::string& account, bool new_row) {
+  std::shared_ptr<MetricsRegistry> registry;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    registry = state_->metrics;
+  }
+  if (registry == nullptr) return;
+  // Registered outside the state lock: metric callbacks read state under
+  // the registry's lock, so the reverse order here would deadlock.
+  std::weak_ptr<State> weak = state_;
+  const State::RowKey row_key{boundary, instance};
+  const State::SourceKey source_key{static_cast<int>(kind), account};
+  registry->RegisterCallback(
+      "sdci_flow",
+      {{"boundary", boundary},
+       {"instance", instance},
+       {"dir", std::string(FlowKindName(kind))},
+       {"account", account}},
+      [weak, row_key, source_key]() -> std::optional<int64_t> {
+        const auto state = weak.lock();
+        if (state == nullptr) return std::nullopt;
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        auto row = state->rows.find(row_key);
+        if (row == state->rows.end()) return std::nullopt;
+        auto source = row->second.find(source_key);
+        if (source == row->second.end()) return std::nullopt;
+        return source->second.Value();
+      });
+  if (new_row) {
+    registry->RegisterCallback(
+        "sdci_flow_imbalance",
+        {{"boundary", boundary}, {"instance", instance}},
+        [weak, row_key]() -> std::optional<int64_t> {
+          const auto state = weak.lock();
+          if (state == nullptr) return std::nullopt;
+          const std::lock_guard<std::mutex> lock(state->mutex);
+          return state->ImbalanceLocked(row_key);
+        });
+  }
+}
+
+}  // namespace sdci

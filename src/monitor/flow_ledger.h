@@ -1,0 +1,131 @@
+// Event-conservation ledger: every stage boundary accounts for every
+// event, so loss or duplication is a detected condition rather than a
+// test-only assertion.
+//
+// A *boundary* is one hand-off in the pipeline (collector.publish,
+// shard.wal, fleet.merge, …); an *instance* is one replica of it
+// ("mdt2", "shard1", "agent"). Each (boundary, instance) holds named
+// accounts on three sides:
+//
+//   in    events that entered the boundary            (e.g. "resolved")
+//   out   events that left, by disposition            ("reported",
+//         "abandoned", "discarded", "dead_lettered", …)
+//   held  events currently parked inside              (spool depth,
+//         queue depth — read at audit time via callbacks)
+//
+// Conservation per (boundary, instance):
+//
+//   imbalance = Σin − Σout − Σheld
+//
+//   == 0  balanced — every event accounted for
+//    > 0  events in flight (normal while running; loss if it persists
+//         at quiesce)
+//    < 0  duplication — some event was counted out twice (always a bug)
+//
+// Components *bind* the counters they already keep (shared atomics — the
+// ledger adds no hot-path work for those) and create ledger-owned
+// counters only for flows nothing counted before (crash-time queue
+// discards, WAL-replay restores, completion marks). Audit() snapshots
+// every account and computes the imbalances; AttachMetrics exports the
+// accounts (`sdci_flow`), per-boundary imbalance (`sdci_flow_imbalance`),
+// and a fleet duplication rollup (`sdci_flow_duplication`) that the
+// flow_conservation SLO rule fires on.
+//
+// Snapshot caveat: accounts are read one atomic at a time while the
+// pipeline runs, so a mid-flight audit can see a hand-off's "in" before
+// its "out" (transient positive imbalance). Negative imbalance has no
+// such excuse; zero is only guaranteed at quiesce.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace sdci {
+
+class MetricsRegistry;
+
+namespace json {
+class Value;
+}  // namespace json
+
+enum class FlowKind { kIn, kOut, kHeld };
+
+[[nodiscard]] std::string_view FlowKindName(FlowKind kind);
+
+class FlowLedger {
+ public:
+  FlowLedger();
+
+  // Create-or-get a ledger-owned counter for a flow nothing else counts.
+  // Idempotent across component restarts (same key → same counter).
+  std::shared_ptr<Counter> Account(std::string_view boundary,
+                                   std::string_view instance, FlowKind kind,
+                                   std::string_view account);
+
+  // Enrolls a counter the component already increments. Re-binding the
+  // same key replaces the previous source (supervised restarts re-bind
+  // the same registry-backed counter, so this is idempotent too).
+  void Bind(std::string_view boundary, std::string_view instance,
+            FlowKind kind, std::string_view account,
+            std::shared_ptr<Counter> counter);
+
+  // Enrolls a value read at audit/scrape time — queue depths, spool
+  // occupancy. Return nullopt once the owner is gone; the account then
+  // reads as absent (0) rather than crashing the audit.
+  void BindCallback(std::string_view boundary, std::string_view instance,
+                    FlowKind kind, std::string_view account,
+                    std::function<std::optional<int64_t>()> read);
+
+  struct Entry {
+    std::string account;
+    FlowKind kind = FlowKind::kIn;
+    int64_t value = 0;
+  };
+  struct Row {
+    std::string boundary;
+    std::string instance;
+    int64_t in = 0;
+    int64_t out = 0;
+    int64_t held = 0;
+    int64_t imbalance = 0;  // in - out - held
+    std::vector<Entry> entries;
+  };
+  struct AuditReport {
+    std::vector<Row> rows;            // sorted by (boundary, instance)
+    int64_t max_imbalance = 0;        // most positive (in-flight)
+    int64_t min_imbalance = 0;        // most negative (duplication)
+    int64_t total_in_flight = 0;      // Σ max(0, imbalance)
+    int64_t total_duplication = 0;    // Σ max(0, -imbalance)
+    bool balanced = false;            // every row imbalance == 0
+  };
+  [[nodiscard]] AuditReport Audit() const;
+
+  // {"balanced": b, "total_in_flight": N, "total_duplication": N,
+  //  "boundaries": [{"boundary","instance","in","out","held",
+  //                  "imbalance","accounts":{...}}...]}
+  [[nodiscard]] json::Value ToJson() const;
+
+  // Exports every account as sdci_flow{boundary,instance,dir,account},
+  // per-row sdci_flow_imbalance, and fleet sdci_flow_duplication.
+  // Accounts registered after this call self-register.
+  void AttachMetrics(std::shared_ptr<MetricsRegistry> metrics);
+
+ private:
+  struct State;
+  void ExportAccount(const std::string& boundary, const std::string& instance,
+                     FlowKind kind, const std::string& account,
+                     bool new_row);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace sdci

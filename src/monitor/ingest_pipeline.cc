@@ -47,6 +47,34 @@ IngestPipeline::IngestPipeline(const lustre::TestbedProfile& profile,
     // replays the WAL into the store from the same checkpoint).
     next_seq_.store(attachments.checkpoint->NextSeq(), std::memory_order_relaxed);
   }
+  const std::string instance = config.InstanceName();
+  if (config.watermarks != nullptr) {
+    wm_decode_ = config.watermarks->Handle(trace::kAggregatorDecode, instance);
+    wm_ingest_ = config.watermarks->Handle(trace::kAggregatorIngest, instance);
+    if (attachments.checkpoint != nullptr) {
+      wm_commit_ = config.watermarks->Handle(trace::kAggregatorCommit, instance);
+    }
+  }
+  if (config.flow != nullptr) {
+    FlowLedger& flow = *config.flow;
+    // The sequencer's event count is the "in" side of every downstream
+    // boundary: each sequenced event must end up committed (WAL), stored
+    // and published — or explicitly discarded by a crash.
+    if (attachments.checkpoint != nullptr) {
+      flow.Bind("shard.wal", instance, FlowKind::kIn, "sequenced",
+                instruments_.received);
+      committed_ = flow.Account("shard.wal", instance, FlowKind::kOut,
+                                "committed");
+    }
+    flow.Bind("shard.store", instance, FlowKind::kIn, "sequenced",
+              instruments_.received);
+    discarded_store_ =
+        flow.Account("shard.store", instance, FlowKind::kOut, "discarded");
+    flow.Bind("shard.publish", instance, FlowKind::kIn, "sequenced",
+              instruments_.received);
+    discarded_publish_ =
+        flow.Account("shard.publish", instance, FlowKind::kOut, "discarded");
+  }
 }
 
 void IngestPipeline::Start() {
@@ -131,6 +159,7 @@ void IngestPipeline::DecodeTask(uint64_t ticket, msgq::Message message,
   if (events.ok() && !events->empty()) {
     out.ok = true;
     out.events = std::move(events.value());
+    if (wm_decode_ != nullptr) wm_decode_->Advance(out.events.back().time);
     // The modeled per-event ingest cost lands on this worker's budget:
     // with N workers the latency overlaps N-ways, which is exactly the
     // concurrency the decode pool exists to buy.
@@ -180,6 +209,8 @@ void IngestPipeline::SequenceAndCommit(std::vector<DecodedMessage> group) {
   std::vector<EventBatch> publish_batches;  // type-homogeneous sub-batches
   batches.reserve(group.size());
   uint64_t watermark = 0;
+  uint64_t group_events = 0;       // ledger: events sequenced this group
+  VirtualTime group_newest{};      // newest birth time this group
   for (DecodedMessage& item : group) {
     if (!item.ok) {
       instruments_.decode_errors->Add();
@@ -202,6 +233,9 @@ void IngestPipeline::SequenceAndCommit(std::vector<DecodedMessage> group) {
     }
     instruments_.received->Add(count);
     instruments_.batches_received->Add();
+    group_events += count;
+    group_newest = std::max(group_newest, item.events.back().time);
+    if (wm_ingest_ != nullptr) wm_ingest_->Advance(item.events.back().time);
     if (tracer_ != nullptr) {
       const VirtualTime ingest_end = authority_->Now();
       for (FsEvent& event : item.events) {
@@ -236,6 +270,8 @@ void IngestPipeline::SequenceAndCommit(std::vector<DecodedMessage> group) {
     catalog_->CommitGroup(batches, watermark);
     instruments_.wal_group_size->Record(
         VirtualDuration(static_cast<int64_t>(batches.size())));
+    if (committed_ != nullptr) committed_->Add(group_events);
+    if (wm_commit_ != nullptr) wm_commit_->Advance(group_newest);
     if (tracer_ != nullptr && !pending.empty()) {
       const VirtualTime commit_end = authority_->Now();
       for (const PendingSpan& span : pending) {
@@ -248,16 +284,30 @@ void IngestPipeline::SequenceAndCommit(std::vector<DecodedMessage> group) {
   }
   // On crash the hand-off is skipped: the group is durable in the WAL (the
   // next incarnation's history API serves it) but this process's queues
-  // are dead memory.
-  if (crashed_->load(std::memory_order_acquire)) return;
+  // are dead memory. The ledger counts the skipped events as discarded on
+  // both downstream boundaries — the flows a real crash loses from
+  // process memory (the WAL restore re-enters the store as "restored").
+  if (crashed_->load(std::memory_order_acquire)) {
+    if (discarded_store_ != nullptr) discarded_store_->Add(group_events);
+    if (discarded_publish_ != nullptr) discarded_publish_->Add(group_events);
+    return;
+  }
   // Hand off to both downstream threads, in ticket order. Blocking pushes
   // propagate backpressure to the collectors ("no loss of events once
   // they have been processed"). The publish side gets type-homogeneous
   // sub-batches so per-type topics keep working. One bulk push per queue
   // for the whole group: one lock acquisition and one consumer wake,
   // instead of one of each per batch.
-  if (!serve_->Enqueue(std::move(publish_batches)).ok()) return;
-  (void)catalog_->Enqueue(std::move(batches));
+  if (!serve_->Enqueue(std::move(publish_batches)).ok()) {
+    // Hand-off queues only close mid-sequence on a crash: both boundaries
+    // lose the group.
+    if (discarded_store_ != nullptr) discarded_store_->Add(group_events);
+    if (discarded_publish_ != nullptr) discarded_publish_->Add(group_events);
+    return;
+  }
+  if (!catalog_->Enqueue(std::move(batches)).ok()) {
+    if (discarded_store_ != nullptr) discarded_store_->Add(group_events);
+  }
 }
 
 }  // namespace sdci::monitor

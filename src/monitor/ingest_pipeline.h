@@ -129,6 +129,15 @@ class IngestPipeline {
   std::shared_ptr<trace::Tracer> tracer_;
   const std::atomic<bool>* crashed_;
 
+  // Flow-ledger accounts and stage watermarks (null when the shard runs
+  // without a ledger / watermark registry).
+  std::shared_ptr<Counter> committed_;          // shard.wal out
+  std::shared_ptr<Counter> discarded_store_;    // shard.store out (crash)
+  std::shared_ptr<Counter> discarded_publish_;  // shard.publish out (crash)
+  std::shared_ptr<StageWatermark> wm_decode_;
+  std::shared_ptr<StageWatermark> wm_ingest_;
+  std::shared_ptr<StageWatermark> wm_commit_;
+
   std::jthread receive_thread_;
   std::jthread sequencer_thread_;
 };

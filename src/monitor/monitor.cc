@@ -25,6 +25,16 @@ void MonitorConfig::SetTracer(std::shared_ptr<trace::Tracer> tracer) {
   aggregator.tracer = std::move(tracer);
 }
 
+void MonitorConfig::SetFlowLedger(std::shared_ptr<FlowLedger> flow) {
+  collector.flow = flow;
+  aggregator.flow = std::move(flow);
+}
+
+void MonitorConfig::SetWatermarks(std::shared_ptr<WatermarkRegistry> watermarks) {
+  collector.watermarks = watermarks;
+  aggregator.watermarks = std::move(watermarks);
+}
+
 Monitor::Monitor(lustre::FileSystem& fs, const lustre::TestbedProfile& profile,
                  const TimeAuthority& authority, msgq::Context& context,
                  MonitorConfig config)

@@ -50,6 +50,10 @@ struct MonitorConfig {
   // trace timeline) covers collectors and aggregator alike.
   void SetMetrics(std::shared_ptr<MetricsRegistry> metrics);
   void SetTracer(std::shared_ptr<trace::Tracer> tracer);
+  // Points both halves at one flow ledger / watermark registry, so one
+  // FlowLedger::Audit() (one lag readout) covers the whole monitor.
+  void SetFlowLedger(std::shared_ptr<FlowLedger> flow);
+  void SetWatermarks(std::shared_ptr<WatermarkRegistry> watermarks);
 };
 
 struct MonitorStats {

@@ -23,6 +23,16 @@ ServePlane::ServePlane(const TimeAuthority& authority, msgq::Context& context,
       instruments_(std::move(instruments)),
       tracer_(std::move(tracer)),
       crashed_(&crashed) {
+  const std::string instance = config.InstanceName();
+  if (config.watermarks != nullptr) {
+    wm_publish_ = config.watermarks->Handle(trace::kAggregatorPublish, instance);
+  }
+  if (config.flow != nullptr) {
+    config.flow->Bind("shard.publish", instance, FlowKind::kOut, "published",
+                      instruments_.published);
+    discarded_ = config.flow->Account("shard.publish", instance, FlowKind::kOut,
+                                      "discarded");
+  }
   pub_ = context.CreatePub(config.publish_endpoint);
   rep_ = context.CreateRep(config.api_endpoint);
 }
@@ -34,7 +44,11 @@ void ServePlane::Start() {
 
 void ServePlane::ClosePublish() { queue_.Close(); }
 
-void ServePlane::DiscardPublishQueue() { queue_.TryPopAll(); }
+void ServePlane::DiscardPublishQueue() {
+  for (const EventBatch& batch : queue_.TryPopAll()) {
+    if (discarded_ != nullptr) discarded_->Add(batch.size());
+  }
+}
 
 void ServePlane::JoinPublish() {
   if (publish_thread_.joinable()) publish_thread_.join();
@@ -60,7 +74,10 @@ void ServePlane::PublishLoop() {
     for (EventBatch& batch : *batches) {
       // On crash, queued batches are discarded unprocessed: subscribers see
       // a sequence gap and heal it from the restored history API.
-      if (crashed_->load(std::memory_order_acquire)) continue;
+      if (crashed_->load(std::memory_order_acquire)) {
+        if (discarded_ != nullptr) discarded_->Add(batch.size());
+        continue;
+      }
       // payload() encodes the batch once; fan-out below shares those bytes
       // across every subscriber queue.
       msgq::Message message(batch.Topic(), batch.payload());
@@ -79,6 +96,9 @@ void ServePlane::PublishLoop() {
       }
       instruments_.published->Add(batch.size());
       instruments_.batches_published->Add();
+      if (wm_publish_ != nullptr && !batch.events().empty()) {
+        wm_publish_->Advance(batch.events().back().time);
+      }
     }
   }
 }
@@ -103,6 +123,22 @@ void ServePlane::HandleApiRequest(msgq::Request& request) {
     return;
   }
   const json::Value& query = *parsed;
+  if (query.GetString("op") == "stats") {
+    // Stats channel: the same REQ/REP socket that serves history answers
+    // fleet status (SLO alerts, flow ledger, watermarks) when the owner
+    // wired a provider; a bare shard answers with its fleet position.
+    if (config_->status_provider) {
+      request.Reply(msgq::Message("api.stats", config_->status_provider()));
+      return;
+    }
+    json::Object stats;
+    stats["shard"] = json::Value(static_cast<int64_t>(config_->shard_index));
+    stats["shards"] = json::Value(static_cast<int64_t>(config_->shard_count));
+    stats["last_seq"] = json::Value(catalog_->store().LastSeq());
+    request.Reply(
+        msgq::Message("api.stats", json::Value(std::move(stats)).Dump()));
+    return;
+  }
   const auto from_seq = static_cast<uint64_t>(query.GetInt("from_seq", 0));
   const auto max = static_cast<size_t>(query.GetInt("max", 1024));
   const EventStore& store = catalog_->store();

@@ -76,6 +76,13 @@ class ServePlane {
   std::shared_ptr<trace::Tracer> tracer_;
   const std::atomic<bool>* crashed_;
 
+  // Flow-ledger accounts and publish watermark (null when the shard runs
+  // without a ledger / watermark registry). `discarded_` is the same
+  // counter the ingest pipeline books its crash-path abandonments into —
+  // both sides resolve it through FlowLedger::Account's create-or-get.
+  std::shared_ptr<Counter> discarded_;  // shard.publish out (crash)
+  std::shared_ptr<StageWatermark> wm_publish_;
+
   std::jthread publish_thread_;
   std::jthread api_thread_;
 };

@@ -1,0 +1,240 @@
+#include "monitor/watermarks.h"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <set>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/tracing.h"
+
+namespace sdci {
+namespace {
+
+constexpr std::array<std::string_view, 13> kStageOrder = {
+    trace::kChangelogRead,    trace::kCollectorExtract,
+    trace::kFid2PathResolve,  trace::kCollectorPublish,
+    trace::kAggregatorDecode, trace::kAggregatorIngest,
+    trace::kWalAppend,        trace::kAggregatorCommit,
+    trace::kAggregatorPublish, trace::kStoreAppend,
+    trace::kFleetMerge,       trace::kAgentRuleEval,
+    trace::kActionExecute,
+};
+
+}  // namespace
+
+struct WatermarkRegistry::State {
+  // key = (instance, stage): instance-major so one instance's stages are
+  // contiguous for the per-instance min scan.
+  using Key = std::pair<std::string, std::string>;
+
+  mutable std::mutex mutex;
+  std::map<Key, std::shared_ptr<StageWatermark>> marks;
+  std::set<std::string> instances;
+  std::shared_ptr<MetricsRegistry> metrics;
+
+  // All watermark reads go through these; callers hold `mutex`.
+  [[nodiscard]] VirtualTime HeadLocked() const {
+    VirtualTime head{};
+    for (const auto& [key, mark] : marks) {
+      if (mark->HasAdvanced()) head = std::max(head, mark->Get());
+    }
+    return head;
+  }
+
+  [[nodiscard]] VirtualDuration LagLocked(const std::string* instance) const {
+    const VirtualTime head = HeadLocked();
+    std::optional<VirtualTime> slowest;
+    for (const auto& [key, mark] : marks) {
+      if (instance != nullptr && key.first != *instance) continue;
+      if (!mark->HasAdvanced()) continue;
+      const VirtualTime wm = mark->Get();
+      if (!slowest || wm < *slowest) slowest = wm;
+    }
+    if (!slowest) return VirtualDuration::zero();
+    return head - *slowest;
+  }
+};
+
+WatermarkRegistry::WatermarkRegistry() : state_(std::make_shared<State>()) {}
+
+std::shared_ptr<StageWatermark> WatermarkRegistry::Handle(
+    std::string_view stage, std::string_view instance) {
+  const State::Key key{std::string(instance), std::string(stage)};
+  bool created = false;
+  bool new_instance = false;
+  std::shared_ptr<StageWatermark> mark;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    auto& slot = state_->marks[key];
+    if (slot == nullptr) {
+      slot = std::make_shared<StageWatermark>();
+      created = true;
+      new_instance = state_->instances.insert(key.first).second;
+    }
+    mark = slot;
+  }
+  // Registration happens outside the state lock: metric callbacks read
+  // state under the registry's lock, so taking them in the other order
+  // here would deadlock a concurrent scrape.
+  if (created) ExportSeries(key.second, key.first, new_instance);
+  return mark;
+}
+
+int WatermarkRegistry::StageRank(std::string_view stage) {
+  for (size_t i = 0; i < kStageOrder.size(); ++i) {
+    if (kStageOrder[i] == stage) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+VirtualTime WatermarkRegistry::Head() const {
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->HeadLocked();
+}
+
+VirtualDuration WatermarkRegistry::InstanceLag(std::string_view instance) const {
+  const std::string name(instance);
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->LagLocked(&name);
+}
+
+VirtualDuration WatermarkRegistry::FleetLag() const {
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->LagLocked(nullptr);
+}
+
+std::vector<WatermarkRegistry::Row> WatermarkRegistry::Snapshot() const {
+  std::vector<Row> rows;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    rows.reserve(state_->marks.size());
+    for (const auto& [key, mark] : state_->marks) {
+      Row row;
+      row.stage = key.second;
+      row.instance = key.first;
+      row.rank = StageRank(row.stage);
+      row.advanced = mark->HasAdvanced();
+      if (row.advanced) row.watermark = mark->Get();
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return std::tie(a.rank, a.stage, a.instance) <
+           std::tie(b.rank, b.stage, b.instance);
+  });
+  return rows;
+}
+
+std::vector<std::string> WatermarkRegistry::Instances() const {
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return {state_->instances.begin(), state_->instances.end()};
+}
+
+json::Value WatermarkRegistry::ToJson() const {
+  const std::vector<Row> rows = Snapshot();
+  const VirtualTime head = Head();
+  json::Array stages;
+  for (const Row& row : rows) {
+    json::Object entry;
+    entry["stage"] = row.stage;
+    entry["instance"] = row.instance;
+    if (row.advanced) {
+      entry["watermark_ns"] = row.watermark.count();
+      entry["lag_ns"] = (head - row.watermark).count();
+    }
+    stages.push_back(std::move(entry));
+  }
+  json::Array instances;
+  for (const std::string& instance : Instances()) {
+    json::Object entry;
+    entry["instance"] = instance;
+    entry["e2e_lag_ns"] = InstanceLag(instance).count();
+    instances.push_back(std::move(entry));
+  }
+  json::Object out;
+  out["head_ns"] = head.count();
+  out["fleet_lag_ns"] = FleetLag().count();
+  out["stages"] = std::move(stages);
+  out["instances"] = std::move(instances);
+  return out;
+}
+
+void WatermarkRegistry::AttachMetrics(std::shared_ptr<MetricsRegistry> metrics) {
+  std::vector<State::Key> existing;
+  std::vector<std::string> instances;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->metrics = std::move(metrics);
+    for (const auto& [key, mark] : state_->marks) existing.push_back(key);
+    instances.assign(state_->instances.begin(), state_->instances.end());
+  }
+  std::set<std::string> seen;
+  for (const auto& key : existing) {
+    ExportSeries(key.second, key.first, seen.insert(key.first).second);
+  }
+  // Fleet rollup; registered once, lives as long as the state.
+  std::shared_ptr<MetricsRegistry> registry;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    registry = state_->metrics;
+  }
+  if (registry == nullptr) return;
+  std::weak_ptr<State> weak = state_;
+  registry->RegisterCallback(
+      "sdci_e2e_lag", {{"instance", "fleet"}},
+      [weak]() -> std::optional<int64_t> {
+        const auto state = weak.lock();
+        if (state == nullptr) return std::nullopt;
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        return state->LagLocked(nullptr).count();
+      });
+}
+
+void WatermarkRegistry::ExportSeries(const std::string& stage,
+                                     const std::string& instance,
+                                     bool new_instance) {
+  std::shared_ptr<MetricsRegistry> registry;
+  std::shared_ptr<StageWatermark> mark;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    registry = state_->metrics;
+    auto it = state_->marks.find({instance, stage});
+    if (it != state_->marks.end()) mark = it->second;
+  }
+  if (registry == nullptr || mark == nullptr) return;
+  std::weak_ptr<State> weak = state_;
+  std::weak_ptr<StageWatermark> weak_mark = mark;
+  const MetricLabels labels{{"stage", stage}, {"instance", instance}};
+  registry->RegisterCallback(
+      "sdci_stage_watermark", labels,
+      [weak_mark]() -> std::optional<int64_t> {
+        const auto m = weak_mark.lock();
+        if (m == nullptr || !m->HasAdvanced()) return std::nullopt;
+        return m->Get().count();
+      });
+  registry->RegisterCallback(
+      "sdci_stage_lag", labels,
+      [weak, weak_mark]() -> std::optional<int64_t> {
+        const auto state = weak.lock();
+        const auto m = weak_mark.lock();
+        if (state == nullptr || m == nullptr || !m->HasAdvanced()) {
+          return std::nullopt;
+        }
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        return (state->HeadLocked() - m->Get()).count();
+      });
+  if (new_instance) {
+    registry->RegisterCallback(
+        "sdci_e2e_lag", {{"instance", instance}},
+        [weak, instance]() -> std::optional<int64_t> {
+          const auto state = weak.lock();
+          if (state == nullptr) return std::nullopt;
+          const std::lock_guard<std::mutex> lock(state->mutex);
+          return state->LagLocked(&instance).count();
+        });
+  }
+}
+
+}  // namespace sdci

@@ -28,6 +28,35 @@ Agent::Agent(AgentConfig config, lustre::FileSystem& storage, CloudService& clou
   actions_failed_ = metrics_->GetCounter("sdci_agent_actions_failed_total", labels);
   actions_retried_ = metrics_->GetCounter("sdci_agent_actions_retried_total", labels);
   actions_deduped_ = metrics_->GetCounter("sdci_agent_actions_deduped_total", labels);
+  if (config_.watermarks != nullptr) {
+    wm_rule_eval_ = config_.watermarks->Handle(trace::kAgentRuleEval, config_.name);
+    wm_execute_ = config_.watermarks->Handle(trace::kActionExecute, config_.name);
+  }
+  if (config_.flow != nullptr) {
+    FlowLedger& flow = *config_.flow;
+    const std::string& inst = config_.name;
+    // agent.rule_eval: every event seen either matches or does not.
+    flow.Bind("agent.rule_eval", inst, FlowKind::kIn, "seen", events_seen_);
+    flow.Bind("agent.rule_eval", inst, FlowKind::kOut, "matched", events_matched_);
+    unmatched_ = flow.Account("agent.rule_eval", inst, FlowKind::kOut, "unmatched");
+    // agent.report: every matched event is reported or given up on.
+    flow.Bind("agent.report", inst, FlowKind::kIn, "matched", events_matched_);
+    flow.Bind("agent.report", inst, FlowKind::kOut, "reported", events_reported_);
+    flow.Bind("agent.report", inst, FlowKind::kOut, "failed", report_failures_);
+    // agent.actions: cloud deliveries are deduped, executed or failed;
+    // the queue depth is the held in-flight.
+    flow.Bind("agent.actions", inst, FlowKind::kIn, "received", actions_received_);
+    flow.Bind("agent.actions", inst, FlowKind::kOut, "deduped", actions_deduped_);
+    flow.Bind("agent.actions", inst, FlowKind::kOut, "executed", actions_executed_);
+    flow.Bind("agent.actions", inst, FlowKind::kOut, "failed", actions_failed_);
+    flow.BindCallback(
+        "agent.actions", inst, FlowKind::kHeld, "queue",
+        [weak = std::weak_ptr<bool>(alive_), this]() -> std::optional<int64_t> {
+          const auto alive = weak.lock();
+          if (alive == nullptr || !*alive) return std::nullopt;
+          return static_cast<int64_t>(action_queue_.size());
+        });
+  }
   // Default executor table; callers may override any slot.
   executors_[ActionType::kTransfer] = std::make_unique<TransferExecutor>();
   executors_[ActionType::kLocalCommand] = std::make_unique<LocalCommandExecutor>();
@@ -38,6 +67,7 @@ Agent::Agent(AgentConfig config, lustre::FileSystem& storage, CloudService& clou
 }
 
 Agent::~Agent() {
+  *alive_ = false;  // ledger depth callback goes quiet before teardown
   Stop();
   cloud_->DeregisterAgent(config_.name);
 }
@@ -140,8 +170,12 @@ void Agent::WatcherLoop(const std::stop_token& stop) {
 
 void Agent::DeliverEvent(const monitor::FsEvent& event) {
   events_seen_->Add();
+  if (wm_rule_eval_ != nullptr) wm_rule_eval_->Advance(event.time);
   if (config_.tracer == nullptr || event.trace_id == 0) {
-    if (!MatchesAnyRule(event)) return;
+    if (!MatchesAnyRule(event)) {
+      if (unmatched_ != nullptr) unmatched_->Add();
+      return;
+    }
     events_matched_->Add();
     ReportWithRetry(event);
     return;
@@ -156,6 +190,8 @@ void Agent::DeliverEvent(const monitor::FsEvent& event) {
     monitor::FsEvent reported = event;
     reported.parent_span = span;
     ReportWithRetry(reported);
+  } else if (unmatched_ != nullptr) {
+    unmatched_->Add();
   }
   config_.tracer->RecordSpan({event.trace_id, span, event.parent_span,
                               std::string(trace::kAgentRuleEval), config_.name,
@@ -285,6 +321,7 @@ void Agent::ExecuteAction(ActionRequest request) {
   } else {
     actions_failed_->Add();
   }
+  if (wm_execute_ != nullptr) wm_execute_->Advance(request.event.time);
   if (traced) {
     config_.tracer->Record(request.event.trace_id, request.event.parent_span,
                            trace::kActionExecute, config_.name, trace_start,

@@ -54,6 +54,12 @@ struct AgentConfig {
   // action.execute spans for events that arrive with a sampled trace id.
   std::shared_ptr<MetricsRegistry> metrics;
   std::shared_ptr<trace::Tracer> tracer;
+  // Flow-conservation ledger and freshness watermarks (null = disabled).
+  // The agent books the agent.rule_eval / agent.report / agent.actions
+  // boundary rows and advances the agent.rule_eval and action.execute
+  // stage watermarks with event birth times.
+  std::shared_ptr<FlowLedger> flow;
+  std::shared_ptr<WatermarkRegistry> watermarks;
 };
 
 struct AgentStats {
@@ -184,6 +190,16 @@ class Agent {
   std::shared_ptr<Counter> actions_failed_;
   std::shared_ptr<Counter> actions_retried_;
   std::shared_ptr<Counter> actions_deduped_;
+
+  // Flow-ledger extras and stage watermarks (null when config_.flow /
+  // config_.watermarks are unset). `unmatched_` closes the rule_eval row:
+  // seen == matched + unmatched.
+  std::shared_ptr<Counter> unmatched_;
+  std::shared_ptr<StageWatermark> wm_rule_eval_;
+  std::shared_ptr<StageWatermark> wm_execute_;
+  // Invalidated in the destructor so the ledger's action-queue depth
+  // callback stops reading a dead agent.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   std::jthread event_thread_;
   std::jthread action_thread_;

@@ -39,6 +39,24 @@ CloudService::CloudService(const TimeAuthority& authority, CloudConfig config)
                                if (alive.expired()) return std::nullopt;
                                return static_cast<int64_t>(queue_.DeadLetterDepth());
                              });
+  if (config_.flow != nullptr) {
+    FlowLedger& flow = *config_.flow;
+    flow.Bind("cloud.queue", "cloud", FlowKind::kIn, "reports", reports_received_);
+    queue_completed_ =
+        flow.Account("cloud.queue", "cloud", FlowKind::kOut, "completed");
+    dlq_drained_ = flow.Account("cloud.queue", "cloud", FlowKind::kOut, "drained");
+    flow.BindCallback("cloud.queue", "cloud", FlowKind::kHeld, "queue",
+                      [alive, this]() -> std::optional<int64_t> {
+                        if (alive.expired()) return std::nullopt;
+                        return static_cast<int64_t>(queue_.VisibleDepth() +
+                                                    queue_.InFlight());
+                      });
+    flow.BindCallback("cloud.queue", "cloud", FlowKind::kHeld, "dead_lettered",
+                      [alive, this]() -> std::optional<int64_t> {
+                        if (alive.expired()) return std::nullopt;
+                        return static_cast<int64_t>(queue_.DeadLetterDepth());
+                      });
+  }
 }
 
 CloudService::~CloudService() { Stop(); }
@@ -198,7 +216,11 @@ void CloudService::WorkerLoop(const std::stop_token& stop) {
       continue;
     }
     if (ProcessMessage(*message)) {
-      (void)queue_.Delete(message->receipt);
+      // Only a successful delete removes the entry (a stale receipt means
+      // the message was redelivered and someone else will finish it).
+      if (queue_.Delete(message->receipt).ok() && queue_completed_ != nullptr) {
+        queue_completed_->Add();
+      }
     }
   }
 }
@@ -217,7 +239,9 @@ size_t CloudService::PumpUntilQuiet() {
     auto message = queue_.Receive();
     if (!message.has_value()) break;
     if (ProcessMessage(*message)) {
-      (void)queue_.Delete(message->receipt);
+      if (queue_.Delete(message->receipt).ok() && queue_completed_ != nullptr) {
+        queue_completed_->Add();
+      }
     }
     ++handled;
   }
@@ -227,7 +251,12 @@ size_t CloudService::PumpUntilQuiet() {
 size_t CloudService::DeadLetterDepth() const { return queue_.DeadLetterDepth(); }
 
 std::vector<QueueMessage> CloudService::DrainDeadLetters() {
-  return queue_.DrainDeadLetters();
+  std::vector<QueueMessage> drained = queue_.DrainDeadLetters();
+  // Drained poison leaves the system (the "dead_lettered" held account
+  // drops with it); book the departure so the cloud.queue row stays
+  // balanced.
+  if (dlq_drained_ != nullptr) dlq_drained_->Add(drained.size());
+  return drained;
 }
 
 CloudStats CloudService::Stats() const {

@@ -26,6 +26,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "monitor/event.h"
+#include "monitor/flow_ledger.h"
 #include "ripple/rule.h"
 #include "ripple/sqs.h"
 
@@ -44,6 +45,12 @@ struct CloudConfig {
   // Observability: counters register into `metrics` (private registry when
   // null); SQS depths are exported as scrape-time callbacks.
   std::shared_ptr<MetricsRegistry> metrics;
+  // Flow-conservation ledger (null = disabled). The cloud books the
+  // cloud.queue boundary: reports in, completed deletes (and drained dead
+  // letters) out, queue + DLQ depths held. Counted in queue messages — the
+  // at-least-once redeliveries mean "events processed" is NOT conserved,
+  // but accepted sends vs. completed deletes is.
+  std::shared_ptr<FlowLedger> flow;
 };
 
 struct CloudStats {
@@ -128,6 +135,9 @@ class CloudService {
   std::shared_ptr<Counter> events_processed_;
   std::shared_ptr<Counter> actions_dispatched_;
   std::shared_ptr<Counter> worker_crashes_;
+  // cloud.queue ledger out-accounts (null when config_.flow is unset).
+  std::shared_ptr<Counter> queue_completed_;  // successful Delete()s
+  std::shared_ptr<Counter> dlq_drained_;      // DrainDeadLetters removals
   // Expires when this service dies, so SQS-depth scrape callbacks in a
   // longer-lived registry stop touching queue_.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

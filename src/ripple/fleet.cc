@@ -228,6 +228,49 @@ json::Value FleetStatusJson(const FleetComponents& fleet) {
     doc["cloud"] = json::Value(std::move(section));
   }
 
+  if (fleet.watermarks != nullptr) {
+    // Informational: lag only becomes a verdict through the SLO rules
+    // below (a watermark table with no traffic reads as zero lag).
+    doc["watermarks"] = fleet.watermarks->ToJson();
+  }
+
+  if (fleet.flow != nullptr) {
+    const auto audit = fleet.flow->Audit();
+    json::Object section;
+    section["balanced"] = json::Value(audit.balanced);
+    section["total_in_flight"] = json::Value(audit.total_in_flight);
+    section["total_duplication"] = json::Value(audit.total_duplication);
+    section["boundaries"] = json::Value(static_cast<int64_t>(audit.rows.size()));
+    json::Array unbalanced;
+    for (const auto& row : audit.rows) {
+      if (row.imbalance == 0) continue;
+      json::Object entry;
+      entry["boundary"] = json::Value(row.boundary);
+      entry["instance"] = json::Value(row.instance);
+      entry["imbalance"] = json::Value(row.imbalance);
+      unbalanced.push_back(json::Value(std::move(entry)));
+    }
+    section["unbalanced"] = json::Value(std::move(unbalanced));
+    // Positive imbalance is in-flight work (normal while running);
+    // duplication means some event was counted out twice — always a bug.
+    fold(section, audit.total_duplication > 0 ? "degraded" : "up");
+    doc["flow_ledger"] = json::Value(std::move(section));
+  }
+
+  if (fleet.slo != nullptr) {
+    doc["alerts"] = fleet.slo->AlertsJson();
+    json::Object section;
+    const bool firing = fleet.slo->AnyFiring();
+    section["firing"] = json::Value(firing);
+    size_t firing_count = 0;
+    for (const auto& status : fleet.slo->Current()) {
+      if (status.state == AlertState::kFiring) ++firing_count;
+    }
+    section["firing_count"] = json::Value(static_cast<uint64_t>(firing_count));
+    fold(section, firing ? "degraded" : "up");
+    doc["slo"] = json::Value(std::move(section));
+  }
+
   if (fleet.metrics != nullptr) {
     doc["metrics"] = fleet.metrics->ToJson();
   }

@@ -14,10 +14,13 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/slo.h"
 #include "monitor/aggregator_supervisor.h"
 #include "monitor/consumer.h"
+#include "monitor/flow_ledger.h"
 #include "monitor/shard_health.h"
 #include "monitor/supervisor.h"
+#include "monitor/watermarks.h"
 #include "msgq/context.h"
 #include "ripple/cloud.h"
 
@@ -45,6 +48,16 @@ struct FleetComponents {
   std::vector<std::string> endpoints;
   // When set, the registry's full snapshot rides along under "metrics".
   const MetricsRegistry* metrics = nullptr;
+  // Freshness plane: the watermark table folds in under "watermarks"
+  // (per-stage lags plus per-instance and fleet e2e lag).
+  const WatermarkRegistry* watermarks = nullptr;
+  // Conservation plane: FlowLedger::Audit() folds in under "flow_ledger"
+  // (degraded on any duplication — negative imbalance is always a bug).
+  const FlowLedger* flow = nullptr;
+  // Alert plane: every rule's status folds in under "alerts" plus an
+  // "slo" rollup section (degraded while any rule fires). The caller is
+  // responsible for Evaluate() cadence; this only reads Current().
+  const SloEvaluator* slo = nullptr;
 };
 
 // {"overall": "up|degraded|down",

@@ -18,12 +18,16 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/slo.h"
 #include "lustre/client.h"
 #include "monitor/collector.h"
 #include "monitor/federation.h"
 #include "monitor/fleet.h"
+#include "monitor/flow_ledger.h"
 #include "monitor/shard_health.h"
 #include "monitor/spool.h"
+#include "monitor/watermarks.h"
 #include "ripple/agent.h"
 #include "ripple/cloud.h"
 #include "ripple/fleet.h"
@@ -49,10 +53,12 @@ bool WaitFor(const std::function<bool()>& pred,
 constexpr VirtualTime kFarFuture = Micros(1'000'000'000'000);
 
 std::shared_ptr<monitor::ShardHealthTracker> TrackerFor(
-    monitor::AggregatorFleet& fleet) {
+    monitor::AggregatorFleet& fleet,
+    std::shared_ptr<MetricsRegistry> metrics = nullptr) {
   monitor::ShardHealthConfig config;
   config.failure_threshold = 2;
   config.open_cooldown = std::chrono::milliseconds(10);
+  config.metrics = std::move(metrics);
   auto health =
       std::make_shared<monitor::ShardHealthTracker>(fleet.shards(), config);
   for (size_t shard = 0; shard < fleet.shards(); ++shard) {
@@ -77,9 +83,34 @@ TEST(FleetChaos, SingleShardOutageSpoolsReplaysAndServesLabeledPartials) {
   lustre::FileSystem fs(fs_config, authority);
   msgq::Context context;
 
+  // Observability plane shared by every component: one registry, the
+  // conservation ledger, the watermark table, and the stock fleet SLO
+  // rules (per-shard breaker rules included). The lag budget is 60s of
+  // *virtual* time — generous against steady-state cross-shard skew but
+  // dwarfed by the outage window, whose staleness grows at wall speed
+  // times the 2000x dilation.
+  auto registry = std::make_shared<MetricsRegistry>();
+  auto flow = std::make_shared<FlowLedger>();
+  auto watermarks = std::make_shared<WatermarkRegistry>();
+  flow->AttachMetrics(registry);
+  watermarks->AttachMetrics(registry);
+  FleetSloOptions slo_options;
+  slo_options.lag_threshold = std::chrono::seconds(60);
+  slo_options.shard_count = 4;
+  SloEvaluator slo(registry, DefaultFleetRules(slo_options));
+  const auto alert_state = [&](const std::string& name) {
+    for (const auto& status : slo.Current()) {
+      if (status.name == name) return status.state;
+    }
+    return AlertState::kOk;
+  };
+
   monitor::AggregatorFleetConfig fleet_config;
   fleet_config.shards = 4;
   fleet_config.shard.store_capacity = 1u << 16;
+  fleet_config.shard.metrics = registry;
+  fleet_config.shard.flow = flow;
+  fleet_config.shard.watermarks = watermarks;
   fleet_config.supervised = true;
   fleet_config.supervisor.check_interval = Millis(5);
   monitor::AggregatorFleet fleet(profile, authority, context, fleet_config);
@@ -100,28 +131,40 @@ TEST(FleetChaos, SingleShardOutageSpoolsReplaysAndServesLabeledPartials) {
     config.retry_backoff_max = Millis(20);
     config.spool_capacity = 1u << 14;
     config.spool_after = Millis(10);
+    config.metrics = registry;
+    config.flow = flow;
+    config.watermarks = watermarks;
     collectors.push_back(std::make_unique<monitor::Collector>(
         fs, static_cast<int>(mdt), profile, authority, context,
         std::move(config)));
   }
 
-  auto health = TrackerFor(fleet);
+  auto health = TrackerFor(fleet, registry);
   monitor::FleetHistoryClient history(context, fleet.api_endpoints(), nullptr,
                                       nullptr, health);
 
   // Ripple half: agent on the federated feed, one audit rule.
-  ripple::CloudService cloud(authority);
+  ripple::CloudConfig cloud_config;
+  cloud_config.metrics = registry;
+  cloud_config.flow = flow;
+  ripple::CloudService cloud(authority, cloud_config);
   cloud.Start();
   ripple::EndpointRegistry endpoints;
   endpoints.Register("site", fs);
   ripple::AgentConfig agent_config;
   agent_config.name = "site";
   agent_config.report_backoff = Millis(1);
+  agent_config.metrics = registry;
+  agent_config.flow = flow;
+  agent_config.watermarks = watermarks;
   ripple::Agent agent(agent_config, fs, cloud, endpoints, authority);
   monitor::RecoveringSubscriberConfig rec_config;
   rec_config.start_seq = 1;
   rec_config.hwm = 1u << 18;
   rec_config.policy = msgq::HwmPolicy::kBlock;
+  rec_config.metrics = registry;
+  rec_config.flow = flow;
+  rec_config.watermarks = watermarks;
   agent.AttachSource(std::make_unique<monitor::FleetSubscriber>(
       context, fleet.publish_endpoints(), fleet.api_endpoints(), rec_config,
       health));
@@ -207,13 +250,51 @@ TEST(FleetChaos, SingleShardOutageSpoolsReplaysAndServesLabeledPartials) {
       }));
   EXPECT_EQ(health->StateOf(kDownShard), CircuitState::kOpen);
 
-  // Status document: the shard outage and the breaker are both visible.
+  // The freshness plane sees the outage: the dead shard's watermarks
+  // froze at phase A while fresh traffic keeps moving the stream's
+  // frontier, so fleet e2e lag grows without bound until the SLO fires —
+  // and the breaker rule fires for exactly the dead shard. The tick
+  // files sit outside /hot on purpose: they advance watermarks without
+  // adding actions to the exactly-once tallies this test asserts on.
+  ASSERT_TRUE(client.MkdirAll("/tick").ok());
+  int tick = 0;
+  ASSERT_TRUE(WaitFor([&] {
+    if (!client.Create("/tick/t" + std::to_string(tick++)).ok()) return false;
+    client.FlushDelay();
+    slo.Evaluate(authority.Now());
+    return alert_state("e2e_lag") == AlertState::kFiring &&
+           alert_state("degraded_availability.shard1") == AlertState::kFiring;
+  })) << "lag " << watermarks->FleetLag().count() << "ns";
+  EXPECT_EQ(alert_state("degraded_availability.shard0"), AlertState::kOk);
+  EXPECT_EQ(alert_state("flow_conservation"), AlertState::kOk);
+  EXPECT_GT(watermarks->InstanceLag("shard1"),
+            std::chrono::duration_cast<VirtualDuration>(
+                slo_options.lag_threshold));
+
+  // Status document: the shard outage, the breaker, and the firing
+  // alerts are all visible in one read.
   ripple::FleetComponents components;
   components.aggregator_shards = {fleet.supervisor(0), fleet.supervisor(1),
                                   fleet.supervisor(2), fleet.supervisor(3)};
   components.shard_health = health.get();
+  components.watermarks = watermarks.get();
+  components.flow = flow.get();
+  components.slo = &slo;
   const json::Value status = ripple::FleetStatusJson(components);
   EXPECT_EQ(status.GetString("overall"), "down");
+  EXPECT_TRUE(status["slo"].GetBool("firing"));
+  EXPECT_EQ(status["slo"].GetString("verdict"), "degraded");
+  bool saw_lag_alert = false;
+  for (const json::Value& alert : status["alerts"].AsArray()) {
+    if (alert.GetString("name") != "e2e_lag") continue;
+    saw_lag_alert = true;
+    EXPECT_EQ(alert.GetString("state"), "firing");
+    EXPECT_EQ(alert.GetString("severity"), "page");
+  }
+  EXPECT_TRUE(saw_lag_alert) << "e2e_lag missing from the alerts array";
+  // Outage is staleness, not duplication: the conservation plane is clean.
+  EXPECT_EQ(status["flow_ledger"].GetInt("total_duplication"), 0);
+  EXPECT_TRUE(status.Has("watermarks"));
   const auto& shard_docs = status["aggregator_shards"].AsArray();
   EXPECT_TRUE(shard_docs.at(kDownShard).GetBool("in_outage"));
   EXPECT_EQ(shard_docs.at(kDownShard).GetString("verdict"), "down");
@@ -273,6 +354,35 @@ TEST(FleetChaos, SingleShardOutageSpoolsReplaysAndServesLabeledPartials) {
   EXPECT_EQ(per_origin.size(), 4u) << "all shards back in the merge";
   EXPECT_GT(per_origin[kDownShard], 0u);
 
+  // Recovery clears the alerts: a fresh round of matching creates into
+  // every directory flows through ALL stages (the rule-filtered
+  // action.execute stage included), pulling every watermark up to the
+  // frontier; the healed breaker reads closed. Both rules then see
+  // healthy samples and clear.
+  int heal = 0;
+  ASSERT_TRUE(WaitFor([&] {
+    for (const auto& dir : dirs) {
+      if (!client.Create(dir + "/heal" + std::to_string(heal)).ok()) {
+        return false;
+      }
+    }
+    ++heal;
+    client.FlushDelay();
+    slo.Evaluate(authority.Now());
+    return !slo.AnyFiring();
+  })) << "lag " << watermarks->FleetLag().count() << "ns still over budget";
+  EXPECT_EQ(alert_state("e2e_lag"), AlertState::kOk);
+  EXPECT_EQ(alert_state("degraded_availability.shard1"), AlertState::kOk);
+  const json::Value healed = ripple::FleetStatusJson(components);
+  EXPECT_FALSE(healed["slo"].GetBool("firing"));
+  EXPECT_EQ(healed["slo"].GetString("verdict"), "up");
+  for (const json::Value& alert : healed["alerts"].AsArray()) {
+    EXPECT_NE(alert.GetString("state"), "firing") << alert.GetString("name");
+    if (alert.GetString("name") == "e2e_lag") {
+      EXPECT_GE(alert.GetInt("times_fired"), 1);
+    }
+  }
+
   agent.Stop();
   cloud.Stop();
   for (auto& collector : collectors) collector->Stop();
@@ -282,6 +392,19 @@ TEST(FleetChaos, SingleShardOutageSpoolsReplaysAndServesLabeledPartials) {
     EXPECT_EQ(stats.reports_abandoned, 0u);
   }
   fleet.Stop();
+
+  // Quiesce-time conservation across the WHOLE chaos scenario: an
+  // outage, a hard restart, a spool replay, and a breaker cycle later,
+  // every (boundary, instance) ledger row still balances exactly — the
+  // fleet neither lost nor duplicated a single event anywhere.
+  const auto audit = flow->Audit();
+  for (const auto& row : audit.rows) {
+    EXPECT_EQ(row.imbalance, 0)
+        << row.boundary << "/" << row.instance << ": in=" << row.in
+        << " out=" << row.out << " held=" << row.held;
+  }
+  EXPECT_TRUE(audit.balanced);
+  EXPECT_EQ(audit.total_duplication, 0);
 }
 
 // Exercised under TSan by scripts/check.sh: rolling single-shard outages

@@ -1,0 +1,392 @@
+// Unit coverage for the flow-ledger observability plane: time-series
+// rings and registry sampling, stage watermarks and lag derivation, the
+// conservation ledger's audit algebra, and the SLO state machine.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/slo.h"
+#include "common/timeseries.h"
+#include "common/tracing.h"
+#include "monitor/flow_ledger.h"
+#include "monitor/watermarks.h"
+
+namespace sdci {
+namespace {
+
+TEST(TimeSeriesRing, WindowRateAndQuantile) {
+  TimeSeriesRing ring(8);
+  // A cumulative counter sampled once per virtual second.
+  for (int i = 0; i <= 5; ++i) {
+    ring.Record(Seconds(i), static_cast<double>(i * 10));
+  }
+  EXPECT_EQ(ring.Count(), 6u);
+  EXPECT_EQ(ring.Latest().value, 50.0);
+
+  // Window selects [now-window, now] inclusive, oldest first.
+  const auto in = ring.Window(Seconds(2), Seconds(5));
+  ASSERT_EQ(in.size(), 3u);
+  EXPECT_EQ(in.front().value, 30.0);
+  EXPECT_EQ(in.back().value, 50.0);
+
+  // Rate: (50 - 30) / 2s = 10/s.
+  EXPECT_DOUBLE_EQ(ring.RateOver(Seconds(2), Seconds(5)), 10.0);
+  // One in-window sample -> no rate.
+  EXPECT_DOUBLE_EQ(ring.RateOver(Millis(1), Seconds(5)), 0.0);
+
+  // Nearest-rank quantiles over the full window.
+  EXPECT_DOUBLE_EQ(ring.QuantileOver(0.0, Seconds(10), Seconds(5)), 0.0);
+  EXPECT_DOUBLE_EQ(ring.QuantileOver(0.5, Seconds(10), Seconds(5)), 20.0);
+  EXPECT_DOUBLE_EQ(ring.QuantileOver(1.0, Seconds(10), Seconds(5)), 50.0);
+  EXPECT_DOUBLE_EQ(ring.MaxOver(Seconds(10), Seconds(5)), 50.0);
+  EXPECT_DOUBLE_EQ(ring.MinOver(Seconds(10), Seconds(5)), 0.0);
+
+  // Burn-rate fraction; -1 when the window is empty (no data != healthy).
+  EXPECT_DOUBLE_EQ(
+      ring.FractionOver(Seconds(10), Seconds(5), [](double v) { return v >= 30; }),
+      0.5);
+  EXPECT_DOUBLE_EQ(ring.FractionOver(Seconds(10), Seconds(100),
+                                     [](double) { return true; }),
+                   -1.0);
+}
+
+TEST(TimeSeriesRing, CapacityEvictsOldest) {
+  TimeSeriesRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.Record(Seconds(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(ring.Count(), 4u);
+  const auto in = ring.Window(Seconds(100), Seconds(9));
+  ASSERT_EQ(in.size(), 4u);
+  EXPECT_EQ(in.front().value, 6.0);  // 0..5 evicted
+  EXPECT_EQ(in.back().value, 9.0);
+}
+
+TEST(TimeSeriesStore, SampleAllFeedsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", {{"k", "v"}})->Add(7);
+  registry.GetGauge("g")->Set(3);
+  registry.RegisterCallback("cb", {}, [] { return std::optional<int64_t>(9); });
+  registry.GetHistogram("h")->Record(Micros(10));
+
+  const size_t sampled = registry.SampleAll(Seconds(1));
+  EXPECT_GT(sampled, 0u);
+  const auto store = registry.series();
+  ASSERT_NE(store, nullptr);
+
+  const auto counter = store->Find("c_total", {{"k", "v"}});
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->Latest().value, 7.0);
+  EXPECT_EQ(counter->Latest().time, Seconds(1));
+  const auto gauge = store->Find("g");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->Latest().value, 3.0);
+  const auto callback = store->Find("cb");
+  ASSERT_NE(callback, nullptr);
+  EXPECT_EQ(callback->Latest().value, 9.0);
+
+  // Sampling again extends the rings with the new stamp.
+  registry.GetGauge("g")->Set(5);
+  registry.SampleAll(Seconds(2));
+  EXPECT_EQ(gauge->Latest().value, 5.0);
+  EXPECT_EQ(gauge->Count(), 2u);
+}
+
+TEST(Watermarks, AdvanceIsMonotoneFetchMax) {
+  StageWatermark mark;
+  EXPECT_FALSE(mark.HasAdvanced());
+  mark.Advance(Seconds(5));
+  EXPECT_TRUE(mark.HasAdvanced());
+  EXPECT_EQ(mark.Get(), Seconds(5));
+  mark.Advance(Seconds(3));  // replayed/old stamp: no-op
+  EXPECT_EQ(mark.Get(), Seconds(5));
+  mark.Advance(Seconds(8));
+  EXPECT_EQ(mark.Get(), Seconds(8));
+}
+
+TEST(Watermarks, StageRankFollowsTheTaxonomy) {
+  EXPECT_EQ(WatermarkRegistry::StageRank(trace::kChangelogRead), 0);
+  EXPECT_LT(WatermarkRegistry::StageRank(trace::kCollectorPublish),
+            WatermarkRegistry::StageRank(trace::kAggregatorDecode));
+  EXPECT_LT(WatermarkRegistry::StageRank(trace::kStoreAppend),
+            WatermarkRegistry::StageRank(trace::kAgentRuleEval));
+  EXPECT_EQ(WatermarkRegistry::StageRank("not.a.stage"), -1);
+}
+
+TEST(Watermarks, LagDerivationAndFrozenInstance) {
+  WatermarkRegistry registry;
+  auto read0 = registry.Handle(trace::kChangelogRead, "mdt0");
+  auto read1 = registry.Handle(trace::kChangelogRead, "mdt1");
+  auto ingest0 = registry.Handle(trace::kAggregatorIngest, "shard0");
+
+  // Same key -> same handle (create-or-get across restarts).
+  EXPECT_EQ(read0.get(), registry.Handle(trace::kChangelogRead, "mdt0").get());
+
+  // Nothing advanced: no head, no lag.
+  EXPECT_EQ(registry.Head().count(), 0);
+  EXPECT_EQ(registry.FleetLag().count(), 0);
+
+  read0->Advance(Seconds(10));
+  ingest0->Advance(Seconds(10));
+  EXPECT_EQ(registry.Head(), Seconds(10));
+  EXPECT_EQ(registry.FleetLag().count(), 0);
+
+  // mdt1 never advanced: it does not drag the fleet (idle MDTs are not
+  // stale MDTs), and its instance lag reads zero.
+  EXPECT_EQ(registry.InstanceLag("mdt1").count(), 0);
+
+  // mdt0 keeps reading while shard0 freezes: fleet lag is exactly the
+  // frozen instance's staleness.
+  read0->Advance(Seconds(25));
+  EXPECT_EQ(registry.Head(), Seconds(25));
+  EXPECT_EQ(registry.InstanceLag("shard0"), Seconds(15));
+  EXPECT_EQ(registry.FleetLag(), Seconds(15));
+  EXPECT_EQ(registry.InstanceLag("mdt0").count(), 0);
+
+  // Catch-up (spool replay) pulls the lag back to zero.
+  ingest0->Advance(Seconds(25));
+  EXPECT_EQ(registry.FleetLag().count(), 0);
+
+  // Snapshot rows are rank-sorted and carry the advanced watermarks.
+  const auto rows = registry.Snapshot();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].stage, trace::kChangelogRead);
+  EXPECT_TRUE(rows[0].advanced);
+  EXPECT_FALSE(rows[1].advanced);  // mdt1
+  EXPECT_EQ(rows[2].stage, trace::kAggregatorIngest);
+  EXPECT_EQ(rows[2].watermark, Seconds(25));
+
+  const json::Value doc = registry.ToJson();
+  EXPECT_EQ(doc.GetInt("head_ns"), Seconds(25).count());
+  EXPECT_EQ(doc.GetInt("fleet_lag_ns"), 0);
+  EXPECT_EQ(doc["stages"].AsArray().size(), 3u);
+}
+
+TEST(Watermarks, MetricsExportIncludesFleetRollup) {
+  auto metrics = std::make_shared<MetricsRegistry>();
+  WatermarkRegistry registry;
+  registry.AttachMetrics(metrics);
+  auto read = registry.Handle(trace::kChangelogRead, "mdt0");
+  auto exec = registry.Handle(trace::kActionExecute, "agent");
+  read->Advance(Seconds(30));
+  exec->Advance(Seconds(18));
+
+  const json::Value doc = metrics->ToJson();
+  const auto gauge_value = [&](const std::string& name,
+                               const std::string& label_key,
+                               const std::string& label_value) -> int64_t {
+    for (const json::Value& series : doc["gauges"][name].AsArray()) {
+      if (series["labels"].GetString(label_key) == label_value) {
+        return series.GetInt("value");
+      }
+    }
+    ADD_FAILURE() << name << "{" << label_key << "=" << label_value
+                  << "} not exported";
+    return -1;
+  };
+  EXPECT_EQ(gauge_value("sdci_stage_watermark", "stage", trace::kChangelogRead.data()),
+            Seconds(30).count());
+  EXPECT_EQ(gauge_value("sdci_stage_lag", "stage", trace::kActionExecute.data()),
+            Seconds(12).count());
+  EXPECT_EQ(gauge_value("sdci_e2e_lag", "instance", "agent"), Seconds(12).count());
+  // The reserved rollup series: fleet e2e lag under {instance="fleet"}.
+  EXPECT_EQ(gauge_value("sdci_e2e_lag", "instance", "fleet"), Seconds(12).count());
+}
+
+TEST(FlowLedger, AuditAlgebra) {
+  FlowLedger ledger;
+  auto in = ledger.Account("stage.x", "i0", FlowKind::kIn, "received");
+  auto out = ledger.Account("stage.x", "i0", FlowKind::kOut, "delivered");
+  auto dropped = ledger.Account("stage.x", "i0", FlowKind::kOut, "dropped");
+  int64_t held = 0;
+  ledger.BindCallback("stage.x", "i0", FlowKind::kHeld, "queue",
+                      [&held]() -> std::optional<int64_t> { return held; });
+
+  // Same key -> same counter (idempotent across restarts).
+  EXPECT_EQ(in.get(),
+            ledger.Account("stage.x", "i0", FlowKind::kIn, "received").get());
+
+  in->Add(10);
+  out->Add(6);
+  dropped->Add(1);
+  held = 3;
+  auto audit = ledger.Audit();
+  ASSERT_EQ(audit.rows.size(), 1u);
+  EXPECT_EQ(audit.rows[0].in, 10);
+  EXPECT_EQ(audit.rows[0].out, 7);
+  EXPECT_EQ(audit.rows[0].held, 3);
+  EXPECT_EQ(audit.rows[0].imbalance, 0);
+  EXPECT_TRUE(audit.balanced);
+  EXPECT_EQ(audit.total_in_flight, 0);
+  EXPECT_EQ(audit.total_duplication, 0);
+
+  // Drain the queue without counting the events out: in-flight imbalance.
+  held = 0;
+  audit = ledger.Audit();
+  EXPECT_FALSE(audit.balanced);
+  EXPECT_EQ(audit.rows[0].imbalance, 3);
+  EXPECT_EQ(audit.total_in_flight, 3);
+  EXPECT_EQ(audit.total_duplication, 0);
+
+  // Count them out twice: duplication (negative) — always a bug.
+  out->Add(6);
+  audit = ledger.Audit();
+  EXPECT_EQ(audit.rows[0].imbalance, -3);
+  EXPECT_EQ(audit.min_imbalance, -3);
+  EXPECT_EQ(audit.total_duplication, 3);
+}
+
+TEST(FlowLedger, BindEnrollsExistingCountersAndRowsAreIndependent) {
+  FlowLedger ledger;
+  auto existing = std::make_shared<Counter>();
+  existing->Add(4);
+  ledger.Bind("a.b", "i0", FlowKind::kIn, "seen", existing);
+  ledger.Account("a.b", "i0", FlowKind::kOut, "done")->Add(4);
+  ledger.Account("c.d", "i1", FlowKind::kIn, "seen")->Add(1);
+
+  const auto audit = ledger.Audit();
+  ASSERT_EQ(audit.rows.size(), 2u);
+  EXPECT_EQ(audit.rows[0].boundary, "a.b");
+  EXPECT_EQ(audit.rows[0].imbalance, 0);
+  EXPECT_EQ(audit.rows[1].boundary, "c.d");
+  EXPECT_EQ(audit.rows[1].imbalance, 1);
+  EXPECT_FALSE(audit.balanced);
+  EXPECT_EQ(audit.max_imbalance, 1);
+
+  const json::Value doc = ledger.ToJson();
+  EXPECT_FALSE(doc.GetBool("balanced"));
+  EXPECT_EQ(doc["boundaries"].AsArray().size(), 2u);
+}
+
+TEST(FlowLedger, DeadCallbackReadsAsAbsent) {
+  FlowLedger ledger;
+  ledger.Account("q.r", "i0", FlowKind::kIn, "in")->Add(2);
+  auto owner = std::make_shared<int64_t>(2);
+  ledger.BindCallback("q.r", "i0", FlowKind::kHeld, "depth",
+                      [weak = std::weak_ptr<int64_t>(owner)]()
+                          -> std::optional<int64_t> {
+                        const auto alive = weak.lock();
+                        if (alive == nullptr) return std::nullopt;
+                        return *alive;
+                      });
+  EXPECT_EQ(ledger.Audit().rows[0].imbalance, 0);
+  owner.reset();  // owner dies: the account reads absent, not garbage
+  const auto audit = ledger.Audit();
+  EXPECT_EQ(audit.rows[0].held, 0);
+  EXPECT_EQ(audit.rows[0].imbalance, 2);
+}
+
+TEST(FlowLedger, MetricsExportCarriesImbalanceAndDuplication) {
+  auto metrics = std::make_shared<MetricsRegistry>();
+  FlowLedger ledger;
+  ledger.AttachMetrics(metrics);
+  ledger.Account("x.y", "i0", FlowKind::kIn, "in")->Add(1);
+  ledger.Account("x.y", "i0", FlowKind::kOut, "out")->Add(2);
+
+  const json::Value doc = metrics->ToJson();
+  int64_t imbalance = 0;
+  for (const json::Value& series : doc["gauges"]["sdci_flow_imbalance"].AsArray()) {
+    if (series["labels"].GetString("boundary") == "x.y") {
+      imbalance = series.GetInt("value");
+    }
+  }
+  EXPECT_EQ(imbalance, -1);
+  EXPECT_EQ(doc["gauges"]["sdci_flow_duplication"].AsArray().at(0).GetInt("value"),
+            1);
+}
+
+TEST(Slo, QuantileRuleFiresAndClearsWithHysteresis) {
+  auto registry = std::make_shared<MetricsRegistry>();
+  auto lag = registry->GetGauge("lag_ns");
+  SloRule rule;
+  rule.name = "lag";
+  rule.metric = "lag_ns";
+  rule.aggregate = SloAggregate::kQuantile;
+  rule.quantile = 0.99;
+  rule.threshold = 100;
+  rule.window = Seconds(10);
+  rule.fire_fraction = 0.5;
+  rule.clear_fraction = 0.25;
+  SloEvaluator slo(registry, {rule});
+
+  // Healthy samples: ok.
+  int64_t t = 0;
+  const auto evaluate = [&](int64_t value) {
+    lag->Set(value);
+    return slo.Evaluate(Seconds(++t)).at(0);
+  };
+  EXPECT_EQ(evaluate(10).state, AlertState::kOk);
+  EXPECT_EQ(evaluate(10).state, AlertState::kOk);
+
+  // One violating sample out of three: burn started (pending), not firing.
+  EXPECT_EQ(evaluate(500).state, AlertState::kPending);
+
+  // Majority violating: fires, and the status carries the evidence.
+  auto status = evaluate(500);
+  EXPECT_EQ(evaluate(500).state, AlertState::kFiring);
+  EXPECT_TRUE(slo.AnyFiring());
+
+  // Healthy again, but hysteresis holds the alert until the violating
+  // fraction decays to clear_fraction — no flapping at the boundary.
+  status = evaluate(10);
+  EXPECT_EQ(status.state, AlertState::kFiring);
+  for (int i = 0; i < 10 && slo.AnyFiring(); ++i) {
+    status = evaluate(10);
+  }
+  EXPECT_EQ(status.state, AlertState::kOk);
+  EXPECT_EQ(status.times_fired, 1u);
+  EXPECT_FALSE(slo.AnyFiring());
+
+  const json::Value alerts = slo.AlertsJson();
+  ASSERT_EQ(alerts.AsArray().size(), 1u);
+  EXPECT_EQ(alerts.AsArray().at(0).GetString("state"), "ok");
+  EXPECT_EQ(alerts.AsArray().at(0).GetInt("times_fired"), 1);
+}
+
+TEST(Slo, MaxRuleAndNoDataLeaveStateUntouched) {
+  auto registry = std::make_shared<MetricsRegistry>();
+  SloRule rule;
+  rule.name = "dup";
+  rule.metric = "dup_gauge";
+  rule.aggregate = SloAggregate::kMax;
+  rule.threshold = 0;
+  rule.window = Seconds(2);
+  SloEvaluator slo(registry, {rule});
+
+  // The series does not exist yet: no data, state stays ok, fraction -1.
+  auto status = slo.Evaluate(Seconds(1)).at(0);
+  EXPECT_EQ(status.state, AlertState::kOk);
+  EXPECT_EQ(status.fraction, -1);
+
+  auto gauge = registry->GetGauge("dup_gauge");
+  gauge->Set(3);
+  status = slo.Evaluate(Seconds(2)).at(0);
+  EXPECT_EQ(status.state, AlertState::kFiring);
+  EXPECT_EQ(status.value, 3);
+
+  // The offender leaves the window: clears.
+  gauge->Set(0);
+  status = slo.Evaluate(Seconds(10)).at(0);
+  EXPECT_EQ(status.state, AlertState::kOk);
+}
+
+TEST(Slo, DefaultFleetRulesCoverTheThreePlanes) {
+  FleetSloOptions options;
+  options.shard_count = 2;
+  const auto rules = DefaultFleetRules(options);
+  ASSERT_EQ(rules.size(), 4u);
+  EXPECT_EQ(rules[0].name, "e2e_lag");
+  EXPECT_EQ(rules[0].metric, "sdci_e2e_lag");
+  EXPECT_EQ(rules[1].name, "flow_conservation");
+  EXPECT_EQ(rules[1].metric, "sdci_flow_duplication");
+  EXPECT_EQ(rules[2].name, "degraded_availability.shard0");
+  EXPECT_EQ(rules[3].name, "degraded_availability.shard1");
+  EXPECT_EQ(rules[3].severity, "warn");
+}
+
+}  // namespace
+}  // namespace sdci

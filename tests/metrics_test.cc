@@ -110,6 +110,51 @@ TEST(MetricsRegistry, PrometheusEscapesLabelValues) {
   EXPECT_NE(text.find("weird_total{path=\"a\\\"b\\\\c\\nd\"} 1"), std::string::npos);
 }
 
+TEST(MetricsRegistry, PrometheusEscapingConformance) {
+  // Hostile label values across every instrument type: a scrape must
+  // never emit a raw newline, an unescaped quote, or a trailing
+  // backslash that eats the closing quote.
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", {{"p", "end\\"}})->Add(1);
+  registry.GetGauge("g", {{"p", "\n"}})->Set(2);
+  registry.RegisterCallback("cb", {{"p", "q\"\\\n"}},
+                            [] { return std::optional<int64_t>(3); });
+  registry.GetHistogram("h", {{"p", "a\"b"}})->Record(Micros(1));
+
+  const std::string text = registry.ToPrometheus();
+  EXPECT_NE(text.find("c_total{p=\"end\\\\\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("g{p=\"\\n\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("cb{p=\"q\\\"\\\\\\n\"} 3"), std::string::npos);
+  // The le-extended histogram label set escapes the original labels too.
+  EXPECT_NE(text.find("h_bucket{p=\"a\\\"b\",le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("h_sum{p=\"a\\\"b\"}"), std::string::npos);
+
+  // Line-level conformance: every non-comment line is `name[{labels}] value`
+  // — label values with raw newlines would shear a series across lines and
+  // fail this parse.
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << "unparseable line: " << line;
+    const std::string value = line.substr(space + 1);
+    ASSERT_FALSE(value.empty()) << "no value on line: " << line;
+    EXPECT_NE(value.find_first_of("0123456789"), std::string::npos)
+        << "non-numeric value on line: " << line;
+    // A label section, if present, must be closed before the value.
+    const size_t open = line.find('{');
+    if (open != std::string::npos) {
+      const size_t close = line.rfind('}');
+      ASSERT_NE(close, std::string::npos) << "unclosed labels: " << line;
+      EXPECT_LT(close, space) << "value inside labels: " << line;
+    }
+  }
+}
+
 TEST(MetricsRegistry, HistogramBucketsAreCumulative) {
   MetricsRegistry registry;
   auto hist = registry.GetHistogram("lat");

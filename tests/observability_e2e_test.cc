@@ -6,15 +6,19 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <thread>
 
 #include "common/metrics.h"
+#include "common/slo.h"
 #include "common/tracing.h"
 #include "lustre/client.h"
 #include "monitor/aggregator_supervisor.h"
 #include "monitor/consumer.h"
+#include "monitor/flow_ledger.h"
 #include "monitor/monitor.h"
 #include "monitor/supervisor.h"
+#include "monitor/watermarks.h"
 #include "ripple/agent.h"
 #include "ripple/cloud.h"
 #include "ripple/fleet.h"
@@ -37,17 +41,26 @@ TEST(ObservabilityE2E, TracedEventCrossesEveryPipelineStage) {
   lustre::FileSystem fs(lustre::FileSystemConfig::FromProfile(profile), authority);
   msgq::Context context;
 
-  // One registry + one tracer shared by every component, 100% sampling.
+  // One registry + one tracer shared by every component, 100% sampling,
+  // plus the flow ledger and watermark table every stage boundary
+  // accounts into.
   auto registry = std::make_shared<MetricsRegistry>();
   auto sink = std::make_shared<trace::TraceCollector>();
   auto tracer = std::make_shared<trace::Tracer>(sink, /*sample_rate=*/1.0);
+  auto flow = std::make_shared<FlowLedger>();
+  auto watermarks = std::make_shared<WatermarkRegistry>();
+  flow->AttachMetrics(registry);
+  watermarks->AttachMetrics(registry);
   context.AttachMetrics(registry);
+  SloEvaluator slo(registry, DefaultFleetRules());
 
   // Supervised aggregator (the checkpoint gives wal.append spans).
   monitor::AggregatorConfig agg_config;
   agg_config.store_capacity = 1u << 20;
   agg_config.metrics = registry;
   agg_config.tracer = tracer;
+  agg_config.flow = flow;
+  agg_config.watermarks = watermarks;
   monitor::AggregatorSupervisor agg_supervisor(profile, authority, context,
                                                agg_config);
   agg_supervisor.Start();
@@ -58,6 +71,8 @@ TEST(ObservabilityE2E, TracedEventCrossesEveryPipelineStage) {
   collector_config.read_batch = 16;
   collector_config.metrics = registry;
   collector_config.tracer = tracer;
+  collector_config.flow = flow;
+  collector_config.watermarks = watermarks;
   monitor::CollectorSupervisor supervisor(fs, profile, authority, context,
                                           collector_config, {});
   supervisor.Start();
@@ -67,6 +82,7 @@ TEST(ObservabilityE2E, TracedEventCrossesEveryPipelineStage) {
   cloud_config.worker_poll = Millis(1);
   cloud_config.cleanup_interval = Millis(5);
   cloud_config.metrics = registry;
+  cloud_config.flow = flow;
   ripple::CloudService cloud(authority, cloud_config);
   cloud.Start();
   ripple::EndpointRegistry endpoints;
@@ -76,6 +92,8 @@ TEST(ObservabilityE2E, TracedEventCrossesEveryPipelineStage) {
   agent_config.report_backoff = Millis(1);
   agent_config.metrics = registry;
   agent_config.tracer = tracer;
+  agent_config.flow = flow;
+  agent_config.watermarks = watermarks;
   ripple::Agent agent(agent_config, fs, cloud, endpoints, authority);
   monitor::RecoveringSubscriberConfig rec_config;
   rec_config.start_seq = 1;
@@ -195,6 +213,20 @@ TEST(ObservabilityE2E, TracedEventCrossesEveryPipelineStage) {
   EXPECT_EQ(counter_value("sdci_agent_actions_executed_total"), kFiles);
   EXPECT_GE(counter_value("sdci_cloud_actions_dispatched_total"), kFiles);
 
+  // SLO plane over the quiesced pipeline: sample a few times, then every
+  // rule must be ok — the stream's frontier and its slowest stage agree,
+  // and no ledger row ever went negative.
+  std::vector<SloStatus> statuses;
+  for (int i = 0; i < 4; ++i) {
+    statuses = slo.Evaluate(authority.Now());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(statuses.empty());
+  for (const SloStatus& alert : statuses) {
+    EXPECT_NE(alert.state, AlertState::kFiring) << alert.name;
+  }
+  EXPECT_FALSE(slo.AnyFiring());
+
   // Fleet health over the live deployment: everything healthy.
   ripple::FleetComponents fleet;
   fleet.collector_supervisor = &supervisor;
@@ -204,6 +236,9 @@ TEST(ObservabilityE2E, TracedEventCrossesEveryPipelineStage) {
   fleet.context = &context;
   fleet.endpoints = {agg_config.publish_endpoint};
   fleet.metrics = registry.get();
+  fleet.watermarks = watermarks.get();
+  fleet.flow = flow.get();
+  fleet.slo = &slo;
   const json::Value status = ripple::FleetStatusJson(fleet);
   EXPECT_EQ(status.GetString("overall"), "up");
   EXPECT_EQ(status["collectors"].GetString("verdict"), "up");
@@ -216,11 +251,60 @@ TEST(ObservabilityE2E, TracedEventCrossesEveryPipelineStage) {
   EXPECT_EQ(status["cloud"].GetString("verdict"), "up");
   EXPECT_GE(status["cloud"].GetInt("actions_dispatched"), kFiles);
   EXPECT_TRUE(status["metrics"].Has("counters"));
+  // The three new planes fold in: the watermark table, the conservation
+  // ledger (no duplication → "up"), and the alert array with the rollup.
+  EXPECT_TRUE(status.Has("watermarks"));
+  EXPECT_GT(status["watermarks"].GetInt("head_ns"), 0);
+  EXPECT_EQ(status["flow_ledger"].GetString("verdict"), "up");
+  EXPECT_EQ(status["flow_ledger"].GetInt("total_duplication"), 0);
+  EXPECT_TRUE(status.Has("alerts"));
+  EXPECT_EQ(status["alerts"].AsArray().size(), statuses.size());
+  EXPECT_EQ(status["slo"].GetString("verdict"), "up");
+  EXPECT_FALSE(status["slo"].GetBool("firing"));
 
   agent.Stop();
   cloud.Stop();
   supervisor.Stop();
   agg_supervisor.Stop();
+
+  // Quiesce-time conservation: with every component stopped, each
+  // (boundary, instance) ledger row must balance exactly — Σin equals
+  // Σout + Σheld at every hand-off, so the pipeline provably neither
+  // lost nor duplicated an event end to end.
+  const auto audit = flow->Audit();
+  for (const auto& row : audit.rows) {
+    EXPECT_EQ(row.imbalance, 0)
+        << row.boundary << "/" << row.instance << ": in=" << row.in
+        << " out=" << row.out << " held=" << row.held;
+  }
+  EXPECT_TRUE(audit.balanced);
+  EXPECT_EQ(audit.total_duplication, 0);
+  EXPECT_GE(audit.rows.size(), 8u) << "every wired boundary reports";
+
+  // Watermarks advanced in pipeline order: collapsing instances to a
+  // per-stage frontier, no stage is ever ahead of its upstream (a stage
+  // cannot have processed past what feeds it), and the taxonomy is
+  // covered from changelog.read through action.execute.
+  std::map<int, VirtualTime> frontier;  // stage rank -> max watermark
+  for (const auto& row : watermarks->Snapshot()) {
+    if (!row.advanced) continue;
+    ASSERT_GE(row.rank, 0) << row.stage << " outside the taxonomy";
+    auto [it, inserted] = frontier.emplace(row.rank, row.watermark);
+    if (!inserted) it->second = std::max(it->second, row.watermark);
+  }
+  EXPECT_GE(frontier.size(), 10u) << "stage coverage";
+  EXPECT_EQ(frontier.begin()->first,
+            WatermarkRegistry::StageRank(trace::kChangelogRead));
+  EXPECT_EQ(frontier.rbegin()->first,
+            WatermarkRegistry::StageRank(trace::kActionExecute));
+  for (auto it = std::next(frontier.begin()); it != frontier.end(); ++it) {
+    EXPECT_LE(it->second, std::prev(it)->second)
+        << "stage rank " << it->first << " ahead of rank "
+        << std::prev(it)->first;
+  }
+  // At quiesce the frontier and the slowest stage agree: e2e lag is zero.
+  EXPECT_EQ(watermarks->FleetLag().count(), 0);
+  EXPECT_EQ(watermarks->Head(), frontier.begin()->second);
 }
 
 // Satellite: Monitor::StatusJson(MonitorObservability) must surface live
