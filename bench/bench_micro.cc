@@ -5,10 +5,16 @@
 // virtual-time results to be trustworthy.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
 #include "common/glob.h"
 #include "common/json.h"
 #include "common/lru.h"
+#include "common/queue.h"
 #include "common/rng.h"
+#include "common/spsc.h"
 #include "lustre/changelog.h"
 #include "lustre/fid.h"
 #include "lustre/filesystem.h"
@@ -175,6 +181,87 @@ void BM_PipelinePerEventLegacy(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 16);
 }
 BENCHMARK(BM_PipelinePerEventLegacy)->Arg(1)->Arg(4)->Arg(16);
+
+// --- Contended queue hand-off: the mutex+CV BoundedQueue (post wake-up
+// audit: single notify_one with baton cascade) vs the lock-free SpscRing
+// used on the collector-reader and ingest-receiver hops. Ping measures
+// the blocking round-trip (wake-up latency dominates); Stream measures
+// sustained producer→consumer throughput with the consumer live (the
+// contended case the audit targets). ---
+
+void BM_BoundedQueuePing(benchmark::State& state) {
+  BoundedQueue<uint64_t> req(64), rsp(64);
+  std::thread echo([&] {
+    for (;;) {
+      auto item = req.Pop();
+      if (!item.ok()) return;
+      (void)rsp.Push(item.value());
+    }
+  });
+  uint64_t i = 0;
+  for (auto _ : state) {
+    (void)req.Push(i++);
+    benchmark::DoNotOptimize(rsp.Pop());
+  }
+  req.Close();
+  echo.join();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BoundedQueuePing);
+
+void BM_SpscRingPing(benchmark::State& state) {
+  SpscRing<uint64_t> req(64), rsp(64);
+  std::thread echo([&] {
+    for (;;) {
+      auto item = req.Pop();
+      if (!item.ok()) return;
+      (void)rsp.Push(item.value());
+    }
+  });
+  uint64_t i = 0;
+  for (auto _ : state) {
+    (void)req.Push(i++);
+    benchmark::DoNotOptimize(rsp.Pop());
+  }
+  req.Close();
+  echo.join();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpscRingPing);
+
+void BM_BoundedQueueStream(benchmark::State& state) {
+  BoundedQueue<uint64_t> queue(1024);
+  std::atomic<uint64_t> consumed{0};
+  std::thread consumer([&] {
+    while (queue.Pop().ok()) consumed.fetch_add(1, std::memory_order_relaxed);
+  });
+  uint64_t i = 0;
+  for (auto _ : state) {
+    (void)queue.Push(i++);
+  }
+  queue.Close();
+  consumer.join();
+  benchmark::DoNotOptimize(consumed.load());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BoundedQueueStream);
+
+void BM_SpscRingStream(benchmark::State& state) {
+  SpscRing<uint64_t> ring(1024);
+  std::atomic<uint64_t> consumed{0};
+  std::thread consumer([&] {
+    while (ring.Pop().ok()) consumed.fetch_add(1, std::memory_order_relaxed);
+  });
+  uint64_t i = 0;
+  for (auto _ : state) {
+    (void)ring.Push(i++);
+  }
+  ring.Close();
+  consumer.join();
+  benchmark::DoNotOptimize(consumed.load());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpscRingStream);
 
 void BM_LruCacheHit(benchmark::State& state) {
   LruCache<lustre::Fid, std::string, lustre::FidHash> cache(1024);

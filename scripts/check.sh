@@ -11,8 +11,10 @@
 #
 # --bench-json: additionally run bench_throughput --json and write the
 # result to BENCH_throughput.json in the repo root (the checked-in perf
-# baseline — includes the resolver-worker sweep and its speedup metric),
-# then bench_failover --json to BENCH_failover.json and gate the
+# baseline — includes the resolver-worker sweep and its speedup metric,
+# plus the wire-codec sweep: flat v4 decode must be >= 2x the field-wise
+# codec and the v4 ingest drain >= 1.5x the v3-pinned fleet), then
+# bench_failover --json to BENCH_failover.json and gate the
 # degraded-mode federated query availability at >= 0.99, then
 # bench_observability --json to BENCH_observability.json and gate the
 # flow-ledger + watermark overhead at < 2% with a balanced ledger.
@@ -64,6 +66,20 @@ else
   run_suite "${BUILD_DIR:-build-asan}" \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  # The codec fuzz sweeps are the wire format's memory-safety gate: the
+  # hostile-payload and bit-flip properties must actually have run under
+  # ASan+UBSan (out-of-bounds reads in the cast-in-place v4 path are
+  # exactly what this build exists to catch).
+  ASAN_LOG="${BUILD_DIR:-build-asan}/ctest-output.log"
+  for test_name in MixedVersionFleetRoundTripsOrRejectsCleanly \
+                   AllVersionsRejectTruncationEverywhere \
+                   V4MutatedPayloadsNeverCrashAndStayStructurallySound \
+                   WireV4.BindRejectsStructuralCorruption; do
+    if ! grep -q "$test_name" "$ASAN_LOG"; then
+      echo "FAIL: $test_name did not run in the ASan+UBSan pass" >&2
+      exit 1
+    fi
+  done
   run_suite "${TSAN_BUILD_DIR:-build-tsan}" \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
@@ -82,7 +98,9 @@ else
                    RollingOutagesServeLabeledPartialsUnderConcurrency \
                    TracedEventCrossesEveryPipelineStage \
                    LagDerivationAndFrozenInstance \
-                   AuditAlgebra; do
+                   AuditAlgebra \
+                   SpscRing.StressPreservesFifo \
+                   ThreadPool.SpscFeedModeDrainsEveryTask; do
     if ! grep -q "$test_name" "$TSAN_LOG"; then
       echo "FAIL: $test_name did not run in the TSan pass" >&2
       exit 1
@@ -116,7 +134,9 @@ if [[ "$BENCH_JSON_OUT" == 1 ]]; then
              fanin_4c_workers_1_drain_rate fanin_4c_workers_4_drain_rate \
              aggregator_speedup_4_workers \
              fleet_8c_1_shard_drain_rate fleet_8c_4_shards_drain_rate \
-             fleet_speedup_4_shards; do
+             fleet_speedup_4_shards \
+             wire_speedup_decode wire_speedup_encode \
+             ingest_drain_v4 ingest_drain_legacy ingest_drain_v4_speedup; do
     if ! grep -q "\"$key\"" BENCH_throughput.json; then
       echo "FAIL: BENCH_throughput.json is missing $key" >&2
       exit 1
@@ -136,6 +156,35 @@ if [[ "$BENCH_JSON_OUT" == 1 ]]; then
       found = 1
     }
     END { if (!found) { print "FAIL: fleet_speedup_4_shards not found" > "/dev/stderr"; exit 1 } }
+  ' BENCH_throughput.json
+  # Zero-copy wire gates: the flat v4 codec must decode at least 2x faster
+  # than the field-wise codec (wall clock, all fields read), and the
+  # 8-collector pooled drain must be at least 1.5x the rate of the same
+  # fleet pinned to wire v3 — otherwise the zero-copy path has regressed
+  # into a decode-bound aggregator again.
+  awk '
+    /"wire_speedup_decode"/ {
+      match($0, /"wire_speedup_decode":[0-9.eE+-]+/)
+      split(substr($0, RSTART, RLENGTH), kv, ":")
+      if (kv[2] + 0 < 2.0) {
+        printf "FAIL: wire_speedup_decode %.2f < 2.0\n", kv[2] > "/dev/stderr"
+        exit 1
+      }
+      found = 1
+    }
+    /"ingest_drain_v4_speedup"/ {
+      match($0, /"ingest_drain_v4_speedup":[0-9.eE+-]+/)
+      split(substr($0, RSTART, RLENGTH), kv, ":")
+      if (kv[2] + 0 < 1.5) {
+        printf "FAIL: ingest_drain_v4_speedup %.2f < 1.5\n", kv[2] > "/dev/stderr"
+        exit 1
+      }
+      found2 = 1
+    }
+    END {
+      if (!found) { print "FAIL: wire_speedup_decode not found" > "/dev/stderr"; exit 1 }
+      if (!found2) { print "FAIL: ingest_drain_v4_speedup not found" > "/dev/stderr"; exit 1 }
+    }
   ' BENCH_throughput.json
 
   # Degraded-mode availability baseline: one shard hard-down must not cost

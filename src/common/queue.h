@@ -8,6 +8,22 @@
 //    remaining items and then fail with kClosed. This makes shutdown of
 //    pipeline stages deterministic (Core Guidelines CP.24: no detached
 //    threads waiting forever).
+//
+// Wake-up discipline (audited; see bench_micro's contended-queue rows):
+// every operation issues at most notify_one per condition variable, with
+// the baton passed forward — a successful Pop re-notifies not_empty_ when
+// items remain (so a bulk PushAll needs only one consumer wake per wave,
+// and a second eligible consumer is woken by the first, not by the
+// producer), and a successful Push re-notifies not_full_ when room
+// remains (so a bulk PopAll needs only one producer wake). notify_all is
+// reserved for the transitions where every waiter's predicate really
+// changes at once: Close() (shutdown) and TryPopAll() (the crash path
+// frees the whole capacity). Liveness: any waiter able to make progress
+// is woken either directly by the op that enabled it or by the chain of
+// ops it enabled — no eligible waiter is stranded behind a notify_one.
+//
+// For single-producer/single-consumer hops where even the uncontended
+// mutex hand-off is too hot, see common/spsc.h.
 #pragma once
 
 #include <algorithm>
@@ -33,37 +49,45 @@ class BoundedQueue {
 
   // Blocks until there is room or the queue is closed.
   Status Push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return ClosedError("queue closed");
-    items_.push_back(std::move(item));
-    lock.unlock();
+    bool room_remains = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return ClosedError("queue closed");
+      items_.push_back(std::move(item));
+      room_remains = items_.size() < capacity_;
+    }
     not_empty_.notify_one();
+    // Baton: a bulk PopAll wakes one producer; if this push left room, the
+    // next waiting producer is woken here instead of by a notify_all.
+    if (room_remains) not_full_.notify_one();
     return OkStatus();
   }
 
   // Bulk push: moves every item in under as few lock acquisitions as
   // possible — one when the whole batch fits, in capacity-sized waves
   // otherwise (so a batch larger than the queue still goes through, with
-  // backpressure between waves). One CV wake per wave, not per item.
-  // kClosed if the queue closes part-way; items not yet pushed are dropped
-  // with the error.
+  // backpressure between waves). One consumer wake per wave (consumers
+  // baton further consumers; see Pop). kClosed if the queue closes
+  // part-way; items not yet pushed are dropped with the error.
   Status PushAll(std::vector<T> items) {
     size_t next = 0;
     while (next < items.size()) {
-      size_t end = 0;
+      bool room_remains = false;
       {
         std::unique_lock<std::mutex> lock(mutex_);
         not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
         if (closed_) return ClosedError("queue closed");
         const size_t room = capacity_ - items_.size();
-        end = std::min(items.size(), next + room);
+        const size_t end = std::min(items.size(), next + room);
         for (; next < end; ++next) items_.push_back(std::move(items[next]));
+        room_remains = items_.size() < capacity_;
       }
-      // Wake every consumer once per wave: a bulk push typically feeds a
-      // bulk PopAll, and notify_one per item is the lock traffic this
-      // method exists to avoid.
-      not_empty_.notify_all();
+      // One wake per wave: a single consumer can always make progress, and
+      // it batons the next one while items remain. notify_all here was the
+      // thundering herd this audit removed.
+      not_empty_.notify_one();
+      if (room_remains) not_full_.notify_one();
     }
     return OkStatus();
   }
@@ -82,36 +106,50 @@ class BoundedQueue {
 
   // Blocks until an item is available; drains remaining items after Close.
   Result<T> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return ClosedError("queue closed");
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    T item;
+    bool more_items = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return ClosedError("queue closed");
+      item = std::move(items_.front());
+      items_.pop_front();
+      more_items = !items_.empty();
+    }
     not_full_.notify_one();
+    // Baton: a bulk PushAll wakes one consumer per wave; this consumer
+    // wakes the next while the wave lasts.
+    if (more_items) not_empty_.notify_one();
     return item;
   }
 
   // Pop with a real-time timeout. kTimedOut when nothing arrived in time.
   Result<T> PopFor(std::chrono::nanoseconds timeout) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (!not_empty_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); })) {
-      return TimedOutError("queue pop timed out");
+    T item;
+    bool more_items = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!not_empty_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); })) {
+        return TimedOutError("queue pop timed out");
+      }
+      if (items_.empty()) return ClosedError("queue closed");
+      item = std::move(items_.front());
+      items_.pop_front();
+      more_items = !items_.empty();
     }
-    if (items_.empty()) return ClosedError("queue closed");
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
     not_full_.notify_one();
+    if (more_items) not_empty_.notify_one();
     return item;
   }
 
   // Bulk pop: blocks until at least one item is available (or the queue is
   // closed and drained), then takes up to `max` items in one lock
-  // acquisition with one producer-side wake. The consumer-side equivalent
+  // acquisition with one producer-side wake (producers baton further
+  // producers while room remains; see Push). The consumer-side equivalent
   // of PushAll.
   Result<std::vector<T>> PopAll(size_t max) {
     std::vector<T> out;
+    bool more_items = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
@@ -122,15 +160,19 @@ class BoundedQueue {
         out.push_back(std::move(items_.front()));
         items_.pop_front();
       }
+      more_items = !items_.empty();
     }
-    not_full_.notify_all();
+    not_full_.notify_one();
+    if (more_items) not_empty_.notify_one();
     return out;
   }
 
   // Non-blocking bulk pop: takes everything currently queued in one lock
   // acquisition, never waits. Used by crash paths that model a process
   // dropping its in-memory queues instantly (see Aggregator::Crash), and
-  // usable after Close to flush the remainder.
+  // usable after Close to flush the remainder. Frees the entire capacity
+  // at once, so every blocked producer's predicate flips: notify_all is
+  // the correct (and rare) wake here.
   std::vector<T> TryPopAll() {
     std::vector<T> out;
     {
@@ -158,7 +200,8 @@ class BoundedQueue {
     return out;
   }
 
-  // Closes the queue: wakes all waiters. Items already queued remain
+  // Closes the queue: wakes all waiters (the one legitimate broadcast —
+  // every waiter must observe the shutdown). Items already queued remain
   // poppable; new pushes fail.
   void Close() {
     {

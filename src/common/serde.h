@@ -15,6 +15,28 @@
 
 namespace sdci {
 
+// Raw little-endian loads/stores for flat (cast-in-place) wire layouts.
+// memcpy-based so they are alignment-safe and UBSan-clean at any offset;
+// on little-endian targets they compile to single moves.
+inline uint32_t LoadU32Le(const void* p) noexcept {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline uint64_t LoadU64Le(const void* p) noexcept {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline int64_t LoadI64Le(const void* p) noexcept {
+  int64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline void StoreU32Le(void* p, uint32_t v) noexcept { std::memcpy(p, &v, sizeof(v)); }
+inline void StoreU64Le(void* p, uint64_t v) noexcept { std::memcpy(p, &v, sizeof(v)); }
+inline void StoreI64Le(void* p, int64_t v) noexcept { std::memcpy(p, &v, sizeof(v)); }
+
 class BinaryWriter {
  public:
   void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }

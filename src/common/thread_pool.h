@@ -11,14 +11,28 @@
 // discipline as BoundedQueue everywhere else in the pipeline) and fails
 // with kClosed after Shutdown. Shutdown drains: every task accepted
 // before the close runs to completion before the workers join.
+//
+// Feed modes:
+//  - kSharedQueue (default): one BoundedQueue feeds all workers. Any
+//    thread may Submit; idle workers steal naturally from the shared
+//    queue. The right choice whenever submitters are plural or bursty.
+//  - kSpscRings: one lock-free SpscRing per worker, filled round-robin.
+//    Requires a SINGLE submitting thread (the SPSC producer contract) —
+//    exactly the shape of the collector's reader thread and the
+//    aggregator's receiver thread, the two hottest hand-offs in the
+//    pipeline. Removes the shared queue's mutex from the per-task cost;
+//    round-robin keeps per-worker arrival order deterministic, which the
+//    decode stages' reorder windows rely on.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/queue.h"
+#include "common/spsc.h"
 #include "common/stats.h"
 #include "common/status.h"
 
@@ -28,30 +42,42 @@ class ThreadPool {
  public:
   using Task = std::function<void(size_t worker)>;
 
-  // `queue_capacity` == 0 sizes the queue at 4 tasks per worker.
-  explicit ThreadPool(size_t workers, size_t queue_capacity = 0);
+  enum class FeedMode {
+    kSharedQueue,  // MPMC BoundedQueue, any number of submitters
+    kSpscRings,    // one lock-free ring per worker, ONE submitter thread
+  };
+
+  // `queue_capacity` == 0 sizes the feed at 4 tasks per worker (total
+  // across rings in kSpscRings mode, where each worker gets an equal
+  // share, minimum 4 slots).
+  explicit ThreadPool(size_t workers, size_t queue_capacity = 0,
+                      FeedMode feed = FeedMode::kSharedQueue);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues a task; blocks while the queue is full. kClosed after
-  // Shutdown.
+  // Enqueues a task; blocks while the feed is full. kClosed after
+  // Shutdown. In kSpscRings mode only one thread may call Submit.
   Status Submit(Task task);
 
-  // Closes the queue, lets the workers drain it, joins them. Idempotent.
+  // Closes the feed, lets the workers drain it, joins them. Idempotent.
   void Shutdown();
 
   [[nodiscard]] size_t workers() const noexcept { return threads_.size(); }
+  [[nodiscard]] FeedMode feed_mode() const noexcept { return feed_; }
   // Tasks accepted but not yet picked up by a worker.
-  [[nodiscard]] size_t QueueDepth() const { return tasks_.size(); }
+  [[nodiscard]] size_t QueueDepth() const;
   // Tasks finished, over the pool's lifetime.
   [[nodiscard]] uint64_t Completed() const noexcept { return completed_.Get(); }
 
  private:
   void WorkerLoop(size_t index);
 
-  BoundedQueue<Task> tasks_;
+  const FeedMode feed_;
+  BoundedQueue<Task> tasks_;                         // kSharedQueue feed
+  std::vector<std::unique_ptr<SpscRing<Task>>> rings_;  // kSpscRings feed
+  size_t next_ring_ = 0;  // round-robin cursor; submitter-thread-owned
   std::vector<std::jthread> threads_;
   Counter completed_;
 };

@@ -52,6 +52,12 @@ struct TestbedProfile {
   VirtualDuration changelog_clear_latency{};     // cost of changelog_clear
   VirtualDuration collector_publish_latency{};   // serialize + send one message
   VirtualDuration aggregator_ingest_latency{};   // deserialize + enqueue one event
+  // Per-event ingest cost when the message arrived in the flat v4 wire
+  // format: validation is a header/offset-table scan and no per-field
+  // copies happen until the store boundary, so the cost drops by roughly
+  // the decode speedup measured by bench_throughput's codec sweep (see
+  // EXPERIMENTS.md "Wire codec sweep").
+  VirtualDuration aggregator_ingest_latency_v4{};
 
   // Modeled *CPU* cost per event for Table 3 style accounting (most of the
   // latency figures above are I/O or RPC wait, not CPU).

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "common/strings.h"
+#include "monitor/wire_v4.h"
 
 namespace sdci::monitor {
 
@@ -190,7 +191,12 @@ void Collector::Start() {
   publish_aborted_ = false;
   {
     const std::lock_guard<std::mutex> lock(pool_mutex_);
-    pool_ = std::make_unique<ThreadPool>(Workers(), Window());
+    // SPSC feed: the reader thread is the pool's only submitter (ReadPass
+    // and MaybeScheduleSpoolReplay both run on it), so each worker can be
+    // fed through a lock-free ring instead of the shared mutex queue —
+    // this hop is the hottest hand-off on the collector side.
+    pool_ = std::make_unique<ThreadPool>(Workers(), Window(),
+                                         ThreadPool::FeedMode::kSpscRings);
   }
   publisher_thread_ =
       std::jthread([this](const std::stop_token& stop) { PublisherLoop(stop); });
@@ -694,39 +700,62 @@ void Collector::MaintainCache(const FsEvent& event, uint64_t cache_epoch) {
 }
 
 size_t Collector::Report(const std::vector<FsEvent>& events, DelayBudget& budget) {
-  // Aggregation hand-off: one EventBatch per publish_batch-sized chunk.
-  // The batch is encoded exactly once (payload()); the msgq message shares
-  // those bytes, so the PUB/SUB or PUSH/PULL hand-off moves a pointer. The
-  // collect endpoint carries exactly one aggregator; "nobody accepted"
-  // means it is absent (or its queue dropped us) and the tail from the
-  // failed chunk on must be held for retry rather than purged.
+  // Aggregation hand-off: one wire message per publish_batch-sized chunk.
+  // The v4 path is the zero-copy arena path: the payload is encoded in one
+  // exact-size allocation DIRECTLY from the resolved slice — no per-chunk
+  // FsEvent copy, no intermediate EventBatch — and the msgq message shares
+  // those bytes, so the PUB/SUB or PUSH/PULL hand-off moves a pointer.
+  // Legacy versions (mixed-version fleets) keep the historic
+  // copy-then-encode shape. The collect endpoint carries exactly one
+  // aggregator; "nobody accepted" means it is absent (or its queue dropped
+  // us) and the tail from the failed chunk on must be held for retry
+  // rather than purged.
   const size_t batch_size = std::max<size_t>(1, config_.publish_batch);
+  const bool v4 = config_.wire_version >= wire::kWireV4;
+  const std::string topic = strings::Format("collect.mdt{}", mdt_index_);
   size_t delivered = 0;
   for (size_t start = 0; start < events.size(); start += batch_size) {
     const size_t end = std::min(events.size(), start + batch_size);
-    std::vector<FsEvent> chunk(events.begin() + static_cast<ptrdiff_t>(start),
-                               events.begin() + static_cast<ptrdiff_t>(end));
+    const size_t n = end - start;
+    const FsEvent* slice = events.data() + start;
     // A traced event must cross the wire carrying the publish span as its
     // parent, so the span id is allocated before the batch is encoded and
     // the span recorded only once the hand-off succeeds (a rejected chunk
     // is retried under fresh span ids; its unrecorded ids never surface).
+    // On the v4 path the fresh ids ride the encoder's parent_span override
+    // array, so the source events stay untouched (they may be retried).
     struct PendingSpan {
       uint64_t trace_id, parent, span_id;
     };
     std::vector<PendingSpan> pending;
+    std::vector<uint64_t> span_override;
     if (tracer_ != nullptr) {
-      for (FsEvent& event : chunk) {
-        if (event.trace_id == 0) continue;
+      for (size_t i = 0; i < n; ++i) {
+        if (slice[i].trace_id == 0) continue;
+        if (span_override.empty()) {
+          span_override.resize(n);
+          for (size_t j = 0; j < n; ++j) span_override[j] = slice[j].parent_span;
+        }
         const uint64_t span_id = tracer_->NewSpanId();
-        pending.push_back({event.trace_id, event.parent_span, span_id});
-        event.parent_span = span_id;
+        pending.push_back({slice[i].trace_id, slice[i].parent_span, span_id});
+        span_override[i] = span_id;
       }
     }
     const VirtualTime publish_start =
         pending.empty() ? VirtualTime{} : authority_->Now();
-    const EventBatch batch(std::move(chunk));
-    msgq::Message message(strings::Format("collect.mdt{}", mdt_index_),
-                          batch.payload());
+    std::shared_ptr<const std::string> payload;
+    if (v4) {
+      payload = std::make_shared<const std::string>(wire::EncodeEventBatchV4(
+          slice, n, span_override.empty() ? nullptr : span_override.data()));
+    } else {
+      std::vector<FsEvent> chunk(slice, slice + n);
+      for (size_t i = 0; i < span_override.size(); ++i) {
+        chunk[i].parent_span = span_override[i];
+      }
+      payload = std::make_shared<const std::string>(
+          EncodeEventBatchLegacy(chunk, config_.wire_version));
+    }
+    msgq::Message message(topic, std::move(payload));
     budget.Charge(profile_.collector_publish_latency);
     if (pub_ != nullptr) {
       if (pub_->Publish(std::move(message)) == 0) return delivered;
@@ -738,8 +767,8 @@ size_t Collector::Report(const std::vector<FsEvent>& events, DelayBudget& budget
     // Detection latency covers journaled -> *accepted by the transport*;
     // recorded only on success so retries do not double-count.
     const VirtualTime now = authority_->Now();
-    for (const FsEvent& event : batch.events()) {
-      detection_latency_->Record(now - event.time);
+    for (size_t i = 0; i < n; ++i) {
+      detection_latency_->Record(now - slice[i].time);
     }
     for (const PendingSpan& span : pending) {
       tracer_->RecordSpan({span.trace_id, span.span_id, span.parent,
@@ -747,9 +776,9 @@ size_t Collector::Report(const std::vector<FsEvent>& events, DelayBudget& budget
                            publish_start, now - publish_start});
     }
     delivered = end;
-    reported_->Add(end - start);
+    reported_->Add(n);
     if (wm_publish_ != nullptr) {
-      wm_publish_->Advance(batch.events().back().time);
+      wm_publish_->Advance(slice[n - 1].time);
     }
   }
   return delivered;

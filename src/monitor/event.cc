@@ -2,6 +2,7 @@
 
 #include "common/serde.h"
 #include "common/strings.h"
+#include "monitor/wire_v4.h"
 
 namespace sdci::monitor {
 
@@ -71,15 +72,24 @@ Result<FsEvent> FsEvent::FromJson(const json::Value& value) {
 
 namespace {
 
+// Legacy field-wise codec, kept verbatim for mixed-version fleets.
 // v1: fields through parent_fid. v2 appends the trace context (two u64s)
 // to the END of each record, so every v1 field keeps its byte offset;
 // v1 payloads still decode (trace fields default to 0 / unsampled).
 // v3 appends the HLC stamp (i64 wall + u32 logical + u32 origin) the same
 // way; v1/v2 payloads decode with a zero stamp (pre-fleet events).
-constexpr uint16_t kCodecVersion = 3;
-constexpr uint16_t kOldestDecodableVersion = 1;
+// v4 is the flat layout in monitor/wire_v4.h, dispatched on the same
+// leading version word.
+constexpr uint16_t kNewestLegacyVersion = 3;
 
-void EncodeOne(BinaryWriter& writer, const FsEvent& event) {
+// Fixed (non-string) bytes of one legacy record per version:
+// v1: mdt u32 + index u64 + seq u64 + type u8 + time i64 + flags u32
+//     + two fids (u64+u32+u32 each) + three u32 string length prefixes.
+constexpr size_t kLegacyFixedV1 = 4 + 8 + 8 + 1 + 8 + 4 + 2 * 16 + 3 * 4;
+constexpr size_t kLegacyFixedV2 = kLegacyFixedV1 + 2 * 8;   // + trace ids
+constexpr size_t kLegacyFixedV3 = kLegacyFixedV2 + 8 + 4 + 4;  // + HLC
+
+void EncodeOneLegacy(BinaryWriter& writer, const FsEvent& event, uint16_t version) {
   writer.PutU32(static_cast<uint32_t>(event.mdt_index));
   writer.PutU64(event.record_index);
   writer.PutU64(event.global_seq);
@@ -95,14 +105,18 @@ void EncodeOne(BinaryWriter& writer, const FsEvent& event) {
   writer.PutU64(event.parent_fid.seq);
   writer.PutU32(event.parent_fid.oid);
   writer.PutU32(event.parent_fid.ver);
-  writer.PutU64(event.trace_id);
-  writer.PutU64(event.parent_span);
-  writer.PutI64(event.hlc.wall_ns);
-  writer.PutU32(event.hlc.logical);
-  writer.PutU32(event.hlc.origin);
+  if (version >= 2) {
+    writer.PutU64(event.trace_id);
+    writer.PutU64(event.parent_span);
+  }
+  if (version >= 3) {
+    writer.PutI64(event.hlc.wall_ns);
+    writer.PutU32(event.hlc.logical);
+    writer.PutU32(event.hlc.origin);
+  }
 }
 
-Result<FsEvent> DecodeOne(BinaryReader& reader, uint16_t version) {
+Result<FsEvent> DecodeOneLegacy(BinaryReader& reader, uint16_t version) {
   FsEvent event;
 #define SDCI_READ_OR_RETURN(field, expr) \
   {                                      \
@@ -149,13 +163,62 @@ Result<FsEvent> DecodeOne(BinaryReader& reader, uint16_t version) {
   return event;
 }
 
+Result<std::vector<FsEvent>> DecodeLegacyBatch(BinaryReader& reader,
+                                               uint16_t version) {
+  auto count = reader.GetU32();
+  if (!count.ok()) return count.status();
+  // A count claiming more events than the payload could possibly hold is
+  // hostile (reserving it unvalidated would be an allocation bomb). The
+  // divisor is the exact per-version minimum record size, so the guard is
+  // tight: a dense batch of minimal (all-strings-empty) events sits right
+  // at the boundary and still decodes, anything denser is rejected before
+  // the reserve. The per-field reads below are themselves bounds-checked,
+  // so a string length pointing past the buffer fails with a Status
+  // rather than reading out of range.
+  if (*count > reader.Remaining() / MinEncodedEventSize(version)) {
+    return InvalidArgumentError("event count exceeds payload capacity");
+  }
+  std::vector<FsEvent> events;
+  events.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto event = DecodeOneLegacy(reader, version);
+    if (!event.ok()) return event.status();
+    events.push_back(std::move(event.value()));
+  }
+  if (!reader.AtEnd()) return InvalidArgumentError("trailing bytes in event batch");
+  return events;
+}
+
 }  // namespace
 
+size_t MinEncodedEventSize(uint16_t version) noexcept {
+  switch (version) {
+    case 1:
+      return kLegacyFixedV1;
+    case 2:
+      return kLegacyFixedV2;
+    case 3:
+      return kLegacyFixedV3;
+    default:
+      // v4: one fixed record plus its three offset-table entries.
+      return wire::kEventStride + 3 * 4;
+  }
+}
+
 std::string EncodeEventBatch(const std::vector<FsEvent>& events) {
+  return wire::EncodeEventBatchV4(events.data(), events.size());
+}
+
+std::string EncodeEventBatchLegacy(const std::vector<FsEvent>& events,
+                                   uint16_t version) {
+  if (version < kOldestDecodableWireVersion) version = kOldestDecodableWireVersion;
+  if (version > kNewestLegacyVersion) {
+    return EncodeEventBatch(events);
+  }
   BinaryWriter writer;
-  writer.PutU16(kCodecVersion);
+  writer.PutU16(version);
   writer.PutU32(static_cast<uint32_t>(events.size()));
-  for (const FsEvent& event : events) EncodeOne(writer, event);
+  for (const FsEvent& event : events) EncodeOneLegacy(writer, event, version);
   return writer.Take();
 }
 
@@ -163,29 +226,15 @@ Result<std::vector<FsEvent>> DecodeEventBatch(std::string_view payload) {
   BinaryReader reader(payload);
   auto version = reader.GetU16();
   if (!version.ok()) return version.status();
-  if (*version < kOldestDecodableVersion || *version > kCodecVersion) {
+  if (*version < kOldestDecodableWireVersion || *version > kWireCodecVersion) {
     return InvalidArgumentError(strings::Format("unknown codec version {}", *version));
   }
-  auto count = reader.GetU32();
-  if (!count.ok()) return count.status();
-  // A record is >= ~77 bytes encoded; a count claiming more events than
-  // the payload could possibly hold is hostile (reserving it unvalidated
-  // would be an allocation bomb). The per-field reads below are themselves
-  // bounds-checked, so a string length field pointing past the buffer
-  // fails with a Status rather than reading out of range.
-  constexpr size_t kMinEncodedEvent = 64;
-  if (*count > reader.Remaining() / kMinEncodedEvent + 1) {
-    return InvalidArgumentError("event count exceeds payload capacity");
+  if (*version == wire::kWireV4) {
+    auto view = wire::EventBatchView::Bind(payload);
+    if (!view.ok()) return view.status();
+    return view->Materialize();
   }
-  std::vector<FsEvent> events;
-  events.reserve(*count);
-  for (uint32_t i = 0; i < *count; ++i) {
-    auto event = DecodeOne(reader, *version);
-    if (!event.ok()) return event.status();
-    events.push_back(std::move(event.value()));
-  }
-  if (!reader.AtEnd()) return InvalidArgumentError("trailing bytes in event batch");
-  return events;
+  return DecodeLegacyBatch(reader, *version);
 }
 
 std::string EventTopic(const FsEvent& event) {
@@ -197,16 +246,33 @@ std::string EventTopic(const FsEvent& event) {
 EventBatch::EventBatch(std::vector<FsEvent> events) {
   auto rep = std::make_shared<Rep>();
   rep->events = std::move(events);
+  rep->count = rep->events.size();
+  if (rep->count > 0) rep->first_type = rep->events.front().type;
+  rep->has_events.store(true, std::memory_order_release);
   rep_ = std::move(rep);
 }
 
 Result<EventBatch> EventBatch::FromPayload(std::shared_ptr<const std::string> payload) {
   if (payload == nullptr) return InvalidArgumentError("null event batch payload");
-  auto events = DecodeEventBatch(*payload);
-  if (!events.ok()) return events.status();
-  if (events->empty()) return InvalidArgumentError("zero-event batch on the wire");
   auto rep = std::make_shared<Rep>();
-  rep->events = std::move(events.value());
+  if (wire::LooksLikeV4(*payload)) {
+    // Flat layout: validate in place, materialize nothing. The events are
+    // decoded lazily on the first events() call — never, for a batch that
+    // only transits queues and the publish socket.
+    auto view = wire::EventBatchView::Bind(*payload);
+    if (!view.ok()) return view.status();
+    if (view->empty()) return InvalidArgumentError("zero-event batch on the wire");
+    rep->count = view->size();
+    rep->first_type = view->type(0);
+  } else {
+    auto events = DecodeEventBatch(*payload);
+    if (!events.ok()) return events.status();
+    if (events->empty()) return InvalidArgumentError("zero-event batch on the wire");
+    rep->events = std::move(events.value());
+    rep->count = rep->events.size();
+    rep->first_type = rep->events.front().type;
+    rep->has_events.store(true, std::memory_order_release);
+  }
   rep->payload = std::move(payload);
   return EventBatch(std::move(rep));
 }
@@ -217,7 +283,22 @@ Result<EventBatch> EventBatch::FromPayload(std::string payload) {
 
 const std::vector<FsEvent>& EventBatch::events() const noexcept {
   static const std::vector<FsEvent> kEmpty;
-  return rep_ == nullptr ? kEmpty : rep_->events;
+  if (rep_ == nullptr) return kEmpty;
+  if (!rep_->has_events.load(std::memory_order_acquire)) {
+    // Materialize the validated v4 payload, at most once, even when
+    // pipeline threads race here. Bind cannot fail: FromPayload validated
+    // these exact bytes and they are immutable from then on.
+    std::call_once(rep_->decode_once, [this] {
+      auto view = wire::EventBatchView::Bind(*rep_->payload);
+      if (view.ok()) rep_->events = view->Materialize();
+      rep_->has_events.store(true, std::memory_order_release);
+    });
+  }
+  return rep_->events;
+}
+
+size_t EventBatch::size() const noexcept {
+  return rep_ == nullptr ? 0 : rep_->count;
 }
 
 std::shared_ptr<const std::string> EventBatch::payload() const {
@@ -235,10 +316,20 @@ std::shared_ptr<const std::string> EventBatch::payload() const {
 }
 
 std::string EventBatch::Topic() const {
-  return empty() ? std::string() : EventTopic(events().front());
+  if (empty()) return std::string();
+  return "fsevent." + std::string(lustre::ChangeLogTypeName(rep_->first_type));
 }
 
 std::vector<EventBatch> EventBatch::SplitByType() const {
+  if (empty()) return {};
+  if (rep_->payload != nullptr &&
+      !rep_->has_events.load(std::memory_order_acquire)) {
+    // v4 lazy batch: answer homogeneity from the flat type column without
+    // materializing anything — the common (single-type) case stays fully
+    // zero-copy through the publish path.
+    auto view = wire::EventBatchView::Bind(*rep_->payload);
+    if (view.ok() && view->Homogeneous()) return {*this};
+  }
   const std::vector<FsEvent>& all = events();
   bool homogeneous = true;
   for (size_t i = 1; i < all.size(); ++i) {
@@ -247,7 +338,7 @@ std::vector<EventBatch> EventBatch::SplitByType() const {
       break;
     }
   }
-  if (homogeneous) return all.empty() ? std::vector<EventBatch>{} : std::vector<EventBatch>{*this};
+  if (homogeneous) return {*this};
   // Split into maximal runs of equal type. Grouping ALL same-type events
   // together would reorder interleaved types, breaking the pipeline's
   // per-MDS ordering guarantee for full-stream subscribers; runs keep the
@@ -270,7 +361,9 @@ std::vector<EventBatch> EventBatch::SplitByType() const {
 size_t EventBatch::ApproxBytes() const noexcept {
   if (rep_ == nullptr) return sizeof(EventBatch);
   size_t bytes = sizeof(EventBatch) + sizeof(Rep);
-  for (const FsEvent& event : rep_->events) bytes += event.ApproxBytes();
+  if (rep_->has_events.load(std::memory_order_acquire)) {
+    for (const FsEvent& event : rep_->events) bytes += event.ApproxBytes();
+  }
   if (rep_->payload != nullptr) bytes += rep_->payload->capacity();
   return bytes;
 }

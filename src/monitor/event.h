@@ -13,6 +13,7 @@
 // publish/store queues, consumer delivery — shares the same bytes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -71,8 +72,29 @@ struct FsEvent {
 };
 
 // Binary wire codec. A message payload holds one batch (>= 1 event).
+//
+// v1-v3 are field-wise streams (v2 appended the trace context, v3 the HLC
+// stamp); v4 is the flat in-place-readable layout (monitor/wire_v4.h).
+// Encoders emit the current version; the decoder accepts all of them, so
+// mixed-version fleets interoperate during a rolling upgrade.
+constexpr uint16_t kWireCodecVersion = 4;
+constexpr uint16_t kOldestDecodableWireVersion = 1;
+
 std::string EncodeEventBatch(const std::vector<FsEvent>& events);
 Result<std::vector<FsEvent>> DecodeEventBatch(std::string_view payload);
+
+// Encodes with an older wire version (1-3): what a not-yet-upgraded
+// collector puts on the wire. Mixed-version tests and the codec benches
+// use this; new code always encodes the current version.
+std::string EncodeEventBatchLegacy(const std::vector<FsEvent>& events,
+                                   uint16_t version);
+
+// Exact minimum encoded size of one event under `version` (all strings
+// empty) — the divisor of the decoder's count-sanity guard, derived from
+// the actual fixed-field sizes so a legitimately dense batch is never
+// rejected and a hostile count never reserves beyond what the payload
+// could hold.
+size_t MinEncodedEventSize(uint16_t version) noexcept;
 
 // Topic used on the aggregator's public stream for one event, e.g.
 // "fsevent.CREAT". Consumers can prefix-filter on "fsevent." or a type.
@@ -92,15 +114,22 @@ class EventBatch {
   // encoding is computed lazily on the first payload() call and cached.
   explicit EventBatch(std::vector<FsEvent> events);
 
-  // Decode-side construction: validates and decodes the wire bytes once,
-  // sharing (not copying) them as the batch's encoding. Rejects malformed
-  // payloads and zero-event batches (a wire message carries >= 1 event).
+  // Decode-side construction: validates the wire bytes and shares (not
+  // copies) them as the batch's encoding. Rejects malformed payloads and
+  // zero-event batches (a wire message carries >= 1 event). For a v4
+  // payload validation is an in-place scan and NO events are materialized:
+  // size()/Topic() are answered from the flat layout, and the owning
+  // FsEvents exist only once a consumer first calls events() (the
+  // store/catalog boundary, the history API). Legacy v1-v3 payloads are
+  // decoded eagerly as before.
   static Result<EventBatch> FromPayload(std::shared_ptr<const std::string> payload);
   static Result<EventBatch> FromPayload(std::string payload);
 
+  // Owning events; for a lazily-validated v4 batch the first call
+  // materializes them (thread-safe, at most once per batch).
   [[nodiscard]] const std::vector<FsEvent>& events() const noexcept;
-  [[nodiscard]] size_t size() const noexcept { return events().size(); }
-  [[nodiscard]] bool empty() const noexcept { return events().empty(); }
+  [[nodiscard]] size_t size() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
   // The encoded wire bytes; encoded on first call, shared thereafter.
   // Thread-safe (batches are shared across pipeline threads).
@@ -121,9 +150,19 @@ class EventBatch {
 
  private:
   struct Rep {
-    std::vector<FsEvent> events;
-    mutable std::shared_ptr<const std::string> payload;  // set once
+    // Exactly one of {events, payload} is the authoritative side at
+    // construction; the other is derived lazily, at most once, via its
+    // once_flag. `count` and `first_type` are snapshotted up front so
+    // size()/Topic() never force a materialization.
+    mutable std::vector<FsEvent> events;
+    mutable std::shared_ptr<const std::string> payload;
     mutable std::once_flag encode_once;
+    mutable std::once_flag decode_once;
+    // True once `events` is populated (acquire pairs with the call_once
+    // publisher, so readers skip the once_flag on the fast path).
+    mutable std::atomic<bool> has_events{false};
+    size_t count = 0;
+    lustre::ChangeLogType first_type = lustre::ChangeLogType::kMark;
   };
 
   explicit EventBatch(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}

@@ -4,6 +4,8 @@
 
 #include <random>
 
+#include "monitor/wire_v4.h"
+
 namespace sdci::monitor {
 namespace {
 
@@ -71,9 +73,76 @@ TEST(EventCodec, RejectsBadVersionAndType) {
   EXPECT_FALSE(DecodeEventBatch(payload).ok());
 
   payload = EncodeEventBatch({SampleEvent()});
-  // type byte location: version(2) + count(4) + mdt(4) + index(8) + seq(8)
-  payload[2 + 4 + 4 + 8 + 8] = 99;
+  // v4 type field: u32 at header(32) + record offset 96 = byte 128.
+  payload[wire::kHeaderSize + 96] = 99;
   EXPECT_FALSE(DecodeEventBatch(payload).ok());
+}
+
+TEST(EventCodec, LegacyVersionsStillDecode) {
+  // A mixed-version fleet: not-yet-upgraded collectors put v1-v3 on the
+  // wire and the aggregator must decode every one of them. v2 added the
+  // trace context, v3 the HLC stamp; fields a version predates decode as
+  // their zero values.
+  std::vector<FsEvent> batch{SampleEvent(1), SampleEvent(2)};
+  batch[1].type = lustre::ChangeLogType::kRename;
+  batch[1].source_path = "/proj/old/scan.h5";
+  batch[0].trace_id = 0xabcdef01;
+  batch[0].parent_span = 0x55;
+  batch[0].hlc = HlcStamp{123456789, 7, 3};
+  for (const uint16_t version : {uint16_t{1}, uint16_t{2}, uint16_t{3}}) {
+    const std::string payload = EncodeEventBatchLegacy(batch, version);
+    auto decoded = DecodeEventBatch(payload);
+    ASSERT_TRUE(decoded.ok()) << "v" << version << ": "
+                              << decoded.status().ToString();
+    ASSERT_EQ(decoded->size(), 2u) << "v" << version;
+    for (size_t i = 0; i < 2; ++i) ExpectEventsEqual((*decoded)[i], batch[i]);
+    EXPECT_EQ((*decoded)[0].trace_id, version >= 2 ? batch[0].trace_id : 0u);
+    EXPECT_EQ((*decoded)[0].parent_span,
+              version >= 2 ? batch[0].parent_span : 0u);
+    EXPECT_EQ((*decoded)[0].hlc, version >= 3 ? batch[0].hlc : HlcStamp{});
+  }
+}
+
+TEST(EventCodec, CountGuardAcceptsDenseMinimalBatches) {
+  // Regression for the count-sanity guard: a batch of all-empty-string
+  // events is the densest legal encoding. The old guard divided by a loose
+  // flat constant; the guard must accept exactly this batch at every
+  // version (the divisor is now derived from the real fixed-field sizes).
+  std::vector<FsEvent> batch(5);
+  for (size_t i = 0; i < batch.size(); ++i) batch[i].global_seq = i + 1;
+  for (const uint16_t version : {uint16_t{1}, uint16_t{2}, uint16_t{3}}) {
+    const std::string payload = EncodeEventBatchLegacy(batch, version);
+    // The payload is exactly header + count * min: one byte fewer and the
+    // same count must be rejected, which pins the divisor to the true
+    // per-version minimum (no slack in either direction).
+    EXPECT_EQ(payload.size(), 2 + 4 + batch.size() * MinEncodedEventSize(version))
+        << "v" << version;
+    auto decoded = DecodeEventBatch(payload);
+    ASSERT_TRUE(decoded.ok()) << "v" << version << ": "
+                              << decoded.status().ToString();
+    EXPECT_EQ(decoded->size(), batch.size());
+  }
+  auto v4 = DecodeEventBatch(EncodeEventBatch(batch));
+  ASSERT_TRUE(v4.ok());
+  EXPECT_EQ(v4->size(), batch.size());
+}
+
+TEST(EventCodec, CountGuardRejectsHostileCountWithoutOverReserve) {
+  // A hostile count claiming more events than the remaining bytes could
+  // possibly hold must be rejected up front (before any reserve).
+  for (const uint16_t version : {uint16_t{1}, uint16_t{2}, uint16_t{3}}) {
+    std::string payload = EncodeEventBatchLegacy({SampleEvent()}, version);
+    // Count field: u32 at byte 2. 0xFFFFFFFF events cannot fit.
+    payload[2] = '\xff';
+    payload[3] = '\xff';
+    payload[4] = '\xff';
+    payload[5] = '\xff';
+    EXPECT_FALSE(DecodeEventBatch(payload).ok()) << "v" << version;
+    // Boundary: claim exactly one event more than the bytes support.
+    payload = EncodeEventBatchLegacy({SampleEvent()}, version);
+    payload[2] = 2;
+    EXPECT_FALSE(DecodeEventBatch(payload).ok()) << "v" << version;
+  }
 }
 
 TEST(EventJson, RoundTrip) {
@@ -136,17 +205,40 @@ TEST(EventBatch, FromPayloadRejectsZeroEventBatch) {
   EXPECT_FALSE(EventBatch::FromPayload(std::shared_ptr<const std::string>()).ok());
 }
 
-TEST(EventBatch, FromPayloadRejectsCorruptStringLength) {
-  std::string payload = EncodeEventBatch({SampleEvent()});
-  // Path-length u32 offset: header version(2)+count(4), then
-  // mdt(4)+record(8)+seq(8)+type(1)+time(8)+flags(4) = byte 39. Point it
-  // far past the end of the buffer.
-  ASSERT_GT(payload.size(), 43u);
-  payload[39] = '\xff';
-  payload[40] = '\xff';
-  payload[41] = '\xff';
-  payload[42] = '\x7f';
-  EXPECT_FALSE(EventBatch::FromPayload(std::move(payload)).ok());
+TEST(EventBatch, FromPayloadRejectsCorruptOffsetTable) {
+  // v4 strings live in a shared heap indexed by a cumulative offset table
+  // right after the records; o[0] must be 0 and the offsets monotone.
+  // For a single event the table starts at header(32) + stride(104) = 136.
+  const size_t table = wire::kHeaderSize + wire::kEventStride;
+  {
+    std::string payload = EncodeEventBatch({SampleEvent()});
+    ASSERT_GT(payload.size(), table + 4);
+    payload[table] = '\x7f';  // o[0] != 0
+    EXPECT_FALSE(EventBatch::FromPayload(std::move(payload)).ok());
+  }
+  {
+    std::string payload = EncodeEventBatch({SampleEvent()});
+    // Non-monotone: o[1] (end of the path string) points past the heap.
+    payload[table + 4] = '\xff';
+    payload[table + 5] = '\xff';
+    payload[table + 6] = '\xff';
+    payload[table + 7] = '\x7f';
+    EXPECT_FALSE(EventBatch::FromPayload(std::move(payload)).ok());
+  }
+}
+
+TEST(EventBatch, LazyV4BatchAnswersSizeAndTopicWithoutMaterializing) {
+  // A received v4 batch is validated in place; size() and Topic() come
+  // straight from the flat layout. events() then materializes owning
+  // FsEvents exactly once (the store/catalog boundary).
+  const EventBatch source({SampleEvent(1), SampleEvent(2)});
+  auto received = EventBatch::FromPayload(source.payload());
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received->size(), 2u);
+  EXPECT_EQ(received->Topic(), "fsevent.CREAT");
+  ASSERT_EQ(received->events().size(), 2u);
+  ExpectEventsEqual(received->events()[0], source.events()[0]);
+  ExpectEventsEqual(received->events()[1], source.events()[1]);
 }
 
 TEST(EventBatch, TopicIsFirstEventType) {

@@ -70,6 +70,124 @@ TEST_P(FuzzTest, EventDecoderRejectsMutatedValidPayloads) {
   EXPECT_GT(rejected, 0);
 }
 
+monitor::FsEvent RandomEvent(Rng& rng) {
+  monitor::FsEvent event;
+  event.mdt_index = static_cast<int>(rng.NextBelow(8));
+  event.record_index = rng.NextU64();
+  event.global_seq = rng.NextU64();
+  event.type = static_cast<lustre::ChangeLogType>(
+      rng.NextBelow(static_cast<uint64_t>(lustre::ChangeLogType::kAtime) + 1));
+  event.time = VirtualTime(static_cast<int64_t>(rng.NextU64() >> 2));
+  event.flags = static_cast<uint32_t>(rng.NextU64());
+  const auto random_path = [&](size_t max_len) {
+    static constexpr char kPathish[] = "abcdef/._-";
+    std::string out;
+    for (size_t n = rng.NextBelow(max_len + 1); n > 0; --n) {
+      out += kPathish[rng.NextBelow(sizeof(kPathish) - 1)];
+    }
+    return out;
+  };
+  event.path = random_path(60);
+  event.name = random_path(20);
+  event.source_path = random_path(60);
+  event.target_fid = lustre::Fid{rng.NextU64(), static_cast<uint32_t>(rng.NextU64()),
+                                 static_cast<uint32_t>(rng.NextU64())};
+  event.parent_fid = lustre::Fid{rng.NextU64(), static_cast<uint32_t>(rng.NextU64()),
+                                 static_cast<uint32_t>(rng.NextU64())};
+  event.trace_id = rng.NextBelow(2) == 0 ? 0 : rng.NextU64();
+  event.parent_span = event.trace_id == 0 ? 0 : rng.NextU64();
+  event.hlc = HlcStamp{static_cast<int64_t>(rng.NextU64() >> 2),
+                       static_cast<uint32_t>(rng.NextU64()),
+                       static_cast<uint32_t>(rng.NextBelow(16))};
+  return event;
+}
+
+TEST_P(FuzzTest, MixedVersionFleetRoundTripsOrRejectsCleanly) {
+  // The rolling-upgrade property: a decoder facing all four wire versions
+  // at once (one not-yet-upgraded collector per version) round-trips every
+  // well-formed payload exactly, regardless of version interleaving.
+  Rng rng(GetParam() ^ 0x4F1E);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<monitor::FsEvent> events;
+    const size_t count = 1 + rng.NextBelow(16);
+    for (size_t i = 0; i < count; ++i) events.push_back(RandomEvent(rng));
+    const uint16_t version = static_cast<uint16_t>(1 + rng.NextBelow(4));
+    const std::string payload =
+        version >= monitor::kWireCodecVersion
+            ? monitor::EncodeEventBatch(events)
+            : monitor::EncodeEventBatchLegacy(events, version);
+    auto decoded = monitor::DecodeEventBatch(payload);
+    ASSERT_TRUE(decoded.ok()) << "v" << version << ": "
+                              << decoded.status().ToString();
+    ASSERT_EQ(decoded->size(), events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ((*decoded)[i].record_index, events[i].record_index);
+      EXPECT_EQ((*decoded)[i].type, events[i].type);
+      EXPECT_EQ((*decoded)[i].path, events[i].path);
+      EXPECT_EQ((*decoded)[i].source_path, events[i].source_path);
+      if (version >= 2) {
+        EXPECT_EQ((*decoded)[i].trace_id, events[i].trace_id);
+      }
+      if (version >= 3) {
+        EXPECT_EQ((*decoded)[i].hlc, events[i].hlc);
+      }
+    }
+  }
+}
+
+TEST_P(FuzzTest, AllVersionsRejectTruncationEverywhere) {
+  // Every strict prefix of a valid payload must be rejected — at every
+  // version, at every cut point (the v4 validator must catch cuts inside
+  // the header, the record block, the offset table and the string heap).
+  Rng rng(GetParam() ^ 0xCC7);
+  std::vector<monitor::FsEvent> events;
+  for (size_t i = 0; i < 3; ++i) events.push_back(RandomEvent(rng));
+  events[0].path = "/some/realistic/path.dat";  // non-empty heap
+  for (const uint16_t version : {uint16_t{1}, uint16_t{2}, uint16_t{3},
+                                 monitor::kWireCodecVersion}) {
+    const std::string payload =
+        version >= monitor::kWireCodecVersion
+            ? monitor::EncodeEventBatch(events)
+            : monitor::EncodeEventBatchLegacy(events, version);
+    for (int i = 0; i < 300; ++i) {
+      const size_t cut = rng.NextBelow(payload.size());
+      EXPECT_FALSE(
+          monitor::DecodeEventBatch(std::string_view(payload).substr(0, cut)).ok())
+          << "v" << version << " cut=" << cut;
+    }
+  }
+}
+
+TEST_P(FuzzTest, V4MutatedPayloadsNeverCrashAndStayStructurallySound) {
+  // Bit flips across a valid v4 payload: decode must either reject or
+  // return a batch whose views stay inside the buffer (the in-place
+  // reader must never chase a corrupted offset out of bounds — this is
+  // the sweep ASan/UBSan runs in check.sh).
+  Rng rng(GetParam() ^ 0x4bad);
+  std::vector<monitor::FsEvent> events;
+  for (size_t i = 0; i < 4; ++i) events.push_back(RandomEvent(rng));
+  const std::string valid = monitor::EncodeEventBatch(events);
+  int rejected = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = valid;
+    const size_t flips = 1 + rng.NextBelow(4);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.NextBelow(mutated.size())] ^=
+          static_cast<char>(1 << rng.NextBelow(8));
+    }
+    auto decoded = monitor::DecodeEventBatch(mutated);
+    if (!decoded.ok()) {
+      ++rejected;
+      continue;
+    }
+    for (const monitor::FsEvent& event : *decoded) {
+      EXPECT_LE(event.path.size(), mutated.size());
+      EXPECT_LE(event.source_path.size(), mutated.size());
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
 TEST_P(FuzzTest, JsonParserNeverCrashesOnRandomInput) {
   Rng rng(GetParam() ^ 0xBEEF);
   static constexpr char kJsonish[] = "{}[]\",:0123456789.eE+-truefalsnu \t\n\\x";

@@ -65,6 +65,34 @@ TEST(ThreadPool, SubmitAfterShutdownFails) {
   pool.Shutdown();  // idempotent
 }
 
+TEST(ThreadPool, SpscFeedModeDrainsEveryTask) {
+  // The lock-free feed the collector reader and aggregator receiver use:
+  // one submitter thread, per-worker rings, worker indices stable, and
+  // shutdown drains every accepted task. TSan runs this against the ring's
+  // release/acquire publication (see check.sh).
+  constexpr size_t kWorkers = 3;
+  ThreadPool pool(kWorkers, 0, ThreadPool::FeedMode::kSpscRings);
+  EXPECT_EQ(pool.feed_mode(), ThreadPool::FeedMode::kSpscRings);
+  std::atomic<int> ran{0};
+  std::vector<std::atomic<int>> per_worker(kWorkers);
+  constexpr int kTasks = 3000;
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_TRUE(pool.Submit([&](size_t worker) {
+      ASSERT_LT(worker, kWorkers);
+      per_worker[worker].fetch_add(1);
+      ran.fetch_add(1);
+    }).ok());
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_EQ(pool.Completed(), static_cast<uint64_t>(kTasks));
+  // Round-robin: the feed spreads exactly evenly across workers.
+  for (size_t i = 0; i < kWorkers; ++i) {
+    EXPECT_EQ(per_worker[i].load(), kTasks / static_cast<int>(kWorkers));
+  }
+  EXPECT_EQ(pool.Submit([](size_t) {}).code(), StatusCode::kClosed);
+}
+
 TEST(ThreadPool, ZeroWorkersClampsToOne) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.workers(), 1u);
