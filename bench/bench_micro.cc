@@ -20,6 +20,7 @@
 #include "lustre/filesystem.h"
 #include "monitor/event.h"
 #include "msgq/context.h"
+#include "ripple/rule_index.h"
 
 namespace sdci {
 namespace {
@@ -81,6 +82,34 @@ void BM_GlobMatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GlobMatch);
+
+// The price of ONE glob match (above) vs ONE indexed probe against 100k
+// installed rules (below): the whole point of the compiled RuleIndex is
+// that the probe stays within a small constant factor of a single match
+// instead of paying 100k of them.
+void BM_RuleIndexProbe100k(benchmark::State& state) {
+  Rng rng(42);
+  ripple::RuleIndex::Builder builder;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    ripple::Rule rule;
+    rule.id = "r" + std::to_string(10000000 + i);
+    const std::string dir = "/tenants/t" + std::to_string(100000 + i / 4);
+    const char* ext = (i % 2) != 0 ? "h5" : "tif";
+    rule.trigger.path_glob =
+        Glob(dir + "/data/**/*." + ext);
+    rule.action.agent = "exec";
+    builder.Add(std::move(rule));
+  }
+  const auto index = builder.Build();
+  ripple::RuleIndex::Scratch scratch;
+  const std::string path = "/tenants/t112345/data/run12/scan_00042.h5";
+  const std::string name = "scan_00042.h5";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index->MatchesAny(ripple::kCreated, path, name, scratch));
+  }
+}
+BENCHMARK(BM_RuleIndexProbe100k);
 
 void BM_JsonParseRule(benchmark::State& state) {
   const std::string text = R"({"id":"r1","trigger":{"events":["created"],

@@ -16,8 +16,11 @@
 # codec and the v4 ingest drain >= 1.5x the v3-pinned fleet), then
 # bench_failover --json to BENCH_failover.json and gate the
 # degraded-mode federated query availability at >= 0.99, then
-# bench_observability --json to BENCH_observability.json and gate the
-# flow-ledger + watermark overhead at < 2% with a balanced ledger.
+# bench_rules --json to BENCH_rules.json and gate the compiled rule
+# index (>= 10x over the linear sweep at 100k rules; 1M rules within 3x
+# the per-event latency of 1k rules), then bench_observability --json to
+# BENCH_observability.json and gate the flow-ledger + watermark overhead
+# at < 2% with a balanced ledger.
 #
 # Every mode ends with two health steps:
 #   - the ctest output must contain no "[health] decode_errors=" marker
@@ -100,7 +103,9 @@ else
                    LagDerivationAndFrozenInstance \
                    AuditAlgebra \
                    SpscRing.StressPreservesFifo \
-                   ThreadPool.SpscFeedModeDrainsEveryTask; do
+                   ThreadPool.SpscFeedModeDrainsEveryTask \
+                   ConcurrentSnapshotSwapsKeepVerdictsOracleExact \
+                   FairDrainInterleavesTenantsUnderConcurrency; do
     if ! grep -q "$test_name" "$TSAN_LOG"; then
       echo "FAIL: $test_name did not run in the TSan pass" >&2
       exit 1
@@ -213,6 +218,48 @@ if [[ "$BENCH_JSON_OUT" == 1 ]]; then
     }
     END { if (!found) { print "FAIL: degraded_query_availability not found" > "/dev/stderr"; exit 1 } }
   ' BENCH_failover.json
+
+  # Compiled rule index baseline: the full 1k -> 1M sweep. Two claims are
+  # load-bearing: at 100k rules the index must beat the linear glob sweep
+  # by at least 10x (in practice it is orders of magnitude), and 1M rules
+  # must cost at most 3x the per-event latency of 1k rules — i.e. dispatch
+  # is O(matching-rules), not O(rules).
+  RULES_BIN="$FIRST_DIR/bench/bench_rules"
+  [[ -x "build/bench/bench_rules" ]] && RULES_BIN="build/bench/bench_rules"
+  "$RULES_BIN" --json BENCH_rules.json
+  for key in rules_1k_ns_per_event rules_10k_ns_per_event \
+             rules_100k_ns_per_event rules_1m_ns_per_event \
+             index_build_1m_ms linear_100k_ns_per_event \
+             rule_index_speedup_100k rule_index_flatness_1m_vs_1k; do
+    if ! grep -q "\"$key\"" BENCH_rules.json; then
+      echo "FAIL: BENCH_rules.json is missing $key" >&2
+      exit 1
+    fi
+  done
+  awk '
+    /"rule_index_speedup_100k"/ {
+      match($0, /"rule_index_speedup_100k":[0-9.eE+-]+/)
+      split(substr($0, RSTART, RLENGTH), kv, ":")
+      if (kv[2] + 0 < 10.0) {
+        printf "FAIL: rule_index_speedup_100k %.1f < 10.0\n", kv[2] > "/dev/stderr"
+        exit 1
+      }
+      found = 1
+    }
+    /"rule_index_flatness_1m_vs_1k"/ {
+      match($0, /"rule_index_flatness_1m_vs_1k":[0-9.eE+-]+/)
+      split(substr($0, RSTART, RLENGTH), kv, ":")
+      if (kv[2] + 0 > 3.0) {
+        printf "FAIL: rule_index_flatness_1m_vs_1k %.2f > 3.0\n", kv[2] > "/dev/stderr"
+        exit 1
+      }
+      found2 = 1
+    }
+    END {
+      if (!found) { print "FAIL: rule_index_speedup_100k not found" > "/dev/stderr"; exit 1 }
+      if (!found2) { print "FAIL: rule_index_flatness_1m_vs_1k not found" > "/dev/stderr"; exit 1 }
+    }
+  ' BENCH_rules.json
 
   # Flow-ledger overhead baseline: full-boundary conservation accounting
   # plus per-stage watermarks must stay under 2% of baseline throughput

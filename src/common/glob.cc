@@ -108,6 +108,28 @@ bool Glob::Matches(std::string_view path) const noexcept {
   return GlobMatch(pattern_, path);
 }
 
+std::string_view Glob::LiteralPrefix() const noexcept {
+  const std::string_view pattern(pattern_);
+  size_t i = 0;
+  while (i < pattern.size()) {
+    const char c = pattern[i];
+    if (c == '*' || c == '?') break;
+    if (c == '[') {
+      Token token;
+      if (ParseClass(pattern, i, token) != std::string_view::npos) break;
+      // Unterminated '[': the tokenizer treats it as a literal character.
+    }
+    ++i;
+  }
+  return pattern.substr(0, i);
+}
+
+bool Glob::MatchesSuffix(std::string_view rest) const noexcept {
+  const std::string_view tail =
+      std::string_view(pattern_).substr(LiteralPrefix().size());
+  return GlobMatch(tail, rest);
+}
+
 bool GlobMatch(std::string_view pattern, std::string_view path) noexcept {
   const std::vector<Token> tokens = Tokenize(pattern);
   const size_t n = path.size();

@@ -22,6 +22,25 @@ class Glob {
   [[nodiscard]] bool Matches(std::string_view path) const noexcept;
   [[nodiscard]] const std::string& pattern() const noexcept { return pattern_; }
 
+  // The longest literal prefix of the pattern: every character before the
+  // first metacharacter ('*', '?', or a *terminated* class '['; an
+  // unterminated '[' is a literal, matching the tokenizer). Any matching
+  // path starts with this string byte-for-byte, which is what lets an
+  // index anchor the pattern in a path trie. Empty when the pattern opens
+  // with a metacharacter. The view aliases pattern().
+  [[nodiscard]] std::string_view LiteralPrefix() const noexcept;
+
+  // Matches the pattern's non-literal tail (everything after
+  // LiteralPrefix()) against `rest`, which must be the path with the
+  // literal prefix already stripped. The defining identity:
+  //
+  //   Matches(p) == p.starts_with(LiteralPrefix())
+  //                 && MatchesSuffix(p.substr(LiteralPrefix().size()))
+  //
+  // so an index can replace the full O(pattern x path) match with a cheap
+  // prefix probe plus this residual check over the (usually short) tail.
+  [[nodiscard]] bool MatchesSuffix(std::string_view rest) const noexcept;
+
  private:
   std::string pattern_;
 };

@@ -315,6 +315,15 @@ std::shared_ptr<const std::string> EventBatch::payload() const {
   return rep_->payload;
 }
 
+std::shared_ptr<const std::string> EventBatch::FlatPayloadV4() const noexcept {
+  // Decode-side batches set rep_->payload at construction; encode-side
+  // batches leave it null until payload() runs (same published-or-null
+  // read SplitByType relies on), so this never races the lazy encode.
+  if (rep_ == nullptr || rep_->payload == nullptr) return nullptr;
+  if (!wire::LooksLikeV4(*rep_->payload)) return nullptr;
+  return rep_->payload;
+}
+
 std::string EventBatch::Topic() const {
   if (empty()) return std::string();
   return "fsevent." + std::string(lustre::ChangeLogTypeName(rep_->first_type));

@@ -135,6 +135,13 @@ class EventBatch {
   // Thread-safe (batches are shared across pipeline threads).
   [[nodiscard]] std::shared_ptr<const std::string> payload() const;
 
+  // The already-validated v4 wire bytes backing this batch, or null when
+  // the batch did not arrive as a v4 payload (encode-side construction,
+  // legacy v1-v3). Never triggers an encode or a materialization:
+  // zero-copy consumers (the agent's rule filter) Bind an EventBatchView
+  // over these bytes and read paths as string_views in place.
+  [[nodiscard]] std::shared_ptr<const std::string> FlatPayloadV4() const noexcept;
+
   // Publication topic of the first event ("fsevent.<TYPE>"); "" if empty.
   // Publishers emit type-homogeneous batches so prefix filters still work.
   [[nodiscard]] std::string Topic() const;

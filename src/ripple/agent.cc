@@ -116,24 +116,33 @@ void Agent::Stop() {
   }
   action_queue_.Close();
   if (action_thread_.joinable()) action_thread_.join();
+  // Both threads joined: nothing can still hold an acquired snapshot.
+  const std::lock_guard<std::mutex> lock(rules_mutex_);
+  rule_index_.ReclaimRetired();
 }
 
 void Agent::InstallRuleFilter(const Rule& rule) {
   const std::lock_guard<std::mutex> lock(rules_mutex_);
   rule_filters_[rule.id] = rule;
+  RebuildRuleIndex();
 }
 
 void Agent::RemoveRuleFilter(const std::string& rule_id) {
   const std::lock_guard<std::mutex> lock(rules_mutex_);
-  rule_filters_.erase(rule_id);
+  if (rule_filters_.erase(rule_id) > 0) RebuildRuleIndex();
+}
+
+void Agent::RebuildRuleIndex() {
+  RuleIndex::Builder builder;
+  for (const auto& [id, rule] : rule_filters_) builder.Add(rule);
+  // In-flight evaluations keep the snapshot they acquired; new events
+  // see the fresh index. No event ever waits on the control plane.
+  // (Retired snapshots are reclaimed once the event loop has joined.)
+  rule_index_.Publish(builder.Build());
 }
 
 bool Agent::MatchesAnyRule(const monitor::FsEvent& event) const {
-  const std::lock_guard<std::mutex> lock(rules_mutex_);
-  for (const auto& [id, rule] : rule_filters_) {
-    if (rule.enabled && rule.trigger.Matches(event)) return true;
-  }
-  return false;
+  return rule_index_.Acquire()->MatchesAny(event);
 }
 
 void Agent::EventLoop(const std::stop_token& stop) {
@@ -199,8 +208,61 @@ void Agent::DeliverEvent(const monitor::FsEvent& event) {
 }
 
 void Agent::DeliverBatch(const monitor::EventBatch& batch) {
+  // v4 batches are filtered in place: paths probe the index as
+  // string_views into the wire bytes, and only matching (or traced)
+  // events ever materialize an FsEvent. Legacy batches fall back to the
+  // per-event path over the decoded events.
+  if (const auto payload = batch.FlatPayloadV4()) {
+    auto view = monitor::wire::EventBatchView::Bind(*payload);
+    if (view.ok()) {
+      DeliverBatchView(*view);
+      return;
+    }
+  }
   for (const monitor::FsEvent& event : batch.events()) {
     DeliverEvent(event);
+  }
+}
+
+void Agent::DeliverBatchView(const monitor::wire::EventBatchView& view) {
+  // One snapshot acquire and one descent cache for the whole batch:
+  // consecutive events from the same directory share their trie walk.
+  const RuleIndex* index = rule_index_.Acquire();
+  RuleIndex::Scratch scratch;
+  const size_t n = view.size();
+  for (size_t i = 0; i < n; ++i) {
+    events_seen_->Add();
+    if (wm_rule_eval_ != nullptr) wm_rule_eval_->Advance(view.time(i));
+    const uint32_t kind = KindOfEvent(view.type(i));
+    if (config_.tracer == nullptr || view.trace_id(i) == 0) {
+      bool matched = false;
+      if (kind != 0) {
+        const monitor::wire::EventView event = view[i];
+        matched = index->MatchesAny(kind, event.path(), event.name(), scratch);
+        if (matched) {
+          events_matched_->Add();
+          ReportWithRetry(event.Materialize());
+        }
+      }
+      if (!matched && unmatched_ != nullptr) unmatched_->Add();
+      continue;
+    }
+    // Traced (sampled) events are rare: materialize and mirror the
+    // DeliverEvent span semantics exactly.
+    const VirtualTime start = authority_->Now();
+    const uint64_t span = config_.tracer->NewSpanId();
+    monitor::FsEvent event = view[i].Materialize();
+    const uint64_t parent = event.parent_span;
+    if (index->MatchesAny(kind, event.path, event.name, scratch)) {
+      events_matched_->Add();
+      event.parent_span = span;
+      ReportWithRetry(event);
+    } else if (unmatched_ != nullptr) {
+      unmatched_->Add();
+    }
+    config_.tracer->RecordSpan({event.trace_id, span, parent,
+                                std::string(trace::kAgentRuleEval), config_.name,
+                                start, authority_->Now() - start});
   }
 }
 

@@ -34,6 +34,7 @@
 #include "ripple/actions.h"
 #include "ripple/cloud.h"
 #include "ripple/rule.h"
+#include "ripple/rule_index.h"
 
 namespace sdci::ripple {
 
@@ -149,9 +150,15 @@ class Agent {
   void EventLoop(const std::stop_token& stop);
   void WatcherLoop(const std::stop_token& stop);
   void ActionLoop();
+  // Zero-copy filter path: probes string_view paths straight out of the
+  // wire payload; only matching (or traced) events materialize an FsEvent.
+  void DeliverBatchView(const monitor::wire::EventBatchView& view);
   void ReportWithRetry(const monitor::FsEvent& event);
   void ExecuteAction(ActionRequest request);
   [[nodiscard]] bool MatchesAnyRule(const monitor::FsEvent& event) const;
+  // Recompiles rule_filters_ into a fresh snapshot. Caller holds
+  // rules_mutex_.
+  void RebuildRuleIndex();
   static std::string ActionKey(const ActionRequest& request);
 
   AgentConfig config_;
@@ -166,8 +173,15 @@ class Agent {
   std::unique_ptr<monitor::InotifyMonitor> watcher_;
   VirtualDuration watcher_poll_interval_{};
 
+  // Control plane only: guards rule_filters_ and index rebuilds. The hot
+  // path never takes it — event evaluation loads the compiled snapshot
+  // below, so Install/Remove never stall in-flight filtering.
   mutable std::mutex rules_mutex_;
   std::map<std::string, Rule> rule_filters_;
+  // Copy-on-write compiled dispatch over rule_filters_ (ripple/rule_index.h):
+  // rebuilt and atomically swapped on every control-plane change; the
+  // event loop Acquire()s wait-free.
+  RuleSnapshotSlot rule_index_;
 
   std::map<ActionType, std::unique_ptr<ActionExecutor>> executors_;
   BoundedQueue<ActionRequest> action_queue_;

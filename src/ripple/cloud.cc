@@ -1,5 +1,7 @@
 #include "ripple/cloud.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "common/strings.h"
 #include "ripple/agent.h"
@@ -18,6 +20,7 @@ CloudService::CloudService(const TimeAuthority& authority, CloudConfig config)
   events_processed_ = metrics_->GetCounter("sdci_cloud_events_processed_total");
   actions_dispatched_ = metrics_->GetCounter("sdci_cloud_actions_dispatched_total");
   worker_crashes_ = metrics_->GetCounter("sdci_cloud_worker_crashes_total");
+  actions_throttled_ = metrics_->GetCounter("sdci_cloud_actions_throttled_total");
   const std::weak_ptr<bool> alive = alive_;
   metrics_->RegisterCallback("sdci_cloud_queue_visible_depth", {},
                              [alive, this]() -> std::optional<int64_t> {
@@ -42,6 +45,10 @@ CloudService::CloudService(const TimeAuthority& authority, CloudConfig config)
   if (config_.flow != nullptr) {
     FlowLedger& flow = *config_.flow;
     flow.Bind("cloud.queue", "cloud", FlowKind::kIn, "reports", reports_received_);
+    // Each throttled action enters the system as one synthetic DLQ entry
+    // (PushDeadLetter), so it books as an arrival against the
+    // dead_lettered held account below — conservation still balances.
+    flow.Bind("cloud.queue", "cloud", FlowKind::kIn, "throttled", actions_throttled_);
     queue_completed_ =
         flow.Account("cloud.queue", "cloud", FlowKind::kOut, "completed");
     dlq_drained_ = flow.Account("cloud.queue", "cloud", FlowKind::kOut, "drained");
@@ -79,13 +86,44 @@ void CloudService::Stop() {
   workers_.clear();
   cleanup_thread_.request_stop();
   if (cleanup_thread_.joinable()) cleanup_thread_.join();
+  // Workers are joined: nothing can still hold an acquired snapshot.
+  const std::lock_guard<std::mutex> lock(rules_mutex_);
+  rule_index_.ReclaimRetired();
+}
+
+void CloudService::RebuildRuleIndex() {
+  RuleIndex::Builder builder;
+  for (const auto& [id, rule] : rules_) builder.Add(rule);
+  // Workers keep evaluating against the snapshot they acquired; the next
+  // message sees the fresh index. No per-event rules_mutex_ anywhere.
+  // (Retired snapshots are reclaimed once the workers have joined.)
+  rule_index_.Publish(builder.Build());
+}
+
+void CloudService::EraseWatchAgentEntry(const std::string& watch_agent,
+                                        const Rule* rule) {
+  const auto it = rules_by_watch_agent_.find(watch_agent);
+  if (it == rules_by_watch_agent_.end()) return;
+  std::erase(it->second, rule);
+  if (it->second.empty()) rules_by_watch_agent_.erase(it);
 }
 
 Status CloudService::RegisterRule(const Rule& rule) {
   if (rule.id.empty()) return InvalidArgumentError("rule requires an id");
   {
     const std::lock_guard<std::mutex> lock(rules_mutex_);
-    rules_[rule.id] = rule;
+    const auto it = rules_.find(rule.id);
+    if (it != rules_.end()) {
+      // Replacing: the watch agent may change, so re-home the secondary
+      // map entry (std::map node storage keeps &it->second stable).
+      EraseWatchAgentEntry(it->second.watch_agent, &it->second);
+      it->second = rule;
+      rules_by_watch_agent_[rule.watch_agent].push_back(&it->second);
+    } else {
+      Rule& stored = rules_[rule.id] = rule;
+      rules_by_watch_agent_[rule.watch_agent].push_back(&stored);
+    }
+    RebuildRuleIndex();
   }
   // Distribute to the watch agent so its local filter reports matching
   // events (SDCI's control-plane push, like flow rules to an SDN switch).
@@ -102,7 +140,9 @@ Status CloudService::RemoveRule(const std::string& rule_id) {
     const auto it = rules_.find(rule_id);
     if (it == rules_.end()) return NotFoundError("no such rule: " + rule_id);
     removed = it->second;
+    EraseWatchAgentEntry(removed.watch_agent, &it->second);
     rules_.erase(it);
+    RebuildRuleIndex();
   }
   if (Agent* agent = FindAgent(removed.watch_agent)) {
     agent->RemoveRuleFilter(rule_id);
@@ -118,15 +158,32 @@ std::vector<Rule> CloudService::Rules() const {
   return out;
 }
 
+std::vector<Rule> CloudService::RulesForWatchAgent(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(rules_mutex_);
+  std::vector<Rule> out;
+  const auto it = rules_by_watch_agent_.find(name);
+  if (it == rules_by_watch_agent_.end()) return out;
+  out.reserve(it->second.size());
+  for (const Rule* rule : it->second) out.push_back(*rule);
+  return out;
+}
+
+size_t CloudService::RuleCount() const {
+  const std::lock_guard<std::mutex> lock(rules_mutex_);
+  return rules_.size();
+}
+
 void CloudService::RegisterAgent(Agent& agent) {
   {
     const std::lock_guard<std::mutex> lock(agents_mutex_);
     agents_[agent.name()] = &agent;
   }
-  // Push any rules already registered for this agent.
+  // Push any rules already registered for this agent: one secondary-map
+  // lookup, not a scan over every tenant's rules.
   const std::lock_guard<std::mutex> lock(rules_mutex_);
-  for (const auto& [id, rule] : rules_) {
-    if (rule.watch_agent == agent.name()) agent.InstallRuleFilter(rule);
+  const auto it = rules_by_watch_agent_.find(agent.name());
+  if (it != rules_by_watch_agent_.end()) {
+    for (const Rule* rule : it->second) agent.InstallRuleFilter(*rule);
   }
 }
 
@@ -150,12 +207,51 @@ Status CloudService::ReportEvent(const std::string& agent_name,
       return UnavailableError("report lost in flight (injected)");
     }
   }
+  // Fairness lane: when the event's matching rules all belong to one
+  // tenant (the common case — a tenant's rules watch its own namespace),
+  // the report rides that tenant's lane; mixed or unmatched reports ride
+  // the shared lane. One snapshot probe, no locks.
+  std::string lane;
+  {
+    const RuleIndex* index = rule_index_.Acquire();
+    std::vector<const Rule*> matches;
+    index->Match(event, matches);
+    bool mixed = false;
+    for (const Rule* rule : matches) {
+      if (rule == matches.front()) {
+        lane = rule->tenant;
+      } else if (lane != rule->tenant) {
+        mixed = true;
+      }
+    }
+    if (mixed) lane.clear();
+  }
   json::Object envelope;
   envelope["agent"] = json::Value(agent_name);
   envelope["event"] = event.ToJson();
-  queue_.Send(json::Value(std::move(envelope)).Dump());
+  queue_.Send(json::Value(std::move(envelope)).Dump(), std::move(lane));
   reports_received_->Add();
   return OkStatus();
+}
+
+bool CloudService::TakeActionToken(const std::string& tenant) {
+  if (config_.tenant_action_rate <= 0.0) return true;  // quotas disabled
+  const std::lock_guard<std::mutex> lock(quota_mutex_);
+  const VirtualTime now = authority_->Now();
+  TenantBucket& bucket = quota_[tenant];
+  if (!bucket.primed) {
+    bucket.tokens = config_.tenant_action_burst;
+    bucket.primed = true;
+  } else {
+    const double dt =
+        static_cast<double>((now - bucket.last).count()) / 1e9;  // virtual s
+    bucket.tokens = std::min(config_.tenant_action_burst,
+                             bucket.tokens + config_.tenant_action_rate * dt);
+  }
+  bucket.last = now;
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  return true;
 }
 
 bool CloudService::ProcessMessage(const QueueMessage& message) {
@@ -169,25 +265,37 @@ bool CloudService::ProcessMessage(const QueueMessage& message) {
     log::Warn("cloud", "dropping undecodable event: {}", event.status().ToString());
     return true;
   }
-  // Evaluate every enabled rule (the reporting agent's filter is advisory;
-  // the cloud is authoritative, so rules added between filtering and
-  // processing still fire).
-  std::vector<Rule> matches;
-  {
-    const std::lock_guard<std::mutex> lock(rules_mutex_);
-    for (const auto& [id, rule] : rules_) {
-      if (rule.enabled && rule.trigger.Matches(*event)) matches.push_back(rule);
+  // Evaluate against the compiled snapshot (the reporting agent's filter
+  // is advisory; the cloud is authoritative, so rules added between
+  // filtering and processing still fire). The snapshot is immutable and
+  // kept alive by the slot's retire list, so the matched Rule pointers
+  // stay valid for the rest of this message — no per-event rules_mutex_
+  // acquisition.
+  const RuleIndex* index = rule_index_.Acquire();
+  std::vector<const Rule*> matches;
+  index->Match(*event, matches);
+  for (const Rule* rule : matches) {
+    if (!TakeActionToken(rule->tenant)) {
+      // Over quota: park the matched action on the DLQ (its tenant's lane)
+      // for operator inspection / later re-injection instead of letting
+      // one tenant's rule storm monopolize the executor fleet.
+      actions_throttled_->Add();
+      json::Object parked;
+      parked["tenant"] = json::Value(rule->tenant);
+      parked["rule"] = json::Value(rule->id);
+      parked["event"] = event->ToJson();
+      queue_.PushDeadLetter(json::Value(std::move(parked)).Dump(), rule->tenant);
+      continue;
     }
-  }
-  for (const Rule& rule : matches) {
-    Agent* agent = FindAgent(rule.action.agent);
+    Agent* agent = FindAgent(rule->action.agent);
     if (agent == nullptr) {
-      log::Warn("cloud", "rule {} targets unknown agent {}", rule.id, rule.action.agent);
+      log::Warn("cloud", "rule {} targets unknown agent {}", rule->id,
+                rule->action.agent);
       continue;
     }
     ActionRequest request;
-    request.rule_id = rule.id;
-    request.spec = rule.action;
+    request.rule_id = rule->id;
+    request.spec = rule->action;
     request.event = *event;
     request.attempt = message.receive_count;
     if (agent->EnqueueAction(std::move(request)).ok()) {
@@ -266,6 +374,7 @@ CloudStats CloudService::Stats() const {
   stats.events_processed = events_processed_->Get();
   stats.actions_dispatched = actions_dispatched_->Get();
   stats.worker_crashes = worker_crashes_->Get();
+  stats.actions_throttled = actions_throttled_->Get();
   stats.redeliveries = queue_.Redelivered();
   stats.dead_letters = queue_.DeadLetterDepth();
   return stats;

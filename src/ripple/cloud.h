@@ -28,6 +28,7 @@
 #include "monitor/event.h"
 #include "monitor/flow_ledger.h"
 #include "ripple/rule.h"
+#include "ripple/rule_index.h"
 #include "ripple/sqs.h"
 
 namespace sdci::ripple {
@@ -42,6 +43,13 @@ struct CloudConfig {
   double report_drop_prob = 0.0;
   double worker_crash_prob = 0.0;
   uint64_t fault_seed = 42;
+  // Multi-tenant isolation: each tenant's matched actions drain a token
+  // bucket refilled at `tenant_action_rate` per virtual second up to
+  // `tenant_action_burst` capacity. Over-quota actions are parked on the
+  // DLQ (counted as actions_throttled) instead of dispatched, so a rule
+  // storm in one tenant cannot monopolize the worker pool. 0 = unmetered.
+  double tenant_action_rate = 0.0;
+  double tenant_action_burst = 64.0;
   // Observability: counters register into `metrics` (private registry when
   // null); SQS depths are exported as scrape-time callbacks.
   std::shared_ptr<MetricsRegistry> metrics;
@@ -59,6 +67,7 @@ struct CloudStats {
   uint64_t events_processed = 0;
   uint64_t actions_dispatched = 0;
   uint64_t worker_crashes = 0;    // injected
+  uint64_t actions_throttled = 0; // over tenant quota, parked on the DLQ
   uint64_t redeliveries = 0;
   uint64_t dead_letters = 0;
 };
@@ -80,6 +89,10 @@ class CloudService {
   Status RegisterRule(const Rule& rule);
   Status RemoveRule(const std::string& rule_id);
   [[nodiscard]] std::vector<Rule> Rules() const;
+  // O(this agent's rules) via the per-watch-agent secondary map — the
+  // rule-sync path never scans the full rule set.
+  [[nodiscard]] std::vector<Rule> RulesForWatchAgent(const std::string& name) const;
+  [[nodiscard]] size_t RuleCount() const;
 
   // --- Agent registry ---
 
@@ -114,13 +127,36 @@ class CloudService {
   // Handles one queue message. Returns true when fully processed (and the
   // entry should be deleted).
   bool ProcessMessage(const QueueMessage& message);
+  // Recompiles rules_ into a fresh snapshot. Caller holds rules_mutex_.
+  void RebuildRuleIndex();
+  void EraseWatchAgentEntry(const std::string& watch_agent, const Rule* rule);
+  // Takes one matched-action token from the tenant's bucket; false when
+  // the tenant is over quota (the caller routes the action to the DLQ).
+  [[nodiscard]] bool TakeActionToken(const std::string& tenant);
 
   const TimeAuthority* authority_;
   CloudConfig config_;
   ReliableQueue queue_;
 
+  // Control plane only: guards rules_ and its derived structures. The
+  // per-message evaluation path loads the compiled snapshot instead.
   mutable std::mutex rules_mutex_;
   std::map<std::string, Rule> rules_;
+  // Secondary map for the rule-sync path (RegisterAgent, RulesForWatchAgent):
+  // pointers into rules_ node storage, grouped by watch agent.
+  std::map<std::string, std::vector<const Rule*>> rules_by_watch_agent_;
+  // Copy-on-write compiled dispatch over rules_ (ripple/rule_index.h):
+  // workers Acquire() wait-free; Publish/Reclaim run under rules_mutex_.
+  RuleSnapshotSlot rule_index_;
+
+  // Per-tenant matched-action token buckets (virtual-time refill).
+  struct TenantBucket {
+    double tokens = 0.0;
+    VirtualTime last{};
+    bool primed = false;
+  };
+  mutable std::mutex quota_mutex_;
+  std::map<std::string, TenantBucket> quota_;
 
   mutable std::mutex agents_mutex_;
   std::map<std::string, Agent*> agents_;
@@ -135,6 +171,7 @@ class CloudService {
   std::shared_ptr<Counter> events_processed_;
   std::shared_ptr<Counter> actions_dispatched_;
   std::shared_ptr<Counter> worker_crashes_;
+  std::shared_ptr<Counter> actions_throttled_;
   // cloud.queue ledger out-accounts (null when config_.flow is unset).
   std::shared_ptr<Counter> queue_completed_;  // successful Delete()s
   std::shared_ptr<Counter> dlq_drained_;      // DrainDeadLetters removals

@@ -162,6 +162,7 @@ json::Value Rule::ToJson() const {
   obj["trigger"] = trigger.ToJson();
   obj["action"] = action.ToJson();
   obj["watch_agent"] = json::Value(watch_agent);
+  if (!tenant.empty()) obj["tenant"] = json::Value(tenant);
   obj["enabled"] = json::Value(enabled);
   return json::Value(std::move(obj));
 }
@@ -178,6 +179,7 @@ Result<Rule> Rule::FromJson(const json::Value& value) {
   if (!action.ok()) return action.status();
   rule.action = std::move(action.value());
   rule.watch_agent = value.GetString("watch_agent", rule.action.agent);
+  rule.tenant = value.GetString("tenant");
   rule.enabled = value.GetBool("enabled", true);
   return rule;
 }

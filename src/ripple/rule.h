@@ -86,6 +86,10 @@ struct Rule {
   // Agent whose storage is being watched for the trigger (defaults to the
   // action's agent when absent from the JSON document).
   std::string watch_agent;
+  // Owning tenant ("" = untenanted). The cloud meters matched actions per
+  // tenant (token-bucket quotas) and drains reports fairly across tenant
+  // lanes, so one tenant's rule storm cannot starve the rest.
+  std::string tenant;
   bool enabled = true;
 
   [[nodiscard]] json::Value ToJson() const;

@@ -1,0 +1,241 @@
+// RuleIndex: compiled O(matching-rules) dispatch for Ripple triggers.
+//
+// The naive rule engine evaluates every event against every registered
+// rule — a linear glob sweep that is fine for the paper's demo policies
+// and dead at a million tenants. This index compiles the rule set once
+// into a dispatch structure so a probe touches only the rules that could
+// possibly match the event's path:
+//
+//   1. Each trigger's glob is split at its first metacharacter into a
+//      literal path prefix (Glob::LiteralPrefix) and a residual tail.
+//      "/tenants/u42/data/**/*.h5" anchors at the "/tenants/u42/data"
+//      directory with residual "**/*.h5".
+//   2. Prefixes are inserted into a path-segment trie: one node per
+//      directory component, each node holding the rules anchored exactly
+//      at that directory (`here`) plus rules whose prefix ends
+//      mid-component (`partial`, matched by starts_with against the next
+//      component — "/lab/img" must still catch "/lab/imgs/x").
+//   3. Rules whose pattern opens with a metacharacter (no usable prefix)
+//      go to a small per-event-kind catch-all list; since KindOfEvent
+//      yields a single bit per event, one bucket is probed per event.
+//
+// A probe descends the trie along the event path's directory components
+// (O(depth), independent of rule count), gathers the candidate rules on
+// the way, and runs the residual predicate — event-kind mask, glob tail
+// via Glob::MatchesSuffix, name suffix — on candidates only. The batched
+// entry point walks a wire::EventBatchView in place (string_view paths,
+// no FsEvent materialization) and caches the directory descent across
+// consecutive events from the same directory, the common case for real
+// changelog streams.
+//
+// A RuleIndex is immutable once built. Owners publish it through a
+// RuleSnapshotSlot (below): the control plane rebuilds and swaps on rule
+// changes, the hot path acquires the snapshot with one atomic pointer
+// load and never takes a mutex.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "monitor/event.h"
+#include "monitor/wire_v4.h"
+#include "ripple/rule.h"
+
+namespace sdci::ripple {
+
+class RuleIndex {
+ public:
+  // Reusable probe state. Holds the cached trie descent of the last
+  // event's directory plus the candidate scratch vector, so batch
+  // evaluation allocates nothing in steady state. A Scratch may be reused
+  // across indexes — the cache self-invalidates when the index (or its
+  // build epoch) changes.
+  struct Scratch {
+    std::string dir;                       // cached directory (with trailing '/')
+    std::vector<uint32_t> dir_candidates;  // candidates independent of the leaf
+    const void* leaf_node = nullptr;       // deepest trie node (null: descent cut short)
+    const RuleIndex* owner = nullptr;
+    uint64_t epoch = 0;
+    std::vector<uint32_t> candidates;      // per-event scratch
+  };
+
+  class Builder {
+   public:
+    // Disabled rules are kept (rules() reflects the installed set) but
+    // never indexed, so they never match — same verdict as a linear scan.
+    Builder& Add(Rule rule);
+    // Compiles the added rules (sorted by id — match output order equals
+    // a linear scan over an id-ordered rule map) and resets the builder.
+    [[nodiscard]] std::shared_ptr<const RuleIndex> Build();
+
+   private:
+    std::vector<Rule> rules_;
+  };
+
+  // The shared empty index (what an Agent starts with).
+  [[nodiscard]] static std::shared_ptr<const RuleIndex> Empty();
+
+  // --- Single-event probes ---
+
+  // `kind` must be KindOfEvent(event type): a single EventKind bit, or 0
+  // (which never matches). `path`/`name` may alias wire payload bytes.
+  [[nodiscard]] bool MatchesAny(uint32_t kind, std::string_view path,
+                                std::string_view name, Scratch& scratch) const;
+  // Appends every matching enabled rule in rule-id order — bit-identical
+  // to a linear `trigger.Matches` scan over the same rules.
+  void Match(uint32_t kind, std::string_view path, std::string_view name,
+             Scratch& scratch, std::vector<const Rule*>& out) const;
+
+  // Convenience overloads for owning events (control plane, tests).
+  [[nodiscard]] bool MatchesAny(const monitor::FsEvent& event) const;
+  void Match(const monitor::FsEvent& event, std::vector<const Rule*>& out) const;
+
+  // --- Batched zero-copy evaluation ---
+
+  // Walks the bound view in place and appends the indexes of events that
+  // match at least one rule. Non-matching events never materialize an
+  // FsEvent: paths are probed as string_views into the payload, events
+  // whose type has no rule-facing kind skip string resolution entirely,
+  // and the trie descent is shared across consecutive same-directory
+  // events. Returns the number of indexes appended.
+  size_t EvaluateBatch(const monitor::wire::EventBatchView& view,
+                       Scratch& scratch, std::vector<uint32_t>& matched) const;
+
+  // All installed rules (including disabled), sorted by id. The property
+  // tests run their linear-scan oracle over exactly this set.
+  [[nodiscard]] const std::vector<Rule>& rules() const noexcept { return rules_; }
+  [[nodiscard]] size_t size() const noexcept { return rules_.size(); }
+
+  // Structure introspection for benches and docs.
+  struct Layout {
+    size_t trie_nodes = 0;       // including the root
+    size_t anchored_rules = 0;   // rules dispatched through the trie
+    size_t catch_all_rules = 0;  // rules with no usable literal prefix
+    size_t max_depth = 0;        // deepest anchor, in path components
+  };
+  [[nodiscard]] Layout layout() const noexcept;
+
+ private:
+  friend class Builder;
+
+  // Per-rule residual predicate, precompiled from the trigger.
+  struct Compiled {
+    uint32_t event_mask = 0;
+    uint32_t prefix_len = 0;
+    // What remains of the glob after the literal prefix: nothing (the
+    // path must equal the prefix exactly), a bare "**" (any descendant —
+    // the prefix probe alone decides), or a general tail that needs
+    // Glob::MatchesSuffix on the path remainder.
+    enum class Tail : uint8_t { kExact, kAnything, kGlob } tail = Tail::kGlob;
+    bool has_suffix = false;
+  };
+
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
+  struct Node {
+    std::unordered_map<std::string, uint32_t, SvHash, SvEq> children;
+    // Rules anchored exactly at this directory (prefix ends on a '/').
+    std::vector<uint32_t> here;
+    // Rules whose prefix ends mid-component: checked with starts_with
+    // against the next path component. Grouped by partial string.
+    std::vector<std::pair<std::string, std::vector<uint32_t>>> partial;
+  };
+
+  RuleIndex() = default;
+
+  // Inserts compiled rule `pos` under its literal prefix.
+  void Insert(std::string_view prefix, uint32_t pos);
+  [[nodiscard]] uint32_t ChildOrCreate(uint32_t node, std::string_view comp);
+
+  // Refreshes scratch's cached descent for `dir` ("" or '/'-terminated).
+  void DescendDir(std::string_view dir, Scratch& scratch) const;
+  // Gathers leaf-dependent candidates and runs residuals. Requires the
+  // scratch descent to be current for path's directory.
+  [[nodiscard]] bool ProbeAny(uint32_t kind, std::string_view path,
+                              std::string_view leaf, std::string_view name,
+                              Scratch& scratch) const;
+  void ProbeAll(uint32_t kind, std::string_view path, std::string_view leaf,
+                std::string_view name, Scratch& scratch,
+                std::vector<const Rule*>& out) const;
+  void EnsureDescent(std::string_view path, std::string_view& leaf,
+                     Scratch& scratch) const;
+  [[nodiscard]] bool Residual(uint32_t pos, uint32_t kind, std::string_view path,
+                              std::string_view name) const;
+
+  std::vector<Rule> rules_;        // sorted by id; positions index this
+  std::vector<Compiled> compiled_; // parallel to rules_
+  std::vector<Node> nodes_;        // nodes_[0] is the root
+  std::array<std::vector<uint32_t>, 7> catch_all_{};  // per EventKind bit
+  size_t anchored_rules_ = 0;
+  size_t max_depth_ = 0;
+  uint64_t epoch_ = 0;  // monotone build stamp (Scratch invalidation)
+};
+
+// Publishes immutable RuleIndex snapshots to wait-free readers.
+//
+// The hot path calls Acquire(): a single acquire load of a raw pointer —
+// no refcount traffic and no lock. (std::atomic<std::shared_ptr> would
+// also work semantically, but libstdc++'s implementation guards the
+// control block with an embedded spin lock whose reader unlock is
+// relaxed, which both serializes every probe and trips TSan.) A pointer
+// returned by Acquire() stays valid because replaced snapshots are
+// parked on a retire list owned by the slot: reclamation is deferred to
+// ReclaimRetired() / destruction, after the owner has stopped the
+// threads that read through the slot. Retired memory is therefore sized
+// by control-plane churn (rule installs and removals), never by event
+// rate; owners with heavy churn should reclaim whenever their workers
+// are known to be quiesced.
+//
+// Publish()/ReclaimRetired() must be externally serialized — callers
+// already hold their control-plane rules mutex. Acquire() is safe from
+// any thread at any time and never returns null.
+class RuleSnapshotSlot {
+ public:
+  RuleSnapshotSlot() : current_(RuleIndex::Empty()) {
+    live_.store(current_.get(), std::memory_order_release);
+  }
+
+  // Hot path: the current snapshot. Matched Rule pointers stay valid
+  // exactly as long as the snapshot they came from — i.e. until the
+  // owner reclaims, which it may only do once readers are quiesced.
+  [[nodiscard]] const RuleIndex* Acquire() const noexcept {
+    return live_.load(std::memory_order_acquire);
+  }
+
+  // Control plane: swap in a freshly built snapshot.
+  void Publish(std::shared_ptr<const RuleIndex> next) {
+    retired_.push_back(std::move(current_));
+    current_ = std::move(next);
+    live_.store(current_.get(), std::memory_order_release);
+  }
+
+  // Frees retired snapshots. Only safe once no reader can still be using
+  // a pointer from an earlier Acquire().
+  void ReclaimRetired() { retired_.clear(); }
+
+  [[nodiscard]] size_t retired_count() const noexcept { return retired_.size(); }
+
+ private:
+  std::shared_ptr<const RuleIndex> current_;
+  std::vector<std::shared_ptr<const RuleIndex>> retired_;
+  std::atomic<const RuleIndex*> live_{nullptr};
+};
+
+}  // namespace sdci::ripple

@@ -12,10 +12,17 @@
 // again once its timeout lapses and is redelivered (what the paper's
 // cleanup function achieves). Receive counts are tracked so consumers can
 // route poison messages to a dead-letter list after max_receives.
+//
+// Multi-tenant fairness: every message belongs to a lane (default "").
+// Delivery is FIFO within a lane and round-robin across lanes that have
+// visible messages, so one tenant's backlog (or redelivery churn) cannot
+// starve the others — with a single lane the behavior is exactly the old
+// global FIFO. Lanes are created on first Send and reclaimed when empty.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -30,6 +37,7 @@ struct QueueMessage {
   uint64_t id = 0;            // stable message id
   uint64_t receipt = 0;       // receipt handle for this delivery
   uint32_t receive_count = 0; // deliveries so far (1 = first)
+  std::string lane;           // fairness lane the message was sent on
   std::string body;
 };
 
@@ -42,18 +50,25 @@ class ReliableQueue {
  public:
   ReliableQueue(const TimeAuthority& authority, ReliableQueueConfig config = {});
 
-  // Enqueues a message; returns its id.
-  uint64_t Send(std::string body);
+  // Enqueues a message on a lane (default lane ""); returns its id.
+  uint64_t Send(std::string body, std::string lane = std::string());
 
-  // Delivers the oldest visible message, hiding it for the visibility
-  // timeout. Returns nullopt when nothing is currently visible. Messages
-  // exceeding max_receives are moved to the dead-letter list instead.
+  // Delivers the oldest visible message of the next lane in the round-
+  // robin rotation, hiding it for the visibility timeout. Returns nullopt
+  // when nothing is currently visible. Messages exceeding max_receives
+  // are moved to the dead-letter list instead.
   std::optional<QueueMessage> Receive();
 
   // Acknowledges a delivery. Fails with kNotFound when the receipt is
   // stale (the message timed out and was redelivered — the race the
   // visibility timeout exists to resolve).
   Status Delete(uint64_t receipt);
+
+  // Places a message directly on the dead-letter list without it ever
+  // entering the queue; returns its id. This is the over-quota route:
+  // a throttled tenant's work is parked for operator inspection instead
+  // of burning worker receives.
+  uint64_t PushDeadLetter(std::string body, std::string lane = std::string());
 
   // Counts currently invisible (in-flight) messages whose timeout lapsed
   // and re-queues them eagerly; Receive() would do this lazily anyway.
@@ -62,6 +77,7 @@ class ReliableQueue {
 
   [[nodiscard]] size_t VisibleDepth() const;
   [[nodiscard]] size_t InFlight() const;
+  [[nodiscard]] size_t LaneCount() const;
   [[nodiscard]] uint64_t TotalSent() const;
   [[nodiscard]] uint64_t TotalDeleted() const;
   [[nodiscard]] uint64_t Redelivered() const;
@@ -85,7 +101,10 @@ class ReliableQueue {
   const TimeAuthority* authority_;
   ReliableQueueConfig config_;
   mutable std::mutex mutex_;
-  std::deque<Entry> entries_;
+  // Per-lane FIFOs, rotated fairly by Receive. Empty lanes are erased so
+  // the map stays bounded by the set of tenants with work in flight.
+  std::map<std::string, std::deque<Entry>> lanes_;
+  std::string rr_cursor_;  // last lane that delivered
   std::vector<QueueMessage> dead_letters_;
   uint64_t next_id_ = 1;
   uint64_t next_receipt_ = 1;

@@ -303,5 +303,132 @@ TEST_F(CloudAgentTest, RulesListedFromRegistry) {
   EXPECT_FALSE(cloud.RegisterRule(Rule{}).ok()) << "empty id rejected";
 }
 
+TEST_F(CloudAgentTest, RulesForWatchAgentUsesSecondaryMap) {
+  CloudService cloud(authority_, FastCloud());
+  ASSERT_TRUE(cloud.RegisterRule(EmailRule("a1", "hpc")).ok());
+  ASSERT_TRUE(cloud.RegisterRule(EmailRule("a2", "hpc")).ok());
+  ASSERT_TRUE(cloud.RegisterRule(EmailRule("b1", "laptop")).ok());
+  EXPECT_EQ(cloud.RuleCount(), 3u);
+  EXPECT_EQ(cloud.RulesForWatchAgent("hpc").size(), 2u);
+  EXPECT_EQ(cloud.RulesForWatchAgent("laptop").size(), 1u);
+  EXPECT_TRUE(cloud.RulesForWatchAgent("ghost").empty());
+  ASSERT_TRUE(cloud.RemoveRule("a1").ok());
+  EXPECT_EQ(cloud.RulesForWatchAgent("hpc").size(), 1u);
+  EXPECT_EQ(cloud.RulesForWatchAgent("hpc")[0].id, "a2");
+}
+
+TEST_F(CloudAgentTest, ReplacingARuleRehomesItsWatchAgentEntry) {
+  CloudService cloud(authority_, FastCloud());
+  Rule rule = EmailRule("mv", "hpc");
+  ASSERT_TRUE(cloud.RegisterRule(rule).ok());
+  EXPECT_EQ(cloud.RulesForWatchAgent("hpc").size(), 1u);
+  // Re-register under the same id with a different watch agent: the old
+  // secondary-map entry must disappear, not dangle.
+  rule.watch_agent = "laptop";
+  ASSERT_TRUE(cloud.RegisterRule(rule).ok());
+  EXPECT_EQ(cloud.RuleCount(), 1u);
+  EXPECT_TRUE(cloud.RulesForWatchAgent("hpc").empty());
+  ASSERT_EQ(cloud.RulesForWatchAgent("laptop").size(), 1u);
+  EXPECT_EQ(cloud.RulesForWatchAgent("laptop")[0].id, "mv");
+}
+
+TEST_F(CloudAgentTest, TenantOverQuotaActionsParkOnDeadLetterQueue) {
+  CloudConfig config = FastCloud();
+  // Metering on, but refill is negligible over any real test duration:
+  // virtual time tracks wall time at dilation 2000, so a visible rate
+  // would quietly re-arm the bucket while the pump runs under load.
+  config.tenant_action_rate = 1e-9;
+  config.tenant_action_burst = 3.0;
+  CloudService cloud(authority_, config);
+  auto agent = MakeAgent(cloud, "hpc");
+  Rule rule = EmailRule("storm", "hpc");
+  rule.tenant = "noisy";
+  ASSERT_TRUE(cloud.RegisterRule(rule).ok());
+  for (int i = 0; i < 10; ++i) {
+    agent->DeliverEvent(CreateEvent("/s" + std::to_string(i) + ".h5",
+                                    static_cast<uint64_t>(i + 1)));
+  }
+  cloud.PumpUntilQuiet();
+  const auto stats = cloud.Stats();
+  // The burst lets 3 actions through; the rest are throttled to the DLQ.
+  EXPECT_EQ(stats.actions_dispatched, 3u);
+  EXPECT_EQ(stats.actions_throttled, 7u);
+  EXPECT_EQ(stats.dead_letters, 7u);
+  EXPECT_EQ(agent->DrainActions(), 3u);
+  const auto dead = cloud.queue().DeadLetters();
+  ASSERT_EQ(dead.size(), 7u);
+  EXPECT_EQ(dead[0].lane, "noisy");
+  EXPECT_NE(dead[0].body.find("\"tenant\""), std::string::npos);
+}
+
+TEST_F(CloudAgentTest, TenantQuotaRefillsInVirtualTime) {
+  CloudConfig config = FastCloud();
+  // The bucket refills off the continuously-advancing virtual clock, so
+  // exact counts would race wall time (dilation 2000 ≈ 2 tokens per real
+  // second at this rate). The assertions are therefore monotone: the
+  // burst bounds the first wave from below, something must throttle, and
+  // a deliberate virtual sleep long enough for >= burst worth of tokens
+  // guarantees the next action dispatches.
+  config.tenant_action_rate = 0.001;
+  config.tenant_action_burst = 2.0;
+  CloudService cloud(authority_, config);
+  auto agent = MakeAgent(cloud, "hpc");
+  Rule rule = EmailRule("drip", "hpc");
+  rule.tenant = "t";
+  ASSERT_TRUE(cloud.RegisterRule(rule).ok());
+  for (int i = 0; i < 10; ++i) {
+    agent->DeliverEvent(CreateEvent("/a" + std::to_string(i) + ".h5",
+                                    static_cast<uint64_t>(i + 1)));
+  }
+  cloud.PumpUntilQuiet();
+  const uint64_t dispatched_before = cloud.Stats().actions_dispatched;
+  const uint64_t throttled_before = cloud.Stats().actions_throttled;
+  EXPECT_GE(dispatched_before, 2u) << "burst admits at least its size";
+  EXPECT_GE(throttled_before, 1u) << "the storm must overrun the bucket";
+  EXPECT_EQ(dispatched_before + throttled_before, 10u);
+  // 2000 virtual seconds at 0.001 tokens/s = the full burst, regardless
+  // of how much incidental wall time also leaked in (capped at burst).
+  authority_.SleepFor(Seconds(2000.0));
+  agent->DeliverEvent(CreateEvent("/a-late.h5", 11));
+  cloud.PumpUntilQuiet();
+  EXPECT_EQ(cloud.Stats().actions_dispatched, dispatched_before + 1)
+      << "refilled tokens admit the late action";
+  EXPECT_EQ(cloud.Stats().actions_throttled, throttled_before);
+}
+
+TEST_F(CloudAgentTest, UntenantedRulesAreUnmeteredByDefault) {
+  CloudService cloud(authority_, FastCloud());  // tenant_action_rate = 0
+  auto agent = MakeAgent(cloud, "hpc");
+  ASSERT_TRUE(cloud.RegisterRule(EmailRule("free", "hpc")).ok());
+  for (int i = 0; i < 100; ++i) {
+    agent->DeliverEvent(CreateEvent("/u" + std::to_string(i) + ".h5",
+                                    static_cast<uint64_t>(i + 1)));
+  }
+  cloud.PumpUntilQuiet();
+  EXPECT_EQ(cloud.Stats().actions_dispatched, 100u);
+  EXPECT_EQ(cloud.Stats().actions_throttled, 0u);
+}
+
+TEST_F(CloudAgentTest, TenantRuleReportsRideTheTenantLane) {
+  CloudConfig config = FastCloud();
+  CloudService cloud(authority_, config);
+  auto agent = MakeAgent(cloud, "hpc");
+  Rule u1 = EmailRule("lane-u1", "hpc", "/t/u1/**");
+  u1.tenant = "u1";
+  Rule u2 = EmailRule("lane-u2", "hpc", "/t/u2/**");
+  u2.tenant = "u2";
+  ASSERT_TRUE(cloud.RegisterRule(u1).ok());
+  ASSERT_TRUE(cloud.RegisterRule(u2).ok());
+  // Each tenant's reports land on its own lane; distinct tenants =>
+  // distinct lanes in the queue.
+  agent->DeliverEvent(CreateEvent("/t/u1/a.h5", 1));
+  EXPECT_EQ(cloud.queue().LaneCount(), 1u);
+  agent->DeliverEvent(CreateEvent("/t/u2/b.h5", 2));
+  EXPECT_EQ(cloud.queue().LaneCount(), 2u);
+  cloud.PumpUntilQuiet();
+  EXPECT_EQ(cloud.queue().LaneCount(), 0u);
+  EXPECT_EQ(cloud.Stats().actions_dispatched, 2u);
+}
+
 }  // namespace
 }  // namespace sdci::ripple

@@ -655,5 +655,142 @@ TEST(FleetChaos, SpoolExertsBackpressureInsteadOfDroppingOldest) {
   EXPECT_EQ(spool.EventCount(), 10u);
 }
 
+// Multi-tenant blast-radius containment: a poison tenant whose rule
+// matches at high rate and whose actions ALWAYS fail must not degrade its
+// neighbors. With per-tenant action quotas on, the poison tenant's
+// overflow parks on the DLQ (its own lane), injected worker crashes force
+// redeliveries throughout, and the well-behaved tenants' actions still
+// land exactly once each.
+TEST(FleetChaos, PoisonTenantThrottlesToDlqWithoutStarvingNeighbors) {
+  TimeAuthority authority(2000.0);
+  const auto profile = lustre::TestbedProfile::Test();
+  lustre::FileSystem fs(lustre::FileSystemConfig::FromProfile(profile),
+                        authority);
+
+  ripple::CloudConfig cloud_config;
+  cloud_config.queue.visibility_timeout = Millis(30);
+  // Crashes redeliver; they must never exhaust max_receives here, or a
+  // report dead-letters through the poison path and pollutes the
+  // throttle-only DLQ accounting this test asserts on.
+  cloud_config.queue.max_receives = 12;
+  cloud_config.worker_poll = Millis(1);
+  cloud_config.cleanup_interval = Millis(10);
+  cloud_config.worker_crash_prob = 0.2;  // redeliveries all the way through
+  cloud_config.fault_seed = 17;
+  // Metering on, refill negligible: virtual time tracks wall time at
+  // dilation 2000, so any visible rate would re-arm the poison bucket
+  // while the chaos runs and erode the throttle accounting below.
+  cloud_config.tenant_action_rate = 1e-9;
+  cloud_config.tenant_action_burst = 64.0;
+  ripple::CloudService cloud(authority, cloud_config);
+  ripple::EndpointRegistry endpoints;
+  endpoints.Register("site", fs);
+  ripple::AgentConfig agent_config;
+  agent_config.name = "site";
+  agent_config.report_backoff = Millis(1);
+  agent_config.action_retry_backoff = Millis(1);
+  ripple::Agent agent(agent_config, fs, cloud, endpoints, authority);
+
+  // The poison tenant's executor fails every attempt, transiently — the
+  // worst case: the agent burns its full retry budget per action.
+  struct AlwaysFailing : ripple::ActionExecutor {
+    Result<ripple::ActionOutcome> Execute(const ripple::ActionContext&,
+                                          const ripple::ActionRequest&) override {
+      return UnavailableError("poison backend is down");
+    }
+  };
+  agent.RegisterExecutor(ripple::ActionType::kContainer,
+                         std::make_unique<AlwaysFailing>());
+
+  const auto email_rule = [](const std::string& id, const std::string& tenant,
+                             const std::string& glob) {
+    ripple::Rule rule;
+    rule.id = id;
+    rule.tenant = tenant;
+    rule.trigger.event_mask = ripple::kCreated;
+    rule.trigger.path_glob = Glob(glob);
+    rule.action.type = ripple::ActionType::kEmail;
+    rule.action.agent = "site";
+    json::Object params;
+    params["to"] = json::Value(tenant + "@site");
+    rule.action.params = json::Value(std::move(params));
+    rule.watch_agent = "site";
+    return rule;
+  };
+  ripple::Rule poison = email_rule("poison-rule", "poison", "/p/**");
+  poison.action.type = ripple::ActionType::kContainer;
+  ASSERT_TRUE(cloud.RegisterRule(poison).ok());
+  ASSERT_TRUE(cloud.RegisterRule(email_rule("a-rule", "team-a", "/a/**")).ok());
+  ASSERT_TRUE(cloud.RegisterRule(email_rule("b-rule", "team-b", "/b/**")).ok());
+
+  cloud.Start();
+  agent.Start();
+
+  const auto deliver = [&](const std::string& path, uint64_t seq) {
+    monitor::FsEvent event;
+    event.type = lustre::ChangeLogType::kCreate;
+    event.path = path;
+    event.global_seq = seq;
+    event.name = path.substr(path.find_last_of('/') + 1);
+    agent.DeliverEvent(event);
+  };
+  // Interleave so the poison storm brackets the neighbors' traffic.
+  uint64_t seq = 1;
+  constexpr int kGood = 20;
+  constexpr int kPoison = 300;
+  for (int i = 0; i < kPoison; ++i) {
+    deliver("/p/f" + std::to_string(i), seq++);
+    if (i < kGood) {
+      deliver("/a/f" + std::to_string(i), seq++);
+      deliver("/b/f" + std::to_string(i), seq++);
+    }
+  }
+
+  // Every report must clear the queue (crashes only delay, via redelivery).
+  const uint64_t sent = kPoison + 2 * kGood;
+  ASSERT_TRUE(WaitFor([&] {
+    return cloud.queue().TotalDeleted() == sent &&
+           cloud.queue().VisibleDepth() == 0 && cloud.queue().InFlight() == 0;
+  })) << "deleted " << cloud.queue().TotalDeleted() << " of " << sent;
+  ASSERT_TRUE(WaitFor([&] { return agent.outbox().Count() >= 2 * kGood; }));
+  // Let the action queue reach equilibrium: everything accepted is either
+  // executed, failed, or was a dedupe of an earlier delivery.
+  ASSERT_TRUE(WaitFor([&] {
+    const auto stats = agent.Stats();
+    return stats.actions_received - stats.actions_deduped ==
+           stats.actions_executed + stats.actions_failed;
+  }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  agent.Stop();
+  cloud.Stop();
+
+  // Neighbors: exactly once each, despite redeliveries (dedupe absorbed
+  // them) and despite the poison storm (their own token buckets never ran
+  // dry — burst covers their traffic plus the redelivery re-spends).
+  EXPECT_EQ(agent.outbox().Count(), 2u * kGood);
+  const auto cloud_stats = cloud.Stats();
+  EXPECT_GT(cloud_stats.worker_crashes, 0u) << "the chaos must actually bite";
+  EXPECT_GT(cloud_stats.redeliveries, 0u);
+
+  // The poison tenant: at most its burst (plus redelivery re-spends) ever
+  // dispatched; the overflow sits on the DLQ, on the poison lane.
+  EXPECT_GT(cloud_stats.actions_throttled, 0u);
+  EXPECT_GE(cloud_stats.actions_throttled,
+            static_cast<uint64_t>(kPoison) - 65u);
+  auto dead = cloud.DrainDeadLetters();
+  EXPECT_EQ(dead.size(), cloud_stats.actions_throttled);
+  for (const auto& message : dead) {
+    EXPECT_EQ(message.lane, "poison") << "only poison overflow may dead-letter";
+    EXPECT_NE(message.body.find("poison-rule"), std::string::npos);
+  }
+  // Every poison action that did dispatch failed at the executor; none of
+  // the failures leaked into the neighbors' outcomes.
+  const auto agent_stats = agent.Stats();
+  EXPECT_GT(agent_stats.actions_failed, 0u);
+  EXPECT_EQ(agent_stats.actions_failed + 2 * kGood, agent_stats.actions_received -
+                                                        agent_stats.actions_deduped)
+      << "received = poison failures + neighbor successes (+ dedupes)";
+}
+
 }  // namespace
 }  // namespace sdci

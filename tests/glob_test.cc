@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <string_view>
 #include <tuple>
 
 #include "common/rng.h"
@@ -73,6 +76,137 @@ TEST(Glob, SuffixPatterns) {
   // "**/*.h5" requires at least one '/', matching glob convention.
   EXPECT_FALSE(GlobMatch("**/*.h5", "scan.h5"));
 }
+
+TEST(GlobLiteralPrefix, PureLiteralPatternIsItsOwnPrefix) {
+  EXPECT_EQ(Glob("/a/b.txt").LiteralPrefix(), "/a/b.txt");
+  EXPECT_EQ(Glob("").LiteralPrefix(), "");
+}
+
+TEST(GlobLiteralPrefix, MetacharacterAtPositionZeroMeansEmptyPrefix) {
+  EXPECT_EQ(Glob("*").LiteralPrefix(), "");
+  EXPECT_EQ(Glob("*.txt").LiteralPrefix(), "");
+  EXPECT_EQ(Glob("?x").LiteralPrefix(), "");
+  EXPECT_EQ(Glob("[ab]x").LiteralPrefix(), "");
+  EXPECT_EQ(Glob("**/raw/*.h5").LiteralPrefix(), "");
+}
+
+TEST(GlobLiteralPrefix, StopsAtFirstMetacharacter) {
+  EXPECT_EQ(Glob("/a/*.txt").LiteralPrefix(), "/a/");
+  EXPECT_EQ(Glob("/a/b?.txt").LiteralPrefix(), "/a/b");
+  EXPECT_EQ(Glob("/data/run[0-9]/out").LiteralPrefix(), "/data/run");
+  EXPECT_EQ(Glob("/a/**/*.txt").LiteralPrefix(), "/a/");
+  EXPECT_EQ(Glob("/a/**").LiteralPrefix(), "/a/");
+  // Prefix may end mid-component.
+  EXPECT_EQ(Glob("/proj/exp-*/raw").LiteralPrefix(), "/proj/exp-");
+}
+
+TEST(GlobLiteralPrefix, UnterminatedClassIsALiteralCharacter) {
+  // The tokenizer treats an unterminated '[' as a literal; LiteralPrefix
+  // must agree or the anchoring identity breaks on such patterns.
+  EXPECT_EQ(Glob("/logs/[abc").LiteralPrefix(), "/logs/[abc");
+  EXPECT_TRUE(Glob("/logs/[abc").Matches("/logs/[abc"));
+  // A terminated class is a real metacharacter even when empty-ish.
+  EXPECT_EQ(Glob("/logs/[abc]").LiteralPrefix(), "/logs/");
+  // Negation and ranges still terminate.
+  EXPECT_EQ(Glob("/f[!a-z]x").LiteralPrefix(), "/f");
+}
+
+TEST(GlobMatchesSuffix, ResidualTailMatchesStrippedPath) {
+  const Glob glob("/a/**/*.txt");
+  ASSERT_EQ(glob.LiteralPrefix(), "/a/");
+  EXPECT_TRUE(glob.MatchesSuffix("b/c/d.txt"));
+  EXPECT_FALSE(glob.MatchesSuffix("b/c/d.log"));
+  // Exact pattern: the residual is empty, so only "" matches.
+  const Glob exact("/a/b.txt");
+  EXPECT_TRUE(exact.MatchesSuffix(""));
+  EXPECT_FALSE(exact.MatchesSuffix("x"));
+}
+
+TEST(GlobMatchesSuffix, DoubleStarBoundaries) {
+  // "**" straddling the prefix boundary: prefix "/a/" leaves "**" which
+  // matches anything, including the empty remainder and slashes.
+  const Glob anything("/a/**");
+  EXPECT_TRUE(anything.MatchesSuffix(""));
+  EXPECT_TRUE(anything.MatchesSuffix("b"));
+  EXPECT_TRUE(anything.MatchesSuffix("b/c/d"));
+  // "**/x": the leading "**/" requires a slash in the remainder.
+  const Glob rooted("/a/**/x");
+  EXPECT_TRUE(rooted.MatchesSuffix("b/x"));
+  EXPECT_FALSE(rooted.MatchesSuffix("x"));
+}
+
+// The identity every index probe relies on, over a deterministic corpus:
+//   Matches(p) == p.starts_with(prefix) && MatchesSuffix(p drop prefix)
+TEST(GlobLiteralPrefix, AnchoringIdentityHoldsExhaustively) {
+  const char* patterns[] = {
+      "",        "*",          "**",           "/a/b.txt",   "/a/*.txt",
+      "/a/**",   "/a/**/*.h5", "**/*.h5",      "/f[abc].x",  "/f[!abc].x",
+      "/log[",   "/log[ab",    "/a/b?",        "?",          "/proj/exp-*/raw",
+      "/a/b/c*", "/run[0-9]*", "/a/**/raw/*.h5"};
+  const char* paths[] = {"",
+                         "/a/b.txt",
+                         "/a/c.txt",
+                         "/a/b/c/d.h5",
+                         "/a/",
+                         "/a",
+                         "/fa.x",
+                         "/fd.x",
+                         "/log[",
+                         "/log[ab",
+                         "/proj/exp-7/raw",
+                         "/run42x",
+                         "/a/b/raw/s.h5",
+                         "deep.h5",
+                         "/deep/tree.h5"};
+  for (const char* pattern : patterns) {
+    const Glob glob{std::string(pattern)};
+    const std::string_view prefix = glob.LiteralPrefix();
+    for (const char* raw : paths) {
+      const std::string_view path(raw);
+      const bool via_index =
+          path.substr(0, prefix.size()) == prefix &&
+          glob.MatchesSuffix(path.substr(std::min(prefix.size(), path.size())));
+      EXPECT_EQ(glob.Matches(path), via_index)
+          << "pattern=\"" << pattern << "\" path=\"" << path << "\"";
+    }
+  }
+}
+
+// Randomized version of the same identity, with class characters in the
+// alphabet so terminated/unterminated '[' forms both occur.
+class GlobPrefixPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GlobPrefixPropertyTest, AnchoringIdentityHoldsRandomly) {
+  Rng rng(GetParam());
+  static constexpr char kPatternAlphabet[] = "ab/*?[]!-";
+  static constexpr char kPathAlphabet[] = "ab/[";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string pattern;
+    const size_t plen = rng.NextBelow(10);
+    for (size_t i = 0; i < plen; ++i) {
+      pattern += kPatternAlphabet[rng.NextBelow(sizeof(kPatternAlphabet) - 1)];
+    }
+    const Glob glob(pattern);
+    const std::string_view prefix = glob.LiteralPrefix();
+    std::string path;
+    const size_t slen = rng.NextBelow(11);
+    for (size_t i = 0; i < slen; ++i) {
+      path += kPathAlphabet[rng.NextBelow(sizeof(kPathAlphabet) - 1)];
+    }
+    // Half the trials get the literal prefix grafted on so the anchored
+    // branch is actually exercised, not just the early mismatch.
+    if (rng.NextBool(0.5)) path.insert(0, prefix);
+    const std::string_view view(path);
+    const bool via_index =
+        view.substr(0, prefix.size()) == prefix &&
+        glob.MatchesSuffix(view.substr(std::min(prefix.size(), view.size())));
+    EXPECT_EQ(glob.Matches(view), via_index)
+        << "pattern=\"" << pattern << "\" path=\"" << path << "\"";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlobPrefixPropertyTest,
+                         ::testing::Values(11, 12, 13, 14));
 
 // Reference matcher: straightforward exponential recursion, for
 // property-testing the production two-pointer implementation.

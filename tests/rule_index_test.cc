@@ -1,0 +1,315 @@
+// RuleIndex correctness: the compiled dispatch must be observably
+// indistinguishable from the linear scan it replaces — same verdicts, same
+// matched rules, same order — across handcrafted edge cases, a randomized
+// 1k-rule property sweep, batched wire-view evaluation, and concurrent
+// snapshot swaps.
+#include "ripple/rule_index.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "monitor/event.h"
+#include "ripple/rule.h"
+
+namespace sdci::ripple {
+namespace {
+
+using lustre::ChangeLogType;
+using monitor::FsEvent;
+
+Rule MakeRule(std::string id, std::string pattern, uint32_t mask = kAnyEvent) {
+  Rule rule;
+  rule.id = std::move(id);
+  rule.trigger.event_mask = mask;
+  rule.trigger.path_glob = Glob(std::move(pattern));
+  rule.action.agent = "exec";
+  rule.watch_agent = "watch";
+  return rule;
+}
+
+FsEvent MakeEvent(std::string path, ChangeLogType type = ChangeLogType::kCreate) {
+  FsEvent event;
+  event.type = type;
+  event.path = std::move(path);
+  const size_t cut = event.path.find_last_of('/');
+  event.name = cut == std::string::npos ? event.path : event.path.substr(cut + 1);
+  return event;
+}
+
+// The linear scan the index must be bit-identical to: id-ordered rules,
+// Trigger::Matches each.
+std::vector<std::string> OracleMatch(const RuleIndex& index, const FsEvent& event) {
+  std::vector<std::string> ids;
+  for (const Rule& rule : index.rules()) {
+    if (rule.enabled && rule.trigger.Matches(event)) ids.push_back(rule.id);
+  }
+  return ids;
+}
+
+std::vector<std::string> IndexMatch(const RuleIndex& index, const FsEvent& event) {
+  std::vector<const Rule*> out;
+  index.Match(event, out);
+  std::vector<std::string> ids;
+  ids.reserve(out.size());
+  for (const Rule* rule : out) ids.push_back(rule->id);
+  return ids;
+}
+
+TEST(RuleIndex, EmptyIndexMatchesNothing) {
+  const auto index = RuleIndex::Empty();
+  EXPECT_FALSE(index->MatchesAny(MakeEvent("/a/b.txt")));
+  EXPECT_EQ(index->size(), 0u);
+  EXPECT_EQ(index->layout().trie_nodes, 1u) << "just the root";
+}
+
+TEST(RuleIndex, AnchoredDispatchMatchesInRuleIdOrder) {
+  RuleIndex::Builder builder;
+  builder.Add(MakeRule("b-glob", "/proj/alpha/**/*.h5"));
+  builder.Add(MakeRule("a-exact", "/proj/alpha/raw/scan.h5"));
+  builder.Add(MakeRule("c-star", "/proj/alpha/raw/*.h5"));
+  builder.Add(MakeRule("d-other", "/proj/beta/**"));
+  const auto index = builder.Build();
+
+  const FsEvent hit = MakeEvent("/proj/alpha/raw/scan.h5");
+  EXPECT_TRUE(index->MatchesAny(hit));
+  EXPECT_EQ(IndexMatch(*index, hit),
+            (std::vector<std::string>{"a-exact", "b-glob", "c-star"}));
+  EXPECT_EQ(IndexMatch(*index, hit), OracleMatch(*index, hit));
+
+  EXPECT_FALSE(index->MatchesAny(MakeEvent("/proj/gamma/x.h5")));
+  EXPECT_TRUE(index->MatchesAny(MakeEvent("/proj/beta/anything/at/all")));
+}
+
+TEST(RuleIndex, MidComponentPrefixStillCatchesLongerComponents) {
+  // "/lab/img" must catch "/lab/imgs/x" — the prefix ends mid-component.
+  RuleIndex::Builder builder;
+  builder.Add(MakeRule("imgs", "/lab/img*/**"));
+  const auto index = builder.Build();
+  EXPECT_TRUE(index->MatchesAny(MakeEvent("/lab/imgs/x")));
+  EXPECT_TRUE(index->MatchesAny(MakeEvent("/lab/img-old/deep/y")));
+  EXPECT_FALSE(index->MatchesAny(MakeEvent("/lab/data/x")));
+  // The partial also applies when the component is the path's leaf.
+  builder.Add(MakeRule("leaf", "/lab/img*"));
+  const auto index2 = builder.Build();
+  EXPECT_TRUE(index2->MatchesAny(MakeEvent("/lab/imgs")));
+}
+
+TEST(RuleIndex, DisabledRulesAreKeptButNeverMatch) {
+  Rule off = MakeRule("off", "/a/**");
+  off.enabled = false;
+  const auto index = RuleIndex::Builder().Add(off).Build();
+  EXPECT_EQ(index->size(), 1u) << "rules() reflects the installed set";
+  EXPECT_FALSE(index->MatchesAny(MakeEvent("/a/b")));
+}
+
+TEST(RuleIndex, CatchAllRulesProbeOnlyTheirKindBucket) {
+  RuleIndex::Builder builder;
+  builder.Add(MakeRule("h5", "**/*.h5", kCreated));
+  builder.Add(MakeRule("del", "**", kDeleted));
+  const auto index = builder.Build();
+  EXPECT_EQ(index->layout().catch_all_rules, 2u);
+  EXPECT_EQ(index->layout().anchored_rules, 0u);
+  EXPECT_TRUE(index->MatchesAny(MakeEvent("/d/s.h5", ChangeLogType::kCreate)));
+  EXPECT_FALSE(index->MatchesAny(MakeEvent("/d/s.h5", ChangeLogType::kMtime)))
+      << "kModified probes a bucket holding neither rule";
+  EXPECT_TRUE(index->MatchesAny(MakeEvent("/d/s.txt", ChangeLogType::kUnlink)));
+}
+
+TEST(RuleIndex, KindlessEventsAndEmptyPathsNeverMatch) {
+  const auto index = RuleIndex::Builder().Add(MakeRule("all", "**")).Build();
+  EXPECT_FALSE(index->MatchesAny(MakeEvent("/a/b", ChangeLogType::kMark)));
+  EXPECT_FALSE(index->MatchesAny(MakeEvent("/a/b", ChangeLogType::kOpen)));
+  FsEvent unresolved = MakeEvent("", ChangeLogType::kCreate);
+  EXPECT_FALSE(index->MatchesAny(unresolved))
+      << "Trigger::Matches rejects unresolved paths; the index must agree";
+}
+
+TEST(RuleIndex, NameSuffixResidualApplies) {
+  Rule rule = MakeRule("tif", "/lab/**");
+  rule.trigger.name_suffix = ".tif";
+  const auto index = RuleIndex::Builder().Add(rule).Build();
+  EXPECT_TRUE(index->MatchesAny(MakeEvent("/lab/a/b.tif")));
+  EXPECT_FALSE(index->MatchesAny(MakeEvent("/lab/a/b.h5")));
+}
+
+// --- Randomized oracle sweep -------------------------------------------
+
+constexpr const char* kDirs[] = {"alpha", "beta", "gamma", "img", "raw",
+                                 "cooked", "t1", "t2"};
+constexpr const char* kExts[] = {"h5", "tif", "dat", "log"};
+
+std::string RandomPattern(Rng& rng) {
+  const char* a = kDirs[rng.NextBelow(std::size(kDirs))];
+  const char* b = kDirs[rng.NextBelow(std::size(kDirs))];
+  const char* ext = kExts[rng.NextBelow(std::size(kExts))];
+  switch (rng.NextBelow(8)) {
+    case 0: return std::string("/") + a + "/" + b + "/**/*." + ext;
+    case 1: return std::string("/") + a + "/" + b + "/*." + ext;
+    case 2: return std::string("/") + a + "/" + b + "/file" +
+                   std::to_string(rng.NextBelow(4)) + "." + ext;  // exact
+    case 3: return std::string("/") + a + "/run[0-3]/out." + ext; // class
+    case 4: return std::string("*.") + ext;                       // catch-all
+    case 5: return std::string("**/") + b + "/*." + ext;          // catch-all
+    case 6: return std::string("/") + a + "/" + b + "*/**";       // partial
+    default: return std::string("/") + a + "/**";
+  }
+}
+
+Rule RandomRule(Rng& rng, size_t i) {
+  Rule rule = MakeRule("r" + std::to_string(1000 + i), RandomPattern(rng));
+  switch (rng.NextBelow(4)) {
+    case 0: rule.trigger.event_mask = kAnyEvent; break;
+    case 1: rule.trigger.event_mask = kCreated; break;
+    case 2: rule.trigger.event_mask = kCreated | kModified | kRenamed; break;
+    default:
+      rule.trigger.event_mask = static_cast<uint32_t>(rng.NextBelow(127) + 1);
+      break;
+  }
+  if (rng.NextBool(0.3)) {
+    rule.trigger.name_suffix = std::string(".") + kExts[rng.NextBelow(std::size(kExts))];
+  }
+  rule.enabled = !rng.NextBool(0.1);
+  return rule;
+}
+
+FsEvent RandomEvent(Rng& rng) {
+  static constexpr ChangeLogType kTypes[] = {
+      ChangeLogType::kCreate, ChangeLogType::kMkdir,   ChangeLogType::kUnlink,
+      ChangeLogType::kRename, ChangeLogType::kMtime,   ChangeLogType::kSetattr,
+      ChangeLogType::kClose,  ChangeLogType::kRmdir,   ChangeLogType::kMark,
+      ChangeLogType::kOpen};
+  std::string path;
+  if (!rng.NextBool(0.05)) {  // 5% unresolved (empty) paths
+    const size_t depth = rng.NextBelow(4);
+    for (size_t d = 0; d < depth; ++d) {
+      path += "/";
+      path += kDirs[rng.NextBelow(std::size(kDirs))];
+    }
+    path += rng.NextBool(0.2) ? "" : "/";
+    if (rng.NextBool(0.15)) {
+      path += "run" + std::to_string(rng.NextBelow(5)) + "/";
+    }
+    path += "file" + std::to_string(rng.NextBelow(4)) + "." +
+            kExts[rng.NextBelow(std::size(kExts))];
+    if (rng.NextBool(0.1)) path = path.substr(1);  // relative / bare forms
+  }
+  return MakeEvent(std::move(path), kTypes[rng.NextBelow(std::size(kTypes))]);
+}
+
+class RuleIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RuleIndexPropertyTest, VerdictsBitIdenticalToLinearScanOracle) {
+  Rng rng(GetParam());
+  RuleIndex::Builder builder;
+  for (size_t i = 0; i < 1000; ++i) builder.Add(RandomRule(rng, i));
+  const auto index = builder.Build();
+  ASSERT_EQ(index->size(), 1000u);
+  RuleIndex::Scratch scratch;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const FsEvent event = RandomEvent(rng);
+    const std::vector<std::string> expect = OracleMatch(*index, event);
+    ASSERT_EQ(IndexMatch(*index, event), expect)
+        << "path=" << event.path << " type=" << static_cast<int>(event.type);
+    // MatchesAny via the scratch-reusing probe agrees with the full match.
+    ASSERT_EQ(index->MatchesAny(KindOfEvent(event.type), event.path, event.name,
+                                scratch),
+              !expect.empty())
+        << "path=" << event.path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleIndexPropertyTest,
+                         ::testing::Values(21, 22, 23, 24));
+
+TEST(RuleIndex, EvaluateBatchAgreesWithPerEventOracle) {
+  Rng rng(99);
+  RuleIndex::Builder builder;
+  for (size_t i = 0; i < 500; ++i) builder.Add(RandomRule(rng, i));
+  const auto index = builder.Build();
+  RuleIndex::Scratch scratch;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<FsEvent> events;
+    for (int i = 0; i < 64; ++i) events.push_back(RandomEvent(rng));
+    // Consecutive same-directory events exercise the descent cache.
+    for (int i = 1; i < 16; ++i) {
+      FsEvent sibling = events[0];
+      sibling.name = "sib" + std::to_string(i) + ".h5";
+      const size_t cut = sibling.path.find_last_of('/');
+      sibling.path =
+          (cut == std::string::npos ? "" : sibling.path.substr(0, cut + 1)) +
+          sibling.name;
+      events.push_back(std::move(sibling));
+    }
+    const std::string payload = monitor::EncodeEventBatch(events);
+    auto view = monitor::wire::EventBatchView::Bind(payload);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    std::vector<uint32_t> matched;
+    const size_t appended = index->EvaluateBatch(*view, scratch, matched);
+    EXPECT_EQ(appended, matched.size());
+    std::vector<uint32_t> expect;
+    for (uint32_t i = 0; i < events.size(); ++i) {
+      if (!OracleMatch(*index, events[i]).empty()) expect.push_back(i);
+    }
+    ASSERT_EQ(matched, expect) << "round " << round;
+  }
+}
+
+// Readers race a writer that rebuilds and publishes snapshots through a
+// RuleSnapshotSlot — the exact publication protocol Agent and
+// CloudService use. A pointer a reader acquired must stay valid and its
+// verdicts oracle-exact for that snapshot: concurrent Add/Remove can
+// never produce a verdict no rule set ever held, and retired snapshots
+// must not be reclaimed under a live reader. Run under TSan (check.sh
+// greps for this test in the TSan suite) to prove the swap protocol is
+// race-free.
+TEST(RuleIndexConcurrency, ConcurrentSnapshotSwapsKeepVerdictsOracleExact) {
+  RuleSnapshotSlot slot;
+  std::atomic<bool> stop{false};
+  constexpr int kSwaps = 200;
+  std::thread writer([&] {
+    Rng rng(7);
+    for (int swap = 0; swap < kSwaps; ++swap) {
+      RuleIndex::Builder builder;
+      const size_t n = 1 + rng.NextBelow(50);
+      for (size_t i = 0; i < n; ++i) builder.Add(RandomRule(rng, i));
+      slot.Publish(builder.Build());
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> readers;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(100 + t);
+      RuleIndex::Scratch scratch;  // reused across snapshots: epoch guard
+      while (!stop.load(std::memory_order_acquire)) {
+        const RuleIndex* index = slot.Acquire();
+        const FsEvent event = RandomEvent(rng);
+        std::vector<const Rule*> out;
+        index->Match(KindOfEvent(event.type), event.path, event.name, scratch,
+                     out);
+        if (out.size() != OracleMatch(*index, event).size()) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& reader : readers) reader.join();
+  EXPECT_FALSE(failed.load()) << "a reader saw a verdict its snapshot never held";
+  // Every replaced snapshot (incl. the initial empty one) sits on the
+  // retire list until the owner — now quiesced — reclaims it.
+  EXPECT_EQ(slot.retired_count(), static_cast<size_t>(kSwaps));
+  slot.ReclaimRetired();
+  EXPECT_EQ(slot.retired_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sdci::ripple

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace sdci::ripple {
 namespace {
 
@@ -101,6 +107,127 @@ TEST(ReliableQueue, DeleteWithBogusReceiptFails) {
   TimeAuthority authority(1000.0);
   ReliableQueue queue(authority, FastConfig());
   EXPECT_EQ(queue.Delete(12345).code(), StatusCode::kNotFound);
+}
+
+TEST(ReliableQueueFairness, RoundRobinAcrossLanesFifoWithin) {
+  TimeAuthority authority(10.0);
+  ReliableQueue queue(authority, FastConfig());
+  // Tenant "a" floods first; "b" sends two messages afterwards. A global
+  // FIFO would deliver all four of a's before b's — lanes must interleave.
+  queue.Send("a1", "a");
+  queue.Send("a2", "a");
+  queue.Send("a3", "a");
+  queue.Send("a4", "a");
+  queue.Send("b1", "b");
+  queue.Send("b2", "b");
+  EXPECT_EQ(queue.LaneCount(), 2u);
+  std::vector<std::string> order;
+  for (int i = 0; i < 6; ++i) {
+    auto message = queue.Receive();
+    ASSERT_TRUE(message.has_value());
+    order.push_back(message->body);
+    ASSERT_TRUE(queue.Delete(message->receipt).ok());
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"a1", "b1", "a2", "b2", "a3", "a4"}));
+  EXPECT_EQ(queue.LaneCount(), 0u) << "drained lanes are reclaimed";
+}
+
+TEST(ReliableQueueFairness, SingleLaneBehavesLikeGlobalFifo) {
+  TimeAuthority authority(10.0);
+  ReliableQueue queue(authority, FastConfig());
+  queue.Send("1");
+  queue.Send("2");
+  queue.Send("3");
+  EXPECT_EQ(queue.LaneCount(), 1u);
+  EXPECT_EQ(queue.Receive()->body, "1");
+  EXPECT_EQ(queue.Receive()->body, "2");
+  EXPECT_EQ(queue.Receive()->body, "3");
+}
+
+TEST(ReliableQueueFairness, MessagesCarryTheirLane) {
+  TimeAuthority authority(1000.0);
+  ReliableQueueConfig config = FastConfig();
+  config.max_receives = 1;
+  ReliableQueue queue(authority, config);
+  queue.Send("m", "tenant-x");
+  auto message = queue.Receive();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->lane, "tenant-x");
+  // Poison dead-lettering preserves the lane too.
+  authority.SleepFor(Millis(60));
+  EXPECT_FALSE(queue.Receive().has_value());
+  const auto dead = queue.DeadLetters();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].lane, "tenant-x");
+}
+
+TEST(ReliableQueueFairness, PushDeadLetterBypassesTheQueue) {
+  TimeAuthority authority(1000.0);
+  ReliableQueue queue(authority, FastConfig());
+  const uint64_t id = queue.PushDeadLetter("over-quota", "tenant-q");
+  EXPECT_GT(id, 0u);
+  EXPECT_EQ(queue.VisibleDepth(), 0u) << "never entered the queue";
+  EXPECT_EQ(queue.TotalSent(), 0u);
+  ASSERT_EQ(queue.DeadLetterDepth(), 1u);
+  const auto dead = queue.DeadLetters();
+  EXPECT_EQ(dead[0].body, "over-quota");
+  EXPECT_EQ(dead[0].lane, "tenant-q");
+  EXPECT_EQ(dead[0].receive_count, 0u);
+}
+
+// Concurrent senders on distinct tenant lanes race concurrent receivers.
+// Every message must be delivered exactly once (receipts all delete
+// cleanly), per-lane FIFO must hold from each receiver's perspective, and
+// the backlogged tenant must not lock out the light one. Run under TSan
+// (check.sh greps for this test in the TSan suite).
+TEST(ReliableQueueFairness, FairDrainInterleavesTenantsUnderConcurrency) {
+  TimeAuthority authority(1000.0);
+  ReliableQueueConfig config;
+  config.visibility_timeout = Seconds(300.0);  // no mid-test expiry
+  ReliableQueue queue(authority, config);
+  constexpr int kTenants = 4;
+  constexpr int kPerTenant = 250;
+  std::vector<std::thread> senders;
+  for (int t = 0; t < kTenants; ++t) {
+    senders.emplace_back([&queue, t] {
+      const std::string lane = "tenant-" + std::to_string(t);
+      for (int i = 0; i < kPerTenant; ++i) {
+        queue.Send(lane + ":" + std::to_string(i), lane);
+      }
+    });
+  }
+  std::atomic<int> drained{0};
+  std::atomic<bool> order_violated{false};
+  std::vector<std::thread> receivers;
+  for (int r = 0; r < 3; ++r) {
+    receivers.emplace_back([&] {
+      // Per-lane high-water marks: deliveries this receiver observes from
+      // one lane must be in increasing sequence order (lane FIFO).
+      std::map<std::string, int> last_seen;
+      while (drained.load(std::memory_order_relaxed) < kTenants * kPerTenant) {
+        auto message = queue.Receive();
+        if (!message.has_value()) {
+          std::this_thread::yield();
+          continue;
+        }
+        const size_t colon = message->body.find(':');
+        const int seq = std::stoi(message->body.substr(colon + 1));
+        auto [it, fresh] = last_seen.try_emplace(message->lane, -1);
+        if (!fresh && seq <= it->second) order_violated.store(true);
+        it->second = seq;
+        if (queue.Delete(message->receipt).ok()) {
+          drained.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& sender : senders) sender.join();
+  for (auto& receiver : receivers) receiver.join();
+  EXPECT_EQ(drained.load(), kTenants * kPerTenant);
+  EXPECT_FALSE(order_violated.load());
+  EXPECT_EQ(queue.TotalDeleted(), static_cast<uint64_t>(kTenants * kPerTenant));
+  EXPECT_EQ(queue.DeadLetterDepth(), 0u);
+  EXPECT_EQ(queue.LaneCount(), 0u);
 }
 
 }  // namespace
